@@ -1,0 +1,197 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   1. Lustre stripe count (the paper fixes stripe count 1 — what if not?)
+//   2. Filesystem shard count vs node count (the paper scales shards
+//      linearly with nodes)
+//   3. Dragon many-to-one penalty exponent (the latency mechanism behind
+//      Fig 6's crossover)
+//   4. Payload-cap sensitivity: virtualized payloads must not change the
+//      modelled timings (only real memory use)
+//   5. MDS contention exponent: how sharp the Fig-3b collapse is
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include <chrono>
+
+#include "core/experiment.hpp"
+#include "kv/redis_client.hpp"
+#include "kv/redis_server.hpp"
+#include "kv/dir_store.hpp"
+#include "util/fsutil.hpp"
+
+using namespace simai;
+using namespace simai::bench;
+
+namespace {
+
+bool ablate_stripe_count() {
+  banner("Ablation 1: Lustre stripe count (32 MB write, 8 nodes)");
+  Table t({"stripes", "write(ms)", "tput(GB/s)"}, 12);
+  platform::TransportModel model;
+  double t1 = 0, t8 = 0;
+  for (int stripes : {1, 2, 4, 8, 16}) {
+    model.lustre.stripe_count = stripes;
+    platform::TransportContext ctx;
+    ctx.concurrent_clients = 96;
+    const double cost = model.cost(platform::BackendKind::Filesystem,
+                                   platform::StoreOp::Write, 32 * MiB, ctx);
+    if (stripes == 1) t1 = cost;
+    if (stripes == 8) t8 = cost;
+    t.row({std::to_string(stripes), ms(cost), gbps(32.0 * MiB / cost)});
+  }
+  t.print();
+  return check("striping accelerates large writes (8 stripes >2x faster)",
+               t1 > 2.0 * t8);
+}
+
+bool ablate_shard_count() {
+  banner("Ablation 2: DirStore shard count vs key distribution");
+  Table t({"shards", "keys", "max/shard", "min/shard"}, 12);
+  bool ok = true;
+  for (int shards : {1, 4, 16, 64}) {
+    util::TempDir dir("ablate");
+    kv::DirStore store(dir.path() / "s", shards);
+    std::vector<int> counts(static_cast<std::size_t>(shards), 0);
+    constexpr int kKeys = 512;
+    for (int i = 0; i < kKeys; ++i)
+      counts[static_cast<std::size_t>(
+          store.shard_of("sim_rank" + std::to_string(i) + "_step100"))]++;
+    const int mx = *std::max_element(counts.begin(), counts.end());
+    const int mn = *std::min_element(counts.begin(), counts.end());
+    t.row({std::to_string(shards), std::to_string(kKeys), std::to_string(mx),
+           std::to_string(mn)});
+    if (shards == 64) {
+      // Linear shard scaling keeps per-shard load balanced: with 512 keys
+      // over 64 shards, no shard should see more than ~4x the mean.
+      ok &= (mx <= 4 * (kKeys / shards));
+    }
+  }
+  t.print();
+  return check("CRC32 sharding stays balanced at high shard counts", ok);
+}
+
+bool ablate_dragon_m21() {
+  banner("Ablation 3: Dragon many-to-one penalty exponent (1 MB @ 127 sims)");
+  Table t({"m21_power", "dragon(ms)", "fs(ms)", "dragon/fs"}, 12);
+  bool crossover_seen = false;
+  for (double power : {0.5, 0.75, 1.0}) {
+    platform::TransportModel model;
+    model.dragon.m21_power = power;
+    platform::TransportContext ctx;
+    ctx.remote = true;
+    ctx.fanin = 127;
+    ctx.concurrent_streams = 12;
+    ctx.concurrent_clients = 127 * 12 + 12;
+    const double dragon = model.cost(platform::BackendKind::Dragon,
+                                     platform::StoreOp::Read, 1 * MiB, ctx);
+    const double fs = model.cost(platform::BackendKind::Filesystem,
+                                 platform::StoreOp::Read, 1 * MiB, ctx);
+    t.row({fixed(power, 2), ms(dragon), ms(fs), fixed(dragon / fs, 2)});
+    if (power >= 1.0) crossover_seen |= dragon > fs;
+  }
+  t.print();
+  return check("linear penalty is required for the Fig 6b crossover",
+               crossover_seen);
+}
+
+bool ablate_payload_cap() {
+  banner("Ablation 4: payload virtualization does not change timings");
+  core::Pattern1Config base;
+  base.backend = platform::BackendKind::Dragon;
+  base.nodes = 8;
+  base.representative_pairs = 1;
+  base.payload_bytes = 8 * MiB;
+  base.train_iters = 150;
+  base.sim_init_time = 0.5;
+  base.train_init_time = 1.0;
+
+  core::Pattern1Config full = base;
+  full.payload_cap = 0;  // real 8 MiB payloads
+  core::Pattern1Config capped = base;
+  capped.payload_cap = 1 * KiB;
+
+  const auto rf = core::run_pattern1(full);
+  const auto rc = core::run_pattern1(capped);
+  Table t({"mode", "makespan(s)", "write(ms)", "read(ms)"}, 14);
+  t.row({"full", fixed(rf.makespan, 3), ms(rf.sim.write_time.mean()),
+         ms(rf.train.read_time.mean())});
+  t.row({"capped-1KiB", fixed(rc.makespan, 3), ms(rc.sim.write_time.mean()),
+         ms(rc.train.read_time.mean())});
+  t.print();
+  const bool same =
+      std::abs(rf.makespan - rc.makespan) < 1e-9 &&
+      std::abs(rf.sim.write_time.mean() - rc.sim.write_time.mean()) < 1e-12;
+  return check("virtual timings identical with and without the cap", same);
+}
+
+bool ablate_redis_pipelining() {
+  banner("Ablation 6: Redis pipelining vs per-command round trips (real)");
+  // Real wall-clock through the real MiniRedis server: N SETs issued one
+  // round-trip at a time vs one pipelined batch.
+  util::TempDir dir("ablate-redis");
+  kv::RedisServer server((dir.path() / "a.sock").string());
+  kv::RedisClient client(server.socket_path());
+  constexpr int kOps = 400;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kOps; ++i) {
+    client.put_string("rt" + std::to_string(i), "v");
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  std::vector<std::vector<std::string>> batch;
+  batch.reserve(kOps);
+  for (int i = 0; i < kOps; ++i)
+    batch.push_back({"SET", "pl" + std::to_string(i), "v"});
+  const auto replies = client.pipeline(batch);
+  const auto t2 = std::chrono::steady_clock::now();
+
+  const double rt_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count() / kOps;
+  const double pl_us =
+      std::chrono::duration<double, std::micro>(t2 - t1).count() / kOps;
+  Table t({"mode", "us/op", "speedup"}, 14);
+  t.row({"round-trip", fixed(rt_us, 2), "1.0"});
+  t.row({"pipelined", fixed(pl_us, 2), fixed(rt_us / pl_us, 1)});
+  t.print();
+
+  bool ok = replies.size() == kOps;
+  for (const auto& r : replies) ok &= !r.is_error();
+  ok &= client.size() == 2 * kOps;
+  const bool faster = pl_us < rt_us;
+  return check("pipelining completes correctly and beats round-trips",
+               ok && faster);
+}
+
+bool ablate_mds_exponent() {
+  banner("Ablation 5: MDS contention exponent vs the Fig 3b collapse");
+  Table t({"exponent", "tput@8(GB/s)", "tput@512", "ratio"}, 14);
+  bool ok = true;
+  for (double exp : {0.8, 1.25, 1.6}) {
+    platform::TransportModel model;
+    model.lustre.meta_exponent = exp;
+    platform::TransportContext c8, c512;
+    c8.concurrent_clients = 96;
+    c512.concurrent_clients = 6144;
+    const double t8 = model.throughput(platform::BackendKind::Filesystem,
+                                       platform::StoreOp::Write, 1258291, c8);
+    const double t512 = model.throughput(platform::BackendKind::Filesystem,
+                                         platform::StoreOp::Write, 1258291,
+                                         c512);
+    t.row({fixed(exp, 2), gbps(t8), gbps(t512), fixed(t8 / t512, 1)});
+    if (exp == 1.25) ok &= (t8 / t512 > 5.0 && t8 / t512 < 100.0);
+  }
+  t.print();
+  return check("default exponent lands in the paper's ~10x band", ok);
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+  ok &= ablate_stripe_count();
+  ok &= ablate_shard_count();
+  ok &= ablate_dragon_m21();
+  ok &= ablate_payload_cap();
+  ok &= ablate_mds_exponent();
+  ok &= ablate_redis_pipelining();
+  return ok ? 0 : 1;
+}

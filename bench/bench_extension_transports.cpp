@@ -1,0 +1,195 @@
+// Extension bench (the paper's §5 future work, built here): compares the
+// two added transports against the paper's four backends.
+//
+//  (a) ADIOS2-SST-style streaming vs staging for the one-to-one exchange:
+//      per-message latency across sizes — streaming removes the per-key
+//      metadata machinery, so it should win small/medium messages and
+//      converge with the best staging backend at large ones.
+//  (b) DAOS-style object store vs Lustre at scale: write throughput at 8
+//      and 512 nodes — distributed metadata should erase the Fig-3b
+//      collapse.
+//  (c) An end-to-end DES run of a streaming producer/consumer pair,
+//      validating the queue/back-pressure machinery under load.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+#include "core/stream.hpp"
+#include "platform/transport_model.hpp"
+
+using namespace simai;
+using namespace simai::bench;
+using namespace simai::core;
+
+namespace {
+
+bool part_a_latency() {
+  banner("Extension (a): per-message one-way latency, staging vs streaming [ms]");
+  platform::TransportModel model;
+  platform::TransportContext remote;
+  remote.remote = true;
+  remote.concurrent_clients = 96;
+
+  Table t({"size(MB)", "stream", "dragon", "redis", "filesystem", "daos"},
+          12);
+  bool stream_wins_small = true;
+  for (auto bytes : size_sweep()) {
+    auto lat = [&](platform::BackendKind b) {
+      return model.cost(b, platform::StoreOp::Write, bytes, remote) +
+             model.cost(b, platform::StoreOp::Read, bytes, remote);
+    };
+    t.row({mb_label(bytes), ms(lat(platform::BackendKind::Stream)),
+           ms(lat(platform::BackendKind::Dragon)),
+           ms(lat(platform::BackendKind::Redis)),
+           ms(lat(platform::BackendKind::Filesystem)),
+           ms(lat(platform::BackendKind::Daos))});
+    if (bytes <= 4 * MiB) {
+      stream_wins_small &=
+          lat(platform::BackendKind::Stream) <
+          std::min({lat(platform::BackendKind::Dragon),
+                    lat(platform::BackendKind::Redis),
+                    lat(platform::BackendKind::Filesystem)});
+    }
+  }
+  t.print();
+  return check("streaming beats all staging backends at <= 4 MB",
+               stream_wins_small);
+}
+
+bool part_b_daos_scaling() {
+  banner("Extension (b): DAOS vs Lustre write throughput at scale [GB/s]");
+  platform::TransportModel model;
+  Table t({"nodes", "lustre", "daos", "daos/lustre"}, 14);
+  double lustre8 = 0, lustre512 = 0, daos8 = 0, daos512 = 0;
+  for (int nodes : {8, 64, 512}) {
+    platform::TransportContext ctx;
+    ctx.concurrent_clients = nodes * 12;
+    const double lustre = model.throughput(
+        platform::BackendKind::Filesystem, platform::StoreOp::Write,
+        1258291, ctx);
+    const double daos = model.throughput(platform::BackendKind::Daos,
+                                         platform::StoreOp::Write, 1258291,
+                                         ctx);
+    t.row({std::to_string(nodes), gbps(lustre), gbps(daos),
+           fixed(daos / lustre, 1)});
+    if (nodes == 8) {
+      lustre8 = lustre;
+      daos8 = daos;
+    }
+    if (nodes == 512) {
+      lustre512 = lustre;
+      daos512 = daos;
+    }
+  }
+  t.print();
+  bool ok = true;
+  ok &= check("lustre collapses ~10x from 8 to 512 nodes",
+              lustre8 / lustre512 > 5.0);
+  ok &= check("daos stays within 2x across the same range",
+              daos8 / daos512 < 2.0);
+  return ok;
+}
+
+bool part_c_streaming_pipeline() {
+  banner("Extension (c): end-to-end streaming pipeline (DES)");
+  sim::Engine engine;
+  platform::TransportModel model;
+  platform::TransportContext remote;
+  remote.remote = true;
+  StreamBroker broker(engine, &model, remote, /*queue_limit=*/2);
+  auto writer = broker.open_writer("pipeline");
+  auto reader = broker.open_reader("pipeline");
+
+  constexpr int kSteps = 200;
+  constexpr std::uint64_t kNominal = 2 * MiB;
+  SimTime producer_done = 0, consumer_done = 0;
+  engine.spawn("producer", [&](sim::Context& ctx) {
+    for (int s = 0; s < kSteps; ++s) {
+      ctx.delay(0.002);  // produce
+      writer.begin_step(ctx);
+      writer.put("field", Bytes(1024), kNominal);
+      writer.end_step(ctx);
+    }
+    writer.close(ctx);
+    producer_done = ctx.now();
+  });
+  engine.spawn("consumer", [&](sim::Context& ctx) {
+    while (reader.begin_step(ctx) == StepStatus::Ok) {
+      (void)reader.get(ctx, "field");
+      reader.end_step();
+      ctx.delay(0.001);  // consume
+    }
+    consumer_done = ctx.now();
+  });
+  engine.run();
+
+  const auto& stats = broker.stats();
+  std::printf("  steps: %llu written / %llu consumed\n",
+              static_cast<unsigned long long>(writer.steps_written()),
+              static_cast<unsigned long long>(reader.steps_consumed()));
+  std::printf("  producer finished at %.3f s, consumer at %.3f s\n",
+              producer_done, consumer_done);
+  std::printf("  mean step write %.3f ms, mean step read %.3f ms\n\n",
+              stats.all().at("step_write_time").mean() * 1e3,
+              stats.all().at("step_read_time").mean() * 1e3);
+
+  bool ok = true;
+  ok &= check("all steps delivered exactly once",
+              writer.steps_written() == kSteps &&
+                  reader.steps_consumed() == kSteps);
+  ok &= check("consumer finishes after producer (pipelined, bounded lag)",
+              consumer_done >= producer_done &&
+                  consumer_done - producer_done < 0.1);
+  return ok;
+}
+
+bool part_d_pattern1_streaming() {
+  banner("Extension (d): Pattern 1 end-to-end, staging vs streaming");
+  core::Pattern1Config cfg;
+  cfg.nodes = 8;
+  cfg.representative_pairs = 2;
+  cfg.train_iters = 400;
+  cfg.payload_cap = 4 * KiB;
+  cfg.sim_init_time = 0.5;
+  cfg.train_init_time = 1.0;
+
+  Table t({"transport", "write(ms)", "read(ms)", "wtput(GB/s)"}, 14);
+  double stream_write = 0, best_staged_write = 1e99;
+  for (auto bytes : {std::uint64_t{1 * MiB}, std::uint64_t{8 * MiB}}) {
+    cfg.payload_bytes = bytes;
+    const auto streamed = core::run_pattern1_streaming(cfg);
+    t.row({"stream-" + mb_label(bytes) + "MB",
+           ms(streamed.sim.write_time.mean() / 2.0),  // 2 vars per step
+           ms(streamed.train.read_time.mean() / 2.0),
+           gbps(streamed.sim.write_throughput.mean())});
+    if (bytes == 1 * MiB) stream_write = streamed.sim.write_time.mean() / 2;
+    for (auto backend :
+         {platform::BackendKind::NodeLocal, platform::BackendKind::Dragon,
+          platform::BackendKind::Redis, platform::BackendKind::Filesystem}) {
+      cfg.backend = backend;
+      const auto staged = core::run_pattern1(cfg);
+      t.row({std::string(platform::backend_name(backend)) + "-" +
+                 mb_label(bytes) + "MB",
+             ms(staged.sim.write_time.mean()),
+             ms(staged.train.read_time.mean()),
+             gbps(staged.sim.write_throughput.mean())});
+      if (bytes == 1 * MiB)
+        best_staged_write =
+            std::min(best_staged_write, staged.sim.write_time.mean());
+    }
+  }
+  t.print();
+  return check("streaming per-message cost <= best staging backend at 1 MB",
+               stream_write <= best_staged_write * 1.05);
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+  ok &= part_a_latency();
+  ok &= part_b_daos_scaling();
+  ok &= part_c_streaming_pipeline();
+  ok &= part_d_pattern1_streaming();
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Reproduces Fig. 4: mean computation time per iteration (Sim iter, AI
+// iter) compared against the data-transport time per message (read, write)
+// for the node-local and filesystem backends at 8 and 512 nodes.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+
+using namespace simai;
+using namespace simai::bench;
+
+namespace {
+
+struct Cell {
+  double sim_iter, ai_iter, read, write;
+};
+
+Cell measure(platform::BackendKind backend, std::uint64_t bytes, int nodes) {
+  core::Pattern1Config c;
+  c.backend = backend;
+  c.nodes = nodes;
+  c.representative_pairs = 2;
+  c.payload_bytes = bytes;
+  c.payload_cap = 4 * KiB;
+  c.train_iters = 300;
+  c.sim_init_time = 0.5;
+  c.train_init_time = 1.0;
+  const core::Pattern1Result r = core::run_pattern1(c);
+  return {r.sim.iter_time.mean(), r.train.iter_time.mean(),
+          r.train.read_time.mean(), r.sim.write_time.mean()};
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig 4: computation vs data transport time per message [ms]");
+
+  bool ok = true;
+  Cell anchor8{}, anchor512{};
+  for (auto backend : {platform::BackendKind::NodeLocal,
+                       platform::BackendKind::Filesystem}) {
+    for (int nodes : {8, 512}) {
+      std::printf("%s backend, %d nodes\n",
+                  std::string(platform::backend_name(backend)).c_str(),
+                  nodes);
+      Table t({"size(MB)", "sim iter", "AI iter", "read", "write"}, 12);
+      for (auto bytes : size_sweep()) {
+        const Cell c = measure(backend, bytes, nodes);
+        t.row({mb_label(bytes), ms(c.sim_iter), ms(c.ai_iter), ms(c.read),
+               ms(c.write)});
+        if (bytes == 32 * MiB && backend == platform::BackendKind::NodeLocal &&
+            nodes == 8)
+          anchor8 = c;
+        if (bytes == 32 * MiB &&
+            backend == platform::BackendKind::Filesystem && nodes == 512)
+          anchor512 = c;
+      }
+      t.print();
+    }
+  }
+
+  // Re-measure the filesystem anchors needed for the checks.
+  const Cell nl512 = measure(platform::BackendKind::NodeLocal, 32 * MiB, 512);
+  const Cell fs8 = measure(platform::BackendKind::Filesystem, 32 * MiB, 8);
+
+  std::printf("Shape checks vs the paper:\n");
+  ok &= check("node-local 32 MB transfer ~ one sim iteration (8 nodes)",
+              anchor8.write > 0.3 * anchor8.sim_iter &&
+                  anchor8.write < 3.0 * anchor8.sim_iter);
+  ok &= check("node-local transport unchanged from 8 to 512 nodes",
+              std::abs(nl512.write - anchor8.write) <
+                  0.1 * anchor8.write);
+  ok &= check("filesystem 32 MB ~ one iteration at 8 nodes",
+              fs8.write > 0.3 * fs8.sim_iter && fs8.write < 3.0 * fs8.sim_iter);
+  ok &= check("filesystem 32 MB ~ order of magnitude above iter at 512 nodes",
+              anchor512.write > 5.0 * anchor512.sim_iter);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// Reproduces Fig. 5: the 2-node Pattern-2 experiment — the simulation
+// stages data to its local backend, the AI component on the other node
+// reads it non-locally. (a) non-local read and (b) local write throughput
+// as a function of array size, for dragon / redis / filesystem (node-local
+// tmpfs is impossible non-locally and is excluded, as in the paper).
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+
+using namespace simai;
+using namespace simai::bench;
+
+namespace {
+
+struct Sample {
+  double read_tput, write_tput;
+};
+
+Sample measure(platform::BackendKind backend, std::uint64_t bytes) {
+  core::Pattern2Config c;
+  c.backend = backend;
+  c.num_sims = 1;  // 2 nodes: one producer, one consumer
+  c.payload_bytes = bytes;
+  // 2-node runs move REAL payloads at full size (no virtualization).
+  c.payload_cap = 0;
+  c.train_iters = 150;
+  const core::Pattern2Result r = core::run_pattern2(c);
+  return {r.train.read_throughput.mean(), r.sim.write_throughput.mean()};
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig 5: 2-node Pattern 2, non-local read / local write throughput");
+
+  std::map<platform::BackendKind, std::map<std::uint64_t, Sample>> results;
+  for (auto backend : nonlocal_backends())
+    for (auto bytes : size_sweep())
+      results[backend][bytes] = measure(backend, bytes);
+
+  for (const char* dir : {"non-local read", "local write"}) {
+    std::printf("(%s) %s throughput [GB/s]\n",
+                dir[0] == 'n' ? "a" : "b", dir);
+    Table t({"size(MB)", "dragon", "redis", "filesystem"}, 12);
+    for (auto bytes : size_sweep()) {
+      std::vector<std::string> row{mb_label(bytes)};
+      for (auto backend : nonlocal_backends()) {
+        const Sample& s = results[backend][bytes];
+        row.push_back(gbps(dir[0] == 'n' ? s.read_tput : s.write_tput));
+      }
+      t.row(row);
+    }
+    t.print();
+  }
+
+  std::printf("Shape checks vs the paper:\n");
+  bool ok = true;
+  using BK = platform::BackendKind;
+  const std::uint64_t small = 1 * MiB, peak = 8 * MiB, big = 32 * MiB;
+
+  ok &= check("redis non-local read far below dragon",
+              results[BK::Dragon][peak].read_tput >
+                  3.0 * results[BK::Redis][peak].read_tput);
+  ok &= check("redis local write is reasonable (>= its read side)",
+              results[BK::Redis][peak].write_tput >
+                  results[BK::Redis][peak].read_tput);
+  ok &= check("dragon non-local read peaks near ~10 MB then declines",
+              results[BK::Dragon][peak].read_tput >
+                      results[BK::Dragon][small].read_tput &&
+                  results[BK::Dragon][peak].read_tput >
+                      results[BK::Dragon][big].read_tput);
+  {
+    bool monotonic = true;
+    double prev = 0;
+    for (auto bytes : size_sweep()) {
+      monotonic &= results[BK::Filesystem][bytes].read_tput > prev;
+      prev = results[BK::Filesystem][bytes].read_tput;
+    }
+    ok &= check("filesystem read throughput increases continuously",
+                monotonic);
+  }
+  ok &= check("filesystem comparable to dragon at the largest sizes",
+              results[BK::Filesystem][big].read_tput >
+                  0.33 * results[BK::Dragon][big].read_tput);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// Reproduces Fig. 6: Pattern-2 training runtime per iteration (compute +
+// transport) vs data size, at 8 nodes (7 simulations) and 128 nodes (127
+// simulations), for dragon / redis / filesystem.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+
+using namespace simai;
+using namespace simai::bench;
+
+namespace {
+
+double measure(platform::BackendKind backend, std::uint64_t bytes,
+               int num_sims) {
+  core::Pattern2Config c;
+  c.backend = backend;
+  c.num_sims = num_sims;
+  c.payload_bytes = bytes;
+  c.payload_cap = 2 * KiB;
+  c.train_iters = 100;
+  return core::run_pattern2(c).train_runtime_per_iter;
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig 6: Pattern 2 training runtime per iteration [ms]");
+
+  std::map<int, std::map<platform::BackendKind, std::map<std::uint64_t, double>>>
+      results;
+  for (int sims : {7, 127}) {
+    for (auto backend : nonlocal_backends())
+      for (auto bytes : size_sweep())
+        results[sims][backend][bytes] = measure(backend, bytes, sims);
+  }
+
+  for (int sims : {7, 127}) {
+    std::printf("(%s) %d nodes (%d simulations + 1 trainer)\n",
+                sims == 7 ? "a" : "b", sims + 1, sims);
+    Table t({"size(MB)", "dragon", "redis", "filesystem"}, 12);
+    for (auto bytes : size_sweep()) {
+      std::vector<std::string> row{mb_label(bytes)};
+      for (auto backend : nonlocal_backends())
+        row.push_back(ms(results[sims][backend][bytes]));
+      t.row(row);
+    }
+    t.print();
+  }
+
+  std::printf("Shape checks vs the paper:\n");
+  bool ok = true;
+  using BK = platform::BackendKind;
+
+  // All backends grow with size at 8 nodes; redis grows most.
+  for (auto b : nonlocal_backends()) {
+    const std::string name(platform::backend_name(b));
+    ok &= check((name + ": runtime grows with data size (8 nodes)").c_str(),
+                results[7][b][32 * MiB] > results[7][b][1 * MiB]);
+  }
+  ok &= check("redis runtime grows most significantly (8 nodes, 32 MB)",
+              results[7][BK::Redis][32 * MiB] >
+                      results[7][BK::Dragon][32 * MiB] &&
+                  results[7][BK::Redis][32 * MiB] >
+                      results[7][BK::Filesystem][32 * MiB]);
+  ok &= check("dragon ~ filesystem at 8 nodes (4 MB)",
+              results[7][BK::Dragon][4 * MiB] <
+                      2.5 * results[7][BK::Filesystem][4 * MiB] &&
+                  results[7][BK::Filesystem][4 * MiB] <
+                      2.5 * results[7][BK::Dragon][4 * MiB]);
+  ok &= check("redis remains slowest at 128 nodes",
+              results[127][BK::Redis][4 * MiB] >
+                      results[127][BK::Dragon][4 * MiB] * 0.9 &&
+                  results[127][BK::Redis][4 * MiB] >
+                      results[127][BK::Filesystem][4 * MiB]);
+  ok &= check("dragon significantly slower than filesystem <10 MB @128",
+              results[127][BK::Dragon][1 * MiB] >
+                  1.5 * results[127][BK::Filesystem][1 * MiB]);
+  ok &= check("dragon ~ filesystem at the largest sizes @128",
+              results[127][BK::Dragon][32 * MiB] <
+                      3.0 * results[127][BK::Filesystem][32 * MiB] &&
+                  results[127][BK::Filesystem][32 * MiB] <
+                      3.0 * results[127][BK::Dragon][32 * MiB]);
+  ok &= check("filesystem is the best overall backend at 128 nodes (1 MB)",
+              results[127][BK::Filesystem][1 * MiB] <=
+                      results[127][BK::Dragon][1 * MiB] &&
+                  results[127][BK::Filesystem][1 * MiB] <=
+                      results[127][BK::Redis][1 * MiB]);
+  return ok ? 0 : 1;
+}

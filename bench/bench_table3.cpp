@@ -1,0 +1,71 @@
+// Reproduces Table 3: mean and standard deviation of per-iteration times
+// for the original workflow (stochastic emulation) and the mini-app
+// (deterministic configuration).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+
+using namespace simai;
+using namespace simai::bench;
+
+int main() {
+  banner("Table 3: iteration time statistics (original vs mini-app)");
+
+  core::Pattern1Config base;
+  base.backend = platform::BackendKind::Redis;
+  base.nodes = 1;
+  base.representative_pairs = 1;
+  base.payload_bytes = 1258291;
+  base.payload_cap = 16 * KiB;
+  base.train_iters = 5000;
+
+  core::Pattern1Config original = base;
+  original.sim_iter_time = 0.0312;
+  original.sim_iter_std = 0.0273;
+  original.train_iter_time = 0.0611;
+  original.train_iter_std = 0.1;
+  original.seed = 11;
+
+  core::Pattern1Config miniapp = base;
+  miniapp.sim_iter_time = 0.03147;
+  miniapp.train_iter_time = 0.0611;
+
+  const core::Pattern1Result orig = core::run_pattern1(original);
+  const core::Pattern1Result mini = core::run_pattern1(miniapp);
+
+  Table t({"", "sim mean(s)", "sim std(s)", "train mean(s)", "train std(s)"},
+          15);
+  t.row({"Original", fixed(orig.sim.iter_time.mean()),
+         fixed(orig.sim.iter_time.stddev()),
+         fixed(orig.train.iter_time.mean()),
+         fixed(orig.train.iter_time.stddev())});
+  t.row({"Mini-app", fixed(mini.sim.iter_time.mean()),
+         fixed(mini.sim.iter_time.stddev()),
+         fixed(mini.train.iter_time.mean()),
+         fixed(mini.train.iter_time.stddev())});
+  t.row({"Paper-orig", "0.0312", "0.0273", "0.0611", "0.1"});
+  t.row({"Paper-mini", "0.0325", "0.0011", "0.0633", "0.0017"});
+  t.print();
+
+  std::printf("Shape checks vs the paper:\n");
+  bool ok = true;
+  ok &= check("original sim mean ~0.031 s",
+              std::abs(orig.sim.iter_time.mean() - 0.0312) < 0.004);
+  ok &= check("original train mean ~0.061 s",
+              std::abs(orig.train.iter_time.mean() - 0.0611) < 0.02);
+  ok &= check("original std is large (stochastic workload)",
+              orig.sim.iter_time.stddev() > 0.015 &&
+                  orig.train.iter_time.stddev() > 0.05);
+  ok &= check("mini-app means match the configured values within 5%",
+              std::abs(mini.sim.iter_time.mean() - 0.03147) <
+                      0.05 * 0.03147 &&
+                  std::abs(mini.train.iter_time.mean() - 0.0611) <
+                      0.05 * 0.0611);
+  ok &= check("mini-app std is tiny (deterministic mini-app)",
+              mini.sim.iter_time.stddev() < 0.005 &&
+                  mini.train.iter_time.stddev() < 0.005);
+  ok &= check("mini-app std far below the original's",
+              mini.sim.iter_time.stddev() < 0.2 * orig.sim.iter_time.stddev());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// Shared helpers for the paper-figure benchmark binaries: the message-size
+// sweep used throughout §4, aligned table printing, and backend lists.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "platform/transport_model.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace simai::bench {
+
+/// The paper's array-size sweep: 0.4 MB up to 32 MB (§4.1.2).
+inline std::vector<std::uint64_t> size_sweep() {
+  return {static_cast<std::uint64_t>(0.4 * 1024 * 1024),
+          1 * MiB, 2 * MiB, 4 * MiB, 8 * MiB, 16 * MiB, 32 * MiB};
+}
+
+inline std::vector<platform::BackendKind> all_backends() {
+  return {platform::BackendKind::NodeLocal, platform::BackendKind::Dragon,
+          platform::BackendKind::Redis, platform::BackendKind::Filesystem};
+}
+
+/// Backends available for Pattern 2's non-local access (no tmpfs — §4.2).
+inline std::vector<platform::BackendKind> nonlocal_backends() {
+  return {platform::BackendKind::Dragon, platform::BackendKind::Redis,
+          platform::BackendKind::Filesystem};
+}
+
+inline std::string mb_label(std::uint64_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", static_cast<double>(bytes) / MiB);
+  return buf;
+}
+
+/// Simple fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 12)
+      : headers_(std::move(headers)), width_(col_width) {}
+
+  void row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+  void print(FILE* out = stdout) const {
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (const auto& c : cells) std::fprintf(out, "%-*s", width_, c.c_str());
+      std::fprintf(out, "\n");
+    };
+    print_row(headers_);
+    std::string rule(headers_.size() * static_cast<std::size_t>(width_), '-');
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto& r : rows_) print_row(r);
+    std::fprintf(out, "\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int width_;
+};
+
+inline std::string gbps(double bytes_per_s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", bytes_per_s / 1e9);
+  return buf;
+}
+
+inline std::string ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", seconds * 1e3);
+  return buf;
+}
+
+inline std::string fixed(double v, int prec = 4) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+inline void banner(const char* title) {
+  std::printf("\n=== %s ===\n\n", title);
+}
+
+/// PASS/FAIL line for the expected-shape assertions each bench prints.
+inline bool check(const char* what, bool ok) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  return ok;
+}
+
+}  // namespace simai::bench

@@ -1,0 +1,80 @@
+// Microbenchmarks for the AI substrate: tensor GEMM, MLP forward/backward,
+// optimizer steps, and sample (de)serialization for staging.
+#include <benchmark/benchmark.h>
+
+#include "ai/dataloader.hpp"
+#include "ai/mlp.hpp"
+#include "ai/optim.hpp"
+
+namespace {
+
+using namespace simai;
+using namespace simai::ai;
+
+void BM_TensorMatmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(1);
+  const Tensor a = Tensor::randn(n, n, rng);
+  const Tensor b = Tensor::randn(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * state.range(0) *
+                          state.range(0) * state.range(0));
+}
+BENCHMARK(BM_TensorMatmul)->Arg(32)->Arg(128);
+
+void BM_MlpForward(benchmark::State& state) {
+  Mlp net({64, 128, 128, 64}, Activation::ReLU, 1);
+  util::Xoshiro256 rng(2);
+  const Tensor x = Tensor::randn(static_cast<std::size_t>(state.range(0)),
+                                 64, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(x));
+  }
+}
+BENCHMARK(BM_MlpForward)->Arg(1)->Arg(32);
+
+void BM_MlpTrainStep(benchmark::State& state) {
+  Mlp net({64, 128, 64}, Activation::ReLU, 1);
+  Adam opt(1e-3);
+  util::Xoshiro256 rng(3);
+  const Tensor x = Tensor::randn(32, 64, rng);
+  const Tensor y = Tensor::randn(32, 64, rng);
+  for (auto _ : state) {
+    net.zero_grad();
+    Tensor dloss;
+    benchmark::DoNotOptimize(mse_loss(net.forward(x), y, dloss));
+    net.backward(dloss);
+    opt.step(net);
+  }
+}
+BENCHMARK(BM_MlpTrainStep);
+
+void BM_PackSample(benchmark::State& state) {
+  util::Xoshiro256 rng(4);
+  const Tensor x = Tensor::randn(256, 64, rng);
+  const Tensor y = Tensor::randn(256, 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pack_sample(x, y));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() *
+                                (x.size() + y.size()) * sizeof(double)));
+}
+BENCHMARK(BM_PackSample);
+
+void BM_DataLoaderBatch(benchmark::State& state) {
+  DataLoader loader(64, 8);
+  util::Xoshiro256 rng(5);
+  loader.add_samples(Tensor::randn(2048, 64, rng),
+                     Tensor::randn(2048, 8, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loader.sample_batch(32));
+  }
+}
+BENCHMARK(BM_DataLoaderBatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

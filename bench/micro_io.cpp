@@ -1,0 +1,75 @@
+// Real wall-clock microbenchmarks for the H5Lite hierarchical file.
+#include <benchmark/benchmark.h>
+
+#include "io/h5lite.hpp"
+#include "util/fsutil.hpp"
+
+namespace {
+
+using namespace simai;
+
+void BM_H5WriteDataset(benchmark::State& state) {
+  util::TempDir dir("microh5");
+  const std::vector<double> data(static_cast<std::size_t>(state.range(0)),
+                                 1.5);
+  std::size_t i = 0;
+  io::H5File file(dir.path() / "bench.h5", io::H5File::Mode::Create);
+  for (auto _ : state) {
+    file.write("/d" + std::to_string(i++ % 32),
+               std::span<const double>(data));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * state.range(0) * 8);
+}
+BENCHMARK(BM_H5WriteDataset)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_H5ReadDataset(benchmark::State& state) {
+  util::TempDir dir("microh5");
+  const std::vector<double> data(static_cast<std::size_t>(state.range(0)),
+                                 2.5);
+  io::H5File file(dir.path() / "bench.h5", io::H5File::Mode::Create);
+  file.write("/data", std::span<const double>(data));
+  file.flush();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(file.read_f64("/data"));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * state.range(0) * 8);
+}
+BENCHMARK(BM_H5ReadDataset)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_H5ReopenWithManyObjects(benchmark::State& state) {
+  util::TempDir dir("microh5");
+  const auto path = dir.path() / "many.h5";
+  {
+    io::H5File file(path, io::H5File::Mode::Create);
+    const std::vector<double> v{1.0};
+    for (int i = 0; i < 256; ++i) {
+      file.write("/group" + std::to_string(i % 16) + "/ds" +
+                     std::to_string(i),
+                 std::span<const double>(v));
+    }
+    file.close();
+  }
+  for (auto _ : state) {
+    io::H5File file(path, io::H5File::Mode::ReadOnly);
+    benchmark::DoNotOptimize(file.dataset_paths());
+  }
+}
+BENCHMARK(BM_H5ReopenWithManyObjects);
+
+void BM_H5Flush(benchmark::State& state) {
+  util::TempDir dir("microh5");
+  io::H5File file(dir.path() / "flush.h5", io::H5File::Mode::Create);
+  const std::vector<double> v{1.0, 2.0};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    file.write("/d" + std::to_string(i++ % 8), std::span<const double>(v));
+    file.flush();
+  }
+}
+BENCHMARK(BM_H5Flush);
+
+}  // namespace
+
+BENCHMARK_MAIN();

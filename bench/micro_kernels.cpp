@@ -1,0 +1,73 @@
+// Real wall-clock microbenchmarks for the kernel library's actual math on
+// this machine (the virtual-time figures use the device model; these
+// measure the real implementations).
+#include <benchmark/benchmark.h>
+
+#include "kernels/kernel.hpp"
+
+namespace {
+
+using namespace simai;
+
+util::Json sized(std::initializer_list<int> dims) {
+  util::Json ds = util::Json::array();
+  for (int d : dims) ds.push_back(d);
+  util::Json j;
+  j["data_size"] = ds;
+  return j;
+}
+
+void run_kernel(benchmark::State& state, const char* name,
+                const util::Json& cfg) {
+  auto kernel = kernels::make_kernel(name, cfg);
+  kernels::KernelContext ctx;
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += kernel->run(ctx).checksum;
+  }
+  benchmark::DoNotOptimize(sink);
+}
+
+void BM_MatMulSimple2D(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  run_kernel(state, "MatMulSimple2D", sized({n, n}));
+  state.SetItemsProcessed(state.iterations() * 2ll * n * n * n);
+}
+BENCHMARK(BM_MatMulSimple2D)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulGeneral(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  run_kernel(state, "MatMulGeneral", sized({n, n, n}));
+  state.SetItemsProcessed(state.iterations() * 2ll * n * n * n);
+}
+BENCHMARK(BM_MatMulGeneral)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_FFT(benchmark::State& state) {
+  run_kernel(state, "FFT", sized({static_cast<int>(state.range(0))}));
+}
+BENCHMARK(BM_FFT)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_AXPY(benchmark::State& state) {
+  run_kernel(state, "AXPY", sized({static_cast<int>(state.range(0))}));
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 8 * 3);
+}
+BENCHMARK(BM_AXPY)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_InplaceCompute(benchmark::State& state) {
+  run_kernel(state, "InplaceCompute", sized({1 << 16}));
+}
+BENCHMARK(BM_InplaceCompute);
+
+void BM_GenerateRandomNumber(benchmark::State& state) {
+  run_kernel(state, "GenerateRandomNumber", sized({1 << 18}));
+}
+BENCHMARK(BM_GenerateRandomNumber);
+
+void BM_ScatterAdd(benchmark::State& state) {
+  run_kernel(state, "ScatterAdd", sized({1 << 16, 1 << 14}));
+}
+BENCHMARK(BM_ScatterAdd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Microbenchmarks for the DES engine and the in-process message layer:
+// event throughput (how many virtual events per wall second the simulator
+// sustains) and collective costs across rank counts.
+#include <benchmark/benchmark.h>
+
+#include "net/communicator.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace simai;
+
+void BM_DesEventThroughput(benchmark::State& state) {
+  // One process doing N delays: measures the raw context hand-off cost.
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    engine.spawn("p", [&](sim::Context& ctx) {
+      for (int i = 0; i < events; ++i) ctx.delay(0.001);
+    });
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_DesEventThroughput)->Arg(1000)->Arg(10000);
+
+void BM_DesManyProcesses(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int p = 0; p < procs; ++p) {
+      engine.spawn("p" + std::to_string(p), [](sim::Context& ctx) {
+        for (int i = 0; i < 20; ++i) ctx.delay(0.01);
+      });
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * procs * 20);
+}
+BENCHMARK(BM_DesManyProcesses)->Arg(16)->Arg(128)->Arg(512);
+
+void BM_AllReduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t elems = 4096;
+  for (auto _ : state) {
+    sim::Engine engine;
+    net::Communicator comm(engine, ranks);
+    for (int r = 0; r < ranks; ++r) {
+      engine.spawn("r" + std::to_string(r), [&, r](sim::Context& ctx) {
+        std::vector<double> data(elems, static_cast<double>(r));
+        benchmark::DoNotOptimize(
+            comm.allreduce(ctx, r, data, net::ReduceOp::Sum));
+      });
+    }
+    engine.run();
+  }
+  state.SetBytesProcessed(state.iterations() * ranks *
+                          static_cast<std::int64_t>(elems) * 8);
+}
+BENCHMARK(BM_AllReduce)->Arg(2)->Arg(6)->Arg(12);
+
+void BM_P2pMessageRate(benchmark::State& state) {
+  const int messages = 1000;
+  for (auto _ : state) {
+    sim::Engine engine;
+    net::Communicator comm(engine, 2);
+    engine.spawn("sender", [&](sim::Context& ctx) {
+      for (int i = 0; i < messages; ++i)
+        comm.send(ctx, 0, 1, 0, Bytes(64));
+    });
+    engine.spawn("receiver", [&](sim::Context& ctx) {
+      for (int i = 0; i < messages; ++i)
+        benchmark::DoNotOptimize(comm.recv(ctx, 1, 0, 0));
+    });
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * messages);
+}
+BENCHMARK(BM_P2pMessageRate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

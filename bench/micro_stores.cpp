@@ -1,0 +1,125 @@
+// Real wall-clock microbenchmarks (google-benchmark) over the actual
+// backend implementations on THIS machine: MemoryStore, DirStore (real
+// files + atomic rename), MiniRedis (real RESP over real sockets), and the
+// DragonDictionary (real shard-manager threads). These complement the
+// virtual-time figure benches: the paper measures Aurora, these measure
+// the substrate code itself.
+#include <benchmark/benchmark.h>
+
+#include "kv/dir_store.hpp"
+#include "kv/dragon.hpp"
+#include "kv/memory_store.hpp"
+#include "kv/redis_client.hpp"
+#include "kv/redis_server.hpp"
+#include "util/fsutil.hpp"
+
+namespace {
+
+using namespace simai;
+
+Bytes payload_of(std::size_t n) {
+  Bytes p(n);
+  for (std::size_t i = 0; i < n; ++i)
+    p[i] = static_cast<std::byte>(i * 2654435761u >> 24);
+  return p;
+}
+
+template <typename MakeStore>
+void bench_put_get(benchmark::State& state, MakeStore make) {
+  util::TempDir dir("micro");
+  auto store = make(dir);
+  const Bytes value = payload_of(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "k" + std::to_string(i++ % 64);
+    store->put(key, ByteView(value));
+    Bytes out;
+    benchmark::DoNotOptimize(store->get(key, out));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          state.range(0));
+}
+
+void BM_MemoryStore(benchmark::State& state) {
+  bench_put_get(state, [](util::TempDir&) {
+    return std::make_shared<kv::MemoryStore>();
+  });
+}
+BENCHMARK(BM_MemoryStore)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
+
+void BM_DirStore(benchmark::State& state) {
+  bench_put_get(state, [](util::TempDir& dir) {
+    return std::make_shared<kv::DirStore>(dir.path() / "s", 16);
+  });
+}
+BENCHMARK(BM_DirStore)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
+
+void BM_MiniRedis(benchmark::State& state) {
+  util::TempDir dir("micro");
+  kv::RedisServer server((dir.path() / "bench.sock").string());
+  kv::RedisClient client(server.socket_path());
+  const Bytes value = payload_of(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "k" + std::to_string(i++ % 64);
+    client.put(key, ByteView(value));
+    Bytes out;
+    benchmark::DoNotOptimize(client.get(key, out));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          state.range(0));
+}
+BENCHMARK(BM_MiniRedis)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
+
+void BM_DragonDict(benchmark::State& state) {
+  kv::DragonDictionary dict(4);
+  const Bytes value = payload_of(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "k" + std::to_string(i++ % 64);
+    dict.put(key, ByteView(value));
+    Bytes out;
+    benchmark::DoNotOptimize(dict.get(key, out));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          state.range(0));
+}
+BENCHMARK(BM_DragonDict)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
+
+void BM_DirStoreAtomicOverwrite(benchmark::State& state) {
+  util::TempDir dir("micro");
+  kv::DirStore store(dir.path() / "s", 4);
+  const Bytes value = payload_of(64 << 10);
+  for (auto _ : state) {
+    store.put("hot-key", ByteView(value));  // tmp write + rename every time
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * value.size()));
+}
+BENCHMARK(BM_DirStoreAtomicOverwrite);
+
+void BM_RedisPing(benchmark::State& state) {
+  util::TempDir dir("micro");
+  kv::RedisServer server((dir.path() / "ping.sock").string());
+  kv::RedisClient client(server.socket_path());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.ping());
+  }
+}
+BENCHMARK(BM_RedisPing);
+
+void BM_KeysGlobScan(benchmark::State& state) {
+  kv::MemoryStore store;
+  for (int i = 0; i < 1000; ++i)
+    store.put_string("sim_rank" + std::to_string(i % 16) + "_step" +
+                         std::to_string(i),
+                     "v");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.keys("sim_rank3_*"));
+  }
+}
+BENCHMARK(BM_KeysGlobScan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Example: interactive-style backend explorer — runs the REAL backend
+// implementations (real files, real sockets, real shard managers) through
+// the ServerManager + DataStore public API and reports measured wall-clock
+// costs on this machine, next to the modelled Aurora costs.
+//
+//   $ ./backend_explorer [size_kb]
+//
+// This is the "kick the tires" example: it shows that every backend is a
+// working key-value service (not a mock), and how the same client code
+// swaps between them by changing one config string — the paper's central
+// usability claim for the unified DataStore API.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/datastore.hpp"
+#include "kv/server_manager.hpp"
+
+using namespace simai;
+
+namespace {
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t size_kb = argc > 1 ? std::strtoul(argv[1], nullptr, 10)
+                                       : 256;
+  const Bytes payload = make_bytes(size_kb * 1024, 0xA5);
+  constexpr int kOps = 50;
+  platform::TransportModel model;
+
+  std::printf("backend explorer — %zu KiB values, %d put+get pairs each\n\n",
+              size_kb, kOps);
+  std::printf("%-16s %16s %16s %18s\n", "backend", "real wall/op",
+              "modelled (aurora)", "verified");
+  std::printf("%s\n", std::string(70, '-').c_str());
+
+  struct Case {
+    const char* config_backend;
+    platform::BackendKind model_backend;
+  };
+  for (const Case& c :
+       {Case{"node-local", platform::BackendKind::NodeLocal},
+        Case{"node-local-dir", platform::BackendKind::NodeLocal},
+        Case{"dragon", platform::BackendKind::Dragon},
+        Case{"redis", platform::BackendKind::Redis},
+        Case{"filesystem", platform::BackendKind::Filesystem}}) {
+    util::Json cfg;
+    cfg["backend"] = c.config_backend;
+    kv::ServerManager server(std::string("explore-") + c.config_backend, cfg);
+    server.start_server();
+    kv::StorePtr store = kv::ServerManager::connect(server.get_server_info());
+
+    bool all_match = true;
+    const double elapsed = wall_seconds([&] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key = "k" + std::to_string(i);
+        store->put(key, ByteView(payload));
+        Bytes out;
+        all_match &= store->get(key, out) && out == payload;
+      }
+    });
+
+    platform::TransportContext tctx;
+    tctx.concurrent_clients = 96;
+    const double modelled =
+        model.cost(c.model_backend, platform::StoreOp::Write, payload.size(),
+                   tctx) +
+        model.cost(c.model_backend, platform::StoreOp::Read, payload.size(),
+                   tctx);
+
+    std::printf("%-16s %13.3f ms %13.3f ms %18s\n", c.config_backend,
+                elapsed / kOps * 1e3, modelled * 1e3,
+                all_match ? "all values OK" : "MISMATCH");
+    server.stop_server();
+  }
+
+  std::printf(
+      "\nNote: 'real wall/op' is this machine; 'modelled' prices the same\n"
+      "operation on Aurora's fabric via the TransportModel. The DataStore\n"
+      "layer combines both: real data movement, virtual-time charging.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Quickstart: the paper's Listing 1 in C++ — start a data-staging server,
+// build a two-component workflow with a dependency, exchange staged data,
+// and launch it.
+//
+//   $ ./quickstart
+//
+// Walks through the five core classes: ServerManager, DataStore, Workflow,
+// Simulation, and the staging API (stage_write / stage_read).
+#include <cstdio>
+
+#include "core/datastore.hpp"
+#include "core/simulation.hpp"
+#include "core/workflow.hpp"
+#include "kv/server_manager.hpp"
+
+using namespace simai;
+
+int main() {
+  std::printf("SimAI-Bench quickstart\n======================\n\n");
+
+  // 1. Start a data-staging server (pick any backend: "redis", "dragon",
+  //    "node-local", "filesystem"). The server info document is how
+  //    distributed clients discover it.
+  util::Json server_config;
+  server_config["backend"] = "dragon";
+  server_config["managers"] = 2;
+  kv::ServerManager server("server", server_config);
+  server.start_server();
+  const util::Json info = server.get_server_info();
+  std::printf("started '%s' backend, server info: %s\n\n",
+              server.backend().c_str(), info.dump().c_str());
+
+  // 2. Create DataStore clients over the server. The TransportModel prices
+  //    each operation in virtual time as if it ran on Aurora.
+  platform::TransportModel model;
+  core::DataStoreConfig ds_cfg;
+  ds_cfg.backend = platform::BackendKind::Dragon;
+  core::DataStore store1("sim", kv::ServerManager::connect(info), &model,
+                         ds_cfg);
+  core::DataStore store2("sim2", kv::ServerManager::connect(info), &model,
+                         ds_cfg);
+
+  // 3. Define the workflow (Listing 1): "sim" runs remotely, "sim2" runs
+  //    locally after "sim" completes, reading what it staged.
+  core::Workflow w;
+
+  w.component("sim", "remote", {}, [&](sim::Context& ctx,
+                                       const core::ComponentInfo& info_) {
+    core::Simulation sim(info_.name);
+    sim.set_datastore(&store1);
+    sim.add_kernel("MatMulSimple2D",
+                   util::Json::parse(R"({"data_size": 64, "run_time": 0.01})"));
+    sim.run(ctx);
+    sim.stage_write(ctx, "key1", as_bytes_view("value1"));
+    std::printf("[%.4fs] sim: ran 1 kernel iteration, staged key1\n",
+                ctx.now());
+  });
+
+  w.component("sim2", "local", {"sim"}, [&](sim::Context& ctx,
+                                            const core::ComponentInfo& info_) {
+    core::Simulation sim(info_.name);
+    sim.set_datastore(&store2);
+    sim.add_kernel("MatMulGeneral",
+                   util::Json::parse(R"({"data_size": 32, "run_time": 0.02})"));
+    Bytes value;
+    const bool found = sim.stage_read(ctx, "key1", value);
+    std::printf("[%.4fs] sim2: read key1 -> %s (\"%s\")\n", ctx.now(),
+                found ? "hit" : "miss", to_string(ByteView(value)).c_str());
+    sim.stage_write(ctx, "key2", as_bytes_view("value2"));
+    sim.run(ctx);
+  });
+
+  // 4. Launch: the engine runs the DAG in virtual time.
+  w.launch();
+  std::printf("\nworkflow complete, makespan = %.4f virtual seconds\n",
+              w.makespan());
+  std::printf("transport events: sim=%llu sim2=%llu\n",
+              static_cast<unsigned long long>(store1.transport_events()),
+              static_cast<unsigned long long>(store2.transport_events()));
+
+  // 5. Tear down the server.
+  server.stop_server();
+  std::printf("server stopped — done.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "ai/checkpoint.hpp"
+
+namespace simai::ai {
+
+namespace {
+
+void save_flat(io::H5File& file, std::string_view kind,
+               const std::vector<double>& params, std::int64_t step) {
+  file.create_group("/model");
+  file.write("/model/parameters", std::span<const double>(params));
+  file.set_attribute("/model", "kind", util::Json(std::string(kind)));
+  file.set_attribute("/model", "step", util::Json(step));
+  file.set_attribute("/model", "parameter_count",
+                     util::Json(static_cast<std::int64_t>(params.size())));
+  file.flush();
+}
+
+std::int64_t load_flat(const io::H5File& file, std::string_view kind,
+                       std::vector<double>& out) {
+  const auto stored_kind = file.attribute("/model", "kind");
+  if (!stored_kind)
+    throw io::H5Error("checkpoint: no /model object in file");
+  if (stored_kind->as_string() != kind)
+    throw io::H5Error("checkpoint: file holds a '" +
+                      stored_kind->as_string() + "' model, expected '" +
+                      std::string(kind) + "'");
+  out = file.read_f64("/model/parameters");
+  const auto step = file.attribute("/model", "step");
+  return step ? step->as_int() : 0;
+}
+
+}  // namespace
+
+void save_checkpoint(io::H5File& file, const Mlp& model, std::int64_t step) {
+  save_flat(file, "mlp", model.flatten_parameters(), step);
+}
+
+void save_checkpoint(io::H5File& file, const GcnModel& model,
+                     std::int64_t step) {
+  save_flat(file, "gcn", model.flatten_parameters(), step);
+}
+
+std::int64_t load_checkpoint(const io::H5File& file, Mlp& model) {
+  std::vector<double> params;
+  const std::int64_t step = load_flat(file, "mlp", params);
+  model.load_parameters(params);  // throws on architecture mismatch
+  return step;
+}
+
+std::int64_t load_checkpoint(const io::H5File& file, GcnModel& model) {
+  std::vector<double> params;
+  const std::int64_t step = load_flat(file, "gcn", params);
+  model.load_parameters(params);
+  return step;
+}
+
+std::string checkpoint_kind(const io::H5File& file) {
+  const auto kind = file.attribute("/model", "kind");
+  if (!kind) throw io::H5Error("checkpoint: no /model object in file");
+  return kind->as_string();
+}
+
+}  // namespace simai::ai

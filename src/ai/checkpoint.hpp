@@ -1,0 +1,36 @@
+// Model checkpointing to H5Lite files.
+//
+// Online-training workflows checkpoint the surrogate periodically so a
+// restarted trainer (or a downstream inference service) can pick up the
+// latest weights — the standard coupled-workflow pattern for publishing a
+// model across components. Layout:
+//
+//   /model/kind            attr on /model ("mlp" | "gcn")
+//   /model/layer<i>/weight f64 [in, out]
+//   /model/layer<i>/bias   f64 [1, out]
+//   /model/meta            attrs: layers (json array), activation, step
+#pragma once
+
+#include "ai/gnn.hpp"
+#include "ai/mlp.hpp"
+#include "io/h5lite.hpp"
+
+namespace simai::ai {
+
+/// Write an MLP checkpoint into `file` (overwrites a previous one).
+/// `step` tags the training iteration the weights belong to.
+void save_checkpoint(io::H5File& file, const Mlp& model,
+                     std::int64_t step = 0);
+void save_checkpoint(io::H5File& file, const GcnModel& model,
+                     std::int64_t step = 0);
+
+/// Restore parameters into an existing, architecture-matched model.
+/// Returns the checkpoint's step. Throws io::H5Error / TensorError on
+/// mismatch or missing checkpoint.
+std::int64_t load_checkpoint(const io::H5File& file, Mlp& model);
+std::int64_t load_checkpoint(const io::H5File& file, GcnModel& model);
+
+/// Kind string stored in the file ("mlp"/"gcn"), for dispatching loaders.
+std::string checkpoint_kind(const io::H5File& file);
+
+}  // namespace simai::ai

@@ -1,0 +1,80 @@
+#include "ai/dataloader.hpp"
+
+#include <algorithm>
+
+namespace simai::ai {
+
+DataLoader::DataLoader(std::size_t features_in, std::size_t features_out,
+                       std::size_t capacity, std::uint64_t seed)
+    : features_in_(features_in),
+      features_out_(features_out),
+      capacity_(capacity),
+      rng_(seed) {
+  if (features_in == 0 || features_out == 0)
+    throw TensorError("dataloader: feature counts must be positive");
+}
+
+void DataLoader::add_samples(const Tensor& x, const Tensor& y) {
+  if (x.cols() != features_in_ || y.cols() != features_out_)
+    throw TensorError("dataloader: sample feature mismatch");
+  if (x.rows() != y.rows())
+    throw TensorError("dataloader: x/y row count mismatch");
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    x_rows_.push_back(x.row(r));
+    y_rows_.push_back(y.row(r));
+  }
+  evict_overflow();
+}
+
+void DataLoader::add_packed(ByteView packed) {
+  auto [x, y] = unpack_sample(packed);
+  add_samples(x, y);
+}
+
+void DataLoader::evict_overflow() {
+  if (capacity_ == 0) return;
+  while (x_rows_.size() > capacity_) {
+    x_rows_.pop_front();
+    y_rows_.pop_front();
+  }
+}
+
+std::pair<Tensor, Tensor> DataLoader::sample_batch(std::size_t batch_size) {
+  if (empty()) throw TensorError("dataloader: no samples available");
+  const std::size_t n = std::min(batch_size, x_rows_.size());
+  // Partial Fisher-Yates over an index vector: unbiased, no replacement.
+  std::vector<std::size_t> idx(x_rows_.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng_.uniform_int(idx.size() - i));
+    std::swap(idx[i], idx[j]);
+  }
+  Tensor x(n, features_in_);
+  Tensor y(n, features_out_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& xr = x_rows_[idx[i]];
+    const auto& yr = y_rows_[idx[i]];
+    std::copy(xr.begin(), xr.end(), x.data().begin() + static_cast<std::ptrdiff_t>(i * features_in_));
+    std::copy(yr.begin(), yr.end(), y.data().begin() + static_cast<std::ptrdiff_t>(i * features_out_));
+  }
+  return {std::move(x), std::move(y)};
+}
+
+Bytes pack_sample(const Tensor& x, const Tensor& y) {
+  const Bytes xb = pack_tensor(x);
+  const Bytes yb = pack_tensor(y);
+  util::ByteWriter w(16 + xb.size() + yb.size());
+  w.bytes(ByteView(xb));
+  w.bytes(ByteView(yb));
+  return w.take();
+}
+
+std::pair<Tensor, Tensor> unpack_sample(ByteView data) {
+  util::ByteReader r(data);
+  const Bytes xb = r.bytes();
+  const Bytes yb = r.bytes();
+  return {unpack_tensor(ByteView(xb)), unpack_tensor(ByteView(yb))};
+}
+
+}  // namespace simai::ai

@@ -1,0 +1,61 @@
+// Training-data management for online learning.
+//
+// The paper's trainer periodically polls the DataStore for new simulation
+// snapshots and refreshes its data loader (§4.1: "the GNN trainer reads new
+// data at a regular interval ... to update its data loader"). DataLoader
+// holds (x, y) sample tensors, ingests staged tensors incrementally, evicts
+// the oldest samples beyond a capacity (sliding window over the simulation
+// trajectory), and serves shuffled mini-batches.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "ai/tensor.hpp"
+#include "kv/store.hpp"
+#include "util/rng.hpp"
+
+namespace simai::ai {
+
+class DataLoader {
+ public:
+  /// `features_in/out`: columns of x and y; `capacity`: max retained samples
+  /// (0 = unbounded); `seed`: shuffling RNG seed.
+  DataLoader(std::size_t features_in, std::size_t features_out,
+             std::size_t capacity = 0, std::uint64_t seed = 7);
+
+  /// Append all rows of a staged sample pair. x and y must have equal row
+  /// counts and the configured column counts.
+  void add_samples(const Tensor& x, const Tensor& y);
+
+  /// Ingest a packed snapshot as produced by pack_sample(): x and y stacked
+  /// in one buffer.
+  void add_packed(ByteView packed);
+
+  /// Number of samples currently held.
+  std::size_t size() const { return x_rows_.size(); }
+  bool empty() const { return x_rows_.empty(); }
+
+  /// Assemble a shuffled mini-batch of up to `batch_size` samples
+  /// (sampling without replacement within the batch).
+  std::pair<Tensor, Tensor> sample_batch(std::size_t batch_size);
+
+  std::size_t features_in() const { return features_in_; }
+  std::size_t features_out() const { return features_out_; }
+
+ private:
+  void evict_overflow();
+
+  std::size_t features_in_;
+  std::size_t features_out_;
+  std::size_t capacity_;
+  util::Xoshiro256 rng_;
+  std::deque<std::vector<double>> x_rows_;
+  std::deque<std::vector<double>> y_rows_;
+};
+
+/// Pack an (x, y) sample pair into one staging buffer / unpack it back.
+Bytes pack_sample(const Tensor& x, const Tensor& y);
+std::pair<Tensor, Tensor> unpack_sample(ByteView data);
+
+}  // namespace simai::ai

@@ -1,0 +1,54 @@
+#include "ai/ddp.hpp"
+
+#include <algorithm>
+
+namespace simai::ai {
+
+DdpTrainer::DdpTrainer(Mlp model, std::unique_ptr<Optimizer> optimizer,
+                       net::Communicator& comm, int rank,
+                       std::size_t bucket_elems)
+    : model_(std::move(model)),
+      optimizer_(std::move(optimizer)),
+      comm_(comm),
+      rank_(rank),
+      bucket_elems_(std::max<std::size_t>(1, bucket_elems)) {}
+
+void DdpTrainer::sync_parameters(sim::Context& ctx) {
+  std::vector<double> params = model_.flatten_parameters();
+  params = comm_.bcast(ctx, rank_, 0, std::move(params));
+  model_.load_parameters(params);
+}
+
+void DdpTrainer::allreduce_gradients(sim::Context& ctx) {
+  std::vector<double> grads = model_.flatten_gradients();
+  const double inv_world = 1.0 / static_cast<double>(comm_.size());
+  // Bucketed allreduce: smaller messages pipeline through the tree the way
+  // DDP overlaps buckets with backward.
+  for (std::size_t start = 0; start < grads.size(); start += bucket_elems_) {
+    const std::size_t len = std::min(bucket_elems_, grads.size() - start);
+    std::vector<double> bucket(
+        grads.begin() + static_cast<std::ptrdiff_t>(start),
+        grads.begin() + static_cast<std::ptrdiff_t>(start + len));
+    bucket = comm_.allreduce(ctx, rank_, bucket, net::ReduceOp::Sum);
+    for (std::size_t i = 0; i < len; ++i)
+      grads[start + i] = bucket[i] * inv_world;
+  }
+  model_.load_gradients(grads);
+}
+
+double DdpTrainer::train_step(sim::Context& ctx, const Tensor& x,
+                              const Tensor& y) {
+  model_.zero_grad();
+  const Tensor pred = model_.forward(x);
+  Tensor dloss;
+  const double local_loss = mse_loss(pred, y, dloss);
+  model_.backward(dloss);
+  if (comm_.size() > 1) allreduce_gradients(ctx);
+  optimizer_->step(model_);
+  if (comm_.size() == 1) return local_loss;
+  const std::vector<double> losses =
+      comm_.allreduce(ctx, rank_, {local_loss}, net::ReduceOp::Sum);
+  return losses[0] / static_cast<double>(comm_.size());
+}
+
+}  // namespace simai::ai

@@ -1,0 +1,51 @@
+// Distributed data-parallel training (torch DDP equivalent).
+//
+// Each rank owns a replica of the model; after local backward, gradients
+// are averaged with an allreduce over the in-process communicator (in
+// buckets, like DDP's gradient bucketing), then every rank steps its
+// optimizer identically — replicas stay bit-identical, which the tests
+// assert.
+#pragma once
+
+#include <memory>
+
+#include "ai/mlp.hpp"
+#include "ai/optim.hpp"
+#include "net/communicator.hpp"
+
+namespace simai::ai {
+
+class DdpTrainer {
+ public:
+  /// `model` is this rank's replica. Rank 0's initial parameters are
+  /// broadcast so all replicas start identical (call sync_parameters()).
+  DdpTrainer(Mlp model, std::unique_ptr<Optimizer> optimizer,
+             net::Communicator& comm, int rank,
+             std::size_t bucket_elems = 64 * 1024);
+
+  /// Broadcast rank 0's parameters to every replica.
+  void sync_parameters(sim::Context& ctx);
+
+  /// One training step on a local mini-batch: forward, MSE loss, backward,
+  /// bucketed gradient allreduce (average), optimizer step.
+  /// Returns the *globally averaged* loss.
+  double train_step(sim::Context& ctx, const Tensor& x, const Tensor& y);
+
+  /// Forward-only (inference).
+  Tensor infer(const Tensor& x) { return model_.forward(x); }
+
+  Mlp& model() { return model_; }
+  int rank() const { return rank_; }
+  int world_size() const { return comm_.size(); }
+
+ private:
+  void allreduce_gradients(sim::Context& ctx);
+
+  Mlp model_;
+  std::unique_ptr<Optimizer> optimizer_;
+  net::Communicator& comm_;
+  int rank_;
+  std::size_t bucket_elems_;
+};
+
+}  // namespace simai::ai

@@ -1,0 +1,354 @@
+#include "ai/gnn.hpp"
+
+#include <cmath>
+
+namespace simai::ai {
+
+// ---------------------------------------------------------------------------
+// Graph
+// ---------------------------------------------------------------------------
+
+Graph::Graph(std::size_t num_nodes,
+             const std::vector<std::pair<std::size_t, std::size_t>>& edges) {
+  if (num_nodes == 0) throw TensorError("graph: need at least one node");
+  // A + I
+  Tensor a(num_nodes, num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) a.at(i, i) = 1.0;
+  for (const auto& [u, v] : edges) {
+    if (u >= num_nodes || v >= num_nodes)
+      throw TensorError("graph: edge endpoint out of range");
+    a.at(u, v) = 1.0;
+    a.at(v, u) = 1.0;
+  }
+  // D^-1/2 (A+I) D^-1/2
+  std::vector<double> dinv_sqrt(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    double deg = 0.0;
+    for (std::size_t j = 0; j < num_nodes; ++j) deg += a.at(i, j);
+    dinv_sqrt[i] = 1.0 / std::sqrt(deg);
+  }
+  ahat_ = Tensor(num_nodes, num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i)
+    for (std::size_t j = 0; j < num_nodes; ++j)
+      ahat_.at(i, j) = dinv_sqrt[i] * a.at(i, j) * dinv_sqrt[j];
+}
+
+Graph Graph::ring(std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return Graph(n, edges);
+}
+
+Graph Graph::grid(std::size_t rows, std::size_t cols) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph(rows * cols, edges);
+}
+
+// ---------------------------------------------------------------------------
+// GraphConvLayer
+// ---------------------------------------------------------------------------
+
+namespace {
+Tensor apply_act(const Tensor& z, Activation act) {
+  Tensor out = z;
+  switch (act) {
+    case Activation::Identity:
+      break;
+    case Activation::ReLU:
+      for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = out[i] > 0.0 ? out[i] : 0.0;
+      break;
+    case Activation::Tanh:
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+      break;
+    case Activation::Sigmoid:
+      for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = 1.0 / (1.0 + std::exp(-out[i]));
+      break;
+  }
+  return out;
+}
+}  // namespace
+
+GraphConvLayer::GraphConvLayer(std::size_t in_features,
+                               std::size_t out_features, Activation act,
+                               util::Xoshiro256& rng)
+    : act_(act),
+      weight_(Tensor::randn(in_features, out_features, rng,
+                            std::sqrt(2.0 / static_cast<double>(in_features)))),
+      bias_(1, out_features),
+      weight_grad_(in_features, out_features),
+      bias_grad_(1, out_features) {}
+
+Tensor GraphConvLayer::forward(const Tensor& ahat, const Tensor& h) {
+  agg_cache_ = matmul(ahat, h);  // neighborhood aggregation
+  Tensor z = matmul(agg_cache_, weight_);
+  add_row_inplace(z, bias_);
+  out_cache_ = apply_act(z, act_);
+  return out_cache_;
+}
+
+Tensor GraphConvLayer::activation_grad(const Tensor& dout) const {
+  Tensor dz = dout;
+  switch (act_) {
+    case Activation::Identity:
+      break;
+    case Activation::ReLU:
+      for (std::size_t i = 0; i < dz.size(); ++i)
+        if (out_cache_[i] <= 0.0) dz[i] = 0.0;
+      break;
+    case Activation::Tanh:
+      for (std::size_t i = 0; i < dz.size(); ++i)
+        dz[i] *= 1.0 - out_cache_[i] * out_cache_[i];
+      break;
+    case Activation::Sigmoid:
+      for (std::size_t i = 0; i < dz.size(); ++i)
+        dz[i] *= out_cache_[i] * (1.0 - out_cache_[i]);
+      break;
+  }
+  return dz;
+}
+
+Tensor GraphConvLayer::backward(const Tensor& ahat, const Tensor& dout) {
+  const Tensor dz = activation_grad(dout);
+  add_inplace(weight_grad_, matmul_tn(agg_cache_, dz));  // (Ahat H)^T dZ
+  add_inplace(bias_grad_, column_sum(dz));
+  // dH = Ahat^T dZ W^T; Ahat is symmetric, so Ahat dZ W^T.
+  return matmul(ahat, matmul_nt(dz, weight_));
+}
+
+void GraphConvLayer::zero_grad() {
+  weight_grad_.zero();
+  bias_grad_.zero();
+}
+
+// ---------------------------------------------------------------------------
+// GcnModel
+// ---------------------------------------------------------------------------
+
+GcnModel::GcnModel(const std::vector<std::size_t>& feature_sizes,
+                   Activation hidden, std::uint64_t seed) {
+  if (feature_sizes.size() < 2)
+    throw ConfigError("gcn: need at least input and output feature sizes");
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i + 1 < feature_sizes.size(); ++i) {
+    const bool last = (i + 2 == feature_sizes.size());
+    layers_.push_back(std::make_unique<GraphConvLayer>(
+        feature_sizes[i], feature_sizes[i + 1],
+        last ? Activation::Identity : hidden, rng));
+  }
+}
+
+Tensor GcnModel::forward(const Graph& graph, const Tensor& x) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(graph.ahat(), h);
+  return h;
+}
+
+void GcnModel::backward(const Graph& graph, const Tensor& dloss) {
+  Tensor d = dloss;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    d = (*it)->backward(graph.ahat(), d);
+}
+
+void GcnModel::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+std::size_t GcnModel::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_)
+    n += layer->weight().size() + layer->bias().size();
+  return n;
+}
+
+std::vector<double> GcnModel::flatten_parameters() const {
+  std::vector<double> out;
+  for (const auto& layer : layers_) {
+    out.insert(out.end(), layer->weight().data().begin(),
+               layer->weight().data().end());
+    out.insert(out.end(), layer->bias().data().begin(),
+               layer->bias().data().end());
+  }
+  return out;
+}
+
+namespace {
+void load_span(std::vector<double>& dst, const std::vector<double>& flat,
+               std::size_t& pos) {
+  if (pos + dst.size() > flat.size())
+    throw TensorError("gcn: flat vector too short");
+  std::copy(flat.begin() + static_cast<std::ptrdiff_t>(pos),
+            flat.begin() + static_cast<std::ptrdiff_t>(pos + dst.size()),
+            dst.begin());
+  pos += dst.size();
+}
+}  // namespace
+
+void GcnModel::load_parameters(const std::vector<double>& flat) {
+  std::size_t pos = 0;
+  for (auto& layer : layers_) {
+    load_span(layer->weight().data(), flat, pos);
+    load_span(layer->bias().data(), flat, pos);
+  }
+  if (pos != flat.size()) throw TensorError("gcn: flat vector too long");
+}
+
+std::vector<double> GcnModel::flatten_gradients() const {
+  std::vector<double> out;
+  for (const auto& layer : layers_) {
+    out.insert(out.end(), layer->weight_grad().data().begin(),
+               layer->weight_grad().data().end());
+    out.insert(out.end(), layer->bias_grad().data().begin(),
+               layer->bias_grad().data().end());
+  }
+  return out;
+}
+
+void GcnModel::load_gradients(const std::vector<double>& flat) {
+  std::size_t pos = 0;
+  for (auto& layer : layers_) {
+    load_span(layer->weight_grad().data(), flat, pos);
+    load_span(layer->bias_grad().data(), flat, pos);
+  }
+  if (pos != flat.size()) throw TensorError("gcn: flat vector too long");
+}
+
+// ---------------------------------------------------------------------------
+// Conv1dLayer
+// ---------------------------------------------------------------------------
+
+Conv1dLayer::Conv1dLayer(std::size_t in_channels, std::size_t out_channels,
+                         std::size_t kernel_size, std::size_t length,
+                         Activation act, util::Xoshiro256& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel_size),
+      length_(length),
+      act_(act),
+      weight_(out_channels * in_channels * kernel_size),
+      bias_(out_channels, 0.0),
+      weight_grad_(weight_.size(), 0.0),
+      bias_grad_(out_channels, 0.0) {
+  if (kernel_size % 2 == 0)
+    throw ConfigError("conv1d: kernel size must be odd (same padding)");
+  const double stddev =
+      std::sqrt(2.0 / static_cast<double>(in_channels * kernel_size));
+  for (double& v : weight_) v = rng.normal(0.0, stddev);
+}
+
+Tensor Conv1dLayer::forward(const Tensor& x) {
+  if (x.cols() != in_features())
+    throw TensorError("conv1d: input feature size mismatch");
+  input_cache_ = x;
+  const std::size_t batch = x.rows();
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(kernel_ / 2);
+  Tensor z(batch, out_features());
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t co = 0; co < out_channels_; ++co) {
+      for (std::size_t l = 0; l < length_; ++l) {
+        double acc = bias_[co];
+        for (std::size_t ci = 0; ci < in_channels_; ++ci) {
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            const std::ptrdiff_t src =
+                static_cast<std::ptrdiff_t>(l) + static_cast<std::ptrdiff_t>(k) - half;
+            if (src < 0 || src >= static_cast<std::ptrdiff_t>(length_))
+              continue;  // zero padding
+            acc += w(co, ci, k) *
+                   x.at(b, ci * length_ + static_cast<std::size_t>(src));
+          }
+        }
+        z.at(b, co * length_ + l) = acc;
+      }
+    }
+  }
+  out_cache_ = apply_act(z, act_);
+  return out_cache_;
+}
+
+Tensor Conv1dLayer::backward(const Tensor& dout) {
+  // Activation gradient using cached outputs.
+  Tensor dz = dout;
+  switch (act_) {
+    case Activation::Identity:
+      break;
+    case Activation::ReLU:
+      for (std::size_t i = 0; i < dz.size(); ++i)
+        if (out_cache_[i] <= 0.0) dz[i] = 0.0;
+      break;
+    case Activation::Tanh:
+      for (std::size_t i = 0; i < dz.size(); ++i)
+        dz[i] *= 1.0 - out_cache_[i] * out_cache_[i];
+      break;
+    case Activation::Sigmoid:
+      for (std::size_t i = 0; i < dz.size(); ++i)
+        dz[i] *= out_cache_[i] * (1.0 - out_cache_[i]);
+      break;
+  }
+
+  const std::size_t batch = input_cache_.rows();
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(kernel_ / 2);
+  Tensor dx(batch, in_features());
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t co = 0; co < out_channels_; ++co) {
+      for (std::size_t l = 0; l < length_; ++l) {
+        const double g = dz.at(b, co * length_ + l);
+        if (g == 0.0) continue;
+        bias_grad_[co] += g;
+        for (std::size_t ci = 0; ci < in_channels_; ++ci) {
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            const std::ptrdiff_t src =
+                static_cast<std::ptrdiff_t>(l) + static_cast<std::ptrdiff_t>(k) - half;
+            if (src < 0 || src >= static_cast<std::ptrdiff_t>(length_))
+              continue;
+            const std::size_t xi = ci * length_ + static_cast<std::size_t>(src);
+            weight_grad_[(co * in_channels_ + ci) * kernel_ + k] +=
+                g * input_cache_.at(b, xi);
+            dx.at(b, xi) += g * w(co, ci, k);
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+void Conv1dLayer::zero_grad() {
+  std::fill(weight_grad_.begin(), weight_grad_.end(), 0.0);
+  std::fill(bias_grad_.begin(), bias_grad_.end(), 0.0);
+}
+
+std::size_t Conv1dLayer::parameter_count() const {
+  return weight_.size() + bias_.size();
+}
+
+std::vector<double> Conv1dLayer::flatten_parameters() const {
+  std::vector<double> out = weight_;
+  out.insert(out.end(), bias_.begin(), bias_.end());
+  return out;
+}
+
+void Conv1dLayer::load_parameters(const std::vector<double>& flat) {
+  if (flat.size() != parameter_count())
+    throw TensorError("conv1d: flat vector size mismatch");
+  std::copy(flat.begin(),
+            flat.begin() + static_cast<std::ptrdiff_t>(weight_.size()),
+            weight_.begin());
+  std::copy(flat.begin() + static_cast<std::ptrdiff_t>(weight_.size()),
+            flat.end(), bias_.begin());
+}
+
+std::vector<double> Conv1dLayer::flatten_gradients() const {
+  std::vector<double> out = weight_grad_;
+  out.insert(out.end(), bias_grad_.begin(), bias_grad_.end());
+  return out;
+}
+
+}  // namespace simai::ai

@@ -1,0 +1,134 @@
+// Graph and convolutional architectures — the §5 future-work model classes
+// ("more advanced architectures, such as graph or convolutional neural
+// networks"), and the model family behind the paper's Pattern-1 science
+// case (the nekRS-ML GNN surrogate).
+//
+// GcnModel implements Kipf-Welling graph convolutions over a fixed mesh:
+//   H^{l+1} = act( Ahat H^l W^l ),   Ahat = D^-1/2 (A + I) D^-1/2
+// with exact hand-derived backprop (finite-difference verified in tests).
+// Conv1dLayer implements a same-padded 1-D convolution over multi-channel
+// signals (batch rows hold channel-major flattened signals).
+#pragma once
+
+#include <vector>
+
+#include "ai/mlp.hpp"
+
+namespace simai::ai {
+
+/// Static graph: N nodes + undirected edge list, preprocessed into the
+/// dense normalized adjacency Ahat used by every GCN layer.
+class Graph {
+ public:
+  Graph(std::size_t num_nodes,
+        const std::vector<std::pair<std::size_t, std::size_t>>& edges);
+
+  std::size_t num_nodes() const { return ahat_.rows(); }
+  const Tensor& ahat() const { return ahat_; }
+
+  /// Ring mesh of n nodes (each node linked to its neighbors) — the 1-D
+  /// periodic stencil of a spectral-element surface, handy for tests.
+  static Graph ring(std::size_t n);
+  /// 2-D grid mesh (rows x cols, 4-neighborhood).
+  static Graph grid(std::size_t rows, std::size_t cols);
+
+ private:
+  Tensor ahat_;
+};
+
+/// One graph-convolution layer with cached activations for backprop.
+class GraphConvLayer {
+ public:
+  GraphConvLayer(std::size_t in_features, std::size_t out_features,
+                 Activation act, util::Xoshiro256& rng);
+
+  /// H: num_nodes x in_features -> num_nodes x out_features.
+  Tensor forward(const Tensor& ahat, const Tensor& h);
+  /// dL/dH_out -> dL/dH_in; accumulates weight/bias gradients.
+  Tensor backward(const Tensor& ahat, const Tensor& dout);
+  void zero_grad();
+
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+  Tensor& weight_grad() { return weight_grad_; }
+  Tensor& bias_grad() { return bias_grad_; }
+  std::size_t in_features() const { return weight_.rows(); }
+  std::size_t out_features() const { return weight_.cols(); }
+
+ private:
+  Tensor activation_grad(const Tensor& dout) const;
+
+  Activation act_;
+  Tensor weight_;      // in x out
+  Tensor bias_;        // 1 x out
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor agg_cache_;   // Ahat H from the last forward
+  Tensor out_cache_;   // act(Z)
+};
+
+/// A stack of graph convolutions (output layer linear), node-level
+/// regression head. Same flat parameter/gradient interface as Mlp so the
+/// optimizers and DDP wrapper work unchanged.
+class GcnModel {
+ public:
+  GcnModel(const std::vector<std::size_t>& feature_sizes, Activation hidden,
+           std::uint64_t seed);
+
+  /// X: num_nodes x in_features -> num_nodes x out_features.
+  Tensor forward(const Graph& graph, const Tensor& x);
+  void backward(const Graph& graph, const Tensor& dloss);
+  void zero_grad();
+
+  std::size_t num_layers() const { return layers_.size(); }
+  GraphConvLayer& layer(std::size_t i) { return *layers_[i]; }
+  std::size_t parameter_count() const;
+  std::vector<double> flatten_parameters() const;
+  void load_parameters(const std::vector<double>& flat);
+  std::vector<double> flatten_gradients() const;
+  void load_gradients(const std::vector<double>& flat);
+
+ private:
+  std::vector<std::unique_ptr<GraphConvLayer>> layers_;
+};
+
+/// Same-padded 1-D convolution: input rows are batch samples holding
+/// channel-major flattened signals (c_in x length), output rows hold
+/// (c_out x length).
+class Conv1dLayer {
+ public:
+  Conv1dLayer(std::size_t in_channels, std::size_t out_channels,
+              std::size_t kernel_size, std::size_t length, Activation act,
+              util::Xoshiro256& rng);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dout);
+  void zero_grad();
+
+  std::size_t parameter_count() const;
+  std::vector<double> flatten_parameters() const;
+  void load_parameters(const std::vector<double>& flat);
+  std::vector<double> flatten_gradients() const;
+
+  std::size_t in_features() const { return in_channels_ * length_; }
+  std::size_t out_features() const { return out_channels_ * length_; }
+
+ private:
+  double& w(std::size_t co, std::size_t ci, std::size_t k) {
+    return weight_[(co * in_channels_ + ci) * kernel_ + k];
+  }
+  double w(std::size_t co, std::size_t ci, std::size_t k) const {
+    return weight_[(co * in_channels_ + ci) * kernel_ + k];
+  }
+
+  std::size_t in_channels_, out_channels_, kernel_, length_;
+  Activation act_;
+  std::vector<double> weight_;  // co x ci x k
+  std::vector<double> bias_;    // co
+  std::vector<double> weight_grad_;
+  std::vector<double> bias_grad_;
+  Tensor input_cache_;
+  Tensor out_cache_;
+};
+
+}  // namespace simai::ai

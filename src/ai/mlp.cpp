@@ -1,0 +1,214 @@
+#include "ai/mlp.hpp"
+
+#include <cmath>
+
+#include "util/string_util.hpp"
+
+namespace simai::ai {
+
+Activation parse_activation(std::string_view name) {
+  const std::string n = util::to_lower(name);
+  if (n == "identity" || n == "linear" || n == "none")
+    return Activation::Identity;
+  if (n == "relu") return Activation::ReLU;
+  if (n == "tanh") return Activation::Tanh;
+  if (n == "sigmoid") return Activation::Sigmoid;
+  throw ConfigError("unknown activation '" + std::string(name) + "'");
+}
+
+DenseLayer::DenseLayer(std::size_t in, std::size_t out, Activation act,
+                       util::Xoshiro256& rng)
+    : act_(act),
+      // He initialization keeps activations well-scaled for ReLU nets.
+      weight_(Tensor::randn(in, out, rng,
+                            std::sqrt(2.0 / static_cast<double>(in)))),
+      bias_(1, out),
+      weight_grad_(in, out),
+      bias_grad_(1, out) {}
+
+Tensor DenseLayer::apply_activation(const Tensor& z) const {
+  Tensor out = z;
+  switch (act_) {
+    case Activation::Identity:
+      break;
+    case Activation::ReLU:
+      for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = out[i] > 0.0 ? out[i] : 0.0;
+      break;
+    case Activation::Tanh:
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+      break;
+    case Activation::Sigmoid:
+      for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = 1.0 / (1.0 + std::exp(-out[i]));
+      break;
+  }
+  return out;
+}
+
+Tensor DenseLayer::activation_grad(const Tensor& dy) const {
+  // dL/dz from dL/dy using the cached activated output y = act(z):
+  // identity: 1; relu: [y>0]; tanh: 1-y^2; sigmoid: y(1-y).
+  Tensor dz = dy;
+  switch (act_) {
+    case Activation::Identity:
+      break;
+    case Activation::ReLU:
+      for (std::size_t i = 0; i < dz.size(); ++i)
+        if (output_cache_[i] <= 0.0) dz[i] = 0.0;
+      break;
+    case Activation::Tanh:
+      for (std::size_t i = 0; i < dz.size(); ++i)
+        dz[i] *= 1.0 - output_cache_[i] * output_cache_[i];
+      break;
+    case Activation::Sigmoid:
+      for (std::size_t i = 0; i < dz.size(); ++i)
+        dz[i] *= output_cache_[i] * (1.0 - output_cache_[i]);
+      break;
+  }
+  return dz;
+}
+
+Tensor DenseLayer::forward(const Tensor& x) {
+  input_cache_ = x;
+  Tensor z = matmul(x, weight_);
+  add_row_inplace(z, bias_);
+  output_cache_ = apply_activation(z);
+  return output_cache_;
+}
+
+Tensor DenseLayer::backward(const Tensor& dy) {
+  const Tensor dz = activation_grad(dy);
+  add_inplace(weight_grad_, matmul_tn(input_cache_, dz));  // X^T dZ
+  add_inplace(bias_grad_, column_sum(dz));
+  return matmul_nt(dz, weight_);  // dZ W^T
+}
+
+void DenseLayer::zero_grad() {
+  weight_grad_.zero();
+  bias_grad_.zero();
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& layer_sizes, Activation hidden,
+         std::uint64_t seed) {
+  if (layer_sizes.size() < 2)
+    throw ConfigError("mlp: need at least input and output sizes");
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    const bool last = (i + 2 == layer_sizes.size());
+    layers_.push_back(std::make_unique<DenseLayer>(
+        layer_sizes[i], layer_sizes[i + 1],
+        last ? Activation::Identity : hidden, rng));
+  }
+}
+
+Mlp Mlp::from_json(const util::Json& spec) {
+  std::vector<std::size_t> sizes;
+  for (const util::Json& s : spec.at("layers").as_array()) {
+    const auto v = s.as_int();
+    if (v <= 0) throw ConfigError("mlp: layer sizes must be positive");
+    sizes.push_back(static_cast<std::size_t>(v));
+  }
+  const Activation act = parse_activation(spec.get("activation", "relu"));
+  const auto seed = static_cast<std::uint64_t>(spec.get("seed", 1));
+  return Mlp(sizes, act, seed);
+}
+
+Tensor Mlp::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+void Mlp::backward(const Tensor& dloss) {
+  Tensor d = dloss;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    d = (*it)->backward(d);
+  }
+}
+
+void Mlp::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    n += layer->weight().size() + layer->bias().size();
+  }
+  return n;
+}
+
+namespace {
+template <typename LayerVec, typename Getter>
+std::vector<double> flatten(const LayerVec& layers, Getter get) {
+  std::vector<double> out;
+  for (const auto& layer : layers) {
+    const auto& [w, b] = get(*layer);
+    out.insert(out.end(), w.data().begin(), w.data().end());
+    out.insert(out.end(), b.data().begin(), b.data().end());
+  }
+  return out;
+}
+
+template <typename LayerVec, typename Getter>
+void load_flat(LayerVec& layers, const std::vector<double>& flat,
+               Getter get) {
+  std::size_t pos = 0;
+  for (auto& layer : layers) {
+    auto [w, b] = get(*layer);
+    if (pos + w->size() + b->size() > flat.size())
+      throw TensorError("mlp: flat vector too short");
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(pos),
+              flat.begin() + static_cast<std::ptrdiff_t>(pos + w->size()),
+              w->data().begin());
+    pos += w->size();
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(pos),
+              flat.begin() + static_cast<std::ptrdiff_t>(pos + b->size()),
+              b->data().begin());
+    pos += b->size();
+  }
+  if (pos != flat.size()) throw TensorError("mlp: flat vector too long");
+}
+}  // namespace
+
+std::vector<double> Mlp::flatten_parameters() const {
+  return flatten(layers_, [](DenseLayer& l) {
+    return std::pair<const Tensor&, const Tensor&>(l.weight(), l.bias());
+  });
+}
+
+void Mlp::load_parameters(const std::vector<double>& flat) {
+  load_flat(layers_, flat, [](DenseLayer& l) {
+    return std::pair<Tensor*, Tensor*>(&l.weight(), &l.bias());
+  });
+}
+
+std::vector<double> Mlp::flatten_gradients() const {
+  return flatten(layers_, [](DenseLayer& l) {
+    return std::pair<const Tensor&, const Tensor&>(l.weight_grad(),
+                                                   l.bias_grad());
+  });
+}
+
+void Mlp::load_gradients(const std::vector<double>& flat) {
+  load_flat(layers_, flat, [](DenseLayer& l) {
+    return std::pair<Tensor*, Tensor*>(&l.weight_grad(), &l.bias_grad());
+  });
+}
+
+double mse_loss(const Tensor& pred, const Tensor& target, Tensor& dloss) {
+  if (!pred.same_shape(target))
+    throw TensorError("mse: prediction/target shape mismatch");
+  dloss = Tensor(pred.rows(), pred.cols());
+  double loss = 0.0;
+  const double n = static_cast<double>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double diff = pred[i] - target[i];
+    loss += diff * diff;
+    dloss[i] = 2.0 * diff / n;
+  }
+  return loss / n;
+}
+
+}  // namespace simai::ai

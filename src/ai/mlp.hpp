@@ -1,0 +1,95 @@
+// Feed-forward fully-connected network with hand-derived backprop — the
+// model family the paper's AI class currently supports (§3.4).
+//
+// Layers: Linear (W, b) and pointwise activations (ReLU / Tanh / Sigmoid /
+// Identity). Loss: mean-squared error. The parameter/gradient state of the
+// whole network is exposed as flat views so optimizers and the DDP wrapper
+// (gradient all-reduce) can treat the model as one parameter vector, like
+// torch's parameters().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ai/tensor.hpp"
+#include "util/json.hpp"
+
+namespace simai::ai {
+
+enum class Activation { Identity, ReLU, Tanh, Sigmoid };
+Activation parse_activation(std::string_view name);
+
+/// One dense layer y = act(x W + b).
+class DenseLayer {
+ public:
+  DenseLayer(std::size_t in, std::size_t out, Activation act,
+             util::Xoshiro256& rng);
+
+  /// Forward pass for a batch (rows = samples). Caches what backward needs.
+  Tensor forward(const Tensor& x);
+
+  /// Given dL/dy, accumulate dW/db and return dL/dx.
+  Tensor backward(const Tensor& dy);
+
+  void zero_grad();
+
+  std::size_t in_features() const { return weight_.rows(); }
+  std::size_t out_features() const { return weight_.cols(); }
+
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+  Tensor& weight_grad() { return weight_grad_; }
+  Tensor& bias_grad() { return bias_grad_; }
+
+ private:
+  Tensor apply_activation(const Tensor& z) const;
+  Tensor activation_grad(const Tensor& dy) const;
+
+  Activation act_;
+  Tensor weight_;       // in x out
+  Tensor bias_;         // 1 x out
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor input_cache_;  // x from the last forward
+  Tensor output_cache_; // act(z) from the last forward
+};
+
+class Mlp {
+ public:
+  /// hidden activation applies between layers; the output layer is linear.
+  Mlp(const std::vector<std::size_t>& layer_sizes, Activation hidden,
+      std::uint64_t seed);
+
+  /// Build from JSON: {"layers":[64,128,128,64], "activation":"relu",
+  /// "seed":1}
+  static Mlp from_json(const util::Json& spec);
+
+  Tensor forward(const Tensor& x);
+  /// Backprop dL/dy_pred through the network (after a forward).
+  void backward(const Tensor& dloss);
+  void zero_grad();
+
+  std::size_t num_layers() const { return layers_.size(); }
+  DenseLayer& layer(std::size_t i) { return *layers_[i]; }
+
+  std::size_t parameter_count() const;
+
+  /// Copy all parameters into / out of one flat vector (rank-0 broadcast
+  /// for DDP initialization, checkpoints, tests).
+  std::vector<double> flatten_parameters() const;
+  void load_parameters(const std::vector<double>& flat);
+
+  /// Copy all gradients into / out of one flat vector (DDP all-reduce).
+  std::vector<double> flatten_gradients() const;
+  void load_gradients(const std::vector<double>& flat);
+
+ private:
+  std::vector<std::unique_ptr<DenseLayer>> layers_;
+};
+
+/// Mean-squared-error loss: returns the scalar loss and fills `dloss` with
+/// dL/dy_pred (the 2/(N*C) (y_pred - y_true) gradient).
+double mse_loss(const Tensor& pred, const Tensor& target, Tensor& dloss);
+
+}  // namespace simai::ai

@@ -1,0 +1,68 @@
+#include "ai/optim.hpp"
+
+#include <cmath>
+
+#include "util/string_util.hpp"
+
+namespace simai::ai {
+
+Sgd::Sgd(double lr, double momentum) : lr_(lr), momentum_(momentum) {
+  if (lr <= 0.0) throw ConfigError("sgd: learning rate must be positive");
+}
+
+void Sgd::step(Mlp& model) {
+  std::vector<double> params = model.flatten_parameters();
+  const std::vector<double> grads = model.flatten_gradients();
+  if (momentum_ != 0.0) {
+    if (velocity_.size() != grads.size()) velocity_.assign(grads.size(), 0.0);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      velocity_[i] = momentum_ * velocity_[i] + grads[i];
+      params[i] -= lr_ * velocity_[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < params.size(); ++i)
+      params[i] -= lr_ * grads[i];
+  }
+  model.load_parameters(params);
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  if (lr <= 0.0) throw ConfigError("adam: learning rate must be positive");
+}
+
+void Adam::step(Mlp& model) {
+  std::vector<double> params = model.flatten_parameters();
+  const std::vector<double> grads = model.flatten_gradients();
+  if (m_.size() != grads.size()) {
+    m_.assign(grads.size(), 0.0);
+    v_.assign(grads.size(), 0.0);
+    t_ = 0;
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grads[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grads[i] * grads[i];
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    params[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+  model.load_parameters(params);
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const util::Json& spec) {
+  const std::string kind =
+      util::to_lower(spec.get("optimizer", "adam"));
+  const double lr = spec.get("lr", 1e-3);
+  if (kind == "sgd")
+    return std::make_unique<Sgd>(lr, spec.get("momentum", 0.0));
+  if (kind == "adam")
+    return std::make_unique<Adam>(lr, spec.get("beta1", 0.9),
+                                  spec.get("beta2", 0.999),
+                                  spec.get("eps", 1e-8));
+  throw ConfigError("unknown optimizer '" + kind + "'");
+}
+
+}  // namespace simai::ai

@@ -1,0 +1,48 @@
+// Optimizers operating on the MLP's flat parameter/gradient vectors:
+// SGD (with momentum) and Adam.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ai/mlp.hpp"
+#include "util/json.hpp"
+
+namespace simai::ai {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Apply one update using the model's current gradients, then leave the
+  /// gradients untouched (callers decide when to zero_grad).
+  virtual void step(Mlp& model) = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0);
+  void step(Mlp& model) override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<double> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+  void step(Mlp& model) override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  std::vector<double> m_, v_;
+  std::int64_t t_ = 0;
+};
+
+/// {"optimizer":"adam","lr":1e-3} / {"optimizer":"sgd","lr":0.01,
+/// "momentum":0.9}; defaults to Adam(1e-3).
+std::unique_ptr<Optimizer> make_optimizer(const util::Json& spec);
+
+}  // namespace simai::ai

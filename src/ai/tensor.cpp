@@ -1,0 +1,148 @@
+#include "ai/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simai::ai {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (data_.size() != rows * cols)
+    throw TensorError("tensor: data size does not match shape");
+}
+
+Tensor Tensor::randn(std::size_t rows, std::size_t cols,
+                     util::Xoshiro256& rng, double stddev) {
+  Tensor t(rows, cols);
+  for (double& v : t.data_) v = rng.normal(0.0, stddev);
+  return t;
+}
+
+std::vector<double> Tensor::row(std::size_t r) const {
+  if (r >= rows_) throw TensorError("tensor: row index out of range");
+  return {data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+          data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_)};
+}
+
+namespace {
+void check(bool ok, const char* what) {
+  if (!ok) throw TensorError(std::string("tensor: ") + what);
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check(a.cols() == b.rows(), "matmul shape mismatch");
+  Tensor c(a.rows(), b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = a.at(i, p);
+      if (aip == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        c.at(i, j) += aip * b.at(p, j);
+      }
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check(a.rows() == b.rows(), "matmul_tn shape mismatch");
+  Tensor c(a.cols(), b.cols());
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const double api = a.at(p, i);
+      if (api == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        c.at(i, j) += api * b.at(p, j);
+      }
+    }
+  }
+  (void)m;
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check(a.cols() == b.cols(), "matmul_nt shape mismatch");
+  Tensor c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < a.cols(); ++p) {
+        s += a.at(i, p) * b.at(j, p);
+      }
+      c.at(i, j) = s;
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  Tensor t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) t.at(j, i) = a.at(i, j);
+  return t;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check(a.same_shape(b), "add shape mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+void axpy_inplace(Tensor& a, const Tensor& b, double scale) {
+  check(a.same_shape(b), "axpy shape mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += scale * b[i];
+}
+
+void scale_inplace(Tensor& a, double s) {
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] *= s;
+}
+
+void add_row_inplace(Tensor& a, const Tensor& bias_row) {
+  check(bias_row.rows() == 1 && bias_row.cols() == a.cols(),
+        "bias row shape mismatch");
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) a.at(i, j) += bias_row[j];
+}
+
+Tensor column_sum(const Tensor& a) {
+  Tensor s(1, a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) s[j] += a.at(i, j);
+  return s;
+}
+
+double sum(const Tensor& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i];
+  return s;
+}
+
+double max_abs(const Tensor& a) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a[i]));
+  return m;
+}
+
+Bytes pack_tensor(const Tensor& t) {
+  util::ByteWriter w(16 + t.size() * sizeof(double));
+  w.u32(static_cast<std::uint32_t>(t.rows()));
+  w.u32(static_cast<std::uint32_t>(t.cols()));
+  w.raw({reinterpret_cast<const std::byte*>(t.data().data()),
+         t.size() * sizeof(double)});
+  return w.take();
+}
+
+Tensor unpack_tensor(ByteView data) {
+  util::ByteReader r(data);
+  const std::uint32_t rows = r.u32();
+  const std::uint32_t cols = r.u32();
+  const std::size_t n = static_cast<std::size_t>(rows) * cols;
+  ByteView raw = r.raw(n * sizeof(double));
+  std::vector<double> values(n);
+  std::memcpy(values.data(), raw.data(), raw.size());
+  return Tensor(rows, cols, std::move(values));
+}
+
+}  // namespace simai::ai

@@ -1,0 +1,93 @@
+// Dense 2-D tensor (row-major) and the linear-algebra ops the MLP needs.
+//
+// This is the torch-replacement substrate for the AI component (§3.4): the
+// feed-forward network trains with real forward/backward math on these
+// tensors, with gradients verified against finite differences in the tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/buffer.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace simai::ai {
+
+class TensorError : public Error {
+ public:
+  using Error::Error;
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Tensor(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+  void zero() { fill(0.0); }
+
+  /// Gaussian init scaled by `stddev` (He/Xavier handled by callers).
+  static Tensor randn(std::size_t rows, std::size_t cols,
+                      util::Xoshiro256& rng, double stddev = 1.0);
+
+  /// One row as a copy (convenience for batching).
+  std::vector<double> row(std::size_t r) const;
+
+  bool same_shape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// ---- ops ------------------------------------------------------------------
+
+/// C = A(mxk) * B(kxn)
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = A^T(m->k) * B — used for weight gradients (X^T dY).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// C = A * B^T — used for input gradients (dY W^T).
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+Tensor transpose(const Tensor& a);
+
+/// Elementwise: a += b (shape-checked).
+void add_inplace(Tensor& a, const Tensor& b);
+/// a += scale * b
+void axpy_inplace(Tensor& a, const Tensor& b, double scale);
+/// a *= s
+void scale_inplace(Tensor& a, double s);
+
+/// Add a 1 x cols bias row to every row of `a`.
+void add_row_inplace(Tensor& a, const Tensor& bias_row);
+/// Column-wise sum producing a 1 x cols tensor (bias gradient).
+Tensor column_sum(const Tensor& a);
+
+double sum(const Tensor& a);
+double max_abs(const Tensor& a);
+
+/// Serialize (rows, cols, raw doubles) for staging through a DataStore.
+Bytes pack_tensor(const Tensor& t);
+Tensor unpack_tensor(ByteView data);
+
+}  // namespace simai::ai

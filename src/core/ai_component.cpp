@@ -1,0 +1,148 @@
+#include "core/ai_component.hpp"
+
+namespace simai::core {
+
+AiComponent::AiComponent(std::string name, const util::Json& config,
+                         std::uint64_t seed)
+    : name_(std::move(name)), rng_(seed) {
+  if (!config.is_object() && !config.is_null())
+    throw ConfigError("ai component config must be an object");
+  if (config.is_object()) {
+    if (const util::Json* rt = config.find("run_time"))
+      run_time_ = util::make_distribution(*rt);
+    real_train_ = config.get("real_train", false);
+    batch_size_ = static_cast<std::size_t>(config.get("batch_size", 32));
+    device_ = kernels::DeviceModel::of(
+        kernels::parse_device(config.get("device", "cpu")));
+    if (const util::Json* model = config.find("model")) {
+      model_.emplace(ai::Mlp::from_json(*model));
+      const std::size_t in = model_->layer(0).in_features();
+      const std::size_t out =
+          model_->layer(model_->num_layers() - 1).out_features();
+      loader_.emplace(in, out,
+                      static_cast<std::size_t>(config.get("capacity", 4096)),
+                      seed);
+    }
+    if (const util::Json* opt = config.find("optimizer"))
+      optimizer_spec_ = *opt;
+  }
+  if (real_train_ && !model_)
+    throw ConfigError("ai component: real_train requires a model spec");
+  if (!real_train_ && !run_time_)
+    throw ConfigError(
+        "ai component: emulation mode requires run_time (or set real_train)");
+}
+
+void AiComponent::set_comm(net::Communicator* comm, int rank, int nranks) {
+  comm_ = comm;
+  rank_ = rank;
+  nranks_ = nranks;
+}
+
+void AiComponent::ensure_trainer(sim::Context& ctx) {
+  if (trainer_ || !model_) return;
+  if (!comm_) {
+    // Single-replica training: a one-rank communicator on this engine.
+    solo_comm_ = std::make_unique<net::Communicator>(ctx.engine(), 1);
+    comm_ = solo_comm_.get();
+    rank_ = 0;
+    nranks_ = 1;
+  }
+  trainer_.emplace(std::move(*model_), ai::make_optimizer(optimizer_spec_),
+                   *comm_, rank_);
+  model_.reset();
+  trainer_->sync_parameters(ctx);
+}
+
+SimTime AiComponent::modeled_step_time(std::size_t batch_rows) {
+  if (!trainer_ && !model_) return 0.0;
+  // fwd + bwd ~ 6 * params * batch FLOPs (2 fwd + 4 bwd), the standard
+  // dense-training estimate.
+  const std::size_t params = trainer_
+                                 ? trainer_->model().parameter_count()
+                                 : model_->parameter_count();
+  const double flops = 6.0 * static_cast<double>(params) *
+                       static_cast<double>(batch_rows);
+  return device_.compute_time(flops, params * sizeof(double) * 3);
+}
+
+std::optional<double> AiComponent::train_iteration(sim::Context& ctx) {
+  const SimTime t_start = ctx.now();
+  std::optional<double> loss;
+
+  if (real_train_) {
+    ensure_trainer(ctx);
+    if (loader_ && !loader_->empty()) {
+      auto [x, y] = loader_->sample_batch(batch_size_);
+      loss = trainer_->train_step(ctx, x, y);
+      stats_["loss"].add(*loss);
+      ctx.delay(modeled_step_time(x.rows()));
+    } else {
+      // Nothing to train on yet: idle briefly, like a starved data loader.
+      ctx.delay(run_time_ ? run_time_->sample(rng_) : 1e-3);
+    }
+  } else {
+    ctx.delay(run_time_->sample(rng_));
+    // Optionally run a real step too (model configured, loader non-empty):
+    // keeps the emulation honest without changing the charged time.
+    if (model_ || trainer_) {
+      ensure_trainer(ctx);
+      if (loader_ && !loader_->empty()) {
+        auto [x, y] = loader_->sample_batch(batch_size_);
+        loss = trainer_->train_step(ctx, x, y);
+        stats_["loss"].add(*loss);
+      }
+    }
+  }
+
+  ++iterations_;
+  const SimTime elapsed = ctx.now() - t_start;
+  stats_["iter_time"].add(elapsed);
+  if (trace_) trace_->record_span(name_, "iter", t_start, ctx.now());
+  return loss;
+}
+
+ai::Tensor AiComponent::infer(sim::Context& ctx, const ai::Tensor& x) {
+  ensure_trainer(ctx);
+  if (!trainer_)
+    throw ConfigError("ai component: inference requires a model spec");
+  // Forward-only: ~2 * params * batch FLOPs.
+  const double flops = 2.0 *
+                       static_cast<double>(trainer_->model().parameter_count()) *
+                       static_cast<double>(x.rows());
+  ctx.delay(device_.compute_time(flops));
+  return trainer_->infer(x);
+}
+
+bool AiComponent::ingest_staged(sim::Context& ctx, std::string_view key,
+                                bool clean_after) {
+  if (!datastore_)
+    throw kv::StoreError("ai component '" + name_ + "' has no datastore");
+  Bytes packed;
+  if (!datastore_->stage_read(&ctx, key, packed)) return false;
+  if (loader_) {
+    // Payload capping can truncate staged tensors; only feed intact ones.
+    try {
+      loader_->add_packed(ByteView(packed));
+      stats_["ingest_bytes"].add(static_cast<double>(packed.size()));
+    } catch (const Error&) {
+      stats_["ingest_truncated"].add(1.0);
+    }
+  }
+  if (clean_after) datastore_->clean_staged_data(&ctx, key);
+  return true;
+}
+
+void AiComponent::send_stop_signal(sim::Context& ctx, std::string_view key) {
+  if (!datastore_)
+    throw kv::StoreError("ai component '" + name_ + "' has no datastore");
+  datastore_->stage_write(&ctx, key, as_bytes_view("1"));
+}
+
+bool AiComponent::check_stop_signal(sim::Context& ctx, std::string_view key) {
+  if (!datastore_)
+    throw kv::StoreError("ai component '" + name_ + "' has no datastore");
+  return datastore_->poll_staged_data(&ctx, key);
+}
+
+}  // namespace simai::core

@@ -1,0 +1,112 @@
+#include "core/datastore.hpp"
+
+#include <algorithm>
+
+#include "util/buffer.hpp"
+
+namespace simai::core {
+
+DataStore::DataStore(std::string client_name, kv::StorePtr store,
+                     const platform::TransportModel* model,
+                     DataStoreConfig config, sim::TraceRecorder* trace)
+    : name_(std::move(client_name)),
+      store_(std::move(store)),
+      model_(model),
+      config_(config),
+      trace_(trace) {
+  if (!store_) throw kv::StoreError("datastore: null backend store");
+}
+
+SimTime DataStore::charge(sim::Context* ctx, platform::StoreOp op,
+                          std::uint64_t nominal_bytes,
+                          const platform::TransportContext& op_ctx) {
+  if (!model_) return 0.0;
+  const SimTime t = model_->cost(config_.backend, op, nominal_bytes, op_ctx);
+  if (ctx) ctx->delay(t);
+  return t;
+}
+
+Bytes DataStore::wrap_payload(ByteView value, std::uint64_t& nominal) const {
+  if (nominal == 0) nominal = value.size();
+  const std::size_t stored =
+      config_.payload_cap == 0
+          ? value.size()
+          : std::min<std::size_t>(config_.payload_cap, value.size());
+  util::ByteWriter w(8 + stored);
+  w.u64(nominal);
+  w.raw(value.subspan(0, stored));
+  return w.take();
+}
+
+Bytes DataStore::unwrap_payload(ByteView stored, std::uint64_t& nominal) {
+  util::ByteReader r(stored);
+  nominal = r.u64();
+  ByteView rest = r.raw(r.remaining());
+  return Bytes(rest.begin(), rest.end());
+}
+
+void DataStore::stage_write(sim::Context* ctx, std::string_view key,
+                            ByteView value, std::uint64_t nominal_bytes) {
+  stage_write(ctx, key, value, config_.transport, nominal_bytes);
+}
+
+void DataStore::stage_write(sim::Context* ctx, std::string_view key,
+                            ByteView value,
+                            const platform::TransportContext& op_ctx,
+                            std::uint64_t nominal_bytes) {
+  std::uint64_t nominal = nominal_bytes;
+  const Bytes wrapped = wrap_payload(value, nominal);
+  store_->put(key, ByteView(wrapped));
+  const SimTime t = charge(ctx, platform::StoreOp::Write, nominal, op_ctx);
+  ++transport_events_;
+  stats_["write_time"].add(t);
+  stats_["write_bytes"].add(static_cast<double>(nominal));
+  if (t > 0.0)
+    stats_["write_throughput"].add(static_cast<double>(nominal) / t);
+  if (trace_ && ctx)
+    trace_->record_instant(name_, "write", ctx->now(), nominal);
+}
+
+bool DataStore::stage_read(sim::Context* ctx, std::string_view key,
+                           Bytes& out) {
+  return stage_read(ctx, key, out, config_.transport);
+}
+
+bool DataStore::stage_read(sim::Context* ctx, std::string_view key,
+                           Bytes& out,
+                           const platform::TransportContext& op_ctx) {
+  Bytes stored;
+  if (!store_->get(key, stored)) {
+    charge(ctx, platform::StoreOp::Poll, 0, op_ctx);
+    stats_["poll_time"].add(0.0);
+    return false;
+  }
+  std::uint64_t nominal = 0;
+  out = unwrap_payload(ByteView(stored), nominal);
+  const SimTime t = charge(ctx, platform::StoreOp::Read, nominal, op_ctx);
+  ++transport_events_;
+  stats_["read_time"].add(t);
+  stats_["read_bytes"].add(static_cast<double>(nominal));
+  if (t > 0.0) stats_["read_throughput"].add(static_cast<double>(nominal) / t);
+  if (trace_ && ctx) trace_->record_instant(name_, "read", ctx->now(), nominal);
+  return true;
+}
+
+bool DataStore::poll_staged_data(sim::Context* ctx, std::string_view key) {
+  const bool found = store_->exists(key);
+  const SimTime t =
+      charge(ctx, platform::StoreOp::Poll, 0, config_.transport);
+  stats_["poll_time"].add(t);
+  return found;
+}
+
+void DataStore::clean_staged_data(sim::Context* ctx, std::string_view key) {
+  store_->erase(key);
+  charge(ctx, platform::StoreOp::Clean, 0, config_.transport);
+}
+
+std::vector<std::string> DataStore::list_keys(std::string_view pattern) {
+  return store_->keys(pattern);
+}
+
+}  // namespace simai::core

@@ -1,0 +1,101 @@
+// DataStore: the paper's unified client API for data staging (§3.2) —
+// stage_write / stage_read / poll_staged_data / clean_staged_data — layered
+// over any kv backend, with two additions the benchmarks need:
+//
+//  * virtual-time pricing: every operation performs the REAL store op and
+//    then charges the DES clock with the TransportModel's Aurora-scale cost
+//    for the configured backend / locality / concurrency;
+//  * instrumentation: per-op timings, byte counts, and event counts flow
+//    into RunningStats series and (optionally) the timeline TraceRecorder.
+//
+// Payload virtualization: at large simulated scale, staging 32 MB x 6144
+// ranks of real bytes cannot fit in one machine. When `payload_cap` is set,
+// stage_write stores min(cap, size) real bytes prefixed with an 8-byte
+// header recording the nominal size; pricing and statistics always use the
+// nominal size. With cap == 0 (the default) payloads move at full size.
+#pragma once
+
+#include <string>
+
+#include "kv/store.hpp"
+#include "platform/transport_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "util/stats.hpp"
+
+namespace simai::core {
+
+struct DataStoreConfig {
+  platform::BackendKind backend = platform::BackendKind::NodeLocal;
+  /// Default operation context (locality / fan-in / concurrent clients);
+  /// per-op overrides are available on each call.
+  platform::TransportContext transport;
+  /// Cap on real stored bytes per value (0 = no cap; see header comment).
+  std::size_t payload_cap = 0;
+};
+
+class DataStore {
+ public:
+  /// `store` is the real backend; `model` prices operations (may be null:
+  /// operations then cost zero virtual time, for plain-store usage).
+  DataStore(std::string client_name, kv::StorePtr store,
+            const platform::TransportModel* model, DataStoreConfig config,
+            sim::TraceRecorder* trace = nullptr);
+
+  /// Write `value` under `key`. `ctx` may be null outside the DES.
+  /// `nominal_bytes` (when nonzero) declares the size this value stands in
+  /// for: pricing and statistics use it while only `value` is stored —
+  /// lets harnesses model 32 MB x thousands-of-ranks traffic without
+  /// materializing the bytes.
+  void stage_write(sim::Context* ctx, std::string_view key, ByteView value,
+                   std::uint64_t nominal_bytes = 0);
+  void stage_write(sim::Context* ctx, std::string_view key, ByteView value,
+                   const platform::TransportContext& op_ctx,
+                   std::uint64_t nominal_bytes = 0);
+
+  /// Read `key`; false if absent (only the poll cost is charged then).
+  bool stage_read(sim::Context* ctx, std::string_view key, Bytes& out);
+  bool stage_read(sim::Context* ctx, std::string_view key, Bytes& out,
+                  const platform::TransportContext& op_ctx);
+
+  /// Non-consuming existence check (a stat/EXISTS — charged as a poll).
+  bool poll_staged_data(sim::Context* ctx, std::string_view key);
+
+  /// Remove staged data (charged as a metadata op).
+  void clean_staged_data(sim::Context* ctx, std::string_view key);
+
+  std::vector<std::string> list_keys(std::string_view pattern = "*");
+
+  // -- statistics ----------------------------------------------------------
+
+  /// Series: "write_time", "read_time", "poll_time", "write_bytes",
+  /// "read_bytes", "write_throughput", "read_throughput" (B/s, nominal).
+  const util::StatSeries& stats() const { return stats_; }
+  util::StatSeries& stats() { return stats_; }
+
+  /// Transport events so far (successful writes + successful reads +
+  /// steering ops — the paper's Table 2 counting).
+  std::uint64_t transport_events() const { return transport_events_; }
+
+  const std::string& name() const { return name_; }
+  platform::BackendKind backend() const { return config_.backend; }
+  const DataStoreConfig& config() const { return config_; }
+  kv::IKeyValueStore& raw_store() { return *store_; }
+
+ private:
+  SimTime charge(sim::Context* ctx, platform::StoreOp op,
+                 std::uint64_t nominal_bytes,
+                 const platform::TransportContext& op_ctx);
+  Bytes wrap_payload(ByteView value, std::uint64_t& nominal) const;
+  static Bytes unwrap_payload(ByteView stored, std::uint64_t& nominal);
+
+  std::string name_;
+  kv::StorePtr store_;
+  const platform::TransportModel* model_;
+  DataStoreConfig config_;
+  sim::TraceRecorder* trace_;
+  util::StatSeries stats_;
+  std::uint64_t transport_events_ = 0;
+};
+
+}  // namespace simai::core

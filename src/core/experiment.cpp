@@ -1,0 +1,512 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/stream.hpp"
+#include "kv/memory_store.hpp"
+
+namespace simai::core {
+
+void absorb_datastore_stats(ComponentStats& into, const DataStore& store) {
+  const auto& s = store.stats().all();
+  const auto merge = [&](const char* key, util::RunningStats& dst) {
+    const auto it = s.find(key);
+    if (it != s.end()) dst.merge(it->second);
+  };
+  merge("read_time", into.read_time);
+  merge("write_time", into.write_time);
+  merge("read_throughput", into.read_throughput);
+  merge("write_throughput", into.write_throughput);
+  into.transport_events += store.transport_events();
+}
+
+namespace {
+
+/// Synthetic snapshot payload: deterministic bytes. Only the bytes the
+/// store will actually keep are materialized (min(nominal, cap)); the
+/// nominal size is declared separately at stage_write time, so a 32 MB x
+/// 127-rank experiment does not allocate gigabytes.
+Bytes make_payload(std::uint64_t nominal, std::size_t cap,
+                   std::uint64_t salt) {
+  const std::size_t real =
+      cap == 0 ? static_cast<std::size_t>(nominal)
+               : std::min<std::size_t>(cap, static_cast<std::size_t>(nominal));
+  Bytes p(real);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    p[i] = static_cast<std::byte>((i * 131 + salt) & 0xFF);
+  return p;
+}
+
+util::Json time_dist(double mean, double stddev) {
+  if (stddev <= 0.0) return util::Json(mean);
+  // Iteration times are positive and right-skewed (occasional stalls), so a
+  // clamped normal would bias the mean upward; a lognormal with matched
+  // first two moments keeps the configured mean exact.
+  const double variance_ratio = (stddev / mean) * (stddev / mean);
+  const double sigma2 = std::log(1.0 + variance_ratio);
+  util::Json d;
+  d["dist"] = "lognormal";
+  d["mean"] = std::log(mean) - 0.5 * sigma2;  // mu of ln-space
+  d["sigma"] = std::sqrt(sigma2);
+  return d;
+}
+
+}  // namespace
+
+// ===========================================================================
+// Pattern 1
+// ===========================================================================
+
+Pattern1Result run_pattern1(const Pattern1Config& config) {
+  const int pairs = config.instantiated_pairs();
+  if (pairs <= 0) throw ConfigError("pattern1: no pairs to instantiate");
+  if (config.train_iters <= 0)
+    throw ConfigError("pattern1: train_iters must be positive");
+
+  platform::TransportModel model;
+
+  // Real backend shared by all pairs (the co-located node store). Pricing —
+  // not this in-process store — carries the backend identity, so one
+  // MemoryStore faithfully stands in for every backend's data path at
+  // bench scale; integration tests exercise the real servers end to end.
+  auto backing = std::make_shared<kv::MemoryStore>();
+
+  DataStoreConfig ds_cfg;
+  ds_cfg.backend = config.backend;
+  ds_cfg.payload_cap = config.payload_cap;
+  ds_cfg.transport.remote = false;  // co-located exchange
+  ds_cfg.transport.fanin = 1;
+  ds_cfg.transport.concurrent_clients = config.concurrent_clients();
+
+  Pattern1Result result;
+  sim::TraceRecorder* trace = config.record_trace ? &result.trace : nullptr;
+
+  // Per-pair client stores and components (created up front so stats can be
+  // harvested after launch()).
+  std::vector<std::unique_ptr<DataStore>> sim_stores, train_stores;
+  std::vector<std::unique_ptr<Simulation>> sims;
+  std::vector<std::unique_ptr<AiComponent>> trainers;
+  for (int p = 0; p < pairs; ++p) {
+    sim_stores.push_back(std::make_unique<DataStore>(
+        "sim" + std::to_string(p), backing, &model, ds_cfg, trace));
+    train_stores.push_back(std::make_unique<DataStore>(
+        "train" + std::to_string(p), backing, &model, ds_cfg, trace));
+
+    util::Json sim_cfg;
+    util::Json kernel;
+    kernel["name"] = "nekrs_iter";
+    kernel["mini_app_kernel"] = "MatMulSimple2D";
+    kernel["data_size"] = util::Json::array({64, 64});
+    kernel["device"] = "xpu";
+    kernel["run_time"] = time_dist(config.sim_iter_time, config.sim_iter_std);
+    sim_cfg["kernels"].push_back(kernel);
+    auto sim = std::make_unique<Simulation>("sim" + std::to_string(p),
+                                            sim_cfg, config.seed + 1000 + p);
+    sim->set_datastore(sim_stores.back().get());
+    sim->set_trace(trace);
+    sims.push_back(std::move(sim));
+
+    util::Json ai_cfg;
+    ai_cfg["run_time"] =
+        time_dist(config.train_iter_time, config.train_iter_std);
+    auto trainer = std::make_unique<AiComponent>(
+        "train" + std::to_string(p), ai_cfg, config.seed + 2000 + p);
+    trainer->set_datastore(train_stores.back().get());
+    trainer->set_trace(trace);
+    trainers.push_back(std::move(trainer));
+  }
+
+  Workflow w;
+  std::vector<std::uint64_t> sim_steps(pairs, 0), train_steps(pairs, 0);
+
+  for (int p = 0; p < pairs; ++p) {
+    const std::string tag = std::to_string(p);
+    Simulation* sim = sims[static_cast<std::size_t>(p)].get();
+    AiComponent* trainer = trainers[static_cast<std::size_t>(p)].get();
+    DataStore* sim_store = sim_stores[static_cast<std::size_t>(p)].get();
+    DataStore* train_store = train_stores[static_cast<std::size_t>(p)].get();
+
+    // ---- simulation rank -------------------------------------------------
+    w.component(
+        "sim_pair" + tag, "remote", {},
+        [=, &config, &sim_steps](sim::Context& ctx, const ComponentInfo&) {
+          if (trace) {
+            ctx.delay(config.sim_init_time);
+            trace->record_span("sim" + tag, "init", 0.0, ctx.now());
+          } else {
+            ctx.delay(config.sim_init_time);
+          }
+          const Bytes x_payload =
+              make_payload(config.payload_bytes, config.payload_cap,
+                           11 + static_cast<unsigned>(p));
+          const Bytes y_payload =
+              make_payload(config.payload_bytes, config.payload_cap,
+                           29 + static_cast<unsigned>(p));
+          std::int64_t step = 0;
+          while (true) {
+            sim->run_iteration(ctx);
+            ++step;
+            sim_steps[static_cast<std::size_t>(p)] =
+                static_cast<std::uint64_t>(step);
+            if (step % config.write_every == 0) {
+              // A snapshot is two staged fields (e.g. velocity + pressure).
+              // y goes first: the trainer polls on x, so once x is visible
+              // the whole snapshot is guaranteed complete.
+              sim->stage_write(ctx, "y_" + tag + "_" + std::to_string(step),
+                               ByteView(y_payload), config.payload_bytes);
+              sim->stage_write(ctx, "x_" + tag + "_" + std::to_string(step),
+                               ByteView(x_payload), config.payload_bytes);
+              // Steering check once per snapshot period.
+              if (sim->poll_staged_data(ctx, "stop_" + tag)) {
+                Bytes ignored;
+                sim_store->stage_read(&ctx, "stop_" + tag, ignored);
+                break;
+              }
+            }
+            if (config.max_sim_iters > 0 && step >= config.max_sim_iters)
+              break;
+          }
+        });
+
+    // ---- trainer rank ----------------------------------------------------
+    w.component(
+        "train_pair" + tag, "remote", {},
+        [=, &config, &train_steps](sim::Context& ctx, const ComponentInfo&) {
+          if (trace) {
+            ctx.delay(config.train_init_time);
+            trace->record_span("train" + tag, "init", 0.0, ctx.now());
+          } else {
+            ctx.delay(config.train_init_time);
+          }
+          std::int64_t next_snapshot = config.write_every;
+          for (std::int64_t i = 1; i <= config.train_iters; ++i) {
+            trainer->train_iteration(ctx);
+            train_steps[static_cast<std::size_t>(p)] =
+                static_cast<std::uint64_t>(i);
+            if (i % config.read_every == 0) {
+              // Drain every snapshot staged since the last check.
+              while (true) {
+                const std::string xkey =
+                    "x_" + tag + "_" + std::to_string(next_snapshot);
+                const std::string ykey =
+                    "y_" + tag + "_" + std::to_string(next_snapshot);
+                if (!train_store->poll_staged_data(&ctx, xkey)) break;
+                Bytes xb, yb;
+                train_store->stage_read(&ctx, xkey, xb);
+                train_store->stage_read(&ctx, ykey, yb);
+                next_snapshot += config.write_every;
+              }
+            }
+          }
+          // Steer the simulation to stop (the paper's §4.1 behavior).
+          train_store->stage_write(&ctx, "stop_" + tag,
+                                   as_bytes_view("stop"));
+        });
+  }
+
+  w.launch();
+  result.makespan = w.makespan();
+
+  for (int p = 0; p < pairs; ++p) {
+    result.sim.steps += sim_steps[static_cast<std::size_t>(p)];
+    result.train.steps += train_steps[static_cast<std::size_t>(p)];
+    absorb_datastore_stats(result.sim, *sim_stores[static_cast<std::size_t>(p)]);
+    absorb_datastore_stats(result.train,
+                           *train_stores[static_cast<std::size_t>(p)]);
+    result.sim.iter_time.merge(
+        sims[static_cast<std::size_t>(p)]->stats().all().at("iter_time"));
+    result.train.iter_time.merge(
+        trainers[static_cast<std::size_t>(p)]->stats().all().at("iter_time"));
+  }
+  return result;
+}
+
+// ===========================================================================
+// Pattern 1, streaming flavor (§5 future work)
+// ===========================================================================
+
+Pattern1Result run_pattern1_streaming(const Pattern1Config& config,
+                                      std::size_t queue_limit) {
+  const int pairs = config.instantiated_pairs();
+  if (pairs <= 0) throw ConfigError("pattern1-stream: no pairs");
+  if (config.train_iters <= 0)
+    throw ConfigError("pattern1-stream: train_iters must be positive");
+
+  platform::TransportModel model;
+  platform::TransportContext local;  // co-located exchange
+  local.remote = false;
+  local.concurrent_clients = config.concurrent_clients();
+
+  sim::Engine engine;
+  StreamBroker broker(engine, &model, local, queue_limit);
+
+  Pattern1Result result;
+  std::vector<std::uint64_t> sim_steps(static_cast<std::size_t>(pairs), 0);
+  std::vector<std::uint64_t> train_steps(static_cast<std::size_t>(pairs), 0);
+  // Per-pair stat accumulators, merged at the end.
+  std::vector<ComponentStats> sim_stats(static_cast<std::size_t>(pairs));
+  std::vector<ComponentStats> train_stats(static_cast<std::size_t>(pairs));
+
+  std::vector<StreamWriter> data_writers;
+  std::vector<StreamReader> data_readers;
+  std::vector<StreamWriter> ctl_writers;
+  std::vector<StreamReader> ctl_readers;
+  for (int p = 0; p < pairs; ++p) {
+    const std::string tag = std::to_string(p);
+    data_writers.push_back(broker.open_writer("data" + tag));
+    data_readers.push_back(broker.open_reader("data" + tag));
+    ctl_writers.push_back(broker.open_writer("ctl" + tag));
+    ctl_readers.push_back(broker.open_reader("ctl" + tag));
+  }
+
+  Workflow w;
+  for (int p = 0; p < pairs; ++p) {
+    const auto idx = static_cast<std::size_t>(p);
+    // ---- simulation: publish a step every write_every iterations --------
+    w.component(
+        "sim_pair" + std::to_string(p), "remote", {},
+        [&, p, idx](sim::Context& ctx, const ComponentInfo&) {
+          ctx.delay(config.sim_init_time);
+          const Bytes payload = make_payload(config.payload_bytes,
+                                             config.payload_cap,
+                                             3 + static_cast<unsigned>(p));
+          util::Xoshiro256 rng(config.seed + 50 + static_cast<unsigned>(p));
+          util::Distribution* iter_dist = nullptr;
+          auto dist = util::make_distribution(
+              time_dist(config.sim_iter_time, config.sim_iter_std));
+          iter_dist = dist.get();
+          std::int64_t step = 0;
+          bool stopped = false;
+          while (!stopped) {
+            const SimTime t0 = ctx.now();
+            ctx.delay(iter_dist->sample(rng));
+            ++step;
+            sim_steps[idx] = static_cast<std::uint64_t>(step);
+            sim_stats[idx].iter_time.add(ctx.now() - t0);
+            if (step % config.write_every == 0) {
+              const SimTime w0 = ctx.now();
+              data_writers[idx].begin_step(ctx);
+              data_writers[idx].put("x", ByteView(payload),
+                                    config.payload_bytes);
+              data_writers[idx].put("y", ByteView(payload),
+                                    config.payload_bytes);
+              data_writers[idx].end_step(ctx);
+              const SimTime dt = ctx.now() - w0;
+              sim_stats[idx].write_time.add(dt);
+              if (dt > 0)
+                sim_stats[idx].write_throughput.add(
+                    2.0 * static_cast<double>(config.payload_bytes) / dt);
+              sim_stats[idx].transport_events += 2;
+              // Steering: a control step (or closed control stream) stops.
+              const StepStatus st = ctl_readers[idx].begin_step(ctx, 0.0);
+              if (st == StepStatus::Ok) {
+                ctl_readers[idx].end_step();
+                stopped = true;
+              } else if (st == StepStatus::EndOfStream) {
+                stopped = true;
+              }
+            }
+            if (config.max_sim_iters > 0 && step >= config.max_sim_iters)
+              break;
+          }
+          data_writers[idx].close(ctx);
+        });
+
+    // ---- trainer: consume available steps at the read interval ----------
+    w.component(
+        "train_pair" + std::to_string(p), "remote", {},
+        [&, p, idx](sim::Context& ctx, const ComponentInfo&) {
+          ctx.delay(config.train_init_time);
+          util::Xoshiro256 rng(config.seed + 90 + static_cast<unsigned>(p));
+          auto dist = util::make_distribution(
+              time_dist(config.train_iter_time, config.train_iter_std));
+          for (std::int64_t i = 1; i <= config.train_iters; ++i) {
+            const SimTime t0 = ctx.now();
+            ctx.delay(dist->sample(rng));
+            train_steps[idx] = static_cast<std::uint64_t>(i);
+            train_stats[idx].iter_time.add(ctx.now() - t0);
+            if (i % config.read_every == 0) {
+              // Drain every published step without blocking.
+              while (true) {
+                const SimTime r0 = ctx.now();
+                const StepStatus st = data_readers[idx].begin_step(ctx, 0.0);
+                if (st != StepStatus::Ok) break;
+                (void)data_readers[idx].get(ctx, "x");
+                (void)data_readers[idx].get(ctx, "y");
+                data_readers[idx].end_step();
+                const SimTime dt = ctx.now() - r0;
+                train_stats[idx].read_time.add(dt);
+                if (dt > 0)
+                  train_stats[idx].read_throughput.add(
+                      2.0 * static_cast<double>(config.payload_bytes) / dt);
+                train_stats[idx].transport_events += 2;
+              }
+            }
+          }
+          // Steer the simulation to stop.
+          ctl_writers[idx].begin_step(ctx);
+          ctl_writers[idx].put("stop", as_bytes_view("1"));
+          ctl_writers[idx].end_step(ctx);
+          ctl_writers[idx].close(ctx);
+          train_stats[idx].transport_events += 1;
+          // Drain any remaining data steps so the producer is never left
+          // blocked on a full queue.
+          while (data_readers[idx].begin_step(ctx, 0.0) == StepStatus::Ok) {
+            data_readers[idx].end_step();
+          }
+        });
+  }
+
+  w.launch(engine);
+  result.makespan = w.makespan();
+  for (int p = 0; p < pairs; ++p) {
+    const auto idx = static_cast<std::size_t>(p);
+    result.sim.steps += sim_steps[idx];
+    result.train.steps += train_steps[idx];
+    result.sim.transport_events += sim_stats[idx].transport_events;
+    result.train.transport_events += train_stats[idx].transport_events;
+    result.sim.iter_time.merge(sim_stats[idx].iter_time);
+    result.train.iter_time.merge(train_stats[idx].iter_time);
+    result.sim.write_time.merge(sim_stats[idx].write_time);
+    result.train.read_time.merge(train_stats[idx].read_time);
+    result.sim.write_throughput.merge(sim_stats[idx].write_throughput);
+    result.train.read_throughput.merge(train_stats[idx].read_throughput);
+  }
+  return result;
+}
+
+// ===========================================================================
+// Pattern 2
+// ===========================================================================
+
+Pattern2Result run_pattern2(const Pattern2Config& config) {
+  if (config.num_sims <= 0)
+    throw ConfigError("pattern2: need at least one simulation");
+  if (config.train_iters <= 0 || config.read_every <= 0)
+    throw ConfigError("pattern2: invalid iteration counts");
+
+  platform::TransportModel model;
+  auto backing = std::make_shared<kv::MemoryStore>();
+
+  // Simulations write LOCALLY to their node's backend...
+  DataStoreConfig write_cfg;
+  write_cfg.backend = config.backend;
+  write_cfg.payload_cap = config.payload_cap;
+  write_cfg.transport.remote = false;
+  write_cfg.transport.fanin = 1;
+  write_cfg.transport.concurrent_clients = config.concurrent_clients();
+
+  // ...and the AI reads them REMOTELY, under many-to-one fan-in.
+  DataStoreConfig read_cfg = write_cfg;
+  read_cfg.transport.remote = (config.backend != platform::BackendKind::Filesystem);
+  read_cfg.transport.fanin = config.num_sims;
+  read_cfg.transport.concurrent_streams =
+      std::min(config.ai_reader_ranks, config.num_sims);
+
+  std::vector<std::unique_ptr<DataStore>> sim_stores;
+  std::vector<std::unique_ptr<Simulation>> sims;
+  for (int s = 0; s < config.num_sims; ++s) {
+    sim_stores.push_back(std::make_unique<DataStore>(
+        "sim" + std::to_string(s), backing, &model, write_cfg));
+    util::Json sim_cfg;
+    util::Json kernel;
+    kernel["name"] = "ensemble_member";
+    kernel["mini_app_kernel"] = "MatMulSimple2D";
+    kernel["data_size"] = util::Json::array({64, 64});
+    kernel["device"] = "xpu";
+    kernel["run_time"] = config.sim_iter_time;
+    sim_cfg["kernels"].push_back(kernel);
+    auto sim = std::make_unique<Simulation>("sim" + std::to_string(s),
+                                            sim_cfg, config.seed + 100 + s);
+    sim->set_datastore(sim_stores.back().get());
+    sims.push_back(std::move(sim));
+  }
+
+  auto ai_store = std::make_unique<DataStore>("train", backing, &model,
+                                              read_cfg);
+  util::Json ai_cfg;
+  ai_cfg["run_time"] = config.train_iter_time;
+  AiComponent trainer("train", ai_cfg, config.seed + 999);
+  trainer.set_datastore(ai_store.get());
+
+  // Rounds of data the trainer will consume.
+  const std::int64_t rounds = config.train_iters / config.read_every;
+  // Each simulation must produce at least `rounds` arrays.
+  const std::int64_t sim_iters =
+      rounds * config.write_every + config.write_every;
+
+  Workflow w;
+  std::vector<std::uint64_t> sim_steps(
+      static_cast<std::size_t>(config.num_sims), 0);
+  std::uint64_t train_steps = 0;
+  SimTime train_runtime = 0.0;
+
+  for (int s = 0; s < config.num_sims; ++s) {
+    const std::string tag = std::to_string(s);
+    Simulation* sim = sims[static_cast<std::size_t>(s)].get();
+    w.component(
+        "sim" + tag, "remote", {},
+        [=, &config, &sim_steps](sim::Context& ctx, const ComponentInfo&) {
+          const Bytes payload =
+              make_payload(config.payload_bytes, config.payload_cap,
+                           7 + static_cast<unsigned>(s));
+          for (std::int64_t step = 1; step <= sim_iters; ++step) {
+            sim->run_iteration(ctx);
+            sim_steps[static_cast<std::size_t>(s)] =
+                static_cast<std::uint64_t>(step);
+            if (step % config.write_every == 0) {
+              const std::int64_t round = step / config.write_every;
+              sim->stage_write(
+                  ctx, "data_" + tag + "_" + std::to_string(round),
+                  ByteView(payload), config.payload_bytes);
+            }
+          }
+        });
+  }
+
+  w.component(
+      "train", "remote", {},
+      [&](sim::Context& ctx, const ComponentInfo&) {
+        const SimTime t0 = ctx.now();
+        std::int64_t round = 0;
+        for (std::int64_t i = 1; i <= config.train_iters; ++i) {
+          trainer.train_iteration(ctx);
+          train_steps = static_cast<std::uint64_t>(i);
+          if (i % config.read_every == 0) {
+            ++round;
+            // Block until every ensemble member's array for this round has
+            // arrived, then read them all (the §4.2 consistency barrier).
+            for (int s = 0; s < config.num_sims; ++s) {
+              const std::string key =
+                  "data_" + std::to_string(s) + "_" + std::to_string(round);
+              while (!ai_store->poll_staged_data(&ctx, key))
+                ctx.delay(config.poll_interval);
+              Bytes data;
+              ai_store->stage_read(&ctx, key, data);
+            }
+          }
+        }
+        train_runtime = ctx.now() - t0;
+      });
+
+  w.launch();
+
+  Pattern2Result result;
+  result.makespan = w.makespan();
+  result.train.steps = train_steps;
+  result.train_runtime_per_iter =
+      train_runtime / static_cast<double>(config.train_iters);
+  absorb_datastore_stats(result.train, *ai_store);
+  result.train.iter_time.merge(trainer.stats().all().at("iter_time"));
+  for (int s = 0; s < config.num_sims; ++s) {
+    result.sim.steps += sim_steps[static_cast<std::size_t>(s)];
+    absorb_datastore_stats(result.sim,
+                           *sim_stores[static_cast<std::size_t>(s)]);
+    result.sim.iter_time.merge(
+        sims[static_cast<std::size_t>(s)]->stats().all().at("iter_time"));
+  }
+  return result;
+}
+
+}  // namespace simai::core

@@ -1,0 +1,152 @@
+// Workflow-pattern experiment harness: the two mini-apps the paper's whole
+// evaluation (§4) is built on, implemented on the public API (Workflow +
+// Simulation + AiComponent + DataStore + ServerManager).
+//
+// Pattern 1 (one-to-one, §4.1): a parallel simulation and a distributed
+// trainer co-located on the same nodes, 6 sim + 6 AI ranks per node paired
+// tile-for-tile. The simulation writes a snapshot (two staged tensors: x
+// and y fields) every `write_every` iterations; the trainer polls every
+// `read_every` iterations and ingests new snapshots; after `train_iters`
+// iterations it steers the simulation to stop through a staged control key.
+//
+// Pattern 2 (many-to-one, §4.2): an ensemble of simulations, one per node,
+// each staging an array every `write_every` iterations to its local
+// backend; a single trainer on its own node reads ALL ensemble members'
+// arrays non-locally every `read_every` iterations, blocking until the
+// round is complete.
+//
+// Scale handling: at hundreds of nodes Pattern 1's rank pairs are
+// statistically identical and independent, so the harness instantiates
+// `representative_pairs` of them and sets the TransportContext's
+// machine-wide concurrency to the FULL configured scale — the mechanistic
+// models (MDS contention, incast) see 512 nodes while the DES runs a
+// handful of processes. Pattern 2 instantiates every ensemble member.
+#pragma once
+
+#include <cstdint>
+
+#include "core/ai_component.hpp"
+#include "core/simulation.hpp"
+#include "core/workflow.hpp"
+#include "kv/server_manager.hpp"
+#include "platform/transport_model.hpp"
+#include "util/stats.hpp"
+
+namespace simai::core {
+
+/// Aggregated per-component statistics for one experiment run.
+struct ComponentStats {
+  std::uint64_t steps = 0;             // iterations executed
+  std::uint64_t transport_events = 0;  // Table-2 style event count
+  util::RunningStats iter_time;        // per-iteration elapsed (virtual s)
+  util::RunningStats read_time;        // per successful read
+  util::RunningStats write_time;       // per write
+  util::RunningStats read_throughput;  // nominal B/s
+  util::RunningStats write_throughput;
+};
+
+// ---------------------------------------------------------------------------
+// Pattern 1: one-to-one, co-located
+// ---------------------------------------------------------------------------
+
+struct Pattern1Config {
+  platform::BackendKind backend = platform::BackendKind::NodeLocal;
+  int nodes = 8;
+  int pairs_per_node = 6;       // sim/AI tile pairs per node (Aurora: 6+6)
+  int representative_pairs = 2; // instantiated pairs (0 = all of them)
+
+  std::uint64_t payload_bytes = 1258291;  // 1.2 MB/rank, the nekRS-ML load
+  std::size_t payload_cap = 64 * KiB;     // real staged bytes cap (0 = off)
+
+  std::int64_t train_iters = 5000;
+  std::int64_t max_sim_iters = 0;  // 0 = run until steered to stop
+
+  double sim_iter_time = 0.03147;  // Listing 2 / Table 3
+  double sim_iter_std = 0.0;       // > 0: stochastic (clamped normal)
+  double train_iter_time = 0.0611;
+  double train_iter_std = 0.0;
+  double sim_init_time = 3.0;
+  double train_init_time = 27.6;
+
+  int write_every = 100;  // sim snapshot period (iterations)
+  int read_every = 10;    // trainer poll period (iterations)
+  double poll_interval = 0.005;  // virtual s between blocking re-polls
+
+  std::uint64_t seed = 42;
+  bool record_trace = false;
+
+  /// Total store clients machine-wide (both components), for MDS pricing.
+  int concurrent_clients() const { return nodes * pairs_per_node * 2; }
+  int instantiated_pairs() const {
+    const int total = nodes * pairs_per_node;
+    return representative_pairs > 0 ? std::min(representative_pairs, total)
+                                    : total;
+  }
+};
+
+struct Pattern1Result {
+  ComponentStats sim;
+  ComponentStats train;
+  SimTime makespan = 0.0;
+  sim::TraceRecorder trace;  // populated when record_trace
+};
+
+Pattern1Result run_pattern1(const Pattern1Config& config);
+
+/// The streaming flavor of Pattern 1 (§5 future work, built here): the same
+/// co-located one-to-one workflow, but snapshots move through ADIOS2-SST
+/// style point-to-point streams (StreamBroker) instead of a staging store.
+/// The `backend` field of the config is ignored (always Stream); steering
+/// happens via stream close + a final control step. `queue_limit` is the
+/// stream's bounded step queue (back-pressure depth).
+Pattern1Result run_pattern1_streaming(const Pattern1Config& config,
+                                      std::size_t queue_limit = 4);
+
+// ---------------------------------------------------------------------------
+// Pattern 2: many-to-one, distributed
+// ---------------------------------------------------------------------------
+
+struct Pattern2Config {
+  platform::BackendKind backend = platform::BackendKind::Dragon;
+  int num_sims = 7;          // ensemble size; node count = num_sims + 1
+  int ai_reader_ranks = 12;  // concurrent read streams into the AI node
+
+  std::uint64_t payload_bytes = 1258291;
+  std::size_t payload_cap = 64 * KiB;
+
+  std::int64_t train_iters = 200;
+  double sim_iter_time = 0.03147;
+  double train_iter_time = 0.0611;
+  int write_every = 10;
+  int read_every = 10;
+  double poll_interval = 0.005;
+
+  std::uint64_t seed = 43;
+
+  int nodes() const { return num_sims + 1; }
+  /// Store clients: 12 ranks per simulation node + the AI's readers.
+  int concurrent_clients() const { return num_sims * 12 + ai_reader_ranks; }
+};
+
+struct Pattern2Result {
+  ComponentStats sim;    // aggregated over the ensemble (local writes)
+  ComponentStats train;  // the single AI component (non-local reads)
+  /// Total trainer runtime / train_iters — the Fig 6 metric (includes both
+  /// compute and transport).
+  double train_runtime_per_iter = 0.0;
+  SimTime makespan = 0.0;
+};
+
+Pattern2Result run_pattern2(const Pattern2Config& config);
+
+/// Merge a DataStore's stat series into a ComponentStats record.
+void absorb_datastore_stats(ComponentStats& into, const DataStore& store);
+
+/// JSON (de)serialization for the pattern configs (every field optional on
+/// input, defaults preserved) — the CLI runner's config surface.
+Pattern1Config pattern1_from_json(const util::Json& j);
+util::Json pattern1_to_json(const Pattern1Config& c);
+Pattern2Config pattern2_from_json(const util::Json& j);
+util::Json pattern2_to_json(const Pattern2Config& c);
+
+}  // namespace simai::core

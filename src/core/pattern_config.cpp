@@ -1,0 +1,101 @@
+// JSON (de)serialization for the pattern experiment configurations — the
+// config surface the CLI runner (tools/simai_run) exposes, mirroring how
+// the reference SimAI-Bench drives mini-apps from JSON documents.
+#include "core/experiment.hpp"
+
+namespace simai::core {
+
+Pattern1Config pattern1_from_json(const util::Json& j) {
+  Pattern1Config c;
+  c.backend = platform::parse_backend(
+      j.get("backend", std::string(platform::backend_name(c.backend))));
+  c.nodes = static_cast<int>(j.get("nodes", c.nodes));
+  c.pairs_per_node =
+      static_cast<int>(j.get("pairs_per_node", c.pairs_per_node));
+  c.representative_pairs = static_cast<int>(
+      j.get("representative_pairs", c.representative_pairs));
+  c.payload_bytes = static_cast<std::uint64_t>(
+      j.get("payload_bytes", static_cast<std::int64_t>(c.payload_bytes)));
+  c.payload_cap = static_cast<std::size_t>(
+      j.get("payload_cap", static_cast<std::int64_t>(c.payload_cap)));
+  c.train_iters = j.get("train_iters", c.train_iters);
+  c.max_sim_iters = j.get("max_sim_iters", c.max_sim_iters);
+  c.sim_iter_time = j.get("sim_iter_time", c.sim_iter_time);
+  c.sim_iter_std = j.get("sim_iter_std", c.sim_iter_std);
+  c.train_iter_time = j.get("train_iter_time", c.train_iter_time);
+  c.train_iter_std = j.get("train_iter_std", c.train_iter_std);
+  c.sim_init_time = j.get("sim_init_time", c.sim_init_time);
+  c.train_init_time = j.get("train_init_time", c.train_init_time);
+  c.write_every = static_cast<int>(j.get("write_every", c.write_every));
+  c.read_every = static_cast<int>(j.get("read_every", c.read_every));
+  c.poll_interval = j.get("poll_interval", c.poll_interval);
+  c.seed = static_cast<std::uint64_t>(
+      j.get("seed", static_cast<std::int64_t>(c.seed)));
+  c.record_trace = j.get("record_trace", c.record_trace);
+  return c;
+}
+
+util::Json pattern1_to_json(const Pattern1Config& c) {
+  util::Json j;
+  j["backend"] = std::string(platform::backend_name(c.backend));
+  j["nodes"] = c.nodes;
+  j["pairs_per_node"] = c.pairs_per_node;
+  j["representative_pairs"] = c.representative_pairs;
+  j["payload_bytes"] = static_cast<std::int64_t>(c.payload_bytes);
+  j["payload_cap"] = static_cast<std::int64_t>(c.payload_cap);
+  j["train_iters"] = c.train_iters;
+  j["max_sim_iters"] = c.max_sim_iters;
+  j["sim_iter_time"] = c.sim_iter_time;
+  j["sim_iter_std"] = c.sim_iter_std;
+  j["train_iter_time"] = c.train_iter_time;
+  j["train_iter_std"] = c.train_iter_std;
+  j["sim_init_time"] = c.sim_init_time;
+  j["train_init_time"] = c.train_init_time;
+  j["write_every"] = c.write_every;
+  j["read_every"] = c.read_every;
+  j["poll_interval"] = c.poll_interval;
+  j["seed"] = static_cast<std::int64_t>(c.seed);
+  j["record_trace"] = c.record_trace;
+  return j;
+}
+
+Pattern2Config pattern2_from_json(const util::Json& j) {
+  Pattern2Config c;
+  c.backend = platform::parse_backend(
+      j.get("backend", std::string(platform::backend_name(c.backend))));
+  c.num_sims = static_cast<int>(j.get("num_sims", c.num_sims));
+  c.ai_reader_ranks =
+      static_cast<int>(j.get("ai_reader_ranks", c.ai_reader_ranks));
+  c.payload_bytes = static_cast<std::uint64_t>(
+      j.get("payload_bytes", static_cast<std::int64_t>(c.payload_bytes)));
+  c.payload_cap = static_cast<std::size_t>(
+      j.get("payload_cap", static_cast<std::int64_t>(c.payload_cap)));
+  c.train_iters = j.get("train_iters", c.train_iters);
+  c.sim_iter_time = j.get("sim_iter_time", c.sim_iter_time);
+  c.train_iter_time = j.get("train_iter_time", c.train_iter_time);
+  c.write_every = static_cast<int>(j.get("write_every", c.write_every));
+  c.read_every = static_cast<int>(j.get("read_every", c.read_every));
+  c.poll_interval = j.get("poll_interval", c.poll_interval);
+  c.seed = static_cast<std::uint64_t>(
+      j.get("seed", static_cast<std::int64_t>(c.seed)));
+  return c;
+}
+
+util::Json pattern2_to_json(const Pattern2Config& c) {
+  util::Json j;
+  j["backend"] = std::string(platform::backend_name(c.backend));
+  j["num_sims"] = c.num_sims;
+  j["ai_reader_ranks"] = c.ai_reader_ranks;
+  j["payload_bytes"] = static_cast<std::int64_t>(c.payload_bytes);
+  j["payload_cap"] = static_cast<std::int64_t>(c.payload_cap);
+  j["train_iters"] = c.train_iters;
+  j["sim_iter_time"] = c.sim_iter_time;
+  j["train_iter_time"] = c.train_iter_time;
+  j["write_every"] = c.write_every;
+  j["read_every"] = c.read_every;
+  j["poll_interval"] = c.poll_interval;
+  j["seed"] = static_cast<std::int64_t>(c.seed);
+  return j;
+}
+
+}  // namespace simai::core

@@ -1,0 +1,57 @@
+#include "core/report.hpp"
+
+namespace simai::core {
+
+util::Json stats_to_json(const util::RunningStats& s) {
+  util::Json j;
+  j["count"] = static_cast<std::int64_t>(s.count());
+  j["mean"] = s.mean();
+  j["std"] = s.stddev();
+  j["min"] = s.min();
+  j["max"] = s.max();
+  return j;
+}
+
+util::Json component_to_json(const ComponentStats& c) {
+  util::Json j;
+  j["steps"] = static_cast<std::int64_t>(c.steps);
+  j["transport_events"] = static_cast<std::int64_t>(c.transport_events);
+  j["iter_time"] = stats_to_json(c.iter_time);
+  if (c.read_time.count() > 0) j["read_time"] = stats_to_json(c.read_time);
+  if (c.write_time.count() > 0)
+    j["write_time"] = stats_to_json(c.write_time);
+  if (c.read_throughput.count() > 0)
+    j["read_throughput"] = stats_to_json(c.read_throughput);
+  if (c.write_throughput.count() > 0)
+    j["write_throughput"] = stats_to_json(c.write_throughput);
+  return j;
+}
+
+util::Json report_pattern1(const Pattern1Config& config,
+                           const Pattern1Result& result) {
+  util::Json j;
+  j["pattern"] = 1;
+  j["config"] = pattern1_to_json(config);
+  j["makespan_s"] = result.makespan;
+  j["sim"] = component_to_json(result.sim);
+  j["train"] = component_to_json(result.train);
+  return j;
+}
+
+util::Json report_pattern2(const Pattern2Config& config,
+                           const Pattern2Result& result) {
+  util::Json j;
+  j["pattern"] = 2;
+  j["config"] = pattern2_to_json(config);
+  j["makespan_s"] = result.makespan;
+  j["train_runtime_per_iter_s"] = result.train_runtime_per_iter;
+  j["sim"] = component_to_json(result.sim);
+  j["train"] = component_to_json(result.train);
+  return j;
+}
+
+void write_report(const util::Json& report, const std::string& path) {
+  report.dump_file(path);
+}
+
+}  // namespace simai::core

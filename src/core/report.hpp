@@ -1,0 +1,30 @@
+// Structured run reports: serialize experiment results (config + per-
+// component statistics) to JSON so sweeps and CI can consume them — the
+// machine-readable face of deliverable (d)'s benchmark harness.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace simai::core {
+
+/// {"count", "mean", "std", "min", "max"} for one stat series.
+util::Json stats_to_json(const util::RunningStats& s);
+
+/// Component record: steps, transport events, iteration/read/write stats.
+util::Json component_to_json(const ComponentStats& c);
+
+/// Full Pattern-1 report: {"pattern": 1, "config": ..., "makespan": ...,
+/// "sim": {...}, "train": {...}}.
+util::Json report_pattern1(const Pattern1Config& config,
+                           const Pattern1Result& result);
+
+/// Full Pattern-2 report (adds "train_runtime_per_iter").
+util::Json report_pattern2(const Pattern2Config& config,
+                           const Pattern2Result& result);
+
+/// Write a report document to `path` (pretty-printed JSON).
+void write_report(const util::Json& report, const std::string& path);
+
+}  // namespace simai::core

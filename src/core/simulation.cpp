@@ -1,0 +1,139 @@
+#include "core/simulation.hpp"
+
+#include <cmath>
+
+namespace simai::core {
+
+Simulation::Simulation(std::string name, const util::Json& config,
+                       std::uint64_t seed)
+    : name_(std::move(name)), rng_(seed) {
+  if (config.is_object()) {
+    if (const util::Json* kernels = config.find("kernels")) {
+      for (const util::Json& spec : kernels->as_array())
+        add_entry_from_json(spec);
+    }
+  } else if (!config.is_null()) {
+    throw ConfigError("simulation config must be an object");
+  }
+}
+
+void Simulation::add_entry_from_json(const util::Json& spec) {
+  KernelEntry entry;
+  entry.kernel_name = spec.contains("mini_app_kernel")
+                          ? spec.at("mini_app_kernel").as_string()
+                          : spec.at("name").as_string();
+  entry.display_name = spec.get("name", entry.kernel_name);
+  entry.config = spec;
+  entry.kernel = kernels::make_kernel(entry.kernel_name, spec);
+  if (const util::Json* rt = spec.find("run_time"))
+    entry.run_time = util::make_distribution(*rt);
+  if (const util::Json* rc = spec.find("run_count"))
+    entry.run_count = util::make_distribution(*rc);
+  entry.device = kernels::DeviceModel::of(
+      kernels::parse_device(spec.get("device", "cpu")));
+  kernels_.push_back(std::move(entry));
+}
+
+void Simulation::add_kernel(const std::string& kernel_name,
+                            const util::Json& config) {
+  util::Json spec = config.is_null() ? util::Json::object() : config;
+  spec["mini_app_kernel"] = kernel_name;
+  if (!spec.contains("name")) spec["name"] = kernel_name;
+  add_entry_from_json(spec);
+}
+
+void Simulation::set_comm(net::Communicator* comm, int rank, int nranks) {
+  comm_ = comm;
+  rank_ = rank;
+  nranks_ = nranks;
+}
+
+kernels::KernelContext Simulation::make_kernel_context() {
+  kernels::KernelContext kctx;
+  kctx.rank = rank_;
+  kctx.nranks = nranks_;
+  kctx.comm = comm_;
+  kctx.sim_ctx = active_ctx_;
+  kctx.io_dir = io_dir_;
+  kctx.rng = util::Xoshiro256(rng_.next());
+  return kctx;
+}
+
+SimTime Simulation::execute_entry(sim::Context& ctx, KernelEntry& entry) {
+  active_ctx_ = &ctx;
+  const SimTime t_start = ctx.now();
+
+  const bool run_real =
+      real_compute_ == RealCompute::Always ||
+      (real_compute_ == RealCompute::Once && !entry.executed_once);
+
+  SimTime modeled = 0.0;
+  if (run_real) {
+    kernels::KernelContext kctx = make_kernel_context();
+    kctx.device = entry.device;
+    const kernels::KernelResult result = entry.kernel->run(kctx);
+    modeled = result.modeled_time;
+    entry.cached_modeled_time = modeled;
+    entry.executed_once = true;
+    last_checksum_ = result.checksum;
+  } else if (entry.cached_modeled_time) {
+    modeled = *entry.cached_modeled_time;
+  }
+
+  // Charge the configured duration if given, else the kernel's estimate.
+  const SimTime duration =
+      entry.run_time ? entry.run_time->sample(rng_) : modeled;
+  if (duration < 0.0 || std::isnan(duration))
+    throw ConfigError("simulation: kernel '" + entry.display_name +
+                      "' produced a negative duration");
+  ctx.delay(duration);
+
+  ++iterations_run_;
+  stats_[entry.display_name + "_iter_time"].add(duration);
+  stats_["iter_time"].add(duration);
+  if (trace_)
+    trace_->record_span(name_, "iter", t_start, ctx.now());
+  active_ctx_ = nullptr;
+  return ctx.now() - t_start;
+}
+
+SimTime Simulation::run(sim::Context& ctx) {
+  const SimTime t0 = ctx.now();
+  for (KernelEntry& entry : kernels_) {
+    const std::int64_t count =
+        entry.run_count
+            ? static_cast<std::int64_t>(
+                  std::llround(entry.run_count->sample(rng_)))
+            : 1;
+    for (std::int64_t i = 0; i < count; ++i) execute_entry(ctx, entry);
+  }
+  return ctx.now() - t0;
+}
+
+SimTime Simulation::run_iteration(sim::Context& ctx, std::size_t k) {
+  if (k >= kernels_.size())
+    throw ConfigError("simulation: kernel index out of range");
+  return execute_entry(ctx, kernels_[k]);
+}
+
+void Simulation::stage_write(sim::Context& ctx, std::string_view key,
+                             ByteView value, std::uint64_t nominal_bytes) {
+  if (!datastore_)
+    throw kv::StoreError("simulation '" + name_ + "' has no datastore");
+  datastore_->stage_write(&ctx, key, value, nominal_bytes);
+}
+
+bool Simulation::stage_read(sim::Context& ctx, std::string_view key,
+                            Bytes& out) {
+  if (!datastore_)
+    throw kv::StoreError("simulation '" + name_ + "' has no datastore");
+  return datastore_->stage_read(&ctx, key, out);
+}
+
+bool Simulation::poll_staged_data(sim::Context& ctx, std::string_view key) {
+  if (!datastore_)
+    throw kv::StoreError("simulation '" + name_ + "' has no datastore");
+  return datastore_->poll_staged_data(&ctx, key);
+}
+
+}  // namespace simai::core

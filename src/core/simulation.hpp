@@ -1,0 +1,109 @@
+// Simulation: emulates the solver component of a coupled workflow (§3.3).
+//
+// A Simulation is configured as a sequence of kernels (JSON, as in the
+// paper's Listing 2): each entry names a Table-1 kernel, its data_size and
+// target device, and how long an iteration takes — either a deterministic
+// run_time, a stochastic distribution, or (when omitted) the kernel's own
+// modelled device time. run_count (also optionally stochastic) repeats a
+// kernel within one run() pass.
+//
+// Real-vs-virtual execution: by default each kernel's real math executes
+// once (validating the configuration and producing a checksum) and later
+// iterations only charge virtual time — the paper's mini-apps likewise care
+// about occupancy, not results. Set RealCompute::Always to run the math
+// every iteration, or Never to skip it entirely.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/datastore.hpp"
+#include "kernels/kernel.hpp"
+#include "util/distributions.hpp"
+#include "util/stats.hpp"
+
+namespace simai::core {
+
+enum class RealCompute { Never, Once, Always };
+
+class Simulation {
+ public:
+  /// `config` (optional) follows Listing 2:
+  ///   {"kernels": [{"name": ..., "mini_app_kernel": ..., "run_time": ...,
+  ///                 "run_count": ..., "data_size": ..., "device": ...}]}
+  /// Kernels can also be added programmatically with add_kernel().
+  explicit Simulation(std::string name, const util::Json& config = {},
+                      std::uint64_t seed = 2024);
+
+  /// Programmatic kernel registration (the Listing 1 style):
+  ///   sim.add_kernel("MatMulSimple2D");
+  ///   sim.add_kernel("MatMulSimple2D", extra_config_json);
+  void add_kernel(const std::string& kernel_name,
+                  const util::Json& config = {});
+
+  // Execution environment ---------------------------------------------------
+  void set_datastore(DataStore* store) { datastore_ = store; }
+  void set_comm(net::Communicator* comm, int rank, int nranks);
+  void set_io_dir(std::filesystem::path dir) { io_dir_ = std::move(dir); }
+  void set_trace(sim::TraceRecorder* trace) { trace_ = trace; }
+  void set_real_compute(RealCompute mode) { real_compute_ = mode; }
+
+  /// Execute one pass over all configured kernels, charging virtual time.
+  /// Returns the virtual time consumed by the pass.
+  SimTime run(sim::Context& ctx);
+
+  /// Execute exactly one iteration of kernel index `k` (default: the first).
+  SimTime run_iteration(sim::Context& ctx, std::size_t k = 0);
+
+  // Staging passthrough (the paper's Simulation client surface) ------------
+  /// `nominal_bytes` (nonzero) declares a modelled size larger than the
+  /// real buffer — see DataStore::stage_write.
+  void stage_write(sim::Context& ctx, std::string_view key, ByteView value,
+                   std::uint64_t nominal_bytes = 0);
+  bool stage_read(sim::Context& ctx, std::string_view key, Bytes& out);
+  bool poll_staged_data(sim::Context& ctx, std::string_view key);
+
+  // Introspection -----------------------------------------------------------
+  const std::string& name() const { return name_; }
+  std::size_t kernel_count() const { return kernels_.size(); }
+  std::uint64_t iterations_run() const { return iterations_run_; }
+  /// Stats series: per-kernel "<kernel>_iter_time" plus "iter_time" overall.
+  const util::StatSeries& stats() const { return stats_; }
+  /// Checksum of the most recent real kernel execution (validation hook).
+  double last_checksum() const { return last_checksum_; }
+
+ private:
+  struct KernelEntry {
+    std::string kernel_name;
+    std::string display_name;
+    util::Json config;
+    kernels::KernelPtr kernel;
+    std::unique_ptr<util::Distribution> run_time;   // may be null
+    std::unique_ptr<util::Distribution> run_count;  // may be null (=> 1)
+    kernels::DeviceModel device;
+    bool executed_once = false;
+    std::optional<SimTime> cached_modeled_time;
+  };
+
+  void add_entry_from_json(const util::Json& spec);
+  SimTime execute_entry(sim::Context& ctx, KernelEntry& entry);
+  kernels::KernelContext make_kernel_context();
+
+  std::string name_;
+  std::vector<KernelEntry> kernels_;
+  DataStore* datastore_ = nullptr;
+  net::Communicator* comm_ = nullptr;
+  int rank_ = 0;
+  int nranks_ = 1;
+  std::filesystem::path io_dir_;
+  sim::TraceRecorder* trace_ = nullptr;
+  RealCompute real_compute_ = RealCompute::Once;
+  util::Xoshiro256 rng_;
+  util::StatSeries stats_;
+  std::uint64_t iterations_run_ = 0;
+  double last_checksum_ = 0.0;
+  sim::Context* active_ctx_ = nullptr;  // set while run() executes
+};
+
+}  // namespace simai::core

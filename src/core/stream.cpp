@@ -1,0 +1,178 @@
+#include "core/stream.hpp"
+
+namespace simai::core {
+
+std::uint64_t StreamStep::total_nominal() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, n] : nominal) total += n;
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// StreamBroker
+// ---------------------------------------------------------------------------
+
+StreamBroker::StreamBroker(sim::Engine& engine,
+                           const platform::TransportModel* model,
+                           platform::TransportContext transport,
+                           std::size_t queue_limit)
+    : engine_(engine),
+      model_(model),
+      transport_(transport),
+      queue_limit_(queue_limit) {}
+
+StreamBroker::Stream& StreamBroker::stream_of(const std::string& name,
+                                              bool create) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    if (!create) throw Error("stream '" + name + "' does not exist");
+    Stream s;
+    s.queue = std::make_unique<sim::Channel<StreamStep>>(engine_, queue_limit_);
+    s.state_change = std::make_unique<sim::Event>(engine_);
+    it = streams_.emplace(name, std::move(s)).first;
+  }
+  return it->second;
+}
+
+StreamWriter StreamBroker::open_writer(const std::string& stream_name) {
+  Stream& s = stream_of(stream_name, true);
+  if (s.writer_open)
+    throw Error("stream '" + stream_name + "' already has a writer");
+  s.writer_open = true;
+  return StreamWriter(*this, stream_name);
+}
+
+StreamReader StreamBroker::open_reader(const std::string& stream_name) {
+  Stream& s = stream_of(stream_name, true);
+  if (s.reader_open)
+    throw Error("stream '" + stream_name + "' already has a reader");
+  s.reader_open = true;
+  return StreamReader(*this, stream_name);
+}
+
+SimTime StreamBroker::charge_write(sim::Context& ctx, std::uint64_t bytes) {
+  if (!model_) return 0.0;
+  const SimTime t = model_->cost(platform::BackendKind::Stream,
+                                 platform::StoreOp::Write, bytes, transport_);
+  ctx.delay(t);
+  stats_["step_write_time"].add(t);
+  stats_["step_bytes"].add(static_cast<double>(bytes));
+  return t;
+}
+
+SimTime StreamBroker::charge_read(sim::Context& ctx, std::uint64_t bytes) {
+  if (!model_) return 0.0;
+  const SimTime t = model_->cost(platform::BackendKind::Stream,
+                                 platform::StoreOp::Read, bytes, transport_);
+  ctx.delay(t);
+  stats_["step_read_time"].add(t);
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// StreamWriter
+// ---------------------------------------------------------------------------
+
+StreamWriter::StreamWriter(StreamBroker& broker, std::string name)
+    : broker_(broker), name_(std::move(name)) {}
+
+void StreamWriter::begin_step(sim::Context&) {
+  if (closed_) throw Error("stream '" + name_ + "': begin_step after close");
+  if (open_step_)
+    throw Error("stream '" + name_ + "': begin_step with a step open");
+  open_step_.emplace();
+  open_step_->step_index = next_step_;
+}
+
+void StreamWriter::put(std::string_view variable, ByteView data,
+                       std::uint64_t nominal_bytes) {
+  if (!open_step_)
+    throw Error("stream '" + name_ + "': put outside begin/end step");
+  open_step_->variables[std::string(variable)] =
+      Bytes(data.begin(), data.end());
+  open_step_->nominal[std::string(variable)] =
+      nominal_bytes ? nominal_bytes : data.size();
+}
+
+void StreamWriter::end_step(sim::Context& ctx) {
+  if (!open_step_)
+    throw Error("stream '" + name_ + "': end_step without begin_step");
+  StreamBroker::Stream& s = broker_.stream_of(name_, false);
+  // Writer-side transfer cost: the data plane is pipelined, so the
+  // producer pays the full step cost on publish...
+  broker_.charge_write(ctx, open_step_->total_nominal());
+  // ...then blocks (virtual time) while the bounded queue is full.
+  s.queue->put(ctx, std::move(*open_step_));
+  open_step_.reset();
+  ++next_step_;
+  s.state_change->notify_all();
+}
+
+void StreamWriter::close(sim::Context&) {
+  if (closed_) return;
+  if (open_step_)
+    throw Error("stream '" + name_ + "': close with a step open");
+  closed_ = true;
+  StreamBroker::Stream& s = broker_.stream_of(name_, false);
+  s.closed = true;
+  s.state_change->notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// StreamReader
+// ---------------------------------------------------------------------------
+
+StreamReader::StreamReader(StreamBroker& broker, std::string name)
+    : broker_(broker), name_(std::move(name)) {}
+
+StepStatus StreamReader::begin_step(sim::Context& ctx, double timeout) {
+  if (current_)
+    throw Error("stream '" + name_ + "': begin_step with a step open");
+  StreamBroker::Stream& s = broker_.stream_of(name_, false);
+  const SimTime deadline = timeout >= 0 ? ctx.now() + timeout : -1.0;
+  while (true) {
+    if (auto step = s.queue->try_get()) {
+      current_ = std::move(*step);
+      ++consumed_;
+      return StepStatus::Ok;
+    }
+    if (s.closed) return StepStatus::EndOfStream;
+    if (deadline >= 0) {
+      const SimTime remaining = deadline - ctx.now();
+      if (remaining <= 0) return StepStatus::NotReady;
+      if (!ctx.wait_for(*s.state_change, remaining))
+        return StepStatus::NotReady;
+    } else {
+      ctx.wait(*s.state_change);
+    }
+  }
+}
+
+Bytes StreamReader::get(sim::Context& ctx, std::string_view variable) {
+  if (!current_)
+    throw Error("stream '" + name_ + "': get outside begin/end step");
+  const auto it = current_->variables.find(variable);
+  if (it == current_->variables.end())
+    throw Error("stream '" + name_ + "': no variable '" +
+                std::string(variable) + "' in step");
+  broker_.charge_read(ctx, nominal_of(variable));
+  return it->second;
+}
+
+std::uint64_t StreamReader::nominal_of(std::string_view variable) const {
+  if (!current_) return 0;
+  const auto it = current_->nominal.find(variable);
+  return it == current_->nominal.end() ? 0 : it->second;
+}
+
+void StreamReader::end_step() {
+  if (!current_)
+    throw Error("stream '" + name_ + "': end_step without begin_step");
+  current_.reset();
+}
+
+std::uint64_t StreamReader::current_step_index() const {
+  return current_ ? current_->step_index : 0;
+}
+
+}  // namespace simai::core

@@ -1,0 +1,136 @@
+// Point-to-point streaming transport — the paper's §5 future-work item
+// ("we plan to add support for point-to-point streaming, for instance
+// using ADIOS2"), modelled on ADIOS2's SST engine semantics:
+//
+//  * a named stream connects one writer to one reader;
+//  * data moves in *steps*: writer begin_step / put / end_step, reader
+//    begin_step (blocking with optional timeout) / get / end_step;
+//  * a bounded step queue applies back-pressure to the writer (SST's
+//    QueueLimit), so a slow reader throttles the producer instead of
+//    unbounded buffering — the key behavioural difference from staging;
+//  * close() marks end-of-stream; the reader's begin_step then returns
+//    EndOfStream once the queue drains.
+//
+// Virtual-time pricing uses TransportModel's Stream backend: per-step
+// handshake latency plus pipelined bandwidth — no per-key metadata, which
+// is exactly why streaming wins the latency-limited exchanges the paper's
+// introduction describes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "platform/transport_model.hpp"
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "util/stats.hpp"
+
+namespace simai::core {
+
+enum class StepStatus { Ok, NotReady, EndOfStream };
+
+/// One step's payload: named variables -> blobs (nominal sizes may exceed
+/// the stored bytes, mirroring DataStore's payload virtualization).
+struct StreamStep {
+  std::map<std::string, Bytes, std::less<>> variables;
+  std::map<std::string, std::uint64_t, std::less<>> nominal;
+  std::uint64_t step_index = 0;
+
+  std::uint64_t total_nominal() const;
+};
+
+class StreamBroker;
+
+class StreamWriter {
+ public:
+  /// Start assembling a new step.
+  void begin_step(sim::Context& ctx);
+  /// Add a variable to the open step. `nominal_bytes` declares the modelled
+  /// size when nonzero (stored bytes may be capped by the caller).
+  void put(std::string_view variable, ByteView data,
+           std::uint64_t nominal_bytes = 0);
+  /// Publish the step: charges the stream transfer cost and blocks (in
+  /// virtual time) while the step queue is full.
+  void end_step(sim::Context& ctx);
+  /// Mark end-of-stream (idempotent).
+  void close(sim::Context& ctx);
+
+  std::uint64_t steps_written() const { return next_step_; }
+
+ private:
+  friend class StreamBroker;
+  StreamWriter(StreamBroker& broker, std::string name);
+  StreamBroker& broker_;
+  std::string name_;
+  std::optional<StreamStep> open_step_;
+  std::uint64_t next_step_ = 0;
+  bool closed_ = false;
+};
+
+class StreamReader {
+ public:
+  /// Block until a step is available (or `timeout` virtual seconds pass,
+  /// when timeout >= 0). On Ok the step's variables are readable.
+  StepStatus begin_step(sim::Context& ctx, double timeout = -1.0);
+  /// Read a variable from the current step; charges the read-side share.
+  Bytes get(sim::Context& ctx, std::string_view variable);
+  /// Nominal size of a variable in the current step.
+  std::uint64_t nominal_of(std::string_view variable) const;
+  /// Release the current step.
+  void end_step();
+
+  std::uint64_t current_step_index() const;
+  std::uint64_t steps_consumed() const { return consumed_; }
+
+ private:
+  friend class StreamBroker;
+  StreamReader(StreamBroker& broker, std::string name);
+  StreamBroker& broker_;
+  std::string name_;
+  std::optional<StreamStep> current_;
+  std::uint64_t consumed_ = 0;
+};
+
+/// Per-engine registry of named streams. Configure locality/fan-in through
+/// the TransportContext, like DataStore.
+class StreamBroker {
+ public:
+  /// `model` may be null (zero-cost streams, for pure-logic tests).
+  /// `queue_limit` is SST's QueueLimit: steps buffered before back-pressure.
+  StreamBroker(sim::Engine& engine, const platform::TransportModel* model,
+               platform::TransportContext transport = {},
+               std::size_t queue_limit = 2);
+
+  /// Each stream supports exactly one writer and one reader.
+  StreamWriter open_writer(const std::string& stream_name);
+  StreamReader open_reader(const std::string& stream_name);
+
+  /// Aggregate stats: "step_write_time", "step_read_time", "step_bytes".
+  const util::StatSeries& stats() const { return stats_; }
+
+ private:
+  friend class StreamWriter;
+  friend class StreamReader;
+
+  struct Stream {
+    std::unique_ptr<sim::Channel<StreamStep>> queue;
+    bool writer_open = false;
+    bool reader_open = false;
+    bool closed = false;  // writer called close()
+    std::unique_ptr<sim::Event> state_change;
+  };
+
+  Stream& stream_of(const std::string& name, bool create);
+  SimTime charge_write(sim::Context& ctx, std::uint64_t bytes);
+  SimTime charge_read(sim::Context& ctx, std::uint64_t bytes);
+
+  sim::Engine& engine_;
+  const platform::TransportModel* model_;
+  platform::TransportContext transport_;
+  std::size_t queue_limit_;
+  std::map<std::string, Stream> streams_;
+  util::StatSeries stats_;
+};
+
+}  // namespace simai::core

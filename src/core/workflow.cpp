@@ -1,0 +1,171 @@
+#include "core/workflow.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace simai::core {
+
+Workflow::Workflow(util::Json sys_config)
+    : sys_config_(std::move(sys_config)) {}
+
+Workflow& Workflow::component(const std::string& name,
+                              const std::string& type, int nranks,
+                              std::vector<std::string> dependencies,
+                              ComponentFn body) {
+  if (by_name_.count(name))
+    throw WorkflowError("workflow: duplicate component '" + name + "'");
+  if (nranks <= 0)
+    throw WorkflowError("workflow: component '" + name +
+                        "' needs a positive rank count");
+  if (type != "remote" && type != "local")
+    throw WorkflowError("workflow: component type must be 'remote' or "
+                        "'local', got '" +
+                        type + "'");
+  auto comp = std::make_unique<Component>();
+  comp->name = name;
+  comp->type = type;
+  comp->nranks = nranks;
+  comp->dependencies = std::move(dependencies);
+  comp->body = std::move(body);
+  by_name_[name] = comp.get();
+  components_.push_back(std::move(comp));
+  return *this;
+}
+
+void Workflow::validate() const {
+  // Unknown dependencies.
+  for (const auto& comp : components_) {
+    for (const std::string& dep : comp->dependencies) {
+      if (!by_name_.count(dep))
+        throw WorkflowError("workflow: component '" + comp->name +
+                            "' depends on unknown component '" + dep + "'");
+      if (dep == comp->name)
+        throw WorkflowError("workflow: component '" + comp->name +
+                            "' depends on itself");
+    }
+  }
+  // Cycle detection via Kahn's algorithm.
+  std::map<const Component*, int> indegree;
+  for (const auto& comp : components_)
+    indegree[comp.get()] = static_cast<int>(comp->dependencies.size());
+  std::vector<const Component*> frontier;
+  for (const auto& [comp, deg] : indegree)
+    if (deg == 0) frontier.push_back(comp);
+  std::size_t visited = 0;
+  while (!frontier.empty()) {
+    const Component* c = frontier.back();
+    frontier.pop_back();
+    ++visited;
+    for (const auto& other : components_) {
+      if (std::find(other->dependencies.begin(), other->dependencies.end(),
+                    c->name) != other->dependencies.end()) {
+        if (--indegree[other.get()] == 0) frontier.push_back(other.get());
+      }
+    }
+  }
+  if (visited != components_.size())
+    throw WorkflowError("workflow: dependency graph has a cycle");
+}
+
+void Workflow::launch() {
+  sim::Engine engine;
+  launch(engine);
+}
+
+void Workflow::launch(sim::Engine& engine) {
+  validate();
+  completion_order_.clear();
+
+  // Wire launch-time state.
+  for (auto& comp : components_) {
+    comp->unfinished_ranks = comp->nranks;
+    comp->unsatisfied_deps = static_cast<int>(comp->dependencies.size());
+    comp->ready = std::make_unique<sim::Event>(engine);
+    comp->dependents.clear();
+  }
+  for (auto& comp : components_) {
+    for (const std::string& dep : comp->dependencies)
+      by_name_[dep]->dependents.push_back(comp.get());
+  }
+
+  active_engine_ = &engine;
+  for (auto& comp_ptr : components_) {
+    spawn_ranks(engine, comp_ptr.get());
+  }
+
+  engine.run();
+  active_engine_ = nullptr;
+  makespan_ = engine.now();
+}
+
+void Workflow::spawn_ranks(sim::Engine& engine, Component* comp) {
+  for (int rank = 0; rank < comp->nranks; ++rank) {
+    engine.spawn(
+        comp->name + "/" + std::to_string(rank),
+        [this, comp, rank](sim::Context& ctx) {
+          // Gate on dependencies. All ranks of this component wait on the
+          // same event; the last finishing dependency notifies it.
+          while (comp->unsatisfied_deps > 0) ctx.wait(*comp->ready);
+
+          ComponentInfo info{comp->name, comp->type, rank, comp->nranks};
+          const SimTime t_start = ctx.now();
+          comp->body(ctx, info);
+          trace_.record_span(comp->name, "run", t_start, ctx.now());
+
+          if (--comp->unfinished_ranks == 0) {
+            completion_order_.push_back(comp->name);
+            for (Component* dependent : comp->dependents) {
+              if (--dependent->unsatisfied_deps == 0)
+                dependent->ready->notify_all();
+            }
+          }
+        });
+  }
+}
+
+std::string Workflow::to_dot() const {
+  std::string out = "digraph workflow {\n  rankdir=LR;\n";
+  for (const auto& comp : components_) {
+    out += "  \"" + comp->name + "\" [shape=box, label=\"" + comp->name +
+           "\\n" + comp->type + " x" + std::to_string(comp->nranks) +
+           "\"];\n";
+  }
+  for (const auto& comp : components_) {
+    for (const std::string& dep : comp->dependencies) {
+      out += "  \"" + dep + "\" -> \"" + comp->name + "\";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+void Workflow::spawn_component(sim::Context& ctx, const std::string& name,
+                               const std::string& type, int nranks,
+                               ComponentFn body) {
+  if (!active_engine_)
+    throw WorkflowError(
+        "workflow: spawn_component is only valid while launch() is running");
+  if (by_name_.count(name))
+    throw WorkflowError("workflow: duplicate component '" + name + "'");
+  if (nranks <= 0)
+    throw WorkflowError("workflow: component '" + name +
+                        "' needs a positive rank count");
+  if (type != "remote" && type != "local")
+    throw WorkflowError("workflow: component type must be 'remote' or "
+                        "'local', got '" +
+                        type + "'");
+  auto comp = std::make_unique<Component>();
+  comp->name = name;
+  comp->type = type;
+  comp->nranks = nranks;
+  comp->body = std::move(body);
+  comp->unfinished_ranks = nranks;
+  comp->unsatisfied_deps = 0;  // starts immediately
+  comp->ready = std::make_unique<sim::Event>(ctx.engine());
+  Component* raw = comp.get();
+  by_name_[name] = raw;
+  components_.push_back(std::move(comp));
+  spawn_ranks(*active_engine_, raw);
+}
+
+}  // namespace simai::core

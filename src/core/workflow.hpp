@@ -1,0 +1,125 @@
+// Workflow: the high-level orchestration abstraction (§3.5).
+//
+// Components are registered with a name, a placement type ("remote" =
+// dispatched to compute nodes via the launcher, "local" = on the head
+// node — both are DES process groups here, the type is recorded placement
+// metadata), a rank count, and explicit dependencies. launch() validates
+// the DAG (unknown dependencies, cycles), then runs every component: a
+// component's ranks start once ALL ranks of ALL its dependencies have
+// finished, exactly like the paper's Listing 1 semantics where run_sim2
+// waits on run_sim.
+//
+//   Workflow w;
+//   w.component("sim", "remote", 6, {}, run_sim);
+//   w.component("train", "remote", 6, {"sim"}, run_train);
+//   w.launch();
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "util/json.hpp"
+
+namespace simai::core {
+
+class WorkflowError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Identity handed to a component body.
+struct ComponentInfo {
+  std::string name;
+  std::string type;  // "remote" | "local"
+  int rank = 0;
+  int nranks = 1;
+};
+
+using ComponentFn = std::function<void(sim::Context&, const ComponentInfo&)>;
+
+class Workflow {
+ public:
+  explicit Workflow(util::Json sys_config = {});
+
+  /// Register a component. Names must be unique; `dependencies` reference
+  /// previously or later registered components (resolved at launch).
+  Workflow& component(const std::string& name, const std::string& type,
+                      int nranks, std::vector<std::string> dependencies,
+                      ComponentFn body);
+
+  /// Single-rank convenience.
+  Workflow& component(const std::string& name, const std::string& type,
+                      std::vector<std::string> dependencies,
+                      ComponentFn body) {
+    return component(name, type, 1, std::move(dependencies), std::move(body));
+  }
+
+  /// Run the whole DAG to completion on an internal engine.
+  /// Throws WorkflowError on graph problems before starting anything.
+  void launch();
+
+  /// Run on a caller-provided engine (for composition with other processes).
+  void launch(sim::Engine& engine);
+
+  /// Dynamically extend a RUNNING workflow from inside a component body:
+  /// the new component starts immediately (its dependencies are whatever
+  /// the spawning component has already observed). This is the "dynamic
+  /// workflow" motif — adaptive campaigns that decide mid-run which tasks
+  /// to launch next.
+  void spawn_component(sim::Context& ctx, const std::string& name,
+                       const std::string& type, int nranks,
+                       ComponentFn body);
+
+  /// Single-rank convenience.
+  void spawn_component(sim::Context& ctx, const std::string& name,
+                       const std::string& type, ComponentFn body) {
+    spawn_component(ctx, name, type, 1, std::move(body));
+  }
+
+  /// Virtual makespan of the last launch().
+  SimTime makespan() const { return makespan_; }
+
+  /// Execution order of component completion (for tests / reporting).
+  const std::vector<std::string>& completion_order() const {
+    return completion_order_;
+  }
+
+  sim::TraceRecorder& trace() { return trace_; }
+  std::size_t component_count() const { return components_.size(); }
+
+  /// GraphViz DOT rendering of the dependency DAG (components as nodes,
+  /// dependency edges, rank counts and placement types as labels).
+  std::string to_dot() const;
+
+ private:
+  struct Component {
+    std::string name;
+    std::string type;
+    int nranks = 1;
+    std::vector<std::string> dependencies;
+    ComponentFn body;
+    // launch-time state
+    int unfinished_ranks = 0;
+    int unsatisfied_deps = 0;
+    std::unique_ptr<sim::Event> ready;
+    std::vector<Component*> dependents;
+  };
+
+  void validate() const;
+  void spawn_ranks(sim::Engine& engine, Component* comp);
+
+  sim::Engine* active_engine_ = nullptr;  // set while launch() runs
+  util::Json sys_config_;
+  std::vector<std::unique_ptr<Component>> components_;
+  std::map<std::string, Component*> by_name_;
+  sim::TraceRecorder trace_;
+  SimTime makespan_ = 0.0;
+  std::vector<std::string> completion_order_;
+};
+
+}  // namespace simai::core

@@ -1,0 +1,422 @@
+#include "io/h5lite.hpp"
+
+#include <cstring>
+
+#include "util/buffer.hpp"
+#include "util/string_util.hpp"
+
+namespace simai::io {
+
+namespace {
+constexpr char kMagic[8] = {'S', 'A', 'I', 'H', '5', 'L', 'T', 'E'};
+constexpr char kEndMagic[8] = {'S', 'A', 'I', 'H', '5', 'E', 'N', 'D'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kHeaderSize = 12;  // magic + version
+constexpr std::uint64_t kTrailerSize = 24;  // offset + size + magic
+}  // namespace
+
+std::string_view dtype_name(DType t) {
+  switch (t) {
+    case DType::F64: return "f64";
+    case DType::I64: return "i64";
+    case DType::U8: return "u8";
+  }
+  return "?";
+}
+
+std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::F64: return 8;
+    case DType::I64: return 8;
+    case DType::U8: return 1;
+  }
+  return 1;
+}
+
+std::uint64_t DatasetInfo::element_count() const {
+  std::uint64_t n = 1;
+  for (std::uint64_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+std::string H5File::normalize(const std::string& path) {
+  if (path.empty() || path[0] != '/')
+    throw H5Error("h5: path must start with '/': '" + path + "'");
+  if (path == "/") return "/";
+  std::string out;
+  for (const std::string& part : util::split(path.substr(1), '/')) {
+    if (part.empty())
+      throw H5Error("h5: empty path component in '" + path + "'");
+    out += '/';
+    out += part;
+  }
+  return out.empty() ? "/" : out;
+}
+
+H5File::H5File(const std::filesystem::path& path, Mode mode)
+    : path_(path), mode_(mode) {
+  namespace fs = std::filesystem;
+  if (mode == Mode::Create) {
+    file_.open(path, std::ios::binary | std::ios::in | std::ios::out |
+                         std::ios::trunc);
+    if (!file_) throw H5Error("h5: cannot create '" + path.string() + "'");
+    file_.write(kMagic, sizeof kMagic);
+    const std::uint32_t v = kVersion;
+    file_.write(reinterpret_cast<const char*>(&v), sizeof v);
+    payload_end_ = kHeaderSize;
+    objects_["/"] = Object{true, DType::F64, {}, 0, 0, util::Json::object()};
+    dirty_ = true;
+    flush();
+    return;
+  }
+  if (!fs::exists(path))
+    throw H5Error("h5: file does not exist: '" + path.string() + "'");
+  file_.open(path, mode == Mode::ReadOnly
+                       ? (std::ios::binary | std::ios::in)
+                       : (std::ios::binary | std::ios::in | std::ios::out));
+  if (!file_) throw H5Error("h5: cannot open '" + path.string() + "'");
+  load_table();
+}
+
+H5File::~H5File() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; an unflushed table is detectable on
+    // reopen (trailer magic mismatch).
+  }
+}
+
+void H5File::ensure_open() const {
+  if (closed_) throw H5Error("h5: file is closed");
+}
+
+void H5File::ensure_writable() const {
+  ensure_open();
+  if (mode_ == Mode::ReadOnly)
+    throw H5Error("h5: file opened read-only: '" + path_.string() + "'");
+}
+
+void H5File::ensure_parents(const std::string& path) {
+  // Create every ancestor group of `path` (excluding path itself).
+  std::string prefix;
+  const std::string body = path.substr(1);
+  const auto parts = util::split(body, '/');
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    prefix += '/';
+    prefix += parts[i];
+    auto it = objects_.find(prefix);
+    if (it == objects_.end()) {
+      objects_[prefix] =
+          Object{true, DType::F64, {}, 0, 0, util::Json::object()};
+      dirty_ = true;
+    } else if (!it->second.is_group) {
+      throw H5Error("h5: '" + prefix + "' is a dataset, not a group");
+    }
+  }
+}
+
+void H5File::create_group(const std::string& raw) {
+  ensure_writable();
+  const std::string path = normalize(raw);
+  if (path == "/") return;
+  ensure_parents(path + "/x");  // ancestors of path
+  auto it = objects_.find(path);
+  if (it != objects_.end()) {
+    if (!it->second.is_group)
+      throw H5Error("h5: '" + path + "' already exists as a dataset");
+    return;
+  }
+  objects_[path] = Object{true, DType::F64, {}, 0, 0, util::Json::object()};
+  dirty_ = true;
+}
+
+bool H5File::has_group(const std::string& raw) const {
+  const auto it = objects_.find(normalize(raw));
+  return it != objects_.end() && it->second.is_group;
+}
+
+bool H5File::has_dataset(const std::string& raw) const {
+  const auto it = objects_.find(normalize(raw));
+  return it != objects_.end() && !it->second.is_group;
+}
+
+std::vector<std::string> H5File::list(const std::string& raw) const {
+  ensure_open();
+  const std::string path = normalize(raw);
+  const std::string prefix = path == "/" ? "/" : path + "/";
+  std::vector<std::string> out;
+  for (const auto& [obj_path, obj] : objects_) {
+    if (obj_path == "/" || !util::starts_with(obj_path, prefix)) continue;
+    const std::string rest = obj_path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) out.push_back(rest);
+  }
+  return out;
+}
+
+std::vector<std::string> H5File::dataset_paths() const {
+  std::vector<std::string> out;
+  for (const auto& [path, obj] : objects_)
+    if (!obj.is_group) out.push_back(path);
+  return out;
+}
+
+void H5File::write_raw(const std::string& raw, DType dtype, ByteView bytes,
+                       std::vector<std::uint64_t> shape) {
+  ensure_writable();
+  const std::string path = normalize(raw);
+  if (path == "/") throw H5Error("h5: cannot write a dataset at '/'");
+  ensure_parents(path);
+  if (shape.empty())
+    shape = {static_cast<std::uint64_t>(bytes.size() / dtype_size(dtype))};
+  std::uint64_t elems = 1;
+  for (std::uint64_t d : shape) elems *= d;
+  if (elems * dtype_size(dtype) != bytes.size())
+    throw H5Error("h5: shape does not match data size for '" + path + "'");
+
+  auto it = objects_.find(path);
+  if (it != objects_.end() && it->second.is_group)
+    throw H5Error("h5: '" + path + "' already exists as a group");
+
+  // Append payload (overwrites leave the old extent dead; see compact()).
+  file_.seekp(static_cast<std::streamoff>(payload_end_));
+  file_.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  if (!file_) throw H5Error("h5: payload write failed for '" + path + "'");
+
+  Object obj;
+  obj.is_group = false;
+  obj.dtype = dtype;
+  obj.shape = std::move(shape);
+  obj.offset = payload_end_;
+  obj.bytes = bytes.size();
+  obj.attributes = it != objects_.end() ? it->second.attributes
+                                        : util::Json::object();
+  objects_[path] = std::move(obj);
+  payload_end_ += bytes.size();
+  dirty_ = true;
+}
+
+void H5File::write(const std::string& path, std::span<const double> data,
+                   std::vector<std::uint64_t> shape) {
+  write_raw(path, DType::F64,
+            ByteView(reinterpret_cast<const std::byte*>(data.data()),
+                     data.size() * sizeof(double)),
+            std::move(shape));
+}
+
+void H5File::write(const std::string& path,
+                   std::span<const std::int64_t> data,
+                   std::vector<std::uint64_t> shape) {
+  write_raw(path, DType::I64,
+            ByteView(reinterpret_cast<const std::byte*>(data.data()),
+                     data.size() * sizeof(std::int64_t)),
+            std::move(shape));
+}
+
+void H5File::write(const std::string& path, ByteView data,
+                   std::vector<std::uint64_t> shape) {
+  write_raw(path, DType::U8, data, std::move(shape));
+}
+
+DatasetInfo H5File::info(const std::string& raw) const {
+  ensure_open();
+  const std::string path = normalize(raw);
+  const auto it = objects_.find(path);
+  if (it == objects_.end() || it->second.is_group)
+    throw H5Error("h5: no dataset at '" + path + "'");
+  DatasetInfo d;
+  d.path = path;
+  d.dtype = it->second.dtype;
+  d.shape = it->second.shape;
+  return d;
+}
+
+Bytes H5File::read_raw(const std::string& raw, DType expected) const {
+  ensure_open();
+  const std::string path = normalize(raw);
+  const auto it = objects_.find(path);
+  if (it == objects_.end() || it->second.is_group)
+    throw H5Error("h5: no dataset at '" + path + "'");
+  if (it->second.dtype != expected)
+    throw H5Error("h5: dataset '" + path + "' is " +
+                  std::string(dtype_name(it->second.dtype)) + ", not " +
+                  std::string(dtype_name(expected)));
+  Bytes out(static_cast<std::size_t>(it->second.bytes));
+  file_.seekg(static_cast<std::streamoff>(it->second.offset));
+  file_.read(reinterpret_cast<char*>(out.data()),
+             static_cast<std::streamsize>(out.size()));
+  if (!file_) throw H5Error("h5: payload read failed for '" + path + "'");
+  return out;
+}
+
+std::vector<double> H5File::read_f64(const std::string& path) const {
+  const Bytes raw = read_raw(path, DType::F64);
+  std::vector<double> out(raw.size() / sizeof(double));
+  std::memcpy(out.data(), raw.data(), raw.size());
+  return out;
+}
+
+std::vector<std::int64_t> H5File::read_i64(const std::string& path) const {
+  const Bytes raw = read_raw(path, DType::I64);
+  std::vector<std::int64_t> out(raw.size() / sizeof(std::int64_t));
+  std::memcpy(out.data(), raw.data(), raw.size());
+  return out;
+}
+
+Bytes H5File::read_u8(const std::string& path) const {
+  return read_raw(path, DType::U8);
+}
+
+void H5File::set_attribute(const std::string& raw, const std::string& name,
+                           util::Json value) {
+  ensure_writable();
+  const std::string path = normalize(raw);
+  const auto it = objects_.find(path);
+  if (it == objects_.end())
+    throw H5Error("h5: no object at '" + path + "' for attribute");
+  it->second.attributes[name] = std::move(value);
+  dirty_ = true;
+}
+
+std::optional<util::Json> H5File::attribute(const std::string& raw,
+                                            const std::string& name) const {
+  ensure_open();
+  const auto it = objects_.find(normalize(raw));
+  if (it == objects_.end()) return std::nullopt;
+  const util::Json* v = it->second.attributes.find(name);
+  if (!v) return std::nullopt;
+  return *v;
+}
+
+std::vector<std::string> H5File::attribute_names(
+    const std::string& raw) const {
+  ensure_open();
+  const auto it = objects_.find(normalize(raw));
+  std::vector<std::string> out;
+  if (it != objects_.end() && it->second.attributes.is_object()) {
+    for (const auto& [k, v] : it->second.attributes.as_object())
+      out.push_back(k);
+  }
+  return out;
+}
+
+void H5File::store_table() {
+  util::ByteWriter table;
+  table.u64(objects_.size());
+  for (const auto& [path, obj] : objects_) {
+    table.str(path);
+    table.u8(obj.is_group ? 1 : 0);
+    table.u8(static_cast<std::uint8_t>(obj.dtype));
+    table.u32(static_cast<std::uint32_t>(obj.shape.size()));
+    for (std::uint64_t d : obj.shape) table.u64(d);
+    table.u64(obj.offset);
+    table.u64(obj.bytes);
+    table.str(obj.attributes.dump());
+  }
+  file_.seekp(static_cast<std::streamoff>(payload_end_));
+  file_.write(reinterpret_cast<const char*>(table.data().data()),
+              static_cast<std::streamsize>(table.size()));
+  util::ByteWriter trailer;
+  trailer.u64(payload_end_);
+  trailer.u64(table.size());
+  trailer.raw(ByteView(reinterpret_cast<const std::byte*>(kEndMagic), 8));
+  file_.write(reinterpret_cast<const char*>(trailer.data().data()),
+              static_cast<std::streamsize>(trailer.size()));
+  file_.flush();
+  if (!file_) throw H5Error("h5: table write failed");
+  // Truncate any stale bytes beyond the new trailer (shrinking rewrites).
+  std::error_code ec;
+  std::filesystem::resize_file(
+      path_, payload_end_ + table.size() + kTrailerSize, ec);
+}
+
+void H5File::load_table() {
+  file_.seekg(0, std::ios::end);
+  const std::uint64_t file_size =
+      static_cast<std::uint64_t>(file_.tellg());
+  if (file_size < kHeaderSize + kTrailerSize)
+    throw H5Error("h5: file too small: '" + path_.string() + "'");
+  char magic[8];
+  file_.seekg(0);
+  file_.read(magic, 8);
+  if (std::memcmp(magic, kMagic, 8) != 0)
+    throw H5Error("h5: bad magic in '" + path_.string() + "'");
+
+  file_.seekg(static_cast<std::streamoff>(file_size - kTrailerSize));
+  Bytes trailer(kTrailerSize);
+  file_.read(reinterpret_cast<char*>(trailer.data()), kTrailerSize);
+  util::ByteReader tr((ByteView(trailer)));
+  const std::uint64_t table_offset = tr.u64();
+  const std::uint64_t table_size = tr.u64();
+  if (std::memcmp(trailer.data() + 16, kEndMagic, 8) != 0)
+    throw H5Error("h5: missing end trailer (unflushed file?): '" +
+                  path_.string() + "'");
+  if (table_offset + table_size + kTrailerSize != file_size)
+    throw H5Error("h5: corrupt trailer in '" + path_.string() + "'");
+
+  Bytes table(static_cast<std::size_t>(table_size));
+  file_.seekg(static_cast<std::streamoff>(table_offset));
+  file_.read(reinterpret_cast<char*>(table.data()),
+             static_cast<std::streamsize>(table.size()));
+  util::ByteReader r((ByteView(table)));
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string path = r.str();
+    Object obj;
+    obj.is_group = r.u8() != 0;
+    obj.dtype = static_cast<DType>(r.u8());
+    const std::uint32_t ndims = r.u32();
+    for (std::uint32_t d = 0; d < ndims; ++d) obj.shape.push_back(r.u64());
+    obj.offset = r.u64();
+    obj.bytes = r.u64();
+    obj.attributes = util::Json::parse(r.str());
+    objects_[path] = std::move(obj);
+  }
+  payload_end_ = table_offset;
+}
+
+void H5File::flush() {
+  ensure_open();
+  if (!dirty_ || mode_ == Mode::ReadOnly) return;
+  store_table();
+  dirty_ = false;
+}
+
+void H5File::close() {
+  if (closed_) return;
+  if (dirty_ && mode_ != Mode::ReadOnly) flush();
+  file_.close();
+  closed_ = true;
+}
+
+std::uint64_t H5File::compact() {
+  ensure_writable();
+  // Rewrite payloads back to back into a fresh file, then swap tables.
+  const std::uint64_t before = payload_end_;
+  const std::filesystem::path tmp = path_.string() + ".compact";
+  {
+    H5File out(tmp, Mode::Create);
+    for (const auto& [path, obj] : objects_) {
+      if (obj.is_group) {
+        if (path != "/") out.create_group(path);
+      } else {
+        Bytes data = read_raw(path, obj.dtype);
+        out.write_raw(path, obj.dtype, ByteView(data), obj.shape);
+      }
+      for (const auto& name : attribute_names(path)) {
+        out.set_attribute(path, name, *attribute(path, name));
+      }
+    }
+    out.close();
+  }
+  file_.close();
+  std::filesystem::rename(tmp, path_);
+  file_.open(path_, std::ios::binary | std::ios::in | std::ios::out);
+  objects_.clear();
+  load_table();
+  dirty_ = false;
+  return before - payload_end_;
+}
+
+}  // namespace simai::io

@@ -1,0 +1,141 @@
+// H5Lite: a miniature hierarchical scientific data file — the HDF5
+// stand-in for the IO kernels (the paper's Kernels module does its I/O
+// through HDF5; §3.1).
+//
+// One file holds a tree of groups and datasets addressed by POSIX-style
+// paths ("/fields/velocity"). Datasets are typed (f64 / i64 / u8),
+// n-dimensional, and carry JSON attributes; groups carry attributes too.
+//
+// On-disk layout (little-endian):
+//   [magic "SAIH5LTE"][u32 version]
+//   ... dataset payloads, appended sequentially ...
+//   [object table: count + records (path, type, shape, attrs, offset, size)]
+//   [trailer: u64 table offset, u64 table size, magic "SAIH5END"]
+// The object table is rewritten on every flush/close; reopening reads the
+// trailer first — the same index-at-end design HDF5 and BP files use so
+// writers never seek backwards into payload data.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/types.hpp"
+
+namespace simai::io {
+
+class H5Error : public Error {
+ public:
+  using Error::Error;
+};
+
+enum class DType { F64, I64, U8 };
+std::string_view dtype_name(DType t);
+std::size_t dtype_size(DType t);
+
+/// Metadata for one dataset.
+struct DatasetInfo {
+  std::string path;
+  DType dtype = DType::F64;
+  std::vector<std::uint64_t> shape;
+  std::uint64_t element_count() const;
+  std::uint64_t byte_count() const {
+    return element_count() * dtype_size(dtype);
+  }
+};
+
+class H5File {
+ public:
+  enum class Mode { Create, ReadOnly, ReadWrite };
+
+  H5File(const std::filesystem::path& path, Mode mode);
+  ~H5File();
+  H5File(const H5File&) = delete;
+  H5File& operator=(const H5File&) = delete;
+
+  // -- structure -------------------------------------------------------
+
+  /// Create a group (parents created implicitly); no-op if it exists.
+  void create_group(const std::string& path);
+  bool has_group(const std::string& path) const;
+  bool has_dataset(const std::string& path) const;
+  /// Immediate children (group and dataset names) under a group path.
+  std::vector<std::string> list(const std::string& path) const;
+  /// All dataset paths, sorted.
+  std::vector<std::string> dataset_paths() const;
+
+  // -- datasets ----------------------------------------------------------
+
+  void write(const std::string& path, std::span<const double> data,
+             std::vector<std::uint64_t> shape = {});
+  void write(const std::string& path, std::span<const std::int64_t> data,
+             std::vector<std::uint64_t> shape = {});
+  void write(const std::string& path, ByteView data,
+             std::vector<std::uint64_t> shape = {});
+
+  DatasetInfo info(const std::string& path) const;
+  std::vector<double> read_f64(const std::string& path) const;
+  std::vector<std::int64_t> read_i64(const std::string& path) const;
+  Bytes read_u8(const std::string& path) const;
+
+  // -- attributes ----------------------------------------------------------
+
+  /// Attach a JSON value as an attribute of a group or dataset.
+  void set_attribute(const std::string& object_path, const std::string& name,
+                     util::Json value);
+  std::optional<util::Json> attribute(const std::string& object_path,
+                                      const std::string& name) const;
+  std::vector<std::string> attribute_names(
+      const std::string& object_path) const;
+
+  // -- lifecycle -----------------------------------------------------------
+
+  /// Persist the object table; the file is valid on disk afterwards.
+  void flush();
+  /// Flush and close; further operations throw.
+  void close();
+
+  /// Rewrite the file without dead payload space (overwritten datasets
+  /// leave holes, like HDF5 without h5repack). Returns bytes reclaimed.
+  std::uint64_t compact();
+
+  const std::filesystem::path& path() const { return path_; }
+  bool writable() const { return mode_ != Mode::ReadOnly; }
+
+ private:
+  struct Object {
+    bool is_group = false;
+    DType dtype = DType::F64;
+    std::vector<std::uint64_t> shape;
+    std::uint64_t offset = 0;  // payload offset (datasets)
+    std::uint64_t bytes = 0;
+    util::Json attributes;  // object
+  };
+
+  static std::string normalize(const std::string& path);
+  void ensure_open() const;
+  void ensure_writable() const;
+  void ensure_parents(const std::string& path);
+  void write_raw(const std::string& path, DType dtype, ByteView bytes,
+                 std::vector<std::uint64_t> shape);
+  Bytes read_raw(const std::string& path, DType expected) const;
+  void load_table();
+  void store_table();
+
+  std::filesystem::path path_;
+  Mode mode_;
+  mutable std::fstream file_;
+  std::map<std::string, Object> objects_;
+  std::uint64_t payload_end_ = 0;  // next payload append offset
+  bool dirty_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace simai::io

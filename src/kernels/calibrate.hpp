@@ -1,0 +1,43 @@
+// Kernel calibration: pick a data_size whose modelled execution time on a
+// target device matches a profiled iteration time.
+//
+// This is the §4.1.1 construction step, automated: the paper profiles a
+// production run ("we first profiled a production run ... to determine the
+// average iteration time"), then configures the mini-app kernel to match.
+// calibrate_data_size() inverts the kernel's device-time model so the
+// mini-app author can go straight from a measured 0.03147 s to a kernel
+// configuration.
+#pragma once
+
+#include <string>
+
+#include "kernels/kernel.hpp"
+
+namespace simai::kernels {
+
+struct CalibrationResult {
+  std::size_t data_size = 0;   // linear size n (square kernels use n x n)
+  SimTime modeled_time = 0.0;  // achieved modelled time at that size
+  double relative_error = 0.0; // |modeled - target| / target
+};
+
+/// Binary-search the kernel's data_size so its modelled time on `device`
+/// approximates `target_time` seconds. Works for any registered kernel
+/// whose modelled time grows monotonically with data_size (all the
+/// compute/copy kernels). `square` treats data_size as [n, n].
+CalibrationResult calibrate_data_size(const std::string& kernel_name,
+                                      const DeviceModel& device,
+                                      double target_time,
+                                      bool square = false,
+                                      std::size_t min_n = 2,
+                                      std::size_t max_n = 1 << 22);
+
+/// Build the Listing-2 style kernel config for a calibrated kernel:
+/// {"name", "mini_app_kernel", "data_size", "run_time", "device"} — the
+/// run_time is pinned to the target (the mini-app charges it exactly) and
+/// the data_size documents the matched computational volume.
+util::Json make_calibrated_config(const std::string& kernel_name,
+                                  const std::string& device_name,
+                                  double target_time, bool square = false);
+
+}  // namespace simai::kernels

@@ -1,0 +1,317 @@
+// Compute kernels from Table 1: MatMulSimple2D, MatMulGeneral, FFT, AXPY,
+// InplaceCompute, GenerateRandomNumber, ScatterAdd.
+//
+// Each does real floating-point work over buffers sized by "data_size" and
+// returns a checksum so results are testable and the work cannot be
+// optimized away; the modelled time comes from the device roofline.
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "kernels/kernel.hpp"
+
+namespace simai::kernels {
+namespace {
+
+/// Fill a buffer with reproducible pseudo-random values in [-1, 1).
+void fill_random(std::vector<double>& v, util::Xoshiro256& rng) {
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+}
+
+double sum_of(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+// --------------------------------------------------------------------------
+// MatMulSimple2D: square matrix product, the kernel the paper's nekRS
+// emulation uses (Listing 2: data_size [256, 256]).
+// --------------------------------------------------------------------------
+class MatMulSimple2D final : public Kernel {
+ public:
+  explicit MatMulSimple2D(const util::Json& config) {
+    const auto dims = parse_data_size(config, 256);
+    n_ = dims[0];
+    if (dims.size() > 1 && dims[1] != dims[0])
+      throw ConfigError("MatMulSimple2D requires a square data_size");
+  }
+
+  std::string_view name() const override { return "MatMulSimple2D"; }
+
+  KernelResult run(KernelContext& ctx) override {
+    const std::size_t n = n_;
+    std::vector<double> a(n * n), b(n * n), c(n * n, 0.0);
+    fill_random(a, ctx.rng);
+    fill_random(b, ctx.rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double aik = a[i * n + k];
+        for (std::size_t j = 0; j < n; ++j) {
+          c[i * n + j] += aik * b[k * n + j];
+        }
+      }
+    }
+    KernelResult r;
+    r.flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+              static_cast<double>(n);
+    r.bytes_touched = 3 * n * n * sizeof(double);
+    r.modeled_time = ctx.device.compute_time(r.flops, r.bytes_touched);
+    r.checksum = sum_of(c);
+    return r;
+  }
+
+ private:
+  std::size_t n_;
+};
+
+// --------------------------------------------------------------------------
+// MatMulGeneral: rectangular GEMM C[MxN] = A[MxK] * B[KxN], blocked.
+// --------------------------------------------------------------------------
+class MatMulGeneral final : public Kernel {
+ public:
+  explicit MatMulGeneral(const util::Json& config) {
+    const auto dims = parse_data_size(config, 128);
+    m_ = dims[0];
+    k_ = dims.size() > 1 ? dims[1] : dims[0];
+    n_ = dims.size() > 2 ? dims[2] : dims[0];
+  }
+
+  std::string_view name() const override { return "MatMulGeneral"; }
+
+  KernelResult run(KernelContext& ctx) override {
+    std::vector<double> a(m_ * k_), b(k_ * n_), c(m_ * n_, 0.0);
+    fill_random(a, ctx.rng);
+    fill_random(b, ctx.rng);
+    constexpr std::size_t kBlock = 64;
+    for (std::size_t i0 = 0; i0 < m_; i0 += kBlock) {
+      for (std::size_t k0 = 0; k0 < k_; k0 += kBlock) {
+        for (std::size_t j0 = 0; j0 < n_; j0 += kBlock) {
+          const std::size_t imax = std::min(i0 + kBlock, m_);
+          const std::size_t kmax = std::min(k0 + kBlock, k_);
+          const std::size_t jmax = std::min(j0 + kBlock, n_);
+          for (std::size_t i = i0; i < imax; ++i) {
+            for (std::size_t k = k0; k < kmax; ++k) {
+              const double aik = a[i * k_ + k];
+              for (std::size_t j = j0; j < jmax; ++j) {
+                c[i * n_ + j] += aik * b[k * n_ + j];
+              }
+            }
+          }
+        }
+      }
+    }
+    KernelResult r;
+    r.flops = 2.0 * static_cast<double>(m_) * static_cast<double>(k_) *
+              static_cast<double>(n_);
+    r.bytes_touched = (m_ * k_ + k_ * n_ + m_ * n_) * sizeof(double);
+    r.modeled_time = ctx.device.compute_time(r.flops, r.bytes_touched);
+    r.checksum = sum_of(c);
+    return r;
+  }
+
+ private:
+  std::size_t m_, k_, n_;
+};
+
+// --------------------------------------------------------------------------
+// FFT: iterative radix-2 Cooley-Tukey over a complex signal. data_size is
+// rounded up to the next power of two.
+// --------------------------------------------------------------------------
+class FftKernel final : public Kernel {
+ public:
+  explicit FftKernel(const util::Json& config) {
+    std::size_t n = element_count(parse_data_size(config, 1024));
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    n_ = p;
+  }
+
+  std::string_view name() const override { return "FFT"; }
+
+  static void fft_inplace(std::vector<std::complex<double>>& x) {
+    const std::size_t n = x.size();
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+      std::size_t bit = n >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      if (i < j) std::swap(x[i], x[j]);
+    }
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const double angle =
+          -2.0 * std::numbers::pi / static_cast<double>(len);
+      const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+      for (std::size_t i = 0; i < n; i += len) {
+        std::complex<double> w(1.0);
+        for (std::size_t k = 0; k < len / 2; ++k) {
+          const std::complex<double> u = x[i + k];
+          const std::complex<double> v = x[i + k + len / 2] * w;
+          x[i + k] = u + v;
+          x[i + k + len / 2] = u - v;
+          w *= wlen;
+        }
+      }
+    }
+  }
+
+  KernelResult run(KernelContext& ctx) override {
+    std::vector<std::complex<double>> x(n_);
+    for (auto& c : x) c = {ctx.rng.uniform(-1.0, 1.0), 0.0};
+    fft_inplace(x);
+    KernelResult r;
+    const double n = static_cast<double>(n_);
+    r.flops = 5.0 * n * std::log2(n);
+    r.bytes_touched = n_ * sizeof(std::complex<double>) * 2;
+    r.modeled_time = ctx.device.compute_time(r.flops, r.bytes_touched);
+    double s = 0.0;
+    for (const auto& c : x) s += std::abs(c);
+    r.checksum = s;
+    return r;
+  }
+
+ private:
+  std::size_t n_;
+};
+
+// --------------------------------------------------------------------------
+// AXPY: y = a*x + y.
+// --------------------------------------------------------------------------
+class AxpyKernel final : public Kernel {
+ public:
+  explicit AxpyKernel(const util::Json& config)
+      : n_(element_count(parse_data_size(config, 1 << 20))),
+        alpha_(config.get("alpha", 2.5)) {}
+
+  std::string_view name() const override { return "AXPY"; }
+
+  KernelResult run(KernelContext& ctx) override {
+    std::vector<double> x(n_), y(n_);
+    fill_random(x, ctx.rng);
+    fill_random(y, ctx.rng);
+    for (std::size_t i = 0; i < n_; ++i) y[i] += alpha_ * x[i];
+    KernelResult r;
+    r.flops = 2.0 * static_cast<double>(n_);
+    r.bytes_touched = 3 * n_ * sizeof(double);
+    r.modeled_time = ctx.device.compute_time(r.flops, r.bytes_touched);
+    r.checksum = sum_of(y);
+    return r;
+  }
+
+ private:
+  std::size_t n_;
+  double alpha_;
+};
+
+// --------------------------------------------------------------------------
+// InplaceCompute: x = f(x) applied in place (transcendental per element).
+// --------------------------------------------------------------------------
+class InplaceCompute final : public Kernel {
+ public:
+  explicit InplaceCompute(const util::Json& config)
+      : n_(element_count(parse_data_size(config, 1 << 18))) {}
+
+  std::string_view name() const override { return "InplaceCompute"; }
+
+  KernelResult run(KernelContext& ctx) override {
+    std::vector<double> x(n_);
+    fill_random(x, ctx.rng);
+    for (double& v : x) v = std::sin(v) * std::exp(-v * v);
+    KernelResult r;
+    r.flops = 20.0 * static_cast<double>(n_);  // transcendental cost proxy
+    r.bytes_touched = 2 * n_ * sizeof(double);
+    r.modeled_time = ctx.device.compute_time(r.flops, r.bytes_touched);
+    r.checksum = sum_of(x);
+    return r;
+  }
+
+ private:
+  std::size_t n_;
+};
+
+// --------------------------------------------------------------------------
+// GenerateRandomNumber: fill an array from the device RNG.
+// --------------------------------------------------------------------------
+class GenerateRandomNumber final : public Kernel {
+ public:
+  explicit GenerateRandomNumber(const util::Json& config)
+      : n_(element_count(parse_data_size(config, 1 << 20))) {}
+
+  std::string_view name() const override { return "GenerateRandomNumber"; }
+
+  KernelResult run(KernelContext& ctx) override {
+    std::vector<double> x(n_);
+    fill_random(x, ctx.rng);
+    KernelResult r;
+    r.flops = 2.0 * static_cast<double>(n_);
+    r.bytes_touched = n_ * sizeof(double);
+    r.modeled_time = ctx.device.compute_time(r.flops, r.bytes_touched);
+    r.checksum = sum_of(x);
+    return r;
+  }
+
+ private:
+  std::size_t n_;
+};
+
+// --------------------------------------------------------------------------
+// ScatterAdd: out[idx[i]] += src[i] with random indices.
+// --------------------------------------------------------------------------
+class ScatterAdd final : public Kernel {
+ public:
+  explicit ScatterAdd(const util::Json& config) {
+    const auto dims = parse_data_size(config, 1 << 18);
+    n_src_ = dims[0];
+    n_dst_ = dims.size() > 1 ? dims[1] : dims[0];
+  }
+
+  std::string_view name() const override { return "ScatterAdd"; }
+
+  KernelResult run(KernelContext& ctx) override {
+    std::vector<double> src(n_src_), dst(n_dst_, 0.0);
+    fill_random(src, ctx.rng);
+    for (std::size_t i = 0; i < n_src_; ++i) {
+      dst[ctx.rng.uniform_int(n_dst_)] += src[i];
+    }
+    KernelResult r;
+    r.flops = static_cast<double>(n_src_);
+    r.bytes_touched = (n_src_ + 2 * n_src_) * sizeof(double);
+    r.modeled_time = ctx.device.compute_time(r.flops, r.bytes_touched);
+    // Scatter order doesn't change the sum: checksum is exact.
+    r.checksum = sum_of(dst);
+    return r;
+  }
+
+ private:
+  std::size_t n_src_, n_dst_;
+};
+
+}  // namespace
+
+void register_compute_kernels() {
+  register_kernel("MatMulSimple2D", [](const util::Json& c) -> KernelPtr {
+    return std::make_unique<MatMulSimple2D>(c);
+  });
+  register_kernel("MatMulGeneral", [](const util::Json& c) -> KernelPtr {
+    return std::make_unique<MatMulGeneral>(c);
+  });
+  register_kernel("FFT", [](const util::Json& c) -> KernelPtr {
+    return std::make_unique<FftKernel>(c);
+  });
+  register_kernel("AXPY", [](const util::Json& c) -> KernelPtr {
+    return std::make_unique<AxpyKernel>(c);
+  });
+  register_kernel("InplaceCompute", [](const util::Json& c) -> KernelPtr {
+    return std::make_unique<InplaceCompute>(c);
+  });
+  register_kernel("GenerateRandomNumber",
+                  [](const util::Json& c) -> KernelPtr {
+                    return std::make_unique<GenerateRandomNumber>(c);
+                  });
+  register_kernel("ScatterAdd", [](const util::Json& c) -> KernelPtr {
+    return std::make_unique<ScatterAdd>(c);
+  });
+}
+
+}  // namespace simai::kernels

@@ -1,0 +1,54 @@
+#include "kernels/device.hpp"
+
+#include <algorithm>
+
+#include "util/string_util.hpp"
+
+namespace simai::kernels {
+
+DeviceType parse_device(std::string_view name) {
+  const std::string n = util::to_lower(name);
+  if (n == "cpu") return DeviceType::Cpu;
+  if (n == "xpu" || n == "gpu") return DeviceType::Xpu;
+  throw ConfigError("unknown device '" + std::string(name) + "'");
+}
+
+std::string_view device_name(DeviceType type) {
+  return type == DeviceType::Cpu ? "cpu" : "xpu";
+}
+
+DeviceModel DeviceModel::xpu_tile() {
+  DeviceModel d;
+  d.type = DeviceType::Xpu;
+  d.flops = 8.0e12;   // sustained, not peak
+  d.mem_bw = 6.0e11;  // HBM2e per tile
+  d.h2d_bw = 3.0e10;  // PCIe/fabric host link
+  d.d2h_bw = 2.5e10;
+  d.launch_latency = 10e-6;
+  return d;
+}
+
+DeviceModel DeviceModel::cpu() { return DeviceModel{}; }
+
+DeviceModel DeviceModel::of(DeviceType type) {
+  return type == DeviceType::Xpu ? xpu_tile() : cpu();
+}
+
+SimTime DeviceModel::compute_time(double flop_count,
+                                  std::uint64_t bytes) const {
+  // Roofline-style: compute and memory phases overlap imperfectly; take the
+  // max plus launch overhead.
+  const double t_flops = flop_count / flops;
+  const double t_mem = static_cast<double>(bytes) / mem_bw;
+  return launch_latency + std::max(t_flops, t_mem);
+}
+
+SimTime DeviceModel::h2d_time(std::uint64_t bytes) const {
+  return launch_latency + static_cast<double>(bytes) / h2d_bw;
+}
+
+SimTime DeviceModel::d2h_time(std::uint64_t bytes) const {
+  return launch_latency + static_cast<double>(bytes) / d2h_bw;
+}
+
+}  // namespace simai::kernels

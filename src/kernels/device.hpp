@@ -1,0 +1,47 @@
+// Device abstraction for kernel placement and data movement.
+//
+// The paper's kernels target Aurora's Intel Max 1550 GPU tiles through dpnp.
+// Here a Device is a modelled execution space: kernels execute their real
+// math on the CPU (so results are verifiable), while the *modelled* cost of
+// an iteration comes from the device's rates — which is all the mini-app
+// needs, since SimAI-Bench pins kernel duration to a configured run_time and
+// uses the device only for placement and transfer pricing.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace simai::kernels {
+
+enum class DeviceType { Cpu, Xpu };
+
+/// Parse "cpu" / "xpu" (also "gpu" as an alias for xpu).
+DeviceType parse_device(std::string_view name);
+std::string_view device_name(DeviceType type);
+
+/// Modelled execution rates for one device.
+struct DeviceModel {
+  DeviceType type = DeviceType::Cpu;
+  double flops = 1.0e11;      // sustained FLOP/s for kernel math
+  double mem_bw = 2.0e10;     // B/s streaming through device memory
+  double h2d_bw = 3.0e10;     // host->device copy bandwidth
+  double d2h_bw = 2.5e10;     // device->host copy bandwidth
+  double launch_latency = 5e-6;  // per-kernel-invocation overhead
+
+  /// One Aurora Max 1550 tile (half a GPU): ~26 TF/s FP32 per tile class
+  /// hardware; conservative sustained figures.
+  static DeviceModel xpu_tile();
+  /// One CPU core class device.
+  static DeviceModel cpu();
+  static DeviceModel of(DeviceType type);
+
+  /// Modelled time to execute `flop_count` FLOPs + stream `bytes`.
+  SimTime compute_time(double flop_count, std::uint64_t bytes = 0) const;
+  SimTime h2d_time(std::uint64_t bytes) const;
+  SimTime d2h_time(std::uint64_t bytes) const;
+};
+
+}  // namespace simai::kernels

@@ -1,0 +1,190 @@
+// IO kernels from Table 1: WriteSingleRank, WriteNonMPI, WriteWithMPI,
+// ReadNonMPI, ReadWithMPI.
+//
+// Non-MPI variants do real per-rank file I/O into ctx.io_dir. The MPI
+// variants emulate MPI-IO collectives: ranks gather their blocks to rank 0
+// over the in-process communicator, which performs one contiguous write
+// (reads scatter the other way) — the data movement pattern of a collective
+// buffered write, which is what matters for a transport benchmark.
+#include <cstring>
+#include <vector>
+
+#include "kernels/kernel.hpp"
+#include "util/fsutil.hpp"
+
+namespace simai::kernels {
+namespace {
+
+std::vector<double> make_payload(std::size_t n, util::Xoshiro256& rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+double checksum_of(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+/// Disk cost model shared by the IO kernels: a seek/open latency plus a
+/// bandwidth term (node-local NVMe class by default).
+struct DiskModel {
+  double latency = 100e-6;
+  double bandwidth = 2.0e9;
+  SimTime io_time(std::uint64_t bytes) const {
+    return latency + static_cast<double>(bytes) / bandwidth;
+  }
+};
+
+class IoKernelBase : public Kernel {
+ public:
+  explicit IoKernelBase(const util::Json& config)
+      : n_(element_count(parse_data_size(config, 1 << 16))) {}
+
+ protected:
+  std::filesystem::path rank_file(const KernelContext& ctx, int rank) const {
+    if (ctx.io_dir.empty())
+      throw ConfigError(std::string(
+          "IO kernel requires KernelContext.io_dir to be set"));
+    return ctx.io_dir / ("io_rank" + std::to_string(rank) + ".bin");
+  }
+
+  static ByteView as_byte_view(const std::vector<double>& v) {
+    return {reinterpret_cast<const std::byte*>(v.data()),
+            v.size() * sizeof(double)};
+  }
+
+  std::size_t n_;
+  DiskModel disk_;
+};
+
+// Only the root rank writes; others idle (a common checkpoint pattern).
+class WriteSingleRank final : public IoKernelBase {
+ public:
+  using IoKernelBase::IoKernelBase;
+  std::string_view name() const override { return "WriteSingleRank"; }
+
+  KernelResult run(KernelContext& ctx) override {
+    KernelResult r;
+    if (ctx.rank == 0) {
+      const auto payload = make_payload(n_, ctx.rng);
+      util::write_file(rank_file(ctx, 0), as_byte_view(payload));
+      r.bytes_touched = n_ * sizeof(double);
+      r.modeled_time = disk_.io_time(r.bytes_touched);
+      r.checksum = checksum_of(payload);
+    }
+    return r;
+  }
+};
+
+// Every rank writes its own file (file-per-process).
+class WriteNonMPI final : public IoKernelBase {
+ public:
+  using IoKernelBase::IoKernelBase;
+  std::string_view name() const override { return "WriteNonMPI"; }
+
+  KernelResult run(KernelContext& ctx) override {
+    const auto payload = make_payload(n_, ctx.rng);
+    util::write_file(rank_file(ctx, ctx.rank), as_byte_view(payload));
+    KernelResult r;
+    r.bytes_touched = n_ * sizeof(double);
+    r.modeled_time = disk_.io_time(r.bytes_touched);
+    r.checksum = checksum_of(payload);
+    return r;
+  }
+};
+
+// Every rank reads its own file; errors if WriteNonMPI has not run.
+class ReadNonMPI final : public IoKernelBase {
+ public:
+  using IoKernelBase::IoKernelBase;
+  std::string_view name() const override { return "ReadNonMPI"; }
+
+  KernelResult run(KernelContext& ctx) override {
+    const Bytes data = util::read_file(rank_file(ctx, ctx.rank));
+    KernelResult r;
+    r.bytes_touched = data.size();
+    r.modeled_time = disk_.io_time(r.bytes_touched);
+    std::vector<double> v(data.size() / sizeof(double));
+    std::memcpy(v.data(), data.data(), v.size() * sizeof(double));
+    r.checksum = checksum_of(v);
+    return r;
+  }
+};
+
+// Collective write: ranks gather blocks to rank 0, which writes one file.
+class WriteWithMPI final : public IoKernelBase {
+ public:
+  using IoKernelBase::IoKernelBase;
+  std::string_view name() const override { return "WriteWithMPI"; }
+
+  KernelResult run(KernelContext& ctx) override {
+    if (!ctx.comm || !ctx.sim_ctx)
+      throw ConfigError("WriteWithMPI requires a communicator context");
+    const auto payload = make_payload(n_, ctx.rng);
+    const std::vector<double> all =
+        ctx.comm->gather(*ctx.sim_ctx, ctx.rank, 0, payload);
+    KernelResult r;
+    r.bytes_touched = n_ * sizeof(double);
+    r.checksum = checksum_of(payload);
+    if (ctx.rank == 0) {
+      util::write_file(ctx.io_dir / "io_collective.bin", as_byte_view(all));
+      r.modeled_time = disk_.io_time(all.size() * sizeof(double));
+    } else {
+      r.modeled_time = disk_.latency;  // participation overhead
+    }
+    return r;
+  }
+};
+
+// Collective read: rank 0 reads the shared file and scatters equal blocks.
+class ReadWithMPI final : public IoKernelBase {
+ public:
+  using IoKernelBase::IoKernelBase;
+  std::string_view name() const override { return "ReadWithMPI"; }
+
+  KernelResult run(KernelContext& ctx) override {
+    if (!ctx.comm || !ctx.sim_ctx)
+      throw ConfigError("ReadWithMPI requires a communicator context");
+    std::vector<double> all;
+    if (ctx.rank == 0) {
+      const Bytes data = util::read_file(ctx.io_dir / "io_collective.bin");
+      all.resize(data.size() / sizeof(double));
+      std::memcpy(all.data(), data.data(), all.size() * sizeof(double));
+      // Trim so the buffer scatters evenly.
+      all.resize(all.size() - all.size() % static_cast<std::size_t>(ctx.nranks));
+    }
+    const std::vector<double> mine =
+        ctx.comm->scatter(*ctx.sim_ctx, ctx.rank, 0, all);
+    KernelResult r;
+    r.bytes_touched = mine.size() * sizeof(double);
+    r.modeled_time = ctx.rank == 0
+                         ? disk_.io_time(all.size() * sizeof(double))
+                         : disk_.latency;
+    r.checksum = checksum_of(mine);
+    return r;
+  }
+};
+
+}  // namespace
+
+void register_io_kernels() {
+  register_kernel("WriteSingleRank", [](const util::Json& c) -> KernelPtr {
+    return std::make_unique<WriteSingleRank>(c);
+  });
+  register_kernel("WriteNonMPI", [](const util::Json& c) -> KernelPtr {
+    return std::make_unique<WriteNonMPI>(c);
+  });
+  register_kernel("ReadNonMPI", [](const util::Json& c) -> KernelPtr {
+    return std::make_unique<ReadNonMPI>(c);
+  });
+  register_kernel("WriteWithMPI", [](const util::Json& c) -> KernelPtr {
+    return std::make_unique<WriteWithMPI>(c);
+  });
+  register_kernel("ReadWithMPI", [](const util::Json& c) -> KernelPtr {
+    return std::make_unique<ReadWithMPI>(c);
+  });
+}
+
+}  // namespace simai::kernels

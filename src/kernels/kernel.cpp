@@ -1,0 +1,109 @@
+#include "kernels/kernel.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace simai::kernels {
+
+namespace {
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, KernelFactory> factories;
+
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+};
+
+// Defined in the per-family translation units.
+void ensure_builtins_registered();
+}  // namespace
+
+void register_kernel(const std::string& name, KernelFactory factory) {
+  auto& reg = Registry::instance();
+  std::lock_guard lock(reg.mutex);
+  const auto [it, inserted] = reg.factories.emplace(name, std::move(factory));
+  if (!inserted)
+    throw ConfigError("kernel '" + name + "' is already registered");
+}
+
+// Builtin registration: each family file exposes a registrar invoked here.
+void register_compute_kernels();
+void register_io_kernels();
+void register_collective_kernels();
+void register_copy_kernels();
+void register_hdf5_kernels();
+
+namespace {
+void ensure_builtins_registered() {
+  static const bool once = [] {
+    register_compute_kernels();
+    register_io_kernels();
+    register_collective_kernels();
+    register_copy_kernels();
+    register_hdf5_kernels();
+    return true;
+  }();
+  (void)once;
+}
+}  // namespace
+
+KernelPtr make_kernel(const std::string& name, const util::Json& config) {
+  ensure_builtins_registered();
+  auto& reg = Registry::instance();
+  KernelFactory factory;
+  {
+    std::lock_guard lock(reg.mutex);
+    const auto it = reg.factories.find(name);
+    if (it == reg.factories.end())
+      throw ConfigError("unknown kernel '" + name + "'");
+    factory = it->second;
+  }
+  return factory(config);
+}
+
+bool kernel_registered(const std::string& name) {
+  ensure_builtins_registered();
+  auto& reg = Registry::instance();
+  std::lock_guard lock(reg.mutex);
+  return reg.factories.count(name) != 0;
+}
+
+std::vector<std::string> registered_kernels() {
+  ensure_builtins_registered();
+  auto& reg = Registry::instance();
+  std::lock_guard lock(reg.mutex);
+  std::vector<std::string> names;
+  names.reserve(reg.factories.size());
+  for (const auto& [name, factory] : reg.factories) names.push_back(name);
+  return names;
+}
+
+std::vector<std::size_t> parse_data_size(const util::Json& config,
+                                         std::size_t default_n) {
+  const util::Json* ds = config.find("data_size");
+  if (!ds) return {default_n};
+  if (ds->is_number()) {
+    const auto n = ds->as_int();
+    if (n <= 0) throw ConfigError("data_size must be positive");
+    return {static_cast<std::size_t>(n)};
+  }
+  std::vector<std::size_t> dims;
+  for (const util::Json& d : ds->as_array()) {
+    const auto n = d.as_int();
+    if (n <= 0) throw ConfigError("data_size entries must be positive");
+    dims.push_back(static_cast<std::size_t>(n));
+  }
+  if (dims.empty()) throw ConfigError("data_size must not be empty");
+  return dims;
+}
+
+std::size_t element_count(const std::vector<std::size_t>& dims) {
+  std::size_t n = 1;
+  for (std::size_t d : dims) n *= d;
+  return n;
+}
+
+}  // namespace simai::kernels

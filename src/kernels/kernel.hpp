@@ -1,0 +1,84 @@
+// Kernel primitives (the paper's Table 1) and their registry.
+//
+// A Kernel is one configurable operation — compute, I/O, collective, or
+// copy — that a Simulation component strings into iterations. Kernels do
+// REAL work sized by their configuration (real GEMMs, real FFTs, real file
+// writes, real all-reduces over the in-process communicator) and report a
+// MODELLED cost from the device/topology models; the Simulation layer
+// decides whether to charge that estimate or a configured run_time,
+// mirroring SimAI-Bench's run_time/run_count semantics.
+//
+// The registry is open: register_kernel() accepts custom factories, which
+// is the extensibility hook §3.1 describes.
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/device.hpp"
+#include "net/communicator.hpp"
+#include "sim/engine.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace simai::kernels {
+
+/// Execution environment handed to kernels. Collective and MPI-IO kernels
+/// require `comm` + `sim_ctx`; the rest run standalone.
+struct KernelContext {
+  int rank = 0;
+  int nranks = 1;
+  net::Communicator* comm = nullptr;  // required by collectives / MPI-IO
+  sim::Context* sim_ctx = nullptr;    // required when comm is used
+  std::filesystem::path io_dir;       // scratch directory for IO kernels
+  util::Xoshiro256 rng{12345};
+  DeviceModel device = DeviceModel::cpu();
+};
+
+/// Outcome of one kernel invocation.
+struct KernelResult {
+  SimTime modeled_time = 0.0;  // estimated duration on the target device
+  double checksum = 0.0;       // value derived from the real computation
+  std::uint64_t bytes_touched = 0;
+  double flops = 0.0;
+};
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+  virtual std::string_view name() const = 0;
+  /// Execute one iteration of real work and return its modelled cost.
+  virtual KernelResult run(KernelContext& ctx) = 0;
+};
+
+using KernelPtr = std::unique_ptr<Kernel>;
+
+/// Factory signature: builds a kernel from its JSON config. Recognized
+/// config fields are kernel-specific; all honor "data_size" (scalar or
+/// [rows, cols] array, in elements).
+using KernelFactory = std::function<KernelPtr(const util::Json& config)>;
+
+/// Register a kernel type; throws ConfigError on duplicate names.
+void register_kernel(const std::string& name, KernelFactory factory);
+
+/// Instantiate by name; throws ConfigError for unknown kernels.
+KernelPtr make_kernel(const std::string& name, const util::Json& config);
+
+bool kernel_registered(const std::string& name);
+
+/// Names of all registered kernels, sorted (Table 1 set + custom ones).
+std::vector<std::string> registered_kernels();
+
+/// Helpers shared by kernel implementations -------------------------------
+
+/// Parse "data_size": scalar n -> {n}, [a,b,...] -> {a,b,...}.
+std::vector<std::size_t> parse_data_size(const util::Json& config,
+                                         std::size_t default_n = 256);
+
+/// Elements in a data_size vector (product).
+std::size_t element_count(const std::vector<std::size_t>& dims);
+
+}  // namespace simai::kernels

@@ -1,0 +1,134 @@
+#include "kv/daos_store.hpp"
+
+#include <algorithm>
+
+#include "util/buffer.hpp"
+#include "util/crc32.hpp"
+#include "util/string_util.hpp"
+
+namespace simai::kv {
+
+namespace {
+// The \x01 byte is concatenated separately: a joined literal like
+// "\x01data:" would greedily parse the escape as the (out-of-range) hex
+// sequence 0x1da.
+constexpr std::string_view kDescPrefix = "\x01" "meta:";
+constexpr std::string_view kStripePrefix = "\x01" "data:";
+}  // namespace
+
+DaosStore::DaosStore(int targets, std::size_t stripe_bytes)
+    : stripe_bytes_(stripe_bytes) {
+  if (targets <= 0) throw StoreError("daos: target count must be positive");
+  if (stripe_bytes == 0) throw StoreError("daos: stripe size must be positive");
+  targets_.reserve(static_cast<std::size_t>(targets));
+  for (int t = 0; t < targets; ++t)
+    targets_.push_back(std::make_unique<MemoryStore>());
+}
+
+int DaosStore::home_target(std::string_view key) const {
+  return static_cast<int>(util::crc32(key) % targets_.size());
+}
+
+std::size_t DaosStore::stripe_count(std::size_t bytes) const {
+  return bytes == 0 ? 1 : (bytes + stripe_bytes_ - 1) / stripe_bytes_;
+}
+
+std::string DaosStore::descriptor_key(std::string_view key) const {
+  return std::string(kDescPrefix) + std::string(key);
+}
+
+std::string DaosStore::stripe_key(std::string_view key,
+                                  std::size_t stripe) const {
+  return std::string(kStripePrefix) + std::string(key) + ":" +
+         std::to_string(stripe);
+}
+
+void DaosStore::put(std::string_view key, ByteView value) {
+  const int home = home_target(key);
+  const std::size_t stripes = stripe_count(value.size());
+  // Write stripes round-robin from the home target, then commit the
+  // descriptor last so readers never see a half-written object.
+  for (std::size_t s = 0; s < stripes; ++s) {
+    const std::size_t begin = s * stripe_bytes_;
+    const std::size_t len = std::min(stripe_bytes_, value.size() - begin);
+    const auto target = static_cast<std::size_t>(
+        (static_cast<std::size_t>(home) + s) % targets_.size());
+    targets_[target]->put(stripe_key(key, s), value.subspan(begin, len));
+  }
+  util::ByteWriter desc;
+  desc.u64(value.size());
+  desc.u32(static_cast<std::uint32_t>(stripes));
+  targets_[static_cast<std::size_t>(home)]->put(descriptor_key(key),
+                                                ByteView(desc.data()));
+}
+
+bool DaosStore::get(std::string_view key, Bytes& out) {
+  const int home = home_target(key);
+  Bytes desc_bytes;
+  if (!targets_[static_cast<std::size_t>(home)]->get(descriptor_key(key),
+                                                     desc_bytes))
+    return false;
+  util::ByteReader desc((ByteView(desc_bytes)));
+  const std::uint64_t total = desc.u64();
+  const std::uint32_t stripes = desc.u32();
+  Bytes assembled;
+  assembled.reserve(static_cast<std::size_t>(total));
+  for (std::uint32_t s = 0; s < stripes; ++s) {
+    const auto target = static_cast<std::size_t>(
+        (static_cast<std::size_t>(home) + s) % targets_.size());
+    Bytes stripe;
+    if (!targets_[target]->get(stripe_key(key, s), stripe))
+      throw StoreError("daos: missing stripe " + std::to_string(s) +
+                       " of object '" + std::string(key) + "'");
+    assembled.insert(assembled.end(), stripe.begin(), stripe.end());
+  }
+  if (assembled.size() != total)
+    throw StoreError("daos: reassembled size mismatch for '" +
+                     std::string(key) + "'");
+  out = std::move(assembled);
+  return true;
+}
+
+bool DaosStore::exists(std::string_view key) {
+  return targets_[static_cast<std::size_t>(home_target(key))]->exists(
+      descriptor_key(key));
+}
+
+std::size_t DaosStore::erase(std::string_view key) {
+  const int home = home_target(key);
+  Bytes desc_bytes;
+  if (!targets_[static_cast<std::size_t>(home)]->get(descriptor_key(key),
+                                                     desc_bytes))
+    return 0;
+  util::ByteReader desc((ByteView(desc_bytes)));
+  desc.u64();  // total size, unused here
+  const std::uint32_t stripes = desc.u32();
+  for (std::uint32_t s = 0; s < stripes; ++s) {
+    const auto target = static_cast<std::size_t>(
+        (static_cast<std::size_t>(home) + s) % targets_.size());
+    targets_[target]->erase(stripe_key(key, s));
+  }
+  targets_[static_cast<std::size_t>(home)]->erase(descriptor_key(key));
+  return 1;
+}
+
+std::vector<std::string> DaosStore::keys(std::string_view pattern) {
+  std::vector<std::string> out;
+  for (auto& target : targets_) {
+    for (const std::string& k :
+         target->keys(std::string(kDescPrefix) + "*")) {
+      const std::string object = k.substr(kDescPrefix.size());
+      if (util::glob_match(pattern, object)) out.push_back(object);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t DaosStore::size() { return keys("*").size(); }
+
+void DaosStore::clear() {
+  for (auto& target : targets_) target->clear();
+}
+
+}  // namespace simai::kv

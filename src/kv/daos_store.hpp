@@ -1,0 +1,52 @@
+// DAOS-style distributed object store (the paper's §5 future-work backend:
+// "staging through DAOS on Aurora").
+//
+// Architectural properties mirrored from DAOS:
+//  * client-direct access — clients compute object placement themselves and
+//    talk straight to storage targets; there is NO central metadata server
+//    (the property that changes the Fig-3b scaling story);
+//  * striping — values above `stripe_bytes` are split round-robin across
+//    targets starting at the object's home target, so large-object
+//    bandwidth aggregates across targets;
+//  * per-target concurrency — each target is independently lockable, so
+//    operations on different targets proceed in parallel.
+//
+// A small per-object descriptor (value length, stripe count) lives on the
+// home target, playing the role of DAOS's distributed object metadata.
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+
+#include "kv/memory_store.hpp"
+
+namespace simai::kv {
+
+class DaosStore final : public IKeyValueStore {
+ public:
+  explicit DaosStore(int targets = 8, std::size_t stripe_bytes = 1 * MiB);
+
+  void put(std::string_view key, ByteView value) override;
+  bool get(std::string_view key, Bytes& out) override;
+  bool exists(std::string_view key) override;
+  std::size_t erase(std::string_view key) override;
+  std::vector<std::string> keys(std::string_view pattern = "*") override;
+  std::size_t size() override;
+  void clear() override;
+
+  int target_count() const { return static_cast<int>(targets_.size()); }
+  std::size_t stripe_bytes() const { return stripe_bytes_; }
+  /// Home target for an object (descriptor + first stripe) — for tests.
+  int home_target(std::string_view key) const;
+  /// Number of stripes a value of `bytes` splits into.
+  std::size_t stripe_count(std::size_t bytes) const;
+
+ private:
+  std::string descriptor_key(std::string_view key) const;
+  std::string stripe_key(std::string_view key, std::size_t stripe) const;
+
+  std::vector<std::unique_ptr<MemoryStore>> targets_;
+  std::size_t stripe_bytes_;
+};
+
+}  // namespace simai::kv

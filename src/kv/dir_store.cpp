@@ -1,0 +1,137 @@
+#include "kv/dir_store.hpp"
+
+#include <cctype>
+
+#include "util/crc32.hpp"
+#include "util/fsutil.hpp"
+#include "util/string_util.hpp"
+
+namespace simai::kv {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr std::string_view kSuffix = ".bin";
+constexpr std::string_view kTmpMarker = ".tmp.";
+
+bool is_safe(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
+}
+}  // namespace
+
+std::string DirStore::encode_key(std::string_view key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    if (is_safe(c)) {
+      out += c;
+    } else {
+      static constexpr char kHex[] = "0123456789abcdef";
+      out += '%';
+      out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+      out += kHex[static_cast<unsigned char>(c) & 0xF];
+    }
+  }
+  return out;
+}
+
+std::string DirStore::decode_key(std::string_view filename) {
+  std::string out;
+  out.reserve(filename.size());
+  for (std::size_t i = 0; i < filename.size(); ++i) {
+    if (filename[i] == '%' && i + 2 < filename.size()) {
+      const auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return -1;
+      };
+      const int hi = hex(filename[i + 1]);
+      const int lo = hex(filename[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>((hi << 4) | lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += filename[i];
+  }
+  return out;
+}
+
+DirStore::DirStore(fs::path root, int shards)
+    : root_(std::move(root)), shards_(shards) {
+  if (shards_ <= 0) throw StoreError("dir store: shard count must be positive");
+  for (int s = 0; s < shards_; ++s) util::ensure_directory(shard_dir(s));
+}
+
+int DirStore::shard_of(std::string_view key) const {
+  return static_cast<int>(util::crc32(key) % static_cast<std::uint32_t>(shards_));
+}
+
+fs::path DirStore::shard_dir(int shard) const {
+  return root_ / ("shard" + std::to_string(shard));
+}
+
+fs::path DirStore::path_of(std::string_view key) const {
+  return shard_dir(shard_of(key)) / (encode_key(key) + std::string(kSuffix));
+}
+
+void DirStore::put(std::string_view key, ByteView value) {
+  // Temp-write + atomic rename: the §3.2 protocol (os.replace in Python).
+  util::atomic_write_file(path_of(key), value);
+}
+
+bool DirStore::get(std::string_view key, Bytes& out) {
+  const fs::path p = path_of(key);
+  std::error_code ec;
+  if (!fs::exists(p, ec) || ec) return false;
+  try {
+    out = util::read_file(p);
+  } catch (const util::FsError&) {
+    // Raced with a concurrent erase between exists() and read.
+    return false;
+  }
+  return true;
+}
+
+bool DirStore::exists(std::string_view key) {
+  std::error_code ec;
+  return fs::exists(path_of(key), ec) && !ec;
+}
+
+std::size_t DirStore::erase(std::string_view key) {
+  std::error_code ec;
+  return fs::remove(path_of(key), ec) && !ec ? 1 : 0;
+}
+
+std::vector<std::string> DirStore::keys(std::string_view pattern) {
+  std::vector<std::string> out;
+  for (int s = 0; s < shards_; ++s) {
+    std::error_code ec;
+    for (fs::directory_iterator it(shard_dir(s), ec), end; !ec && it != end;
+         it.increment(ec)) {
+      const std::string name = it->path().filename().string();
+      if (!util::ends_with(name, kSuffix)) continue;
+      if (name.find(kTmpMarker) != std::string::npos) continue;
+      const std::string key =
+          decode_key(name.substr(0, name.size() - kSuffix.size()));
+      if (util::glob_match(pattern, key)) out.push_back(key);
+    }
+  }
+  return out;
+}
+
+std::size_t DirStore::size() { return keys("*").size(); }
+
+void DirStore::clear() {
+  for (int s = 0; s < shards_; ++s) {
+    std::error_code ec;
+    for (fs::directory_iterator it(shard_dir(s), ec), end; !ec && it != end;
+         it.increment(ec)) {
+      std::error_code rm;
+      fs::remove(it->path(), rm);
+    }
+  }
+}
+
+}  // namespace simai::kv

@@ -1,0 +1,150 @@
+#include "kv/dragon.hpp"
+
+#include <algorithm>
+
+#include "util/crc32.hpp"
+
+namespace simai::kv {
+
+DragonDictionary::DragonDictionary(int num_managers,
+                                   std::size_t channel_depth) {
+  if (num_managers <= 0)
+    throw StoreError("dragon: manager count must be positive");
+  managers_.reserve(static_cast<std::size_t>(num_managers));
+  for (int i = 0; i < num_managers; ++i) {
+    managers_.push_back(std::make_unique<Manager>(channel_depth));
+  }
+  // Workers start after all managers exist so cross-references are safe.
+  for (auto& m : managers_) {
+    m->worker = std::thread([this, mp = m.get()] { manager_loop(*mp); });
+  }
+}
+
+DragonDictionary::~DragonDictionary() { stop(); }
+
+void DragonDictionary::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& m : managers_) m->channel.close();
+  for (auto& m : managers_) {
+    if (m->worker.joinable()) m->worker.join();
+  }
+}
+
+int DragonDictionary::manager_of(std::string_view key) const {
+  return static_cast<int>(util::crc32(key) % managers_.size());
+}
+
+void DragonDictionary::manager_loop(Manager& m) {
+  while (auto req = m.channel.pop()) {
+    Response resp;
+    switch (req->op) {
+      case OpType::Put:
+        m.store.put(req->key, ByteView(req->value));
+        resp.found = true;
+        break;
+      case OpType::Get:
+        resp.found = m.store.get(req->key, resp.value);
+        break;
+      case OpType::Exists:
+        resp.found = m.store.exists(req->key);
+        break;
+      case OpType::Erase:
+        resp.count = m.store.erase(req->key);
+        break;
+      case OpType::Keys:
+        resp.keys = m.store.keys(req->pattern);
+        break;
+      case OpType::Size:
+        resp.count = m.store.size();
+        break;
+      case OpType::Clear:
+        m.store.clear();
+        break;
+    }
+    m.processed.fetch_add(1, std::memory_order_relaxed);
+    req->reply.set_value(std::move(resp));
+  }
+}
+
+DragonDictionary::Response DragonDictionary::call(int manager, Request req) {
+  std::future<Response> future = req.reply.get_future();
+  if (!managers_[static_cast<std::size_t>(manager)]->channel.push(
+          std::move(req)))
+    throw StoreError("dragon: dictionary is stopped");
+  return future.get();
+}
+
+void DragonDictionary::put(std::string_view key, ByteView value) {
+  Request req;
+  req.op = OpType::Put;
+  req.key = std::string(key);
+  req.value.assign(value.begin(), value.end());
+  call(manager_of(key), std::move(req));
+}
+
+bool DragonDictionary::get(std::string_view key, Bytes& out) {
+  Request req;
+  req.op = OpType::Get;
+  req.key = std::string(key);
+  Response resp = call(manager_of(key), std::move(req));
+  if (!resp.found) return false;
+  out = std::move(resp.value);
+  return true;
+}
+
+bool DragonDictionary::exists(std::string_view key) {
+  Request req;
+  req.op = OpType::Exists;
+  req.key = std::string(key);
+  return call(manager_of(key), std::move(req)).found;
+}
+
+std::size_t DragonDictionary::erase(std::string_view key) {
+  Request req;
+  req.op = OpType::Erase;
+  req.key = std::string(key);
+  return call(manager_of(key), std::move(req)).count;
+}
+
+std::vector<std::string> DragonDictionary::keys(std::string_view pattern) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < managers_.size(); ++i) {
+    Request req;
+    req.op = OpType::Keys;
+    req.pattern = std::string(pattern);
+    std::vector<std::string> part =
+        call(static_cast<int>(i), std::move(req)).keys;
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t DragonDictionary::size() {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < managers_.size(); ++i) {
+    Request req;
+    req.op = OpType::Size;
+    total += call(static_cast<int>(i), std::move(req)).count;
+  }
+  return total;
+}
+
+void DragonDictionary::clear() {
+  for (std::size_t i = 0; i < managers_.size(); ++i) {
+    Request req;
+    req.op = OpType::Clear;
+    call(static_cast<int>(i), std::move(req));
+  }
+}
+
+std::vector<std::uint64_t> DragonDictionary::requests_per_manager() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(managers_.size());
+  for (const auto& m : managers_)
+    out.push_back(m->processed.load(std::memory_order_relaxed));
+  return out;
+}
+
+}  // namespace simai::kv

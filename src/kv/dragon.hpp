@@ -1,0 +1,84 @@
+// DragonHPC-style distributed in-memory dictionary.
+//
+// Mirrors the architecture DragonHPC documents for its DDict: a set of
+// *shard managers*, each owning a hash range of the keyspace and served by
+// its own worker, reached over bounded channels; clients hash keys
+// client-side and exchange request/response messages with the owning
+// manager. Here managers are real threads and channels are real bounded
+// blocking queues, so the concurrency structure (queueing at a hot shard,
+// per-manager serialization) is genuine.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "kv/memory_store.hpp"
+#include "util/blocking_queue.hpp"
+
+namespace simai::kv {
+
+class DragonDictionary final : public IKeyValueStore {
+ public:
+  /// Start `num_managers` shard managers, each with a request channel of
+  /// depth `channel_depth` (0 = unbounded).
+  explicit DragonDictionary(int num_managers = 4,
+                            std::size_t channel_depth = 64);
+  ~DragonDictionary();
+  DragonDictionary(const DragonDictionary&) = delete;
+  DragonDictionary& operator=(const DragonDictionary&) = delete;
+
+  void put(std::string_view key, ByteView value) override;
+  bool get(std::string_view key, Bytes& out) override;
+  bool exists(std::string_view key) override;
+  std::size_t erase(std::string_view key) override;
+  std::vector<std::string> keys(std::string_view pattern = "*") override;
+  std::size_t size() override;
+  void clear() override;
+
+  int manager_count() const { return static_cast<int>(managers_.size()); }
+  /// Manager a key routes to — exposed for tests and the ablation bench.
+  int manager_of(std::string_view key) const;
+
+  /// Requests processed per manager (queue pressure diagnostics).
+  std::vector<std::uint64_t> requests_per_manager() const;
+
+  /// Stop all managers and join their threads (idempotent; dtor calls it).
+  void stop();
+
+ private:
+  enum class OpType { Put, Get, Exists, Erase, Keys, Size, Clear };
+
+  struct Response {
+    bool found = false;
+    Bytes value;
+    std::vector<std::string> keys;
+    std::size_t count = 0;
+  };
+
+  struct Request {
+    OpType op;
+    std::string key;
+    Bytes value;
+    std::string pattern;
+    std::promise<Response> reply;
+  };
+
+  struct Manager {
+    util::BlockingQueue<Request> channel;
+    MemoryStore store;
+    std::thread worker;
+    std::atomic<std::uint64_t> processed{0};
+
+    explicit Manager(std::size_t depth) : channel(depth) {}
+  };
+
+  Response call(int manager, Request req);
+  void manager_loop(Manager& m);
+
+  std::vector<std::unique_ptr<Manager>> managers_;
+  bool stopped_ = false;
+};
+
+}  // namespace simai::kv

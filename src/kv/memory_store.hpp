@@ -1,0 +1,39 @@
+// In-memory key-value store: the RAM variant of the node-local backend
+// (Aurora's tmpfs is DRAM-backed, so a hash map with value copies is the
+// faithful single-process equivalent) and the building block the Dragon
+// shard managers own.
+//
+// Thread-safe via a shared_mutex: reads run concurrently, writes exclusively
+// — needed because the MiniRedis server and Dragon managers touch stores
+// from real threads outside the DES.
+#pragma once
+
+#include <map>
+#include <shared_mutex>
+#include <string>
+
+#include "kv/store.hpp"
+
+namespace simai::kv {
+
+class MemoryStore final : public IKeyValueStore {
+ public:
+  MemoryStore() = default;
+
+  void put(std::string_view key, ByteView value) override;
+  bool get(std::string_view key, Bytes& out) override;
+  bool exists(std::string_view key) override;
+  std::size_t erase(std::string_view key) override;
+  std::vector<std::string> keys(std::string_view pattern = "*") override;
+  std::size_t size() override;
+  void clear() override;
+
+  /// Sum of value sizes (bytes) — used by capacity accounting and tests.
+  std::size_t total_bytes() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, Bytes, std::less<>> data_;
+};
+
+}  // namespace simai::kv

@@ -1,0 +1,189 @@
+#include "kv/redis_client.hpp"
+
+#include <algorithm>
+
+#include "util/crc32.hpp"
+
+namespace simai::kv {
+
+RedisClient::RedisClient(const std::string& socket_path)
+    : socket_(net::unix_connect(socket_path)) {}
+
+resp::Value RedisClient::round_trip(Bytes request) {
+  socket_.send_all(ByteView(request));
+  while (true) {
+    if (auto reply = decoder_.next()) return *reply;
+    Bytes chunk = socket_.recv_some(64 * 1024);
+    if (chunk.empty())
+      throw StoreError("redis: server closed the connection");
+    decoder_.feed(chunk);
+  }
+}
+
+resp::Value RedisClient::command(const std::vector<Bytes>& argv) {
+  return round_trip(resp::encode_command(argv));
+}
+
+resp::Value RedisClient::command(const std::vector<std::string>& argv) {
+  return round_trip(resp::encode_command(argv));
+}
+
+std::vector<resp::Value> RedisClient::pipeline(
+    const std::vector<std::vector<std::string>>& commands) {
+  Bytes wire;
+  for (const auto& argv : commands) {
+    const Bytes one = resp::encode_command(argv);
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+  socket_.send_all(ByteView(wire));
+  std::vector<resp::Value> replies;
+  replies.reserve(commands.size());
+  while (replies.size() < commands.size()) {
+    if (auto reply = decoder_.next()) {
+      replies.push_back(std::move(*reply));
+      continue;
+    }
+    Bytes chunk = socket_.recv_some(64 * 1024);
+    if (chunk.empty())
+      throw StoreError("redis: server closed the connection mid-pipeline");
+    decoder_.feed(chunk);
+  }
+  return replies;
+}
+
+void RedisClient::raise_if_error(const resp::Value& v) {
+  if (v.is_error()) throw StoreError("redis: " + v.text);
+}
+
+void RedisClient::put(std::string_view key, ByteView value) {
+  std::vector<Bytes> argv;
+  argv.push_back(to_bytes("SET"));
+  argv.push_back(to_bytes(key));
+  argv.emplace_back(value.begin(), value.end());
+  raise_if_error(command(argv));
+}
+
+bool RedisClient::get(std::string_view key, Bytes& out) {
+  const resp::Value v = command(
+      std::vector<std::string>{"GET", std::string(key)});
+  raise_if_error(v);
+  if (v.kind == resp::Kind::Nil) return false;
+  out = v.bulk;
+  return true;
+}
+
+bool RedisClient::exists(std::string_view key) {
+  const resp::Value v =
+      command(std::vector<std::string>{"EXISTS", std::string(key)});
+  raise_if_error(v);
+  return v.integer > 0;
+}
+
+std::size_t RedisClient::erase(std::string_view key) {
+  const resp::Value v =
+      command(std::vector<std::string>{"DEL", std::string(key)});
+  raise_if_error(v);
+  return static_cast<std::size_t>(v.integer);
+}
+
+std::vector<std::string> RedisClient::keys(std::string_view pattern) {
+  const resp::Value v =
+      command(std::vector<std::string>{"KEYS", std::string(pattern)});
+  raise_if_error(v);
+  std::vector<std::string> out;
+  out.reserve(v.array.size());
+  for (const resp::Value& item : v.array) out.push_back(item.bulk_text());
+  return out;
+}
+
+std::size_t RedisClient::size() {
+  const resp::Value v = command(std::vector<std::string>{"DBSIZE"});
+  raise_if_error(v);
+  return static_cast<std::size_t>(v.integer);
+}
+
+void RedisClient::clear() {
+  raise_if_error(command(std::vector<std::string>{"FLUSHDB"}));
+}
+
+std::string RedisClient::ping() {
+  const resp::Value v = command(std::vector<std::string>{"PING"});
+  raise_if_error(v);
+  return v.text;
+}
+
+std::int64_t RedisClient::incr(std::string_view key) {
+  const resp::Value v =
+      command(std::vector<std::string>{"INCR", std::string(key)});
+  raise_if_error(v);
+  return v.integer;
+}
+
+std::string RedisClient::info() {
+  const resp::Value v = command(std::vector<std::string>{"INFO"});
+  raise_if_error(v);
+  return v.bulk_text();
+}
+
+void RedisClient::shutdown_server() {
+  raise_if_error(command(std::vector<std::string>{"SHUTDOWN"}));
+}
+
+// ---------------------------------------------------------------------------
+// RedisClusterClient
+// ---------------------------------------------------------------------------
+
+RedisClusterClient::RedisClusterClient(
+    const std::vector<std::string>& socket_paths) {
+  if (socket_paths.empty())
+    throw StoreError("redis cluster: need at least one server");
+  shards_.reserve(socket_paths.size());
+  for (const std::string& path : socket_paths)
+    shards_.push_back(std::make_unique<RedisClient>(path));
+}
+
+std::size_t RedisClusterClient::shard_of(std::string_view key) const {
+  return util::crc32(key) % shards_.size();
+}
+
+RedisClient& RedisClusterClient::route(std::string_view key) {
+  return *shards_[shard_of(key)];
+}
+
+void RedisClusterClient::put(std::string_view key, ByteView value) {
+  route(key).put(key, value);
+}
+
+bool RedisClusterClient::get(std::string_view key, Bytes& out) {
+  return route(key).get(key, out);
+}
+
+bool RedisClusterClient::exists(std::string_view key) {
+  return route(key).exists(key);
+}
+
+std::size_t RedisClusterClient::erase(std::string_view key) {
+  return route(key).erase(key);
+}
+
+std::vector<std::string> RedisClusterClient::keys(std::string_view pattern) {
+  std::vector<std::string> out;
+  for (auto& shard : shards_) {
+    std::vector<std::string> part = shard->keys(pattern);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t RedisClusterClient::size() {
+  std::size_t total = 0;
+  for (auto& shard : shards_) total += shard->size();
+  return total;
+}
+
+void RedisClusterClient::clear() {
+  for (auto& shard : shards_) shard->clear();
+}
+
+}  // namespace simai::kv

@@ -1,0 +1,202 @@
+#include "kv/redis_server.hpp"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace simai::kv {
+
+RedisServer::RedisServer(std::string socket_path)
+    : socket_path_(std::move(socket_path)) {
+  listener_ = std::make_unique<net::UnixListener>(socket_path_);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  SIMAI_LOG(Info, "redis") << "server listening on " << socket_path_;
+}
+
+RedisServer::~RedisServer() { stop(); }
+
+void RedisServer::begin_stop() {
+  if (stopping_.exchange(true)) return;
+  listener_->shutdown();
+  std::lock_guard lock(conn_mutex_);
+  for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void RedisServer::stop() {
+  begin_stop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(conn_mutex_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  SIMAI_LOG(Info, "redis") << "server on " << socket_path_ << " stopped";
+}
+
+void RedisServer::accept_loop() {
+  while (!stopping_.load()) {
+    auto client = listener_->accept();
+    if (!client) break;  // listener shut down
+    std::lock_guard lock(conn_mutex_);
+    if (stopping_.load()) break;
+    conn_fds_.push_back(client->fd());
+    conn_threads_.emplace_back(
+        [this, sock = std::move(*client)]() mutable {
+          serve_connection(std::move(sock));
+        });
+  }
+}
+
+void RedisServer::serve_connection(net::Socket client) {
+  resp::Decoder decoder;
+  try {
+    while (!stopping_.load()) {
+      auto value = decoder.next();
+      if (!value) {
+        Bytes chunk = client.recv_some(64 * 1024);
+        if (chunk.empty()) return;  // client hung up
+        decoder.feed(chunk);
+        continue;
+      }
+      if (value->kind != resp::Kind::Array || value->array.empty()) {
+        client.send_all(
+            resp::encode(resp::Value::error("ERR protocol: expected command array")));
+        continue;
+      }
+      bool shutdown_requested = false;
+      const resp::Value reply = execute(value->array, shutdown_requested);
+      client.send_all(resp::encode(reply));
+      if (shutdown_requested) {
+        begin_stop();
+        return;
+      }
+    }
+  } catch (const net::SocketError&) {
+    // Connection reset — normal teardown path.
+  } catch (const resp::RespError& e) {
+    try {
+      client.send_all(
+          resp::encode(resp::Value::error(std::string("ERR ") + e.what())));
+    } catch (...) {
+    }
+  }
+}
+
+resp::Value RedisServer::execute(const std::vector<resp::Value>& argv,
+                                 bool& shutdown_requested) {
+  using resp::Value;
+  commands_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::string cmd = util::to_lower(argv[0].bulk_text());
+  auto arity_error = [&] {
+    return Value::error("ERR wrong number of arguments for '" + cmd +
+                        "' command");
+  };
+
+  std::lock_guard lock(exec_mutex_);
+
+  if (cmd == "ping") {
+    if (argv.size() == 1) return Value::simple("PONG");
+    if (argv.size() == 2) return argv[1];
+    return arity_error();
+  }
+  if (cmd == "echo") {
+    if (argv.size() != 2) return arity_error();
+    return argv[1];
+  }
+  if (cmd == "set") {
+    if (argv.size() != 3) return arity_error();
+    store_.put(argv[1].bulk_text(), ByteView(argv[2].bulk));
+    return Value::simple("OK");
+  }
+  if (cmd == "get") {
+    if (argv.size() != 2) return arity_error();
+    Bytes out;
+    if (!store_.get(argv[1].bulk_text(), out)) return Value::nil();
+    return Value::bulk_of(ByteView(out));
+  }
+  if (cmd == "del") {
+    if (argv.size() < 2) return arity_error();
+    std::int64_t removed = 0;
+    for (std::size_t i = 1; i < argv.size(); ++i)
+      removed += static_cast<std::int64_t>(store_.erase(argv[i].bulk_text()));
+    return Value::integer_of(removed);
+  }
+  if (cmd == "exists") {
+    if (argv.size() < 2) return arity_error();
+    std::int64_t found = 0;
+    for (std::size_t i = 1; i < argv.size(); ++i)
+      found += store_.exists(argv[i].bulk_text()) ? 1 : 0;
+    return Value::integer_of(found);
+  }
+  if (cmd == "keys") {
+    if (argv.size() != 2) return arity_error();
+    std::vector<std::string> keys = store_.keys(argv[1].bulk_text());
+    std::sort(keys.begin(), keys.end());
+    std::vector<Value> items;
+    items.reserve(keys.size());
+    for (const std::string& k : keys) items.push_back(Value::bulk_of(k));
+    return Value::array_of(std::move(items));
+  }
+  if (cmd == "dbsize") {
+    if (argv.size() != 1) return arity_error();
+    return Value::integer_of(static_cast<std::int64_t>(store_.size()));
+  }
+  if (cmd == "flushdb") {
+    if (argv.size() != 1) return arity_error();
+    store_.clear();
+    return Value::simple("OK");
+  }
+  if (cmd == "incr") {
+    if (argv.size() != 2) return arity_error();
+    const std::string key = argv[1].bulk_text();
+    Bytes current;
+    std::int64_t n = 0;
+    if (store_.get(key, current)) {
+      try {
+        n = std::stoll(to_string(ByteView(current)));
+      } catch (...) {
+        return Value::error("ERR value is not an integer or out of range");
+      }
+    }
+    ++n;
+    store_.put_string(key, std::to_string(n));
+    return Value::integer_of(n);
+  }
+  if (cmd == "append") {
+    if (argv.size() != 3) return arity_error();
+    const std::string key = argv[1].bulk_text();
+    Bytes current;
+    store_.get(key, current);
+    current.insert(current.end(), argv[2].bulk.begin(), argv[2].bulk.end());
+    const std::size_t len = current.size();
+    store_.put(key, ByteView(current));
+    return Value::integer_of(static_cast<std::int64_t>(len));
+  }
+  if (cmd == "strlen") {
+    if (argv.size() != 2) return arity_error();
+    Bytes current;
+    if (!store_.get(argv[1].bulk_text(), current)) return Value::integer_of(0);
+    return Value::integer_of(static_cast<std::int64_t>(current.size()));
+  }
+  if (cmd == "info") {
+    return Value::bulk_of(util::strformat(
+        "# Server\r\nmini_redis_version:1.0\r\nsocket:%s\r\n"
+        "# Stats\r\ntotal_commands_processed:%llu\r\nkeys:%zu\r\n",
+        socket_path_.c_str(),
+        static_cast<unsigned long long>(commands_.load()), store_.size()));
+  }
+  if (cmd == "shutdown") {
+    shutdown_requested = true;  // connection loop replies, then tears down
+    return Value::simple("OK");
+  }
+  return Value::error("ERR unknown command '" + cmd + "'");
+}
+
+}  // namespace simai::kv

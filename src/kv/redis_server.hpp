@@ -1,0 +1,74 @@
+// MiniRedis: a real miniature Redis server.
+//
+// Listens on a Unix-domain socket, accepts concurrent connections, and
+// serves the RESP2 command set a staging workload uses: PING, ECHO, SET,
+// GET, DEL, EXISTS, KEYS, DBSIZE, FLUSHDB, INCR, APPEND, STRLEN, INFO,
+// SHUTDOWN. Command dispatch mirrors real Redis semantics (wrong-arity
+// errors, type-agnostic binary-safe values, glob KEYS patterns).
+//
+// Like real Redis, command execution against the keyspace is effectively
+// single-threaded (one mutex around the store) — this is the architectural
+// property behind the throughput ceiling the paper measures; connection
+// handling uses one thread per client, which is plenty at mini-app scale.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kv/memory_store.hpp"
+#include "kv/resp.hpp"
+#include "net/socket.hpp"
+
+namespace simai::kv {
+
+class RedisServer {
+ public:
+  /// Bind and start serving on `socket_path` immediately.
+  explicit RedisServer(std::string socket_path);
+  ~RedisServer();
+  RedisServer(const RedisServer&) = delete;
+  RedisServer& operator=(const RedisServer&) = delete;
+
+  const std::string& socket_path() const { return socket_path_; }
+
+  /// Orderly shutdown: stop accepting, unblock clients, join all threads.
+  /// Must not be called from a connection thread (SHUTDOWN uses
+  /// begin_stop() instead and the joins happen in the destructor).
+  void stop();
+
+  /// Signal shutdown without joining (safe from any thread).
+  void begin_stop();
+
+  bool running() const { return !stopping_.load(); }
+
+  /// Commands served since startup (for tests / INFO).
+  std::uint64_t commands_processed() const { return commands_.load(); }
+
+  /// Direct keyspace access for tests (server must be treated as paused).
+  MemoryStore& store() { return store_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(net::Socket client);
+  /// Executes one command; sets `shutdown_requested` for SHUTDOWN so the
+  /// connection loop can reply before tearing the server down.
+  resp::Value execute(const std::vector<resp::Value>& argv,
+                      bool& shutdown_requested);
+
+  std::string socket_path_;
+  std::unique_ptr<net::UnixListener> listener_;
+  MemoryStore store_;
+  std::mutex exec_mutex_;  // the "single-threaded Redis core"
+  std::thread accept_thread_;
+  std::mutex conn_mutex_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> commands_{0};
+};
+
+}  // namespace simai::kv

@@ -1,0 +1,221 @@
+#include "kv/resp.hpp"
+
+#include <charconv>
+
+namespace simai::kv::resp {
+
+Value Value::simple(std::string s) {
+  Value v;
+  v.kind = Kind::Simple;
+  v.text = std::move(s);
+  return v;
+}
+
+Value Value::error(std::string s) {
+  Value v;
+  v.kind = Kind::Error;
+  v.text = std::move(s);
+  return v;
+}
+
+Value Value::integer_of(std::int64_t i) {
+  Value v;
+  v.kind = Kind::Integer;
+  v.integer = i;
+  return v;
+}
+
+Value Value::bulk_of(ByteView b) {
+  Value v;
+  v.kind = Kind::Bulk;
+  v.bulk.assign(b.begin(), b.end());
+  return v;
+}
+
+Value Value::nil() { return Value{}; }
+
+Value Value::array_of(std::vector<Value> items) {
+  Value v;
+  v.kind = Kind::Array;
+  v.array = std::move(items);
+  return v;
+}
+
+std::string Value::bulk_text() const {
+  if (kind != Kind::Bulk) throw RespError("resp: value is not a bulk string");
+  return to_string(ByteView(bulk));
+}
+
+namespace {
+void append_text(Bytes& out, std::string_view s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  out.insert(out.end(), p, p + s.size());
+}
+
+void append_crlf(Bytes& out) { append_text(out, "\r\n"); }
+
+void encode_into(Bytes& out, const Value& v) {
+  switch (v.kind) {
+    case Kind::Simple:
+      append_text(out, "+");
+      append_text(out, v.text);
+      append_crlf(out);
+      break;
+    case Kind::Error:
+      append_text(out, "-");
+      append_text(out, v.text);
+      append_crlf(out);
+      break;
+    case Kind::Integer:
+      append_text(out, ":");
+      append_text(out, std::to_string(v.integer));
+      append_crlf(out);
+      break;
+    case Kind::Bulk:
+      append_text(out, "$");
+      append_text(out, std::to_string(v.bulk.size()));
+      append_crlf(out);
+      out.insert(out.end(), v.bulk.begin(), v.bulk.end());
+      append_crlf(out);
+      break;
+    case Kind::Nil:
+      append_text(out, "$-1");
+      append_crlf(out);
+      break;
+    case Kind::Array:
+      append_text(out, "*");
+      append_text(out, std::to_string(v.array.size()));
+      append_crlf(out);
+      for (const Value& item : v.array) encode_into(out, item);
+      break;
+  }
+}
+}  // namespace
+
+Bytes encode(const Value& value) {
+  Bytes out;
+  encode_into(out, value);
+  return out;
+}
+
+Bytes encode_command(const std::vector<Bytes>& parts) {
+  std::vector<Value> items;
+  items.reserve(parts.size());
+  for (const Bytes& p : parts) items.push_back(Value::bulk_of(ByteView(p)));
+  return encode(Value::array_of(std::move(items)));
+}
+
+Bytes encode_command(const std::vector<std::string>& parts) {
+  std::vector<Value> items;
+  items.reserve(parts.size());
+  for (const std::string& p : parts) items.push_back(Value::bulk_of(p));
+  return encode(Value::array_of(std::move(items)));
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+void Decoder::feed(ByteView data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void Decoder::compact() {
+  // Reclaim consumed prefix once it dominates the buffer.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+}
+
+std::optional<std::string> Decoder::read_line(std::size_t& pos) {
+  for (std::size_t i = pos; i + 1 < buffer_.size(); ++i) {
+    if (buffer_[i] == std::byte{'\r'} && buffer_[i + 1] == std::byte{'\n'}) {
+      std::string line(reinterpret_cast<const char*>(buffer_.data() + pos),
+                       i - pos);
+      pos = i + 2;
+      return line;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Value> Decoder::parse(std::size_t& pos) {
+  if (pos >= buffer_.size()) return std::nullopt;
+  const char type = static_cast<char>(buffer_[pos]);
+  std::size_t cursor = pos + 1;
+  auto line = read_line(cursor);
+  if (!line) return std::nullopt;
+
+  auto parse_int = [&](const std::string& s) -> std::int64_t {
+    std::int64_t v = 0;
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc{} || p != s.data() + s.size())
+      throw RespError("resp: invalid integer '" + s + "'");
+    return v;
+  };
+
+  switch (type) {
+    case '+': {
+      pos = cursor;
+      return Value::simple(*line);
+    }
+    case '-': {
+      pos = cursor;
+      return Value::error(*line);
+    }
+    case ':': {
+      const std::int64_t v = parse_int(*line);
+      pos = cursor;
+      return Value::integer_of(v);
+    }
+    case '$': {
+      const std::int64_t len = parse_int(*line);
+      if (len == -1) {
+        pos = cursor;
+        return Value::nil();
+      }
+      if (len < 0) throw RespError("resp: negative bulk length");
+      const auto n = static_cast<std::size_t>(len);
+      if (buffer_.size() - cursor < n + 2) return std::nullopt;  // need more
+      Value v = Value::bulk_of(ByteView(buffer_.data() + cursor, n));
+      if (buffer_[cursor + n] != std::byte{'\r'} ||
+          buffer_[cursor + n + 1] != std::byte{'\n'})
+        throw RespError("resp: bulk string missing CRLF terminator");
+      pos = cursor + n + 2;
+      return v;
+    }
+    case '*': {
+      const std::int64_t count = parse_int(*line);
+      if (count < 0) {
+        pos = cursor;
+        return Value::nil();  // nil array
+      }
+      std::vector<Value> items;
+      items.reserve(static_cast<std::size_t>(count));
+      std::size_t scan = cursor;
+      for (std::int64_t i = 0; i < count; ++i) {
+        auto item = parse(scan);
+        if (!item) return std::nullopt;
+        items.push_back(std::move(*item));
+      }
+      pos = scan;
+      return Value::array_of(std::move(items));
+    }
+    default:
+      throw RespError(std::string("resp: unknown type byte '") + type + "'");
+  }
+}
+
+std::optional<Value> Decoder::next() {
+  std::size_t pos = consumed_;
+  auto v = parse(pos);
+  if (v) {
+    consumed_ = pos;
+    compact();
+  }
+  return v;
+}
+
+}  // namespace simai::kv::resp

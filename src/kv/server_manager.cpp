@@ -1,0 +1,199 @@
+#include "kv/server_manager.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "kv/daos_store.hpp"
+#include "kv/dir_store.hpp"
+#include "kv/dragon.hpp"
+#include "kv/memory_store.hpp"
+#include "kv/redis_client.hpp"
+#include "kv/redis_server.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace simai::kv {
+
+namespace {
+
+/// Process-global registry mapping opaque handles to live in-memory stores.
+/// Stands in for "an address on the machine's fabric" — clients created
+/// from a server-info document resolve their store here.
+class HandleRegistry {
+ public:
+  static HandleRegistry& instance() {
+    static HandleRegistry r;
+    return r;
+  }
+
+  std::uint64_t register_stores(std::vector<StorePtr> stores) {
+    std::lock_guard lock(mutex_);
+    const std::uint64_t h = next_++;
+    entries_[h] = std::move(stores);
+    return h;
+  }
+
+  std::vector<StorePtr> lookup(std::uint64_t handle) {
+    std::lock_guard lock(mutex_);
+    const auto it = entries_.find(handle);
+    if (it == entries_.end())
+      throw StoreError("server handle " + std::to_string(handle) +
+                       " is not registered (server stopped?)");
+    return it->second;
+  }
+
+  void unregister(std::uint64_t handle) {
+    std::lock_guard lock(mutex_);
+    entries_.erase(handle);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::uint64_t, std::vector<StorePtr>> entries_;
+  std::uint64_t next_ = 1;
+};
+
+}  // namespace
+
+ServerManager::ServerManager(std::string name, util::Json config)
+    : name_(std::move(name)), config_(std::move(config)) {
+  backend_ = util::to_lower(config_.at("backend").as_string());
+  if (backend_ != "redis" && backend_ != "dragon" &&
+      backend_ != "node-local" && backend_ != "node-local-dir" &&
+      backend_ != "filesystem" && backend_ != "daos")
+    throw ConfigError("server manager: unknown backend '" + backend_ + "'");
+}
+
+ServerManager::~ServerManager() {
+  try {
+    stop_server();
+  } catch (...) {
+    // Never throw from a destructor.
+  }
+}
+
+void ServerManager::start_server() {
+  if (started_) return;
+  const int nodes = static_cast<int>(config_.get("nodes", 1));
+  if (nodes <= 0) throw ConfigError("server manager: nodes must be positive");
+
+  base_dir_ = config_.get("base_dir", "");
+  if (base_dir_.empty() &&
+      (backend_ == "redis" || backend_ == "filesystem" ||
+       backend_ == "node-local-dir")) {
+    owned_dir_ = std::make_unique<util::TempDir>("simai-" + backend_);
+    base_dir_ = owned_dir_->path().string();
+  }
+
+  if (backend_ == "redis") {
+    const int instances = static_cast<int>(config_.get("instances", 1));
+    if (instances <= 0)
+      throw ConfigError("server manager: instances must be positive");
+    for (int i = 0; i < instances; ++i) {
+      redis_servers_.push_back(std::make_unique<RedisServer>(
+          base_dir_ + "/" + name_ + "-redis-" + std::to_string(i) + ".sock"));
+    }
+  } else if (backend_ == "dragon") {
+    const int managers = static_cast<int>(config_.get("managers", 4));
+    const auto depth =
+        static_cast<std::size_t>(config_.get("channel_depth", 64));
+    dragon_ = std::make_shared<DragonDictionary>(managers, depth);
+    registry_handle_ = HandleRegistry::instance().register_stores({dragon_});
+  } else if (backend_ == "node-local") {
+    for (int n = 0; n < nodes; ++n)
+      node_stores_.push_back(std::make_shared<MemoryStore>());
+    registry_handle_ =
+        HandleRegistry::instance().register_stores(node_stores_);
+  } else if (backend_ == "node-local-dir") {
+    // tmpfs-directory flavor: one staging tree per node.
+    for (int n = 0; n < nodes; ++n) {
+      node_stores_.push_back(std::make_shared<DirStore>(
+          base_dir_ + "/node" + std::to_string(n),
+          static_cast<int>(config_.get("shards", 4))));
+    }
+    registry_handle_ =
+        HandleRegistry::instance().register_stores(node_stores_);
+  } else if (backend_ == "daos") {
+    const int targets = static_cast<int>(config_.get("targets", 8));
+    const auto stripe = static_cast<std::size_t>(
+        config_.get("stripe_kb", static_cast<std::int64_t>(1024)) * 1024);
+    node_stores_.push_back(std::make_shared<DaosStore>(targets, stripe));
+    registry_handle_ =
+        HandleRegistry::instance().register_stores(node_stores_);
+  } else {  // filesystem
+    // The paper scales shard directories linearly with node count.
+    const int shards = static_cast<int>(
+        config_.get("shards", static_cast<std::int64_t>(std::max(16, nodes))));
+    node_stores_.push_back(
+        std::make_shared<DirStore>(base_dir_ + "/staging", shards));
+    registry_handle_ =
+        HandleRegistry::instance().register_stores(node_stores_);
+  }
+  started_ = true;
+  SIMAI_LOG(Info, "server-manager")
+      << name_ << ": started backend '" << backend_ << "'";
+}
+
+util::Json ServerManager::get_server_info() const {
+  if (!started_)
+    throw StoreError("server manager '" + name_ + "' is not started");
+  util::Json info;
+  info["backend"] = backend_;
+  info["name"] = name_;
+  if (backend_ == "redis") {
+    util::Json sockets = util::Json::array();
+    for (const auto& srv : redis_servers_)
+      sockets.push_back(srv->socket_path());
+    info["sockets"] = sockets;
+  } else {
+    info["handle"] = static_cast<std::int64_t>(registry_handle_);
+    info["nodes"] = static_cast<std::int64_t>(node_stores_.size());
+    if (backend_ == "filesystem" && !node_stores_.empty()) {
+      info["root"] =
+          static_cast<DirStore*>(node_stores_[0].get())->root().string();
+    }
+  }
+  return info;
+}
+
+void ServerManager::stop_server() {
+  if (!started_) return;
+  for (auto& srv : redis_servers_) srv->stop();
+  redis_servers_.clear();
+  if (dragon_) {
+    dragon_->stop();
+    dragon_.reset();
+  }
+  if (registry_handle_ != 0) {
+    HandleRegistry::instance().unregister(registry_handle_);
+    registry_handle_ = 0;
+  }
+  node_stores_.clear();
+  owned_dir_.reset();
+  started_ = false;
+  SIMAI_LOG(Info, "server-manager") << name_ << ": stopped";
+}
+
+StorePtr ServerManager::connect(const util::Json& info, int node) {
+  const std::string backend = info.at("backend").as_string();
+  if (backend == "redis") {
+    std::vector<std::string> paths;
+    for (const util::Json& s : info.at("sockets").as_array())
+      paths.push_back(s.as_string());
+    if (paths.empty()) throw StoreError("redis info lists no sockets");
+    if (paths.size() == 1) return std::make_shared<RedisClient>(paths[0]);
+    return std::make_shared<RedisClusterClient>(paths);
+  }
+  const auto handle = static_cast<std::uint64_t>(info.at("handle").as_int());
+  std::vector<StorePtr> stores = HandleRegistry::instance().lookup(handle);
+  if (backend == "dragon" || backend == "filesystem" || backend == "daos")
+    return stores.at(0);
+  // node-local flavors: pick the caller's node.
+  if (node < 0 || static_cast<std::size_t>(node) >= stores.size())
+    throw StoreError("connect: node " + std::to_string(node) +
+                     " out of range for backend '" + backend + "'");
+  return stores[static_cast<std::size_t>(node)];
+}
+
+}  // namespace simai::kv

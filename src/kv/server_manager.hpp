@@ -1,0 +1,82 @@
+// ServerManager: deploys and configures data-transport servers, exposing a
+// serializable "server info" document that clients use to connect — the
+// §3.2 component of the paper, with the same lifecycle
+// (start_server / get_server_info / stop_server).
+//
+// Backend-specific setup, as in the paper:
+//   redis       — one or more MiniRedis instances on Unix sockets (distinct
+//                 instances or a client-sharded cluster)
+//   dragon      — a DragonDictionary with N shard managers
+//   node-local  — one in-memory (or tmpfs-directory) store per node
+//   filesystem  — a shared DirStore staging tree (shards scale with nodes)
+//
+// Because the whole simulated machine lives in one OS process, in-memory
+// backends publish an opaque handle into a process-global registry instead
+// of a TCP address; everything else about the flow (info documents, late
+// client connection, per-node stores) matches the distributed original.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kv/store.hpp"
+#include "util/fsutil.hpp"
+#include "util/json.hpp"
+
+namespace simai::kv {
+
+class RedisServer;
+class DragonDictionary;
+
+class ServerManager {
+ public:
+  /// `config` fields (all optional unless noted):
+  ///   backend    (required) "redis" | "dragon" | "node-local" |
+  ///              "node-local-dir" | "filesystem"
+  ///   nodes      node count served (default 1)
+  ///   instances  redis server instances (default 1)
+  ///   managers   dragon shard managers (default 4)
+  ///   channel_depth  dragon channel depth (default 64)
+  ///   shards     filesystem shards (default: max(16, nodes))
+  ///   base_dir   directory for sockets / staging trees (default: a fresh
+  ///              temporary directory owned by the manager)
+  ServerManager(std::string name, util::Json config);
+  ~ServerManager();
+  ServerManager(const ServerManager&) = delete;
+  ServerManager& operator=(const ServerManager&) = delete;
+
+  /// Launch the servers / create the staging directories.
+  void start_server();
+
+  /// Connection document for clients; throws if the server is not started.
+  util::Json get_server_info() const;
+
+  /// Tear down servers and unregister handles (idempotent).
+  void stop_server();
+
+  bool started() const { return started_; }
+  const std::string& name() const { return name_; }
+  const std::string& backend() const { return backend_; }
+
+  /// Create a client store from a server-info document. `node` selects the
+  /// local store for per-node backends (node-local) and is ignored by the
+  /// shared ones.
+  static StorePtr connect(const util::Json& info, int node = 0);
+
+ private:
+  std::string name_;
+  util::Json config_;
+  std::string backend_;
+  bool started_ = false;
+
+  std::unique_ptr<util::TempDir> owned_dir_;
+  std::string base_dir_;
+
+  std::vector<std::unique_ptr<RedisServer>> redis_servers_;
+  std::shared_ptr<DragonDictionary> dragon_;
+  std::vector<StorePtr> node_stores_;  // node-local variants
+  std::uint64_t registry_handle_ = 0;
+};
+
+}  // namespace simai::kv

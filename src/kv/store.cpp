@@ -1,0 +1,12 @@
+#include "kv/store.hpp"
+
+namespace simai::kv {
+
+Bytes IKeyValueStore::get_or_throw(std::string_view key) {
+  Bytes out;
+  if (!get(key, out))
+    throw StoreError("key not found: '" + std::string(key) + "'");
+  return out;
+}
+
+}  // namespace simai::kv

@@ -1,0 +1,65 @@
+// Uniform key-value store interface implemented by all four data-transport
+// backends (node-local, filesystem, Redis, Dragon).
+//
+// This is the layer below the paper's DataStore client API: DataStore's
+// stage_write/stage_read/poll_staged_data/clean_staged_data map directly
+// onto put/get/exists/erase here, with instrumentation and virtual-time
+// pricing added by the core layer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace simai::kv {
+
+class StoreError : public Error {
+ public:
+  using Error::Error;
+};
+
+class IKeyValueStore {
+ public:
+  virtual ~IKeyValueStore() = default;
+
+  /// Insert or replace `key`. Implementations must make the new value
+  /// visible atomically: a concurrent get() sees either the old or the new
+  /// value, never a torn one.
+  virtual void put(std::string_view key, ByteView value) = 0;
+
+  /// Fetch `key` into `out`; false if absent (out untouched).
+  virtual bool get(std::string_view key, Bytes& out) = 0;
+
+  virtual bool exists(std::string_view key) = 0;
+
+  /// Remove `key`; returns the number of keys removed (0 or 1).
+  virtual std::size_t erase(std::string_view key) = 0;
+
+  /// All keys matching a glob pattern ('*' / '?'), in unspecified order.
+  virtual std::vector<std::string> keys(std::string_view pattern = "*") = 0;
+
+  /// Total number of keys.
+  virtual std::size_t size() = 0;
+
+  /// Remove every key.
+  virtual void clear() = 0;
+
+  /// Convenience: get() that throws StoreError when the key is missing.
+  Bytes get_or_throw(std::string_view key);
+
+  /// Convenience overloads for text values.
+  void put_string(std::string_view key, std::string_view value) {
+    put(key, as_bytes_view(value));
+  }
+  std::string get_string(std::string_view key) {
+    return to_string(get_or_throw(key));
+  }
+};
+
+using StorePtr = std::shared_ptr<IKeyValueStore>;
+
+}  // namespace simai::kv

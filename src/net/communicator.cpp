@@ -1,0 +1,241 @@
+#include "net/communicator.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace simai::net {
+
+Bytes pack_doubles(const std::vector<double>& v) {
+  Bytes out(v.size() * sizeof(double));
+  if (!v.empty()) std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+std::vector<double> unpack_doubles(ByteView data) {
+  if (data.size() % sizeof(double) != 0)
+    throw NetError("unpack_doubles: byte count not a multiple of 8");
+  std::vector<double> out(data.size() / sizeof(double));
+  if (!out.empty()) std::memcpy(out.data(), data.data(), data.size());
+  return out;
+}
+
+Communicator::Communicator(sim::Engine& engine, int nranks)
+    : engine_(engine), nranks_(nranks) {
+  if (nranks <= 0) throw NetError("communicator: nranks must be positive");
+  mailboxes_.resize(static_cast<std::size_t>(nranks));
+  for (auto& mb : mailboxes_) {
+    mb.arrival = std::make_unique<sim::Event>(engine_);
+  }
+}
+
+void Communicator::check_rank(int rank, const char* what) const {
+  if (rank < 0 || rank >= nranks_)
+    throw NetError(std::string(what) + ": rank " + std::to_string(rank) +
+                   " out of range [0," + std::to_string(nranks_) + ")");
+}
+
+void Communicator::charge(sim::Context& ctx, std::uint64_t bytes) {
+  if (link_cost_) ctx.delay(link_cost_(bytes));
+}
+
+void Communicator::send(sim::Context& ctx, int from, int to, int tag,
+                        Bytes data) {
+  check_rank(from, "send");
+  check_rank(to, "send");
+  charge(ctx, data.size());
+  Mailbox& mb = mailboxes_[static_cast<std::size_t>(to)];
+  mb.queues[{from, tag}].push_back(std::move(data));
+  mb.arrival->notify_all();
+}
+
+Bytes Communicator::recv(sim::Context& ctx, int at, int from, int tag) {
+  check_rank(at, "recv");
+  check_rank(from, "recv");
+  Mailbox& mb = mailboxes_[static_cast<std::size_t>(at)];
+  const auto key = std::make_pair(from, tag);
+  while (true) {
+    auto it = mb.queues.find(key);
+    if (it != mb.queues.end() && !it->second.empty()) {
+      Bytes data = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) mb.queues.erase(it);
+      return data;
+    }
+    ctx.wait(*mb.arrival);
+  }
+}
+
+bool Communicator::probe(int at, int from, int tag) const {
+  check_rank(at, "probe");
+  const Mailbox& mb = mailboxes_[static_cast<std::size_t>(at)];
+  const auto it = mb.queues.find({from, tag});
+  return it != mb.queues.end() && !it->second.empty();
+}
+
+void Communicator::send_doubles(sim::Context& ctx, int from, int to, int tag,
+                                const std::vector<double>& v) {
+  send(ctx, from, to, tag, pack_doubles(v));
+}
+
+std::vector<double> Communicator::recv_doubles(sim::Context& ctx, int at,
+                                               int from, int tag) {
+  return unpack_doubles(recv(ctx, at, from, tag));
+}
+
+void Communicator::apply_op(std::vector<double>& acc,
+                            const std::vector<double>& other, ReduceOp op) {
+  if (acc.size() != other.size())
+    throw NetError("reduce: mismatched buffer lengths across ranks");
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    switch (op) {
+      case ReduceOp::Sum: acc[i] += other[i]; break;
+      case ReduceOp::Max: acc[i] = std::max(acc[i], other[i]); break;
+      case ReduceOp::Min: acc[i] = std::min(acc[i], other[i]); break;
+      case ReduceOp::Prod: acc[i] *= other[i]; break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Collectives. All use binomial trees rooted at `root` (rank numbering is
+// rotated so any root works): reduce climbs the tree, bcast descends it.
+// ---------------------------------------------------------------------------
+
+void Communicator::barrier(sim::Context& ctx, int rank) {
+  // Empty reduce-to-0 followed by empty bcast-from-0.
+  reduce(ctx, rank, 0, {}, ReduceOp::Sum);
+  bcast(ctx, rank, 0, {});
+}
+
+std::vector<double> Communicator::bcast(sim::Context& ctx, int rank, int root,
+                                        std::vector<double> data) {
+  check_rank(rank, "bcast");
+  check_rank(root, "bcast");
+  const int vrank = (rank - root + nranks_) % nranks_;  // root becomes 0
+  if (vrank != 0) {
+    const int parent = ((vrank - 1) / 2 + root) % nranks_;
+    data = recv_doubles(ctx, rank, parent, kBcastTag);
+  }
+  for (int child_v : {2 * vrank + 1, 2 * vrank + 2}) {
+    if (child_v < nranks_) {
+      send_doubles(ctx, rank, (child_v + root) % nranks_, kBcastTag, data);
+    }
+  }
+  return data;
+}
+
+std::vector<double> Communicator::reduce(sim::Context& ctx, int rank,
+                                         int root,
+                                         const std::vector<double>& data,
+                                         ReduceOp op) {
+  check_rank(rank, "reduce");
+  check_rank(root, "reduce");
+  const int vrank = (rank - root + nranks_) % nranks_;
+  std::vector<double> acc = data;
+  for (int child_v : {2 * vrank + 1, 2 * vrank + 2}) {
+    if (child_v < nranks_) {
+      const std::vector<double> part =
+          recv_doubles(ctx, rank, (child_v + root) % nranks_, kReduceTag);
+      apply_op(acc, part, op);
+    }
+  }
+  if (vrank != 0) {
+    const int parent = ((vrank - 1) / 2 + root) % nranks_;
+    send_doubles(ctx, rank, parent, kReduceTag, acc);
+    return {};
+  }
+  return acc;
+}
+
+std::vector<double> Communicator::allreduce(sim::Context& ctx, int rank,
+                                            const std::vector<double>& data,
+                                            ReduceOp op) {
+  std::vector<double> total = reduce(ctx, rank, 0, data, op);
+  return bcast(ctx, rank, 0, std::move(total));
+}
+
+std::vector<double> Communicator::gather(sim::Context& ctx, int rank,
+                                         int root,
+                                         const std::vector<double>& data) {
+  check_rank(rank, "gather");
+  check_rank(root, "gather");
+  if (rank != root) {
+    send_doubles(ctx, rank, root, kGatherTag, data);
+    return {};
+  }
+  std::vector<double> out;
+  for (int src = 0; src < nranks_; ++src) {
+    if (src == root) {
+      out.insert(out.end(), data.begin(), data.end());
+    } else {
+      const std::vector<double> part =
+          recv_doubles(ctx, rank, src, kGatherTag);
+      out.insert(out.end(), part.begin(), part.end());
+    }
+  }
+  return out;
+}
+
+std::vector<double> Communicator::allgather(sim::Context& ctx, int rank,
+                                            const std::vector<double>& data) {
+  std::vector<double> all = gather(ctx, rank, 0, data);
+  return bcast(ctx, rank, 0, std::move(all));
+}
+
+std::vector<double> Communicator::scatter(sim::Context& ctx, int rank,
+                                          int root,
+                                          const std::vector<double>& data) {
+  check_rank(rank, "scatter");
+  check_rank(root, "scatter");
+  if (rank == root) {
+    if (data.size() % static_cast<std::size_t>(nranks_) != 0)
+      throw NetError("scatter: buffer not divisible by rank count");
+    const std::size_t chunk = data.size() / static_cast<std::size_t>(nranks_);
+    std::vector<double> own;
+    for (int dst = 0; dst < nranks_; ++dst) {
+      std::vector<double> part(
+          data.begin() + static_cast<std::ptrdiff_t>(chunk * static_cast<std::size_t>(dst)),
+          data.begin() + static_cast<std::ptrdiff_t>(chunk * (static_cast<std::size_t>(dst) + 1)));
+      if (dst == root) {
+        own = std::move(part);
+      } else {
+        send_doubles(ctx, rank, dst, kScatterTag, part);
+      }
+    }
+    return own;
+  }
+  return recv_doubles(ctx, rank, root, kScatterTag);
+}
+
+std::vector<double> Communicator::alltoall(sim::Context& ctx, int rank,
+                                           const std::vector<double>& data) {
+  check_rank(rank, "alltoall");
+  if (data.size() % static_cast<std::size_t>(nranks_) != 0)
+    throw NetError("alltoall: buffer not divisible by rank count");
+  const std::size_t chunk = data.size() / static_cast<std::size_t>(nranks_);
+  // Send phase: everything out first (buffered channels make this safe and
+  // deadlock-free), then receive in rank order.
+  for (int dst = 0; dst < nranks_; ++dst) {
+    if (dst == rank) continue;
+    std::vector<double> part(
+        data.begin() + static_cast<std::ptrdiff_t>(chunk * static_cast<std::size_t>(dst)),
+        data.begin() + static_cast<std::ptrdiff_t>(chunk * (static_cast<std::size_t>(dst) + 1)));
+    send_doubles(ctx, rank, dst, kAlltoallTag, part);
+  }
+  std::vector<double> out(data.size());
+  for (int src = 0; src < nranks_; ++src) {
+    std::vector<double> part;
+    if (src == rank) {
+      part.assign(
+          data.begin() + static_cast<std::ptrdiff_t>(chunk * static_cast<std::size_t>(rank)),
+          data.begin() + static_cast<std::ptrdiff_t>(chunk * (static_cast<std::size_t>(rank) + 1)));
+    } else {
+      part = recv_doubles(ctx, rank, src, kAlltoallTag);
+    }
+    std::copy(part.begin(), part.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(chunk * static_cast<std::size_t>(src)));
+  }
+  return out;
+}
+
+}  // namespace simai::net

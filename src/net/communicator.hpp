@@ -1,0 +1,134 @@
+// In-process message-passing layer with MPI semantics, over the DES.
+//
+// This substrate replaces mpi4py/oneCCL in the reference implementation:
+// a Communicator groups N ranks (each a DES logical process), provides
+// tagged point-to-point send/recv with per-(source,tag) FIFO ordering, and
+// the collectives the Kernels and AI modules need (barrier, bcast, reduce,
+// allreduce, gather, allgather, scatter, alltoall). Collectives are built
+// from p2p messages with the classic binomial-tree / linear algorithms, so
+// their virtual-time cost scales with log(P) or P exactly as a real MPI
+// run's would when a LinkCost function is installed.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace simai::net {
+
+class NetError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Reduction operators for reduce/allreduce.
+enum class ReduceOp { Sum, Max, Min, Prod };
+
+/// Virtual-time cost of moving `bytes` across one link hop. Installed by the
+/// platform layer; nullptr means communication is free (pure coordination).
+using LinkCost = std::function<SimTime(std::uint64_t bytes)>;
+
+class Communicator {
+ public:
+  /// Create a communicator for `nranks` ranks inside `engine`.
+  Communicator(sim::Engine& engine, int nranks);
+
+  int size() const { return nranks_; }
+
+  /// Install the per-hop cost model (applies to subsequent operations).
+  void set_link_cost(LinkCost cost) { link_cost_ = std::move(cost); }
+
+  // -- point-to-point (call only from the owning rank's process) ----------
+
+  /// Blocking tagged send. With the default infinite buffering this only
+  /// charges the link cost and returns; ordering per (src,dst,tag) is FIFO.
+  void send(sim::Context& ctx, int from, int to, int tag, Bytes data);
+
+  /// Blocking receive matching (from, tag).
+  Bytes recv(sim::Context& ctx, int at, int from, int tag);
+
+  /// Non-blocking probe: true if a matching message is queued.
+  bool probe(int at, int from, int tag) const;
+
+  // -- collectives (every rank of the communicator must call) -------------
+
+  void barrier(sim::Context& ctx, int rank);
+
+  /// Broadcast `data` from `root`; on non-roots the return value is the
+  /// received buffer (the argument is ignored).
+  std::vector<double> bcast(sim::Context& ctx, int rank, int root,
+                            std::vector<double> data);
+
+  /// Element-wise reduction to `root` (others receive an empty vector).
+  std::vector<double> reduce(sim::Context& ctx, int rank, int root,
+                             const std::vector<double>& data, ReduceOp op);
+
+  /// Reduction delivered to every rank.
+  std::vector<double> allreduce(sim::Context& ctx, int rank,
+                                const std::vector<double>& data, ReduceOp op);
+
+  /// Concatenation of every rank's buffer at `root`, in rank order.
+  std::vector<double> gather(sim::Context& ctx, int rank, int root,
+                             const std::vector<double>& data);
+
+  /// Concatenation delivered to every rank.
+  std::vector<double> allgather(sim::Context& ctx, int rank,
+                                const std::vector<double>& data);
+
+  /// Root splits `data` into equal chunks; rank i receives chunk i.
+  std::vector<double> scatter(sim::Context& ctx, int rank, int root,
+                              const std::vector<double>& data);
+
+  /// Rank i's chunk j goes to rank j's slot i. `data` holds size() equal
+  /// chunks back to back.
+  std::vector<double> alltoall(sim::Context& ctx, int rank,
+                               const std::vector<double>& data);
+
+ private:
+  struct Message {
+    int tag;
+    Bytes data;
+  };
+  struct Mailbox {
+    // (src, tag) -> FIFO of payloads.
+    std::map<std::pair<int, int>, std::deque<Bytes>> queues;
+    std::unique_ptr<sim::Event> arrival;
+  };
+
+  void check_rank(int rank, const char* what) const;
+  void charge(sim::Context& ctx, std::uint64_t bytes);
+  static void apply_op(std::vector<double>& acc,
+                       const std::vector<double>& other, ReduceOp op);
+
+  // Typed helpers layered on the byte p2p.
+  void send_doubles(sim::Context& ctx, int from, int to, int tag,
+                    const std::vector<double>& v);
+  std::vector<double> recv_doubles(sim::Context& ctx, int at, int from,
+                                   int tag);
+
+  sim::Engine& engine_;
+  int nranks_;
+  std::vector<Mailbox> mailboxes_;
+  LinkCost link_cost_;
+  // Collective-internal tags live in a reserved negative range so they can
+  // never collide with user tags (which must be >= 0).
+  static constexpr int kBarrierTag = -1;
+  static constexpr int kBcastTag = -2;
+  static constexpr int kReduceTag = -3;
+  static constexpr int kGatherTag = -4;
+  static constexpr int kScatterTag = -5;
+  static constexpr int kAlltoallTag = -6;
+};
+
+/// Serialize/deserialize doubles for transport (little-endian, length-free:
+/// the byte count determines the element count).
+Bytes pack_doubles(const std::vector<double>& v);
+std::vector<double> unpack_doubles(ByteView data);
+
+}  // namespace simai::net

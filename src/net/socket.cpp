@@ -1,0 +1,140 @@
+#include "net/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace simai::net {
+
+namespace {
+[[noreturn]] void raise_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::send_all(ByteView data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("send");
+    }
+    if (n == 0) throw SocketError("send: connection closed");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Bytes Socket::recv_exact(std::size_t n) {
+  Bytes out(n);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, out.data() + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("recv");
+    }
+    if (r == 0) throw SocketError("recv: connection closed mid-message");
+    got += static_cast<std::size_t>(r);
+  }
+  return out;
+}
+
+Bytes Socket::recv_some(std::size_t n) {
+  Bytes out(n);
+  while (true) {
+    const ssize_t r = ::recv(fd_, out.data(), n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("recv");
+    }
+    out.resize(static_cast<std::size_t>(r));
+    return out;
+  }
+}
+
+UnixListener::UnixListener(const std::string& path, int backlog)
+    : path_(path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw SocketError("unix socket path too long: " + path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+  std::filesystem::remove(path);  // stale socket from a previous run
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) raise_errno("socket");
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    raise_errno("bind " + path);
+  }
+  if (::listen(fd_, backlog) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    raise_errno("listen " + path);
+  }
+}
+
+UnixListener::~UnixListener() {
+  shutdown();
+  std::filesystem::remove(path_);
+}
+
+std::optional<Socket> UnixListener::accept() {
+  while (true) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) return Socket(client);
+    if (errno == EINTR) continue;
+    // EBADF / EINVAL after shutdown(): orderly stop.
+    return std::nullopt;
+  }
+}
+
+void UnixListener::shutdown() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket unix_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw SocketError("unix socket path too long: " + path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) raise_errno("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    raise_errno("connect " + path);
+  }
+  return Socket(fd);
+}
+
+}  // namespace simai::net

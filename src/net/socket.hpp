@@ -1,0 +1,76 @@
+// Thin RAII wrappers over POSIX stream sockets (Unix-domain).
+//
+// The MiniRedis backend speaks real RESP2 over real sockets so its data path
+// has genuine serialization and kernel round-trips, exactly like the Redis
+// deployments the paper benchmarks. Unix-domain sockets are used because the
+// whole simulated machine lives in one OS process; the protocol layer above
+// is transport-agnostic.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace simai::net {
+
+class SocketError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Owning file-descriptor wrapper with blocking full-buffer I/O helpers.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Write the entire buffer; throws SocketError on failure/EOF.
+  void send_all(ByteView data);
+  void send_all(std::string_view text) { send_all(as_bytes_view(text)); }
+
+  /// Read exactly n bytes; throws SocketError on failure or premature EOF.
+  Bytes recv_exact(std::size_t n);
+
+  /// Read at most n bytes (one recv call); empty result means orderly EOF.
+  Bytes recv_some(std::size_t n);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening Unix-domain socket bound to a filesystem path.
+class UnixListener {
+ public:
+  explicit UnixListener(const std::string& path, int backlog = 64);
+  ~UnixListener();
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Block until a client connects; nullopt if the listener was shut down.
+  std::optional<Socket> accept();
+
+  /// Unblock any accept() in progress and stop accepting (idempotent).
+  void shutdown();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Connect to a Unix-domain listener; throws SocketError on failure.
+Socket unix_connect(const std::string& path);
+
+}  // namespace simai::net

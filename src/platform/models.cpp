@@ -1,0 +1,113 @@
+#include "platform/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simai::platform {
+
+// ---------------------------------------------------------------------------
+// MemoryModel
+// ---------------------------------------------------------------------------
+
+double MemoryModel::bandwidth(std::uint64_t bytes) const {
+  const double footprint = footprint_factor * static_cast<double>(bytes);
+  const double share = static_cast<double>(l3_share_bytes);
+  if (footprint <= share) return bw_cached;
+  // Fraction of the working set that still fits in cache; the rest streams
+  // at DRAM rate. Harmonic blend = time-weighted average of the two rates.
+  const double cached_frac = share / footprint;
+  const double t_per_byte =
+      cached_frac / bw_cached + (1.0 - cached_frac) / bw_spilled;
+  return 1.0 / t_per_byte;
+}
+
+SimTime MemoryModel::transfer_time(std::uint64_t bytes) const {
+  return sw_overhead_s + static_cast<double>(bytes) / bandwidth(bytes);
+}
+
+MemoryModel MemoryModel::from_json(const util::Json& spec) {
+  MemoryModel m;
+  m.sw_overhead_s = spec.get("sw_overhead_s", m.sw_overhead_s);
+  m.bw_cached = spec.get("bw_cached", m.bw_cached);
+  m.bw_spilled = spec.get("bw_spilled", m.bw_spilled);
+  m.footprint_factor = spec.get("footprint_factor", m.footprint_factor);
+  m.l3_share_bytes = static_cast<std::uint64_t>(spec.get(
+      "l3_share_bytes", static_cast<std::int64_t>(m.l3_share_bytes)));
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// InterconnectModel
+// ---------------------------------------------------------------------------
+
+double InterconnectModel::incast_factor(int fanin) const {
+  fanin = std::max(1, fanin);
+  return 1.0 + incast_alpha * static_cast<double>(fanin - 1);
+}
+
+double InterconnectModel::shared_bandwidth(int fanin) const {
+  fanin = std::max(1, fanin);
+  const double share = bandwidth / static_cast<double>(fanin);
+  return std::max(share, bandwidth * bw_share_floor);
+}
+
+SimTime InterconnectModel::transfer_time(std::uint64_t bytes,
+                                         int fanin) const {
+  return latency_s * incast_factor(fanin) +
+         static_cast<double>(bytes) / shared_bandwidth(fanin);
+}
+
+InterconnectModel InterconnectModel::from_json(const util::Json& spec) {
+  InterconnectModel m;
+  m.latency_s = spec.get("latency_s", m.latency_s);
+  m.bandwidth = spec.get("bandwidth", m.bandwidth);
+  m.incast_alpha = spec.get("incast_alpha", m.incast_alpha);
+  m.bw_share_floor = spec.get("bw_share_floor", m.bw_share_floor);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// LustreModel
+// ---------------------------------------------------------------------------
+
+double LustreModel::contention(int clients) const {
+  clients = std::max(1, clients);
+  const double load = static_cast<double>(clients) / meta_capacity;
+  // Below capacity the MDS keeps up (factor ~1); beyond it, queueing delay
+  // grows as a power of the overload ratio.
+  return 1.0 + std::pow(load, meta_exponent);
+}
+
+SimTime LustreModel::meta_time(int clients) const {
+  return meta_latency_s * contention(clients);
+}
+
+double LustreModel::client_bandwidth(int clients) const {
+  clients = std::max(1, clients);
+  const double striped =
+      ost_bandwidth * std::min(stripe_count, ost_count);
+  const double fair_share =
+      aggregate_bandwidth / static_cast<double>(clients);
+  return std::min(striped, fair_share);
+}
+
+SimTime LustreModel::io_time(std::uint64_t bytes, int meta_ops,
+                             int clients) const {
+  return static_cast<double>(meta_ops) * meta_time(clients) +
+         static_cast<double>(bytes) / client_bandwidth(clients);
+}
+
+LustreModel LustreModel::from_json(const util::Json& spec) {
+  LustreModel m;
+  m.meta_latency_s = spec.get("meta_latency_s", m.meta_latency_s);
+  m.meta_capacity = spec.get("meta_capacity", m.meta_capacity);
+  m.meta_exponent = spec.get("meta_exponent", m.meta_exponent);
+  m.ost_bandwidth = spec.get("ost_bandwidth", m.ost_bandwidth);
+  m.stripe_count = static_cast<int>(spec.get("stripe_count", m.stripe_count));
+  m.ost_count = static_cast<int>(spec.get("ost_count", m.ost_count));
+  m.aggregate_bandwidth =
+      spec.get("aggregate_bandwidth", m.aggregate_bandwidth);
+  return m;
+}
+
+}  // namespace simai::platform

@@ -1,0 +1,70 @@
+#include "platform/topology.hpp"
+
+namespace simai::platform {
+
+MachineSpec MachineSpec::aurora(int nodes) {
+  MachineSpec m;
+  m.name = "aurora";
+  m.nodes = nodes;
+  return m;  // NodeSpec defaults are the Aurora values
+}
+
+MachineSpec MachineSpec::from_json(const util::Json& spec) {
+  MachineSpec m;
+  m.name = spec.get("name", m.name);
+  m.nodes = static_cast<int>(spec.get("nodes", m.nodes));
+  if (m.nodes <= 0) throw ConfigError("machine: nodes must be positive");
+  if (const util::Json* node = spec.find("node")) {
+    m.node.cpus = static_cast<int>(node->get("cpus", m.node.cpus));
+    m.node.cores_per_cpu =
+        static_cast<int>(node->get("cores_per_cpu", m.node.cores_per_cpu));
+    m.node.gpus = static_cast<int>(node->get("gpus", m.node.gpus));
+    m.node.tiles_per_gpu =
+        static_cast<int>(node->get("tiles_per_gpu", m.node.tiles_per_gpu));
+    m.node.l3_bytes_per_cpu = static_cast<std::uint64_t>(
+        node->get("l3_mb_per_cpu",
+                  static_cast<std::int64_t>(m.node.l3_bytes_per_cpu / MiB)) *
+        static_cast<std::int64_t>(MiB));
+  }
+  return m;
+}
+
+util::Json MachineSpec::to_json() const {
+  util::Json j;
+  j["name"] = name;
+  j["nodes"] = nodes;
+  util::Json n;
+  n["cpus"] = node.cpus;
+  n["cores_per_cpu"] = node.cores_per_cpu;
+  n["gpus"] = node.gpus;
+  n["tiles_per_gpu"] = node.tiles_per_gpu;
+  n["l3_mb_per_cpu"] = static_cast<std::int64_t>(node.l3_bytes_per_cpu / MiB);
+  j["node"] = n;
+  return j;
+}
+
+Placement place_rank(int rank, int nranks, int nodes, int ranks_per_node,
+                     int tile_offset) {
+  if (rank < 0 || rank >= nranks)
+    throw ConfigError("placement: rank " + std::to_string(rank) +
+                      " out of range [0," + std::to_string(nranks) + ")");
+  if (ranks_per_node <= 0)
+    throw ConfigError("placement: ranks_per_node must be positive");
+  if (nranks > nodes * ranks_per_node)
+    throw ConfigError("placement: " + std::to_string(nranks) +
+                      " ranks do not fit on " + std::to_string(nodes) +
+                      " nodes x " + std::to_string(ranks_per_node));
+  Placement p;
+  p.node = rank / ranks_per_node;
+  p.tile = tile_offset + rank % ranks_per_node;
+  return p;
+}
+
+std::uint64_t l3_share_bytes(const NodeSpec& node, int processes_per_node) {
+  if (processes_per_node <= 0)
+    throw ConfigError("l3_share: processes_per_node must be positive");
+  return node.l3_bytes_per_cpu * static_cast<std::uint64_t>(node.cpus) /
+         static_cast<std::uint64_t>(processes_per_node);
+}
+
+}  // namespace simai::platform

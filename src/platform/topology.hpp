@@ -1,0 +1,67 @@
+// Machine topology model: nodes, CPUs, GPU tiles, and rank placement.
+//
+// Mirrors the Aurora description in the paper's §4: each node has 2 Xeon Max
+// CPUs and 6 Data Center GPU Max 1550s, each GPU split into 2 tiles — 12
+// tiles per node. Pattern 1 splits the 12 tiles evenly between the
+// simulation (6) and the AI trainer (6); Pattern 2 gives each component a
+// whole node. Placement math (which node/tile a rank lands on, whether two
+// ranks are co-located) lives here so the transport model can decide
+// local-vs-remote pricing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/types.hpp"
+
+namespace simai::platform {
+
+/// Static description of one compute node.
+struct NodeSpec {
+  int cpus = 2;
+  int cores_per_cpu = 52;
+  int gpus = 6;
+  int tiles_per_gpu = 2;
+  std::uint64_t ddr_bytes_per_cpu = 512ull * 1024 * MiB;  // 512 GiB
+  std::uint64_t hbm_bytes_per_cpu = 64ull * 1024 * MiB;   // 64 GiB
+  std::uint64_t l3_bytes_per_cpu = 105 * MiB;  // paper §4.1.2: 105 MB L3
+
+  int tiles() const { return gpus * tiles_per_gpu; }
+};
+
+/// Whole-machine description.
+struct MachineSpec {
+  std::string name = "aurora";
+  int nodes = 8;
+  NodeSpec node;
+
+  /// Aurora preset (10,624 nodes available; experiments subset this).
+  static MachineSpec aurora(int nodes);
+
+  /// Parse {"name":..., "nodes":..., "node":{...}} with defaults.
+  static MachineSpec from_json(const util::Json& spec);
+  util::Json to_json() const;
+};
+
+/// Location of one process rank on the machine.
+struct Placement {
+  int node = 0;
+  int tile = 0;  // GPU tile index within the node (0..11 on Aurora)
+
+  bool same_node(const Placement& other) const { return node == other.node; }
+};
+
+/// Deterministic block placement of `rank` out of `nranks` over `nodes`
+/// nodes with `ranks_per_node` slots each, starting at tile `tile_offset`.
+/// Throws ConfigError if the ranks do not fit.
+Placement place_rank(int rank, int nranks, int nodes, int ranks_per_node,
+                     int tile_offset = 0);
+
+/// The per-process share of L3 the paper uses to explain the cache-spill
+/// throughput dip: total L3 on the node's CPUs divided by the co-resident
+/// process count (105 MB / 12 ≈ 8.75 MB in the Pattern 1 configuration).
+std::uint64_t l3_share_bytes(const NodeSpec& node, int processes_per_node);
+
+}  // namespace simai::platform

@@ -1,0 +1,284 @@
+#include "platform/transport_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.hpp"
+
+namespace simai::platform {
+
+BackendKind parse_backend(std::string_view name) {
+  const std::string n = util::to_lower(name);
+  if (n == "node-local" || n == "node_local" || n == "nodelocal" ||
+      n == "tmpfs")
+    return BackendKind::NodeLocal;
+  if (n == "dragon" || n == "dragonhpc") return BackendKind::Dragon;
+  if (n == "redis" || n == "smartsim") return BackendKind::Redis;
+  if (n == "filesystem" || n == "file-system" || n == "file_system" ||
+      n == "lustre" || n == "fs")
+    return BackendKind::Filesystem;
+  if (n == "stream" || n == "adios2" || n == "sst")
+    return BackendKind::Stream;
+  if (n == "daos" || n == "object-store") return BackendKind::Daos;
+  throw ConfigError("unknown backend '" + std::string(name) + "'");
+}
+
+std::string_view backend_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::NodeLocal: return "node-local";
+    case BackendKind::Dragon: return "dragon";
+    case BackendKind::Redis: return "redis";
+    case BackendKind::Filesystem: return "filesystem";
+    case BackendKind::Stream: return "stream";
+    case BackendKind::Daos: return "daos";
+  }
+  return "?";
+}
+
+std::string_view store_op_name(StoreOp op) {
+  switch (op) {
+    case StoreOp::Write: return "write";
+    case StoreOp::Read: return "read";
+    case StoreOp::Poll: return "poll";
+    case StoreOp::Clean: return "clean";
+  }
+  return "?";
+}
+
+DragonParams::DragonParams() {
+  // Dragon's channel path buffers on both sides, so its local transfer is
+  // close to node-local with slightly higher constant costs.
+  local.sw_overhead_s = 0.0;  // folded into sw_overhead_s below
+  local.bw_cached = 2.4e9;
+  local.bw_spilled = 1.1e9;
+}
+
+RedisParams::RedisParams() {
+  client.sw_overhead_s = 0.0;
+  client.bw_cached = 3.0e9;  // client-side buffer assembly
+  client.bw_spilled = 1.6e9;
+  server.sw_overhead_s = 0.0;
+  server.bw_cached = 1.8e9;  // single-threaded RESP parse + store copy
+  server.bw_spilled = 0.8e9;
+}
+
+namespace {
+
+/// Per-message many-to-one management penalty: fanin-1 extra producers each
+/// add `per` seconds (power-law so superlinear regimes are expressible).
+double m21_penalty(double per, double power, int fanin) {
+  if (fanin <= 1) return 0.0;
+  return per * std::pow(static_cast<double>(fanin - 1), power);
+}
+
+int effective_streams(const TransportContext& ctx) {
+  const int streams =
+      ctx.concurrent_streams > 0 ? ctx.concurrent_streams : ctx.fanin;
+  return std::max(1, streams);
+}
+
+}  // namespace
+
+SimTime TransportModel::node_local_cost(StoreOp op,
+                                        std::uint64_t bytes) const {
+  switch (op) {
+    case StoreOp::Write:
+      return memory.transfer_time(bytes);
+    case StoreOp::Read:
+      // Reads skip the allocation/publication step of the write path.
+      return 0.9 * memory.transfer_time(bytes);
+    case StoreOp::Poll:
+    case StoreOp::Clean:
+      return 0.3 * memory.sw_overhead_s;
+  }
+  return 0.0;
+}
+
+SimTime TransportModel::dragon_cost(StoreOp op, std::uint64_t bytes,
+                                    const TransportContext& ctx) const {
+  if (op == StoreOp::Poll || op == StoreOp::Clean) {
+    // Manager round-trip, no payload.
+    return dragon.sw_overhead_s +
+           (ctx.remote ? net.latency_s : 0.5 * net.latency_s);
+  }
+  double t = dragon.sw_overhead_s;
+  t += m21_penalty(dragon.m21_overhead_s, dragon.m21_power, ctx.fanin);
+  if (!ctx.remote) {
+    t += dragon.local.transfer_time(bytes);
+  } else {
+    // P2p stream whose efficiency declines beyond peak_bytes (the >10 MB
+    // falloff in Fig 5a), sharing the consumer NIC among in-flight streams.
+    const double shape =
+        1.0 + std::pow(static_cast<double>(bytes) /
+                           static_cast<double>(dragon.peak_bytes),
+                       dragon.decline_power);
+    const double stream_bw =
+        std::min(dragon.remote_bandwidth / shape,
+                 net.shared_bandwidth(effective_streams(ctx)));
+    t += net.latency_s + static_cast<double>(bytes) / stream_bw;
+  }
+  if (op == StoreOp::Read) t *= 0.95;
+  return t;
+}
+
+SimTime TransportModel::redis_cost(StoreOp op, std::uint64_t bytes,
+                                   const TransportContext& ctx) const {
+  if (op == StoreOp::Poll || op == StoreOp::Clean) {
+    return 0.5 * redis.sw_overhead_s +
+           (ctx.remote ? net.latency_s : redis.ipc_latency_s);
+  }
+  double t = redis.sw_overhead_s;
+  t += m21_penalty(redis.m21_overhead_s, redis.m21_power, ctx.fanin);
+  // The value crosses the client copy path and the single-threaded server.
+  t += redis.client.transfer_time(bytes);
+  t += redis.server.transfer_time(bytes);
+  if (!ctx.remote) {
+    t += redis.ipc_latency_s;
+  } else {
+    const double factor = (op == StoreOp::Write) ? redis.remote_write_factor
+                                                 : redis.remote_read_factor;
+    const double stream_bw =
+        net.shared_bandwidth(effective_streams(ctx)) * factor;
+    t += net.latency_s + static_cast<double>(bytes) / stream_bw;
+  }
+  return t;
+}
+
+SimTime TransportModel::filesystem_cost(StoreOp op, std::uint64_t bytes,
+                                        const TransportContext& ctx) const {
+  const int clients = std::max(1, ctx.concurrent_clients);
+  switch (op) {
+    case StoreOp::Write:
+      // The real store creates a temp file then atomically renames it:
+      // two MDS operations per write.
+      return lustre.io_time(bytes, /*meta_ops=*/2, clients);
+    case StoreOp::Read:
+      return lustre.io_time(bytes, /*meta_ops=*/1, clients);
+    case StoreOp::Poll:   // stat
+    case StoreOp::Clean:  // unlink
+      return lustre.meta_time(clients);
+  }
+  return 0.0;
+}
+
+SimTime TransportModel::stream_cost(StoreOp op, std::uint64_t bytes,
+                                    const TransportContext& ctx) const {
+  if (op == StoreOp::Poll || op == StoreOp::Clean) {
+    // Step-availability check on an established stream: no metadata server.
+    return 0.5 * stream.step_overhead_s;
+  }
+  double t = stream.step_overhead_s;
+  t += m21_penalty(stream.m21_overhead_s, stream.m21_power, ctx.fanin);
+  if (!ctx.remote) {
+    t += static_cast<double>(bytes) / stream.local_bandwidth;
+  } else {
+    const double bw = std::min(stream.bandwidth,
+                               net.shared_bandwidth(effective_streams(ctx)));
+    t += net.latency_s + static_cast<double>(bytes) / bw;
+  }
+  return t;
+}
+
+SimTime TransportModel::daos_cost(StoreOp op, std::uint64_t bytes,
+                                  const TransportContext& ctx) const {
+  const int clients = std::max(1, ctx.concurrent_clients);
+  // Distributed metadata: contention grows only past thousands of clients.
+  const double load =
+      static_cast<double>(clients) / daos.contention_capacity;
+  const double contention = 1.0 + std::pow(load, daos.contention_exponent);
+  if (op == StoreOp::Poll || op == StoreOp::Clean) {
+    return daos.op_latency_s * contention;
+  }
+  const double fair =
+      daos.aggregate_bandwidth / static_cast<double>(clients);
+  const double bw = std::min(daos.target_bandwidth, fair);
+  double t = daos.op_latency_s * contention +
+             static_cast<double>(bytes) / bw;
+  // Writes are replicated/committed: a second ack round-trip.
+  if (op == StoreOp::Write) t += daos.op_latency_s;
+  return t;
+}
+
+SimTime TransportModel::cost(BackendKind backend, StoreOp op,
+                             std::uint64_t bytes,
+                             const TransportContext& ctx) const {
+  switch (backend) {
+    case BackendKind::NodeLocal: return node_local_cost(op, bytes);
+    case BackendKind::Dragon: return dragon_cost(op, bytes, ctx);
+    case BackendKind::Redis: return redis_cost(op, bytes, ctx);
+    case BackendKind::Filesystem: return filesystem_cost(op, bytes, ctx);
+    case BackendKind::Stream: return stream_cost(op, bytes, ctx);
+    case BackendKind::Daos: return daos_cost(op, bytes, ctx);
+  }
+  return 0.0;
+}
+
+double TransportModel::throughput(BackendKind backend, StoreOp op,
+                                  std::uint64_t bytes,
+                                  const TransportContext& ctx) const {
+  const SimTime t = cost(backend, op, bytes, ctx);
+  return t > 0.0 ? static_cast<double>(bytes) / t : 0.0;
+}
+
+TransportModel TransportModel::from_json(const util::Json& spec) {
+  TransportModel m;
+  if (const util::Json* j = spec.find("memory"))
+    m.memory = MemoryModel::from_json(*j);
+  if (const util::Json* j = spec.find("net"))
+    m.net = InterconnectModel::from_json(*j);
+  if (const util::Json* j = spec.find("lustre"))
+    m.lustre = LustreModel::from_json(*j);
+  if (const util::Json* j = spec.find("dragon")) {
+    m.dragon.sw_overhead_s = j->get("sw_overhead_s", m.dragon.sw_overhead_s);
+    if (const util::Json* l = j->find("local"))
+      m.dragon.local = MemoryModel::from_json(*l);
+    m.dragon.remote_bandwidth =
+        j->get("remote_bandwidth", m.dragon.remote_bandwidth);
+    m.dragon.peak_bytes = static_cast<std::uint64_t>(j->get(
+        "peak_bytes", static_cast<std::int64_t>(m.dragon.peak_bytes)));
+    m.dragon.decline_power = j->get("decline_power", m.dragon.decline_power);
+    m.dragon.m21_overhead_s =
+        j->get("m21_overhead_s", m.dragon.m21_overhead_s);
+    m.dragon.m21_power = j->get("m21_power", m.dragon.m21_power);
+  }
+  if (const util::Json* j = spec.find("redis")) {
+    m.redis.sw_overhead_s = j->get("sw_overhead_s", m.redis.sw_overhead_s);
+    m.redis.ipc_latency_s = j->get("ipc_latency_s", m.redis.ipc_latency_s);
+    if (const util::Json* c = j->find("client"))
+      m.redis.client = MemoryModel::from_json(*c);
+    if (const util::Json* s = j->find("server"))
+      m.redis.server = MemoryModel::from_json(*s);
+    m.redis.remote_write_factor =
+        j->get("remote_write_factor", m.redis.remote_write_factor);
+    m.redis.remote_read_factor =
+        j->get("remote_read_factor", m.redis.remote_read_factor);
+    m.redis.m21_overhead_s = j->get("m21_overhead_s", m.redis.m21_overhead_s);
+    m.redis.m21_power = j->get("m21_power", m.redis.m21_power);
+  }
+  if (const util::Json* j = spec.find("stream")) {
+    m.stream.step_overhead_s =
+        j->get("step_overhead_s", m.stream.step_overhead_s);
+    m.stream.bandwidth = j->get("bandwidth", m.stream.bandwidth);
+    m.stream.local_bandwidth =
+        j->get("local_bandwidth", m.stream.local_bandwidth);
+    m.stream.m21_overhead_s =
+        j->get("m21_overhead_s", m.stream.m21_overhead_s);
+    m.stream.m21_power = j->get("m21_power", m.stream.m21_power);
+  }
+  if (const util::Json* j = spec.find("daos")) {
+    m.daos.op_latency_s = j->get("op_latency_s", m.daos.op_latency_s);
+    m.daos.target_bandwidth =
+        j->get("target_bandwidth", m.daos.target_bandwidth);
+    m.daos.target_count =
+        static_cast<int>(j->get("target_count", m.daos.target_count));
+    m.daos.aggregate_bandwidth =
+        j->get("aggregate_bandwidth", m.daos.aggregate_bandwidth);
+    m.daos.contention_capacity =
+        j->get("contention_capacity", m.daos.contention_capacity);
+    m.daos.contention_exponent =
+        j->get("contention_exponent", m.daos.contention_exponent);
+  }
+  return m;
+}
+
+}  // namespace simai::platform

@@ -1,0 +1,70 @@
+// Bounded FIFO channel between logical processes, in virtual time.
+//
+// Channels are the coordination primitive the DragonHPC substrate and the
+// in-process message layer are built from: `put` blocks while the channel is
+// full, `get` blocks while it is empty, and hand-offs happen at well-defined
+// virtual times. Because the DES runs one process at a time, no internal
+// locking is needed.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace simai::sim {
+
+template <typename T>
+class Channel {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit Channel(Engine& engine, std::size_t capacity = 0)
+      : capacity_(capacity), not_empty_(engine), not_full_(engine) {}
+
+  /// Blocking send; waits (in virtual time) while the channel is full.
+  void put(Context& ctx, T value) {
+    while (full()) ctx.wait(not_full_);
+    items_.push_back(std::move(value));
+    not_empty_.notify_all();
+  }
+
+  /// Blocking receive; waits while the channel is empty.
+  T get(Context& ctx) {
+    while (items_.empty()) ctx.wait(not_empty_);
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_all();
+    return value;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_get() {
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_all();
+    return value;
+  }
+
+  /// Non-blocking send; false if the channel is full.
+  bool try_put(T value) {
+    if (full()) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_all();
+    return true;
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  bool full() const { return capacity_ != 0 && items_.size() >= capacity_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+  Event not_empty_;
+  Event not_full_;
+};
+
+}  // namespace simai::sim

@@ -1,0 +1,207 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simai::sim {
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
+
+Process::Process(Engine& engine, std::uint64_t id, std::string name,
+                 std::function<void(Context&)> body)
+    : engine_(engine), id_(id), name_(std::move(name)), body_(std::move(body)) {}
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+SimTime Context::now() const { return engine_.now_; }
+
+void Context::suspend() {
+  engine_.engine_turn_.release();  // hand baton to the scheduler
+  process_.resume_.acquire();      // wait to be rescheduled
+  if (process_.kill_requested_) throw ProcessKilled{};
+}
+
+void Context::delay(SimTime dt) {
+  if (dt < 0.0 || std::isnan(dt))
+    throw Error("sim: negative or NaN delay in process '" + name() + "'");
+  engine_.schedule(process_, engine_.now_ + dt);
+  suspend();
+}
+
+void Context::wait(Event& event) {
+  process_.state_ = Process::State::Blocked;
+  event.waiters_.push_back(&process_);
+  suspend();
+}
+
+bool Context::wait_for(Event& event, SimTime timeout) {
+  // Waiting with a timeout: register on the event AND schedule a wake-up.
+  // Whichever fires first wins; we then deregister from the loser.
+  process_.state_ = Process::State::Blocked;
+  event.waiters_.push_back(&process_);
+  const SimTime deadline = engine_.now_ + timeout;
+  engine_.schedule(process_, deadline);
+  suspend();
+  auto& ws = event.waiters_;
+  const auto it = std::find(ws.begin(), ws.end(), &process_);
+  if (it != ws.end()) {
+    // Still registered => the timer fired, not the event.
+    ws.erase(it);
+    return false;
+  }
+  return true;
+}
+
+void Context::wait_until(const std::function<bool()>& pred,
+                         SimTime poll_interval) {
+  if (poll_interval <= 0.0)
+    throw Error("sim: wait_until poll interval must be positive");
+  while (!pred()) delay(poll_interval);
+}
+
+// ---------------------------------------------------------------------------
+// Event
+// ---------------------------------------------------------------------------
+
+void Event::notify_all() {
+  for (Process* p : waiters_) engine_.schedule(*p, engine_.now_);
+  waiters_.clear();
+}
+
+void Event::notify_one() {
+  if (waiters_.empty()) return;
+  Process* p = waiters_.front();
+  waiters_.erase(waiters_.begin());
+  engine_.schedule(*p, engine_.now_);
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine() = default;
+
+Engine::~Engine() { kill_all(); }
+
+Process& Engine::spawn(std::string name, std::function<void(Context&)> body) {
+  // Process is immovable (owns semaphores), and its ctor is private: build
+  // it in place via the raw-new form available to this friend class.
+  std::unique_ptr<Process> proc(
+      new Process(*this, next_pid_++, std::move(name), std::move(body)));
+  Process& p = *proc;
+  processes_.push_back(std::move(proc));
+  schedule(p, now_);
+  return p;
+}
+
+void Engine::schedule(Process& p, SimTime when) {
+  p.wake_time_ = when;
+  p.state_ = Process::State::Ready;
+  ready_.push(HeapEntry{when, next_seq_++, &p});
+}
+
+void Engine::process_trampoline(Process& p) {
+  p.resume_.acquire();  // wait for first dispatch
+  if (!p.kill_requested_) {
+    Context ctx(*this, p);
+    try {
+      p.body_(ctx);
+    } catch (const ProcessKilled&) {
+      // Torn down by the engine; unwind silently.
+    } catch (...) {
+      if (!pending_error_) pending_error_ = std::current_exception();
+    }
+  }
+  p.state_ = Process::State::Finished;
+  engine_turn_.release();
+}
+
+void Engine::dispatch(Process& p) {
+  p.state_ = Process::State::Running;
+  if (!p.thread_.joinable()) {
+    // Lazy thread start: the thread immediately blocks on resume_, so
+    // creation order cannot perturb the schedule.
+    p.thread_ = std::thread([this, &p] { process_trampoline(p); });
+  }
+  p.resume_.release();
+  engine_turn_.acquire();  // run exactly one step of p
+  if (pending_error_) {
+    std::exception_ptr err = pending_error_;
+    pending_error_ = nullptr;
+    kill_all();
+    std::rethrow_exception(err);
+  }
+}
+
+void Engine::drain(SimTime t_end) {
+  if (running_) throw Error("sim: Engine::run is not reentrant");
+  running_ = true;
+  struct Guard {
+    bool& flag;
+    ~Guard() { flag = false; }
+  } guard{running_};
+
+  while (!ready_.empty()) {
+    HeapEntry top = ready_.top();
+    // Skip stale heap entries: a process may have been rescheduled (e.g. the
+    // event side of wait_for fired before its timeout entry surfaced) or
+    // finished. An entry is current iff the process is Ready at this time.
+    if (top.process->state_ != Process::State::Ready ||
+        top.process->wake_time_ != top.time) {
+      ready_.pop();
+      continue;
+    }
+    if (top.time > t_end) return;  // leave for a future run_until call
+    ready_.pop();
+    now_ = std::max(now_, top.time);
+    dispatch(*top.process);
+  }
+
+  // Nothing runnable. Any live, blocked processes mean deadlock.
+  std::string blocked;
+  for (const auto& p : processes_) {
+    if (p->state_ == Process::State::Blocked) {
+      if (!blocked.empty()) blocked += ", ";
+      blocked += p->name_;
+    }
+  }
+  if (!blocked.empty())
+    throw DeadlockError("sim: deadlock — processes blocked on events: " +
+                        blocked);
+}
+
+void Engine::run() { drain(std::numeric_limits<SimTime>::infinity()); }
+
+void Engine::run_until(SimTime t_end) { drain(t_end); }
+
+std::size_t Engine::live_process_count() const {
+  std::size_t n = 0;
+  for (const auto& p : processes_) {
+    if (p->state_ != Process::State::Finished) ++n;
+  }
+  return n;
+}
+
+void Engine::kill_all() {
+  for (auto& p : processes_) {
+    if (p->state_ == Process::State::Finished) {
+      if (p->thread_.joinable()) p->thread_.join();
+      continue;
+    }
+    p->kill_requested_ = true;
+    if (p->thread_.joinable()) {
+      // The thread is parked on resume_; release it so it can observe the
+      // kill flag, unwind, and hand the baton back.
+      p->resume_.release();
+      engine_turn_.acquire();
+      p->thread_.join();
+    }
+    p->state_ = Process::State::Finished;
+  }
+}
+
+}  // namespace simai::sim

@@ -1,0 +1,101 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace simai::sim {
+
+void TraceRecorder::record_span(std::string track, std::string category,
+                                SimTime start, SimTime end) {
+  spans_.push_back({std::move(track), std::move(category), start, end});
+}
+
+void TraceRecorder::record_instant(std::string track, std::string category,
+                                   SimTime time, std::uint64_t bytes) {
+  instants_.push_back({std::move(track), std::move(category), time, bytes});
+}
+
+SimTime TraceRecorder::begin_time() const {
+  SimTime t = std::numeric_limits<SimTime>::infinity();
+  for (const auto& s : spans_) t = std::min(t, s.start);
+  for (const auto& i : instants_) t = std::min(t, i.time);
+  return std::isfinite(t) ? t : 0.0;
+}
+
+SimTime TraceRecorder::end_time() const {
+  SimTime t = 0.0;
+  for (const auto& s : spans_) t = std::max(t, s.end);
+  for (const auto& i : instants_) t = std::max(t, i.time);
+  return t;
+}
+
+std::string TraceRecorder::to_csv() const {
+  std::ostringstream out;
+  out << "track,category,start,end,bytes\n";
+  for (const auto& s : spans_) {
+    out << s.track << ',' << s.category << ',' << s.start << ',' << s.end
+        << ",0\n";
+  }
+  for (const auto& i : instants_) {
+    out << i.track << ',' << i.category << ',' << i.time << ',' << i.time
+        << ',' << i.bytes << '\n';
+  }
+  return out.str();
+}
+
+std::string TraceRecorder::render_ascii(int width, SimTime t0,
+                                        SimTime t1) const {
+  if (width < 10) width = 10;
+  if (t0 < 0.0) t0 = begin_time();
+  if (t1 < 0.0) t1 = end_time();
+  if (t1 <= t0) t1 = t0 + 1.0;
+  const double scale = static_cast<double>(width) / (t1 - t0);
+  auto column = [&](SimTime t) {
+    const int c = static_cast<int>((t - t0) * scale);
+    return std::clamp(c, 0, width - 1);
+  };
+
+  // Collect tracks in first-seen order for stable output.
+  std::vector<std::string> tracks;
+  auto track_index = [&](const std::string& name) {
+    const auto it = std::find(tracks.begin(), tracks.end(), name);
+    if (it != tracks.end()) return static_cast<std::size_t>(it - tracks.begin());
+    tracks.push_back(name);
+    return tracks.size() - 1;
+  };
+  for (const auto& s : spans_) track_index(s.track);
+  for (const auto& i : instants_) track_index(i.track);
+
+  std::vector<std::string> rows(tracks.size(),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (const auto& s : spans_) {
+    auto& row = rows[track_index(s.track)];
+    const char c = s.category.empty() ? '#' : s.category[0];
+    for (int x = column(s.start); x <= column(s.end); ++x)
+      row[static_cast<std::size_t>(x)] = c;
+  }
+  // Instants paint last so transfer marks stay visible over compute spans.
+  for (const auto& i : instants_) {
+    rows[track_index(i.track)][static_cast<std::size_t>(column(i.time))] = '|';
+  }
+
+  std::ostringstream out;
+  std::size_t label_width = 0;
+  for (const auto& t : tracks) label_width = std::max(label_width, t.size());
+  for (std::size_t r = 0; r < tracks.size(); ++r) {
+    out << tracks[r] << std::string(label_width - tracks[r].size(), ' ')
+        << " [" << rows[r] << "]\n";
+  }
+  out << std::string(label_width, ' ') << "  t=" << t0 << " .. " << t1
+      << " s  ('|' = data transfer)\n";
+  return out.str();
+}
+
+void TraceRecorder::clear() {
+  spans_.clear();
+  instants_.clear();
+}
+
+}  // namespace simai::sim

@@ -1,0 +1,84 @@
+// Execution-timeline recorder (the data behind the paper's Fig. 2).
+//
+// Components record *spans* (compute iterations, initialization) and
+// *instants* (data-transfer marks) against virtual time. The recorder can
+// dump a CSV for plotting and render an ASCII timeline directly in the
+// terminal — which is how bench_fig2_timeline reproduces the figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace simai::sim {
+
+struct TraceSpan {
+  std::string track;     // e.g. "sim", "train"
+  std::string category;  // e.g. "iter", "init"
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+};
+
+struct TraceInstant {
+  std::string track;
+  std::string category;  // e.g. "write", "read"
+  SimTime time = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+class TraceRecorder {
+ public:
+  void record_span(std::string track, std::string category, SimTime start,
+                   SimTime end);
+  void record_instant(std::string track, std::string category, SimTime time,
+                      std::uint64_t bytes = 0);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  const std::vector<TraceInstant>& instants() const { return instants_; }
+
+  /// Earliest/latest time across all records (0 if empty).
+  SimTime begin_time() const;
+  SimTime end_time() const;
+
+  /// "track,category,start,end,bytes" rows; instants have start==end.
+  std::string to_csv() const;
+
+  /// Render an ASCII timeline: one row per track, `width` columns between
+  /// t0 and t1 (defaults: full range). Span categories paint with their
+  /// first letter ('i' for iter...), instants with '|'.
+  std::string render_ascii(int width = 100, SimTime t0 = -1.0,
+                           SimTime t1 = -1.0) const;
+
+  void clear();
+
+ private:
+  std::vector<TraceSpan> spans_;
+  std::vector<TraceInstant> instants_;
+};
+
+/// RAII helper: records a span from construction to destruction using the
+/// provided clock getter.
+class ScopedSpan {
+ public:
+  using Clock = SimTime (*)(const void*);
+  ScopedSpan(TraceRecorder& rec, std::string track, std::string category,
+             SimTime start)
+      : rec_(rec), track_(std::move(track)), category_(std::move(category)),
+        start_(start) {}
+  void finish(SimTime end) {
+    if (!done_) {
+      rec_.record_span(track_, category_, start_, end);
+      done_ = true;
+    }
+  }
+
+ private:
+  TraceRecorder& rec_;
+  std::string track_;
+  std::string category_;
+  SimTime start_;
+  bool done_ = false;
+};
+
+}  // namespace simai::sim

@@ -1,0 +1,66 @@
+// Bounded MPMC blocking queue (real threads, real time) — the "channel"
+// primitive the Dragon substrate's shard managers communicate over.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace simai::util {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit BlockingQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Blocking push; returns false if the queue was closed.
+  bool push(T value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [this] { return closed_ || !bounded_full(); });
+    if (closed_) return false;
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; nullopt once the queue is closed AND drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Close the queue: pending pops drain remaining items then see nullopt;
+  /// subsequent pushes fail.
+  void close() {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  bool bounded_full() const {
+    return capacity_ != 0 && queue_.size() >= capacity_;
+  }
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace simai::util

@@ -1,0 +1,31 @@
+#include "util/buffer.hpp"
+
+namespace simai::util {
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  raw(as_bytes_view(s));
+}
+
+void ByteWriter::bytes(ByteView b) {
+  u64(b.size());
+  raw(b);
+}
+
+void ByteWriter::raw(ByteView b) {
+  buffer_.insert(buffer_.end(), b.begin(), b.end());
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  ByteView v = take(n);
+  return {reinterpret_cast<const char*>(v.data()), v.size()};
+}
+
+Bytes ByteReader::bytes() {
+  const std::uint64_t n = u64();
+  ByteView v = take(static_cast<std::size_t>(n));
+  return Bytes(v.begin(), v.end());
+}
+
+}  // namespace simai::util

@@ -1,0 +1,108 @@
+// Byte-buffer serialization primitives.
+//
+// Values staged through the DataStore, RESP frames, and Dragon channel
+// messages are all flat byte sequences; ByteWriter/ByteReader provide
+// little-endian primitive encoding with explicit lengths (no implicit
+// padding, portable across compilers).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace simai::util {
+
+class SerializationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Appends primitives to an owned Bytes buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buffer_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buffer_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) { write_le(v); }
+  void u32(std::uint32_t v) { write_le(v); }
+  void u64(std::uint64_t v) { write_le(v); }
+  void i64(std::int64_t v) { write_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    write_le(bits);
+  }
+  /// Length-prefixed (u32) string.
+  void str(std::string_view s);
+  /// Length-prefixed (u64) raw bytes.
+  void bytes(ByteView b);
+  /// Raw bytes without a length prefix (for fixed-layout frames).
+  void raw(ByteView b);
+
+  const Bytes& data() const { return buffer_; }
+  Bytes take() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  template <typename T>
+  void write_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buffer_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+    }
+  }
+  Bytes buffer_;
+};
+
+/// Reads primitives from a byte view; throws SerializationError on underrun.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteView data) : data_(data) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)[0]); }
+  std::uint16_t u16() { return read_le<std::uint16_t>(); }
+  std::uint32_t u32() { return read_le<std::uint32_t>(); }
+  std::uint64_t u64() { return read_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str();
+  Bytes bytes();
+  /// Read exactly n raw bytes.
+  ByteView raw(std::size_t n) { return take(n); }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+ private:
+  ByteView take(std::size_t n) {
+    if (remaining() < n)
+      throw SerializationError("byte reader underrun: need " +
+                               std::to_string(n) + ", have " +
+                               std::to_string(remaining()));
+    ByteView view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+  template <typename T>
+  T read_le() {
+    ByteView v = take(sizeof(T));
+    T out = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out |= static_cast<T>(static_cast<std::uint8_t>(v[i])) << (8 * i);
+    }
+    return out;
+  }
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace simai::util

@@ -1,0 +1,38 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace simai::util {
+namespace {
+
+/// Build the byte-wise lookup table for the reflected polynomial 0xEDB88320
+/// at static-initialization time.
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(ByteView data, std::uint32_t seed) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    c = kTable[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(std::string_view text, std::uint32_t seed) {
+  return crc32(as_bytes_view(text), seed);
+}
+
+}  // namespace simai::util

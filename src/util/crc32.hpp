@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected), the checksum the paper's
+// DataStore uses to map keys onto shard directories (§3.2).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace simai::util {
+
+/// Compute the CRC-32 of a byte range. Matches zlib's crc32() and Python's
+/// binascii.crc32 so shard assignments are identical to the reference
+/// SimAI-Bench implementation.
+std::uint32_t crc32(ByteView data, std::uint32_t seed = 0);
+
+/// Convenience overload for text keys.
+std::uint32_t crc32(std::string_view text, std::uint32_t seed = 0);
+
+}  // namespace simai::util

@@ -1,0 +1,108 @@
+#include "util/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace simai::util {
+
+DiscreteDist::DiscreteDist(std::vector<double> values,
+                           std::vector<double> probs)
+    : values_(std::move(values)) {
+  if (values_.empty() || values_.size() != probs.size())
+    throw ConfigError("discrete distribution: values/probs size mismatch");
+  double total = 0.0;
+  for (double p : probs) {
+    if (p < 0.0) throw ConfigError("discrete distribution: negative prob");
+    total += p;
+  }
+  if (total <= 0.0)
+    throw ConfigError("discrete distribution: probabilities sum to zero");
+  cdf_.reserve(probs.size());
+  double acc = 0.0;
+  for (double p : probs) {
+    acc += p / total;
+    cdf_.push_back(acc);
+  }
+  cdf_.back() = 1.0;  // guard against accumulated round-off
+}
+
+double DiscreteDist::sample(Xoshiro256& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto idx = static_cast<std::size_t>(it - cdf_.begin());
+  return values_[std::min(idx, values_.size() - 1)];
+}
+
+double DiscreteDist::mean() const {
+  double m = 0.0;
+  double prev = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    m += values_[i] * (cdf_[i] - prev);
+    prev = cdf_[i];
+  }
+  return m;
+}
+
+NormalDist::NormalDist(double mean, double stddev, double min, double max)
+    : mean_(mean), stddev_(stddev), min_(min), max_(max) {
+  if (stddev < 0.0) throw ConfigError("normal distribution: negative std");
+  if (min > max) throw ConfigError("normal distribution: min > max");
+}
+
+double NormalDist::sample(Xoshiro256& rng) const {
+  return std::clamp(rng.normal(mean_, stddev_), min_, max_);
+}
+
+double LogNormalDist::sample(Xoshiro256& rng) const {
+  return std::exp(rng.normal(mu_, sigma_));
+}
+
+double LogNormalDist::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+std::unique_ptr<Distribution> make_distribution(const Json& spec) {
+  if (spec.is_number()) {
+    return std::make_unique<ConstantDist>(spec.as_double());
+  }
+  if (!spec.is_object())
+    throw ConfigError("distribution spec must be a number or an object");
+  const std::string kind = spec.get("dist", "constant");
+  if (kind == "constant") {
+    return std::make_unique<ConstantDist>(spec.at("value").as_double());
+  }
+  if (kind == "discrete") {
+    std::vector<double> values, probs;
+    for (const Json& v : spec.at("values").as_array())
+      values.push_back(v.as_double());
+    for (const Json& p : spec.at("probs").as_array())
+      probs.push_back(p.as_double());
+    return std::make_unique<DiscreteDist>(std::move(values), std::move(probs));
+  }
+  if (kind == "normal") {
+    return std::make_unique<NormalDist>(
+        spec.at("mean").as_double(), spec.at("std").as_double(),
+        spec.get("min", -std::numeric_limits<double>::infinity()),
+        spec.get("max", std::numeric_limits<double>::infinity()));
+  }
+  if (kind == "lognormal") {
+    return std::make_unique<LogNormalDist>(spec.at("mean").as_double(),
+                                           spec.at("sigma").as_double());
+  }
+  if (kind == "uniform") {
+    const double low = spec.at("low").as_double();
+    const double high = spec.at("high").as_double();
+    if (low > high) throw ConfigError("uniform distribution: low > high");
+    return std::make_unique<UniformDist>(low, high);
+  }
+  if (kind == "exponential") {
+    const double rate = spec.at("rate").as_double();
+    if (rate <= 0.0) throw ConfigError("exponential distribution: rate <= 0");
+    return std::make_unique<ExponentialDist>(rate, spec.get("shift", 0.0));
+  }
+  throw ConfigError("unknown distribution kind '" + kind + "'");
+}
+
+}  // namespace simai::util

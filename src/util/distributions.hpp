@@ -1,0 +1,106 @@
+// Configurable probability distributions for stochastic kernel parameters.
+//
+// SimAI-Bench lets run_time / run_count be sampled from a user-provided
+// discrete PDF each iteration (§3.3), which is how the mini-app reproduces
+// the variable iteration times of real workflows. A Distribution is built
+// from a JSON spec:
+//
+//   0.03147                                          -> constant
+//   {"dist":"discrete","values":[a,b],"probs":[p,q]} -> discrete PDF
+//   {"dist":"normal","mean":m,"std":s,"min":0}       -> (clamped) normal
+//   {"dist":"lognormal","mean":m,"sigma":s}          -> lognormal of ln-space
+//   {"dist":"uniform","low":a,"high":b}              -> uniform
+//   {"dist":"exponential","rate":r,"shift":c}        -> shifted exponential
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace simai::util {
+
+/// A sampleable scalar distribution. Implementations must be pure functions
+/// of the generator state so identical seeds replay identical traces.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  virtual double sample(Xoshiro256& rng) const = 0;
+  /// Expected value (used to report configured means in validation tables).
+  virtual double mean() const = 0;
+};
+
+/// Always returns the same value; the deterministic run_time case.
+class ConstantDist final : public Distribution {
+ public:
+  explicit ConstantDist(double value) : value_(value) {}
+  double sample(Xoshiro256&) const override { return value_; }
+  double mean() const override { return value_; }
+
+ private:
+  double value_;
+};
+
+/// Discrete PDF over explicit support points (the paper's primary mechanism).
+class DiscreteDist final : public Distribution {
+ public:
+  DiscreteDist(std::vector<double> values, std::vector<double> probs);
+  double sample(Xoshiro256& rng) const override;
+  double mean() const override;
+
+ private:
+  std::vector<double> values_;
+  std::vector<double> cdf_;  // cumulative, normalized to end at 1.0
+};
+
+/// Normal, optionally clamped to [min, max] (iteration times can't be < 0).
+class NormalDist final : public Distribution {
+ public:
+  NormalDist(double mean, double stddev, double min, double max);
+  double sample(Xoshiro256& rng) const override;
+  double mean() const override { return mean_; }
+
+ private:
+  double mean_, stddev_, min_, max_;
+};
+
+class LogNormalDist final : public Distribution {
+ public:
+  LogNormalDist(double mu, double sigma) : mu_(mu), sigma_(sigma) {}
+  double sample(Xoshiro256& rng) const override;
+  double mean() const override;
+
+ private:
+  double mu_, sigma_;
+};
+
+class UniformDist final : public Distribution {
+ public:
+  UniformDist(double low, double high) : low_(low), high_(high) {}
+  double sample(Xoshiro256& rng) const override {
+    return rng.uniform(low_, high_);
+  }
+  double mean() const override { return 0.5 * (low_ + high_); }
+
+ private:
+  double low_, high_;
+};
+
+class ExponentialDist final : public Distribution {
+ public:
+  ExponentialDist(double rate, double shift) : rate_(rate), shift_(shift) {}
+  double sample(Xoshiro256& rng) const override {
+    return shift_ + rng.exponential(rate_);
+  }
+  double mean() const override { return shift_ + 1.0 / rate_; }
+
+ private:
+  double rate_, shift_;
+};
+
+/// Build a distribution from its JSON spec (see header comment for forms).
+/// Throws ConfigError on unknown "dist" names or invalid parameters.
+std::unique_ptr<Distribution> make_distribution(const Json& spec);
+
+}  // namespace simai::util

@@ -1,0 +1,24 @@
+// Common exception type for the SimAI-Bench library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace simai {
+
+/// Base class for all errors thrown by the library. Carries a plain
+/// human-readable message; subsystems may subclass to allow selective
+/// catching (e.g. kv::StoreError, net::NetError).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a configuration document (JSON or programmatic) is invalid:
+/// missing keys, wrong types, out-of-range values.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace simai

@@ -1,0 +1,100 @@
+#include "util/fsutil.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <system_error>
+
+namespace simai::util {
+
+namespace fs = std::filesystem;
+
+void ensure_directory(const fs::path& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec && !fs::is_directory(dir))
+    throw FsError("cannot create directory '" + dir.string() +
+                  "': " + ec.message());
+}
+
+Bytes read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw FsError("cannot open file '" + path.string() + "'");
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  Bytes data(static_cast<std::size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(data.data()), size))
+    throw FsError("short read from '" + path.string() + "'");
+  return data;
+}
+
+void write_file(const fs::path& path, ByteView data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw FsError("cannot open file for write '" + path.string() + "'");
+  if (!data.empty() &&
+      !out.write(reinterpret_cast<const char*>(data.data()),
+                 static_cast<std::streamsize>(data.size())))
+    throw FsError("short write to '" + path.string() + "'");
+}
+
+void atomic_write_file(const fs::path& path, ByteView data) {
+  // Counter makes concurrent writers in one process collide-free; the PID in
+  // real SimAI-Bench plays the same role across processes.
+  static std::atomic<std::uint64_t> counter{0};
+  const fs::path tmp =
+      path.parent_path() /
+      (path.filename().string() + ".tmp." +
+       std::to_string(counter.fetch_add(1, std::memory_order_relaxed)));
+  write_file(tmp, data);
+  std::error_code ec;
+  fs::rename(tmp, path, ec);  // atomic within one filesystem (POSIX rename)
+  if (ec) {
+    fs::remove(tmp);
+    throw FsError("atomic rename to '" + path.string() +
+                  "' failed: " + ec.message());
+  }
+}
+
+TempDir::TempDir(const std::string& prefix, const fs::path& base) {
+  static std::atomic<std::uint64_t> counter{0};
+  const fs::path root = base.empty() ? fs::temp_directory_path() : base;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    fs::path candidate =
+        root / (prefix + "-" + std::to_string(::getpid()) + "-" +
+                std::to_string(counter.fetch_add(1)));
+    std::error_code ec;
+    if (fs::create_directories(candidate, ec) && !ec) {
+      path_ = std::move(candidate);
+      return;
+    }
+  }
+  throw FsError("cannot create temporary directory under '" + root.string() +
+                "'");
+}
+
+TempDir::~TempDir() {
+  if (!path_.empty()) {
+    std::error_code ec;
+    fs::remove_all(path_, ec);  // best effort; never throw from a dtor
+  }
+}
+
+TempDir::TempDir(TempDir&& other) noexcept : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    if (!path_.empty()) {
+      std::error_code ec;
+      fs::remove_all(path_, ec);
+    }
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+}  // namespace simai::util

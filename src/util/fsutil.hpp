@@ -1,0 +1,51 @@
+// Filesystem helpers: atomic write-and-rename (the paper's §3.2 staging
+// protocol), whole-file read/write, and a RAII temporary directory used by
+// stores and tests.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace simai::util {
+
+class FsError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Create `dir` and any missing parents; no-op if it already exists.
+void ensure_directory(const std::filesystem::path& dir);
+
+/// Read an entire file into a byte buffer; throws FsError if unreadable.
+Bytes read_file(const std::filesystem::path& path);
+
+/// Write an entire file (truncating); throws FsError on failure.
+void write_file(const std::filesystem::path& path, ByteView data);
+
+/// The staging write protocol from the paper: write the value to a unique
+/// temporary file in the same directory, flush it, then atomically rename it
+/// onto `path`. Readers never observe a partially written value.
+void atomic_write_file(const std::filesystem::path& path, ByteView data);
+
+/// RAII temporary directory: created unique under the system temp dir (or
+/// `base` if given), recursively removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "simai",
+                   const std::filesystem::path& base = {});
+  ~TempDir();
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  TempDir(TempDir&& other) noexcept;
+  TempDir& operator=(TempDir&& other) noexcept;
+
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace simai::util

@@ -1,0 +1,498 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace simai::util {
+
+Json::Type Json::type() const {
+  switch (value_.index()) {
+    case 0: return Type::Null;
+    case 1: return Type::Bool;
+    case 2: return Type::Int;
+    case 3: return Type::Double;
+    case 4: return Type::String;
+    case 5: return Type::Array;
+    default: return Type::Object;
+  }
+}
+
+namespace {
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  static constexpr const char* kNames[] = {"null",   "bool",  "int",
+                                           "double", "string", "array",
+                                           "object"};
+  throw JsonError(std::string("json: expected ") + want + ", got " +
+                  kNames[static_cast<int>(got)]);
+}
+}  // namespace
+
+bool Json::as_bool() const {
+  if (auto* b = std::get_if<bool>(&value_)) return *b;
+  type_error("bool", type());
+}
+
+std::int64_t Json::as_int() const {
+  if (auto* i = std::get_if<std::int64_t>(&value_)) return *i;
+  if (auto* d = std::get_if<double>(&value_)) {
+    if (std::nearbyint(*d) == *d) return static_cast<std::int64_t>(*d);
+  }
+  type_error("int", type());
+}
+
+double Json::as_double() const {
+  if (auto* d = std::get_if<double>(&value_)) return *d;
+  if (auto* i = std::get_if<std::int64_t>(&value_))
+    return static_cast<double>(*i);
+  type_error("number", type());
+}
+
+const std::string& Json::as_string() const {
+  if (auto* s = std::get_if<std::string>(&value_)) return *s;
+  type_error("string", type());
+}
+
+const Json::Array& Json::as_array() const {
+  if (auto* a = std::get_if<Array>(&value_)) return *a;
+  type_error("array", type());
+}
+
+Json::Array& Json::as_array() {
+  if (auto* a = std::get_if<Array>(&value_)) return *a;
+  type_error("array", type());
+}
+
+const Json::Object& Json::as_object() const {
+  if (auto* o = std::get_if<Object>(&value_)) return *o;
+  type_error("object", type());
+}
+
+Json::Object& Json::as_object() {
+  if (auto* o = std::get_if<Object>(&value_)) return *o;
+  type_error("object", type());
+}
+
+const Json& Json::at(std::size_t i) const {
+  const Array& a = as_array();
+  if (i >= a.size())
+    throw JsonError("json: array index " + std::to_string(i) +
+                    " out of range (size " + std::to_string(a.size()) + ")");
+  return a[i];
+}
+
+std::size_t Json::size() const {
+  if (auto* a = std::get_if<Array>(&value_)) return a->size();
+  if (auto* o = std::get_if<Object>(&value_)) return o->size();
+  return 0;
+}
+
+const Json& Json::at(std::string_view key) const {
+  if (const Json* p = find(key)) return *p;
+  throw JsonError("json: missing key '" + std::string(key) + "'");
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (auto* o = std::get_if<Object>(&value_)) {
+    auto it = o->find(key);
+    if (it != o->end()) return &it->second;
+  }
+  return nullptr;
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (is_null()) value_ = Object{};
+  Object& o = as_object();
+  auto it = o.find(key);
+  if (it == o.end()) it = o.emplace(std::string(key), Json()).first;
+  return it->second;
+}
+
+bool Json::get(std::string_view key, bool def) const {
+  const Json* p = find(key);
+  return p ? p->as_bool() : def;
+}
+std::int64_t Json::get(std::string_view key, std::int64_t def) const {
+  const Json* p = find(key);
+  return p ? p->as_int() : def;
+}
+std::int64_t Json::get(std::string_view key, int def) const {
+  return get(key, static_cast<std::int64_t>(def));
+}
+double Json::get(std::string_view key, double def) const {
+  const Json* p = find(key);
+  return p ? p->as_double() : def;
+}
+std::string Json::get(std::string_view key, const std::string& def) const {
+  const Json* p = find(key);
+  return p ? p->as_string() : def;
+}
+std::string Json::get(std::string_view key, const char* def) const {
+  return get(key, std::string(def));
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) value_ = Array{};
+  as_array().push_back(std::move(v));
+}
+
+bool Json::operator==(const Json& other) const {
+  // Int/double comparisons are by numeric value so parse("1") == Json(1.0).
+  if (is_number() && other.is_number()) return as_double() == other.as_double();
+  return value_ == other.value_;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    // Report a 1-based line/column for usable config error messages.
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw JsonError("json parse error at line " + std::to_string(line) +
+                    ", col " + std::to_string(col) + ": " + msg);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  char next() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't': return parse_literal("true", Json(true));
+      case 'f': return parse_literal("false", Json(false));
+      case 'n': return parse_literal("null", Json(nullptr));
+      default: return parse_number();
+    }
+  }
+
+  Json parse_literal(std::string_view word, Json value) {
+    if (text_.substr(pos_, word.size()) != word) fail("invalid literal");
+    pos_ += word.size();
+    return value;
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json::Object obj;
+    skip_ws();
+    if (consume('}')) return Json(std::move(obj));
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.insert_or_assign(std::move(key), parse_value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      break;
+    }
+    return Json(std::move(obj));
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json::Array arr;
+    skip_ws();
+    if (consume(']')) return Json(std::move(arr));
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      break;
+    }
+    return Json(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = next();
+      if (c == '"') break;
+      if (c == '\\') {
+        char e = next();
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': append_unicode_escape(out); break;
+          default: fail("invalid escape sequence");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = next();
+      v <<= 4;
+      if (c >= '0' && c <= '9')
+        v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        fail("invalid \\u escape");
+    }
+    return v;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    unsigned cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      // High surrogate: must be followed by \uDC00-\uDFFF.
+      if (!(consume('\\') && consume('u'))) fail("unpaired surrogate");
+      unsigned lo = parse_hex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unexpected low surrogate");
+    }
+    append_utf8(out, cp);
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Json parse_number() {
+    std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid number");
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    bool integral = true;
+    if (consume('.')) {
+      integral = false;
+      if (!std::isdigit(static_cast<unsigned char>(peek())))
+        fail("digit required after decimal point");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      integral = false;
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek())))
+        fail("digit required in exponent");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size())
+        return Json(static_cast<std::int64_t>(v));
+      // Fall through to double on int64 overflow.
+    }
+    return Json(std::strtod(token.c_str(), nullptr));
+  }
+};
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_double(std::string& out, double d) {
+  if (std::isnan(d) || std::isinf(d)) {
+    // JSON has no NaN/Inf; emit null like Python's json with allow_nan=False
+    // would reject — we choose null so dumps never produce invalid JSON.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof shorter, "%.*g", prec, d);
+    if (std::strtod(shorter, nullptr) == d) {
+      std::strcpy(buf, shorter);
+      break;
+    }
+  }
+  out += buf;
+  // Ensure a double stays a double on re-parse.
+  if (!std::strpbrk(buf, ".eE")) out += ".0";
+}
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_impl(out, indent, 0);
+  return out;
+}
+
+void Json::dump_impl(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  auto newline = [&](int d) {
+    if (pretty) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (type()) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += as_bool() ? "true" : "false"; break;
+    case Type::Int: out += std::to_string(std::get<std::int64_t>(value_)); break;
+    case Type::Double: dump_double(out, std::get<double>(value_)); break;
+    case Type::String: dump_string(out, std::get<std::string>(value_)); break;
+    case Type::Array: {
+      const Array& a = std::get<Array>(value_);
+      if (a.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i) out += pretty ? "," : ",";
+        newline(depth + 1);
+        a[i].dump_impl(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      const Object& o = std::get<Object>(value_);
+      if (o.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : o) {
+        if (!first) out += ",";
+        first = false;
+        newline(depth + 1);
+        dump_string(out, k);
+        out += pretty ? ": " : ":";
+        v.dump_impl(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Json Json::parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw JsonError("json: cannot open file '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+void Json::dump_file(const std::string& path, int indent) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw JsonError("json: cannot write file '" + path + "'");
+  out << dump(indent) << '\n';
+}
+
+}  // namespace simai::util

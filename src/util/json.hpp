@@ -1,0 +1,129 @@
+// A small self-contained JSON DOM, parser, and writer.
+//
+// SimAI-Bench configures mini-apps from JSON documents (kernel lists,
+// stochastic run_time PDFs, server topologies — see Listing 2 in the paper),
+// so the library ships its own parser rather than depending on an external
+// one. Supports the full JSON grammar (RFC 8259): null, booleans, numbers,
+// strings with escapes (incl. \uXXXX with surrogate pairs), arrays, objects.
+// Numbers are stored as double plus an exactness flag for integers.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace simai::util {
+
+class Json;
+
+/// Thrown on malformed documents (parse) or type mismatches (accessors).
+class JsonError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// JSON value. Cheap to move; copies deep-copy the subtree.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  // std::map keeps object keys ordered deterministically, which makes dumps
+  // reproducible across runs — important for golden-file tests.
+  using Object = std::map<std::string, Json, std::less<>>;
+
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  /// Constructs null.
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool b) : value_(b) {}
+  Json(int v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(std::int64_t v) : value_(v) {}
+  Json(std::uint64_t v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : value_(v) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  /// Factory helpers for explicit construction at call sites.
+  static Json array() { return Json(Array{}); }
+  static Json array(std::initializer_list<Json> items) {
+    return Json(Array(items));
+  }
+  static Json object() { return Json(Object{}); }
+
+  Type type() const;
+  bool is_null() const { return type() == Type::Null; }
+  bool is_bool() const { return type() == Type::Bool; }
+  bool is_int() const { return type() == Type::Int; }
+  bool is_double() const { return type() == Type::Double; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == Type::String; }
+  bool is_array() const { return type() == Type::Array; }
+  bool is_object() const { return type() == Type::Object; }
+
+  /// Checked accessors; throw JsonError on type mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;       // accepts integral doubles too
+  double as_double() const;          // accepts ints
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Array element access (checked).
+  const Json& at(std::size_t i) const;
+  std::size_t size() const;  // array/object element count; 0 for scalars
+
+  /// Object member access. `at` throws if the key is absent; `find` returns
+  /// nullptr; operator[] inserts null (converting null→object first).
+  const Json& at(std::string_view key) const;
+  const Json* find(std::string_view key) const;
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+  Json& operator[](std::string_view key);
+
+  /// Typed getters-with-default for config reading:
+  /// cfg.get("run_count", 1) — returns the default when the key is absent,
+  /// throws JsonError when present but the wrong type.
+  bool get(std::string_view key, bool def) const;
+  std::int64_t get(std::string_view key, std::int64_t def) const;
+  std::int64_t get(std::string_view key, int def) const;
+  double get(std::string_view key, double def) const;
+  std::string get(std::string_view key, const std::string& def) const;
+  std::string get(std::string_view key, const char* def) const;
+
+  /// Append to an array value (converting null→array first).
+  void push_back(Json v);
+
+  bool operator==(const Json& other) const;
+
+  /// Serialize. `indent` < 0 produces compact output; >= 0 pretty-prints
+  /// with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete document; trailing non-whitespace is an error.
+  static Json parse(std::string_view text);
+
+  /// Load/store convenience for config files.
+  static Json parse_file(const std::string& path);
+  void dump_file(const std::string& path, int indent = 2) const;
+
+ private:
+  using Value = std::variant<std::nullptr_t, bool, std::int64_t, double,
+                             std::string, Array, Object>;
+  Value value_ = nullptr;
+
+  void dump_impl(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace simai::util

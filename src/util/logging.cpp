@@ -1,0 +1,71 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace simai::util {
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower += static_cast<char>(std::tolower(c));
+  if (lower == "trace") return LogLevel::Trace;
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  throw ConfigError("unknown log level '" + std::string(name) + "'");
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view line) {
+    std::fprintf(stderr, "[%.*s] %.*s\n",
+                 static_cast<int>(log_level_name(level).size()),
+                 log_level_name(level).data(), static_cast<int>(line.size()),
+                 line.data());
+  };
+  if (const char* env = std::getenv("SIMAI_LOG_LEVEL")) {
+    level_ = parse_log_level(env);
+  }
+}
+
+Logger& Logger::global() {
+  static Logger instance;
+  return instance;
+}
+
+Logger::Sink Logger::set_sink(Sink sink) {
+  std::lock_guard lock(mutex_);
+  Sink prev = std::move(sink_);
+  sink_ = std::move(sink);
+  return prev;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  if (!enabled(level)) return;
+  std::string line;
+  line.reserve(component.size() + message.size() + 2);
+  line.append(component);
+  line.append(": ");
+  line.append(message);
+  std::lock_guard lock(mutex_);
+  if (sink_) sink_(level, line);
+}
+
+}  // namespace simai::util

@@ -1,0 +1,78 @@
+// Minimal leveled logger with printf-free, stream-style formatting.
+//
+// Workflow components and servers log through a process-global logger; tests
+// can capture output by swapping the sink. Logging is cheap when disabled
+// (level check before formatting) and thread-safe (single mutex per sink
+// write — the DES serializes most callers anyway).
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace simai::util {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Convert a level to its fixed-width display name ("INFO ", "WARN ", ...).
+std::string_view log_level_name(LogLevel level);
+
+/// Parse "debug", "INFO", etc.; throws ConfigError on unknown names.
+LogLevel parse_log_level(std::string_view name);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  /// Process-global logger used by the SIMAI_LOG macros.
+  static Logger& global();
+
+  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_ = level; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Replace the output sink (default: stderr). Returns the previous sink so
+  /// tests can restore it.
+  Sink set_sink(Sink sink);
+
+  void write(LogLevel level, std::string_view component,
+             std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::Warn;
+  Sink sink_;
+  std::mutex mutex_;
+};
+
+/// Stream-style log statement builder:
+///   SIMAI_LOG(Info, "redis") << "server listening on " << path;
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Logger::global().write(level_, component_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace simai::util
+
+#define SIMAI_LOG(level, component)                                       \
+  if (!::simai::util::Logger::global().enabled(                          \
+          ::simai::util::LogLevel::level)) {                             \
+  } else                                                                  \
+    ::simai::util::detail::LogLine(::simai::util::LogLevel::level,       \
+                                   (component))

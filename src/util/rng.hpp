@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation.
+//
+// Mini-apps must be reproducible across runs (the DES relies on it for
+// schedule invariance tests), so all stochastic behaviour flows through an
+// explicitly seeded xoshiro256** generator — never std::rand or a
+// nondeterministically seeded std::mt19937.
+#pragma once
+
+#include <cstdint>
+
+namespace simai::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into the four words of
+/// xoshiro state (the construction recommended by the xoshiro authors).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality, 2^256-1 period. Satisfies
+/// UniformRandomBitGenerator so it composes with <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n); n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+  /// Standard normal via Box–Muller (no cached spare: keeps state simple).
+  double normal();
+  double normal(double mean, double stddev);
+  /// Exponential with the given rate (lambda > 0).
+  double exponential(double rate);
+
+  /// Jump ahead 2^128 steps: gives independent streams for parallel ranks
+  /// derived from a common seed.
+  void jump();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace simai::util

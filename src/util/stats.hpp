@@ -1,0 +1,80 @@
+// Online statistics used by the benchmark harness.
+//
+// The paper reports per-process averages (Fig 3, Fig 5 throughputs), mean and
+// standard deviation of iteration times (Table 3), and timeline events
+// (Fig 2). RunningStats provides numerically stable streaming moments
+// (Welford), Histogram provides percentiles, and StatSeries groups samples
+// by label for the tabular bench output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace simai::util {
+
+/// Streaming mean/variance/min/max via Welford's algorithm. O(1) memory;
+/// merging two accumulators is supported (parallel reduction of per-rank
+/// stats, which is how per-process averages across ranks are formed).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Reservoir-free exact histogram: stores samples and sorts lazily for
+/// percentile queries. Fine for bench-scale sample counts (≤ millions).
+class Histogram {
+ public:
+  void add(double x);
+  std::size_t count() const { return samples_.size(); }
+  /// p in [0,100]; linear interpolation between order statistics.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Named collection of RunningStats, e.g. series["read"], series["write"].
+class StatSeries {
+ public:
+  RunningStats& operator[](const std::string& name) { return stats_[name]; }
+  const std::map<std::string, RunningStats>& all() const { return stats_; }
+  bool contains(const std::string& name) const {
+    return stats_.count(name) != 0;
+  }
+
+ private:
+  std::map<std::string, RunningStats> stats_;
+};
+
+/// Format a byte count as a human-readable string ("1.5 MiB").
+std::string format_bytes(std::uint64_t bytes);
+
+/// Format seconds adaptively ("12.3 us", "4.56 ms", "1.23 s").
+std::string format_seconds(double seconds);
+
+}  // namespace simai::util

@@ -1,0 +1,30 @@
+// String helpers shared across modules: splitting, trimming, case folding,
+// and the glob matcher used by DataStore key listing ("*" patterns, as in
+// Redis KEYS and the paper's poll_staged_data).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simai::util {
+
+/// Split on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Glob match with '*' (any run) and '?' (any single char). Iterative
+/// two-pointer algorithm, O(n*m) worst case, no recursion.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace simai::util

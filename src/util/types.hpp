@@ -1,0 +1,47 @@
+// Small shared vocabulary types used across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simai {
+
+/// Owning byte container used for values moved through data stores.
+using Bytes = std::vector<std::byte>;
+
+/// Non-owning view over immutable bytes (the preferred parameter type).
+using ByteView = std::span<const std::byte>;
+
+/// Construct a Bytes buffer from a string's characters.
+inline Bytes to_bytes(std::string_view s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return Bytes(p, p + s.size());
+}
+
+/// Construct a Bytes buffer of `n` bytes, each equal to `fill`.
+inline Bytes make_bytes(std::size_t n, std::uint8_t fill = 0) {
+  return Bytes(n, static_cast<std::byte>(fill));
+}
+
+/// View a string as bytes without copying.
+inline ByteView as_bytes_view(std::string_view s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+/// Copy a byte range back into a std::string (for text payloads and tests).
+inline std::string to_string(ByteView b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+/// Virtual simulation time, in seconds.
+using SimTime = double;
+
+/// Mebibytes/mebi-based size helpers used throughout benches and configs.
+constexpr std::size_t KiB = 1024;
+constexpr std::size_t MiB = 1024 * 1024;
+
+}  // namespace simai

@@ -1,0 +1,400 @@
+// Unit tests for the AI substrate: tensor algebra, gradient correctness vs
+// finite differences, optimizer behavior, DDP replica consistency, and the
+// online-training data loader.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ai/dataloader.hpp"
+#include "ai/ddp.hpp"
+#include "ai/mlp.hpp"
+#include "ai/optim.hpp"
+#include "ai/tensor.hpp"
+
+namespace simai::ai {
+namespace {
+
+// --------------------------------------------------------------------------
+// Tensor
+// --------------------------------------------------------------------------
+
+TEST(Tensor, ConstructionAndAccess) {
+  Tensor t(2, 3, 1.5);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  t.at(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(t.at(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 1.5);
+  EXPECT_THROW(Tensor(2, 2, std::vector<double>{1.0}), TensorError);
+}
+
+TEST(Tensor, MatmulSmallKnownAnswer) {
+  Tensor a(2, 2, {1, 2, 3, 4});
+  Tensor b(2, 2, {5, 6, 7, 8});
+  const Tensor c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+  EXPECT_THROW(matmul(a, Tensor(3, 2)), TensorError);
+}
+
+TEST(Tensor, TransposedProductsMatchExplicitTranspose) {
+  util::Xoshiro256 rng(3);
+  const Tensor a = Tensor::randn(4, 3, rng);
+  const Tensor b = Tensor::randn(4, 5, rng);
+  const Tensor tn = matmul_tn(a, b);          // A^T B
+  const Tensor ref = matmul(transpose(a), b);
+  ASSERT_TRUE(tn.same_shape(ref));
+  for (std::size_t i = 0; i < tn.size(); ++i)
+    EXPECT_NEAR(tn[i], ref[i], 1e-12);
+
+  const Tensor c = Tensor::randn(6, 3, rng);
+  const Tensor d = Tensor::randn(5, 3, rng);
+  const Tensor nt = matmul_nt(c, d);          // C D^T
+  const Tensor ref2 = matmul(c, transpose(d));
+  for (std::size_t i = 0; i < nt.size(); ++i)
+    EXPECT_NEAR(nt[i], ref2[i], 1e-12);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a(1, 3, {1, 2, 3});
+  Tensor b(1, 3, {10, 20, 30});
+  add_inplace(a, b);
+  EXPECT_DOUBLE_EQ(a[2], 33);
+  axpy_inplace(a, b, -1.0);
+  EXPECT_DOUBLE_EQ(a[0], 1);
+  scale_inplace(a, 2.0);
+  EXPECT_DOUBLE_EQ(a[1], 4);
+  EXPECT_THROW(add_inplace(a, Tensor(2, 2)), TensorError);
+}
+
+TEST(Tensor, BiasRowAndColumnSum) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor bias(1, 3, {10, 20, 30});
+  add_row_inplace(a, bias);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 11);
+  EXPECT_DOUBLE_EQ(a.at(1, 2), 36);
+  const Tensor cs = column_sum(a);
+  EXPECT_DOUBLE_EQ(cs[0], 11 + 14);
+  EXPECT_THROW(add_row_inplace(a, Tensor(1, 2)), TensorError);
+}
+
+TEST(Tensor, PackUnpackRoundTrip) {
+  util::Xoshiro256 rng(9);
+  const Tensor t = Tensor::randn(7, 5, rng);
+  const Tensor back = unpack_tensor(ByteView(pack_tensor(t)));
+  ASSERT_TRUE(back.same_shape(t));
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_DOUBLE_EQ(back[i], t[i]);
+}
+
+TEST(Tensor, UnpackTruncatedThrows) {
+  const Bytes packed = pack_tensor(Tensor(4, 4, 1.0));
+  Bytes cut(packed.begin(), packed.begin() + 20);
+  EXPECT_THROW(unpack_tensor(ByteView(cut)), Error);
+}
+
+// --------------------------------------------------------------------------
+// MLP + gradients
+// --------------------------------------------------------------------------
+
+TEST(Mlp, ForwardShapes) {
+  Mlp net({4, 8, 3}, Activation::ReLU, 1);
+  util::Xoshiro256 rng(2);
+  const Tensor x = Tensor::randn(5, 4, rng);
+  const Tensor y = net.forward(x);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 3u);
+  EXPECT_EQ(net.num_layers(), 2u);
+  EXPECT_EQ(net.parameter_count(), 4u * 8 + 8 + 8 * 3 + 3);
+}
+
+TEST(Mlp, FromJson) {
+  Mlp net = Mlp::from_json(
+      util::Json::parse(R"({"layers":[2,16,1],"activation":"tanh"})"));
+  EXPECT_EQ(net.num_layers(), 2u);
+  EXPECT_THROW(
+      Mlp::from_json(util::Json::parse(R"({"layers":[2,0,1]})")),
+      ConfigError);
+  EXPECT_THROW(Mlp::from_json(util::Json::parse(R"({"layers":[3]})")),
+               ConfigError);
+}
+
+TEST(Mlp, ParameterFlattenRoundTrip) {
+  Mlp net({3, 5, 2}, Activation::ReLU, 4);
+  std::vector<double> params = net.flatten_parameters();
+  EXPECT_EQ(params.size(), net.parameter_count());
+  for (double& p : params) p += 0.5;
+  net.load_parameters(params);
+  EXPECT_EQ(net.flatten_parameters(), params);
+  params.pop_back();
+  EXPECT_THROW(net.load_parameters(params), TensorError);
+}
+
+/// Central-difference gradient check over every parameter of a small net.
+void gradcheck(Activation act) {
+  Mlp net({3, 4, 2}, act, 11);
+  util::Xoshiro256 rng(5);
+  const Tensor x = Tensor::randn(6, 3, rng);
+  const Tensor target = Tensor::randn(6, 2, rng);
+
+  auto loss_at = [&](const std::vector<double>& params) {
+    net.load_parameters(params);
+    Tensor dloss;
+    return mse_loss(net.forward(x), target, dloss);
+  };
+
+  const std::vector<double> params0 = net.flatten_parameters();
+  // Analytic gradients.
+  net.load_parameters(params0);
+  net.zero_grad();
+  Tensor dloss;
+  mse_loss(net.forward(x), target, dloss);
+  net.backward(dloss);
+  const std::vector<double> analytic = net.flatten_gradients();
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < params0.size(); i += 7) {  // sample every 7th
+    std::vector<double> p = params0;
+    p[i] += eps;
+    const double up = loss_at(p);
+    p[i] -= 2 * eps;
+    const double down = loss_at(p);
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic[i], numeric, 1e-5)
+        << "param " << i << " activation " << static_cast<int>(act);
+  }
+}
+
+TEST(MlpGradients, ReluMatchesFiniteDifferences) { gradcheck(Activation::ReLU); }
+TEST(MlpGradients, TanhMatchesFiniteDifferences) { gradcheck(Activation::Tanh); }
+TEST(MlpGradients, SigmoidMatchesFiniteDifferences) {
+  gradcheck(Activation::Sigmoid);
+}
+TEST(MlpGradients, IdentityMatchesFiniteDifferences) {
+  gradcheck(Activation::Identity);
+}
+
+TEST(Mlp, MseLossKnownValue) {
+  Tensor pred(1, 2, {1.0, 2.0});
+  Tensor target(1, 2, {0.0, 4.0});
+  Tensor dloss;
+  const double loss = mse_loss(pred, target, dloss);
+  EXPECT_DOUBLE_EQ(loss, (1.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(dloss[0], 2.0 * 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(dloss[1], 2.0 * -2.0 / 2.0);
+  EXPECT_THROW(mse_loss(pred, Tensor(2, 2), dloss), TensorError);
+}
+
+TEST(Mlp, ActivationParsing) {
+  EXPECT_EQ(parse_activation("ReLU"), Activation::ReLU);
+  EXPECT_EQ(parse_activation("identity"), Activation::Identity);
+  EXPECT_THROW(parse_activation("gelu"), ConfigError);
+}
+
+// --------------------------------------------------------------------------
+// Optimizers: training convergence on a known function
+// --------------------------------------------------------------------------
+
+double train_regression(std::unique_ptr<Optimizer> opt, int steps) {
+  // Learn y = [2x0 - x1, x0 + 0.5x2] — linearly representable.
+  Mlp net({3, 16, 2}, Activation::Tanh, 21);
+  util::Xoshiro256 rng(33);
+  double final_loss = 1e9;
+  for (int s = 0; s < steps; ++s) {
+    Tensor x = Tensor::randn(32, 3, rng);
+    Tensor y(32, 2);
+    for (std::size_t i = 0; i < 32; ++i) {
+      y.at(i, 0) = 2 * x.at(i, 0) - x.at(i, 1);
+      y.at(i, 1) = x.at(i, 0) + 0.5 * x.at(i, 2);
+    }
+    net.zero_grad();
+    Tensor dloss;
+    final_loss = mse_loss(net.forward(x), y, dloss);
+    net.backward(dloss);
+    opt->step(net);
+  }
+  return final_loss;
+}
+
+TEST(Optim, SgdConverges) {
+  EXPECT_LT(train_regression(std::make_unique<Sgd>(0.05), 800), 0.05);
+}
+
+TEST(Optim, SgdMomentumConverges) {
+  EXPECT_LT(train_regression(std::make_unique<Sgd>(0.02, 0.9), 600), 0.05);
+}
+
+TEST(Optim, AdamConvergesFasterThanPlainSgdHere) {
+  const double adam = train_regression(std::make_unique<Adam>(0.01), 300);
+  EXPECT_LT(adam, 0.05);
+}
+
+TEST(Optim, FactoryFromJson) {
+  EXPECT_NE(make_optimizer(util::Json::parse(R"({"optimizer":"sgd","lr":0.1})")),
+            nullptr);
+  EXPECT_NE(make_optimizer(util::Json::object()), nullptr);  // default adam
+  EXPECT_THROW(
+      make_optimizer(util::Json::parse(R"({"optimizer":"lion"})")),
+      ConfigError);
+  EXPECT_THROW(
+      make_optimizer(util::Json::parse(R"({"optimizer":"sgd","lr":-1})")),
+      ConfigError);
+}
+
+// --------------------------------------------------------------------------
+// DDP
+// --------------------------------------------------------------------------
+
+TEST(Ddp, ReplicasStayBitIdentical) {
+  constexpr int P = 4;
+  sim::Engine engine;
+  net::Communicator comm(engine, P);
+  std::vector<std::vector<double>> final_params(P);
+  for (int r = 0; r < P; ++r) {
+    engine.spawn("trainer" + std::to_string(r), [&, r](sim::Context& ctx) {
+      // Each rank starts from different weights; sync makes them equal.
+      DdpTrainer trainer(Mlp({2, 8, 1}, Activation::ReLU,
+                             static_cast<std::uint64_t>(100 + r)),
+                         std::make_unique<Sgd>(0.05), comm, r);
+      trainer.sync_parameters(ctx);
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(500 + r));
+      for (int step = 0; step < 20; ++step) {
+        Tensor x = Tensor::randn(8, 2, rng);  // different data per rank
+        Tensor y(8, 1);
+        for (std::size_t i = 0; i < 8; ++i)
+          y.at(i, 0) = x.at(i, 0) - x.at(i, 1);
+        trainer.train_step(ctx, x, y);
+      }
+      final_params[static_cast<std::size_t>(r)] =
+          trainer.model().flatten_parameters();
+    });
+  }
+  engine.run();
+  for (int r = 1; r < P; ++r) EXPECT_EQ(final_params[static_cast<std::size_t>(r)], final_params[0]);
+}
+
+TEST(Ddp, DistributedTrainingConverges) {
+  constexpr int P = 3;
+  sim::Engine engine;
+  net::Communicator comm(engine, P);
+  std::vector<double> losses(P, 1e9);
+  for (int r = 0; r < P; ++r) {
+    engine.spawn("trainer" + std::to_string(r), [&, r](sim::Context& ctx) {
+      DdpTrainer trainer(Mlp({2, 16, 1}, Activation::ReLU, 7),
+                         std::make_unique<Adam>(0.02), comm, r);
+      trainer.sync_parameters(ctx);
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(40 + r));
+      double loss = 1e9;
+      for (int step = 0; step < 400; ++step) {
+        Tensor x = Tensor::randn(16, 2, rng);
+        Tensor y(16, 1);
+        for (std::size_t i = 0; i < 16; ++i)
+          y.at(i, 0) = 3.0 * x.at(i, 0) + x.at(i, 1);
+        loss = trainer.train_step(ctx, x, y);
+      }
+      losses[static_cast<std::size_t>(r)] = loss;
+    });
+  }
+  engine.run();
+  for (int r = 0; r < P; ++r) EXPECT_LT(losses[static_cast<std::size_t>(r)], 0.1);
+}
+
+TEST(Ddp, SingleRankMatchesLocalTraining) {
+  sim::Engine engine;
+  net::Communicator comm(engine, 1);
+  double ddp_loss = -1, local_loss = -2;
+  engine.spawn("t", [&](sim::Context& ctx) {
+    DdpTrainer trainer(Mlp({2, 4, 1}, Activation::ReLU, 3),
+                       std::make_unique<Sgd>(0.1), comm, 0);
+    trainer.sync_parameters(ctx);
+    Mlp local({2, 4, 1}, Activation::ReLU, 3);
+    util::Xoshiro256 rng(8);
+    const Tensor x = Tensor::randn(8, 2, rng);
+    Tensor y(8, 1);
+    for (std::size_t i = 0; i < 8; ++i) y.at(i, 0) = x.at(i, 0);
+    Sgd opt(0.1);
+    for (int s = 0; s < 10; ++s) {
+      ddp_loss = trainer.train_step(ctx, x, y);
+      local.zero_grad();
+      Tensor dloss;
+      local_loss = mse_loss(local.forward(x), y, dloss);
+      local.backward(dloss);
+      opt.step(local);
+    }
+    EXPECT_EQ(trainer.model().flatten_parameters(),
+              local.flatten_parameters());
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(ddp_loss, local_loss);
+}
+
+// --------------------------------------------------------------------------
+// DataLoader
+// --------------------------------------------------------------------------
+
+TEST(DataLoader, IngestAndBatch) {
+  DataLoader loader(3, 2, /*capacity=*/0, /*seed=*/4);
+  util::Xoshiro256 rng(6);
+  loader.add_samples(Tensor::randn(10, 3, rng), Tensor::randn(10, 2, rng));
+  EXPECT_EQ(loader.size(), 10u);
+  auto [x, y] = loader.sample_batch(4);
+  EXPECT_EQ(x.rows(), 4u);
+  EXPECT_EQ(x.cols(), 3u);
+  EXPECT_EQ(y.cols(), 2u);
+  // Batch larger than dataset truncates.
+  auto [x2, y2] = loader.sample_batch(100);
+  EXPECT_EQ(x2.rows(), 10u);
+}
+
+TEST(DataLoader, CapacityEvictsOldest) {
+  DataLoader loader(1, 1, /*capacity=*/5);
+  for (int i = 0; i < 10; ++i) {
+    Tensor x(1, 1, {static_cast<double>(i)});
+    Tensor y(1, 1, {static_cast<double>(i)});
+    loader.add_samples(x, y);
+  }
+  EXPECT_EQ(loader.size(), 5u);
+  // Remaining samples are the newest (values 5..9).
+  auto [x, y] = loader.sample_batch(5);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_GE(x[i], 5.0);
+}
+
+TEST(DataLoader, PackedSampleRoundTrip) {
+  util::Xoshiro256 rng(12);
+  const Tensor x = Tensor::randn(6, 4, rng);
+  const Tensor y = Tensor::randn(6, 2, rng);
+  DataLoader loader(4, 2);
+  loader.add_packed(ByteView(pack_sample(x, y)));
+  EXPECT_EQ(loader.size(), 6u);
+}
+
+TEST(DataLoader, ShapeValidation) {
+  DataLoader loader(3, 2);
+  util::Xoshiro256 rng(1);
+  EXPECT_THROW(
+      loader.add_samples(Tensor::randn(4, 2, rng), Tensor::randn(4, 2, rng)),
+      TensorError);
+  EXPECT_THROW(
+      loader.add_samples(Tensor::randn(4, 3, rng), Tensor::randn(3, 2, rng)),
+      TensorError);
+  EXPECT_THROW(loader.sample_batch(1), TensorError);  // empty
+  EXPECT_THROW(DataLoader(0, 1), TensorError);
+}
+
+TEST(DataLoader, BatchesAreShuffled) {
+  DataLoader loader(1, 1, 0, /*seed=*/99);
+  for (int i = 0; i < 100; ++i) {
+    Tensor x(1, 1, {static_cast<double>(i)});
+    loader.add_samples(x, x);
+  }
+  auto [b1, y1] = loader.sample_batch(10);
+  auto [b2, y2] = loader.sample_batch(10);
+  bool differ = false;
+  for (std::size_t i = 0; i < 10; ++i) differ |= (b1[i] != b2[i]);
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace
+}  // namespace simai::ai

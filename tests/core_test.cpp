@@ -1,0 +1,750 @@
+// Unit tests for the core public API: DataStore pricing/instrumentation/
+// payload capping, Simulation configuration and execution, AiComponent
+// modes and steering, and Workflow DAG orchestration.
+#include <gtest/gtest.h>
+
+#include "core/ai_component.hpp"
+#include "core/datastore.hpp"
+#include "core/simulation.hpp"
+#include "core/workflow.hpp"
+#include "kv/memory_store.hpp"
+
+namespace simai::core {
+namespace {
+
+using platform::BackendKind;
+using platform::TransportModel;
+
+// --------------------------------------------------------------------------
+// DataStore
+// --------------------------------------------------------------------------
+
+class DataStoreTest : public ::testing::Test {
+ protected:
+  TransportModel model_;
+  kv::StorePtr backing_ = std::make_shared<kv::MemoryStore>();
+
+  DataStoreConfig cfg(BackendKind backend, std::size_t cap = 0) {
+    DataStoreConfig c;
+    c.backend = backend;
+    c.payload_cap = cap;
+    c.transport.concurrent_clients = 96;
+    return c;
+  }
+};
+
+TEST_F(DataStoreTest, RoundTripOutsideDes) {
+  DataStore ds("c", backing_, &model_, cfg(BackendKind::NodeLocal));
+  ds.stage_write(nullptr, "k", as_bytes_view("payload"));
+  Bytes out;
+  ASSERT_TRUE(ds.stage_read(nullptr, "k", out));
+  EXPECT_EQ(to_string(ByteView(out)), "payload");
+  EXPECT_TRUE(ds.poll_staged_data(nullptr, "k"));
+  ds.clean_staged_data(nullptr, "k");
+  EXPECT_FALSE(ds.poll_staged_data(nullptr, "k"));
+}
+
+TEST_F(DataStoreTest, ChargesVirtualTime) {
+  DataStore ds("c", backing_, &model_, cfg(BackendKind::Redis));
+  sim::Engine engine;
+  SimTime after_write = 0, after_read = 0;
+  engine.spawn("p", [&](sim::Context& ctx) {
+    ds.stage_write(&ctx, "k", Bytes(1 * MiB));
+    after_write = ctx.now();
+    Bytes out;
+    ds.stage_read(&ctx, "k", out);
+    after_read = ctx.now();
+  });
+  engine.run();
+  const double expected_write = model_.cost(
+      BackendKind::Redis, platform::StoreOp::Write, 1 * MiB,
+      cfg(BackendKind::Redis).transport);
+  EXPECT_NEAR(after_write, expected_write, 1e-12);
+  EXPECT_GT(after_read, after_write);
+}
+
+TEST_F(DataStoreTest, NullModelChargesNothing) {
+  DataStore ds("c", backing_, nullptr, cfg(BackendKind::Redis));
+  sim::Engine engine;
+  engine.spawn("p", [&](sim::Context& ctx) {
+    ds.stage_write(&ctx, "k", Bytes(1 * MiB));
+    EXPECT_DOUBLE_EQ(ctx.now(), 0.0);
+  });
+  engine.run();
+}
+
+TEST_F(DataStoreTest, PayloadCapStoresTruncatedButPricesNominal) {
+  DataStore ds("c", backing_, &model_,
+               cfg(BackendKind::NodeLocal, /*cap=*/1024));
+  ds.stage_write(nullptr, "big", Bytes(8 * MiB));
+  // Real storage holds cap + 8-byte header.
+  EXPECT_EQ(std::static_pointer_cast<kv::MemoryStore>(backing_)->total_bytes(),
+            1024u + 8u);
+  Bytes out;
+  ASSERT_TRUE(ds.stage_read(nullptr, "big", out));
+  EXPECT_EQ(out.size(), 1024u);
+  // Stats see the NOMINAL size.
+  EXPECT_DOUBLE_EQ(ds.stats().all().at("write_bytes").mean(),
+                   static_cast<double>(8 * MiB));
+  EXPECT_DOUBLE_EQ(ds.stats().all().at("read_bytes").mean(),
+                   static_cast<double>(8 * MiB));
+}
+
+TEST_F(DataStoreTest, SmallPayloadUnaffectedByCap) {
+  DataStore ds("c", backing_, &model_,
+               cfg(BackendKind::NodeLocal, /*cap=*/1 * MiB));
+  ds.stage_write(nullptr, "s", as_bytes_view("tiny"));
+  Bytes out;
+  ASSERT_TRUE(ds.stage_read(nullptr, "s", out));
+  EXPECT_EQ(to_string(ByteView(out)), "tiny");
+}
+
+TEST_F(DataStoreTest, MissingKeyCostsOnlyPoll) {
+  DataStore ds("c", backing_, &model_, cfg(BackendKind::Filesystem));
+  sim::Engine engine;
+  engine.spawn("p", [&](sim::Context& ctx) {
+    Bytes out;
+    EXPECT_FALSE(ds.stage_read(&ctx, "nope", out));
+    const double poll_cost =
+        model_.cost(BackendKind::Filesystem, platform::StoreOp::Poll, 0,
+                    cfg(BackendKind::Filesystem).transport);
+    EXPECT_NEAR(ctx.now(), poll_cost, 1e-12);
+  });
+  engine.run();
+  EXPECT_EQ(ds.transport_events(), 0u);  // failed read is not a transport
+}
+
+TEST_F(DataStoreTest, StatsAccumulate) {
+  DataStore ds("c", backing_, &model_, cfg(BackendKind::Dragon));
+  for (int i = 0; i < 5; ++i)
+    ds.stage_write(nullptr, "k" + std::to_string(i), Bytes(1000));
+  Bytes out;
+  ds.stage_read(nullptr, "k0", out);
+  EXPECT_EQ(ds.stats().all().at("write_time").count(), 5u);
+  EXPECT_EQ(ds.stats().all().at("read_time").count(), 1u);
+  EXPECT_EQ(ds.transport_events(), 6u);
+  EXPECT_GT(ds.stats().all().at("write_throughput").mean(), 0.0);
+}
+
+TEST_F(DataStoreTest, PerOpContextOverride) {
+  DataStore ds("c", backing_, &model_, cfg(BackendKind::Dragon));
+  sim::Engine engine;
+  SimTime local_t = 0, remote_t = 0;
+  engine.spawn("p", [&](sim::Context& ctx) {
+    ds.stage_write(&ctx, "k", Bytes(4 * MiB));
+    local_t = ctx.now();
+    platform::TransportContext remote;
+    remote.remote = true;
+    const SimTime t0 = ctx.now();
+    Bytes out;
+    ds.stage_read(&ctx, "k", out, remote);
+    remote_t = ctx.now() - t0;
+  });
+  engine.run();
+  EXPECT_GT(remote_t, 0.0);
+  EXPECT_NE(remote_t, local_t);
+}
+
+TEST_F(DataStoreTest, ListKeys) {
+  DataStore ds("c", backing_, &model_, cfg(BackendKind::NodeLocal));
+  ds.stage_write(nullptr, "a_1", as_bytes_view("x"));
+  ds.stage_write(nullptr, "a_2", as_bytes_view("x"));
+  ds.stage_write(nullptr, "b_1", as_bytes_view("x"));
+  EXPECT_EQ(ds.list_keys("a_*").size(), 2u);
+}
+
+TEST_F(DataStoreTest, NominalOverridePricesDeclaredSize) {
+  DataStore ds("c", backing_, &model_, cfg(BackendKind::NodeLocal));
+  sim::Engine engine;
+  SimTime t_small = 0, t_nominal = 0;
+  engine.spawn("p", [&](sim::Context& ctx) {
+    const SimTime t0 = ctx.now();
+    ds.stage_write(&ctx, "plain", Bytes(1024));
+    t_small = ctx.now() - t0;
+    const SimTime t1 = ctx.now();
+    ds.stage_write(&ctx, "declared", Bytes(1024), /*nominal=*/32 * MiB);
+    t_nominal = ctx.now() - t1;
+  });
+  engine.run();
+  EXPECT_GT(t_nominal, 10.0 * t_small);  // priced as 32 MB, stored as 1 KiB
+  EXPECT_DOUBLE_EQ(ds.stats().all().at("write_bytes").max(),
+                   static_cast<double>(32 * MiB));
+  // Reads see the declared size too.
+  Bytes out;
+  ASSERT_TRUE(ds.stage_read(nullptr, "declared", out));
+  EXPECT_EQ(out.size(), 1024u);
+  EXPECT_DOUBLE_EQ(ds.stats().all().at("read_bytes").mean(),
+                   static_cast<double>(32 * MiB));
+}
+
+TEST(Simulation, MultiKernelSequenceRunsInOrder) {
+  util::Json cfg = util::Json::parse(R"({
+    "kernels": [
+      {"name": "warmup", "mini_app_kernel": "GenerateRandomNumber",
+       "data_size": 64, "run_time": 0.1},
+      {"name": "solve", "mini_app_kernel": "MatMulSimple2D",
+       "data_size": 16, "run_time": 0.2, "run_count": 3},
+      {"name": "reduce", "mini_app_kernel": "AXPY",
+       "data_size": 64, "run_time": 0.05}
+    ]})");
+  Simulation sim("multi", cfg);
+  EXPECT_EQ(sim.kernel_count(), 3u);
+  sim::Engine engine;
+  engine.spawn("s", [&](sim::Context& ctx) {
+    sim.run(ctx);
+    EXPECT_NEAR(ctx.now(), 0.1 + 3 * 0.2 + 0.05, 1e-12);
+  });
+  engine.run();
+  EXPECT_EQ(sim.iterations_run(), 5u);
+  // Per-kernel stats recorded under their display names.
+  EXPECT_EQ(sim.stats().all().at("warmup_iter_time").count(), 1u);
+  EXPECT_EQ(sim.stats().all().at("solve_iter_time").count(), 3u);
+  EXPECT_EQ(sim.stats().all().at("reduce_iter_time").count(), 1u);
+}
+
+TEST_F(DataStoreTest, TraceRecordsInstants) {
+  sim::TraceRecorder trace;
+  DataStore ds("client0", backing_, &model_, cfg(BackendKind::NodeLocal),
+               &trace);
+  sim::Engine engine;
+  engine.spawn("p", [&](sim::Context& ctx) {
+    ds.stage_write(&ctx, "k", Bytes(100));
+    Bytes out;
+    ds.stage_read(&ctx, "k", out);
+  });
+  engine.run();
+  ASSERT_EQ(trace.instants().size(), 2u);
+  EXPECT_EQ(trace.instants()[0].category, "write");
+  EXPECT_EQ(trace.instants()[1].category, "read");
+}
+
+TEST_F(DataStoreTest, NullStoreRejected) {
+  EXPECT_THROW(
+      DataStore("c", nullptr, &model_, cfg(BackendKind::NodeLocal)),
+      kv::StoreError);
+}
+
+// --------------------------------------------------------------------------
+// Simulation
+// --------------------------------------------------------------------------
+
+TEST(Simulation, ListingTwoConfigRuns) {
+  // The exact configuration from the paper's Listing 2.
+  const util::Json cfg = util::Json::parse(R"({
+    "kernels": [{
+      "name": "nekrs_iter",
+      "run_time": 0.03147,
+      "data_size": [256, 256],
+      "mini_app_kernel": "MatMulSimple2D",
+      "device": "xpu"
+    }]
+  })");
+  Simulation sim("nekrs", cfg);
+  EXPECT_EQ(sim.kernel_count(), 1u);
+  sim::Engine engine;
+  engine.spawn("sim", [&](sim::Context& ctx) {
+    sim.run(ctx);
+    EXPECT_NEAR(ctx.now(), 0.03147, 1e-12);
+  });
+  engine.run();
+  EXPECT_EQ(sim.iterations_run(), 1u);
+  EXPECT_NEAR(sim.stats().all().at("iter_time").mean(), 0.03147, 1e-12);
+}
+
+TEST(Simulation, RunCountRepeatsKernel) {
+  util::Json cfg = util::Json::parse(R"({
+    "kernels": [{"name": "k", "mini_app_kernel": "AXPY",
+                 "data_size": 64, "run_time": 0.5, "run_count": 4}]
+  })");
+  Simulation sim("s", cfg);
+  sim::Engine engine;
+  engine.spawn("sim", [&](sim::Context& ctx) {
+    sim.run(ctx);
+    EXPECT_NEAR(ctx.now(), 2.0, 1e-12);
+  });
+  engine.run();
+  EXPECT_EQ(sim.iterations_run(), 4u);
+}
+
+TEST(Simulation, StochasticRunTimeSamplesDistribution) {
+  util::Json cfg = util::Json::parse(R"({
+    "kernels": [{"name": "k", "mini_app_kernel": "AXPY", "data_size": 64,
+      "run_time": {"dist": "discrete", "values": [0.1, 0.3],
+                   "probs": [0.5, 0.5]},
+      "run_count": 200}]
+  })");
+  Simulation sim("s", cfg);
+  sim::Engine engine;
+  engine.spawn("sim", [&](sim::Context& ctx) { sim.run(ctx); });
+  engine.run();
+  const auto& st = sim.stats().all().at("iter_time");
+  EXPECT_NEAR(st.mean(), 0.2, 0.03);
+  EXPECT_GT(st.stddev(), 0.05);
+  EXPECT_DOUBLE_EQ(st.min(), 0.1);
+  EXPECT_DOUBLE_EQ(st.max(), 0.3);
+}
+
+TEST(Simulation, NoRunTimeChargesModeledKernelTime) {
+  Simulation sim("s");
+  util::Json k;
+  k["data_size"] = 64;
+  k["device"] = "xpu";
+  sim.add_kernel("MatMulSimple2D", k);
+  sim::Engine engine;
+  engine.spawn("sim", [&](sim::Context& ctx) {
+    sim.run(ctx);
+    EXPECT_GT(ctx.now(), 0.0);  // modeled device time, not zero
+    EXPECT_LT(ctx.now(), 0.01);
+  });
+  engine.run();
+}
+
+TEST(Simulation, RealComputeModes) {
+  auto make_sim = [] {
+    Simulation sim("s");
+    util::Json k;
+    k["data_size"] = 32;
+    k["run_time"] = 0.01;
+    sim.add_kernel("MatMulSimple2D", k);
+    return sim;
+  };
+  // Once (default): checksum appears after the first iteration.
+  Simulation once = make_sim();
+  sim::Engine e1;
+  e1.spawn("s", [&](sim::Context& ctx) {
+    once.run_iteration(ctx);
+    const double c1 = once.last_checksum();
+    EXPECT_NE(c1, 0.0);
+    once.run_iteration(ctx);
+    EXPECT_EQ(once.last_checksum(), c1);  // not re-executed
+  });
+  e1.run();
+  // Never: checksum stays zero.
+  Simulation never = make_sim();
+  never.set_real_compute(RealCompute::Never);
+  sim::Engine e2;
+  e2.spawn("s", [&](sim::Context& ctx) {
+    never.run_iteration(ctx);
+    EXPECT_EQ(never.last_checksum(), 0.0);
+  });
+  e2.run();
+  // Always: checksum changes (new random inputs each run).
+  Simulation always = make_sim();
+  always.set_real_compute(RealCompute::Always);
+  sim::Engine e3;
+  e3.spawn("s", [&](sim::Context& ctx) {
+    always.run_iteration(ctx);
+    const double c1 = always.last_checksum();
+    always.run_iteration(ctx);
+    EXPECT_NE(always.last_checksum(), c1);
+  });
+  e3.run();
+}
+
+TEST(Simulation, StagingRequiresDatastore) {
+  Simulation sim("s");
+  sim::Engine engine;
+  engine.spawn("sim", [&](sim::Context& ctx) {
+    EXPECT_THROW(sim.stage_write(ctx, "k", as_bytes_view("v")),
+                 kv::StoreError);
+  });
+  engine.run();
+}
+
+TEST(Simulation, StagingThroughDatastore) {
+  TransportModel model;
+  auto backing = std::make_shared<kv::MemoryStore>();
+  DataStoreConfig cfg;
+  DataStore ds("sim", backing, &model, cfg);
+  Simulation sim("s");
+  sim.set_datastore(&ds);
+  sim::Engine engine;
+  engine.spawn("sim", [&](sim::Context& ctx) {
+    sim.stage_write(ctx, "key1", as_bytes_view("value1"));
+    EXPECT_TRUE(sim.poll_staged_data(ctx, "key1"));
+    Bytes out;
+    EXPECT_TRUE(sim.stage_read(ctx, "key1", out));
+    EXPECT_EQ(to_string(ByteView(out)), "value1");
+  });
+  engine.run();
+}
+
+TEST(Simulation, InvalidConfigRejected) {
+  EXPECT_THROW(Simulation("s", util::Json(3)), ConfigError);
+  EXPECT_THROW(Simulation("s", util::Json::parse(
+                                   R"({"kernels":[{"name":"NoSuch"}]})")),
+               ConfigError);
+  Simulation sim("s");
+  sim::Engine engine;
+  engine.spawn("sim", [&](sim::Context& ctx) {
+    EXPECT_THROW(sim.run_iteration(ctx, 5), ConfigError);
+  });
+  engine.run();
+}
+
+// --------------------------------------------------------------------------
+// AiComponent
+// --------------------------------------------------------------------------
+
+TEST(AiComponent, EmulationModeChargesRunTime) {
+  util::Json cfg;
+  cfg["run_time"] = 0.061;
+  AiComponent ai("gnn", cfg);
+  sim::Engine engine;
+  engine.spawn("ai", [&](sim::Context& ctx) {
+    for (int i = 0; i < 10; ++i) ai.train_iteration(ctx);
+    EXPECT_NEAR(ctx.now(), 0.61, 1e-9);
+  });
+  engine.run();
+  EXPECT_EQ(ai.iterations_run(), 10u);
+  EXPECT_NEAR(ai.stats().all().at("iter_time").mean(), 0.061, 1e-9);
+}
+
+TEST(AiComponent, RequiresRunTimeOrRealTrain) {
+  EXPECT_THROW(AiComponent("a", util::Json::object()), ConfigError);
+  util::Json bad;
+  bad["real_train"] = true;  // but no model
+  EXPECT_THROW(AiComponent("a", bad), ConfigError);
+}
+
+TEST(AiComponent, RealTrainingLearns) {
+  util::Json cfg = util::Json::parse(R"({
+    "real_train": true,
+    "model": {"layers": [2, 16, 1], "activation": "tanh", "seed": 5},
+    "optimizer": {"optimizer": "adam", "lr": 0.01},
+    "batch_size": 16
+  })");
+  AiComponent ai("trainer", cfg);
+  // Feed a learnable dataset.
+  util::Xoshiro256 rng(9);
+  ai::Tensor x = ai::Tensor::randn(256, 2, rng);
+  ai::Tensor y(256, 1);
+  for (std::size_t i = 0; i < 256; ++i) y.at(i, 0) = x.at(i, 0) + x.at(i, 1);
+
+  TransportModel model;
+  auto backing = std::make_shared<kv::MemoryStore>();
+  DataStore ds("ai", backing, &model, DataStoreConfig{});
+  ai.set_datastore(&ds);
+
+  sim::Engine engine;
+  double first_loss = 0, last_loss = 0;
+  engine.spawn("ai", [&](sim::Context& ctx) {
+    ds.stage_write(&ctx, "snapshot", ByteView(ai::pack_sample(x, y)));
+    EXPECT_TRUE(ai.ingest_staged(ctx, "snapshot"));
+    for (int i = 0; i < 200; ++i) {
+      auto loss = ai.train_iteration(ctx);
+      ASSERT_TRUE(loss.has_value());
+      if (i == 0) first_loss = *loss;
+      last_loss = *loss;
+    }
+    EXPECT_GT(ctx.now(), 0.0);  // modeled compute time charged
+  });
+  engine.run();
+  EXPECT_LT(last_loss, first_loss * 0.5);
+}
+
+TEST(AiComponent, IngestMissingKeyReturnsFalse) {
+  util::Json cfg;
+  cfg["run_time"] = 0.01;
+  AiComponent ai("a", cfg);
+  TransportModel model;
+  DataStore ds("a", std::make_shared<kv::MemoryStore>(), &model,
+               DataStoreConfig{});
+  ai.set_datastore(&ds);
+  sim::Engine engine;
+  engine.spawn("ai", [&](sim::Context& ctx) {
+    EXPECT_FALSE(ai.ingest_staged(ctx, "absent"));
+  });
+  engine.run();
+}
+
+TEST(AiComponent, SteeringSignals) {
+  util::Json cfg;
+  cfg["run_time"] = 0.01;
+  AiComponent ai("a", cfg);
+  TransportModel model;
+  DataStore ds("a", std::make_shared<kv::MemoryStore>(), &model,
+               DataStoreConfig{});
+  ai.set_datastore(&ds);
+  sim::Engine engine;
+  engine.spawn("ai", [&](sim::Context& ctx) {
+    EXPECT_FALSE(ai.check_stop_signal(ctx));
+    ai.send_stop_signal(ctx);
+    EXPECT_TRUE(ai.check_stop_signal(ctx));
+  });
+  engine.run();
+}
+
+TEST(AiComponent, InferenceRunsForward) {
+  util::Json cfg = util::Json::parse(R"({
+    "real_train": true,
+    "model": {"layers": [3, 8, 2], "seed": 2}
+  })");
+  AiComponent ai("inf", cfg);
+  sim::Engine engine;
+  engine.spawn("ai", [&](sim::Context& ctx) {
+    util::Xoshiro256 rng(3);
+    const ai::Tensor x = ai::Tensor::randn(4, 3, rng);
+    const ai::Tensor y = ai.infer(ctx, x);
+    EXPECT_EQ(y.rows(), 4u);
+    EXPECT_EQ(y.cols(), 2u);
+    EXPECT_GT(ctx.now(), 0.0);  // latency charged
+  });
+  engine.run();
+}
+
+// --------------------------------------------------------------------------
+// Workflow
+// --------------------------------------------------------------------------
+
+TEST(Workflow, DependenciesOrderExecution) {
+  Workflow w;
+  std::vector<std::string> order;
+  w.component("a", "remote", {}, [&](sim::Context& ctx, const ComponentInfo&) {
+    ctx.delay(1.0);
+    order.push_back("a");
+  });
+  w.component("b", "local", {"a"},
+              [&](sim::Context&, const ComponentInfo&) { order.push_back("b"); });
+  w.component("c", "local", {"a", "b"},
+              [&](sim::Context&, const ComponentInfo&) { order.push_back("c"); });
+  w.launch();
+  EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(w.completion_order(),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_DOUBLE_EQ(w.makespan(), 1.0);
+}
+
+TEST(Workflow, IndependentComponentsRunConcurrently) {
+  Workflow w;
+  w.component("x", "remote", {}, [](sim::Context& ctx, const ComponentInfo&) {
+    ctx.delay(2.0);
+  });
+  w.component("y", "remote", {}, [](sim::Context& ctx, const ComponentInfo&) {
+    ctx.delay(3.0);
+  });
+  w.launch();
+  EXPECT_DOUBLE_EQ(w.makespan(), 3.0);  // overlap, not 5.0
+}
+
+TEST(Workflow, MultiRankComponentGatesOnAllRanks) {
+  Workflow w;
+  SimTime b_started = -1;
+  w.component("par", "remote", 4, {},
+              [](sim::Context& ctx, const ComponentInfo& info) {
+                ctx.delay(1.0 * (info.rank + 1));  // slowest rank: 4.0
+              });
+  w.component("after", "local", {"par"},
+              [&](sim::Context& ctx, const ComponentInfo&) {
+                b_started = ctx.now();
+              });
+  w.launch();
+  EXPECT_DOUBLE_EQ(b_started, 4.0);
+}
+
+TEST(Workflow, RankInfoIsCorrect) {
+  Workflow w;
+  std::vector<int> seen;
+  w.component("p", "remote", 3, {},
+              [&](sim::Context&, const ComponentInfo& info) {
+                EXPECT_EQ(info.nranks, 3);
+                EXPECT_EQ(info.name, "p");
+                EXPECT_EQ(info.type, "remote");
+                seen.push_back(info.rank);
+              });
+  w.launch();
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Workflow, DiamondDependency) {
+  Workflow w;
+  std::vector<std::string> order;
+  auto record = [&order](const std::string& n) {
+    return [&order, n](sim::Context& ctx, const ComponentInfo&) {
+      ctx.delay(0.1);
+      order.push_back(n);
+    };
+  };
+  w.component("top", "remote", {}, record("top"));
+  w.component("left", "remote", {"top"}, record("left"));
+  w.component("right", "remote", {"top"}, record("right"));
+  w.component("bottom", "remote", {"left", "right"}, record("bottom"));
+  w.launch();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), "top");
+  EXPECT_EQ(order.back(), "bottom");
+}
+
+TEST(Workflow, ValidationErrors) {
+  {
+    Workflow w;
+    w.component("a", "remote", {}, [](sim::Context&, const ComponentInfo&) {});
+    EXPECT_THROW(
+        w.component("a", "remote", {}, [](sim::Context&, const ComponentInfo&) {}),
+        WorkflowError);
+  }
+  {
+    Workflow w;
+    w.component("a", "remote", {"ghost"},
+                [](sim::Context&, const ComponentInfo&) {});
+    EXPECT_THROW(w.launch(), WorkflowError);
+  }
+  {
+    Workflow w;
+    w.component("a", "remote", {"b"},
+                [](sim::Context&, const ComponentInfo&) {});
+    w.component("b", "remote", {"a"},
+                [](sim::Context&, const ComponentInfo&) {});
+    EXPECT_THROW(w.launch(), WorkflowError);  // cycle
+  }
+  {
+    Workflow w;
+    EXPECT_THROW(w.component("a", "orbital", {},
+                             [](sim::Context&, const ComponentInfo&) {}),
+                 WorkflowError);  // bad type
+    EXPECT_THROW(w.component("a", "remote", 0, {},
+                             [](sim::Context&, const ComponentInfo&) {}),
+                 WorkflowError);  // bad nranks
+  }
+  {
+    Workflow w;
+    w.component("a", "remote", {"a"},
+                [](sim::Context&, const ComponentInfo&) {});
+    EXPECT_THROW(w.launch(), WorkflowError);  // self-dependency
+  }
+}
+
+TEST(Workflow, DynamicSpawnFromRunningComponent) {
+  Workflow w;
+  std::vector<std::string> order;
+  w.component("director", "local", {}, [&](sim::Context& ctx,
+                                           const ComponentInfo&) {
+    ctx.delay(1.0);
+    order.push_back("director-decides");
+    w.spawn_component(ctx, "dynamic_sim", "remote", 2,
+                      [&](sim::Context& cctx, const ComponentInfo& info) {
+                        cctx.delay(0.5);
+                        order.push_back("dynamic/" +
+                                        std::to_string(info.rank));
+                      });
+    ctx.delay(2.0);
+    order.push_back("director-done");
+  });
+  w.launch();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "director-decides");
+  // Dynamic ranks complete at t=1.5, before the director at t=3.
+  EXPECT_EQ(order[3], "director-done");
+  EXPECT_EQ(w.component_count(), 2u);
+  // Completion recorded for both components.
+  EXPECT_EQ(w.completion_order().size(), 2u);
+}
+
+TEST(Workflow, DynamicSpawnChainsGenerations) {
+  Workflow w;
+  int generations = 0;
+  std::function<void(sim::Context&, int)> spawn_next =
+      [&](sim::Context& ctx, int gen) {
+        if (gen >= 3) return;
+        w.spawn_component(ctx, "gen" + std::to_string(gen), "remote",
+                          [&, gen](sim::Context& cctx, const ComponentInfo&) {
+                            cctx.delay(0.1);
+                            ++generations;
+                            spawn_next(cctx, gen + 1);
+                          });
+      };
+  w.component("seed", "local", {},
+              [&](sim::Context& ctx, const ComponentInfo&) {
+                spawn_next(ctx, 0);
+              });
+  w.launch();
+  EXPECT_EQ(generations, 3);
+  EXPECT_EQ(w.component_count(), 4u);
+}
+
+TEST(Workflow, SpawnComponentOutsideLaunchThrows) {
+  Workflow w;
+  sim::Engine engine;
+  engine.spawn("stray", [&](sim::Context& ctx) {
+    EXPECT_THROW(w.spawn_component(ctx, "x", "remote", 1,
+                                   [](sim::Context&, const ComponentInfo&) {}),
+                 WorkflowError);
+  });
+  engine.run();
+}
+
+TEST(Workflow, DynamicSpawnValidation) {
+  Workflow w;
+  w.component("a", "local", {}, [&](sim::Context& ctx, const ComponentInfo&) {
+    EXPECT_THROW(w.spawn_component(ctx, "a", "remote", 1,
+                                   [](sim::Context&, const ComponentInfo&) {}),
+                 WorkflowError);  // duplicate name
+    EXPECT_THROW(w.spawn_component(ctx, "b", "orbital", 1,
+                                   [](sim::Context&, const ComponentInfo&) {}),
+                 WorkflowError);  // bad type
+    EXPECT_THROW(w.spawn_component(ctx, "c", "remote", 0,
+                                   [](sim::Context&, const ComponentInfo&) {}),
+                 WorkflowError);  // bad ranks
+  });
+  w.launch();
+}
+
+TEST(Workflow, TraceCoversComponents) {
+  Workflow w;
+  w.component("sim", "remote", {}, [](sim::Context& ctx, const ComponentInfo&) {
+    ctx.delay(1.0);
+  });
+  w.launch();
+  ASSERT_EQ(w.trace().spans().size(), 1u);
+  EXPECT_EQ(w.trace().spans()[0].track, "sim");
+  EXPECT_DOUBLE_EQ(w.trace().spans()[0].end, 1.0);
+}
+
+TEST(Workflow, DotExportContainsNodesAndEdges) {
+  Workflow w;
+  auto noop = [](sim::Context&, const ComponentInfo&) {};
+  w.component("sim", "remote", 6, {}, noop);
+  w.component("train", "remote", 6, {"sim"}, noop);
+  const std::string dot = w.to_dot();
+  EXPECT_NE(dot.find("digraph workflow"), std::string::npos);
+  EXPECT_NE(dot.find("\"sim\""), std::string::npos);
+  EXPECT_NE(dot.find("remote x6"), std::string::npos);
+  EXPECT_NE(dot.find("\"sim\" -> \"train\""), std::string::npos);
+}
+
+TEST(Workflow, ListingOneShape) {
+  // The paper's Listing 1: servers + two dependent components exchanging
+  // staged data through a common backend.
+  TransportModel model;
+  auto backing = std::make_shared<kv::MemoryStore>();
+  DataStore ds1("sim", backing, &model, DataStoreConfig{});
+  DataStore ds2("sim2", backing, &model, DataStoreConfig{});
+
+  Workflow w;
+  std::string got1, got2;
+  w.component("sim", "remote", {}, [&](sim::Context& ctx, const ComponentInfo&) {
+    Simulation sim("sim");
+    sim.set_datastore(&ds1);
+    sim.add_kernel("MatMulSimple2D",
+                   util::Json::parse(R"({"data_size":16,"run_time":0.01})"));
+    sim.run(ctx);
+    sim.stage_write(ctx, "key1", as_bytes_view("value1"));
+  });
+  w.component("sim2", "local", {"sim"},
+              [&](sim::Context& ctx, const ComponentInfo&) {
+                Simulation sim("sim2");
+                sim.set_datastore(&ds2);
+                Bytes out;
+                ASSERT_TRUE(sim.stage_read(ctx, "key1", out));
+                got1 = to_string(ByteView(out));
+                sim.stage_write(ctx, "key2", as_bytes_view("value2"));
+                got2 = "done";
+              });
+  w.launch();
+  EXPECT_EQ(got1, "value1");
+  EXPECT_EQ(got2, "done");
+}
+
+}  // namespace
+}  // namespace simai::core

@@ -1,0 +1,294 @@
+// Integration tests: the Pattern 1 / Pattern 2 mini-apps end to end on the
+// DES, validating workflow mechanics (steering, blocking consistency) and
+// the qualitative backend ordering the paper reports.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+namespace simai::core {
+namespace {
+
+Pattern1Config small_p1(platform::BackendKind backend) {
+  Pattern1Config c;
+  c.backend = backend;
+  c.nodes = 8;
+  c.representative_pairs = 2;
+  c.train_iters = 200;
+  c.payload_bytes = 1258291;
+  c.payload_cap = 4 * KiB;
+  c.sim_init_time = 0.5;
+  c.train_init_time = 1.0;
+  return c;
+}
+
+TEST(Pattern1, RunsAndSteersSimulationToStop) {
+  const Pattern1Result r = run_pattern1(small_p1(platform::BackendKind::NodeLocal));
+  // 2 pairs x 200 trainer iterations.
+  EXPECT_EQ(r.train.steps, 400u);
+  // Simulation had no iteration bound: it must have been steered to stop.
+  EXPECT_GT(r.sim.steps, 0u);
+  EXPECT_GT(r.makespan, 1.0);
+  // The sim outlives the trainer by at most one write period per pair.
+  const double train_end = 1.0 + 200 * 0.0611;
+  const double max_sim_steps_per_pair =
+      (train_end - 0.5) / 0.03147 + 2 * 100 + 10;
+  EXPECT_LT(r.sim.steps, 2 * max_sim_steps_per_pair);
+}
+
+TEST(Pattern1, EventCountsFollowSnapshotProtocol) {
+  Pattern1Config c = small_p1(platform::BackendKind::NodeLocal);
+  const Pattern1Result r = run_pattern1(c);
+  // Each snapshot = 2 writes; plus 1 stop-read per pair.
+  // Trainer: 2 reads per consumed snapshot + 1 stop write per pair.
+  EXPECT_GT(r.sim.transport_events, 0u);
+  EXPECT_GT(r.train.transport_events, 0u);
+  // Writes come in x/y pairs: even count after subtracting the stop-read.
+  EXPECT_EQ((r.sim.transport_events - 2 /* 1 stop-read per pair */) % 2, 0u);
+}
+
+TEST(Pattern1, IterationStatsMatchConfiguredTimes) {
+  const Pattern1Result r = run_pattern1(small_p1(platform::BackendKind::NodeLocal));
+  EXPECT_NEAR(r.sim.iter_time.mean(), 0.03147, 0.0035);
+  EXPECT_NEAR(r.train.iter_time.mean(), 0.0611, 0.01);
+  // Deterministic config: tiny std (only transport-bearing iterations
+  // deviate), mirroring Table 3's mini-app row.
+  EXPECT_LT(r.sim.iter_time.stddev(), 0.01);
+}
+
+TEST(Pattern1, StochasticConfigWidensStd) {
+  Pattern1Config c = small_p1(platform::BackendKind::NodeLocal);
+  c.sim_iter_std = 0.0273;
+  c.train_iter_std = 0.1;
+  const Pattern1Result r = run_pattern1(c);
+  EXPECT_GT(r.sim.iter_time.stddev(), 0.01);
+  EXPECT_NEAR(r.sim.iter_time.mean(), 0.03147, 0.02);
+}
+
+TEST(Pattern1, TraceRecordsComputeAndTransfers) {
+  Pattern1Config c = small_p1(platform::BackendKind::NodeLocal);
+  c.record_trace = true;
+  c.train_iters = 50;
+  const Pattern1Result r = run_pattern1(c);
+  EXPECT_FALSE(r.trace.spans().empty());
+  EXPECT_FALSE(r.trace.instants().empty());
+  const std::string art = r.trace.render_ascii(80);
+  EXPECT_NE(art.find('|'), std::string::npos);
+}
+
+TEST(Pattern1, NodeLocalBeatsRedisOnThroughput) {
+  const auto local = run_pattern1(small_p1(platform::BackendKind::NodeLocal));
+  const auto redis = run_pattern1(small_p1(platform::BackendKind::Redis));
+  EXPECT_GT(local.sim.write_throughput.mean(),
+            redis.sim.write_throughput.mean());
+  EXPECT_GT(local.train.read_throughput.mean(),
+            redis.train.read_throughput.mean());
+}
+
+TEST(Pattern1, FilesystemDegradesWithScaleInMemoryDoesNot) {
+  Pattern1Config fs8 = small_p1(platform::BackendKind::Filesystem);
+  Pattern1Config fs512 = fs8;
+  fs512.nodes = 512;
+  const double fs8_tput = run_pattern1(fs8).sim.write_throughput.mean();
+  const double fs512_tput = run_pattern1(fs512).sim.write_throughput.mean();
+  EXPECT_GT(fs8_tput, 3.0 * fs512_tput);  // Fig 3b: order-of-magnitude drop
+
+  Pattern1Config nl8 = small_p1(platform::BackendKind::NodeLocal);
+  Pattern1Config nl512 = nl8;
+  nl512.nodes = 512;
+  const double nl8_tput = run_pattern1(nl8).sim.write_throughput.mean();
+  const double nl512_tput = run_pattern1(nl512).sim.write_throughput.mean();
+  EXPECT_NEAR(nl512_tput / nl8_tput, 1.0, 0.05);  // flat with node count
+}
+
+TEST(Pattern1, MaxSimItersBoundsSimulation) {
+  Pattern1Config c = small_p1(platform::BackendKind::NodeLocal);
+  c.max_sim_iters = 120;
+  c.train_iters = 5000;  // trainer would run long; sim must stop first
+  c.representative_pairs = 1;
+  const Pattern1Result r = run_pattern1(c);
+  EXPECT_EQ(r.sim.steps, 120u);
+}
+
+TEST(Pattern1, InvalidConfigThrows) {
+  Pattern1Config c;
+  c.train_iters = 0;
+  EXPECT_THROW(run_pattern1(c), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Pattern 1, streaming flavor
+// ---------------------------------------------------------------------------
+
+TEST(Pattern1Streaming, RunsAndSteersToStop) {
+  Pattern1Config c = small_p1(platform::BackendKind::NodeLocal);
+  const Pattern1Result r = run_pattern1_streaming(c);
+  EXPECT_EQ(r.train.steps, 400u);  // 2 pairs x 200 iterations
+  EXPECT_GT(r.sim.steps, 0u);
+  EXPECT_GT(r.sim.transport_events, 0u);
+  EXPECT_GT(r.train.transport_events, 0u);
+  // Snapshot protocol: 2 variables per step on both sides.
+  EXPECT_EQ(r.sim.transport_events % 2, 0u);
+}
+
+TEST(Pattern1Streaming, ThroughputCompetitiveWithStaging) {
+  Pattern1Config c = small_p1(platform::BackendKind::NodeLocal);
+  const Pattern1Result streamed = run_pattern1_streaming(c);
+  const Pattern1Result staged = run_pattern1(c);
+  // Streaming's local data plane should be at least half as fast as the
+  // node-local staging path for this exchange.
+  EXPECT_GT(streamed.sim.write_throughput.mean(),
+            0.5 * staged.sim.write_throughput.mean());
+}
+
+TEST(Pattern1Streaming, BackPressureBoundsProducerLead) {
+  Pattern1Config c = small_p1(platform::BackendKind::NodeLocal);
+  c.representative_pairs = 1;
+  c.train_iters = 100;
+  // A fast producer against a slow consumer: with queue_limit 2, the
+  // producer can never run more than 2 snapshots ahead.
+  c.sim_iter_time = 0.001;   // produces a snapshot every 0.1 s
+  c.train_iter_time = 0.05;  // consumes every 0.5 s
+  const Pattern1Result r = run_pattern1_streaming(c, /*queue_limit=*/2);
+  // Without back-pressure the sim would run ~5x more steps than consumed
+  // snapshots allow; with it, production tracks consumption.
+  const double snapshots_consumed =
+      static_cast<double>(r.train.transport_events) / 2.0;
+  const double snapshots_produced =
+      static_cast<double>(r.sim.transport_events) / 2.0;
+  EXPECT_LE(snapshots_produced, snapshots_consumed + 3);
+}
+
+TEST(Pattern1Streaming, InvalidConfigThrows) {
+  Pattern1Config c;
+  c.train_iters = 0;
+  EXPECT_THROW(run_pattern1_streaming(c), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Pattern 2
+// ---------------------------------------------------------------------------
+
+Pattern2Config small_p2(platform::BackendKind backend, int sims) {
+  Pattern2Config c;
+  c.backend = backend;
+  c.num_sims = sims;
+  c.train_iters = 60;
+  c.payload_bytes = 1 * MiB;
+  c.payload_cap = 4 * KiB;
+  return c;
+}
+
+TEST(Pattern2, CompletesAllRounds) {
+  const Pattern2Result r = run_pattern2(small_p2(platform::BackendKind::Dragon, 4));
+  EXPECT_EQ(r.train.steps, 60u);
+  // 6 rounds x 4 sims arrays read.
+  EXPECT_EQ(r.train.transport_events, 24u);
+  EXPECT_GT(r.train_runtime_per_iter, 0.0611);  // compute + transport
+}
+
+TEST(Pattern2, RuntimeIncludesTransportGrowingWithEnsemble) {
+  const auto small = run_pattern2(small_p2(platform::BackendKind::Redis, 2));
+  const auto big = run_pattern2(small_p2(platform::BackendKind::Redis, 16));
+  EXPECT_GT(big.train_runtime_per_iter, small.train_runtime_per_iter);
+}
+
+TEST(Pattern2, RedisIsSlowestBackend) {
+  const auto redis = run_pattern2(small_p2(platform::BackendKind::Redis, 8));
+  const auto dragon = run_pattern2(small_p2(platform::BackendKind::Dragon, 8));
+  const auto fs = run_pattern2(small_p2(platform::BackendKind::Filesystem, 8));
+  EXPECT_GT(redis.train_runtime_per_iter, dragon.train_runtime_per_iter);
+  EXPECT_GT(redis.train_runtime_per_iter, fs.train_runtime_per_iter);
+}
+
+TEST(Pattern2, FilesystemWinsAtScaleForSmallMessages) {
+  // Fig 6b: at 128 nodes and <10 MB messages, filesystem beats dragon.
+  auto dragon = small_p2(platform::BackendKind::Dragon, 127);
+  auto fs = small_p2(platform::BackendKind::Filesystem, 127);
+  dragon.payload_bytes = fs.payload_bytes = 1 * MiB;
+  dragon.train_iters = fs.train_iters = 30;
+  const auto rd = run_pattern2(dragon);
+  const auto rf = run_pattern2(fs);
+  EXPECT_GT(rd.train_runtime_per_iter, rf.train_runtime_per_iter);
+}
+
+TEST(Pattern2, DragonMatchesFilesystemAtSmallScale) {
+  // Fig 6a: at 8 nodes dragon and filesystem perform comparably.
+  const auto rd = run_pattern2(small_p2(platform::BackendKind::Dragon, 7));
+  const auto rf = run_pattern2(small_p2(platform::BackendKind::Filesystem, 7));
+  const double ratio = rd.train_runtime_per_iter / rf.train_runtime_per_iter;
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 2.5);
+}
+
+TEST(Pattern2, InvalidConfigThrows) {
+  Pattern2Config c;
+  c.num_sims = 0;
+  EXPECT_THROW(run_pattern2(c), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Config serialization + reports
+// ---------------------------------------------------------------------------
+
+TEST(PatternConfig, Pattern1JsonRoundTrip) {
+  Pattern1Config c;
+  c.backend = platform::BackendKind::Filesystem;
+  c.nodes = 512;
+  c.payload_bytes = 32 * MiB;
+  c.train_iters = 1234;
+  c.sim_iter_std = 0.02;
+  const Pattern1Config back = pattern1_from_json(pattern1_to_json(c));
+  EXPECT_EQ(back.backend, c.backend);
+  EXPECT_EQ(back.nodes, c.nodes);
+  EXPECT_EQ(back.payload_bytes, c.payload_bytes);
+  EXPECT_EQ(back.train_iters, c.train_iters);
+  EXPECT_DOUBLE_EQ(back.sim_iter_std, c.sim_iter_std);
+}
+
+TEST(PatternConfig, Pattern2JsonRoundTrip) {
+  Pattern2Config c;
+  c.backend = platform::BackendKind::Redis;
+  c.num_sims = 127;
+  c.payload_cap = 123;
+  const Pattern2Config back = pattern2_from_json(pattern2_to_json(c));
+  EXPECT_EQ(back.backend, c.backend);
+  EXPECT_EQ(back.num_sims, c.num_sims);
+  EXPECT_EQ(back.payload_cap, c.payload_cap);
+}
+
+TEST(PatternConfig, PartialJsonKeepsDefaults) {
+  const Pattern1Config c =
+      pattern1_from_json(util::Json::parse(R"({"nodes": 64})"));
+  EXPECT_EQ(c.nodes, 64);
+  EXPECT_EQ(c.train_iters, Pattern1Config{}.train_iters);
+  EXPECT_EQ(c.backend, Pattern1Config{}.backend);
+}
+
+TEST(Report, Pattern2ReportIsCompleteJson) {
+  Pattern2Config c = small_p2(platform::BackendKind::Dragon, 3);
+  const Pattern2Result r = run_pattern2(c);
+  const util::Json report = report_pattern2(c, r);
+  EXPECT_EQ(report.at("pattern").as_int(), 2);
+  EXPECT_DOUBLE_EQ(report.at("makespan_s").as_double(), r.makespan);
+  EXPECT_DOUBLE_EQ(report.at("train_runtime_per_iter_s").as_double(),
+                   r.train_runtime_per_iter);
+  EXPECT_EQ(report.at("train").at("steps").as_int(), 60);
+  EXPECT_GT(report.at("train").at("read_time").at("count").as_int(), 0);
+  // Round-trips through text (valid JSON).
+  EXPECT_EQ(util::Json::parse(report.dump(2)), report);
+}
+
+TEST(Report, WriteReportCreatesFile) {
+  Pattern1Config c = small_p1(platform::BackendKind::NodeLocal);
+  c.train_iters = 30;
+  const Pattern1Result r = run_pattern1(c);
+  const std::string path = testing::TempDir() + "/simai_report.json";
+  write_report(report_pattern1(c, r), path);
+  const util::Json loaded = util::Json::parse_file(path);
+  EXPECT_EQ(loaded.at("pattern").as_int(), 1);
+  EXPECT_EQ(loaded.at("config").at("backend").as_string(), "node-local");
+}
+
+}  // namespace
+}  // namespace simai::core

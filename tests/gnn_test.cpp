@@ -1,0 +1,345 @@
+// Tests for the graph/convolutional model extensions: normalized adjacency
+// construction, GCN gradients vs finite differences, online learning on a
+// mesh, and the Conv1d layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ai/checkpoint.hpp"
+#include "ai/gnn.hpp"
+#include "ai/optim.hpp"
+#include "util/fsutil.hpp"
+
+namespace simai::ai {
+namespace {
+
+// --------------------------------------------------------------------------
+// Graph
+// --------------------------------------------------------------------------
+
+TEST(Graph, AhatRowsSumForRegularGraph) {
+  // For a k-regular graph (ring), D is uniform and each Ahat row sums to 1.
+  const Graph g = Graph::ring(6);
+  ASSERT_EQ(g.num_nodes(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < 6; ++j) row += g.ahat().at(i, j);
+    EXPECT_NEAR(row, 1.0, 1e-12);
+  }
+}
+
+TEST(Graph, AhatIsSymmetric) {
+  const Graph g = Graph::grid(3, 4);
+  for (std::size_t i = 0; i < g.num_nodes(); ++i)
+    for (std::size_t j = 0; j < g.num_nodes(); ++j)
+      EXPECT_DOUBLE_EQ(g.ahat().at(i, j), g.ahat().at(j, i));
+}
+
+TEST(Graph, SelfLoopsAlwaysPresent) {
+  const Graph g(3, {{0, 1}});
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_GT(g.ahat().at(i, i), 0.0);
+  // Node 2 is isolated (only its self loop): Ahat(2,2) == 1.
+  EXPECT_DOUBLE_EQ(g.ahat().at(2, 2), 1.0);
+}
+
+TEST(Graph, InvalidInputsThrow) {
+  EXPECT_THROW(Graph(0, {}), TensorError);
+  EXPECT_THROW(Graph(2, {{0, 5}}), TensorError);
+}
+
+TEST(Graph, GridEdgeCount) {
+  // 2x2 grid: 4 horizontal+vertical edges.
+  const Graph g = Graph::grid(2, 2);
+  double off_diag = 0.0;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      if (i != j && g.ahat().at(i, j) > 0) off_diag += 1;
+  EXPECT_DOUBLE_EQ(off_diag, 8.0);  // 4 undirected edges, both directions
+}
+
+// --------------------------------------------------------------------------
+// GCN gradients
+// --------------------------------------------------------------------------
+
+void gcn_gradcheck(Activation act) {
+  const Graph graph = Graph::ring(5);
+  GcnModel net({3, 4, 2}, act, 17);
+  util::Xoshiro256 rng(23);
+  const Tensor x = Tensor::randn(5, 3, rng);
+  const Tensor target = Tensor::randn(5, 2, rng);
+
+  auto loss_at = [&](const std::vector<double>& params) {
+    net.load_parameters(params);
+    Tensor dloss;
+    return mse_loss(net.forward(graph, x), target, dloss);
+  };
+
+  const std::vector<double> params0 = net.flatten_parameters();
+  net.load_parameters(params0);
+  net.zero_grad();
+  Tensor dloss;
+  mse_loss(net.forward(graph, x), target, dloss);
+  net.backward(graph, dloss);
+  const std::vector<double> analytic = net.flatten_gradients();
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < params0.size(); i += 5) {
+    std::vector<double> p = params0;
+    p[i] += eps;
+    const double up = loss_at(p);
+    p[i] -= 2 * eps;
+    const double down = loss_at(p);
+    EXPECT_NEAR(analytic[i], (up - down) / (2 * eps), 1e-5) << "param " << i;
+  }
+}
+
+TEST(GcnGradients, TanhMatchesFiniteDifferences) {
+  gcn_gradcheck(Activation::Tanh);
+}
+TEST(GcnGradients, ReluMatchesFiniteDifferences) {
+  gcn_gradcheck(Activation::ReLU);
+}
+
+TEST(Gcn, ForwardShapes) {
+  const Graph graph = Graph::grid(3, 3);
+  GcnModel net({4, 8, 2}, Activation::ReLU, 1);
+  util::Xoshiro256 rng(2);
+  const Tensor y = net.forward(graph, Tensor::randn(9, 4, rng));
+  EXPECT_EQ(y.rows(), 9u);
+  EXPECT_EQ(y.cols(), 2u);
+  EXPECT_EQ(net.parameter_count(), 4u * 8 + 8 + 8 * 2 + 2);
+  EXPECT_THROW(GcnModel({3}, Activation::ReLU, 1), ConfigError);
+}
+
+TEST(Gcn, LearnsSmoothFieldOnMesh) {
+  // Node-level regression on a ring: learn the 3-point neighborhood mean
+  // y_i = (x_{i-1} + x_i + x_{i+1}) / 3 — exactly the aggregation one
+  // graph convolution expresses, so the model must fit it well.
+  const std::size_t n = 24;
+  const Graph graph = Graph::ring(n);
+  GcnModel net({1, 8, 1}, Activation::Tanh, 31);
+  util::Xoshiro256 rng(7);
+
+  // Fixed field; the target is the two-hop smoothed field y = Ahat(Ahat x),
+  // which a two-layer GCN represents exactly in its near-linear regime —
+  // full-batch gradient descent must drive the loss down hard.
+  Tensor x(n, 1);
+  for (std::size_t i = 0; i < n; ++i) x.at(i, 0) = rng.uniform(-1.0, 1.0);
+  const Tensor y = matmul(graph.ahat(), matmul(graph.ahat(), x));
+
+  double first = 0, last = 0;
+  for (int step = 0; step < 800; ++step) {
+    net.zero_grad();
+    Tensor dloss;
+    const double loss = mse_loss(net.forward(graph, x), y, dloss);
+    net.backward(graph, dloss);
+    std::vector<double> params = net.flatten_parameters();
+    const std::vector<double> grads = net.flatten_gradients();
+    for (std::size_t i = 0; i < params.size(); ++i)
+      params[i] -= 0.2 * grads[i];
+    net.load_parameters(params);
+    if (step == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, 0.1 * first);
+}
+
+TEST(Gcn, ParameterRoundTrip) {
+  GcnModel net({2, 4, 1}, Activation::ReLU, 3);
+  std::vector<double> p = net.flatten_parameters();
+  for (double& v : p) v = 0.5;
+  net.load_parameters(p);
+  EXPECT_EQ(net.flatten_parameters(), p);
+  p.pop_back();
+  EXPECT_THROW(net.load_parameters(p), TensorError);
+}
+
+// --------------------------------------------------------------------------
+// Conv1d
+// --------------------------------------------------------------------------
+
+TEST(Conv1d, IdentityKernelPassesSignalThrough) {
+  util::Xoshiro256 rng(5);
+  Conv1dLayer conv(1, 1, 3, 8, Activation::Identity, rng);
+  // Set kernel to [0, 1, 0], bias 0: output == input.
+  std::vector<double> params(conv.parameter_count(), 0.0);
+  params[1] = 1.0;  // center tap
+  conv.load_parameters(params);
+  Tensor x = Tensor::randn(2, 8, rng);
+  const Tensor y = conv.forward(x);
+  ASSERT_TRUE(y.same_shape(x));
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-12);
+}
+
+TEST(Conv1d, ShiftKernelWithZeroPadding) {
+  util::Xoshiro256 rng(5);
+  Conv1dLayer conv(1, 1, 3, 4, Activation::Identity, rng);
+  // Kernel [1, 0, 0] => y[l] = x[l-1]; y[0] reads the zero pad.
+  std::vector<double> params(conv.parameter_count(), 0.0);
+  params[0] = 1.0;
+  conv.load_parameters(params);
+  Tensor x(1, 4, {1.0, 2.0, 3.0, 4.0});
+  const Tensor y = conv.forward(x);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+  EXPECT_DOUBLE_EQ(y[3], 3.0);
+}
+
+TEST(Conv1d, MultiChannelShapes) {
+  util::Xoshiro256 rng(9);
+  Conv1dLayer conv(3, 5, 3, 16, Activation::ReLU, rng);
+  EXPECT_EQ(conv.in_features(), 48u);
+  EXPECT_EQ(conv.out_features(), 80u);
+  EXPECT_EQ(conv.parameter_count(), 5u * 3 * 3 + 5);
+  const Tensor y = conv.forward(Tensor::randn(4, 48, rng));
+  EXPECT_EQ(y.rows(), 4u);
+  EXPECT_EQ(y.cols(), 80u);
+  EXPECT_THROW(conv.forward(Tensor(1, 10)), TensorError);
+}
+
+TEST(Conv1d, EvenKernelRejected) {
+  util::Xoshiro256 rng(1);
+  EXPECT_THROW(Conv1dLayer(1, 1, 4, 8, Activation::Identity, rng),
+               ConfigError);
+}
+
+TEST(Conv1d, GradientsMatchFiniteDifferences) {
+  util::Xoshiro256 rng(13);
+  Conv1dLayer conv(2, 2, 3, 6, Activation::Tanh, rng);
+  const Tensor x = Tensor::randn(3, 12, rng);
+  const Tensor target = Tensor::randn(3, 12, rng);
+
+  auto loss_at = [&](const std::vector<double>& params) {
+    conv.load_parameters(params);
+    Tensor dloss;
+    return mse_loss(conv.forward(x), target, dloss);
+  };
+
+  const std::vector<double> params0 = conv.flatten_parameters();
+  conv.load_parameters(params0);
+  conv.zero_grad();
+  Tensor dloss;
+  mse_loss(conv.forward(x), target, dloss);
+  conv.backward(dloss);
+  const std::vector<double> analytic = conv.flatten_gradients();
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < params0.size(); ++i) {
+    std::vector<double> p = params0;
+    p[i] += eps;
+    const double up = loss_at(p);
+    p[i] -= 2 * eps;
+    const double down = loss_at(p);
+    EXPECT_NEAR(analytic[i], (up - down) / (2 * eps), 1e-5) << "param " << i;
+  }
+}
+
+TEST(Conv1d, InputGradientMatchesFiniteDifferences) {
+  util::Xoshiro256 rng(19);
+  Conv1dLayer conv(1, 2, 3, 5, Activation::Identity, rng);
+  Tensor x = Tensor::randn(1, 5, rng);
+  const Tensor target = Tensor::randn(1, 10, rng);
+
+  conv.zero_grad();
+  Tensor dloss;
+  mse_loss(conv.forward(x), target, dloss);
+  const Tensor dx = conv.backward(dloss);
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    Tensor xp = x;
+    xp[i] += eps;
+    Tensor d1;
+    const double up = mse_loss(conv.forward(xp), target, d1);
+    xp[i] -= 2 * eps;
+    const double down = mse_loss(conv.forward(xp), target, d1);
+    EXPECT_NEAR(dx[i], (up - down) / (2 * eps), 1e-5) << "input " << i;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Checkpointing (ai <-> io bridge)
+// --------------------------------------------------------------------------
+
+TEST(Checkpoint, MlpSaveLoadRoundTrip) {
+  util::TempDir dir("ckpt");
+  const auto path = dir.path() / "model.h5";
+  Mlp original({3, 8, 2}, Activation::ReLU, 77);
+  {
+    io::H5File f(path, io::H5File::Mode::Create);
+    save_checkpoint(f, original, /*step=*/1234);
+  }
+  io::H5File f(path, io::H5File::Mode::ReadOnly);
+  EXPECT_EQ(checkpoint_kind(f), "mlp");
+  Mlp restored({3, 8, 2}, Activation::ReLU, 99);  // different init
+  EXPECT_NE(restored.flatten_parameters(), original.flatten_parameters());
+  EXPECT_EQ(load_checkpoint(f, restored), 1234);
+  EXPECT_EQ(restored.flatten_parameters(), original.flatten_parameters());
+}
+
+TEST(Checkpoint, GcnSaveLoadRoundTrip) {
+  util::TempDir dir("ckpt");
+  const auto path = dir.path() / "gcn.h5";
+  GcnModel original({2, 4, 1}, Activation::Tanh, 5);
+  {
+    io::H5File f(path, io::H5File::Mode::Create);
+    save_checkpoint(f, original, 7);
+  }
+  io::H5File f(path, io::H5File::Mode::ReadOnly);
+  GcnModel restored({2, 4, 1}, Activation::Tanh, 6);
+  EXPECT_EQ(load_checkpoint(f, restored), 7);
+  EXPECT_EQ(restored.flatten_parameters(), original.flatten_parameters());
+}
+
+TEST(Checkpoint, KindMismatchRejected) {
+  util::TempDir dir("ckpt");
+  const auto path = dir.path() / "m.h5";
+  Mlp mlp({2, 2}, Activation::Identity, 1);
+  {
+    io::H5File f(path, io::H5File::Mode::Create);
+    save_checkpoint(f, mlp);
+  }
+  io::H5File f(path, io::H5File::Mode::ReadOnly);
+  GcnModel gcn({2, 2}, Activation::Identity, 1);
+  EXPECT_THROW(load_checkpoint(f, gcn), io::H5Error);
+}
+
+TEST(Checkpoint, ArchitectureMismatchRejected) {
+  util::TempDir dir("ckpt");
+  const auto path = dir.path() / "m.h5";
+  Mlp small({2, 2}, Activation::Identity, 1);
+  {
+    io::H5File f(path, io::H5File::Mode::Create);
+    save_checkpoint(f, small);
+  }
+  io::H5File f(path, io::H5File::Mode::ReadOnly);
+  Mlp big({4, 8, 2}, Activation::ReLU, 1);
+  EXPECT_THROW(load_checkpoint(f, big), TensorError);
+}
+
+TEST(Checkpoint, OverwriteKeepsLatest) {
+  util::TempDir dir("ckpt");
+  const auto path = dir.path() / "m.h5";
+  Mlp model({2, 2}, Activation::Identity, 1);
+  io::H5File f(path, io::H5File::Mode::Create);
+  save_checkpoint(f, model, 1);
+  auto params = model.flatten_parameters();
+  for (double& p : params) p += 1.0;
+  model.load_parameters(params);
+  save_checkpoint(f, model, 2);
+  Mlp restored({2, 2}, Activation::Identity, 3);
+  EXPECT_EQ(load_checkpoint(f, restored), 2);
+  EXPECT_EQ(restored.flatten_parameters(), params);
+}
+
+TEST(Checkpoint, MissingCheckpointThrows) {
+  util::TempDir dir("ckpt");
+  io::H5File f(dir.path() / "empty.h5", io::H5File::Mode::Create);
+  Mlp model({2, 2}, Activation::Identity, 1);
+  EXPECT_THROW(load_checkpoint(f, model), io::H5Error);
+  EXPECT_THROW(checkpoint_kind(f), io::H5Error);
+}
+
+}  // namespace
+}  // namespace simai::ai

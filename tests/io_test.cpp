@@ -1,0 +1,208 @@
+// Tests for the H5Lite hierarchical data file: structure, typed datasets,
+// attributes, persistence across reopen, overwrite + compaction, error
+// paths, and the HDF5 IO kernels built on top.
+#include <gtest/gtest.h>
+
+#include "io/h5lite.hpp"
+#include "kernels/kernel.hpp"
+#include "util/fsutil.hpp"
+
+namespace simai::io {
+namespace {
+
+class H5Test : public ::testing::Test {
+ protected:
+  util::TempDir dir_{"h5"};
+  std::filesystem::path file_path() const { return dir_.path() / "t.h5"; }
+};
+
+TEST_F(H5Test, CreateWriteReadRoundTrip) {
+  const std::vector<double> data{1.5, -2.5, 3.25, 0.0};
+  {
+    H5File f(file_path(), H5File::Mode::Create);
+    f.write("/fields/velocity", std::span<const double>(data));
+    f.close();
+  }
+  H5File f(file_path(), H5File::Mode::ReadOnly);
+  EXPECT_TRUE(f.has_dataset("/fields/velocity"));
+  EXPECT_TRUE(f.has_group("/fields"));
+  EXPECT_EQ(f.read_f64("/fields/velocity"), data);
+  const DatasetInfo info = f.info("/fields/velocity");
+  EXPECT_EQ(info.dtype, DType::F64);
+  EXPECT_EQ(info.shape, (std::vector<std::uint64_t>{4}));
+  EXPECT_EQ(info.byte_count(), 32u);
+}
+
+TEST_F(H5Test, TypedDatasets) {
+  H5File f(file_path(), H5File::Mode::Create);
+  const std::vector<std::int64_t> ints{-7, 0, 1ll << 40};
+  f.write("/ints", std::span<const std::int64_t>(ints));
+  const Bytes blob = to_bytes("raw-bytes\x01\x02");
+  f.write("/blob", ByteView(blob));
+  EXPECT_EQ(f.read_i64("/ints"), ints);
+  EXPECT_EQ(f.read_u8("/blob"), blob);
+  // Type confusion is an error, not a reinterpretation.
+  EXPECT_THROW(f.read_f64("/ints"), H5Error);
+  EXPECT_THROW(f.read_i64("/blob"), H5Error);
+}
+
+TEST_F(H5Test, MultiDimensionalShape) {
+  H5File f(file_path(), H5File::Mode::Create);
+  std::vector<double> grid(6 * 4, 1.0);
+  f.write("/grid", std::span<const double>(grid), {6, 4});
+  const DatasetInfo info = f.info("/grid");
+  EXPECT_EQ(info.shape, (std::vector<std::uint64_t>{6, 4}));
+  EXPECT_EQ(info.element_count(), 24u);
+  // Shape must match the data.
+  EXPECT_THROW(f.write("/bad", std::span<const double>(grid), {5, 5}),
+               H5Error);
+}
+
+TEST_F(H5Test, GroupsAndListing) {
+  H5File f(file_path(), H5File::Mode::Create);
+  f.create_group("/a/b/c");
+  f.write("/a/b/data", std::vector<double>{1.0});
+  f.write("/a/top", std::vector<double>{2.0});
+  EXPECT_TRUE(f.has_group("/a"));
+  EXPECT_TRUE(f.has_group("/a/b"));
+  EXPECT_TRUE(f.has_group("/a/b/c"));
+  auto root = f.list("/");
+  EXPECT_EQ(root, (std::vector<std::string>{"a"}));
+  auto a = f.list("/a");
+  std::sort(a.begin(), a.end());
+  EXPECT_EQ(a, (std::vector<std::string>{"b", "top"}));
+  auto b = f.list("/a/b");
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(b, (std::vector<std::string>{"c", "data"}));
+  EXPECT_EQ(f.dataset_paths(),
+            (std::vector<std::string>{"/a/b/data", "/a/top"}));
+}
+
+TEST_F(H5Test, AttributesOnGroupsAndDatasets) {
+  {
+    H5File f(file_path(), H5File::Mode::Create);
+    f.write("/field", std::vector<double>{1.0});
+    f.set_attribute("/field", "units", util::Json("m/s"));
+    f.set_attribute("/field", "scale", util::Json(2.5));
+    f.set_attribute("/", "created_by", util::Json("simai"));
+    f.close();
+  }
+  H5File f(file_path(), H5File::Mode::ReadOnly);
+  EXPECT_EQ(f.attribute("/field", "units")->as_string(), "m/s");
+  EXPECT_DOUBLE_EQ(f.attribute("/field", "scale")->as_double(), 2.5);
+  EXPECT_EQ(f.attribute("/", "created_by")->as_string(), "simai");
+  EXPECT_FALSE(f.attribute("/field", "missing").has_value());
+  auto names = f.attribute_names("/field");
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"scale", "units"}));
+}
+
+TEST_F(H5Test, PersistsAcrossReopenAndAppend) {
+  {
+    H5File f(file_path(), H5File::Mode::Create);
+    f.write("/first", std::vector<double>{1.0, 2.0});
+    f.close();
+  }
+  {
+    H5File f(file_path(), H5File::Mode::ReadWrite);
+    EXPECT_EQ(f.read_f64("/first").size(), 2u);
+    f.write("/second", std::vector<double>{3.0});
+    f.close();
+  }
+  H5File f(file_path(), H5File::Mode::ReadOnly);
+  EXPECT_EQ(f.read_f64("/first"), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(f.read_f64("/second"), (std::vector<double>{3.0}));
+}
+
+TEST_F(H5Test, OverwriteReplacesData) {
+  H5File f(file_path(), H5File::Mode::Create);
+  f.write("/d", std::vector<double>{1.0, 2.0, 3.0});
+  f.set_attribute("/d", "keep", util::Json(true));
+  f.write("/d", std::vector<double>{9.0});
+  EXPECT_EQ(f.read_f64("/d"), (std::vector<double>{9.0}));
+  // Attributes survive the overwrite (HDF5 semantics).
+  EXPECT_TRUE(f.attribute("/d", "keep")->as_bool());
+}
+
+TEST_F(H5Test, CompactReclaimsDeadSpace) {
+  H5File f(file_path(), H5File::Mode::Create);
+  std::vector<double> big(4096, 1.0);
+  for (int i = 0; i < 8; ++i)
+    f.write("/hot", std::span<const double>(big));  // 7 dead extents
+  f.write("/keep", std::vector<double>{42.0});
+  const std::uint64_t reclaimed = f.compact();
+  EXPECT_GE(reclaimed, 7 * 4096 * sizeof(double));
+  EXPECT_EQ(f.read_f64("/hot").size(), 4096u);
+  EXPECT_EQ(f.read_f64("/keep"), (std::vector<double>{42.0}));
+}
+
+TEST_F(H5Test, ErrorPaths) {
+  EXPECT_THROW(H5File(dir_.path() / "missing.h5", H5File::Mode::ReadOnly),
+               H5Error);
+  H5File f(file_path(), H5File::Mode::Create);
+  EXPECT_THROW(f.write("relative/path", std::vector<double>{1.0}), H5Error);
+  EXPECT_THROW(f.write("//double", std::vector<double>{1.0}), H5Error);
+  EXPECT_THROW(f.read_f64("/nothing"), H5Error);
+  EXPECT_THROW(f.info("/nothing"), H5Error);
+  EXPECT_THROW(f.set_attribute("/nothing", "a", util::Json(1)), H5Error);
+  f.write("/data", std::vector<double>{1.0});
+  EXPECT_THROW(f.create_group("/data"), H5Error);       // dataset exists
+  EXPECT_THROW(f.write("/data/sub", std::vector<double>{1.0}),
+               H5Error);  // dataset is not a group
+  f.close();
+  EXPECT_THROW(f.read_f64("/data"), H5Error);  // closed
+  // Read-only files reject writes.
+  H5File ro(file_path(), H5File::Mode::ReadOnly);
+  EXPECT_THROW(ro.write("/x", std::vector<double>{1.0}), H5Error);
+  EXPECT_THROW(ro.create_group("/g"), H5Error);
+}
+
+TEST_F(H5Test, CorruptTrailerDetected) {
+  {
+    H5File f(file_path(), H5File::Mode::Create);
+    f.write("/d", std::vector<double>{1.0});
+    f.close();
+  }
+  // Truncate the trailer.
+  std::filesystem::resize_file(file_path(),
+                               std::filesystem::file_size(file_path()) - 4);
+  EXPECT_THROW(H5File(file_path(), H5File::Mode::ReadOnly), H5Error);
+}
+
+TEST_F(H5Test, EmptyDataset) {
+  H5File f(file_path(), H5File::Mode::Create);
+  f.write("/empty", std::vector<double>{});
+  EXPECT_TRUE(f.read_f64("/empty").empty());
+}
+
+// --------------------------------------------------------------------------
+// HDF5 IO kernels
+// --------------------------------------------------------------------------
+
+TEST_F(H5Test, Hdf5KernelsRoundTrip) {
+  kernels::KernelContext ctx;
+  ctx.io_dir = dir_.path();
+  ctx.rng = util::Xoshiro256(5);
+  util::Json cfg;
+  cfg["data_size"] = 512;
+  auto w = kernels::make_kernel("WriteHDF5", cfg);
+  auto r = kernels::make_kernel("ReadHDF5", cfg);
+  const kernels::KernelResult wres = w->run(ctx);
+  const kernels::KernelResult rres = r->run(ctx);
+  EXPECT_NEAR(wres.checksum, rres.checksum, 1e-9);
+  EXPECT_GT(wres.modeled_time, 0.0);
+  // The file has the canonical layout.
+  H5File f(dir_.path() / "snapshot_rank0.h5", H5File::Mode::ReadOnly);
+  EXPECT_TRUE(f.has_dataset("/fields/velocity"));
+  EXPECT_TRUE(f.has_dataset("/fields/pressure"));
+  EXPECT_TRUE(f.has_dataset("/meta/step"));
+  EXPECT_EQ(f.attribute("/fields", "rank")->as_int(), 0);
+}
+
+TEST_F(H5Test, Hdf5KernelsRegistered) {
+  EXPECT_TRUE(kernels::kernel_registered("WriteHDF5"));
+  EXPECT_TRUE(kernels::kernel_registered("ReadHDF5"));
+}
+
+}  // namespace
+}  // namespace simai::io

@@ -1,0 +1,755 @@
+// Tests for the data-transport backends: a parameterized contract suite run
+// against every IKeyValueStore implementation, plus backend-specific tests
+// (RESP protocol, MiniRedis server semantics, cluster sharding, Dragon
+// managers, DirStore atomicity, ServerManager lifecycle).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "kv/daos_store.hpp"
+#include "kv/dir_store.hpp"
+#include "kv/dragon.hpp"
+#include "kv/memory_store.hpp"
+#include "kv/redis_client.hpp"
+#include "kv/redis_server.hpp"
+#include "kv/resp.hpp"
+#include "kv/server_manager.hpp"
+#include "util/crc32.hpp"
+#include "util/fsutil.hpp"
+
+namespace simai::kv {
+namespace {
+
+// ===========================================================================
+// Contract suite: every backend must satisfy the same store semantics.
+// ===========================================================================
+
+struct StoreFixture {
+  std::string name;
+  std::function<StorePtr(util::TempDir&)> make;
+};
+
+class StoreContractTest : public ::testing::TestWithParam<StoreFixture> {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<util::TempDir>("kvtest");
+    store_ = GetParam().make(*dir_);
+  }
+  void TearDown() override {
+    // Redis clients must disconnect before the server (held by the
+    // closure) is torn down; resetting in order handles it.
+    store_.reset();
+    dir_.reset();
+  }
+
+  std::unique_ptr<util::TempDir> dir_;
+  StorePtr store_;
+};
+
+TEST_P(StoreContractTest, PutGetRoundTrip) {
+  store_->put_string("k1", "value-1");
+  EXPECT_EQ(store_->get_string("k1"), "value-1");
+}
+
+TEST_P(StoreContractTest, GetMissingReturnsFalse) {
+  Bytes out;
+  EXPECT_FALSE(store_->get("missing", out));
+  EXPECT_THROW(store_->get_or_throw("missing"), StoreError);
+}
+
+TEST_P(StoreContractTest, OverwriteReplacesValue) {
+  store_->put_string("k", "v1");
+  store_->put_string("k", "v2");
+  EXPECT_EQ(store_->get_string("k"), "v2");
+  EXPECT_EQ(store_->size(), 1u);
+}
+
+TEST_P(StoreContractTest, BinaryValuesPreserved) {
+  Bytes value;
+  for (int i = 0; i < 256; ++i) value.push_back(static_cast<std::byte>(i));
+  store_->put("bin", ByteView(value));
+  Bytes out;
+  ASSERT_TRUE(store_->get("bin", out));
+  EXPECT_EQ(out, value);
+}
+
+TEST_P(StoreContractTest, EmptyValueAllowed) {
+  store_->put("empty", {});
+  Bytes out{std::byte{1}};
+  ASSERT_TRUE(store_->get("empty", out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(store_->exists("empty"));
+}
+
+TEST_P(StoreContractTest, LargeValueRoundTrip) {
+  Bytes value(3 * MiB);
+  for (std::size_t i = 0; i < value.size(); ++i)
+    value[i] = static_cast<std::byte>(i * 2654435761u >> 24);
+  store_->put("big", ByteView(value));
+  Bytes out;
+  ASSERT_TRUE(store_->get("big", out));
+  EXPECT_EQ(out, value);
+}
+
+TEST_P(StoreContractTest, ExistsTracksLifecycle) {
+  EXPECT_FALSE(store_->exists("k"));
+  store_->put_string("k", "v");
+  EXPECT_TRUE(store_->exists("k"));
+  EXPECT_EQ(store_->erase("k"), 1u);
+  EXPECT_FALSE(store_->exists("k"));
+  EXPECT_EQ(store_->erase("k"), 0u);
+}
+
+TEST_P(StoreContractTest, KeysGlobPatterns) {
+  store_->put_string("sim_rank0_step100", "a");
+  store_->put_string("sim_rank1_step100", "b");
+  store_->put_string("train_rank0", "c");
+  auto all = store_->keys();
+  EXPECT_EQ(all.size(), 3u);
+  auto sims = store_->keys("sim_*");
+  EXPECT_EQ(sims.size(), 2u);
+  auto rank0 = store_->keys("*rank0*");
+  EXPECT_EQ(rank0.size(), 2u);
+  EXPECT_TRUE(store_->keys("nomatch*").empty());
+}
+
+TEST_P(StoreContractTest, SizeAndClear) {
+  for (int i = 0; i < 10; ++i)
+    store_->put_string("key" + std::to_string(i), "v");
+  EXPECT_EQ(store_->size(), 10u);
+  store_->clear();
+  EXPECT_EQ(store_->size(), 0u);
+  EXPECT_TRUE(store_->keys().empty());
+}
+
+TEST_P(StoreContractTest, ManySmallKeys) {
+  for (int i = 0; i < 200; ++i)
+    store_->put_string("k" + std::to_string(i), std::to_string(i * i));
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(store_->get_string("k" + std::to_string(i)),
+              std::to_string(i * i));
+  EXPECT_EQ(store_->size(), 200u);
+}
+
+TEST_P(StoreContractTest, KeysWithSpecialCharacters) {
+  const std::string key = "x_0_100/slash key.pickle%weird";
+  store_->put_string(key, "special");
+  EXPECT_EQ(store_->get_string(key), "special");
+  EXPECT_EQ(store_->erase(key), 1u);
+}
+
+StoreFixture memory_fixture() {
+  return {"memory",
+          [](util::TempDir&) { return std::make_shared<MemoryStore>(); }};
+}
+StoreFixture dir_fixture() {
+  return {"dir", [](util::TempDir& dir) {
+            return std::make_shared<DirStore>(dir.path() / "store", 8);
+          }};
+}
+StoreFixture dragon_fixture() {
+  return {"dragon",
+          [](util::TempDir&) { return std::make_shared<DragonDictionary>(3); }};
+}
+StoreFixture daos_fixture() {
+  return {"daos", [](util::TempDir&) {
+            // Small stripes so the contract's 3 MiB value exercises
+            // multi-target striping.
+            return std::make_shared<DaosStore>(4, 256 * KiB);
+          }};
+}
+StoreFixture redis_fixture() {
+  return {"redis", [](util::TempDir& dir) -> StorePtr {
+            auto server = std::make_shared<RedisServer>(
+                (dir.path() / "redis.sock").string());
+            auto client =
+                std::make_shared<RedisClient>(server->socket_path());
+            // Keep the server alive as long as the client handle lives.
+            return StorePtr(client.get(),
+                            [server, client](IKeyValueStore*) mutable {
+                              client.reset();
+                              server->stop();
+                            });
+          }};
+}
+StoreFixture cluster_fixture() {
+  return {"redis_cluster", [](util::TempDir& dir) -> StorePtr {
+            auto s1 = std::make_shared<RedisServer>(
+                (dir.path() / "c0.sock").string());
+            auto s2 = std::make_shared<RedisServer>(
+                (dir.path() / "c1.sock").string());
+            auto client = std::make_shared<RedisClusterClient>(
+                std::vector<std::string>{s1->socket_path(),
+                                         s2->socket_path()});
+            return StorePtr(client.get(),
+                            [s1, s2, client](IKeyValueStore*) mutable {
+                              client.reset();
+                              s1->stop();
+                              s2->stop();
+                            });
+          }};
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, StoreContractTest,
+    ::testing::Values(memory_fixture(), dir_fixture(), dragon_fixture(),
+                      redis_fixture(), cluster_fixture(), daos_fixture()),
+    [](const ::testing::TestParamInfo<StoreFixture>& info) {
+      return info.param.name;
+    });
+
+// ===========================================================================
+// DirStore specifics (§3.2 mechanics)
+// ===========================================================================
+
+TEST(DirStore, ShardAssignmentUsesCrc32) {
+  util::TempDir dir("dirstore");
+  DirStore store(dir.path() / "s", 16);
+  EXPECT_EQ(store.shard_of("key1"),
+            static_cast<int>(util::crc32("key1") % 16));
+}
+
+TEST(DirStore, KeysSpreadAcrossShards) {
+  util::TempDir dir("dirstore");
+  DirStore store(dir.path() / "s", 8);
+  std::set<int> used;
+  for (int i = 0; i < 100; ++i)
+    used.insert(store.shard_of("key" + std::to_string(i)));
+  EXPECT_GE(used.size(), 6u);  // CRC32 spreads well
+}
+
+TEST(DirStore, ValueLandsInItsShardDirectory) {
+  util::TempDir dir("dirstore");
+  DirStore store(dir.path() / "s", 4);
+  store.put_string("mykey", "v");
+  const auto shard_dir =
+      dir.path() / "s" / ("shard" + std::to_string(store.shard_of("mykey")));
+  std::size_t files = 0;
+  for ([[maybe_unused]] auto& e :
+       std::filesystem::directory_iterator(shard_dir))
+    ++files;
+  EXPECT_EQ(files, 1u);
+}
+
+TEST(DirStore, TwoClientsShareOneRoot) {
+  // Distributed ranks open the same staging tree (the paper's deployment).
+  util::TempDir dir("dirstore");
+  DirStore writer(dir.path() / "shared", 8);
+  DirStore reader(dir.path() / "shared", 8);
+  writer.put_string("from-writer", "hello");
+  EXPECT_EQ(reader.get_string("from-writer"), "hello");
+  EXPECT_EQ(reader.erase("from-writer"), 1u);
+  EXPECT_FALSE(writer.exists("from-writer"));
+}
+
+TEST(DirStore, NoTornReadsUnderConcurrentOverwrite) {
+  // The tmp+rename protocol: a reader never sees a half-written value.
+  util::TempDir dir("dirstore");
+  DirStore store(dir.path() / "s", 2);
+  const std::string a(256 * 1024, 'A');
+  const std::string b(256 * 1024, 'B');
+  store.put_string("k", a);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 50; ++i) store.put_string("k", i % 2 ? a : b);
+    stop = true;
+  });
+  int reads = 0;
+  while (!stop.load()) {
+    Bytes out;
+    if (store.get("k", out)) {
+      ++reads;
+      ASSERT_EQ(out.size(), a.size());
+      const char first = static_cast<char>(out.front());
+      const char last = static_cast<char>(out.back());
+      EXPECT_EQ(first, last);  // all-A or all-B, never mixed
+    }
+  }
+  writer.join();
+  EXPECT_GT(reads, 0);
+}
+
+TEST(DirStore, InvalidShardCountThrows) {
+  util::TempDir dir("dirstore");
+  EXPECT_THROW(DirStore(dir.path() / "s", 0), StoreError);
+}
+
+// ===========================================================================
+// RESP protocol
+// ===========================================================================
+
+TEST(Resp, EncodeSimpleTypes) {
+  EXPECT_EQ(to_string(ByteView(resp::encode(resp::Value::simple("OK")))),
+            "+OK\r\n");
+  EXPECT_EQ(to_string(ByteView(resp::encode(resp::Value::error("ERR x")))),
+            "-ERR x\r\n");
+  EXPECT_EQ(to_string(ByteView(resp::encode(resp::Value::integer_of(-42)))),
+            ":-42\r\n");
+  EXPECT_EQ(to_string(ByteView(resp::encode(resp::Value::bulk_of("ab")))),
+            "$2\r\nab\r\n");
+  EXPECT_EQ(to_string(ByteView(resp::encode(resp::Value::nil()))),
+            "$-1\r\n");
+}
+
+TEST(Resp, EncodeCommandArray) {
+  const Bytes wire =
+      resp::encode_command(std::vector<std::string>{"SET", "k", "v"});
+  EXPECT_EQ(to_string(ByteView(wire)),
+            "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n");
+}
+
+TEST(Resp, DecodeRoundTripsAllKinds) {
+  std::vector<resp::Value> values;
+  values.push_back(resp::Value::simple("PONG"));
+  values.push_back(resp::Value::error("ERR bad"));
+  values.push_back(resp::Value::integer_of(123));
+  values.push_back(resp::Value::bulk_of("binary\r\nsafe"));
+  values.push_back(resp::Value::nil());
+  values.push_back(resp::Value::array_of(
+      {resp::Value::integer_of(1), resp::Value::bulk_of("two")}));
+  for (const auto& v : values) {
+    resp::Decoder d;
+    d.feed(ByteView(resp::encode(v)));
+    const auto out = d.next();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->kind, v.kind);
+    if (v.kind == resp::Kind::Bulk) {
+      EXPECT_EQ(out->bulk, v.bulk);
+    }
+    if (v.kind == resp::Kind::Array) {
+      EXPECT_EQ(out->array.size(), v.array.size());
+    }
+  }
+}
+
+TEST(Resp, DecoderHandlesFragmentedInput) {
+  const Bytes wire = resp::encode(resp::Value::bulk_of("hello world"));
+  resp::Decoder d;
+  // Feed one byte at a time; value completes only at the end.
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    d.feed(ByteView(&wire[i], 1));
+    EXPECT_FALSE(d.next().has_value());
+  }
+  d.feed(ByteView(&wire[wire.size() - 1], 1));
+  const auto v = d.next();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->bulk_text(), "hello world");
+}
+
+TEST(Resp, DecoderHandlesPipelinedValues) {
+  resp::Decoder d;
+  Bytes wire = resp::encode(resp::Value::simple("one"));
+  const Bytes second = resp::encode(resp::Value::integer_of(2));
+  wire.insert(wire.end(), second.begin(), second.end());
+  d.feed(ByteView(wire));
+  EXPECT_EQ(d.next()->text, "one");
+  EXPECT_EQ(d.next()->integer, 2);
+  EXPECT_FALSE(d.next().has_value());
+}
+
+TEST(Resp, DecoderRejectsGarbage) {
+  resp::Decoder d;
+  d.feed(as_bytes_view("!bogus\r\n"));
+  EXPECT_THROW(d.next(), resp::RespError);
+}
+
+TEST(Resp, DecoderRejectsBadBulkTerminator) {
+  resp::Decoder d;
+  d.feed(as_bytes_view("$2\r\nabXX"));
+  EXPECT_THROW(d.next(), resp::RespError);
+}
+
+TEST(Resp, NestedArrays) {
+  const auto nested = resp::Value::array_of({resp::Value::array_of(
+      {resp::Value::bulk_of("deep"), resp::Value::integer_of(9)})});
+  resp::Decoder d;
+  d.feed(ByteView(resp::encode(nested)));
+  const auto v = d.next();
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->array.size(), 1u);
+  EXPECT_EQ(v->array[0].array[0].bulk_text(), "deep");
+  EXPECT_EQ(v->array[0].array[1].integer, 9);
+}
+
+// ===========================================================================
+// MiniRedis server/client specifics
+// ===========================================================================
+
+class RedisTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<util::TempDir>("redis");
+    server_ = std::make_unique<RedisServer>(
+        (dir_->path() / "server.sock").string());
+    client_ = std::make_unique<RedisClient>(server_->socket_path());
+  }
+  void TearDown() override {
+    client_.reset();
+    server_.reset();
+  }
+
+  std::unique_ptr<util::TempDir> dir_;
+  std::unique_ptr<RedisServer> server_;
+  std::unique_ptr<RedisClient> client_;
+};
+
+TEST_F(RedisTest, Ping) { EXPECT_EQ(client_->ping(), "PONG"); }
+
+TEST_F(RedisTest, IncrSequence) {
+  EXPECT_EQ(client_->incr("counter"), 1);
+  EXPECT_EQ(client_->incr("counter"), 2);
+  EXPECT_EQ(client_->incr("counter"), 3);
+}
+
+TEST_F(RedisTest, IncrNonNumericErrors) {
+  client_->put_string("text", "abc");
+  EXPECT_THROW(client_->incr("text"), StoreError);
+}
+
+TEST_F(RedisTest, InfoMentionsStats) {
+  client_->put_string("k", "v");
+  const std::string info = client_->info();
+  EXPECT_NE(info.find("mini_redis_version"), std::string::npos);
+  EXPECT_NE(info.find("total_commands_processed"), std::string::npos);
+}
+
+TEST_F(RedisTest, UnknownCommandErrors) {
+  const auto v = client_->command(std::vector<std::string>{"BOGUS"});
+  EXPECT_TRUE(v.is_error());
+}
+
+TEST_F(RedisTest, WrongArityErrors) {
+  EXPECT_TRUE(client_->command(std::vector<std::string>{"SET", "k"}).is_error());
+  EXPECT_TRUE(client_->command(std::vector<std::string>{"GET"}).is_error());
+}
+
+TEST_F(RedisTest, MultiKeyDelAndExists) {
+  client_->put_string("a", "1");
+  client_->put_string("b", "2");
+  const auto existing =
+      client_->command(std::vector<std::string>{"EXISTS", "a", "b", "c"});
+  EXPECT_EQ(existing.integer, 2);
+  const auto removed =
+      client_->command(std::vector<std::string>{"DEL", "a", "b", "c"});
+  EXPECT_EQ(removed.integer, 2);
+}
+
+TEST_F(RedisTest, AppendAndStrlen) {
+  const auto len1 =
+      client_->command(std::vector<std::string>{"APPEND", "s", "foo"});
+  EXPECT_EQ(len1.integer, 3);
+  const auto len2 =
+      client_->command(std::vector<std::string>{"APPEND", "s", "bar"});
+  EXPECT_EQ(len2.integer, 6);
+  EXPECT_EQ(client_->get_string("s"), "foobar");
+  EXPECT_EQ(client_->command(std::vector<std::string>{"STRLEN", "s"}).integer,
+            6);
+}
+
+TEST_F(RedisTest, PipelinedCommandsReturnOrderedReplies) {
+  std::vector<std::vector<std::string>> batch;
+  batch.push_back({"SET", "a", "1"});
+  batch.push_back({"INCR", "a"});
+  batch.push_back({"GET", "a"});
+  batch.push_back({"EXISTS", "a", "b"});
+  batch.push_back({"BOGUS"});
+  const auto replies = client_->pipeline(batch);
+  ASSERT_EQ(replies.size(), 5u);
+  EXPECT_EQ(replies[0].text, "OK");
+  EXPECT_EQ(replies[1].integer, 2);
+  EXPECT_EQ(replies[2].bulk_text(), "2");
+  EXPECT_EQ(replies[3].integer, 1);
+  EXPECT_TRUE(replies[4].is_error());  // errors are in-band, not thrown
+}
+
+TEST_F(RedisTest, LargePipelineSurvives) {
+  std::vector<std::vector<std::string>> batch;
+  for (int i = 0; i < 1000; ++i)
+    batch.push_back({"SET", "k" + std::to_string(i), std::to_string(i)});
+  const auto replies = client_->pipeline(batch);
+  ASSERT_EQ(replies.size(), 1000u);
+  EXPECT_EQ(client_->size(), 1000u);
+  EXPECT_EQ(client_->get_string("k999"), "999");
+}
+
+TEST_F(RedisTest, EmptyPipelineIsNoop) {
+  EXPECT_TRUE(client_->pipeline({}).empty());
+}
+
+TEST_F(RedisTest, MultipleConcurrentClients) {
+  constexpr int kClients = 6;
+  constexpr int kOps = 40;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      RedisClient client(server_->socket_path());
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key =
+            "c" + std::to_string(c) + "_" + std::to_string(i);
+        client.put_string(key, std::to_string(i));
+        EXPECT_EQ(client.get_string(key), std::to_string(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(client_->size(), static_cast<std::size_t>(kClients * kOps));
+  EXPECT_GE(server_->commands_processed(),
+            static_cast<std::uint64_t>(kClients * kOps * 2));
+}
+
+TEST_F(RedisTest, ShutdownCommandStopsServer) {
+  client_->shutdown_server();
+  // Give the server a moment to finish teardown, then new connections fail.
+  for (int i = 0; i < 100 && server_->running(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(server_->running());
+}
+
+TEST(RedisCluster, RoutesByCrc32) {
+  util::TempDir dir("cluster");
+  RedisServer s0((dir.path() / "0.sock").string());
+  RedisServer s1((dir.path() / "1.sock").string());
+  RedisClusterClient cluster({s0.socket_path(), s1.socket_path()});
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    cluster.put_string(key, std::to_string(i));
+    EXPECT_EQ(cluster.shard_of(key), util::crc32(key) % 2);
+  }
+  // Both servers should hold part of the keyspace.
+  EXPECT_GT(s0.store().size(), 0u);
+  EXPECT_GT(s1.store().size(), 0u);
+  EXPECT_EQ(s0.store().size() + s1.store().size(), 50u);
+  EXPECT_EQ(cluster.size(), 50u);
+  cluster.clear();
+  EXPECT_EQ(cluster.size(), 0u);
+}
+
+// ===========================================================================
+// Dragon dictionary specifics
+// ===========================================================================
+
+TEST(Dragon, RoutesAcrossManagers) {
+  DragonDictionary dict(4);
+  for (int i = 0; i < 100; ++i)
+    dict.put_string("key" + std::to_string(i), "v");
+  const auto loads = dict.requests_per_manager();
+  ASSERT_EQ(loads.size(), 4u);
+  int active = 0;
+  for (auto n : loads) active += (n > 0);
+  EXPECT_GE(active, 3);  // hashing spreads requests
+}
+
+TEST(Dragon, ManagerOfMatchesCrc) {
+  DragonDictionary dict(5);
+  EXPECT_EQ(dict.manager_of("abc"),
+            static_cast<int>(util::crc32("abc") % 5));
+}
+
+TEST(Dragon, ConcurrentClients) {
+  DragonDictionary dict(4, /*channel_depth=*/8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 100; ++i) {
+        const std::string key =
+            "t" + std::to_string(t) + "_" + std::to_string(i);
+        dict.put_string(key, std::to_string(i));
+        EXPECT_EQ(dict.get_string(key), std::to_string(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(dict.size(), 800u);
+}
+
+TEST(Dragon, StoppedDictionaryRejectsOps) {
+  DragonDictionary dict(2);
+  dict.put_string("k", "v");
+  dict.stop();
+  EXPECT_THROW(dict.put_string("k2", "v"), StoreError);
+}
+
+TEST(Dragon, InvalidManagerCountThrows) {
+  EXPECT_THROW(DragonDictionary(0), StoreError);
+}
+
+// ===========================================================================
+// DAOS-style object store specifics
+// ===========================================================================
+
+TEST(Daos, StripesSpreadAcrossTargets) {
+  DaosStore store(4, /*stripe_bytes=*/1024);
+  Bytes value(10 * 1024);  // 10 stripes over 4 targets
+  for (std::size_t i = 0; i < value.size(); ++i)
+    value[i] = static_cast<std::byte>(i & 0xFF);
+  store.put("obj", ByteView(value));
+  EXPECT_EQ(store.stripe_count(value.size()), 10u);
+  Bytes out;
+  ASSERT_TRUE(store.get("obj", out));
+  EXPECT_EQ(out, value);
+}
+
+TEST(Daos, StripeBoundaryExactMultiple) {
+  DaosStore store(3, 1024);
+  Bytes value(2 * 1024);
+  store.put("k", ByteView(value));
+  EXPECT_EQ(store.stripe_count(value.size()), 2u);
+  Bytes out;
+  ASSERT_TRUE(store.get("k", out));
+  EXPECT_EQ(out.size(), value.size());
+}
+
+TEST(Daos, HomeTargetIsCrcBased) {
+  DaosStore store(5, 1024);
+  EXPECT_EQ(store.home_target("abc"),
+            static_cast<int>(util::crc32("abc") % 5));
+}
+
+TEST(Daos, EraseRemovesAllStripes) {
+  DaosStore store(2, 512);
+  store.put("big", Bytes(4096));
+  EXPECT_EQ(store.erase("big"), 1u);
+  EXPECT_FALSE(store.exists("big"));
+  EXPECT_EQ(store.size(), 0u);
+  // Internals drained: overwrite then shrink must not leave orphans.
+  store.put("k", Bytes(4096));
+  store.put("k", Bytes(100));
+  Bytes out;
+  ASSERT_TRUE(store.get("k", out));
+  EXPECT_EQ(out.size(), 100u);
+}
+
+TEST(Daos, InvalidConstruction) {
+  EXPECT_THROW(DaosStore(0, 1024), StoreError);
+  EXPECT_THROW(DaosStore(4, 0), StoreError);
+}
+
+TEST(Daos, ZeroByteObject) {
+  DaosStore store(2, 1024);
+  store.put("empty", {});
+  Bytes out{std::byte{9}};
+  ASSERT_TRUE(store.get("empty", out));
+  EXPECT_TRUE(out.empty());
+}
+
+// ===========================================================================
+// ServerManager lifecycle (§3.2)
+// ===========================================================================
+
+TEST(ServerManager, RequiresBackend) {
+  EXPECT_THROW(ServerManager("s", util::Json::object()), Error);
+  util::Json bad;
+  bad["backend"] = "warp-drive";
+  EXPECT_THROW(ServerManager("s", bad), ConfigError);
+}
+
+TEST(ServerManager, InfoBeforeStartThrows) {
+  util::Json cfg;
+  cfg["backend"] = "node-local";
+  ServerManager mgr("s", cfg);
+  EXPECT_THROW(mgr.get_server_info(), StoreError);
+}
+
+TEST(ServerManager, NodeLocalGivesPerNodeStores) {
+  util::Json cfg;
+  cfg["backend"] = "node-local";
+  cfg["nodes"] = 3;
+  ServerManager mgr("stage", cfg);
+  mgr.start_server();
+  const util::Json info = mgr.get_server_info();
+  StorePtr node0 = ServerManager::connect(info, 0);
+  StorePtr node1 = ServerManager::connect(info, 1);
+  node0->put_string("k", "node0-data");
+  EXPECT_FALSE(node1->exists("k"));  // node-locality
+  StorePtr node0_again = ServerManager::connect(info, 0);
+  EXPECT_EQ(node0_again->get_string("k"), "node0-data");
+  EXPECT_THROW(ServerManager::connect(info, 7), StoreError);
+  mgr.stop_server();
+  EXPECT_THROW(ServerManager::connect(info, 0), StoreError);  // unregistered
+}
+
+TEST(ServerManager, FilesystemSharedAcrossClients) {
+  util::TempDir dir("srvmgr");
+  util::Json cfg;
+  cfg["backend"] = "filesystem";
+  cfg["nodes"] = 4;
+  cfg["base_dir"] = dir.path().string();
+  ServerManager mgr("fs", cfg);
+  mgr.start_server();
+  const util::Json info = mgr.get_server_info();
+  StorePtr a = ServerManager::connect(info, 0);
+  StorePtr b = ServerManager::connect(info, 3);
+  a->put_string("shared", "yes");
+  EXPECT_EQ(b->get_string("shared"), "yes");  // one shared staging tree
+  mgr.stop_server();
+}
+
+TEST(ServerManager, RedisInstancesServeClients) {
+  util::Json cfg;
+  cfg["backend"] = "redis";
+  cfg["instances"] = 2;
+  ServerManager mgr("r", cfg);
+  mgr.start_server();
+  const util::Json info = mgr.get_server_info();
+  EXPECT_EQ(info.at("sockets").size(), 2u);
+  StorePtr cluster = ServerManager::connect(info);
+  cluster->put_string("k", "v");
+  EXPECT_EQ(cluster->get_string("k"), "v");
+  cluster.reset();
+  mgr.stop_server();
+}
+
+TEST(ServerManager, DragonBackend) {
+  util::Json cfg;
+  cfg["backend"] = "dragon";
+  cfg["managers"] = 2;
+  ServerManager mgr("d", cfg);
+  mgr.start_server();
+  StorePtr store = ServerManager::connect(mgr.get_server_info());
+  store->put_string("k", "v");
+  EXPECT_EQ(store->get_string("k"), "v");
+  mgr.stop_server();
+}
+
+TEST(ServerManager, DaosBackend) {
+  util::Json cfg;
+  cfg["backend"] = "daos";
+  cfg["targets"] = 4;
+  cfg["stripe_kb"] = 64;
+  ServerManager mgr("d", cfg);
+  mgr.start_server();
+  StorePtr store = ServerManager::connect(mgr.get_server_info());
+  store->put("striped", Bytes(300 * 1024));  // 300 KiB over 64 KiB stripes
+  Bytes out;
+  ASSERT_TRUE(store->get("striped", out));
+  EXPECT_EQ(out.size(), 300u * 1024);
+  mgr.stop_server();
+}
+
+TEST(ServerManager, NodeLocalDirBackend) {
+  util::Json cfg;
+  cfg["backend"] = "node-local-dir";
+  cfg["nodes"] = 2;
+  ServerManager mgr("t", cfg);
+  mgr.start_server();
+  const util::Json info = mgr.get_server_info();
+  StorePtr n0 = ServerManager::connect(info, 0);
+  StorePtr n1 = ServerManager::connect(info, 1);
+  n0->put_string("x", "0");
+  EXPECT_FALSE(n1->exists("x"));
+  mgr.stop_server();
+}
+
+TEST(ServerManager, StartStopIdempotent) {
+  util::Json cfg;
+  cfg["backend"] = "node-local";
+  ServerManager mgr("s", cfg);
+  mgr.start_server();
+  mgr.start_server();  // no-op
+  mgr.stop_server();
+  mgr.stop_server();  // no-op
+}
+
+}  // namespace
+}  // namespace simai::kv

@@ -1,0 +1,441 @@
+// Unit tests for the platform models: topology/placement, memory/cache,
+// interconnect incast, Lustre contention, and the composed TransportModel —
+// including the qualitative invariants behind each figure of the paper.
+#include <gtest/gtest.h>
+
+#include "platform/models.hpp"
+#include "platform/topology.hpp"
+#include "platform/transport_model.hpp"
+
+namespace simai::platform {
+namespace {
+
+// --------------------------------------------------------------------------
+// Topology
+// --------------------------------------------------------------------------
+
+TEST(Topology, AuroraPreset) {
+  const MachineSpec m = MachineSpec::aurora(512);
+  EXPECT_EQ(m.nodes, 512);
+  EXPECT_EQ(m.node.cpus, 2);
+  EXPECT_EQ(m.node.gpus, 6);
+  EXPECT_EQ(m.node.tiles(), 12);
+  EXPECT_EQ(m.node.l3_bytes_per_cpu, 105 * MiB);
+}
+
+TEST(Topology, JsonRoundTrip) {
+  const MachineSpec m = MachineSpec::aurora(64);
+  const MachineSpec copy = MachineSpec::from_json(m.to_json());
+  EXPECT_EQ(copy.nodes, 64);
+  EXPECT_EQ(copy.node.tiles(), m.node.tiles());
+  EXPECT_EQ(copy.node.l3_bytes_per_cpu, m.node.l3_bytes_per_cpu);
+}
+
+TEST(Topology, FromJsonValidates) {
+  util::Json j;
+  j["nodes"] = 0;
+  EXPECT_THROW(MachineSpec::from_json(j), ConfigError);
+}
+
+TEST(Topology, BlockPlacement) {
+  // 24 ranks over 2 nodes x 12 slots.
+  const Placement r0 = place_rank(0, 24, 2, 12);
+  const Placement r11 = place_rank(11, 24, 2, 12);
+  const Placement r12 = place_rank(12, 24, 2, 12);
+  EXPECT_EQ(r0.node, 0);
+  EXPECT_EQ(r0.tile, 0);
+  EXPECT_EQ(r11.node, 0);
+  EXPECT_EQ(r11.tile, 11);
+  EXPECT_EQ(r12.node, 1);
+  EXPECT_EQ(r12.tile, 0);
+  EXPECT_TRUE(r0.same_node(r11));
+  EXPECT_FALSE(r0.same_node(r12));
+}
+
+TEST(Topology, TileOffsetForCoLocatedSplit) {
+  // Pattern 1: AI ranks occupy tiles 6..11 next to sim ranks on 0..5.
+  const Placement ai = place_rank(2, 12, 2, 6, /*tile_offset=*/6);
+  EXPECT_EQ(ai.node, 0);
+  EXPECT_EQ(ai.tile, 8);
+}
+
+TEST(Topology, PlacementErrors) {
+  EXPECT_THROW(place_rank(-1, 4, 1, 4), ConfigError);
+  EXPECT_THROW(place_rank(4, 4, 1, 4), ConfigError);
+  EXPECT_THROW(place_rank(0, 25, 2, 12), ConfigError);  // does not fit
+  EXPECT_THROW(place_rank(0, 1, 1, 0), ConfigError);
+}
+
+TEST(Topology, L3ShareMatchesPaperArithmetic) {
+  // §4.1.2: 105 MB per CPU, 12 processes/node -> ~8 MB per process.
+  const NodeSpec node;
+  const std::uint64_t share = l3_share_bytes(node, 12);
+  EXPECT_EQ(share, 2 * 105 * MiB / 12);
+  EXPECT_NEAR(static_cast<double>(share) / MiB, 17.5, 0.1);
+  EXPECT_THROW(l3_share_bytes(node, 0), ConfigError);
+}
+
+// --------------------------------------------------------------------------
+// MemoryModel
+// --------------------------------------------------------------------------
+
+TEST(MemoryModel, CachedBandwidthBelowShare) {
+  MemoryModel m;
+  m.l3_share_bytes = 8 * MiB;
+  EXPECT_DOUBLE_EQ(m.bandwidth(1 * MiB), m.bw_cached);
+  EXPECT_DOUBLE_EQ(m.bandwidth(4 * MiB), m.bw_cached);  // 2x4=8 footprint
+}
+
+TEST(MemoryModel, SpilledBandwidthDegrades) {
+  MemoryModel m;
+  m.l3_share_bytes = 8 * MiB;
+  const double at8 = m.bandwidth(8 * MiB);
+  const double at32 = m.bandwidth(32 * MiB);
+  EXPECT_LT(at8, m.bw_cached);
+  EXPECT_LT(at32, at8);
+  EXPECT_GT(at32, m.bw_spilled * 0.99);  // never below the floor
+}
+
+TEST(MemoryModel, ThroughputIsNonMonotonicInSize) {
+  // The Fig 3 in-memory signature: throughput rises (overhead amortizes),
+  // then dips once the footprint spills L3.
+  MemoryModel m;
+  m.l3_share_bytes = 8 * MiB;
+  auto tput = [&](std::uint64_t b) {
+    return static_cast<double>(b) / m.transfer_time(b);
+  };
+  const double small = tput(400 * KiB);
+  const double mid = tput(4 * MiB);
+  const double large = tput(32 * MiB);
+  EXPECT_GT(mid, small);
+  EXPECT_LT(large, mid);
+}
+
+TEST(MemoryModel, TransferTimeMonotonicInSize) {
+  MemoryModel m;
+  double prev = 0.0;
+  for (std::uint64_t b = 64 * KiB; b <= 64 * MiB; b *= 2) {
+    const double t = m.transfer_time(b);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(MemoryModel, JsonOverrides) {
+  util::Json j;
+  j["bw_cached"] = 5e9;
+  j["l3_share_bytes"] = 1024;
+  const MemoryModel m = MemoryModel::from_json(j);
+  EXPECT_DOUBLE_EQ(m.bw_cached, 5e9);
+  EXPECT_EQ(m.l3_share_bytes, 1024u);
+  EXPECT_DOUBLE_EQ(m.bw_spilled, MemoryModel{}.bw_spilled);  // default kept
+}
+
+// --------------------------------------------------------------------------
+// InterconnectModel
+// --------------------------------------------------------------------------
+
+TEST(Interconnect, IncastGrowsWithFanin) {
+  InterconnectModel net;
+  EXPECT_DOUBLE_EQ(net.incast_factor(1), 1.0);
+  EXPECT_GT(net.incast_factor(16), net.incast_factor(2));
+  EXPECT_GT(net.incast_factor(128), net.incast_factor(16));
+}
+
+TEST(Interconnect, BandwidthSharingHasFloor) {
+  InterconnectModel net;
+  EXPECT_DOUBLE_EQ(net.shared_bandwidth(1), net.bandwidth);
+  EXPECT_DOUBLE_EQ(net.shared_bandwidth(2), net.bandwidth / 2);
+  EXPECT_GE(net.shared_bandwidth(10000), net.bandwidth * net.bw_share_floor);
+}
+
+TEST(Interconnect, TransferTimeScalesWithSizeAndFanin) {
+  InterconnectModel net;
+  EXPECT_LT(net.transfer_time(1 * MiB), net.transfer_time(8 * MiB));
+  EXPECT_LT(net.transfer_time(1 * MiB, 1), net.transfer_time(1 * MiB, 32));
+}
+
+// --------------------------------------------------------------------------
+// LustreModel
+// --------------------------------------------------------------------------
+
+TEST(Lustre, ContentionNearOneAtSmallScale) {
+  LustreModel fs;
+  // 8 nodes x 12 procs = 96 clients: the MDS keeps up.
+  EXPECT_LT(fs.contention(96), 1.2);
+}
+
+TEST(Lustre, ContentionExplodesAtLargeScale) {
+  LustreModel fs;
+  // 512 nodes x 12 procs = 6144 clients: Fig 3b's collapse.
+  const double c512 = fs.contention(6144);
+  EXPECT_GT(c512, 8.0);
+  EXPECT_GT(c512, 5.0 * fs.contention(96));
+}
+
+TEST(Lustre, ClientBandwidthCappedByStripeAndAggregate) {
+  LustreModel fs;
+  EXPECT_DOUBLE_EQ(fs.client_bandwidth(1), fs.ost_bandwidth);  // stripe 1
+  // Thousands of clients share the aggregate.
+  EXPECT_LT(fs.client_bandwidth(6144), fs.ost_bandwidth / 2);
+  LustreModel striped = fs;
+  striped.stripe_count = 8;
+  EXPECT_DOUBLE_EQ(striped.client_bandwidth(1), 8 * fs.ost_bandwidth);
+}
+
+TEST(Lustre, IoTimeDecomposes) {
+  LustreModel fs;
+  const double meta_only = fs.io_time(0, 2, 96);
+  const double with_data = fs.io_time(32 * MiB, 2, 96);
+  EXPECT_NEAR(meta_only, 2 * fs.meta_time(96), 1e-12);
+  EXPECT_GT(with_data, meta_only);
+}
+
+// --------------------------------------------------------------------------
+// TransportModel — backend composition invariants
+// --------------------------------------------------------------------------
+
+class TransportModelTest : public ::testing::Test {
+ protected:
+  TransportModel model;
+  TransportContext local8() const {
+    TransportContext c;
+    c.concurrent_clients = 96;
+    return c;
+  }
+  TransportContext local512() const {
+    TransportContext c;
+    c.concurrent_clients = 6144;
+    return c;
+  }
+};
+
+TEST_F(TransportModelTest, ParseBackendNames) {
+  EXPECT_EQ(parse_backend("node-local"), BackendKind::NodeLocal);
+  EXPECT_EQ(parse_backend("tmpfs"), BackendKind::NodeLocal);
+  EXPECT_EQ(parse_backend("DragonHPC"), BackendKind::Dragon);
+  EXPECT_EQ(parse_backend("redis"), BackendKind::Redis);
+  EXPECT_EQ(parse_backend("lustre"), BackendKind::Filesystem);
+  EXPECT_EQ(parse_backend("filesystem"), BackendKind::Filesystem);
+  EXPECT_THROW(parse_backend("carrier-pigeon"), ConfigError);
+  EXPECT_EQ(backend_name(BackendKind::Dragon), "dragon");
+}
+
+TEST_F(TransportModelTest, AllCostsPositive) {
+  for (BackendKind b : {BackendKind::NodeLocal, BackendKind::Dragon,
+                        BackendKind::Redis, BackendKind::Filesystem}) {
+    for (StoreOp op : {StoreOp::Write, StoreOp::Read, StoreOp::Poll,
+                       StoreOp::Clean}) {
+      EXPECT_GT(model.cost(b, op, 1 * MiB, local8()), 0.0)
+          << backend_name(b) << "/" << store_op_name(op);
+    }
+  }
+}
+
+TEST_F(TransportModelTest, NodeLocalIndependentOfNodeCount) {
+  // Fig 3a vs 3b: in-memory backends unchanged from 8 to 512 nodes.
+  for (std::uint64_t b = 400 * KiB; b <= 32 * MiB; b *= 2) {
+    EXPECT_DOUBLE_EQ(
+        model.cost(BackendKind::NodeLocal, StoreOp::Write, b, local8()),
+        model.cost(BackendKind::NodeLocal, StoreOp::Write, b, local512()));
+  }
+}
+
+TEST_F(TransportModelTest, FilesystemCollapsesAtScale) {
+  // Fig 3b: ~an order of magnitude throughput loss at 512 nodes.
+  const std::uint64_t b = 1258291;  // the production 1.2 MB payload
+  const double tput8 =
+      model.throughput(BackendKind::Filesystem, StoreOp::Write, b, local8());
+  const double tput512 = model.throughput(BackendKind::Filesystem,
+                                          StoreOp::Write, b, local512());
+  EXPECT_GT(tput8 / tput512, 5.0);
+  EXPECT_LT(tput8 / tput512, 100.0);
+}
+
+TEST_F(TransportModelTest, FilesystemThroughputMonotonicInSize) {
+  // Fig 3a: the file system curve rises monotonically with message size.
+  double prev = 0.0;
+  for (std::uint64_t b = 400 * KiB; b <= 32 * MiB; b *= 2) {
+    const double t =
+        model.throughput(BackendKind::Filesystem, StoreOp::Read, b, local8());
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST_F(TransportModelTest, InMemoryBackendsNonMonotonicInSize) {
+  // Fig 3a: node-local/dragon/redis rise then dip at the largest sizes.
+  for (BackendKind b :
+       {BackendKind::NodeLocal, BackendKind::Dragon, BackendKind::Redis}) {
+    const double small =
+        model.throughput(b, StoreOp::Write, 400 * KiB, local8());
+    const double mid = model.throughput(b, StoreOp::Write, 4 * MiB, local8());
+    const double large =
+        model.throughput(b, StoreOp::Write, 32 * MiB, local8());
+    EXPECT_GT(mid, small) << backend_name(b);
+    EXPECT_LT(large, mid) << backend_name(b);
+  }
+}
+
+TEST_F(TransportModelTest, BackendOrderingAtModerateSize) {
+  // Fig 3: node-local >= dragon > redis for local exchanges.
+  const std::uint64_t b = 4 * MiB;
+  const double nl =
+      model.throughput(BackendKind::NodeLocal, StoreOp::Write, b, local8());
+  const double dr =
+      model.throughput(BackendKind::Dragon, StoreOp::Write, b, local8());
+  const double rd =
+      model.throughput(BackendKind::Redis, StoreOp::Write, b, local8());
+  EXPECT_GE(nl, dr * 0.9);
+  EXPECT_GT(dr, rd);
+}
+
+TEST_F(TransportModelTest, NodeLocal32MbCostsAboutOneSimIteration) {
+  // Fig 4 anchor: a 32 MB node-local transfer ~ one 0.0315 s iteration.
+  const double t =
+      model.cost(BackendKind::NodeLocal, StoreOp::Write, 32 * MiB, local8());
+  EXPECT_GT(t, 0.01);
+  EXPECT_LT(t, 0.06);
+}
+
+TEST_F(TransportModelTest, Filesystem32MbAtScaleCostsManyIterations) {
+  // Fig 4 anchor: at 512 nodes a 32 MB filesystem transfer ~ 10 iterations.
+  const double t = model.cost(BackendKind::Filesystem, StoreOp::Write,
+                              32 * MiB, local512());
+  EXPECT_GT(t, 0.15);
+  EXPECT_LT(t, 1.5);
+}
+
+TEST_F(TransportModelTest, RedisRemoteReadIsPoor) {
+  // Fig 5a: redis non-local read far below dragon.
+  TransportContext remote;
+  remote.remote = true;
+  remote.concurrent_clients = 24;
+  const std::uint64_t b = 4 * MiB;
+  const double redis =
+      model.throughput(BackendKind::Redis, StoreOp::Read, b, remote);
+  const double dragon =
+      model.throughput(BackendKind::Dragon, StoreOp::Read, b, remote);
+  EXPECT_GT(dragon / redis, 3.0);
+}
+
+TEST_F(TransportModelTest, DragonRemotePeaksNearTenMegabytes) {
+  // Fig 5a: dragon non-local read throughput peaks around ~10 MB.
+  TransportContext remote;
+  remote.remote = true;
+  auto tput = [&](std::uint64_t b) {
+    return model.throughput(BackendKind::Dragon, StoreOp::Read, b, remote);
+  };
+  EXPECT_GT(tput(8 * MiB), tput(1 * MiB));
+  EXPECT_GT(tput(8 * MiB), tput(32 * MiB));
+}
+
+TEST_F(TransportModelTest, DragonManyToOnePenaltyDominatesSmallMessages) {
+  // Fig 6b mechanism: with 127 producers, dragon's per-message penalty
+  // makes small-message reads slower than the filesystem's.
+  TransportContext m21;
+  m21.remote = true;
+  m21.fanin = 127;
+  m21.concurrent_streams = 12;
+  m21.concurrent_clients = 127 * 12 + 12;
+  const double dragon =
+      model.cost(BackendKind::Dragon, StoreOp::Read, 1 * MiB, m21);
+  const double fs =
+      model.cost(BackendKind::Filesystem, StoreOp::Read, 1 * MiB, m21);
+  EXPECT_GT(dragon, 1.5 * fs);
+  // ...but at large sizes they converge (both bandwidth-bound).
+  const double dragon_big =
+      model.cost(BackendKind::Dragon, StoreOp::Read, 32 * MiB, m21);
+  const double fs_big =
+      model.cost(BackendKind::Filesystem, StoreOp::Read, 32 * MiB, m21);
+  EXPECT_LT(dragon_big / fs_big, 3.0);
+  EXPECT_GT(dragon_big / fs_big, 0.33);
+}
+
+TEST_F(TransportModelTest, WriteIncludesDoubleMetadataOp) {
+  // The real store writes tmp + rename: write costs ~2x the read's
+  // metadata share on the filesystem.
+  const double w =
+      model.cost(BackendKind::Filesystem, StoreOp::Write, 0, local8());
+  const double r =
+      model.cost(BackendKind::Filesystem, StoreOp::Read, 0, local8());
+  EXPECT_NEAR(w / r, 2.0, 0.01);
+}
+
+TEST_F(TransportModelTest, JsonOverridesNestedModels) {
+  util::Json j;
+  j["lustre"]["meta_latency_s"] = 0.005;
+  j["dragon"]["m21_overhead_s"] = 1e-3;
+  j["redis"]["remote_read_factor"] = 0.5;
+  const TransportModel m = TransportModel::from_json(j);
+  EXPECT_DOUBLE_EQ(m.lustre.meta_latency_s, 0.005);
+  EXPECT_DOUBLE_EQ(m.dragon.m21_overhead_s, 1e-3);
+  EXPECT_DOUBLE_EQ(m.redis.remote_read_factor, 0.5);
+  // Untouched parameters keep defaults.
+  EXPECT_DOUBLE_EQ(m.lustre.ost_bandwidth, TransportModel{}.lustre.ost_bandwidth);
+}
+
+TEST_F(TransportModelTest, StreamBackendParsesAndPrices) {
+  EXPECT_EQ(parse_backend("adios2"), BackendKind::Stream);
+  EXPECT_EQ(parse_backend("sst"), BackendKind::Stream);
+  EXPECT_EQ(backend_name(BackendKind::Stream), "stream");
+  for (StoreOp op : {StoreOp::Write, StoreOp::Read, StoreOp::Poll}) {
+    EXPECT_GT(model.cost(BackendKind::Stream, op, 1 * MiB, local8()), 0.0);
+  }
+}
+
+TEST_F(TransportModelTest, StreamBeatsStagingOnSmallMessageLatency) {
+  // The mechanism: no per-key metadata machinery, pipelined steps.
+  TransportContext remote;
+  remote.remote = true;
+  const std::uint64_t small = 64 * KiB;
+  const double stream =
+      model.cost(BackendKind::Stream, StoreOp::Write, small, remote);
+  EXPECT_LT(stream,
+            model.cost(BackendKind::Redis, StoreOp::Write, small, remote));
+  EXPECT_LT(stream, model.cost(BackendKind::Filesystem, StoreOp::Write,
+                               small, remote));
+}
+
+TEST_F(TransportModelTest, DaosScalesFarBetterThanLustre) {
+  // Distributed metadata: no central-MDS collapse at 512 nodes.
+  EXPECT_EQ(parse_backend("daos"), BackendKind::Daos);
+  const std::uint64_t b = 1258291;
+  const double daos_ratio =
+      model.throughput(BackendKind::Daos, StoreOp::Write, b, local8()) /
+      model.throughput(BackendKind::Daos, StoreOp::Write, b, local512());
+  const double lustre_ratio =
+      model.throughput(BackendKind::Filesystem, StoreOp::Write, b, local8()) /
+      model.throughput(BackendKind::Filesystem, StoreOp::Write, b,
+                       local512());
+  EXPECT_LT(daos_ratio, 2.0);       // mild degradation
+  EXPECT_GT(lustre_ratio, 5.0);     // the Fig 3b collapse
+  EXPECT_GT(lustre_ratio, 3.0 * daos_ratio);
+}
+
+TEST_F(TransportModelTest, DaosWriteCostsExtraCommitRoundTrip) {
+  const double w = model.cost(BackendKind::Daos, StoreOp::Write, 0, local8());
+  const double r = model.cost(BackendKind::Daos, StoreOp::Read, 0, local8());
+  EXPECT_GT(w, r);
+}
+
+TEST_F(TransportModelTest, NewBackendsJsonOverrides) {
+  util::Json j;
+  j["stream"]["bandwidth"] = 1e9;
+  j["daos"]["target_count"] = 64;
+  const TransportModel m = TransportModel::from_json(j);
+  EXPECT_DOUBLE_EQ(m.stream.bandwidth, 1e9);
+  EXPECT_EQ(m.daos.target_count, 64);
+}
+
+TEST_F(TransportModelTest, ThroughputIsBytesOverCost) {
+  const std::uint64_t b = 2 * MiB;
+  const double cost =
+      model.cost(BackendKind::Redis, StoreOp::Write, b, local8());
+  EXPECT_DOUBLE_EQ(
+      model.throughput(BackendKind::Redis, StoreOp::Write, b, local8()),
+      static_cast<double>(b) / cost);
+}
+
+}  // namespace
+}  // namespace simai::platform

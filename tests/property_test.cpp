@@ -1,0 +1,406 @@
+// Property-based and model-based tests across the library:
+//   * store contract vs a reference model under random operation sequences
+//     (every backend must behave exactly like an in-memory map);
+//   * DES determinism: random process workloads replay identical traces;
+//     chunked run_until == single run;
+//   * RESP decoder: random values serialized and re-parsed through random
+//     fragmentation (split points must never change the result);
+//   * JSON: randomly generated documents round-trip through dump/parse;
+//   * transport model: monotonicity/ordering invariants swept over the full
+//     (backend, op, size, concurrency) grid.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "kv/daos_store.hpp"
+#include "kv/dir_store.hpp"
+#include "kv/dragon.hpp"
+#include "kv/memory_store.hpp"
+#include "kv/resp.hpp"
+#include "platform/transport_model.hpp"
+#include "sim/engine.hpp"
+#include "util/fsutil.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace simai {
+namespace {
+
+// ===========================================================================
+// Model-based store testing
+// ===========================================================================
+
+struct StoreMaker {
+  std::string name;
+  std::function<kv::StorePtr(util::TempDir&)> make;
+};
+
+class StoreModelTest : public ::testing::TestWithParam<StoreMaker> {};
+
+TEST_P(StoreModelTest, RandomOpSequenceMatchesReferenceModel) {
+  util::TempDir dir("prop");
+  kv::StorePtr store = GetParam().make(dir);
+  std::map<std::string, Bytes> model;
+  util::Xoshiro256 rng(0xFEED);
+
+  auto random_key = [&] {
+    return "key" + std::to_string(rng.uniform_int(24));
+  };
+  auto random_value = [&] {
+    Bytes v(rng.uniform_int(2048));
+    for (auto& b : v) b = static_cast<std::byte>(rng.uniform_int(256));
+    return v;
+  };
+
+  for (int op = 0; op < 600; ++op) {
+    switch (rng.uniform_int(6)) {
+      case 0:
+      case 1: {  // put (weighted)
+        const std::string k = random_key();
+        const Bytes v = random_value();
+        store->put(k, ByteView(v));
+        model[k] = v;
+        break;
+      }
+      case 2: {  // get
+        const std::string k = random_key();
+        Bytes got;
+        const bool found = store->get(k, got);
+        const auto it = model.find(k);
+        ASSERT_EQ(found, it != model.end()) << "op " << op << " key " << k;
+        if (found) {
+          ASSERT_EQ(got, it->second) << "op " << op;
+        }
+        break;
+      }
+      case 3: {  // exists
+        const std::string k = random_key();
+        ASSERT_EQ(store->exists(k), model.count(k) != 0) << "op " << op;
+        break;
+      }
+      case 4: {  // erase
+        const std::string k = random_key();
+        ASSERT_EQ(store->erase(k), model.erase(k)) << "op " << op;
+        break;
+      }
+      case 5: {  // size + keys
+        ASSERT_EQ(store->size(), model.size()) << "op " << op;
+        auto keys = store->keys("*");
+        std::sort(keys.begin(), keys.end());
+        std::vector<std::string> expect;
+        for (const auto& [k, v] : model) expect.push_back(k);
+        ASSERT_EQ(keys, expect) << "op " << op;
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, StoreModelTest,
+    ::testing::Values(
+        StoreMaker{"memory",
+                   [](util::TempDir&) {
+                     return std::make_shared<kv::MemoryStore>();
+                   }},
+        StoreMaker{"dir",
+                   [](util::TempDir& d) {
+                     return std::make_shared<kv::DirStore>(d.path() / "s", 4);
+                   }},
+        StoreMaker{"dragon",
+                   [](util::TempDir&) {
+                     return std::make_shared<kv::DragonDictionary>(3);
+                   }},
+        StoreMaker{"daos",
+                   [](util::TempDir&) {
+                     return std::make_shared<kv::DaosStore>(3, 512);
+                   }}),
+    [](const ::testing::TestParamInfo<StoreMaker>& info) {
+      return info.param.name;
+    });
+
+// ===========================================================================
+// DES determinism properties
+// ===========================================================================
+
+namespace {
+/// A randomized workload: P processes, each performing a random mix of
+/// delays and event waits/notifies; returns the observed execution trace.
+std::vector<std::string> run_random_workload(std::uint64_t seed) {
+  sim::Engine engine;
+  sim::Event gate(engine);
+  std::vector<std::string> trace;
+  util::Xoshiro256 setup(seed);
+  const int procs = 8;
+  for (int p = 0; p < procs; ++p) {
+    const std::uint64_t proc_seed = setup.next();
+    engine.spawn("p" + std::to_string(p), [&, p, proc_seed](sim::Context& ctx) {
+      util::Xoshiro256 rng(proc_seed);
+      for (int step = 0; step < 30; ++step) {
+        const auto action = rng.uniform_int(10);
+        if (action < 7) {
+          ctx.delay(rng.uniform(0.001, 0.1));
+        } else if (action < 9) {
+          gate.notify_all();
+          ctx.yield();
+        } else if (gate.waiter_count() < 3) {
+          // Bounded waits so the workload can't deadlock: wait with
+          // timeout.
+          ctx.wait_for(gate, 0.05);
+        }
+        trace.push_back(std::to_string(p) + "@" +
+                        std::to_string(ctx.now()));
+      }
+    });
+  }
+  engine.run();
+  return trace;
+}
+}  // namespace
+
+TEST(DesProperty, RandomWorkloadsReplayIdentically) {
+  for (std::uint64_t seed : {1ull, 42ull, 1234ull}) {
+    EXPECT_EQ(run_random_workload(seed), run_random_workload(seed))
+        << "seed " << seed;
+  }
+}
+
+TEST(DesProperty, ChunkedRunUntilEqualsSingleRun) {
+  auto build = [](sim::Engine& engine, std::vector<double>& times) {
+    for (int p = 0; p < 5; ++p) {
+      engine.spawn("p" + std::to_string(p), [&times, p](sim::Context& ctx) {
+        for (int i = 0; i < 20; ++i) {
+          ctx.delay(0.013 * (p + 1));
+          times.push_back(ctx.now());
+        }
+      });
+    }
+  };
+  std::vector<double> at_once, chunked;
+  {
+    sim::Engine engine;
+    build(engine, at_once);
+    engine.run();
+  }
+  {
+    sim::Engine engine;
+    build(engine, chunked);
+    for (double t = 0.1; t < 3.0; t += 0.1) engine.run_until(t);
+    engine.run();
+  }
+  EXPECT_EQ(at_once, chunked);
+}
+
+// ===========================================================================
+// RESP fragmentation fuzz
+// ===========================================================================
+
+namespace {
+kv::resp::Value random_resp_value(util::Xoshiro256& rng, int depth) {
+  using kv::resp::Value;
+  switch (rng.uniform_int(depth > 1 ? 5 : 6)) {
+    case 0: return Value::simple("s" + std::to_string(rng.uniform_int(100)));
+    case 1: return Value::error("ERR e" + std::to_string(rng.uniform_int(9)));
+    case 2:
+      return Value::integer_of(static_cast<std::int64_t>(rng.uniform_int(1 << 20)) -
+                               (1 << 19));
+    case 3: {
+      Bytes b(rng.uniform_int(64));
+      for (auto& x : b) x = static_cast<std::byte>(rng.uniform_int(256));
+      return Value::bulk_of(ByteView(b));
+    }
+    case 4: return Value::nil();
+    default: {
+      std::vector<Value> items;
+      const auto n = rng.uniform_int(4);
+      for (std::uint64_t i = 0; i < n; ++i)
+        items.push_back(random_resp_value(rng, depth + 1));
+      return Value::array_of(std::move(items));
+    }
+  }
+}
+
+bool resp_equal(const kv::resp::Value& a, const kv::resp::Value& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case kv::resp::Kind::Simple:
+    case kv::resp::Kind::Error: return a.text == b.text;
+    case kv::resp::Kind::Integer: return a.integer == b.integer;
+    case kv::resp::Kind::Bulk: return a.bulk == b.bulk;
+    case kv::resp::Kind::Nil: return true;
+    case kv::resp::Kind::Array: {
+      if (a.array.size() != b.array.size()) return false;
+      for (std::size_t i = 0; i < a.array.size(); ++i)
+        if (!resp_equal(a.array[i], b.array[i])) return false;
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+TEST(RespProperty, RandomFragmentationNeverChangesDecodedValues) {
+  util::Xoshiro256 rng(777);
+  for (int round = 0; round < 50; ++round) {
+    // A pipeline of random values on one wire...
+    std::vector<kv::resp::Value> sent;
+    Bytes wire;
+    const auto count = 1 + rng.uniform_int(5);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      sent.push_back(random_resp_value(rng, 0));
+      const Bytes enc = kv::resp::encode(sent.back());
+      wire.insert(wire.end(), enc.begin(), enc.end());
+    }
+    // ...fed to the decoder in random-size fragments.
+    kv::resp::Decoder decoder;
+    std::vector<kv::resp::Value> got;
+    std::size_t pos = 0;
+    while (pos < wire.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng.uniform_int(7), wire.size() - pos);
+      decoder.feed(ByteView(wire.data() + pos, chunk));
+      pos += chunk;
+      while (auto v = decoder.next()) got.push_back(std::move(*v));
+    }
+    ASSERT_EQ(got.size(), sent.size()) << "round " << round;
+    for (std::size_t i = 0; i < sent.size(); ++i)
+      ASSERT_TRUE(resp_equal(sent[i], got[i]))
+          << "round " << round << " value " << i;
+  }
+}
+
+// ===========================================================================
+// JSON round-trip fuzz
+// ===========================================================================
+
+namespace {
+util::Json random_json(util::Xoshiro256& rng, int depth) {
+  const auto pick = rng.uniform_int(depth > 2 ? 5 : 7);
+  switch (pick) {
+    case 0: return util::Json(nullptr);
+    case 1: return util::Json(rng.uniform() < 0.5);
+    case 2:
+      return util::Json(static_cast<std::int64_t>(rng.next() >> 12) -
+                        static_cast<std::int64_t>(1ll << 50));
+    case 3: return util::Json(rng.uniform(-1e6, 1e6));
+    case 4: {
+      std::string s;
+      const auto len = rng.uniform_int(12);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        // Mix printable ASCII with escapes and non-ASCII.
+        static const char* pool[] = {"a", "Z", "0", " ", "\"", "\\", "\n",
+                                     "\t", "é", "中", "/", "%"};
+        s += pool[rng.uniform_int(12)];
+      }
+      return util::Json(s);
+    }
+    case 5: {
+      util::Json arr = util::Json::array();
+      const auto n = rng.uniform_int(5);
+      for (std::uint64_t i = 0; i < n; ++i)
+        arr.push_back(random_json(rng, depth + 1));
+      return arr;
+    }
+    default: {
+      util::Json obj = util::Json::object();
+      const auto n = rng.uniform_int(5);
+      for (std::uint64_t i = 0; i < n; ++i)
+        obj["k" + std::to_string(rng.uniform_int(20))] =
+            random_json(rng, depth + 1);
+      return obj;
+    }
+  }
+}
+}  // namespace
+
+TEST(JsonProperty, RandomDocumentsRoundTrip) {
+  util::Xoshiro256 rng(31415);
+  for (int round = 0; round < 200; ++round) {
+    const util::Json doc = random_json(rng, 0);
+    const util::Json compact = util::Json::parse(doc.dump());
+    ASSERT_EQ(compact, doc) << "round " << round << ": " << doc.dump();
+    const util::Json pretty = util::Json::parse(doc.dump(2));
+    ASSERT_EQ(pretty, doc) << "round " << round;
+  }
+}
+
+// ===========================================================================
+// Transport-model invariants over the full grid
+// ===========================================================================
+
+class TransportGridTest
+    : public ::testing::TestWithParam<platform::BackendKind> {
+ protected:
+  platform::TransportModel model;
+};
+
+TEST_P(TransportGridTest, CostMonotonicInBytes) {
+  for (const bool remote : {false, true}) {
+    platform::TransportContext ctx;
+    ctx.remote = remote;
+    ctx.concurrent_clients = 96;
+    for (auto op : {platform::StoreOp::Write, platform::StoreOp::Read}) {
+      double prev = -1;
+      for (std::uint64_t b = 64 * KiB; b <= 64 * MiB; b *= 4) {
+        const double t = model.cost(GetParam(), op, b, ctx);
+        EXPECT_GT(t, prev) << platform::backend_name(GetParam()) << " "
+                           << platform::store_op_name(op) << " " << b;
+        prev = t;
+      }
+    }
+  }
+}
+
+TEST_P(TransportGridTest, CostNonDecreasingInClients) {
+  for (int clients : {1, 96, 1536, 6144}) {
+    platform::TransportContext lo, hi;
+    lo.concurrent_clients = clients;
+    hi.concurrent_clients = clients * 2;
+    const double t_lo =
+        model.cost(GetParam(), platform::StoreOp::Write, 1 * MiB, lo);
+    const double t_hi =
+        model.cost(GetParam(), platform::StoreOp::Write, 1 * MiB, hi);
+    EXPECT_GE(t_hi, t_lo * 0.999)
+        << platform::backend_name(GetParam()) << " clients " << clients;
+  }
+}
+
+TEST_P(TransportGridTest, CostNonDecreasingInFanin) {
+  platform::TransportContext ctx;
+  ctx.remote = true;
+  ctx.concurrent_streams = 12;
+  double prev = -1;
+  for (int fanin : {1, 7, 31, 127}) {
+    ctx.fanin = fanin;
+    const double t =
+        model.cost(GetParam(), platform::StoreOp::Read, 1 * MiB, ctx);
+    EXPECT_GE(t, prev) << platform::backend_name(GetParam()) << " fanin "
+                       << fanin;
+    prev = t;
+  }
+}
+
+TEST_P(TransportGridTest, PollCheaperThanRead) {
+  platform::TransportContext ctx;
+  ctx.concurrent_clients = 96;
+  EXPECT_LT(model.cost(GetParam(), platform::StoreOp::Poll, 0, ctx),
+            model.cost(GetParam(), platform::StoreOp::Read, 1 * MiB, ctx));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, TransportGridTest,
+    ::testing::Values(platform::BackendKind::NodeLocal,
+                      platform::BackendKind::Dragon,
+                      platform::BackendKind::Redis,
+                      platform::BackendKind::Filesystem,
+                      platform::BackendKind::Stream,
+                      platform::BackendKind::Daos),
+    [](const ::testing::TestParamInfo<platform::BackendKind>& info) {
+      std::string name(platform::backend_name(info.param));
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace simai

@@ -1,0 +1,372 @@
+// Unit tests for the discrete-event engine: ordering, determinism, events,
+// channels, deadlock detection, trace recording.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace simai::sim {
+namespace {
+
+TEST(SimEngine, SingleProcessAdvancesTime) {
+  Engine engine;
+  std::vector<SimTime> times;
+  engine.spawn("p", [&](Context& ctx) {
+    times.push_back(ctx.now());
+    ctx.delay(1.5);
+    times.push_back(ctx.now());
+    ctx.delay(0.5);
+    times.push_back(ctx.now());
+  });
+  engine.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{0.0, 1.5, 2.0}));
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+}
+
+TEST(SimEngine, ProcessesInterleaveByTime) {
+  Engine engine;
+  std::vector<std::string> order;
+  engine.spawn("a", [&](Context& ctx) {
+    order.push_back("a0");
+    ctx.delay(2.0);
+    order.push_back("a2");
+  });
+  engine.spawn("b", [&](Context& ctx) {
+    order.push_back("b0");
+    ctx.delay(1.0);
+    order.push_back("b1");
+    ctx.delay(2.0);
+    order.push_back("b3");
+  });
+  engine.run();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"a0", "b0", "b1", "a2", "b3"}));
+}
+
+TEST(SimEngine, TieBrokenBySpawnOrder) {
+  Engine engine;
+  std::vector<std::string> order;
+  for (const char* name : {"first", "second", "third"}) {
+    engine.spawn(name, [&order, name](Context& ctx) {
+      ctx.delay(1.0);
+      order.push_back(name);
+    });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "second", "third"}));
+}
+
+TEST(SimEngine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine engine;
+    std::vector<std::string> order;
+    for (int i = 0; i < 20; ++i) {
+      engine.spawn("p" + std::to_string(i), [&order, i](Context& ctx) {
+        for (int k = 0; k < 5; ++k) {
+          ctx.delay(0.1 * ((i * 7 + k) % 5 + 1));
+          order.push_back(std::to_string(i) + ":" + std::to_string(k));
+        }
+      });
+    }
+    engine.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimEngine, YieldReschedulesAfterPeersAtSameTime) {
+  Engine engine;
+  std::vector<std::string> order;
+  engine.spawn("a", [&](Context& ctx) {
+    order.push_back("a-pre");
+    ctx.yield();
+    order.push_back("a-post");
+  });
+  engine.spawn("b", [&](Context&) { order.push_back("b"); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"a-pre", "b", "a-post"}));
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+}
+
+TEST(SimEngine, SpawnFromWithinProcess) {
+  Engine engine;
+  std::vector<std::string> order;
+  engine.spawn("parent", [&](Context& ctx) {
+    order.push_back("parent");
+    ctx.engine().spawn("child", [&](Context& cctx) {
+      order.push_back("child@" + std::to_string(cctx.now()));
+    });
+    ctx.delay(1.0);
+    order.push_back("parent-end");
+  });
+  engine.run();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"parent", "child@0.000000",
+                                      "parent-end"}));
+}
+
+TEST(SimEngine, EventWakesAllWaiters) {
+  Engine engine;
+  Event ev(engine);
+  std::vector<std::string> order;
+  for (const char* name : {"w1", "w2"}) {
+    engine.spawn(name, [&order, &ev, name](Context& ctx) {
+      ctx.wait(ev);
+      order.push_back(std::string(name) + "@" + std::to_string(ctx.now()));
+    });
+  }
+  engine.spawn("notifier", [&](Context& ctx) {
+    ctx.delay(3.0);
+    ev.notify_all();
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"w1@3.000000", "w2@3.000000"}));
+}
+
+TEST(SimEngine, NotifyOneWakesFifo) {
+  Engine engine;
+  Event ev(engine);
+  std::vector<std::string> order;
+  for (const char* name : {"w1", "w2"}) {
+    engine.spawn(name, [&order, &ev, name](Context& ctx) {
+      ctx.wait(ev);
+      order.push_back(name);
+    });
+  }
+  engine.spawn("notifier", [&](Context& ctx) {
+    ctx.delay(1.0);
+    ev.notify_one();
+    ctx.delay(1.0);
+    ev.notify_one();
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"w1", "w2"}));
+}
+
+TEST(SimEngine, WaitForTimesOut) {
+  Engine engine;
+  Event ev(engine);
+  bool notified = true;
+  engine.spawn("waiter", [&](Context& ctx) {
+    notified = ctx.wait_for(ev, 2.0);
+    EXPECT_DOUBLE_EQ(ctx.now(), 2.0);
+  });
+  engine.run();
+  EXPECT_FALSE(notified);
+  EXPECT_EQ(ev.waiter_count(), 0u);  // deregistered after timeout
+}
+
+TEST(SimEngine, WaitForSucceedsBeforeTimeout) {
+  Engine engine;
+  Event ev(engine);
+  bool notified = false;
+  engine.spawn("waiter", [&](Context& ctx) {
+    notified = ctx.wait_for(ev, 10.0);
+    EXPECT_DOUBLE_EQ(ctx.now(), 1.0);
+    ctx.delay(20.0);  // outlive the stale timeout entry
+  });
+  engine.spawn("notifier", [&](Context& ctx) {
+    ctx.delay(1.0);
+    ev.notify_all();
+  });
+  engine.run();
+  EXPECT_TRUE(notified);
+}
+
+TEST(SimEngine, WaitUntilPolls) {
+  Engine engine;
+  bool flag = false;
+  SimTime seen = -1;
+  engine.spawn("setter", [&](Context& ctx) {
+    ctx.delay(0.95);
+    flag = true;
+  });
+  engine.spawn("poller", [&](Context& ctx) {
+    ctx.wait_until([&] { return flag; }, 0.25);
+    seen = ctx.now();
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(seen, 1.0);  // next poll boundary after 0.95
+}
+
+TEST(SimEngine, DeadlockDetected) {
+  Engine engine;
+  Event ev(engine);
+  engine.spawn("stuck", [&](Context& ctx) { ctx.wait(ev); });
+  EXPECT_THROW(engine.run(), DeadlockError);
+}
+
+TEST(SimEngine, ExceptionInProcessPropagates) {
+  Engine engine;
+  engine.spawn("boom", [](Context& ctx) {
+    ctx.delay(1.0);
+    throw Error("bang");
+  });
+  engine.spawn("other", [](Context& ctx) {
+    for (int i = 0; i < 100; ++i) ctx.delay(1.0);
+  });
+  EXPECT_THROW(engine.run(), Error);
+}
+
+TEST(SimEngine, NegativeDelayThrows) {
+  Engine engine;
+  engine.spawn("bad", [](Context& ctx) { ctx.delay(-1.0); });
+  EXPECT_THROW(engine.run(), Error);
+}
+
+TEST(SimEngine, RunUntilStopsAtBoundary) {
+  Engine engine;
+  int steps = 0;
+  engine.spawn("ticker", [&](Context& ctx) {
+    for (int i = 0; i < 10; ++i) {
+      ctx.delay(1.0);
+      ++steps;
+    }
+  });
+  engine.run_until(4.5);
+  EXPECT_EQ(steps, 4);
+  EXPECT_EQ(engine.live_process_count(), 1u);
+  engine.run();  // finish the rest
+  EXPECT_EQ(steps, 10);
+  EXPECT_EQ(engine.live_process_count(), 0u);
+}
+
+TEST(SimEngine, DestructorTearsDownBlockedProcesses) {
+  // Must not hang or crash: engine destroyed while processes are parked.
+  Engine engine;
+  Event ev(engine);
+  engine.spawn("parked", [&](Context& ctx) { ctx.wait(ev); });
+  engine.spawn("later", [](Context& ctx) { ctx.delay(100.0); });
+  engine.run_until(1.0);
+  // engine goes out of scope here
+}
+
+TEST(SimEngine, ManyProcessesScale) {
+  Engine engine;
+  int done = 0;
+  for (int i = 0; i < 500; ++i) {
+    engine.spawn("p" + std::to_string(i), [&done](Context& ctx) {
+      for (int k = 0; k < 10; ++k) ctx.delay(0.01);
+      ++done;
+    });
+  }
+  engine.run();
+  EXPECT_EQ(done, 500);
+}
+
+// --------------------------------------------------------------------------
+// Channel
+// --------------------------------------------------------------------------
+
+TEST(SimChannel, PutGetTransfersInOrder) {
+  Engine engine;
+  Channel<int> ch(engine);
+  std::vector<int> received;
+  engine.spawn("producer", [&](Context& ctx) {
+    for (int i = 0; i < 5; ++i) {
+      ch.put(ctx, i);
+      ctx.delay(1.0);
+    }
+  });
+  engine.spawn("consumer", [&](Context& ctx) {
+    for (int i = 0; i < 5; ++i) received.push_back(ch.get(ctx));
+  });
+  engine.run();
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimChannel, BoundedChannelBlocksProducer) {
+  Engine engine;
+  Channel<int> ch(engine, 2);
+  SimTime third_put_time = -1;
+  engine.spawn("producer", [&](Context& ctx) {
+    ch.put(ctx, 1);
+    ch.put(ctx, 2);
+    ch.put(ctx, 3);  // must block until consumer drains one
+    third_put_time = ctx.now();
+  });
+  engine.spawn("consumer", [&](Context& ctx) {
+    ctx.delay(5.0);
+    (void)ch.get(ctx);
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(third_put_time, 5.0);
+}
+
+TEST(SimChannel, TryGetOnEmptyReturnsNullopt) {
+  Engine engine;
+  Channel<int> ch(engine, 1);
+  engine.spawn("p", [&](Context&) {
+    EXPECT_EQ(ch.try_get(), std::nullopt);
+    EXPECT_TRUE(ch.try_put(9));
+    EXPECT_FALSE(ch.try_put(10));  // full
+    EXPECT_EQ(ch.try_get(), 9);
+  });
+  engine.run();
+}
+
+TEST(SimChannel, GetBlocksUntilPut) {
+  Engine engine;
+  Channel<std::string> ch(engine, 0);
+  SimTime got_at = -1;
+  engine.spawn("consumer", [&](Context& ctx) {
+    EXPECT_EQ(ch.get(ctx), "hello");
+    got_at = ctx.now();
+  });
+  engine.spawn("producer", [&](Context& ctx) {
+    ctx.delay(2.5);
+    ch.put(ctx, "hello");
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(got_at, 2.5);
+}
+
+// --------------------------------------------------------------------------
+// TraceRecorder
+// --------------------------------------------------------------------------
+
+TEST(Trace, RecordsAndRanges) {
+  TraceRecorder rec;
+  rec.record_span("sim", "iter", 1.0, 2.0);
+  rec.record_span("train", "iter", 0.5, 3.0);
+  rec.record_instant("sim", "write", 2.0, 1024);
+  EXPECT_EQ(rec.spans().size(), 2u);
+  EXPECT_EQ(rec.instants().size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.begin_time(), 0.5);
+  EXPECT_DOUBLE_EQ(rec.end_time(), 3.0);
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  TraceRecorder rec;
+  rec.record_span("sim", "iter", 0.0, 1.0);
+  rec.record_instant("train", "read", 0.5, 64);
+  const std::string csv = rec.to_csv();
+  EXPECT_NE(csv.find("track,category,start,end,bytes"), std::string::npos);
+  EXPECT_NE(csv.find("sim,iter,0,1,0"), std::string::npos);
+  EXPECT_NE(csv.find("train,read,0.5,0.5,64"), std::string::npos);
+}
+
+TEST(Trace, AsciiTimelineShowsTracksAndMarks) {
+  TraceRecorder rec;
+  rec.record_span("sim", "iter", 0.0, 10.0);
+  rec.record_instant("sim", "write", 5.0);
+  const std::string art = rec.render_ascii(40);
+  EXPECT_NE(art.find("sim"), std::string::npos);
+  EXPECT_NE(art.find('|'), std::string::npos);
+  EXPECT_NE(art.find('i'), std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  TraceRecorder rec;
+  rec.record_span("a", "b", 0, 1);
+  rec.clear();
+  EXPECT_TRUE(rec.spans().empty());
+  EXPECT_DOUBLE_EQ(rec.end_time(), 0.0);
+}
+
+}  // namespace
+}  // namespace simai::sim

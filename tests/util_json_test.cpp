@@ -1,0 +1,204 @@
+// Unit tests for the JSON DOM, parser, and writer.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace simai::util {
+namespace {
+
+TEST(Json, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.dump(), "null");
+}
+
+TEST(Json, ScalarConstruction) {
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(42).is_int());
+  EXPECT_TRUE(Json(3.5).is_double());
+  EXPECT_TRUE(Json("hello").is_string());
+  EXPECT_EQ(Json(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Json(3.5).as_double(), 3.5);
+  EXPECT_EQ(Json("hello").as_string(), "hello");
+}
+
+TEST(Json, IntDoubleInterop) {
+  EXPECT_DOUBLE_EQ(Json(7).as_double(), 7.0);
+  EXPECT_EQ(Json(7.0).as_int(), 7);
+  EXPECT_THROW(Json(7.5).as_int(), JsonError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  Json j(42);
+  EXPECT_THROW(j.as_string(), JsonError);
+  EXPECT_THROW(j.as_array(), JsonError);
+  EXPECT_THROW(j.as_object(), JsonError);
+  EXPECT_THROW(j.as_bool(), JsonError);
+}
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_EQ(Json::parse("123").as_int(), 123);
+  EXPECT_EQ(Json::parse("-45").as_int(), -45);
+  EXPECT_DOUBLE_EQ(Json::parse("1.5e3").as_double(), 1500.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-0.25").as_double(), -0.25);
+  EXPECT_EQ(Json::parse("\"abc\"").as_string(), "abc");
+}
+
+TEST(Json, ParseNestedDocument) {
+  const char* doc = R"({
+    "kernels": [
+      {"name": "nekrs_iter", "run_time": 0.03147,
+       "data_size": [256, 256],
+       "mini_app_kernel": "MatMulSimple2D", "device": "xpu"}
+    ]
+  })";
+  Json j = Json::parse(doc);
+  const Json& k = j.at("kernels").at(0);
+  EXPECT_EQ(k.at("name").as_string(), "nekrs_iter");
+  EXPECT_DOUBLE_EQ(k.at("run_time").as_double(), 0.03147);
+  EXPECT_EQ(k.at("data_size").at(0).as_int(), 256);
+  EXPECT_EQ(k.at("mini_app_kernel").as_string(), "MatMulSimple2D");
+}
+
+TEST(Json, ParseStringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\nb\tc\"d\\e\/f")").as_string(),
+            "a\nb\tc\"d\\e/f");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");      // é
+  EXPECT_EQ(Json::parse(R"("中")").as_string(), "\xe4\xb8\xad");  // 中
+  // Surrogate pair: U+1F600
+  EXPECT_EQ(Json::parse(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":}"), JsonError);
+  EXPECT_THROW(Json::parse("{'a':1}"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse("1 2"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("01x"), JsonError);
+  EXPECT_THROW(Json::parse(R"("\ud83d")"), JsonError);  // unpaired surrogate
+  EXPECT_THROW(Json::parse("nan"), JsonError);
+}
+
+TEST(Json, ParseErrorReportsLineAndColumn) {
+  try {
+    Json::parse("{\n  \"a\": 1,\n  \"b\": }\n");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Json, RoundTripCompact) {
+  const std::string doc =
+      R"({"a":[1,2.5,true,null,"s"],"b":{"c":-3},"d":""})";
+  Json j = Json::parse(doc);
+  EXPECT_EQ(Json::parse(j.dump()), j);
+}
+
+TEST(Json, DumpPretty) {
+  Json j = Json::parse(R"({"a":[1,2]})");
+  const std::string pretty = j.dump(2);
+  EXPECT_NE(pretty.find("\n  \"a\": [\n    1,\n    2\n  ]\n"),
+            std::string::npos)
+      << pretty;
+  EXPECT_EQ(Json::parse(pretty), j);
+}
+
+TEST(Json, DoubleRoundTripsExactly) {
+  for (double v : {0.03147, 0.061, 1e-300, 123456.789, -2.5e17}) {
+    Json parsed = Json::parse(Json(v).dump());
+    EXPECT_DOUBLE_EQ(parsed.as_double(), v);
+    EXPECT_TRUE(parsed.is_double());
+  }
+}
+
+TEST(Json, NonFiniteDumpsAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, ObjectAccessors) {
+  Json j = Json::parse(R"({"x": 1, "y": "s"})");
+  EXPECT_TRUE(j.contains("x"));
+  EXPECT_FALSE(j.contains("z"));
+  EXPECT_EQ(j.find("z"), nullptr);
+  EXPECT_THROW(j.at("z"), JsonError);
+  EXPECT_EQ(j.size(), 2u);
+}
+
+TEST(Json, GetWithDefaults) {
+  Json j = Json::parse(R"({"run_time": 0.5, "count": 3, "name": "k"})");
+  EXPECT_DOUBLE_EQ(j.get("run_time", 0.0), 0.5);
+  EXPECT_EQ(j.get("count", 1), 3);
+  EXPECT_EQ(j.get("missing", 7), 7);
+  EXPECT_EQ(j.get("name", "none"), "k");
+  EXPECT_EQ(j.get("other", "none"), "none");
+  EXPECT_EQ(j.get("flag", true), true);
+  // Present but wrong type -> throws rather than silently defaulting.
+  EXPECT_THROW(j.get("name", 1), JsonError);
+}
+
+TEST(Json, MutationBuildersWork) {
+  Json j;
+  j["servers"].push_back(Json("node0"));
+  j["servers"].push_back(Json("node1"));
+  j["port"] = Json(6379);
+  EXPECT_EQ(j.at("servers").size(), 2u);
+  EXPECT_EQ(j.at("servers").at(1).as_string(), "node1");
+  EXPECT_EQ(j.at("port").as_int(), 6379);
+}
+
+TEST(Json, ArrayIndexOutOfRangeThrows) {
+  Json j = Json::parse("[1,2,3]");
+  EXPECT_THROW(j.at(3), JsonError);
+}
+
+TEST(Json, KeysAreSortedInDump) {
+  Json j = Json::parse(R"({"b":1,"a":2})");
+  EXPECT_EQ(j.dump(), R"({"a":2,"b":1})");
+}
+
+TEST(Json, Int64Limits) {
+  const std::int64_t big = 9007199254740993;  // not representable as double
+  Json j = Json::parse(std::to_string(big));
+  EXPECT_TRUE(j.is_int());
+  EXPECT_EQ(j.as_int(), big);
+}
+
+TEST(Json, DeepNesting) {
+  std::string doc;
+  for (int i = 0; i < 100; ++i) doc += "[";
+  doc += "1";
+  for (int i = 0; i < 100; ++i) doc += "]";
+  Json j = Json::parse(doc);
+  const Json* p = &j;
+  for (int i = 0; i < 100; ++i) p = &p->at(0);
+  EXPECT_EQ(p->as_int(), 1);
+}
+
+TEST(Json, FileRoundTrip) {
+  Json j = Json::parse(R"({"a": [1, 2, 3], "b": 0.03147})");
+  const std::string path = testing::TempDir() + "/simai_json_test.json";
+  j.dump_file(path);
+  EXPECT_EQ(Json::parse_file(path), j);
+}
+
+TEST(Json, ParseFileMissingThrows) {
+  EXPECT_THROW(Json::parse_file("/nonexistent/simai.json"), JsonError);
+}
+
+}  // namespace
+}  // namespace simai::util

@@ -1,0 +1,465 @@
+// Unit tests for crc32, stats, rng, distributions, buffers, strings, fs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <set>
+#include <thread>
+
+#include "util/buffer.hpp"
+#include "util/crc32.hpp"
+#include "util/distributions.hpp"
+#include "util/fsutil.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "util/threadpool.hpp"
+
+namespace simai::util {
+namespace {
+
+// --------------------------------------------------------------------------
+// CRC32 — known-answer vectors match zlib / binascii.crc32.
+// --------------------------------------------------------------------------
+
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32("hello"), 0x3610A686u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32, SeedChaining) {
+  // crc32("ab"+"cd") == crc32("cd", crc32("ab")) — the zlib chaining contract.
+  EXPECT_EQ(crc32("abcd"), crc32("cd", crc32("ab")));
+}
+
+TEST(Crc32, BinaryData) {
+  Bytes data = {std::byte{0x00}, std::byte{0xFF}, std::byte{0x10}};
+  EXPECT_NE(crc32(ByteView(data)), 0u);
+}
+
+// --------------------------------------------------------------------------
+// RunningStats
+// --------------------------------------------------------------------------
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138089935, 1e-8);  // sample std, n-1
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+// --------------------------------------------------------------------------
+// Histogram
+// --------------------------------------------------------------------------
+
+TEST(Histogram, Percentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+  EXPECT_NEAR(h.median(), 50.5, 1e-9);
+  EXPECT_NEAR(h.percentile(90), 90.1, 1e-9);
+}
+
+TEST(Histogram, EmptyReturnsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+// --------------------------------------------------------------------------
+// RNG
+// --------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(5);
+    EXPECT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit in 1000 draws
+}
+
+TEST(Rng, NormalMoments) {
+  Xoshiro256 rng(11);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Xoshiro256 rng(13);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, JumpCreatesIndependentStream) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  b.jump();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+// --------------------------------------------------------------------------
+// Distributions
+// --------------------------------------------------------------------------
+
+TEST(Distributions, ConstantFromNumber) {
+  auto d = make_distribution(Json(0.03147));
+  Xoshiro256 rng(1);
+  EXPECT_DOUBLE_EQ(d->sample(rng), 0.03147);
+  EXPECT_DOUBLE_EQ(d->mean(), 0.03147);
+}
+
+TEST(Distributions, DiscretePdfSamplesSupport) {
+  auto d = make_distribution(Json::parse(
+      R"({"dist":"discrete","values":[1.0,2.0,3.0],"probs":[0.2,0.3,0.5]})"));
+  Xoshiro256 rng(5);
+  std::map<double, int> counts;
+  for (int i = 0; i < 100000; ++i) counts[d->sample(rng)]++;
+  EXPECT_NEAR(counts[1.0] / 1e5, 0.2, 0.01);
+  EXPECT_NEAR(counts[2.0] / 1e5, 0.3, 0.01);
+  EXPECT_NEAR(counts[3.0] / 1e5, 0.5, 0.01);
+  EXPECT_NEAR(d->mean(), 0.2 + 0.6 + 1.5, 1e-12);
+}
+
+TEST(Distributions, DiscreteNormalizesProbs) {
+  auto d = make_distribution(Json::parse(
+      R"({"dist":"discrete","values":[1.0,2.0],"probs":[2.0,2.0]})"));
+  EXPECT_NEAR(d->mean(), 1.5, 1e-12);
+}
+
+TEST(Distributions, NormalClamped) {
+  auto d = make_distribution(Json::parse(
+      R"({"dist":"normal","mean":0.01,"std":0.05,"min":0.0,"max":1.0})"));
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = d->sample(rng);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Distributions, UniformRange) {
+  auto d = make_distribution(
+      Json::parse(R"({"dist":"uniform","low":2.0,"high":4.0})"));
+  Xoshiro256 rng(3);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = d->sample(rng);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 4.0);
+    s.add(v);
+  }
+  EXPECT_NEAR(s.mean(), 3.0, 0.02);
+}
+
+TEST(Distributions, LogNormalMean) {
+  auto d = make_distribution(
+      Json::parse(R"({"dist":"lognormal","mean":0.0,"sigma":0.5})"));
+  EXPECT_NEAR(d->mean(), std::exp(0.125), 1e-12);
+}
+
+TEST(Distributions, InvalidSpecsThrow) {
+  EXPECT_THROW(make_distribution(Json("x")), Error);
+  EXPECT_THROW(make_distribution(Json::parse(R"({"dist":"bogus"})")),
+               ConfigError);
+  EXPECT_THROW(make_distribution(Json::parse(
+                   R"({"dist":"discrete","values":[1],"probs":[1,2]})")),
+               ConfigError);
+  EXPECT_THROW(make_distribution(Json::parse(
+                   R"({"dist":"discrete","values":[1],"probs":[0]})")),
+               ConfigError);
+  EXPECT_THROW(make_distribution(Json::parse(
+                   R"({"dist":"uniform","low":4,"high":2})")),
+               ConfigError);
+  EXPECT_THROW(
+      make_distribution(Json::parse(R"({"dist":"exponential","rate":0})")),
+      ConfigError);
+}
+
+// --------------------------------------------------------------------------
+// ByteWriter / ByteReader
+// --------------------------------------------------------------------------
+
+TEST(Buffer, PrimitiveRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(0.03147);
+  w.str("key1");
+  Bytes payload = to_bytes("value-bytes");
+  w.bytes(payload);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 0.03147);
+  EXPECT_EQ(r.str(), "key1");
+  EXPECT_EQ(r.bytes(), payload);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Buffer, UnderrunThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.data());
+  EXPECT_THROW(r.u32(), SerializationError);
+}
+
+TEST(Buffer, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], std::byte{0x04});
+  EXPECT_EQ(w.data()[3], std::byte{0x01});
+}
+
+TEST(Buffer, EmptyStringAndBytes) {
+  ByteWriter w;
+  w.str("");
+  w.bytes({});
+  ByteReader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.bytes().empty());
+}
+
+// --------------------------------------------------------------------------
+// String utilities
+// --------------------------------------------------------------------------
+
+TEST(StringUtil, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\t\na b\r\n"), "a b");
+}
+
+TEST(StringUtil, GlobMatch) {
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_TRUE(glob_match("sim_*", "sim_rank3_step7"));
+  EXPECT_FALSE(glob_match("sim_*", "ai_rank0"));
+  EXPECT_TRUE(glob_match("k?y", "key"));
+  EXPECT_FALSE(glob_match("k?y", "kelly"));
+  EXPECT_TRUE(glob_match("a*b*c", "a-xx-b-yy-c"));
+  EXPECT_FALSE(glob_match("a*b*c", "a-xx-c"));
+  EXPECT_TRUE(glob_match("exact", "exact"));
+  EXPECT_FALSE(glob_match("exact", "exact1"));
+  EXPECT_TRUE(glob_match("**", "x"));
+}
+
+TEST(StringUtil, PrefixSuffix) {
+  EXPECT_TRUE(starts_with("sim_rank0", "sim_"));
+  EXPECT_FALSE(starts_with("ai", "sim_"));
+  EXPECT_TRUE(ends_with("data.bin", ".bin"));
+  EXPECT_FALSE(ends_with("data.bin", ".tmp"));
+}
+
+TEST(StringUtil, Strformat) {
+  EXPECT_EQ(strformat("n=%d s=%s", 5, "x"), "n=5 s=x");
+  EXPECT_EQ(strformat("%.3f", 0.03147), "0.031");
+}
+
+TEST(StatsFormat, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(32ull << 20), "32.00 MiB");
+}
+
+TEST(StatsFormat, Seconds) {
+  EXPECT_EQ(format_seconds(1.5), "1.500 s");
+  EXPECT_EQ(format_seconds(0.0315), "31.50 ms");
+  EXPECT_EQ(format_seconds(42e-6), "42.00 us");
+}
+
+// --------------------------------------------------------------------------
+// Filesystem helpers
+// --------------------------------------------------------------------------
+
+TEST(FsUtil, WriteReadRoundTrip) {
+  TempDir dir("fsutil");
+  const auto p = dir.path() / "f.bin";
+  Bytes data = to_bytes("payload");
+  write_file(p, data);
+  EXPECT_EQ(read_file(p), data);
+}
+
+TEST(FsUtil, AtomicWriteLeavesNoTempFiles) {
+  TempDir dir("fsutil");
+  const auto p = dir.path() / "k.bin";
+  atomic_write_file(p, to_bytes("v1"));
+  atomic_write_file(p, to_bytes("v2"));
+  EXPECT_EQ(to_string(read_file(p)), "v2");
+  std::size_t entries = 0;
+  for ([[maybe_unused]] auto& e :
+       std::filesystem::directory_iterator(dir.path()))
+    ++entries;
+  EXPECT_EQ(entries, 1u);  // only k.bin, no .tmp leftovers
+}
+
+TEST(FsUtil, ReadMissingThrows) {
+  EXPECT_THROW(read_file("/nonexistent/simai-file"), FsError);
+}
+
+TEST(FsUtil, EnsureDirectoryIdempotent) {
+  TempDir dir("fsutil");
+  const auto nested = dir.path() / "a" / "b" / "c";
+  ensure_directory(nested);
+  ensure_directory(nested);
+  EXPECT_TRUE(std::filesystem::is_directory(nested));
+}
+
+TEST(FsUtil, TempDirRemovedOnDestruction) {
+  std::filesystem::path captured;
+  {
+    TempDir dir("fsutil");
+    captured = dir.path();
+    write_file(captured / "x", to_bytes("1"));
+    EXPECT_TRUE(std::filesystem::exists(captured));
+  }
+  EXPECT_FALSE(std::filesystem::exists(captured));
+}
+
+// --------------------------------------------------------------------------
+// ThreadPool
+// --------------------------------------------------------------------------
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 100; ++i) {
+    futures.push_back(pool.submit([&sum, i] { sum += i; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// Logging
+// --------------------------------------------------------------------------
+
+TEST(Logging, LevelFiltering) {
+  auto& log = Logger::global();
+  const LogLevel old_level = log.level();
+  std::vector<std::string> lines;
+  auto old_sink = log.set_sink(
+      [&](LogLevel, std::string_view line) { lines.emplace_back(line); });
+  log.set_level(LogLevel::Warn);
+  SIMAI_LOG(Debug, "test") << "hidden";
+  SIMAI_LOG(Warn, "test") << "visible " << 42;
+  log.set_sink(std::move(old_sink));
+  log.set_level(old_level);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "test: visible 42");
+}
+
+TEST(Logging, ParseLevelNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::Warn);
+  EXPECT_THROW(parse_log_level("loud"), ConfigError);
+}
+
+}  // namespace
+}  // namespace simai::util

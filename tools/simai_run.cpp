@@ -1,0 +1,193 @@
+// simai_run: the command-line mini-app runner.
+//
+// Drives the Pattern-1 / Pattern-2 workflow mini-apps entirely from JSON
+// configuration files, the way the reference SimAI-Bench composes
+// mini-apps from Python dicts. Also sweeps a parameter across values and
+// emits CSV, which is how new transport studies get prototyped without
+// writing code — the paper's central usability claim.
+//
+// Usage:
+//   simai_run pattern1 [config.json] [--report out.json]
+//   simai_run pattern2 [config.json] [--report out.json]
+//   simai_run sweep1 <field> v1,v2,.. [cfg]    sweep a Pattern-1 field
+//   simai_run sweep2 <field> v1,v2,.. [cfg]    sweep a Pattern-2 field
+//   simai_run defaults {pattern1|pattern2}     print the default config
+//
+// Sweepable fields are any numeric config key (payload_bytes, nodes,
+// num_sims, train_iters, ...) plus "backend" with string values.
+#include <cstdio>
+#include <cstring>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "util/string_util.hpp"
+
+using namespace simai;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  simai_run pattern1 [config.json]\n"
+               "  simai_run pattern2 [config.json]\n"
+               "  simai_run sweep1 <field> <v1,v2,...> [config.json]\n"
+               "  simai_run sweep2 <field> <v1,v2,...> [config.json]\n"
+               "  simai_run defaults {pattern1|pattern2}\n");
+  return 2;
+}
+
+util::Json load_or_empty(int argc, char** argv, int index) {
+  if (argc > index) return util::Json::parse_file(argv[index]);
+  return util::Json::object();
+}
+
+void print_component(const char* name, const core::ComponentStats& s) {
+  std::printf("  %-6s steps=%-8llu transports=%-6llu iter=%.4fs±%.4f",
+              name, static_cast<unsigned long long>(s.steps),
+              static_cast<unsigned long long>(s.transport_events),
+              s.iter_time.mean(), s.iter_time.stddev());
+  if (s.write_time.count() > 0)
+    std::printf("  write=%.3fms", s.write_time.mean() * 1e3);
+  if (s.read_time.count() > 0)
+    std::printf("  read=%.3fms", s.read_time.mean() * 1e3);
+  if (s.write_throughput.count() > 0)
+    std::printf("  wtput=%.3fGB/s", s.write_throughput.mean() / 1e9);
+  if (s.read_throughput.count() > 0)
+    std::printf("  rtput=%.3fGB/s", s.read_throughput.mean() / 1e9);
+  std::printf("\n");
+}
+
+int run_pattern1(const util::Json& cfg_json, const std::string& report) {
+  const core::Pattern1Config cfg = core::pattern1_from_json(cfg_json);
+  std::printf("pattern1: backend=%s nodes=%d payload=%s train_iters=%lld\n",
+              std::string(platform::backend_name(cfg.backend)).c_str(),
+              cfg.nodes, util::format_bytes(cfg.payload_bytes).c_str(),
+              static_cast<long long>(cfg.train_iters));
+  const core::Pattern1Result r = core::run_pattern1(cfg);
+  std::printf("makespan: %.3f virtual s\n", r.makespan);
+  print_component("sim", r.sim);
+  print_component("train", r.train);
+  if (!report.empty()) {
+    core::write_report(core::report_pattern1(cfg, r), report);
+    std::printf("report written to %s\n", report.c_str());
+  }
+  return 0;
+}
+
+int run_pattern2(const util::Json& cfg_json, const std::string& report) {
+  const core::Pattern2Config cfg = core::pattern2_from_json(cfg_json);
+  std::printf("pattern2: backend=%s sims=%d payload=%s train_iters=%lld\n",
+              std::string(platform::backend_name(cfg.backend)).c_str(),
+              cfg.num_sims, util::format_bytes(cfg.payload_bytes).c_str(),
+              static_cast<long long>(cfg.train_iters));
+  const core::Pattern2Result r = core::run_pattern2(cfg);
+  std::printf("makespan: %.3f virtual s\n", r.makespan);
+  std::printf("train runtime/iter: %.3f ms\n",
+              r.train_runtime_per_iter * 1e3);
+  print_component("sim", r.sim);
+  print_component("train", r.train);
+  if (!report.empty()) {
+    core::write_report(core::report_pattern2(cfg, r), report);
+    std::printf("report written to %s\n", report.c_str());
+  }
+  return 0;
+}
+
+/// Parse "a,b,c" into JSON values for `field` (numbers unless the field is
+/// "backend").
+std::vector<util::Json> parse_values(const std::string& field,
+                                     const std::string& csv) {
+  std::vector<util::Json> out;
+  for (const std::string& tok : util::split(csv, ',')) {
+    if (field == "backend") {
+      out.emplace_back(tok);
+    } else if (tok.find('.') != std::string::npos ||
+               tok.find('e') != std::string::npos) {
+      out.emplace_back(std::strtod(tok.c_str(), nullptr));
+    } else {
+      out.emplace_back(
+          static_cast<std::int64_t>(std::strtoll(tok.c_str(), nullptr, 10)));
+    }
+  }
+  return out;
+}
+
+int sweep(int pattern, const std::string& field, const std::string& csv,
+          util::Json base) {
+  const std::vector<util::Json> values = parse_values(field, csv);
+  if (values.empty()) return usage();
+  std::printf("%s,", field.c_str());
+  if (pattern == 1)
+    std::printf(
+        "makespan_s,sim_wtput_gbs,train_rtput_gbs,write_ms,read_ms\n");
+  else
+    std::printf("runtime_per_iter_ms,read_ms,rtput_gbs\n");
+
+  for (const util::Json& v : values) {
+    base[field] = v;
+    const std::string label =
+        v.is_string() ? v.as_string() : v.dump();
+    if (pattern == 1) {
+      const auto r = core::run_pattern1(core::pattern1_from_json(base));
+      std::printf("%s,%.4f,%.4f,%.4f,%.4f,%.4f\n", label.c_str(),
+                  r.makespan, r.sim.write_throughput.mean() / 1e9,
+                  r.train.read_throughput.mean() / 1e9,
+                  r.sim.write_time.mean() * 1e3,
+                  r.train.read_time.mean() * 1e3);
+    } else {
+      const auto r = core::run_pattern2(core::pattern2_from_json(base));
+      std::printf("%s,%.4f,%.4f,%.4f\n", label.c_str(),
+                  r.train_runtime_per_iter * 1e3,
+                  r.train.read_time.mean() * 1e3,
+                  r.train.read_throughput.mean() / 1e9);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string mode = argv[1];
+  // Extract an optional trailing "--report <path>".
+  std::string report;
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--report") == 0) {
+      report = argv[i + 1];
+      argc = i;  // hide the flag from positional parsing
+      break;
+    }
+  }
+  try {
+    if (mode == "pattern1")
+      return run_pattern1(load_or_empty(argc, argv, 2), report);
+    if (mode == "pattern2")
+      return run_pattern2(load_or_empty(argc, argv, 2), report);
+    if (mode == "sweep1" || mode == "sweep2") {
+      if (argc < 4) return usage();
+      return sweep(mode == "sweep1" ? 1 : 2, argv[2], argv[3],
+                   load_or_empty(argc, argv, 4));
+    }
+    if (mode == "defaults") {
+      if (argc < 3) return usage();
+      const std::string which = argv[2];
+      if (which == "pattern1") {
+        std::printf("%s\n",
+                    core::pattern1_to_json(core::Pattern1Config{}).dump(2).c_str());
+        return 0;
+      }
+      if (which == "pattern2") {
+        std::printf("%s\n",
+                    core::pattern2_to_json(core::Pattern2Config{}).dump(2).c_str());
+        return 0;
+      }
+      return usage();
+    }
+  } catch (const simai::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
