@@ -54,8 +54,12 @@ int main() {
   const std::string dir = out_dir ? out_dir : "/tmp";
   std::ofstream(dir + "/fig2_original.csv") << orig.trace.to_csv();
   std::ofstream(dir + "/fig2_miniapp.csv") << mini.trace.to_csv();
-  std::printf("CSV traces written to %s/fig2_{original,miniapp}.csv\n\n",
-              dir.c_str());
+  std::ofstream(dir + "/fig2_original.trace.json")
+      << orig.trace.to_chrome_json();
+  std::printf(
+      "traces written to %s/fig2_{original,miniapp}.csv and "
+      "%s/fig2_original.trace.json (chrome://tracing / Perfetto)\n\n",
+      dir.c_str(), dir.c_str());
 
   auto transfers_in = [](const core::Pattern1Result& r, SimTime a, SimTime b) {
     int n = 0;

@@ -3,8 +3,16 @@
 #include <algorithm>
 
 #include "util/buffer.hpp"
+#include "util/crc32.hpp"
 
 namespace simai::core {
+
+namespace {
+/// Top bit of the header's nominal-size field flags a CRC32 in the header.
+/// Nominal sizes are far below 2^63, so the bit is free; values written
+/// before the integrity feature read back with the flag clear.
+constexpr std::uint64_t kCrcFlag = 1ull << 63;
+}  // namespace
 
 DataStore::DataStore(std::string client_name, kv::StorePtr store,
                      const platform::TransportModel* model,
@@ -13,7 +21,10 @@ DataStore::DataStore(std::string client_name, kv::StorePtr store,
       store_(std::move(store)),
       model_(model),
       config_(config),
-      trace_(trace) {
+      trace_(trace),
+      retry_rng_(util::mix64(
+          (config.faults ? config.faults->spec().seed : 0x5eedull) ^
+          util::crc32(std::string_view(name_)))) {
   if (!store_) throw kv::StoreError("datastore: null backend store");
 }
 
@@ -21,7 +32,13 @@ SimTime DataStore::charge(sim::Context* ctx, platform::StoreOp op,
                           std::uint64_t nominal_bytes,
                           const platform::TransportContext& op_ctx) {
   if (!model_) return 0.0;
-  const SimTime t = model_->cost(config_.backend, op, nominal_bytes, op_ctx);
+  platform::TransportContext priced = op_ctx;
+  if (config_.faults && ctx) {
+    // Slow-node windows degrade this client's transport for their duration.
+    priced.latency_multiplier *=
+        config_.faults->latency_multiplier(config_.node, ctx->now());
+  }
+  const SimTime t = model_->cost(config_.backend, op, nominal_bytes, priced);
   if (ctx) ctx->delay(t);
   return t;
 }
@@ -32,31 +49,80 @@ Bytes DataStore::wrap_payload(ByteView value, std::uint64_t& nominal) const {
       config_.payload_cap == 0
           ? value.size()
           : std::min<std::size_t>(config_.payload_cap, value.size());
-  util::ByteWriter w(8 + stored);
-  w.u64(nominal);
+  util::ByteWriter w(12 + stored);
+  w.u64(nominal | (config_.verify_integrity ? kCrcFlag : 0));
+  if (config_.verify_integrity)
+    w.u32(util::crc32(value.subspan(0, stored)));
   w.raw(value.subspan(0, stored));
   return w.take();
 }
 
 Bytes DataStore::unwrap_payload(ByteView stored, std::uint64_t& nominal) {
   util::ByteReader r(stored);
-  nominal = r.u64();
+  const std::uint64_t head = r.u64();
+  nominal = head & ~kCrcFlag;
+  std::uint32_t expected = 0;
+  const bool has_crc = (head & kCrcFlag) != 0;
+  if (has_crc) expected = r.u32();
   ByteView rest = r.raw(r.remaining());
+  if (has_crc && util::crc32(rest) != expected)
+    throw fault::IntegrityError("datastore: payload CRC32 mismatch");
   return Bytes(rest.begin(), rest.end());
 }
 
-void DataStore::stage_write(sim::Context* ctx, std::string_view key,
-                            ByteView value, std::uint64_t nominal_bytes) {
-  stage_write(ctx, key, value, config_.transport, nominal_bytes);
+bool DataStore::retry_pause(sim::Context* ctx, int attempt,
+                            SimTime retry_after) {
+  const fault::RetryPolicy& policy = config_.retry;
+  // Detecting the failed attempt burns the client timeout either way.
+  SimTime pause = policy.timeout;
+  bool retry = attempt < policy.max_attempts;
+  if (retry) {
+    ++recovery_.retries;
+    SimTime backoff = policy.backoff_delay(attempt, retry_rng_);
+    if (ctx && retry_after >= 0.0) {
+      // The fault advertised when it clears (outage windows): sleeping any
+      // less just burns attempts, so wait it out.
+      backoff = std::max(backoff, retry_after - (ctx->now() + pause));
+    }
+    pause += std::max(backoff, 0.0);
+  } else {
+    ++recovery_.failed_ops;
+  }
+  if (ctx) ctx->delay(pause);
+  recovery_.recovery_time += pause;
+  if (trace_ && ctx)
+    trace_->record_instant(name_, retry ? "retry" : "fail", ctx->now());
+  return retry;
 }
 
-void DataStore::stage_write(sim::Context* ctx, std::string_view key,
+bool DataStore::run_resilient(sim::Context* ctx,
+                              const std::function<void()>& op) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      op();
+      return true;
+    } catch (const fault::IntegrityError&) {
+      ++recovery_.corrupt_payloads;
+      if (!retry_pause(ctx, attempt, -1.0)) return false;
+    } catch (const fault::TransientStoreError& e) {
+      if (!retry_pause(ctx, attempt, e.retry_after)) return false;
+    }
+  }
+}
+
+bool DataStore::stage_write(sim::Context* ctx, std::string_view key,
+                            ByteView value, std::uint64_t nominal_bytes) {
+  return stage_write(ctx, key, value, config_.transport, nominal_bytes);
+}
+
+bool DataStore::stage_write(sim::Context* ctx, std::string_view key,
                             ByteView value,
                             const platform::TransportContext& op_ctx,
                             std::uint64_t nominal_bytes) {
   std::uint64_t nominal = nominal_bytes;
   const Bytes wrapped = wrap_payload(value, nominal);
-  store_->put(key, ByteView(wrapped));
+  if (!run_resilient(ctx, [&] { store_->put(key, ByteView(wrapped)); }))
+    return false;
   const SimTime t = charge(ctx, platform::StoreOp::Write, nominal, op_ctx);
   ++transport_events_;
   stats_["write_time"].add(t);
@@ -65,6 +131,7 @@ void DataStore::stage_write(sim::Context* ctx, std::string_view key,
     stats_["write_throughput"].add(static_cast<double>(nominal) / t);
   if (trace_ && ctx)
     trace_->record_instant(name_, "write", ctx->now(), nominal);
+  return true;
 }
 
 bool DataStore::stage_read(sim::Context* ctx, std::string_view key,
@@ -75,14 +142,22 @@ bool DataStore::stage_read(sim::Context* ctx, std::string_view key,
 bool DataStore::stage_read(sim::Context* ctx, std::string_view key,
                            Bytes& out,
                            const platform::TransportContext& op_ctx) {
-  Bytes stored;
-  if (!store_->get(key, stored)) {
+  bool found = false;
+  std::uint64_t nominal = 0;
+  Bytes value;
+  // Fetch and integrity-verify as one retryable unit: a corrupted transfer
+  // re-reads the intact value at rest.
+  const bool ok = run_resilient(ctx, [&] {
+    Bytes stored;
+    found = store_->get(key, stored);
+    if (found) value = unwrap_payload(ByteView(stored), nominal);
+  });
+  if (!ok || !found) {
     charge(ctx, platform::StoreOp::Poll, 0, op_ctx);
     stats_["poll_time"].add(0.0);
     return false;
   }
-  std::uint64_t nominal = 0;
-  out = unwrap_payload(ByteView(stored), nominal);
+  out = std::move(value);
   const SimTime t = charge(ctx, platform::StoreOp::Read, nominal, op_ctx);
   ++transport_events_;
   stats_["read_time"].add(t);
@@ -93,15 +168,17 @@ bool DataStore::stage_read(sim::Context* ctx, std::string_view key,
 }
 
 bool DataStore::poll_staged_data(sim::Context* ctx, std::string_view key) {
-  const bool found = store_->exists(key);
+  bool found = false;
+  const bool ok =
+      run_resilient(ctx, [&] { found = store_->exists(key); });
   const SimTime t =
       charge(ctx, platform::StoreOp::Poll, 0, config_.transport);
   stats_["poll_time"].add(t);
-  return found;
+  return ok && found;
 }
 
 void DataStore::clean_staged_data(sim::Context* ctx, std::string_view key) {
-  store_->erase(key);
+  run_resilient(ctx, [&] { store_->erase(key); });
   charge(ctx, platform::StoreOp::Clean, 0, config_.transport);
 }
 

@@ -1,22 +1,34 @@
 // DataStore: the paper's unified client API for data staging (§3.2) —
 // stage_write / stage_read / poll_staged_data / clean_staged_data — layered
-// over any kv backend, with two additions the benchmarks need:
+// over any kv backend, with additions the benchmarks need:
 //
 //  * virtual-time pricing: every operation performs the REAL store op and
 //    then charges the DES clock with the TransportModel's Aurora-scale cost
 //    for the configured backend / locality / concurrency;
 //  * instrumentation: per-op timings, byte counts, and event counts flow
-//    into RunningStats series and (optionally) the timeline TraceRecorder.
+//    into RunningStats series and (optionally) the timeline TraceRecorder;
+//  * resilience: transient backend faults (fault::TransientStoreError,
+//    CRC mismatches) are retried per a RetryPolicy, with every failed
+//    attempt's timeout + backoff charged to the virtual clock and the
+//    recovery cost surfaced through RecoveryStats.
 //
 // Payload virtualization: at large simulated scale, staging 32 MB x 6144
 // ranks of real bytes cannot fit in one machine. When `payload_cap` is set,
-// stage_write stores min(cap, size) real bytes prefixed with an 8-byte
-// header recording the nominal size; pricing and statistics always use the
+// stage_write stores min(cap, size) real bytes prefixed with a header
+// recording the nominal size; pricing and statistics always use the
 // nominal size. With cap == 0 (the default) payloads move at full size.
+//
+// Payload integrity: with `verify_integrity` set, the header additionally
+// carries a CRC32 of the stored bytes; stage_read verifies it and treats a
+// mismatch as a retryable in-transit corruption. Values written without the
+// checksum read back unverified, so the feature is opt-in per writer.
 #pragma once
 
+#include <functional>
 #include <string>
 
+#include "fault/fault.hpp"
+#include "fault/retry.hpp"
 #include "kv/store.hpp"
 #include "platform/transport_model.hpp"
 #include "sim/engine.hpp"
@@ -32,6 +44,19 @@ struct DataStoreConfig {
   platform::TransportContext transport;
   /// Cap on real stored bytes per value (0 = no cap; see header comment).
   std::size_t payload_cap = 0;
+
+  // -- resilience ----------------------------------------------------------
+
+  /// Fault timeline consulted for per-node latency-spike pricing (must
+  /// outlive the DataStore). Faults themselves are injected at the kv layer
+  /// (fault::FaultyStore); this pointer only degrades transport pricing.
+  const fault::FaultSchedule* faults = nullptr;
+  /// Node this client runs on, for per-node latency spikes.
+  int node = 0;
+  /// Applied when a store op throws a retryable fault (see header).
+  fault::RetryPolicy retry;
+  /// Stamp a CRC32 into staged payload headers and verify it on read.
+  bool verify_integrity = false;
 };
 
 class DataStore {
@@ -46,19 +71,23 @@ class DataStore {
   /// `nominal_bytes` (when nonzero) declares the size this value stands in
   /// for: pricing and statistics use it while only `value` is stored —
   /// lets harnesses model 32 MB x thousands-of-ranks traffic without
-  /// materializing the bytes.
-  void stage_write(sim::Context* ctx, std::string_view key, ByteView value,
+  /// materializing the bytes. Returns false when the write exhausted its
+  /// retry budget (degraded mode: the op is dropped and recorded in
+  /// recovery(), never thrown).
+  bool stage_write(sim::Context* ctx, std::string_view key, ByteView value,
                    std::uint64_t nominal_bytes = 0);
-  void stage_write(sim::Context* ctx, std::string_view key, ByteView value,
+  bool stage_write(sim::Context* ctx, std::string_view key, ByteView value,
                    const platform::TransportContext& op_ctx,
                    std::uint64_t nominal_bytes = 0);
 
-  /// Read `key`; false if absent (only the poll cost is charged then).
+  /// Read `key`; false if absent (only the poll cost is charged then) or
+  /// if the read exhausted its retry budget (recorded in recovery()).
   bool stage_read(sim::Context* ctx, std::string_view key, Bytes& out);
   bool stage_read(sim::Context* ctx, std::string_view key, Bytes& out,
                   const platform::TransportContext& op_ctx);
 
   /// Non-consuming existence check (a stat/EXISTS — charged as a poll).
+  /// False when absent or when the check itself kept failing.
   bool poll_staged_data(sim::Context* ctx, std::string_view key);
 
   /// Remove staged data (charged as a metadata op).
@@ -77,6 +106,10 @@ class DataStore {
   /// steering ops — the paper's Table 2 counting).
   std::uint64_t transport_events() const { return transport_events_; }
 
+  /// What resilience cost this client: retries, surrendered ops, detected
+  /// corruptions, and the virtual time burned recovering.
+  const fault::RecoveryStats& recovery() const { return recovery_; }
+
   const std::string& name() const { return name_; }
   platform::BackendKind backend() const { return config_.backend; }
   const DataStoreConfig& config() const { return config_; }
@@ -89,6 +122,13 @@ class DataStore {
   Bytes wrap_payload(ByteView value, std::uint64_t& nominal) const;
   static Bytes unwrap_payload(ByteView stored, std::uint64_t& nominal);
 
+  /// Run `op`, retrying per config_.retry on TransientStoreError /
+  /// IntegrityError. False when attempts are exhausted. Charges timeouts
+  /// and backoffs to `ctx` and accumulates recovery_.
+  bool run_resilient(sim::Context* ctx, const std::function<void()>& op);
+  /// Book one failed attempt; false when the op should be surrendered.
+  bool retry_pause(sim::Context* ctx, int attempt, SimTime retry_after);
+
   std::string name_;
   kv::StorePtr store_;
   const platform::TransportModel* model_;
@@ -96,6 +136,8 @@ class DataStore {
   sim::TraceRecorder* trace_;
   util::StatSeries stats_;
   std::uint64_t transport_events_ = 0;
+  fault::RecoveryStats recovery_;
+  util::Xoshiro256 retry_rng_;  // backoff jitter (deterministic per client)
 };
 
 }  // namespace simai::core

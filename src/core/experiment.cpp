@@ -19,6 +19,7 @@ void absorb_datastore_stats(ComponentStats& into, const DataStore& store) {
   merge("read_throughput", into.read_throughput);
   merge("write_throughput", into.write_throughput);
   into.transport_events += store.transport_events();
+  into.recovery.merge(store.recovery());
 }
 
 namespace {

@@ -28,6 +28,7 @@
 #include "core/ai_component.hpp"
 #include "core/simulation.hpp"
 #include "core/workflow.hpp"
+#include "fault/retry.hpp"
 #include "kv/server_manager.hpp"
 #include "platform/transport_model.hpp"
 #include "util/stats.hpp"
@@ -43,6 +44,7 @@ struct ComponentStats {
   util::RunningStats write_time;       // per write
   util::RunningStats read_throughput;  // nominal B/s
   util::RunningStats write_throughput;
+  fault::RecoveryStats recovery;       // retries / failed ops / recovery time
 };
 
 // ---------------------------------------------------------------------------

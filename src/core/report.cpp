@@ -12,10 +12,20 @@ util::Json stats_to_json(const util::RunningStats& s) {
   return j;
 }
 
+util::Json recovery_to_json(const fault::RecoveryStats& r) {
+  util::Json j;
+  j["retries"] = static_cast<std::int64_t>(r.retries);
+  j["failed_ops"] = static_cast<std::int64_t>(r.failed_ops);
+  j["corrupt_payloads"] = static_cast<std::int64_t>(r.corrupt_payloads);
+  j["recovery_time_s"] = r.recovery_time;
+  return j;
+}
+
 util::Json component_to_json(const ComponentStats& c) {
   util::Json j;
   j["steps"] = static_cast<std::int64_t>(c.steps);
   j["transport_events"] = static_cast<std::int64_t>(c.transport_events);
+  if (c.recovery.any()) j["recovery"] = recovery_to_json(c.recovery);
   j["iter_time"] = stats_to_json(c.iter_time);
   if (c.read_time.count() > 0) j["read_time"] = stats_to_json(c.read_time);
   if (c.write_time.count() > 0)

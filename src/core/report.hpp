@@ -12,6 +12,10 @@ namespace simai::core {
 /// {"count", "mean", "std", "min", "max"} for one stat series.
 util::Json stats_to_json(const util::RunningStats& s);
 
+/// {"retries", "failed_ops", "corrupt_payloads", "recovery_time_s"} — the
+/// resilience cost a component paid under injected faults.
+util::Json recovery_to_json(const fault::RecoveryStats& r);
+
 /// Component record: steps, transport events, iteration/read/write stats.
 util::Json component_to_json(const ComponentStats& c);
 

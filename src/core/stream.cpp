@@ -118,6 +118,15 @@ void StreamWriter::close(sim::Context&) {
   s.state_change->notify_all();
 }
 
+void StreamWriter::fail(sim::Context&) {
+  if (closed_) return;
+  closed_ = true;            // no further writer ops
+  open_step_.reset();        // an aborted step never reaches the reader
+  StreamBroker::Stream& s = broker_.stream_of(name_, false);
+  s.failed = true;
+  s.state_change->notify_all();
+}
+
 // ---------------------------------------------------------------------------
 // StreamReader
 // ---------------------------------------------------------------------------
@@ -136,6 +145,10 @@ StepStatus StreamReader::begin_step(sim::Context& ctx, double timeout) {
       ++consumed_;
       return StepStatus::Ok;
     }
+    // Order matters: already-published steps drain first; then producer
+    // death outranks a clean close (fail() after close cannot happen, but
+    // a failed stream must never read as EndOfStream).
+    if (s.failed) return StepStatus::ProducerFailed;
     if (s.closed) return StepStatus::EndOfStream;
     if (deadline >= 0) {
       const SimTime remaining = deadline - ctx.now();

@@ -28,7 +28,13 @@
 
 namespace simai::core {
 
-enum class StepStatus { Ok, NotReady, EndOfStream };
+/// Reader-side step outcomes. NotReady = the producer is alive but slow
+/// (timeout elapsed); EndOfStream = clean close, queue drained;
+/// ProducerFailed = the writer died without closing (fail()) — the queue is
+/// drained and no further step will ever arrive. Distinguishing the last
+/// two is what lets consumers react to producer death instead of spinning
+/// on timeouts.
+enum class StepStatus { Ok, NotReady, EndOfStream, ProducerFailed };
 
 /// One step's payload: named variables -> blobs (nominal sizes may exceed
 /// the stored bytes, mirroring DataStore's payload virtualization).
@@ -55,6 +61,12 @@ class StreamWriter {
   void end_step(sim::Context& ctx);
   /// Mark end-of-stream (idempotent).
   void close(sim::Context& ctx);
+
+  /// Declare the producer dead without a clean close (idempotent): any
+  /// open step is discarded and the reader's begin_step reports
+  /// ProducerFailed once the queue drains. Degraded-mode counterpart of
+  /// close(), used when a component aborts mid-stream.
+  void fail(sim::Context& ctx);
 
   std::uint64_t steps_written() const { return next_step_; }
 
@@ -118,6 +130,7 @@ class StreamBroker {
     bool writer_open = false;
     bool reader_open = false;
     bool closed = false;  // writer called close()
+    bool failed = false;  // writer called fail() — producer death
     std::unique_ptr<sim::Event> state_change;
   };
 

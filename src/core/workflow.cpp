@@ -80,6 +80,7 @@ void Workflow::launch(sim::Engine& engine) {
   for (auto& comp : components_) {
     comp->unfinished_ranks = comp->nranks;
     comp->unsatisfied_deps = static_cast<int>(comp->dependencies.size());
+    comp->failed = false;
     comp->ready = std::make_unique<sim::Event>(engine);
     comp->dependents.clear();
   }
@@ -109,8 +110,16 @@ void Workflow::spawn_ranks(sim::Engine& engine, Component* comp) {
 
           ComponentInfo info{comp->name, comp->type, rank, comp->nranks};
           const SimTime t_start = ctx.now();
-          comp->body(ctx, info);
-          trace_.record_span(comp->name, "run", t_start, ctx.now());
+          try {
+            comp->body(ctx, info);
+          } catch (const ComponentFailure&) {
+            // Degraded mode: the rank died, but the workflow survives.
+            // Dependents are still released below — they observe the death
+            // through component_failed() / missing data, not a teardown.
+            comp->failed = true;
+          }
+          trace_.record_span(comp->name, comp->failed ? "failed" : "run",
+                             t_start, ctx.now());
 
           if (--comp->unfinished_ranks == 0) {
             completion_order_.push_back(comp->name);
@@ -121,6 +130,19 @@ void Workflow::spawn_ranks(sim::Engine& engine, Component* comp) {
           }
         });
   }
+}
+
+std::vector<std::string> Workflow::failed_components() const {
+  std::vector<std::string> out;
+  for (const auto& comp : components_) {
+    if (comp->failed) out.push_back(comp->name);
+  }
+  return out;
+}
+
+bool Workflow::component_failed(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it != by_name_.end() && it->second->failed;
 }
 
 std::string Workflow::to_dot() const {

@@ -32,6 +32,17 @@ class WorkflowError : public Error {
   using Error::Error;
 };
 
+/// Thrown by a component body to declare the component dead (simulated
+/// crash, unrecoverable transport failure). Unlike any other exception —
+/// which tears the whole engine down — a ComponentFailure is absorbed by
+/// the workflow: the rank is marked failed, dependents are still released
+/// (degraded mode), and the run continues. Query failed_components() after
+/// launch() to see what died.
+class ComponentFailure : public WorkflowError {
+ public:
+  using WorkflowError::WorkflowError;
+};
+
 /// Identity handed to a component body.
 struct ComponentInfo {
   std::string name;
@@ -89,6 +100,11 @@ class Workflow {
     return completion_order_;
   }
 
+  /// Components with at least one rank that threw ComponentFailure during
+  /// the last launch(), in registration order.
+  std::vector<std::string> failed_components() const;
+  bool component_failed(const std::string& name) const;
+
   sim::TraceRecorder& trace() { return trace_; }
   std::size_t component_count() const { return components_.size(); }
 
@@ -106,6 +122,7 @@ class Workflow {
     // launch-time state
     int unfinished_ranks = 0;
     int unsatisfied_deps = 0;
+    bool failed = false;  // some rank threw ComponentFailure
     std::unique_ptr<sim::Event> ready;
     std::vector<Component*> dependents;
   };

@@ -1,0 +1,158 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+
+namespace simai::fault {
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::StoreOutage: return "outage";
+    case FaultKind::LatencySpike: return "spike";
+    case FaultKind::TransferFailure: return "transfer-failure";
+    case FaultKind::PayloadCorruption: return "corruption";
+  }
+  return "?";
+}
+
+namespace {
+
+// Domain-separation constants so the outage stream, each node's spike
+// stream, and the two per-op draw families are independent under one seed.
+constexpr std::uint64_t kOutageSalt = 0x07a6eull;
+constexpr std::uint64_t kSpikeSalt = 0x5b1ce5ull;
+constexpr std::uint64_t kTransferSalt = 0x7a115ull;
+constexpr std::uint64_t kCorruptSalt = 0xc0bb1eull;
+
+/// Poisson window process: arrivals at rate `rate`, exponential durations
+/// with the given mean, clipped to [0, horizon).
+void generate_windows(util::Xoshiro256& rng, double rate, SimTime mean_dur,
+                      SimTime horizon, FaultKind kind, int node,
+                      double multiplier, std::vector<FaultWindow>& out) {
+  if (rate <= 0.0 || mean_dur <= 0.0 || horizon <= 0.0) return;
+  SimTime t = 0.0;
+  while (true) {
+    t += rng.exponential(rate);
+    if (t >= horizon) return;
+    const SimTime dur = rng.exponential(1.0 / mean_dur);
+    out.push_back({kind, node, t, std::min(t + dur, horizon), multiplier});
+    t += dur;  // windows of one stream never overlap
+  }
+}
+
+}  // namespace
+
+FaultSchedule::FaultSchedule(const FaultSpec& spec) : spec_(spec) {
+  {
+    util::Xoshiro256 rng(util::mix64(spec.seed ^ kOutageSalt));
+    generate_windows(rng, spec.outage_rate, spec.outage_mean_duration,
+                     spec.horizon, FaultKind::StoreOutage, -1, 1.0, outages_);
+  }
+  windows_ = outages_;
+  for (int node = 0; node < spec.nodes; ++node) {
+    // One independent stream per node, so changing the node count never
+    // perturbs the windows of existing nodes.
+    util::Xoshiro256 rng(util::mix64(spec.seed ^ kSpikeSalt) +
+                         static_cast<std::uint64_t>(node));
+    generate_windows(rng, spec.spike_rate, spec.spike_mean_duration,
+                     spec.horizon, FaultKind::LatencySpike, node,
+                     spec.spike_multiplier, windows_);
+  }
+  std::stable_sort(windows_.begin(), windows_.end(),
+                   [](const FaultWindow& a, const FaultWindow& b) {
+                     return a.start < b.start;
+                   });
+}
+
+bool FaultSchedule::outage_active(SimTime t) const {
+  return outage_end_after(t) > t;
+}
+
+SimTime FaultSchedule::outage_end_after(SimTime t) const {
+  // Outages are sorted and non-overlapping: find the last window starting
+  // at or before t and check coverage.
+  auto it = std::upper_bound(
+      outages_.begin(), outages_.end(), t,
+      [](SimTime v, const FaultWindow& w) { return v < w.start; });
+  if (it == outages_.begin()) return t;
+  --it;
+  return t < it->end ? it->end : t;
+}
+
+double FaultSchedule::latency_multiplier(int node, SimTime t) const {
+  double m = 1.0;
+  for (const FaultWindow& w : windows_) {
+    if (w.start > t) break;
+    if (w.kind != FaultKind::LatencySpike) continue;
+    if (w.node >= 0 && w.node != node) continue;
+    if (t < w.end) m *= w.multiplier;
+  }
+  return m;
+}
+
+bool FaultSchedule::transfer_fails(std::uint64_t op_index) const {
+  if (spec_.transfer_failure_prob <= 0.0) return false;
+  return util::keyed_uniform(spec_.seed ^ kTransferSalt, op_index) <
+         spec_.transfer_failure_prob;
+}
+
+bool FaultSchedule::corrupts(std::uint64_t op_index) const {
+  if (spec_.corruption_prob <= 0.0) return false;
+  return util::keyed_uniform(spec_.seed ^ kCorruptSalt, op_index) <
+         spec_.corruption_prob;
+}
+
+std::string FaultSchedule::to_string() const {
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof line,
+                "fault-schedule seed=%llu horizon=%.9g p_fail=%.9g "
+                "p_corrupt=%.9g\n",
+                static_cast<unsigned long long>(spec_.seed), spec_.horizon,
+                spec_.transfer_failure_prob, spec_.corruption_prob);
+  out += line;
+  for (const FaultWindow& w : windows_) {
+    std::snprintf(line, sizeof line, "%s node=%d [%.9g, %.9g) x%.9g\n",
+                  std::string(fault_kind_name(w.kind)).c_str(), w.node,
+                  w.start, w.end, w.multiplier);
+    out += line;
+  }
+  return out;
+}
+
+void FaultSchedule::install(sim::Engine& engine, sim::TraceRecorder* trace,
+                            SimTime heartbeat) const {
+  if (windows_.empty()) return;
+  // Copy the windows into the closure: the schedule may outlive differently
+  // than the engine and this keeps install() safe either way.
+  std::vector<FaultWindow> windows = windows_;
+  const SimTime beat = heartbeat > 0.0 ? heartbeat : 1.0;
+  engine.spawn("fault-injector", [windows = std::move(windows), trace,
+                                  beat](sim::Context& ctx) {
+    for (const FaultWindow& w : windows) {
+      // Walk to the window's start, waking every `beat` so the injector can
+      // retire as soon as the workflow is done (it never holds the engine
+      // open more than one heartbeat past the last real process). The end
+      // is known a priori, so the span is recorded the moment the window
+      // opens — windows that begin while the run is live always appear,
+      // windows entirely after it never do.
+      while (ctx.now() < w.start) {
+        if (ctx.engine().live_process_count() <= 1) return;
+        ctx.delay(std::min(beat, w.start - ctx.now()));
+      }
+      if (trace) {
+        const std::string label =
+            w.node >= 0 ? std::string(fault_kind_name(w.kind)) + "@node" +
+                              std::to_string(w.node)
+                        : std::string(fault_kind_name(w.kind));
+        trace->record_async_span("fault", label, w.start, w.end);
+      }
+    }
+  });
+}
+
+}  // namespace simai::fault

@@ -1,0 +1,145 @@
+// Deterministic fault injection for the DES workflows.
+//
+// The paper benchmarks the four transport backends under healthy
+// conditions; at 512-node scale real campaigns see store outages, slow
+// nodes, and dropped transfers. This subsystem makes those perturbations a
+// first-class, *reproducible* part of an experiment:
+//
+//  * FaultSchedule expands a seeded FaultSpec into a fixed timeline of
+//    fault windows (store outages, per-node latency spikes) plus keyed
+//    per-operation draws (transfer failures, payload corruption). The same
+//    seed always yields the byte-identical schedule, and per-op draws are
+//    keyed by operation index — independent of event interleaving — so two
+//    runs see the exact same faults.
+//  * FaultyStore (faulty_store.hpp) injects the schedule into any kv
+//    backend; RetryPolicy (retry.hpp) lets DataStore survive it while
+//    charging realistic retry costs to the virtual clock.
+//  * install() materializes the windows as DES events and async trace
+//    spans, so fault windows are visible in timelines (ASCII, CSV, and
+//    chrome://tracing) alongside compute and transfers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kv/store.hpp"
+#include "util/types.hpp"
+
+namespace simai::sim {
+class Engine;
+class TraceRecorder;
+}  // namespace simai::sim
+
+namespace simai::fault {
+
+/// A backend operation failed for a reason that is expected to clear:
+/// store outage window or a dropped transfer. DataStore's RetryPolicy
+/// catches exactly this type (and IntegrityError); other StoreErrors
+/// propagate as hard failures.
+class TransientStoreError : public kv::StoreError {
+ public:
+  explicit TransientStoreError(const std::string& what,
+                               SimTime retry_after = -1.0)
+      : kv::StoreError(what), retry_after(retry_after) {}
+
+  /// Virtual time at which the fault is expected to clear (e.g. the end of
+  /// the outage window); < 0 when unknown. Retry loops may sleep until it.
+  SimTime retry_after;
+};
+
+/// A payload failed its CRC32 integrity check on read (see
+/// DataStoreConfig::verify_integrity). Retryable: the corruption is in
+/// transit, not at rest, so a re-read can succeed.
+class IntegrityError : public kv::StoreError {
+ public:
+  using StoreError::StoreError;
+};
+
+enum class FaultKind {
+  StoreOutage,       // backend rejects every operation inside the window
+  LatencySpike,      // one node's transport costs are multiplied
+  TransferFailure,   // a single operation is dropped (per-op draw)
+  PayloadCorruption  // a read returns flipped bytes (per-op draw)
+};
+
+std::string_view fault_kind_name(FaultKind kind);
+
+/// Generation parameters. Window processes are Poisson arrivals with
+/// exponential durations; per-op faults are Bernoulli draws keyed by the
+/// operation index.
+struct FaultSpec {
+  std::uint64_t seed = 1234;
+  /// Windows are generated over [0, horizon) of virtual time.
+  SimTime horizon = 600.0;
+
+  /// Store outages (whole backend unavailable).
+  double outage_rate = 0.0;  // windows per virtual second
+  SimTime outage_mean_duration = 0.25;
+
+  /// Per-node latency spikes (slow-node windows).
+  int nodes = 1;
+  double spike_rate = 0.0;  // windows per node per virtual second
+  SimTime spike_mean_duration = 0.5;
+  double spike_multiplier = 8.0;  // transport-cost factor inside a window
+
+  /// Per-operation fault probabilities.
+  double transfer_failure_prob = 0.0;
+  double corruption_prob = 0.0;
+};
+
+/// One generated fault window on the virtual timeline.
+struct FaultWindow {
+  FaultKind kind = FaultKind::StoreOutage;
+  int node = -1;  // -1 = store-wide (outages); >= 0 for latency spikes
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  double multiplier = 1.0;  // latency factor (spikes only)
+};
+
+/// The expanded, immutable fault timeline. Default-constructed schedules
+/// are empty (no faults), so a null-object pattern needs no branching.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  explicit FaultSchedule(const FaultSpec& spec);
+
+  const FaultSpec& spec() const { return spec_; }
+  const std::vector<FaultWindow>& windows() const { return windows_; }
+
+  /// True when a store-wide outage covers virtual time `t`.
+  bool outage_active(SimTime t) const;
+  /// End of the outage window covering `t` (== `t` when none is active).
+  SimTime outage_end_after(SimTime t) const;
+
+  /// Product of the multipliers of all latency-spike windows active for
+  /// `node` at time `t` (1.0 when none).
+  double latency_multiplier(int node, SimTime t) const;
+
+  /// Keyed Bernoulli draws for the op_index-th store operation. Stateless:
+  /// the decision depends only on (seed, op_index).
+  bool transfer_fails(std::uint64_t op_index) const;
+  bool corrupts(std::uint64_t op_index) const;
+
+  /// Canonical textual form of the whole timeline; two schedules are
+  /// identical iff their to_string() matches (the determinism tests and
+  /// bench_resilience compare exactly this).
+  std::string to_string() const;
+
+  /// Materialize the windows on an engine: spawns a "fault-injector"
+  /// process that walks the window boundaries in virtual time and records
+  /// each window as an async span on `trace` (track "fault"). Purely
+  /// observational — behaviour flows through FaultyStore and the pricing
+  /// multiplier — but it makes faults first-class events on the timeline.
+  /// The process exits once it is the only live process, checking every
+  /// `heartbeat` virtual seconds so it cannot stall engine shutdown.
+  void install(sim::Engine& engine, sim::TraceRecorder* trace,
+               SimTime heartbeat = 1.0) const;
+
+ private:
+  FaultSpec spec_;
+  std::vector<FaultWindow> windows_;  // sorted by start time
+  std::vector<FaultWindow> outages_;  // the StoreOutage subset, sorted
+};
+
+}  // namespace simai::fault

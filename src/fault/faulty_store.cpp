@@ -1,0 +1,76 @@
+#include "fault/faulty_store.hpp"
+
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace simai::fault {
+
+FaultyStore::FaultyStore(kv::StorePtr inner, const FaultSchedule* schedule,
+                         const sim::Engine* engine)
+    : inner_(std::move(inner)), schedule_(schedule), engine_(engine) {
+  if (!inner_) throw kv::StoreError("faulty store: null inner store");
+}
+
+SimTime FaultyStore::now() const { return engine_ ? engine_->now() : 0.0; }
+
+std::uint64_t FaultyStore::check_faults(const char* what) {
+  const std::uint64_t op = op_index_++;
+  if (!schedule_) return op;
+  const SimTime t = now();
+  if (schedule_->outage_active(t)) {
+    ++injected_failures_;
+    throw TransientStoreError(
+        std::string("fault: store outage during ") + what,
+        schedule_->outage_end_after(t));
+  }
+  if (schedule_->transfer_fails(op)) {
+    ++injected_failures_;
+    throw TransientStoreError(std::string("fault: transfer failure during ") +
+                              what);
+  }
+  return op;
+}
+
+void FaultyStore::put(std::string_view key, ByteView value) {
+  check_faults("put");
+  inner_->put(key, value);
+}
+
+bool FaultyStore::get(std::string_view key, Bytes& out) {
+  const std::uint64_t op = check_faults("get");
+  Bytes fetched;
+  if (!inner_->get(key, fetched)) return false;
+  if (schedule_ && !fetched.empty() && schedule_->corrupts(op)) {
+    // In-transit corruption: the value at rest is intact, a re-read can
+    // succeed. Flip the last byte — inside the payload region, or inside
+    // the CRC field itself for empty payloads; either way a checksummed
+    // round-trip detects it.
+    fetched.back() ^= static_cast<std::byte>(0xFF);
+    ++injected_corruptions_;
+  }
+  out = std::move(fetched);
+  return true;
+}
+
+bool FaultyStore::exists(std::string_view key) {
+  check_faults("exists");
+  return inner_->exists(key);
+}
+
+std::size_t FaultyStore::erase(std::string_view key) {
+  check_faults("erase");
+  return inner_->erase(key);
+}
+
+std::vector<std::string> FaultyStore::keys(std::string_view pattern) {
+  // Management/introspection ops stay fault-free: harnesses use them to
+  // inspect state regardless of injected conditions.
+  return inner_->keys(pattern);
+}
+
+std::size_t FaultyStore::size() { return inner_->size(); }
+
+void FaultyStore::clear() { inner_->clear(); }
+
+}  // namespace simai::fault

@@ -1,0 +1,64 @@
+// FaultyStore: a kv decorator that injects a FaultSchedule into any backend.
+//
+// Wrapping the backend (rather than patching each of the four store
+// implementations) gives every transport the identical fault surface:
+//
+//  * inside a store-outage window, every operation throws
+//    TransientStoreError carrying the window's end time;
+//  * the op-index-keyed transfer-failure draw drops individual operations;
+//  * the corruption draw flips the last byte of a fetched value — which the
+//    DataStore's opt-in CRC32 check detects, and silently propagates when
+//    the check is off (the satellite's point).
+//
+// The operation counter increments once per data op, so under the
+// deterministic DES the k-th operation of a run always sees the same fate.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault.hpp"
+#include "kv/store.hpp"
+
+namespace simai::sim {
+class Engine;
+}
+
+namespace simai::fault {
+
+class FaultyStore : public kv::IKeyValueStore {
+ public:
+  /// `schedule` may be null (transparent pass-through). `engine` provides
+  /// the virtual clock for window queries; null pins the clock at 0.
+  FaultyStore(kv::StorePtr inner, const FaultSchedule* schedule,
+              const sim::Engine* engine);
+
+  void put(std::string_view key, ByteView value) override;
+  bool get(std::string_view key, Bytes& out) override;
+  bool exists(std::string_view key) override;
+  std::size_t erase(std::string_view key) override;
+  std::vector<std::string> keys(std::string_view pattern = "*") override;
+  std::size_t size() override;
+  void clear() override;
+
+  /// Data operations attempted so far (the fault draw key).
+  std::uint64_t op_count() const { return op_index_; }
+  std::uint64_t injected_failures() const { return injected_failures_; }
+  std::uint64_t injected_corruptions() const { return injected_corruptions_; }
+
+  kv::IKeyValueStore& inner() { return *inner_; }
+
+ private:
+  SimTime now() const;
+  /// Throws TransientStoreError for the current op when the schedule says
+  /// so; returns this op's draw index otherwise.
+  std::uint64_t check_faults(const char* what);
+
+  kv::StorePtr inner_;
+  const FaultSchedule* schedule_;
+  const sim::Engine* engine_;
+  std::uint64_t op_index_ = 0;
+  std::uint64_t injected_failures_ = 0;
+  std::uint64_t injected_corruptions_ = 0;
+};
+
+}  // namespace simai::fault

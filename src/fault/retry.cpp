@@ -1,0 +1,52 @@
+#include "fault/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simai::fault {
+
+SimTime RetryPolicy::backoff_delay(int attempt, util::Xoshiro256& rng) const {
+  if (attempt < 1) attempt = 1;
+  double delay = backoff_base *
+                 std::pow(backoff_multiplier, static_cast<double>(attempt - 1));
+  delay = std::min(delay, static_cast<double>(backoff_max));
+  if (jitter > 0.0) delay *= 1.0 + rng.uniform(-jitter, jitter);
+  return std::max(delay, 0.0);
+}
+
+RetryPolicy RetryPolicy::from_json(const util::Json& spec) {
+  RetryPolicy p;
+  p.max_attempts =
+      static_cast<int>(spec.get("max_attempts",
+                                static_cast<std::int64_t>(p.max_attempts)));
+  p.timeout = spec.get("timeout_s", p.timeout);
+  p.backoff_base = spec.get("backoff_base_s", p.backoff_base);
+  p.backoff_multiplier = spec.get("backoff_multiplier", p.backoff_multiplier);
+  p.backoff_max = spec.get("backoff_max_s", p.backoff_max);
+  p.jitter = spec.get("jitter", p.jitter);
+  if (p.max_attempts < 1)
+    throw ConfigError("retry policy: max_attempts must be >= 1");
+  if (p.timeout < 0.0 || p.backoff_base < 0.0 || p.backoff_max < 0.0)
+    throw ConfigError("retry policy: negative timing parameter");
+  return p;
+}
+
+util::Json RetryPolicy::to_json() const {
+  util::Json j;
+  j["max_attempts"] = static_cast<std::int64_t>(max_attempts);
+  j["timeout_s"] = timeout;
+  j["backoff_base_s"] = backoff_base;
+  j["backoff_multiplier"] = backoff_multiplier;
+  j["backoff_max_s"] = backoff_max;
+  j["jitter"] = jitter;
+  return j;
+}
+
+void RecoveryStats::merge(const RecoveryStats& other) {
+  retries += other.retries;
+  failed_ops += other.failed_ops;
+  corrupt_payloads += other.corrupt_payloads;
+  recovery_time += other.recovery_time;
+}
+
+}  // namespace simai::fault

@@ -1,0 +1,56 @@
+// Retry policy and recovery accounting for resilient transport clients.
+//
+// A failed store operation costs real time on a real machine: the client
+// burns its timeout detecting the failure, then sleeps an (exponentially
+// growing, jittered) backoff before the next attempt. RetryPolicy captures
+// those parameters; DataStore charges every failed attempt's timeout and
+// backoff to the caller's virtual clock, so resilience has a faithful
+// performance price. RecoveryStats aggregates what the retries cost.
+#pragma once
+
+#include <cstdint>
+
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace simai::fault {
+
+struct RetryPolicy {
+  /// Attempts per operation, including the first (>= 1). An operation that
+  /// fails `max_attempts` times is recorded as a failed op and surrendered.
+  int max_attempts = 6;
+  /// Virtual time burned detecting one failed attempt (the client timeout).
+  SimTime timeout = 0.05;
+  /// Backoff before retry k is base * multiplier^(k-1), capped at `max`.
+  SimTime backoff_base = 0.01;
+  double backoff_multiplier = 2.0;
+  SimTime backoff_max = 2.0;
+  /// Uniform jitter as a fraction of the backoff: delay *= 1 + U(-j, +j).
+  double jitter = 0.1;
+
+  /// Backoff before the (attempt+1)-th try, `attempt` counting failures so
+  /// far (1-based). Draws jitter from `rng` (deterministic under the DES).
+  SimTime backoff_delay(int attempt, util::Xoshiro256& rng) const;
+
+  /// Every field optional; unknown keys ignored (config surface of the
+  /// resilience benches).
+  static RetryPolicy from_json(const util::Json& spec);
+  util::Json to_json() const;
+};
+
+/// What resilience cost a client: surfaced per component through
+/// core::Report alongside throughput statistics.
+struct RecoveryStats {
+  std::uint64_t retries = 0;           // failed attempts that were retried
+  std::uint64_t failed_ops = 0;        // operations that exhausted attempts
+  std::uint64_t corrupt_payloads = 0;  // CRC mismatches detected on read
+  SimTime recovery_time = 0.0;  // virtual time spent in timeouts + backoff
+
+  void merge(const RecoveryStats& other);
+  bool any() const {
+    return retries || failed_ops || corrupt_payloads || recovery_time > 0.0;
+  }
+};
+
+}  // namespace simai::fault

@@ -202,15 +202,20 @@ SimTime TransportModel::daos_cost(StoreOp op, std::uint64_t bytes,
 SimTime TransportModel::cost(BackendKind backend, StoreOp op,
                              std::uint64_t bytes,
                              const TransportContext& ctx) const {
+  SimTime base = 0.0;
   switch (backend) {
-    case BackendKind::NodeLocal: return node_local_cost(op, bytes);
-    case BackendKind::Dragon: return dragon_cost(op, bytes, ctx);
-    case BackendKind::Redis: return redis_cost(op, bytes, ctx);
-    case BackendKind::Filesystem: return filesystem_cost(op, bytes, ctx);
-    case BackendKind::Stream: return stream_cost(op, bytes, ctx);
-    case BackendKind::Daos: return daos_cost(op, bytes, ctx);
+    case BackendKind::NodeLocal: base = node_local_cost(op, bytes); break;
+    case BackendKind::Dragon: base = dragon_cost(op, bytes, ctx); break;
+    case BackendKind::Redis: base = redis_cost(op, bytes, ctx); break;
+    case BackendKind::Filesystem:
+      base = filesystem_cost(op, bytes, ctx);
+      break;
+    case BackendKind::Stream: base = stream_cost(op, bytes, ctx); break;
+    case BackendKind::Daos: base = daos_cost(op, bytes, ctx); break;
   }
-  return 0.0;
+  return ctx.latency_multiplier == 1.0
+             ? base
+             : base * std::max(ctx.latency_multiplier, 0.0);
 }
 
 double TransportModel::throughput(BackendKind backend, StoreOp op,

@@ -52,6 +52,9 @@ struct TransportContext {
   /// Machine-wide concurrent clients of the backend (drives Lustre MDS
   /// contention: 12 x nodes in Pattern 1).
   int concurrent_clients = 1;
+  /// Degraded-operation factor applied to the final cost (slow-node /
+  /// latency-spike windows injected by simai::fault; 1.0 = healthy).
+  double latency_multiplier = 1.0;
 };
 
 /// Dragon distributed-dictionary parameters.

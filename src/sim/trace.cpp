@@ -5,11 +5,18 @@
 #include <map>
 #include <sstream>
 
+#include "util/json.hpp"
+
 namespace simai::sim {
 
 void TraceRecorder::record_span(std::string track, std::string category,
                                 SimTime start, SimTime end) {
-  spans_.push_back({std::move(track), std::move(category), start, end});
+  spans_.push_back({std::move(track), std::move(category), start, end, false});
+}
+
+void TraceRecorder::record_async_span(std::string track, std::string category,
+                                      SimTime start, SimTime end) {
+  spans_.push_back({std::move(track), std::move(category), start, end, true});
 }
 
 void TraceRecorder::record_instant(std::string track, std::string category,
@@ -91,6 +98,79 @@ std::string TraceRecorder::render_ascii(int width, SimTime t0,
   out << std::string(label_width, ' ') << "  t=" << t0 << " .. " << t1
       << " s  ('|' = data transfer)\n";
   return out.str();
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  // Tracks in first-seen order, as in render_ascii.
+  std::vector<std::string> tracks;
+  auto track_tid = [&](const std::string& name) {
+    const auto it = std::find(tracks.begin(), tracks.end(), name);
+    if (it != tracks.end())
+      return static_cast<std::int64_t>(it - tracks.begin());
+    tracks.push_back(name);
+    return static_cast<std::int64_t>(tracks.size() - 1);
+  };
+  for (const auto& s : spans_) track_tid(s.track);
+  for (const auto& i : instants_) track_tid(i.track);
+
+  const auto micros = [](SimTime t) { return t * 1e6; };
+  util::Json events = util::Json::array();
+  for (std::size_t tid = 0; tid < tracks.size(); ++tid) {
+    util::Json m;
+    m["ph"] = "M";
+    m["name"] = "thread_name";
+    m["pid"] = 0;
+    m["tid"] = static_cast<std::int64_t>(tid);
+    m["args"]["name"] = tracks[tid];
+    events.push_back(std::move(m));
+  }
+  std::int64_t next_async_id = 1;
+  for (const auto& s : spans_) {
+    const std::int64_t tid = track_tid(s.track);
+    if (!s.async) {
+      util::Json e;
+      e["ph"] = "X";
+      e["name"] = s.category;
+      e["cat"] = s.category;
+      e["pid"] = 0;
+      e["tid"] = tid;
+      e["ts"] = micros(s.start);
+      e["dur"] = micros(s.end - s.start);
+      events.push_back(std::move(e));
+      continue;
+    }
+    // Async overlay: a begin/end pair sharing an id, scoped by category so
+    // Perfetto groups fault windows into their own async lanes.
+    const std::int64_t id = next_async_id++;
+    for (const char* ph : {"b", "e"}) {
+      util::Json e;
+      e["ph"] = ph;
+      e["name"] = s.category;
+      e["cat"] = s.track;
+      e["id"] = id;
+      e["pid"] = 0;
+      e["tid"] = tid;
+      e["ts"] = micros(ph[0] == 'b' ? s.start : s.end);
+      events.push_back(std::move(e));
+    }
+  }
+  for (const auto& i : instants_) {
+    util::Json e;
+    e["ph"] = "i";
+    e["s"] = "t";  // thread-scoped tick mark
+    e["name"] = i.category;
+    e["cat"] = i.category;
+    e["pid"] = 0;
+    e["tid"] = track_tid(i.track);
+    e["ts"] = micros(i.time);
+    e["args"]["bytes"] = static_cast<std::int64_t>(i.bytes);
+    events.push_back(std::move(e));
+  }
+
+  util::Json doc;
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+  return doc.dump();
 }
 
 void TraceRecorder::clear() {

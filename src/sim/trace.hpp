@@ -18,6 +18,10 @@ struct TraceSpan {
   std::string category;  // e.g. "iter", "init"
   SimTime start = 0.0;
   SimTime end = 0.0;
+  /// Async spans overlay the track (injected fault windows, outstanding
+  /// requests) rather than describing its serial occupancy; the Chrome
+  /// export renders them as async ("b"/"e") events.
+  bool async = false;
 };
 
 struct TraceInstant {
@@ -31,6 +35,9 @@ class TraceRecorder {
  public:
   void record_span(std::string track, std::string category, SimTime start,
                    SimTime end);
+  /// Record an overlay span (see TraceSpan::async) — e.g. a fault window.
+  void record_async_span(std::string track, std::string category,
+                         SimTime start, SimTime end);
   void record_instant(std::string track, std::string category, SimTime time,
                       std::uint64_t bytes = 0);
 
@@ -43,6 +50,14 @@ class TraceRecorder {
 
   /// "track,category,start,end,bytes" rows; instants have start==end.
   std::string to_csv() const;
+
+  /// Chrome trace_event JSON ("JSON Object Format"): loadable in
+  /// chrome://tracing and Perfetto. Tracks map to thread lanes (named via
+  /// thread_name metadata), spans to complete ("X") events, instants to
+  /// "i" events carrying byte counts, and async spans — injected fault
+  /// windows — to async "b"/"e" pairs so they overlay the timeline.
+  /// Timestamps are virtual seconds scaled to microseconds.
+  std::string to_chrome_json() const;
 
   /// Render an ASCII timeline: one row per track, `width` columns between
   /// t0 and t1 (defaults: full range). Span categories paint with their

@@ -101,4 +101,16 @@ void Xoshiro256::jump() {
   s_[3] = s3;
 }
 
+std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double keyed_uniform(std::uint64_t seed, std::uint64_t index) {
+  // Two mix rounds decorrelate adjacent indices under any seed.
+  const std::uint64_t h = mix64(mix64(seed + 0x9E3779B97F4A7C15ull) ^ index);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
 }  // namespace simai::util

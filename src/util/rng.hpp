@@ -55,4 +55,14 @@ class Xoshiro256 {
   std::uint64_t s_[4];
 };
 
+/// Stateless 64-bit mix (the SplitMix64 finalizer). Combining a seed with a
+/// counter through mix64 yields draws that depend only on (seed, counter) —
+/// the keyed construction the fault injector uses so the k-th store
+/// operation sees the same fault decision regardless of event interleaving.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Uniform double in [0, 1) keyed by (seed, index); stateless, so the draw
+/// for a given index is independent of every other call.
+double keyed_uniform(std::uint64_t seed, std::uint64_t index);
+
 }  // namespace simai::util

@@ -1,0 +1,475 @@
+// Tests for the simai::fault subsystem: deterministic schedule generation,
+// retry/backoff math, fault injection through FaultyStore, DataStore
+// resilience (retries, degraded mode, CRC integrity), stream producer-death
+// semantics, workflow-level failure absorption, and the Chrome trace export
+// of fault windows.
+#include <gtest/gtest.h>
+
+#include "core/datastore.hpp"
+#include "core/stream.hpp"
+#include "core/workflow.hpp"
+#include "fault/fault.hpp"
+#include "fault/faulty_store.hpp"
+#include "fault/retry.hpp"
+#include "kv/memory_store.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace simai {
+namespace {
+
+fault::FaultSpec busy_spec(std::uint64_t seed = 42) {
+  fault::FaultSpec spec;
+  spec.seed = seed;
+  spec.horizon = 50.0;
+  spec.outage_rate = 0.5;
+  spec.outage_mean_duration = 0.4;
+  spec.nodes = 3;
+  spec.spike_rate = 0.3;
+  spec.spike_mean_duration = 0.5;
+  spec.spike_multiplier = 4.0;
+  spec.transfer_failure_prob = 0.25;
+  spec.corruption_prob = 0.1;
+  return spec;
+}
+
+TEST(FaultSchedule, SameSeedByteIdentical) {
+  const fault::FaultSchedule a(busy_spec());
+  const fault::FaultSchedule b(busy_spec());
+  ASSERT_FALSE(a.windows().empty());
+  EXPECT_EQ(a.to_string(), b.to_string());
+
+  const fault::FaultSchedule c(busy_spec(/*seed=*/43));
+  EXPECT_NE(a.to_string(), c.to_string());
+}
+
+TEST(FaultSchedule, WindowsSortedAndWithinHorizon) {
+  const fault::FaultSchedule s(busy_spec());
+  SimTime prev = 0.0;
+  for (const fault::FaultWindow& w : s.windows()) {
+    EXPECT_GE(w.start, prev);
+    EXPECT_GT(w.end, w.start);
+    EXPECT_LT(w.start, s.spec().horizon);
+    if (w.kind == fault::FaultKind::LatencySpike) {
+      EXPECT_GE(w.node, 0);
+      EXPECT_LT(w.node, s.spec().nodes);
+      EXPECT_GT(w.multiplier, 1.0);
+    } else {
+      EXPECT_EQ(w.node, -1);
+    }
+    prev = w.start;
+  }
+}
+
+TEST(FaultSchedule, OutageQueries) {
+  const fault::FaultSchedule s(busy_spec());
+  const fault::FaultWindow* first = nullptr;
+  for (const fault::FaultWindow& w : s.windows()) {
+    if (w.kind == fault::FaultKind::StoreOutage) {
+      first = &w;
+      break;
+    }
+  }
+  ASSERT_NE(first, nullptr);
+  const SimTime mid = 0.5 * (first->start + first->end);
+  EXPECT_TRUE(s.outage_active(mid));
+  EXPECT_DOUBLE_EQ(s.outage_end_after(mid), first->end);
+  // Before the first window: no outage, end == query time.
+  const SimTime before = 0.5 * first->start;
+  EXPECT_FALSE(s.outage_active(before));
+  EXPECT_DOUBLE_EQ(s.outage_end_after(before), before);
+}
+
+TEST(FaultSchedule, KeyedDrawsAreStatelessAndCalibrated) {
+  const fault::FaultSchedule a(busy_spec());
+  const fault::FaultSchedule b(busy_spec());
+  int fails = 0;
+  constexpr int kDraws = 20000;
+  for (std::uint64_t i = 0; i < kDraws; ++i) {
+    // Stateless: the i-th draw is a pure function of (seed, i), so querying
+    // in any order (or twice) gives the same answer.
+    EXPECT_EQ(a.transfer_fails(i), b.transfer_fails(i));
+    EXPECT_EQ(a.corrupts(i), b.corrupts(i));
+    if (a.transfer_fails(i)) ++fails;
+  }
+  const double freq = static_cast<double>(fails) / kDraws;
+  EXPECT_NEAR(freq, busy_spec().transfer_failure_prob, 0.02);
+}
+
+TEST(FaultSchedule, EmptyDefaultIsTransparent) {
+  const fault::FaultSchedule s;
+  EXPECT_TRUE(s.windows().empty());
+  EXPECT_FALSE(s.outage_active(1.0));
+  EXPECT_DOUBLE_EQ(s.latency_multiplier(0, 1.0), 1.0);
+  EXPECT_FALSE(s.transfer_fails(7));
+}
+
+TEST(RetryPolicy, BackoffMathWithoutJitter) {
+  fault::RetryPolicy p;
+  p.backoff_base = 0.01;
+  p.backoff_multiplier = 2.0;
+  p.backoff_max = 0.05;
+  p.jitter = 0.0;
+  util::Xoshiro256 rng(1);
+  EXPECT_DOUBLE_EQ(p.backoff_delay(1, rng), 0.01);
+  EXPECT_DOUBLE_EQ(p.backoff_delay(2, rng), 0.02);
+  EXPECT_DOUBLE_EQ(p.backoff_delay(3, rng), 0.04);
+  EXPECT_DOUBLE_EQ(p.backoff_delay(4, rng), 0.05);  // capped
+  EXPECT_DOUBLE_EQ(p.backoff_delay(10, rng), 0.05);
+}
+
+TEST(RetryPolicy, JitterStaysWithinBounds) {
+  fault::RetryPolicy p;
+  p.backoff_base = 0.1;
+  p.jitter = 0.2;
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const SimTime d = p.backoff_delay(1, rng);
+    EXPECT_GE(d, 0.08);
+    EXPECT_LE(d, 0.12);
+  }
+}
+
+TEST(RetryPolicy, JsonRoundTripAndValidation) {
+  fault::RetryPolicy p;
+  p.max_attempts = 9;
+  p.timeout = 0.123;
+  p.backoff_base = 0.02;
+  p.backoff_multiplier = 3.0;
+  p.backoff_max = 1.5;
+  p.jitter = 0.25;
+  const fault::RetryPolicy q = fault::RetryPolicy::from_json(p.to_json());
+  EXPECT_EQ(q.max_attempts, 9);
+  EXPECT_DOUBLE_EQ(q.timeout, 0.123);
+  EXPECT_DOUBLE_EQ(q.backoff_multiplier, 3.0);
+
+  util::Json bad;
+  bad["max_attempts"] = static_cast<std::int64_t>(0);
+  EXPECT_THROW(fault::RetryPolicy::from_json(bad), ConfigError);
+  util::Json neg;
+  neg["timeout_s"] = -1.0;
+  EXPECT_THROW(fault::RetryPolicy::from_json(neg), ConfigError);
+}
+
+TEST(FaultyStore, OutageWindowThrowsTransientWithRetryAfter) {
+  const fault::FaultSchedule schedule(busy_spec());
+  const fault::FaultWindow* outage = nullptr;
+  for (const fault::FaultWindow& w : schedule.windows()) {
+    if (w.kind == fault::FaultKind::StoreOutage) {
+      outage = &w;
+      break;
+    }
+  }
+  ASSERT_NE(outage, nullptr);
+
+  sim::Engine engine;
+  fault::FaultyStore store(std::make_shared<kv::MemoryStore>(), &schedule,
+                           &engine);
+  engine.spawn("probe", [&](sim::Context& ctx) {
+    ctx.delay(0.5 * (outage->start + outage->end));
+    try {
+      store.put("k", to_bytes("v"));
+      FAIL() << "put inside an outage window must throw";
+    } catch (const fault::TransientStoreError& e) {
+      EXPECT_DOUBLE_EQ(e.retry_after, outage->end);
+    }
+  });
+  engine.run();
+  EXPECT_EQ(store.injected_failures(), 1u);
+}
+
+TEST(FaultyStore, NullScheduleIsPassThrough) {
+  fault::FaultyStore store(std::make_shared<kv::MemoryStore>(), nullptr,
+                           nullptr);
+  store.put("k", to_bytes("value"));
+  Bytes out;
+  ASSERT_TRUE(store.get("k", out));
+  EXPECT_EQ(to_string(ByteView(out)), "value");
+  EXPECT_EQ(store.injected_failures(), 0u);
+  EXPECT_EQ(store.injected_corruptions(), 0u);
+}
+
+TEST(DataStoreResilience, WriteInsideOutageCompletesAfterWindow) {
+  const fault::FaultSchedule schedule(busy_spec());
+  const fault::FaultWindow* outage = nullptr;
+  for (const fault::FaultWindow& w : schedule.windows()) {
+    if (w.kind == fault::FaultKind::StoreOutage) {
+      outage = &w;
+      break;
+    }
+  }
+  ASSERT_NE(outage, nullptr);
+
+  sim::Engine engine;
+  auto faulty = std::make_shared<fault::FaultyStore>(
+      std::make_shared<kv::MemoryStore>(), &schedule, &engine);
+  core::DataStoreConfig cfg;
+  cfg.faults = &schedule;
+  cfg.retry.max_attempts = 20;
+  cfg.retry.timeout = 0.01;
+  cfg.retry.backoff_base = 0.005;
+  core::DataStore store("client", faulty, nullptr, cfg);
+
+  bool wrote = false;
+  SimTime done_at = -1.0;
+  engine.spawn("writer", [&](sim::Context& ctx) {
+    ctx.delay(0.5 * (outage->start + outage->end));
+    wrote = store.stage_write(&ctx, "snap", to_bytes("data"));
+    done_at = ctx.now();
+  });
+  engine.run();
+
+  EXPECT_TRUE(wrote);
+  EXPECT_GE(done_at, outage->end);  // the outage had to clear first
+  EXPECT_GT(store.recovery().retries, 0u);
+  EXPECT_GT(store.recovery().recovery_time, 0.0);
+  EXPECT_EQ(store.recovery().failed_ops, 0u);
+}
+
+TEST(DataStoreResilience, ExhaustedRetriesDegradeToFalse) {
+  fault::FaultSpec spec;
+  spec.transfer_failure_prob = 1.0;  // every operation is dropped
+  const fault::FaultSchedule schedule(spec);
+
+  sim::Engine engine;
+  auto faulty = std::make_shared<fault::FaultyStore>(
+      std::make_shared<kv::MemoryStore>(), &schedule, &engine);
+  core::DataStoreConfig cfg;
+  cfg.faults = &schedule;
+  cfg.retry.max_attempts = 3;
+  cfg.retry.timeout = 0.01;
+  core::DataStore store("client", faulty, nullptr, cfg);
+
+  bool wrote = true;
+  engine.spawn("writer", [&](sim::Context& ctx) {
+    wrote = store.stage_write(&ctx, "snap", to_bytes("data"));
+  });
+  engine.run();
+
+  EXPECT_FALSE(wrote);  // degraded mode: surrendered, not thrown
+  EXPECT_EQ(store.recovery().failed_ops, 1u);
+  EXPECT_EQ(store.recovery().retries, 2u);  // attempts 2 and 3
+  EXPECT_GT(store.recovery().recovery_time, 0.0);
+}
+
+TEST(DataStoreResilience, IntegrityCheckDetectsCorruption) {
+  fault::FaultSpec spec;
+  spec.corruption_prob = 1.0;  // every get returns flipped bytes
+  const fault::FaultSchedule schedule(spec);
+
+  sim::Engine engine;
+  auto faulty = std::make_shared<fault::FaultyStore>(
+      std::make_shared<kv::MemoryStore>(), &schedule, &engine);
+  core::DataStoreConfig cfg;
+  cfg.faults = &schedule;
+  cfg.verify_integrity = true;
+  cfg.retry.max_attempts = 3;
+  cfg.retry.timeout = 0.001;
+  core::DataStore store("client", faulty, nullptr, cfg);
+
+  bool wrote = false, read = true;
+  engine.spawn("client", [&](sim::Context& ctx) {
+    wrote = store.stage_write(&ctx, "snap", to_bytes("payload"));
+    Bytes out;
+    read = store.stage_read(&ctx, "snap", out);
+  });
+  engine.run();
+
+  EXPECT_TRUE(wrote);   // puts are unaffected by the corruption draw
+  EXPECT_FALSE(read);   // every re-read corrupts again: surrendered
+  EXPECT_GT(store.recovery().corrupt_payloads, 0u);
+  EXPECT_GT(faulty->injected_corruptions(), 0u);
+}
+
+TEST(DataStoreResilience, WithoutIntegrityCorruptionPropagatesSilently) {
+  fault::FaultSpec spec;
+  spec.corruption_prob = 1.0;
+  const fault::FaultSchedule schedule(spec);
+
+  sim::Engine engine;
+  auto faulty = std::make_shared<fault::FaultyStore>(
+      std::make_shared<kv::MemoryStore>(), &schedule, &engine);
+  core::DataStoreConfig cfg;
+  cfg.faults = &schedule;  // verify_integrity left off
+  core::DataStore store("client", faulty, nullptr, cfg);
+
+  bool read = false;
+  Bytes out;
+  engine.spawn("client", [&](sim::Context& ctx) {
+    store.stage_write(&ctx, "snap", to_bytes("payload"));
+    read = store.stage_read(&ctx, "snap", out);
+  });
+  engine.run();
+
+  ASSERT_TRUE(read);  // no checksum, so the corrupt value reads "fine"
+  EXPECT_NE(to_string(ByteView(out)), "payload");
+  EXPECT_EQ(store.recovery().corrupt_payloads, 0u);  // undetected
+}
+
+TEST(StreamFault, TimeoutMeansSlowNotDead) {
+  sim::Engine engine;
+  core::StreamBroker broker(engine, nullptr);
+  auto writer = broker.open_writer("s");
+  auto reader = broker.open_reader("s");
+  engine.spawn("reader", [&](sim::Context& ctx) {
+    // Producer alive but slow: NotReady, and we can retry successfully.
+    EXPECT_EQ(reader.begin_step(ctx, 1.0), core::StepStatus::NotReady);
+    EXPECT_EQ(reader.begin_step(ctx, 5.0), core::StepStatus::Ok);
+    reader.end_step();
+    EXPECT_EQ(reader.begin_step(ctx), core::StepStatus::EndOfStream);
+  });
+  engine.spawn("writer", [&](sim::Context& ctx) {
+    ctx.delay(2.0);
+    writer.begin_step(ctx);
+    writer.put("x", as_bytes_view("late"));
+    writer.end_step(ctx);
+    writer.close(ctx);
+  });
+  engine.run();
+}
+
+TEST(StreamFault, ProducerDeathDrainsThenReportsFailure) {
+  sim::Engine engine;
+  core::StreamBroker broker(engine, nullptr);
+  auto writer = broker.open_writer("s");
+  auto reader = broker.open_reader("s");
+  engine.spawn("writer", [&](sim::Context& ctx) {
+    writer.begin_step(ctx);
+    writer.put("x", as_bytes_view("last-words"));
+    writer.end_step(ctx);
+    ctx.delay(0.5);
+    writer.fail(ctx);  // dies without close()
+    writer.fail(ctx);  // idempotent
+  });
+  core::StepStatus final_status = core::StepStatus::Ok;
+  engine.spawn("reader", [&](sim::Context& ctx) {
+    // Queued data drains first — producer death must not lose it.
+    ASSERT_EQ(reader.begin_step(ctx), core::StepStatus::Ok);
+    EXPECT_EQ(to_string(ByteView(reader.get(ctx, "x"))), "last-words");
+    reader.end_step();
+    final_status = reader.begin_step(ctx);
+  });
+  engine.run();
+  EXPECT_EQ(final_status, core::StepStatus::ProducerFailed);
+}
+
+TEST(StreamFault, FailDiscardsOpenStep) {
+  sim::Engine engine;
+  core::StreamBroker broker(engine, nullptr);
+  auto writer = broker.open_writer("s");
+  auto reader = broker.open_reader("s");
+  engine.spawn("writer", [&](sim::Context& ctx) {
+    writer.begin_step(ctx);
+    writer.put("x", as_bytes_view("never-published"));
+    writer.fail(ctx);  // mid-step crash: the open step is lost
+  });
+  core::StepStatus st = core::StepStatus::Ok;
+  engine.spawn("reader",
+               [&](sim::Context& ctx) { st = reader.begin_step(ctx); });
+  engine.run();
+  EXPECT_EQ(st, core::StepStatus::ProducerFailed);
+}
+
+TEST(WorkflowFault, ComponentFailureIsAbsorbed) {
+  core::Workflow w;
+  bool dependent_ran = false;
+  w.component("dies", "remote", {}, [](sim::Context&, const auto&) {
+    throw core::ComponentFailure("simulated crash");
+  });
+  w.component("survivor", "remote", {"dies"},
+              [&](sim::Context&, const auto&) { dependent_ran = true; });
+  w.launch();  // must not throw
+  EXPECT_TRUE(dependent_ran);  // degraded mode: dependents still released
+  EXPECT_EQ(w.failed_components(), std::vector<std::string>{"dies"});
+  EXPECT_TRUE(w.component_failed("dies"));
+  EXPECT_FALSE(w.component_failed("survivor"));
+}
+
+TEST(WorkflowFault, CompletesUnderOutagesWithRecoveryStats) {
+  // End-to-end: a producer/consumer workflow running over a fault-heavy
+  // schedule completes every exchange, with the recovery cost on record.
+  fault::FaultSpec spec;
+  spec.seed = 11;
+  spec.horizon = 30.0;
+  spec.outage_rate = 0.8;
+  spec.outage_mean_duration = 0.2;
+  spec.transfer_failure_prob = 0.1;
+  const fault::FaultSchedule schedule(spec);
+
+  sim::Engine engine;
+  auto faulty = std::make_shared<fault::FaultyStore>(
+      std::make_shared<kv::MemoryStore>(), &schedule, &engine);
+  core::DataStoreConfig cfg;
+  cfg.faults = &schedule;
+  cfg.retry.max_attempts = 12;
+  cfg.retry.timeout = 0.01;
+  cfg.retry.backoff_base = 0.005;
+  core::DataStore prod("prod", faulty, nullptr, cfg);
+  core::DataStore cons("cons", faulty, nullptr, cfg);
+
+  constexpr int kRounds = 20;
+  int delivered = 0;
+  core::Workflow w;
+  w.component("producer", "remote", {}, [&](sim::Context& ctx, const auto&) {
+    for (int r = 0; r < kRounds; ++r) {
+      ctx.delay(0.2);
+      ASSERT_TRUE(
+          prod.stage_write(&ctx, "snap" + std::to_string(r), to_bytes("d")));
+    }
+  });
+  w.component("consumer", "remote", {}, [&](sim::Context& ctx, const auto&) {
+    for (int r = 0; r < kRounds; ++r) {
+      const std::string key = "snap" + std::to_string(r);
+      while (!cons.poll_staged_data(&ctx, key)) ctx.delay(0.05);
+      Bytes out;
+      if (cons.stage_read(&ctx, key, out)) ++delivered;
+    }
+  });
+  w.launch(engine);
+
+  EXPECT_EQ(delivered, kRounds);
+  fault::RecoveryStats total = prod.recovery();
+  total.merge(cons.recovery());
+  EXPECT_GT(total.retries, 0u);
+  EXPECT_GT(total.recovery_time, 0.0);
+  EXPECT_GT(w.makespan(), 0.0);
+}
+
+TEST(FaultTrace, InstallRecordsWindowsAndTerminates) {
+  fault::FaultSpec spec;
+  spec.seed = 5;
+  spec.horizon = 8.0;
+  spec.outage_rate = 0.5;
+  spec.outage_mean_duration = 0.3;
+  const fault::FaultSchedule schedule(spec);
+  ASSERT_FALSE(schedule.windows().empty());
+
+  sim::Engine engine;
+  sim::TraceRecorder trace;
+  schedule.install(engine, &trace);
+  engine.spawn("work", [&](sim::Context& ctx) { ctx.delay(2.0); });
+  engine.run();  // injector must exit on its own — no deadlock, no hang
+
+  std::size_t async_spans = 0;
+  for (const sim::TraceSpan& s : trace.spans())
+    if (s.async && s.track == "fault") ++async_spans;
+  EXPECT_GT(async_spans, 0u);
+}
+
+TEST(FaultTrace, ChromeJsonExport) {
+  sim::TraceRecorder trace;
+  trace.record_span("sim", "iter", 0.0, 1.0);
+  trace.record_instant("sim", "write", 0.5, 4096);
+  trace.record_async_span("fault", "store-outage", 0.2, 0.8);
+  const std::string json = trace.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);   // span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);   // instant
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);   // async begin
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);   // async end
+  EXPECT_NE(json.find("thread_name"), std::string::npos);    // track names
+  EXPECT_NE(json.find("store-outage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simai

@@ -20,6 +20,7 @@
 
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "util/json.hpp"
 #include "util/string_util.hpp"
 
 using namespace simai;
@@ -185,6 +186,19 @@ int main(int argc, char** argv) {
       }
       return usage();
     }
+  } catch (const util::JsonError& e) {
+    // Malformed (or unreadable) config document: say exactly what and
+    // where, rather than echoing usage for a correctly-spelled command.
+    std::fprintf(stderr, "simai_run: invalid config JSON: %s\n", e.what());
+    return 3;
+  } catch (const simai::ConfigError& e) {
+    std::fprintf(stderr, "simai_run: invalid configuration: %s\n", e.what());
+    if (std::strstr(e.what(), "unknown backend") != nullptr) {
+      std::fprintf(stderr,
+                   "  valid backends: node-local, dragon, redis, filesystem, "
+                   "stream, daos\n");
+    }
+    return 4;
   } catch (const simai::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
