@@ -1,0 +1,113 @@
+// DES dispatch-throughput microbenchmark: fiber vs thread substrate.
+//
+// Every paper figure is millions of replayed events, so raw dispatch rate
+// bounds how large a machine we can simulate. The workload is the
+// scheduler's worst case — an empty-delay "ping": P processes each execute
+// K zero-work delay() steps, so wall time is pure context-switch +
+// event-heap cost. The thread substrate pays two kernel semaphore handoffs
+// per event; the fiber substrate pays two user-space register swaps.
+//
+// Emits BENCH_engine.json (cwd, or $SIMAI_BENCH_DIR) with both rates so
+// the speedup is tracked across PRs. Target: fiber >= 10x thread.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "bench/bench_util.hpp"
+#include "sim/engine.hpp"
+#include "util/json.hpp"
+
+using namespace simai;
+using namespace simai::bench;
+
+namespace {
+
+struct Rate {
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  double per_sec() const { return events / seconds; }
+};
+
+// P processes x K empty delays; every delay is one scheduled event.
+Rate ping_workload(sim::Substrate substrate, int processes,
+                   std::uint64_t steps_per_process) {
+  sim::Engine engine(substrate);
+  for (int p = 0; p < processes; ++p) {
+    engine.spawn("p" + std::to_string(p),
+                 [steps_per_process](sim::Context& ctx) {
+                   for (std::uint64_t k = 0; k < steps_per_process; ++k)
+                     ctx.delay(0.0);
+                 });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  Rate r;
+  r.events = static_cast<std::uint64_t>(processes) * steps_per_process;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v && *v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  banner("Engine substrate: dispatch throughput, fiber vs thread");
+
+  const int processes = static_cast<int>(env_u64("SIMAI_BENCH_PROCS", 64));
+  // Sized so the slow (thread) side takes O(1s); override via env.
+  const std::uint64_t thread_events =
+      env_u64("SIMAI_BENCH_THREAD_EVENTS", 200'000);
+  const std::uint64_t fiber_events =
+      env_u64("SIMAI_BENCH_FIBER_EVENTS", 2'000'000);
+
+  // Warm-up: fault in thread/fiber creation paths outside the timed run.
+  (void)ping_workload(sim::Substrate::Fiber, 4, 1000);
+  (void)ping_workload(sim::Substrate::Thread, 4, 1000);
+
+  const Rate thread_rate = ping_workload(
+      sim::Substrate::Thread, processes,
+      thread_events / static_cast<std::uint64_t>(processes));
+  const Rate fiber_rate = ping_workload(
+      sim::Substrate::Fiber, processes,
+      fiber_events / static_cast<std::uint64_t>(processes));
+  const double speedup = fiber_rate.per_sec() / thread_rate.per_sec();
+
+  Table table({"substrate", "events", "wall s", "events/s"}, 14);
+  table.row({"thread", std::to_string(thread_rate.events),
+             fixed(thread_rate.seconds, 3), fixed(thread_rate.per_sec(), 0)});
+  table.row({"fiber", std::to_string(fiber_rate.events),
+             fixed(fiber_rate.seconds, 3), fixed(fiber_rate.per_sec(), 0)});
+  table.print();
+  std::printf("speedup: %.1fx\n\n", speedup);
+
+  util::Json::Object doc;
+  doc["workload"] = "empty-delay ping";
+  doc["processes"] = processes;
+  doc["thread_events"] = thread_rate.events;
+  doc["thread_seconds"] = thread_rate.seconds;
+  doc["thread_events_per_sec"] = thread_rate.per_sec();
+  doc["fiber_events"] = fiber_rate.events;
+  doc["fiber_seconds"] = fiber_rate.seconds;
+  doc["fiber_events_per_sec"] = fiber_rate.per_sec();
+  doc["speedup"] = speedup;
+  const char* out_dir = std::getenv("SIMAI_BENCH_DIR");
+  const std::string path =
+      (out_dir ? std::string(out_dir) : std::string(".")) +
+      "/BENCH_engine.json";
+  std::ofstream(path) << util::Json(doc).dump(2) << "\n";
+  std::printf("wrote %s\n\n", path.c_str());
+
+  std::printf("Shape checks vs the paper's scaling needs:\n");
+  bool ok = true;
+  ok &= check("fiber substrate sustains >= 1M events/s",
+              fiber_rate.per_sec() >= 1e6);
+  ok &= check("fiber dispatch >= 10x thread dispatch", speedup >= 10.0);
+  return ok ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "kv/memory_store.hpp"
 
+#include <algorithm>
 #include <mutex>
 
 #include "util/string_util.hpp"
@@ -39,6 +40,9 @@ std::vector<std::string> MemoryStore::keys(std::string_view pattern) {
   for (const auto& [key, value] : data_) {
     if (util::glob_match(pattern, key)) out.push_back(key);
   }
+  // The map is unordered; sort so listings stay deterministic (callers and
+  // the DES schedule depend on the old std::map ordering).
+  std::sort(out.begin(), out.end());
   return out;
 }
 

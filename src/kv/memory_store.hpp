@@ -6,15 +6,29 @@
 // Thread-safe via a shared_mutex: reads run concurrently, writes exclusively
 // — needed because the MiniRedis server and Dragon managers touch stores
 // from real threads outside the DES.
+//
+// Storage is an unordered_map (O(1) get/put on the hot path) with
+// heterogeneous string_view lookup; keys() sorts its result so listing
+// order — and therefore DES schedule determinism for anything that
+// iterates keys — is identical to the old std::map behavior.
 #pragma once
 
-#include <map>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 
 #include "kv/store.hpp"
 
 namespace simai::kv {
+
+/// Transparent hash so string_view keys probe without a std::string copy.
+struct StringViewHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 class MemoryStore final : public IKeyValueStore {
  public:
@@ -33,7 +47,8 @@ class MemoryStore final : public IKeyValueStore {
 
  private:
   mutable std::shared_mutex mutex_;
-  std::map<std::string, Bytes, std::less<>> data_;
+  std::unordered_map<std::string, Bytes, StringViewHash, std::equal_to<>>
+      data_;
 };
 
 }  // namespace simai::kv

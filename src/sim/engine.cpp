@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "sim/fiber.hpp"
 
 namespace simai::sim {
 
@@ -13,6 +18,10 @@ Process::Process(Engine& engine, std::uint64_t id, std::string name,
                  std::function<void(Context&)> body)
     : engine_(engine), id_(id), name_(std::move(name)), body_(std::move(body)) {}
 
+// Out of line so the unique_ptr<Fiber> member deletes where Fiber is
+// complete (this TU), keeping fiber.hpp out of the public header.
+Process::~Process() = default;
+
 // ---------------------------------------------------------------------------
 // Context
 // ---------------------------------------------------------------------------
@@ -20,8 +29,12 @@ Process::Process(Engine& engine, std::uint64_t id, std::string name,
 SimTime Context::now() const { return engine_.now_; }
 
 void Context::suspend() {
-  engine_.engine_turn_.release();  // hand baton to the scheduler
-  process_.resume_.acquire();      // wait to be rescheduled
+  if (engine_.substrate_ == Substrate::Fiber) {
+    process_.fiber_->suspend();  // user-space swap back to the scheduler
+  } else {
+    engine_.engine_turn_.release();  // hand baton to the scheduler
+    process_.resume_.acquire();      // wait to be rescheduled
+  }
   if (process_.kill_requested_) throw ProcessKilled{};
 }
 
@@ -75,7 +88,7 @@ void Event::notify_all() {
 void Event::notify_one() {
   if (waiters_.empty()) return;
   Process* p = waiters_.front();
-  waiters_.erase(waiters_.begin());
+  waiters_.pop_front();  // O(1), FIFO preserved
   engine_.schedule(*p, engine_.now_);
 }
 
@@ -83,9 +96,24 @@ void Event::notify_one() {
 // Engine
 // ---------------------------------------------------------------------------
 
-Engine::Engine() = default;
+Engine::Engine() : Engine(default_substrate()) {}
+
+Engine::Engine(Substrate substrate) : substrate_(substrate) {}
 
 Engine::~Engine() { kill_all(); }
+
+Substrate Engine::default_substrate() {
+  // Read the env on every call: tests flip it to compare substrates.
+  if (const char* env = std::getenv("SIMAI_SIM_THREADS")) {
+    if (*env != '\0')
+      return std::strcmp(env, "0") == 0 ? Substrate::Fiber : Substrate::Thread;
+  }
+#if defined(SIMAI_SIM_DEFAULT_THREADS)
+  return Substrate::Thread;
+#else
+  return Substrate::Fiber;
+#endif
+}
 
 Process& Engine::spawn(std::string name, std::function<void(Context&)> body) {
   // Process is immovable (owns semaphores), and its ctor is private: build
@@ -104,8 +132,9 @@ void Engine::schedule(Process& p, SimTime when) {
   ready_.push(HeapEntry{when, next_seq_++, &p});
 }
 
-void Engine::process_trampoline(Process& p) {
-  p.resume_.acquire();  // wait for first dispatch
+// One step of a process body: run user code, swallow teardown, capture the
+// first real error. Shared by both substrates so they cannot drift.
+void Engine::process_body(Process& p) {
   if (!p.kill_requested_) {
     Context ctx(*this, p);
     try {
@@ -117,18 +146,32 @@ void Engine::process_trampoline(Process& p) {
     }
   }
   p.state_ = Process::State::Finished;
+}
+
+void Engine::thread_trampoline(Process& p) {
+  p.resume_.acquire();  // wait for first dispatch
+  process_body(p);
   engine_turn_.release();
 }
 
 void Engine::dispatch(Process& p) {
   p.state_ = Process::State::Running;
-  if (!p.thread_.joinable()) {
-    // Lazy thread start: the thread immediately blocks on resume_, so
-    // creation order cannot perturb the schedule.
-    p.thread_ = std::thread([this, &p] { process_trampoline(p); });
+  if (substrate_ == Substrate::Fiber) {
+    if (!p.fiber_) {
+      // Lazy fiber creation: entry runs process_body and returns, which
+      // finishes the fiber and swaps back to this resume() call.
+      p.fiber_ = std::make_unique<Fiber>([this, &p] { process_body(p); });
+    }
+    p.fiber_->resume();  // returns when p suspends or finishes
+  } else {
+    if (!p.thread_.joinable()) {
+      // Lazy thread start: the thread immediately blocks on resume_, so
+      // creation order cannot perturb the schedule.
+      p.thread_ = std::thread([this, &p] { thread_trampoline(p); });
+    }
+    p.resume_.release();
+    engine_turn_.acquire();  // run exactly one step of p
   }
-  p.resume_.release();
-  engine_turn_.acquire();  // run exactly one step of p
   if (pending_error_) {
     std::exception_ptr err = pending_error_;
     pending_error_ = nullptr;
@@ -193,7 +236,13 @@ void Engine::kill_all() {
       continue;
     }
     p->kill_requested_ = true;
-    if (p->thread_.joinable()) {
+    if (substrate_ == Substrate::Fiber) {
+      if (p->fiber_ && !p->fiber_->finished()) {
+        // The fiber is parked in suspend(); resuming lets it observe the
+        // kill flag, throw ProcessKilled, unwind its stack, and finish.
+        p->fiber_->resume();
+      }
+    } else if (p->thread_.joinable()) {
       // The thread is parked on resume_; release it so it can observe the
       // kill flag, unwind, and hand the baton back.
       p->resume_.release();

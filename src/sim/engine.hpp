@@ -2,14 +2,26 @@
 //
 // This is the substrate that stands in for a multi-node HPC machine: every
 // workflow component rank (simulation, AI trainer, server poller) is a
-// *logical process* with a private virtual clock. Processes are backed by
-// real OS threads, but the engine runs EXACTLY ONE at a time — the one whose
-// next wake-up has the smallest virtual time — handing the baton over
-// binary semaphores. Consequences:
+// *logical process* with a private virtual clock. The engine runs EXACTLY
+// ONE process at a time — the one whose next wake-up has the smallest
+// virtual time. Two execution substrates implement that hand-off:
+//
+//  * Substrate::Fiber (default): each process is a user-level stackful
+//    coroutine (sim/fiber.hpp); dispatch is a pair of in-process context
+//    swaps, so millions of events/sec cost no kernel transitions. See
+//    bench/bench_engine.cpp for the measured gap.
+//  * Substrate::Thread: each process is a real OS thread and the engine
+//    hands the baton over binary semaphores — the original substrate, kept
+//    selectable for debugging (gdb shows one thread per process) via
+//    Engine(Substrate::Thread), SIMAI_SIM_THREADS=1, or the `fibers-off`
+//    CMake preset.
+//
+// Both substrates share the scheduler, so programs behave identically:
 //
 //  * Determinism. Ties are broken by spawn/schedule sequence numbers, so a
-//    given program produces the identical event order on every run (verified
-//    by tests/sim_test.cpp schedule-invariance cases).
+//    given program produces the identical event order on every run AND on
+//    either substrate (verified by tests/sim_engine_test.cpp, which runs
+//    the whole suite under both, and tests/sim_parity_test.cpp).
 //  * Real side effects are safe. A process may freely touch shared stores,
 //    files, and sockets mid-step; no other process runs concurrently.
 //  * Virtual time is decoupled from wall time: a 512-node, 2500-iteration
@@ -22,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <queue>
@@ -38,6 +51,10 @@ namespace simai::sim {
 class Engine;
 class Context;
 class Event;
+class Fiber;
+
+/// Which execution mechanism backs logical processes (see file comment).
+enum class Substrate { Fiber, Thread };
 
 /// Thrown inside a logical process when the engine tears it down early
 /// (engine destruction, error in another process). The process trampoline
@@ -54,6 +71,7 @@ class DeadlockError : public Error {
 /// Internal per-process record. Users interact through Context.
 class Process {
  public:
+  ~Process();
   const std::string& name() const { return name_; }
   std::uint64_t id() const { return id_; }
   bool finished() const { return state_ == State::Finished; }
@@ -72,8 +90,9 @@ class Process {
   std::uint64_t id_;
   std::string name_;
   std::function<void(Context&)> body_;
-  std::thread thread_;
-  std::binary_semaphore resume_{0};  // engine -> process baton
+  std::unique_ptr<Fiber> fiber_;     // fiber substrate (lazy, first dispatch)
+  std::thread thread_;               // thread substrate (lazy, first dispatch)
+  std::binary_semaphore resume_{0};  // thread substrate: engine -> process
   State state_ = State::Created;
   SimTime wake_time_ = 0.0;
   bool kill_requested_ = false;
@@ -119,7 +138,9 @@ class Context {
 };
 
 /// Condition-variable analog in virtual time. notify_all wakes every waiter
-/// at the current virtual time (in deterministic FIFO order).
+/// at the current virtual time (in deterministic FIFO order). Waiters live
+/// in a deque so notify_one pops the front in O(1); the (rare) middle
+/// erase only happens when a wait_for timeout deregisters.
 class Event {
  public:
   explicit Event(Engine& engine) : engine_(engine) {}
@@ -134,7 +155,7 @@ class Event {
   friend class Context;
   friend class Engine;
   Engine& engine_;
-  std::vector<Process*> waiters_;
+  std::deque<Process*> waiters_;
 };
 
 /// The scheduler. Typical usage:
@@ -145,10 +166,19 @@ class Event {
 ///   engine.run();
 class Engine {
  public:
+  /// Uses default_substrate().
   Engine();
+  /// Pins the execution substrate for this engine instance.
+  explicit Engine(Substrate substrate);
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  /// Substrate for default-constructed engines: SIMAI_SIM_THREADS=1 forces
+  /// Thread, SIMAI_SIM_THREADS=0 forces Fiber; unset falls back to the
+  /// compile-time default (Fiber unless built with SIMAI_FIBERS=OFF).
+  static Substrate default_substrate();
+  Substrate substrate() const { return substrate_; }
 
   /// Create a logical process scheduled to start at the current time.
   /// Safe to call both before run() and from inside a running process.
@@ -183,17 +213,19 @@ class Engine {
 
   void schedule(Process& p, SimTime when);
   void dispatch(Process& p);
-  void process_trampoline(Process& p);
+  void process_body(Process& p);      // shared trampoline core
+  void thread_trampoline(Process& p);
   void drain(SimTime t_end);
   void kill_all();
 
+  const Substrate substrate_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
       ready_;
   SimTime now_ = 0.0;
   std::uint64_t next_pid_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::binary_semaphore engine_turn_{0};  // process -> engine baton
+  std::binary_semaphore engine_turn_{0};  // thread substrate: process -> engine
   std::exception_ptr pending_error_;
   bool running_ = false;
 };

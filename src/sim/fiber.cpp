@@ -1,0 +1,163 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+
+#include "util/error.hpp"
+
+// ASan detection across GCC (__SANITIZE_ADDRESS__) and Clang (__has_feature).
+#if defined(__SANITIZE_ADDRESS__)
+#define SIMAI_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SIMAI_FIBER_ASAN 1
+#endif
+#endif
+
+#if defined(SIMAI_FIBER_ASAN)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace simai::sim {
+
+namespace {
+
+// ASan's fiber-switch protocol: announce the destination stack before the
+// swap, then report where we came from right after landing. No-ops in
+// plain builds so the hot path stays two swapcontext calls.
+inline void sanitizer_start_switch(void** fake_stack_save, const void* bottom,
+                                   std::size_t size) {
+#if defined(SIMAI_FIBER_ASAN)
+  __sanitizer_start_switch_fiber(fake_stack_save, bottom, size);
+#else
+  (void)fake_stack_save;
+  (void)bottom;
+  (void)size;
+#endif
+}
+
+inline void sanitizer_finish_switch(void* fake_stack_save,
+                                    const void** old_bottom,
+                                    std::size_t* old_size) {
+#if defined(SIMAI_FIBER_ASAN)
+  __sanitizer_finish_switch_fiber(fake_stack_save, old_bottom, old_size);
+#else
+  (void)fake_stack_save;
+  (void)old_bottom;
+  (void)old_size;
+#endif
+}
+
+std::size_t page_size() {
+  static const std::size_t page =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+std::size_t round_up_to_page(std::size_t bytes) {
+  const std::size_t page = page_size();
+  return (bytes + page - 1) / page * page;
+}
+
+// makecontext only forwards ints, so the Fiber* rides in two halves.
+static_assert(sizeof(void*) == 8, "fiber trampoline assumes 64-bit pointers");
+Fiber* unsplit(unsigned int hi, unsigned int lo) {
+  const std::uintptr_t bits =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  return reinterpret_cast<Fiber*>(bits);
+}
+
+}  // namespace
+
+Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
+    : entry_(std::move(entry)) {
+  stack_bytes_ =
+      round_up_to_page(stack_bytes ? stack_bytes : default_stack_bytes());
+  mapping_bytes_ = stack_bytes_ + page_size();  // +1 guard page below
+  void* m = ::mmap(nullptr, mapping_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (m == MAP_FAILED)
+    throw Error("fiber: mmap of " + std::to_string(mapping_bytes_) +
+                "-byte stack failed");
+  mapping_ = static_cast<std::byte*>(m);
+  // Guard page: overflowing the fiber stack faults instead of silently
+  // corrupting the adjacent mapping.
+  ::mprotect(mapping_, page_size(), PROT_NONE);
+  stack_bottom_ = mapping_ + page_size();
+
+  if (::getcontext(&ctx_) != 0) throw Error("fiber: getcontext failed");
+  ctx_.uc_stack.ss_sp = stack_bottom_;
+  ctx_.uc_stack.ss_size = stack_bytes_;
+  ctx_.uc_link = &link_;  // safety net; run() swaps back explicitly
+  const auto bits = reinterpret_cast<std::uintptr_t>(this);
+  ::makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned int>(bits >> 32),
+                static_cast<unsigned int>(bits & 0xFFFFFFFFu));
+}
+
+Fiber::~Fiber() {
+  // The engine unwinds every fiber (kill_all) before destruction; a
+  // suspended fiber reaching this point just loses its stack contents.
+  if (mapping_) ::munmap(mapping_, mapping_bytes_);
+}
+
+std::size_t Fiber::default_stack_bytes() {
+  if (const char* env = std::getenv("SIMAI_SIM_STACK_KB")) {
+    const long kb = std::atol(env);
+    if (kb > 0) return static_cast<std::size_t>(kb) * 1024;
+  }
+#if defined(SIMAI_FIBER_ASAN)
+  return 1024 * 1024;
+#else
+  return 256 * 1024;
+#endif
+}
+
+void Fiber::trampoline(unsigned int hi, unsigned int lo) {
+  unsplit(hi, lo)->run();
+}
+
+void Fiber::run() {
+  // First moments on the fiber stack: tell ASan the switch landed and
+  // learn the resumer's stack bounds for the switch back.
+  sanitizer_finish_switch(nullptr, &peer_stack_bottom_, &peer_stack_size_);
+  entry_();
+  finished_ = true;
+  running_ = false;
+  // Dying switch: fake_stack_save == nullptr tells ASan to release this
+  // fiber's fake stack instead of preserving it for a future resume.
+  sanitizer_start_switch(nullptr, peer_stack_bottom_, peer_stack_size_);
+  ::swapcontext(&ctx_, &link_);
+  assert(false && "finished fiber must not be resumed");
+  std::terminate();
+}
+
+void Fiber::resume() {
+  assert(!running_ && "resume() called on-fiber");
+  assert(!finished_ && "resume() called on a finished fiber");
+  started_ = true;
+  running_ = true;
+  sanitizer_start_switch(&resume_fake_stack_, stack_bottom_, stack_bytes_);
+  ::swapcontext(&link_, &ctx_);
+  sanitizer_finish_switch(resume_fake_stack_, nullptr, nullptr);
+}
+
+void Fiber::suspend() {
+  assert(running_ && "suspend() called off-fiber");
+  running_ = false;
+  sanitizer_start_switch(&fiber_fake_stack_, peer_stack_bottom_,
+                         peer_stack_size_);
+  ::swapcontext(&ctx_, &link_);
+  // Resumed again: refresh the resumer's stack bounds (same scheduler
+  // stack in practice, but run()/run_until() frames may differ).
+  sanitizer_finish_switch(fiber_fake_stack_, &peer_stack_bottom_,
+                          &peer_stack_size_);
+  running_ = true;
+}
+
+}  // namespace simai::sim

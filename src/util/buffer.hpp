@@ -6,6 +6,7 @@
 // padding, portable across compilers).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -51,9 +52,19 @@ class ByteWriter {
  private:
   template <typename T>
   void write_le(T v) {
-    for (std::size_t i = 0; i < sizeof(T); ++i) {
-      buffer_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+    // Grow once and copy the whole word: one bounds check instead of
+    // sizeof(T) push_backs (this is the hot path of every staged value,
+    // RESP frame, and checkpoint record).
+    const std::size_t at = buffer_.size();
+    buffer_.resize(at + sizeof(T));
+    if constexpr (std::endian::native != std::endian::little) {
+      T le = 0;
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        le |= ((v >> (8 * i)) & 0xFF) << (8 * (sizeof(T) - 1 - i));
+      }
+      v = le;
     }
+    std::memcpy(buffer_.data() + at, &v, sizeof(T));
   }
   Bytes buffer_;
 };

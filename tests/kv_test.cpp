@@ -200,6 +200,41 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ===========================================================================
+// MemoryStore specifics
+// ===========================================================================
+
+TEST(MemoryStore, KeysListingIsSortedDespiteHashStorage) {
+  // Backing storage moved from std::map to unordered_map; keys() must
+  // still return lexicographic order (DES schedule determinism depends on
+  // stable listing order for anything that iterates keys).
+  MemoryStore store;
+  for (const char* k : {"zeta", "alpha", "mu", "beta", "omega", "gamma"})
+    store.put_string(k, "v");
+  EXPECT_EQ(store.keys(),
+            (std::vector<std::string>{"alpha", "beta", "gamma", "mu",
+                                      "omega", "zeta"}));
+  EXPECT_EQ(store.keys("*m*"), (std::vector<std::string>{"gamma", "mu",
+                                                         "omega"}));
+}
+
+TEST(MemoryStore, HeterogeneousLookupByStringView) {
+  // get/exists/erase probe with string_view keys — no std::string
+  // temporary — via the transparent hash; behavior must be unchanged.
+  MemoryStore store;
+  const std::string backing = "sim_rank0_step100:payload";
+  store.put_string(backing, "value");
+  const std::string_view whole(backing);
+  const std::string_view prefix = whole.substr(0, 17);  // "sim_rank0_step100"
+  EXPECT_TRUE(store.exists(whole));
+  EXPECT_FALSE(store.exists(prefix));
+  Bytes out;
+  EXPECT_TRUE(store.get(whole, out));
+  EXPECT_EQ(store.erase(prefix), 0u);
+  EXPECT_EQ(store.erase(whole), 1u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+// ===========================================================================
 // DirStore specifics (§3.2 mechanics)
 // ===========================================================================
 

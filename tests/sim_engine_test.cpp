@@ -1,7 +1,13 @@
 // Unit tests for the discrete-event engine: ordering, determinism, events,
 // channels, deadlock detection, trace recording.
+//
+// Engine and Channel suites are value-parameterized over the execution
+// substrate (fiber vs thread) so every behavior is verified on both, and
+// dedicated cases assert the two substrates produce byte-identical
+// schedules (the fiber backend is a pure perf substitution).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -12,8 +18,16 @@
 namespace simai::sim {
 namespace {
 
-TEST(SimEngine, SingleProcessAdvancesTime) {
-  Engine engine;
+std::string substrate_name(
+    const ::testing::TestParamInfo<Substrate>& info) {
+  return info.param == Substrate::Fiber ? "Fiber" : "Thread";
+}
+
+class SimEngineTest : public ::testing::TestWithParam<Substrate> {};
+class SimChannelTest : public ::testing::TestWithParam<Substrate> {};
+
+TEST_P(SimEngineTest, SingleProcessAdvancesTime) {
+  Engine engine(GetParam());
   std::vector<SimTime> times;
   engine.spawn("p", [&](Context& ctx) {
     times.push_back(ctx.now());
@@ -27,8 +41,8 @@ TEST(SimEngine, SingleProcessAdvancesTime) {
   EXPECT_DOUBLE_EQ(engine.now(), 2.0);
 }
 
-TEST(SimEngine, ProcessesInterleaveByTime) {
-  Engine engine;
+TEST_P(SimEngineTest, ProcessesInterleaveByTime) {
+  Engine engine(GetParam());
   std::vector<std::string> order;
   engine.spawn("a", [&](Context& ctx) {
     order.push_back("a0");
@@ -47,8 +61,8 @@ TEST(SimEngine, ProcessesInterleaveByTime) {
             (std::vector<std::string>{"a0", "b0", "b1", "a2", "b3"}));
 }
 
-TEST(SimEngine, TieBrokenBySpawnOrder) {
-  Engine engine;
+TEST_P(SimEngineTest, TieBrokenBySpawnOrder) {
+  Engine engine(GetParam());
   std::vector<std::string> order;
   for (const char* name : {"first", "second", "third"}) {
     engine.spawn(name, [&order, name](Context& ctx) {
@@ -60,26 +74,57 @@ TEST(SimEngine, TieBrokenBySpawnOrder) {
   EXPECT_EQ(order, (std::vector<std::string>{"first", "second", "third"}));
 }
 
-TEST(SimEngine, DeterministicAcrossRuns) {
-  auto run_once = [] {
-    Engine engine;
-    std::vector<std::string> order;
-    for (int i = 0; i < 20; ++i) {
-      engine.spawn("p" + std::to_string(i), [&order, i](Context& ctx) {
-        for (int k = 0; k < 5; ++k) {
-          ctx.delay(0.1 * ((i * 7 + k) % 5 + 1));
-          order.push_back(std::to_string(i) + ":" + std::to_string(k));
-        }
-      });
-    }
-    engine.run();
-    return order;
-  };
-  EXPECT_EQ(run_once(), run_once());
+// The workload used for cross-run and cross-substrate schedule checks:
+// staggered delays, events, timeouts, and mid-run spawns.
+std::vector<std::string> mixed_workload_order(Substrate substrate) {
+  Engine engine(substrate);
+  Event ev(engine);
+  std::vector<std::string> order;
+  for (int i = 0; i < 20; ++i) {
+    engine.spawn("p" + std::to_string(i), [&order, &ev, i](Context& ctx) {
+      for (int k = 0; k < 5; ++k) {
+        ctx.delay(0.1 * ((i * 7 + k) % 5 + 1));
+        order.push_back(std::to_string(i) + ":" + std::to_string(k));
+      }
+      if (i % 3 == 0) {
+        const bool notified = ctx.wait_for(ev, 0.05 * (i + 1));
+        order.push_back(std::to_string(i) + (notified ? ":ev" : ":to"));
+      }
+      if (i == 7) {
+        ev.notify_all();
+        ctx.engine().spawn("late" + std::to_string(i), [&order](Context& c) {
+          c.delay(0.01);
+          order.push_back("late@" + std::to_string(c.now()));
+        });
+      }
+    });
+  }
+  engine.run();
+  return order;
 }
 
-TEST(SimEngine, YieldReschedulesAfterPeersAtSameTime) {
-  Engine engine;
+TEST_P(SimEngineTest, DeterministicAcrossRuns) {
+  EXPECT_EQ(mixed_workload_order(GetParam()), mixed_workload_order(GetParam()));
+}
+
+TEST(SimEngineSubstrates, IdenticalScheduleOnFiberAndThread) {
+  // Schedule parity: the fiber substrate must replay the exact event order
+  // the thread substrate produces — not just the same final state.
+  EXPECT_EQ(mixed_workload_order(Substrate::Fiber),
+            mixed_workload_order(Substrate::Thread));
+}
+
+TEST(SimEngineSubstrates, DefaultSubstrateFollowsEnv) {
+  ::setenv("SIMAI_SIM_THREADS", "1", 1);
+  EXPECT_EQ(Engine().substrate(), Substrate::Thread);
+  ::setenv("SIMAI_SIM_THREADS", "0", 1);
+  EXPECT_EQ(Engine().substrate(), Substrate::Fiber);
+  ::unsetenv("SIMAI_SIM_THREADS");
+  EXPECT_EQ(Engine().substrate(), Engine::default_substrate());
+}
+
+TEST_P(SimEngineTest, YieldReschedulesAfterPeersAtSameTime) {
+  Engine engine(GetParam());
   std::vector<std::string> order;
   engine.spawn("a", [&](Context& ctx) {
     order.push_back("a-pre");
@@ -92,8 +137,8 @@ TEST(SimEngine, YieldReschedulesAfterPeersAtSameTime) {
   EXPECT_DOUBLE_EQ(engine.now(), 0.0);
 }
 
-TEST(SimEngine, SpawnFromWithinProcess) {
-  Engine engine;
+TEST_P(SimEngineTest, SpawnFromWithinProcess) {
+  Engine engine(GetParam());
   std::vector<std::string> order;
   engine.spawn("parent", [&](Context& ctx) {
     order.push_back("parent");
@@ -109,8 +154,8 @@ TEST(SimEngine, SpawnFromWithinProcess) {
                                       "parent-end"}));
 }
 
-TEST(SimEngine, EventWakesAllWaiters) {
-  Engine engine;
+TEST_P(SimEngineTest, EventWakesAllWaiters) {
+  Engine engine(GetParam());
   Event ev(engine);
   std::vector<std::string> order;
   for (const char* name : {"w1", "w2"}) {
@@ -127,8 +172,8 @@ TEST(SimEngine, EventWakesAllWaiters) {
   EXPECT_EQ(order, (std::vector<std::string>{"w1@3.000000", "w2@3.000000"}));
 }
 
-TEST(SimEngine, NotifyOneWakesFifo) {
-  Engine engine;
+TEST_P(SimEngineTest, NotifyOneWakesFifo) {
+  Engine engine(GetParam());
   Event ev(engine);
   std::vector<std::string> order;
   for (const char* name : {"w1", "w2"}) {
@@ -147,8 +192,35 @@ TEST(SimEngine, NotifyOneWakesFifo) {
   EXPECT_EQ(order, (std::vector<std::string>{"w1", "w2"}));
 }
 
-TEST(SimEngine, WaitForTimesOut) {
-  Engine engine;
+TEST_P(SimEngineTest, NotifyOneKeepsFifoUnderChurn) {
+  // Waiter storage is a deque now; interleave waits, notify_ones, and a
+  // wait_for timeout deregistration and require strict FIFO wake order.
+  Engine engine(GetParam());
+  Event ev(engine);
+  std::vector<std::string> order;
+  for (const char* name : {"w1", "w2", "w3", "w4"}) {
+    engine.spawn(name, [&order, &ev, name](Context& ctx) {
+      ctx.wait(ev);
+      order.push_back(name);
+    });
+  }
+  engine.spawn("timeouter", [&](Context& ctx) {
+    // Registers in the middle of the queue, then times out and leaves.
+    EXPECT_FALSE(ctx.wait_for(ev, 0.5));
+  });
+  engine.spawn("notifier", [&](Context& ctx) {
+    for (int i = 0; i < 4; ++i) {
+      ctx.delay(1.0);
+      ev.notify_one();
+    }
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"w1", "w2", "w3", "w4"}));
+  EXPECT_EQ(ev.waiter_count(), 0u);
+}
+
+TEST_P(SimEngineTest, WaitForTimesOut) {
+  Engine engine(GetParam());
   Event ev(engine);
   bool notified = true;
   engine.spawn("waiter", [&](Context& ctx) {
@@ -160,8 +232,8 @@ TEST(SimEngine, WaitForTimesOut) {
   EXPECT_EQ(ev.waiter_count(), 0u);  // deregistered after timeout
 }
 
-TEST(SimEngine, WaitForSucceedsBeforeTimeout) {
-  Engine engine;
+TEST_P(SimEngineTest, WaitForSucceedsBeforeTimeout) {
+  Engine engine(GetParam());
   Event ev(engine);
   bool notified = false;
   engine.spawn("waiter", [&](Context& ctx) {
@@ -177,8 +249,8 @@ TEST(SimEngine, WaitForSucceedsBeforeTimeout) {
   EXPECT_TRUE(notified);
 }
 
-TEST(SimEngine, WaitUntilPolls) {
-  Engine engine;
+TEST_P(SimEngineTest, WaitUntilPolls) {
+  Engine engine(GetParam());
   bool flag = false;
   SimTime seen = -1;
   engine.spawn("setter", [&](Context& ctx) {
@@ -193,15 +265,15 @@ TEST(SimEngine, WaitUntilPolls) {
   EXPECT_DOUBLE_EQ(seen, 1.0);  // next poll boundary after 0.95
 }
 
-TEST(SimEngine, DeadlockDetected) {
-  Engine engine;
+TEST_P(SimEngineTest, DeadlockDetected) {
+  Engine engine(GetParam());
   Event ev(engine);
   engine.spawn("stuck", [&](Context& ctx) { ctx.wait(ev); });
   EXPECT_THROW(engine.run(), DeadlockError);
 }
 
-TEST(SimEngine, ExceptionInProcessPropagates) {
-  Engine engine;
+TEST_P(SimEngineTest, ExceptionInProcessPropagates) {
+  Engine engine(GetParam());
   engine.spawn("boom", [](Context& ctx) {
     ctx.delay(1.0);
     throw Error("bang");
@@ -212,14 +284,14 @@ TEST(SimEngine, ExceptionInProcessPropagates) {
   EXPECT_THROW(engine.run(), Error);
 }
 
-TEST(SimEngine, NegativeDelayThrows) {
-  Engine engine;
+TEST_P(SimEngineTest, NegativeDelayThrows) {
+  Engine engine(GetParam());
   engine.spawn("bad", [](Context& ctx) { ctx.delay(-1.0); });
   EXPECT_THROW(engine.run(), Error);
 }
 
-TEST(SimEngine, RunUntilStopsAtBoundary) {
-  Engine engine;
+TEST_P(SimEngineTest, RunUntilStopsAtBoundary) {
+  Engine engine(GetParam());
   int steps = 0;
   engine.spawn("ticker", [&](Context& ctx) {
     for (int i = 0; i < 10; ++i) {
@@ -235,9 +307,38 @@ TEST(SimEngine, RunUntilStopsAtBoundary) {
   EXPECT_EQ(engine.live_process_count(), 0u);
 }
 
-TEST(SimEngine, DestructorTearsDownBlockedProcesses) {
+TEST(SimEngineSubstrates, RunUntilResumesSuspendedFibers) {
+  // run_until must park processes mid-body (suspended on their own fiber
+  // stacks, locals intact) and resume them across repeated calls.
+  Engine engine(Substrate::Fiber);
+  Event ev(engine);
+  std::vector<std::string> order;
+  engine.spawn("worker", [&](Context& ctx) {
+    int local = 0;  // lives on the fiber stack across run_until boundaries
+    for (int i = 0; i < 6; ++i) {
+      ctx.delay(1.0);
+      order.push_back("w" + std::to_string(++local));
+    }
+    ctx.wait(ev);
+    order.push_back("w-ev@" + std::to_string(ctx.now()));
+  });
+  engine.spawn("notifier", [&](Context& ctx) {
+    ctx.delay(8.0);
+    ev.notify_all();
+  });
+  engine.run_until(2.5);
+  EXPECT_EQ(order, (std::vector<std::string>{"w1", "w2"}));
+  engine.run_until(4.5);
+  EXPECT_EQ(order.size(), 4u);
+  EXPECT_EQ(engine.live_process_count(), 2u);
+  engine.run();
+  EXPECT_EQ(order.back(), "w-ev@8.000000");
+  EXPECT_EQ(engine.live_process_count(), 0u);
+}
+
+TEST_P(SimEngineTest, DestructorTearsDownBlockedProcesses) {
   // Must not hang or crash: engine destroyed while processes are parked.
-  Engine engine;
+  Engine engine(GetParam());
   Event ev(engine);
   engine.spawn("parked", [&](Context& ctx) { ctx.wait(ev); });
   engine.spawn("later", [](Context& ctx) { ctx.delay(100.0); });
@@ -245,8 +346,8 @@ TEST(SimEngine, DestructorTearsDownBlockedProcesses) {
   // engine goes out of scope here
 }
 
-TEST(SimEngine, ManyProcessesScale) {
-  Engine engine;
+TEST_P(SimEngineTest, ManyProcessesScale) {
+  Engine engine(GetParam());
   int done = 0;
   for (int i = 0; i < 500; ++i) {
     engine.spawn("p" + std::to_string(i), [&done](Context& ctx) {
@@ -258,12 +359,17 @@ TEST(SimEngine, ManyProcessesScale) {
   EXPECT_EQ(done, 500);
 }
 
+INSTANTIATE_TEST_SUITE_P(Substrates, SimEngineTest,
+                         ::testing::Values(Substrate::Fiber,
+                                           Substrate::Thread),
+                         substrate_name);
+
 // --------------------------------------------------------------------------
 // Channel
 // --------------------------------------------------------------------------
 
-TEST(SimChannel, PutGetTransfersInOrder) {
-  Engine engine;
+TEST_P(SimChannelTest, PutGetTransfersInOrder) {
+  Engine engine(GetParam());
   Channel<int> ch(engine);
   std::vector<int> received;
   engine.spawn("producer", [&](Context& ctx) {
@@ -279,8 +385,8 @@ TEST(SimChannel, PutGetTransfersInOrder) {
   EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
-TEST(SimChannel, BoundedChannelBlocksProducer) {
-  Engine engine;
+TEST_P(SimChannelTest, BoundedChannelBlocksProducer) {
+  Engine engine(GetParam());
   Channel<int> ch(engine, 2);
   SimTime third_put_time = -1;
   engine.spawn("producer", [&](Context& ctx) {
@@ -297,8 +403,8 @@ TEST(SimChannel, BoundedChannelBlocksProducer) {
   EXPECT_DOUBLE_EQ(third_put_time, 5.0);
 }
 
-TEST(SimChannel, TryGetOnEmptyReturnsNullopt) {
-  Engine engine;
+TEST_P(SimChannelTest, TryGetOnEmptyReturnsNullopt) {
+  Engine engine(GetParam());
   Channel<int> ch(engine, 1);
   engine.spawn("p", [&](Context&) {
     EXPECT_EQ(ch.try_get(), std::nullopt);
@@ -309,8 +415,8 @@ TEST(SimChannel, TryGetOnEmptyReturnsNullopt) {
   engine.run();
 }
 
-TEST(SimChannel, GetBlocksUntilPut) {
-  Engine engine;
+TEST_P(SimChannelTest, GetBlocksUntilPut) {
+  Engine engine(GetParam());
   Channel<std::string> ch(engine, 0);
   SimTime got_at = -1;
   engine.spawn("consumer", [&](Context& ctx) {
@@ -324,6 +430,11 @@ TEST(SimChannel, GetBlocksUntilPut) {
   engine.run();
   EXPECT_DOUBLE_EQ(got_at, 2.5);
 }
+
+INSTANTIATE_TEST_SUITE_P(Substrates, SimChannelTest,
+                         ::testing::Values(Substrate::Fiber,
+                                           Substrate::Thread),
+                         substrate_name);
 
 // --------------------------------------------------------------------------
 // TraceRecorder

@@ -289,6 +289,28 @@ TEST(Buffer, LittleEndianLayout) {
   EXPECT_EQ(w.data()[3], std::byte{0x01});
 }
 
+TEST(Buffer, GoldenEncodingUnchangedByBulkWrite) {
+  // write_le now grows with resize+memcpy instead of per-byte push_back;
+  // the wire format must be byte-for-byte what the old loop produced.
+  ByteWriter w;
+  w.u16(0xBEEF);
+  w.u32(0x01020304);
+  w.u64(0x1122334455667788ull);
+  w.i64(-2);
+  const Bytes golden = {
+      // u16 0xBEEF
+      std::byte{0xEF}, std::byte{0xBE},
+      // u32 0x01020304
+      std::byte{0x04}, std::byte{0x03}, std::byte{0x02}, std::byte{0x01},
+      // u64 0x1122334455667788
+      std::byte{0x88}, std::byte{0x77}, std::byte{0x66}, std::byte{0x55},
+      std::byte{0x44}, std::byte{0x33}, std::byte{0x22}, std::byte{0x11},
+      // i64 -2 (two's complement)
+      std::byte{0xFE}, std::byte{0xFF}, std::byte{0xFF}, std::byte{0xFF},
+      std::byte{0xFF}, std::byte{0xFF}, std::byte{0xFF}, std::byte{0xFF}};
+  EXPECT_EQ(w.data(), golden);
+}
+
 TEST(Buffer, EmptyStringAndBytes) {
   ByteWriter w;
   w.str("");
