@@ -39,7 +39,7 @@ bool ablate_stripe_count() {
     t.row({std::to_string(stripes), ms(cost), gbps(32.0 * MiB / cost)});
   }
   t.print();
-  return check("striping accelerates large writes (8 stripes >2x faster)",
+  return bench::check("striping accelerates large writes (8 stripes >2x faster)",
                t1 > 2.0 * t8);
 }
 
@@ -66,7 +66,7 @@ bool ablate_shard_count() {
     }
   }
   t.print();
-  return check("CRC32 sharding stays balanced at high shard counts", ok);
+  return bench::check("CRC32 sharding stays balanced at high shard counts", ok);
 }
 
 bool ablate_dragon_m21() {
@@ -89,7 +89,7 @@ bool ablate_dragon_m21() {
     if (power >= 1.0) crossover_seen |= dragon > fs;
   }
   t.print();
-  return check("linear penalty is required for the Fig 6b crossover",
+  return bench::check("linear penalty is required for the Fig 6b crossover",
                crossover_seen);
 }
 
@@ -120,7 +120,7 @@ bool ablate_payload_cap() {
   const bool same =
       std::abs(rf.makespan - rc.makespan) < 1e-9 &&
       std::abs(rf.sim.write_time.mean() - rc.sim.write_time.mean()) < 1e-12;
-  return check("virtual timings identical with and without the cap", same);
+  return bench::check("virtual timings identical with and without the cap", same);
 }
 
 bool ablate_redis_pipelining() {
@@ -157,7 +157,7 @@ bool ablate_redis_pipelining() {
   for (const auto& r : replies) ok &= !r.is_error();
   ok &= client.size() == 2 * kOps;
   const bool faster = pl_us < rt_us;
-  return check("pipelining completes correctly and beats round-trips",
+  return bench::check("pipelining completes correctly and beats round-trips",
                ok && faster);
 }
 
@@ -180,7 +180,7 @@ bool ablate_mds_exponent() {
     if (exp == 1.25) ok &= (t8 / t512 > 5.0 && t8 / t512 < 100.0);
   }
   t.print();
-  return check("default exponent lands in the paper's ~10x band", ok);
+  return bench::check("default exponent lands in the paper's ~10x band", ok);
 }
 
 }  // namespace

@@ -106,8 +106,8 @@ int main() {
 
   std::printf("Shape checks vs the paper's scaling needs:\n");
   bool ok = true;
-  ok &= check("fiber substrate sustains >= 1M events/s",
+  ok &= bench::check("fiber substrate sustains >= 1M events/s",
               fiber_rate.per_sec() >= 1e6);
-  ok &= check("fiber dispatch >= 10x thread dispatch", speedup >= 10.0);
+  ok &= bench::check("fiber dispatch >= 10x thread dispatch", speedup >= 10.0);
   return ok ? 0 : 1;
 }

@@ -52,7 +52,7 @@ bool part_a_latency() {
     }
   }
   t.print();
-  return check("streaming beats all staging backends at <= 4 MB",
+  return bench::check("streaming beats all staging backends at <= 4 MB",
                stream_wins_small);
 }
 
@@ -83,9 +83,9 @@ bool part_b_daos_scaling() {
   }
   t.print();
   bool ok = true;
-  ok &= check("lustre collapses ~10x from 8 to 512 nodes",
+  ok &= bench::check("lustre collapses ~10x from 8 to 512 nodes",
               lustre8 / lustre512 > 5.0);
-  ok &= check("daos stays within 2x across the same range",
+  ok &= bench::check("daos stays within 2x across the same range",
               daos8 / daos512 < 2.0);
   return ok;
 }
@@ -134,10 +134,10 @@ bool part_c_streaming_pipeline() {
               stats.all().at("step_read_time").mean() * 1e3);
 
   bool ok = true;
-  ok &= check("all steps delivered exactly once",
+  ok &= bench::check("all steps delivered exactly once",
               writer.steps_written() == kSteps &&
                   reader.steps_consumed() == kSteps);
-  ok &= check("consumer finishes after producer (pipelined, bounded lag)",
+  ok &= bench::check("consumer finishes after producer (pipelined, bounded lag)",
               consumer_done >= producer_done &&
                   consumer_done - producer_done < 0.1);
   return ok;
@@ -179,7 +179,7 @@ bool part_d_pattern1_streaming() {
     }
   }
   t.print();
-  return check("streaming per-message cost <= best staging backend at 1 MB",
+  return bench::check("streaming per-message cost <= best staging backend at 1 MB",
                stream_write <= best_staged_write * 1.05);
 }
 

@@ -70,12 +70,12 @@ int main() {
 
   std::printf("Shape checks vs the paper:\n");
   bool ok = true;
-  ok &= check("both timelines contain compute spans and transfer marks",
+  ok &= bench::check("both timelines contain compute spans and transfer marks",
               !orig.trace.spans().empty() && !orig.trace.instants().empty() &&
                   !mini.trace.spans().empty() && !mini.trace.instants().empty());
   const int orig_n = transfers_in(orig, t0, t1);
   const int mini_n = transfers_in(mini, t0, t1);
-  ok &= check("transfer counts in the segment agree within 50%",
+  ok &= bench::check("transfer counts in the segment agree within 50%",
               orig_n > 0 && mini_n > 0 &&
                   std::abs(orig_n - mini_n) <= (orig_n + mini_n) / 2);
   // Transfers are non-uniformly spaced in the original (asynchronous
@@ -89,7 +89,7 @@ int main() {
   }
   util::RunningStats gap_stats;
   for (double g : gaps) gap_stats.add(g);
-  ok &= check("original transfer spacing is non-uniform (async pattern)",
+  ok &= bench::check("original transfer spacing is non-uniform (async pattern)",
               gap_stats.count() > 3 &&
                   gap_stats.stddev() / gap_stats.mean() > 0.05);
   return ok ? 0 : 1;

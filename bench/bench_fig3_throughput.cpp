@@ -82,9 +82,9 @@ int main() {
   for (auto b : {platform::BackendKind::NodeLocal,
                  platform::BackendKind::Dragon, platform::BackendKind::Redis}) {
     const std::string name(platform::backend_name(b));
-    ok &= check((name + ": throughput rises from 0.4 to 4 MB").c_str(),
+    ok &= bench::check((name + ": throughput rises from 0.4 to 4 MB").c_str(),
                 r8[b][mid].write_tput > r8[b][small].write_tput);
-    ok &= check((name + ": throughput dips at 32 MB (cache spill)").c_str(),
+    ok &= bench::check((name + ": throughput dips at 32 MB (cache spill)").c_str(),
                 r8[b][big].write_tput < r8[b][mid].write_tput);
   }
   // Filesystem: monotonic growth with size at 8 nodes.
@@ -96,11 +96,11 @@ int main() {
       monotonic &= v > prev;
       prev = v;
     }
-    ok &= check("filesystem: throughput monotonic in size (8 nodes)",
+    ok &= bench::check("filesystem: throughput monotonic in size (8 nodes)",
                 monotonic);
   }
   // Ordering at 8 nodes: node-local ~ dragon > redis.
-  ok &= check("node-local and dragon beat redis (8 nodes, 4 MB)",
+  ok &= bench::check("node-local and dragon beat redis (8 nodes, 4 MB)",
               r8[platform::BackendKind::NodeLocal][mid].write_tput >
                       r8[platform::BackendKind::Redis][mid].write_tput &&
                   r8[platform::BackendKind::Dragon][mid].write_tput >
@@ -110,7 +110,7 @@ int main() {
                  platform::BackendKind::Dragon, platform::BackendKind::Redis}) {
     const std::string name(platform::backend_name(b));
     const double ratio = r512[b][mid].write_tput / r8[b][mid].write_tput;
-    ok &= check((name + ": unchanged at 512 nodes (local exchange)").c_str(),
+    ok &= bench::check((name + ": unchanged at 512 nodes (local exchange)").c_str(),
                 ratio > 0.9 && ratio < 1.1);
   }
   // Filesystem collapses at 512 nodes.
@@ -118,14 +118,14 @@ int main() {
     const double ratio =
         r8[platform::BackendKind::Filesystem][mid].write_tput /
         r512[platform::BackendKind::Filesystem][mid].write_tput;
-    ok &= check("filesystem: ~order-of-magnitude collapse at 512 nodes",
+    ok &= bench::check("filesystem: ~order-of-magnitude collapse at 512 nodes",
                 ratio > 5.0);
   }
   // At 8 nodes and large sizes the filesystem becomes competitive (§4.1.2).
   {
     const double fs = r8[platform::BackendKind::Filesystem][big].write_tput;
     const double rd = r8[platform::BackendKind::Redis][big].write_tput;
-    ok &= check("filesystem competitive at >=8 MB on 8 nodes (vs redis)",
+    ok &= bench::check("filesystem competitive at >=8 MB on 8 nodes (vs redis)",
                 fs > 0.8 * rd);
   }
   return ok ? 0 : 1;

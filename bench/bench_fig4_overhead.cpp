@@ -64,15 +64,15 @@ int main() {
   const Cell fs8 = measure(platform::BackendKind::Filesystem, 32 * MiB, 8);
 
   std::printf("Shape checks vs the paper:\n");
-  ok &= check("node-local 32 MB transfer ~ one sim iteration (8 nodes)",
+  ok &= bench::check("node-local 32 MB transfer ~ one sim iteration (8 nodes)",
               anchor8.write > 0.3 * anchor8.sim_iter &&
                   anchor8.write < 3.0 * anchor8.sim_iter);
-  ok &= check("node-local transport unchanged from 8 to 512 nodes",
+  ok &= bench::check("node-local transport unchanged from 8 to 512 nodes",
               std::abs(nl512.write - anchor8.write) <
                   0.1 * anchor8.write);
-  ok &= check("filesystem 32 MB ~ one iteration at 8 nodes",
+  ok &= bench::check("filesystem 32 MB ~ one iteration at 8 nodes",
               fs8.write > 0.3 * fs8.sim_iter && fs8.write < 3.0 * fs8.sim_iter);
-  ok &= check("filesystem 32 MB ~ order of magnitude above iter at 512 nodes",
+  ok &= bench::check("filesystem 32 MB ~ order of magnitude above iter at 512 nodes",
               anchor512.write > 5.0 * anchor512.sim_iter);
   return ok ? 0 : 1;
 }

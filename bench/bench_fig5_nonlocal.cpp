@@ -60,13 +60,13 @@ int main() {
   using BK = platform::BackendKind;
   const std::uint64_t small = 1 * MiB, peak = 8 * MiB, big = 32 * MiB;
 
-  ok &= check("redis non-local read far below dragon",
+  ok &= bench::check("redis non-local read far below dragon",
               results[BK::Dragon][peak].read_tput >
                   3.0 * results[BK::Redis][peak].read_tput);
-  ok &= check("redis local write is reasonable (>= its read side)",
+  ok &= bench::check("redis local write is reasonable (>= its read side)",
               results[BK::Redis][peak].write_tput >
                   results[BK::Redis][peak].read_tput);
-  ok &= check("dragon non-local read peaks near ~10 MB then declines",
+  ok &= bench::check("dragon non-local read peaks near ~10 MB then declines",
               results[BK::Dragon][peak].read_tput >
                       results[BK::Dragon][small].read_tput &&
                   results[BK::Dragon][peak].read_tput >
@@ -78,10 +78,10 @@ int main() {
       monotonic &= results[BK::Filesystem][bytes].read_tput > prev;
       prev = results[BK::Filesystem][bytes].read_tput;
     }
-    ok &= check("filesystem read throughput increases continuously",
+    ok &= bench::check("filesystem read throughput increases continuously",
                 monotonic);
   }
-  ok &= check("filesystem comparable to dragon at the largest sizes",
+  ok &= bench::check("filesystem comparable to dragon at the largest sizes",
               results[BK::Filesystem][big].read_tput >
                   0.33 * results[BK::Dragon][big].read_tput);
   return ok ? 0 : 1;

@@ -56,33 +56,33 @@ int main() {
   // All backends grow with size at 8 nodes; redis grows most.
   for (auto b : nonlocal_backends()) {
     const std::string name(platform::backend_name(b));
-    ok &= check((name + ": runtime grows with data size (8 nodes)").c_str(),
+    ok &= bench::check((name + ": runtime grows with data size (8 nodes)").c_str(),
                 results[7][b][32 * MiB] > results[7][b][1 * MiB]);
   }
-  ok &= check("redis runtime grows most significantly (8 nodes, 32 MB)",
+  ok &= bench::check("redis runtime grows most significantly (8 nodes, 32 MB)",
               results[7][BK::Redis][32 * MiB] >
                       results[7][BK::Dragon][32 * MiB] &&
                   results[7][BK::Redis][32 * MiB] >
                       results[7][BK::Filesystem][32 * MiB]);
-  ok &= check("dragon ~ filesystem at 8 nodes (4 MB)",
+  ok &= bench::check("dragon ~ filesystem at 8 nodes (4 MB)",
               results[7][BK::Dragon][4 * MiB] <
                       2.5 * results[7][BK::Filesystem][4 * MiB] &&
                   results[7][BK::Filesystem][4 * MiB] <
                       2.5 * results[7][BK::Dragon][4 * MiB]);
-  ok &= check("redis remains slowest at 128 nodes",
+  ok &= bench::check("redis remains slowest at 128 nodes",
               results[127][BK::Redis][4 * MiB] >
                       results[127][BK::Dragon][4 * MiB] * 0.9 &&
                   results[127][BK::Redis][4 * MiB] >
                       results[127][BK::Filesystem][4 * MiB]);
-  ok &= check("dragon significantly slower than filesystem <10 MB @128",
+  ok &= bench::check("dragon significantly slower than filesystem <10 MB @128",
               results[127][BK::Dragon][1 * MiB] >
                   1.5 * results[127][BK::Filesystem][1 * MiB]);
-  ok &= check("dragon ~ filesystem at the largest sizes @128",
+  ok &= bench::check("dragon ~ filesystem at the largest sizes @128",
               results[127][BK::Dragon][32 * MiB] <
                       3.0 * results[127][BK::Filesystem][32 * MiB] &&
                   results[127][BK::Filesystem][32 * MiB] <
                       3.0 * results[127][BK::Dragon][32 * MiB]);
-  ok &= check("filesystem is the best overall backend at 128 nodes (1 MB)",
+  ok &= bench::check("filesystem is the best overall backend at 128 nodes (1 MB)",
               results[127][BK::Filesystem][1 * MiB] <=
                       results[127][BK::Dragon][1 * MiB] &&
                   results[127][BK::Filesystem][1 * MiB] <=

@@ -79,18 +79,18 @@ int main() {
 
   std::printf("Shape checks vs the paper:\n");
   bool ok = true;
-  ok &= check("both runs complete exactly 5000 training iterations",
+  ok &= bench::check("both runs complete exactly 5000 training iterations",
               orig.train_steps == 5000 && mini.train_steps == 5000);
-  ok &= check("sim step counts in the paper's band (9.5k..11.5k)",
+  ok &= bench::check("sim step counts in the paper's band (9.5k..11.5k)",
               orig.sim_steps > 9500 && orig.sim_steps < 11500 &&
                   mini.sim_steps > 9500 && mini.sim_steps < 11500);
-  ok &= check("sim transport events ~200 (paper: 203/211)",
+  ok &= bench::check("sim transport events ~200 (paper: 203/211)",
               orig.sim_events >= 180 && orig.sim_events <= 240 &&
                   mini.sim_events >= 180 && mini.sim_events <= 240);
-  ok &= check("train transport events ~208 (paper: 208)",
+  ok &= bench::check("train transport events ~208 (paper: 208)",
               orig.train_events >= 180 && orig.train_events <= 240 &&
                   mini.train_events >= 180 && mini.train_events <= 240);
-  ok &= check("original vs mini-app event counts agree closely",
+  ok &= bench::check("original vs mini-app event counts agree closely",
               std::llabs(static_cast<long long>(orig.train_events) -
                          static_cast<long long>(mini.train_events)) <= 15);
   return ok ? 0 : 1;

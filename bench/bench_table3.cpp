@@ -50,22 +50,22 @@ int main() {
 
   std::printf("Shape checks vs the paper:\n");
   bool ok = true;
-  ok &= check("original sim mean ~0.031 s",
+  ok &= bench::check("original sim mean ~0.031 s",
               std::abs(orig.sim.iter_time.mean() - 0.0312) < 0.004);
-  ok &= check("original train mean ~0.061 s",
+  ok &= bench::check("original train mean ~0.061 s",
               std::abs(orig.train.iter_time.mean() - 0.0611) < 0.02);
-  ok &= check("original std is large (stochastic workload)",
+  ok &= bench::check("original std is large (stochastic workload)",
               orig.sim.iter_time.stddev() > 0.015 &&
                   orig.train.iter_time.stddev() > 0.05);
-  ok &= check("mini-app means match the configured values within 5%",
+  ok &= bench::check("mini-app means match the configured values within 5%",
               std::abs(mini.sim.iter_time.mean() - 0.03147) <
                       0.05 * 0.03147 &&
                   std::abs(mini.train.iter_time.mean() - 0.0611) <
                       0.05 * 0.0611);
-  ok &= check("mini-app std is tiny (deterministic mini-app)",
+  ok &= bench::check("mini-app std is tiny (deterministic mini-app)",
               mini.sim.iter_time.stddev() < 0.005 &&
                   mini.train.iter_time.stddev() < 0.005);
-  ok &= check("mini-app std far below the original's",
+  ok &= bench::check("mini-app std far below the original's",
               mini.sim.iter_time.stddev() < 0.2 * orig.sim.iter_time.stddev());
   return ok ? 0 : 1;
 }

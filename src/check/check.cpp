@@ -1,0 +1,396 @@
+#include "check/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace simai::check {
+
+namespace {
+
+/// Sparse vector clock: ProcId -> logical counter. Small (a handful of
+/// processes per race neighborhood) and only touched while detection is on,
+/// so an ordered map keeps comparisons and report output deterministic.
+using VectorClock = std::map<ProcId, std::uint64_t>;
+
+/// a happens-before b iff every component of a is <= the same component
+/// of b (absent components are 0).
+bool clock_leq(const VectorClock& a, const VectorClock& b) {
+  for (const auto& [pid, n] : a) {
+    const auto it = b.find(pid);
+    if (it == b.end() || it->second < n) return false;
+  }
+  return true;
+}
+
+void clock_merge(VectorClock& into, const VectorClock& from) {
+  for (const auto& [pid, n] : from) {
+    auto& slot = into[pid];
+    if (slot < n) slot = n;
+  }
+}
+
+std::string format_time(double t) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", t);
+  return buf;
+}
+
+constexpr std::size_t kStackDepth = 8;  // recent sync ops kept per process
+
+struct ProcState {
+  std::string name;
+  VectorClock clock;
+  double vtime = 0.0;
+  std::deque<std::string> stack;  // recent sync ops, oldest first
+};
+
+/// One recorded access: everything a race report needs, snapshotted.
+struct AccessSnapshot {
+  ProcId pid = 0;
+  std::string proc_name;
+  VectorClock clock;
+  double vtime = 0.0;
+  char kind = '?';
+  std::string stack;
+};
+
+struct CellState {
+  std::string label;
+  std::uint32_t id = 0;  // first-sight instance number, for report text
+  std::optional<AccessSnapshot> last_writer;
+  std::vector<AccessSnapshot> readers;  // since the last write, one per pid
+  bool reported = false;                // first race per cell wins
+};
+
+struct EventState {
+  std::uint32_t id = 0;
+  VectorClock clock;  // accumulated release clocks of all notifiers
+};
+
+struct ChannelState {
+  std::uint32_t id = 0;
+  std::deque<VectorClock> messages;  // one clock per in-flight message
+};
+
+/// Process-wide detector. One mutex around everything: the DES runs one
+/// process at a time, so there is no contention to speak of, and the lock
+/// makes the thread substrate and real-thread callers (which are ignored,
+/// but still walk the fast path) well-defined.
+class Detector {
+ public:
+  static Detector& instance() {
+    static Detector d;
+    return d;
+  }
+
+  ProcId register_process(const std::string& name) {
+    std::lock_guard lock(mutex_);
+    const ProcId id = ++next_proc_;
+    ProcState& p = procs_[id];
+    p.name = name;
+    p.clock[id] = 1;
+    return id;
+  }
+
+  void on_spawn(ProcId parent, ProcId child) {
+    std::lock_guard lock(mutex_);
+    ProcState* c = find(child);
+    if (!c) return;
+    if (ProcState* p = find(parent)) {
+      clock_merge(c->clock, p->clock);
+      p->clock[parent]++;  // parent's later ops are not ordered with child
+      c->vtime = p->vtime;
+      push_op(*p, "spawn '" + c->name + "'", p->vtime);
+    }
+  }
+
+  void on_dispatch(ProcId pid, double now) {
+    std::lock_guard lock(mutex_);
+    if (ProcState* p = find(pid)) p->vtime = now;
+  }
+
+  void on_event_notify(ProcId pid, const void* event) {
+    std::lock_guard lock(mutex_);
+    ProcState* p = find(pid);
+    if (!p) return;
+    EventState& ev = event_of(event);
+    clock_merge(ev.clock, p->clock);
+    p->clock[pid]++;  // release: later ops are not covered by this notify
+    push_op(*p, "notify ev#" + std::to_string(ev.id), p->vtime);
+  }
+
+  void on_event_wait(ProcId pid, const void* event) {
+    std::lock_guard lock(mutex_);
+    ProcState* p = find(pid);
+    if (!p) return;
+    EventState& ev = event_of(event);
+    clock_merge(p->clock, ev.clock);
+    push_op(*p, "wake ev#" + std::to_string(ev.id), p->vtime);
+  }
+
+  void on_channel_send(ProcId pid, const void* channel) {
+    std::lock_guard lock(mutex_);
+    ChannelState& ch = channel_of(channel);
+    ProcState* p = find(pid);
+    if (p) {
+      ch.messages.push_back(p->clock);
+      p->clock[pid]++;
+      push_op(*p, "send ch#" + std::to_string(ch.id), p->vtime);
+    } else {
+      // Not a logical process (setup code): the message still occupies a
+      // queue slot so send/recv clocks stay paired, but carries no edge.
+      ch.messages.emplace_back();
+    }
+  }
+
+  void on_channel_recv(ProcId pid, const void* channel) {
+    std::lock_guard lock(mutex_);
+    ChannelState& ch = channel_of(channel);
+    if (ch.messages.empty()) return;  // channel pre-filled before enabling
+    VectorClock msg = std::move(ch.messages.front());
+    ch.messages.pop_front();
+    if (ProcState* p = find(pid)) {
+      clock_merge(p->clock, msg);
+      push_op(*p, "recv ch#" + std::to_string(ch.id), p->vtime);
+    }
+  }
+
+  void on_access(ProcId pid, const void* cell, const char* label,
+                 bool is_write) {
+    std::lock_guard lock(mutex_);
+    ProcState* p = find(pid);
+    if (!p) return;  // real thread outside the DES: TSan's jurisdiction
+    CellState& cs = cell_of(cell, label);
+
+    AccessSnapshot current;
+    current.pid = pid;
+    current.proc_name = p->name;
+    current.clock = p->clock;
+    current.vtime = p->vtime;
+    current.kind = is_write ? 'W' : 'R';
+    current.stack = render_stack(*p);
+
+    // A prior access races with this one iff it came from another process
+    // at the SAME virtual time and neither clock dominates: the executed
+    // order between them is a tie-break artifact, not a program property.
+    const auto races = [&](const AccessSnapshot& other) {
+      return other.pid != pid && other.vtime == current.vtime &&
+             !clock_leq(other.clock, current.clock);
+    };
+
+    if (!cs.reported) {
+      // Read-write and write-write conflicts; read-read pairs are benign.
+      if (cs.last_writer && races(*cs.last_writer)) {
+        report(cs, *cs.last_writer, current);
+      } else if (is_write) {
+        for (const AccessSnapshot& r : cs.readers) {
+          if (races(r)) {
+            report(cs, r, current);
+            break;
+          }
+        }
+      }
+    }
+
+    push_op(*p, std::string(1, current.kind) + " '" + cs.label + "'",
+            current.vtime);
+    if (is_write) {
+      cs.last_writer = std::move(current);
+      cs.readers.clear();
+    } else {
+      for (AccessSnapshot& r : cs.readers) {
+        if (r.pid == pid) {
+          r = std::move(current);
+          return;
+        }
+      }
+      cs.readers.push_back(std::move(current));
+    }
+  }
+
+  std::size_t report_count() {
+    std::lock_guard lock(mutex_);
+    return reports_.size();
+  }
+
+  std::vector<RaceReport> take_reports() {
+    std::lock_guard lock(mutex_);
+    return std::exchange(reports_, {});
+  }
+
+  void set_log_reports(bool on) {
+    std::lock_guard lock(mutex_);
+    log_reports_ = on;
+  }
+
+  void reset() {
+    std::lock_guard lock(mutex_);
+    procs_.clear();
+    events_.clear();
+    channels_.clear();
+    cells_.clear();
+    reports_.clear();
+    next_proc_ = 0;
+    next_event_ = 0;
+    next_channel_ = 0;
+    next_cell_ = 0;
+  }
+
+ private:
+  ProcState* find(ProcId pid) {
+    if (pid == 0) return nullptr;
+    const auto it = procs_.find(pid);
+    return it == procs_.end() ? nullptr : &it->second;
+  }
+
+  EventState& event_of(const void* key) {
+    EventState& ev = events_[key];
+    if (ev.id == 0) ev.id = ++next_event_;
+    return ev;
+  }
+
+  ChannelState& channel_of(const void* key) {
+    ChannelState& ch = channels_[key];
+    if (ch.id == 0) ch.id = ++next_channel_;
+    return ch;
+  }
+
+  CellState& cell_of(const void* key, const char* label) {
+    CellState& cs = cells_[key];
+    if (cs.id == 0) {
+      cs.id = ++next_cell_;
+      cs.label = label;
+    }
+    return cs;
+  }
+
+  static void push_op(ProcState& p, const std::string& op, double t) {
+    p.stack.push_back("t=" + format_time(t) + " " + op);
+    while (p.stack.size() > kStackDepth) p.stack.pop_front();
+  }
+
+  static std::string render_stack(const ProcState& p) {
+    std::string out;
+    for (const std::string& op : p.stack) {
+      if (!out.empty()) out += "; ";
+      out += op;
+    }
+    return out.empty() ? "(no prior sync ops)" : out;
+  }
+
+  void report(CellState& cs, const AccessSnapshot& first,
+              const AccessSnapshot& second) {
+    cs.reported = true;
+    RaceReport r;
+    r.cell = cs.label + "#" + std::to_string(cs.id);
+    r.first_process = first.proc_name;
+    r.second_process = second.proc_name;
+    r.time = second.vtime;
+    r.first_kind = first.kind;
+    r.second_kind = second.kind;
+    r.first_stack = first.stack;
+    r.second_stack = second.stack;
+    if (log_reports_) {
+      SIMAI_LOG(Warn, "check") << r.to_string();
+    }
+    reports_.push_back(std::move(r));
+  }
+
+  std::mutex mutex_;
+  std::unordered_map<ProcId, ProcState> procs_;
+  std::unordered_map<const void*, EventState> events_;
+  std::unordered_map<const void*, ChannelState> channels_;
+  std::unordered_map<const void*, CellState> cells_;
+  std::vector<RaceReport> reports_;
+  ProcId next_proc_ = 0;
+  std::uint32_t next_event_ = 0;
+  std::uint32_t next_channel_ = 0;
+  std::uint32_t next_cell_ = 0;
+  bool log_reports_ = true;
+};
+
+thread_local ProcId tls_current_process = 0;
+
+/// SIMAI_CHECK=1 (or any value other than "0"/"") enables detection for the
+/// whole process before main() runs.
+bool env_enabled() {
+  const char* env = std::getenv("SIMAI_CHECK");
+  return env && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_enabled{env_enabled()};
+
+ProcId current_process() { return tls_current_process; }
+void set_current_process(ProcId pid) { tls_current_process = pid; }
+
+void on_spawn_impl(ProcId child) {
+  Detector::instance().on_spawn(tls_current_process, child);
+}
+void on_dispatch_impl(ProcId pid, double now) {
+  Detector::instance().on_dispatch(pid, now);
+}
+void on_event_notify_impl(const void* event) {
+  if (tls_current_process == 0) return;
+  Detector::instance().on_event_notify(tls_current_process, event);
+}
+void on_event_wait_impl(const void* event) {
+  if (tls_current_process == 0) return;
+  Detector::instance().on_event_wait(tls_current_process, event);
+}
+void on_channel_send_impl(const void* channel) {
+  Detector::instance().on_channel_send(tls_current_process, channel);
+}
+void on_channel_recv_impl(const void* channel) {
+  Detector::instance().on_channel_recv(tls_current_process, channel);
+}
+void on_access_impl(const void* cell, const char* label, bool is_write) {
+  if (tls_current_process == 0) return;
+  Detector::instance().on_access(tls_current_process, cell, label, is_write);
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+ProcId register_process(const std::string& name) {
+  return Detector::instance().register_process(name);
+}
+
+std::size_t report_count() { return Detector::instance().report_count(); }
+
+std::vector<RaceReport> take_reports() {
+  return Detector::instance().take_reports();
+}
+
+void set_log_reports(bool on) { Detector::instance().set_log_reports(on); }
+
+void reset() { Detector::instance().reset(); }
+
+std::string RaceReport::to_string() const {
+  std::string out = "virtual-time race on '" + cell + "' at t=" +
+                    format_time(time) + ": " + first_kind + " by '" +
+                    first_process + "' vs " + second_kind + " by '" +
+                    second_process +
+                    "' — no happens-before edge; the executed order is a "
+                    "spawn-order tie-break, not a program property\n";
+  out += "  " + first_process + " recent: " + first_stack + "\n";
+  out += "  " + second_process + " recent: " + second_stack;
+  return out;
+}
+
+}  // namespace simai::check

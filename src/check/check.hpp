@@ -1,0 +1,167 @@
+// simai::check — virtual-time race detection for the DES.
+//
+// The whole reproduction rests on one claim: the simulator is deterministic,
+// so a transport-time curve is a property of the *model*, not of scheduling
+// luck. The engine guarantees a fixed schedule per program (ties broken by
+// spawn/schedule sequence), but nothing proves that programs don't *depend*
+// on those tie-breaks: two logical processes that touch shared state at the
+// SAME virtual time with no happens-before edge between them are ordered
+// only by spawn-order accident — a schedule where the fiber and thread
+// substrates (or a future parallel scheduler) could legally diverge.
+//
+// This layer finds exactly those schedules, dynamically:
+//
+//  * every sim::Process carries a vector clock, advanced on the engine's
+//    synchronization edges — spawn, Event notify/wait, Channel send/recv;
+//  * shared state is wrapped in check::SharedCell<T> (adopted by
+//    kv::MemoryStore, core::StreamBroker, core::DataStore), which records
+//    reader/writer clock snapshots per access;
+//  * two accesses to a cell by different processes at the same virtual time
+//    whose clocks are incomparable (no happens-before chain) produce a
+//    RaceReport carrying both processes' names, timestamps, access kinds,
+//    and recent event stacks.
+//
+// Cost model: detection is OFF by default. Every hook is an inline
+// relaxed-atomic load + branch (no call, no lock), so instrumented code is
+// indistinguishable from uninstrumented code in benchmarks. Enable with
+// Engine::enable_race_detection() (per program, before run()) or the
+// SIMAI_CHECK=1 environment variable (whole process, read at startup).
+//
+// The detector is a process-wide singleton guarded by a mutex: with the
+// thread substrate, hooks fire from per-process OS threads (strictly
+// alternating, but TSan-visible), and SharedCell state may also be touched
+// by real threads outside the DES (MiniRedis connection handlers). Accesses
+// from threads that are not running a logical process carry no virtual time
+// and are ignored — real-thread interleavings are ThreadSanitizer's job
+// (the `tsan` preset), not this detector's.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simai::check {
+
+/// Detector-assigned logical-process id; 0 means "not a logical process".
+using ProcId = std::uint32_t;
+
+/// One same-virtual-time, no-happens-before access pair. `first` is the
+/// access that happened earlier in the executed schedule — i.e. the order
+/// the tie-break chose; a legal scheduler could have run `second` first.
+struct RaceReport {
+  std::string cell;          // SharedCell label + instance id, "label#N"
+  std::string first_process;
+  std::string second_process;
+  double time = 0.0;         // the shared virtual time of both accesses
+  char first_kind = '?';     // 'R' or 'W'
+  char second_kind = '?';
+  std::string first_stack;   // recent sync ops of each process, oldest first
+  std::string second_stack;
+
+  /// Deterministic human-readable rendering (identical across substrates).
+  std::string to_string() const;
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+ProcId current_process();
+void set_current_process(ProcId pid);
+void on_spawn_impl(ProcId child);
+void on_dispatch_impl(ProcId pid, double now);
+void on_event_notify_impl(const void* event);
+void on_event_wait_impl(const void* event);
+void on_channel_send_impl(const void* channel);
+void on_channel_recv_impl(const void* channel);
+void on_access_impl(const void* cell, const char* label, bool is_write);
+}  // namespace detail
+
+/// Fast global switch — the only cost instrumented code pays when off.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turn detection on/off process-wide. SIMAI_CHECK=1 in the environment
+/// flips it on at static-initialization time.
+void set_enabled(bool on);
+
+/// Register a logical process; returns its detector id. The new process's
+/// clock starts at {id: 1}; call on_spawn() from the parent to add the
+/// spawn happens-before edge.
+ProcId register_process(const std::string& name);
+
+// -- engine-side hooks (inline no-ops while disabled) -----------------------
+
+/// Parent (the calling thread's current process, if any) -> child edge.
+inline void on_spawn(ProcId child) {
+  if (enabled()) detail::on_spawn_impl(child);
+}
+/// The engine is about to run `pid` at virtual time `now`.
+inline void on_dispatch(ProcId pid, double now) {
+  if (enabled()) detail::on_dispatch_impl(pid, now);
+}
+/// The current process released an Event (notify_one/notify_all).
+inline void on_event_notify(const void* event) {
+  if (enabled()) detail::on_event_notify_impl(event);
+}
+/// The current process woke from a *notified* wait on an Event.
+inline void on_event_wait(const void* event) {
+  if (enabled()) detail::on_event_wait_impl(event);
+}
+/// The current process enqueued a message into a Channel.
+inline void on_channel_send(const void* channel) {
+  if (enabled()) detail::on_channel_send_impl(channel);
+}
+/// The current process dequeued a message from a Channel.
+inline void on_channel_recv(const void* channel) {
+  if (enabled()) detail::on_channel_recv_impl(channel);
+}
+/// SharedCell accesses (the race check itself).
+inline void on_read(const void* cell, const char* label) {
+  if (enabled()) detail::on_access_impl(cell, label, false);
+}
+inline void on_write(const void* cell, const char* label) {
+  if (enabled()) detail::on_access_impl(cell, label, true);
+}
+
+/// Bind the calling OS thread to a logical process (thread substrate: set
+/// once in the process trampoline; the thread runs exactly one process).
+inline void set_current_process(ProcId pid) {
+  detail::set_current_process(pid);
+}
+
+/// RAII current-process scope (fiber substrate: all fibers share the
+/// engine thread, so the binding must bracket each dispatch).
+class ScopedProcess {
+ public:
+  explicit ScopedProcess(ProcId pid) : prev_(detail::current_process()) {
+    detail::set_current_process(pid);
+  }
+  ~ScopedProcess() { detail::set_current_process(prev_); }
+  ScopedProcess(const ScopedProcess&) = delete;
+  ScopedProcess& operator=(const ScopedProcess&) = delete;
+
+ private:
+  ProcId prev_;
+};
+
+// -- report access ----------------------------------------------------------
+
+/// Races found so far (at most one per SharedCell: the first pair wins, so
+/// a single racy counter yields exactly one deterministic report).
+std::size_t report_count();
+
+/// Drain the accumulated reports.
+std::vector<RaceReport> take_reports();
+
+/// Whether reports are also logged (Warn) the moment they are found.
+/// Tests that *provoke* races turn this off so a suite-level
+/// "race-report-clean" sweep can grep the logs. Default: on.
+void set_log_reports(bool on);
+
+/// Drop all detector state (processes, clocks, cells, reports, id
+/// counters). Call between independent engine runs in one process when
+/// deterministic instance numbering matters (tests do).
+void reset();
+
+}  // namespace simai::check

@@ -1,0 +1,69 @@
+// check::SharedCell<T> — instrumented wrapper for state shared between
+// logical processes.
+//
+// The DES runs one process at a time, so shared state needs no locking for
+// memory safety — but it DOES need happens-before discipline for schedule
+// determinism: if two processes touch the same state at the same virtual
+// time without a synchronization edge, the access order is a spawn-order
+// tie-break and a legal scheduler could flip it. Wrapping the state in a
+// SharedCell makes every access visible to the race detector (check.hpp),
+// which flags exactly those pairs.
+//
+// Usage: replace `T state_;` with `check::SharedCell<T> state_{"label"};`
+// and route reads through `state_.read()` and writes through
+// `state_.write()`. When detection is off, both compile down to the member
+// access plus one relaxed load — adopters (MemoryStore, StreamBroker,
+// DataStore) measure no difference in benchmarks.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "check/check.hpp"
+
+namespace simai::check {
+
+template <typename T>
+class SharedCell {
+ public:
+  explicit SharedCell(std::string label, T value = T{})
+      : label_(std::move(label)), value_(std::move(value)) {}
+
+  // Movable so cells can live in containers; the detector keys cells by
+  // address lazily at first access, so moves must happen before the cell
+  // is shared (construction/setup time — the adopters all do).
+  SharedCell(SharedCell&& other) noexcept
+      : label_(std::move(other.label_)), value_(std::move(other.value_)) {}
+  SharedCell& operator=(SharedCell&& other) noexcept {
+    label_ = std::move(other.label_);
+    value_ = std::move(other.value_);
+    return *this;
+  }
+  SharedCell(const SharedCell&) = delete;
+  SharedCell& operator=(const SharedCell&) = delete;
+
+  /// Recorded read access.
+  const T& read() const {
+    on_read(this, label_.c_str());
+    return value_;
+  }
+
+  /// Recorded write access; the caller may mutate through the reference.
+  T& write() {
+    on_write(this, label_.c_str());
+    return value_;
+  }
+
+  /// Unrecorded access, for paths outside any process schedule (post-run
+  /// stat harvesting, constructors) where recording would be noise.
+  const T& raw() const { return value_; }
+  T& raw_mut() { return value_; }
+
+  const std::string& label() const { return label_; }
+
+ private:
+  std::string label_;
+  T value_;
+};
+
+}  // namespace simai::check

@@ -125,10 +125,10 @@ bool DataStore::stage_write(sim::Context* ctx, std::string_view key,
     return false;
   const SimTime t = charge(ctx, platform::StoreOp::Write, nominal, op_ctx);
   ++transport_events_;
-  stats_["write_time"].add(t);
-  stats_["write_bytes"].add(static_cast<double>(nominal));
+  stats_.write()["write_time"].add(t);
+  stats_.write()["write_bytes"].add(static_cast<double>(nominal));
   if (t > 0.0)
-    stats_["write_throughput"].add(static_cast<double>(nominal) / t);
+    stats_.write()["write_throughput"].add(static_cast<double>(nominal) / t);
   if (trace_ && ctx)
     trace_->record_instant(name_, "write", ctx->now(), nominal);
   return true;
@@ -154,15 +154,15 @@ bool DataStore::stage_read(sim::Context* ctx, std::string_view key,
   });
   if (!ok || !found) {
     charge(ctx, platform::StoreOp::Poll, 0, op_ctx);
-    stats_["poll_time"].add(0.0);
+    stats_.write()["poll_time"].add(0.0);
     return false;
   }
   out = std::move(value);
   const SimTime t = charge(ctx, platform::StoreOp::Read, nominal, op_ctx);
   ++transport_events_;
-  stats_["read_time"].add(t);
-  stats_["read_bytes"].add(static_cast<double>(nominal));
-  if (t > 0.0) stats_["read_throughput"].add(static_cast<double>(nominal) / t);
+  stats_.write()["read_time"].add(t);
+  stats_.write()["read_bytes"].add(static_cast<double>(nominal));
+  if (t > 0.0) stats_.write()["read_throughput"].add(static_cast<double>(nominal) / t);
   if (trace_ && ctx) trace_->record_instant(name_, "read", ctx->now(), nominal);
   return true;
 }
@@ -173,7 +173,7 @@ bool DataStore::poll_staged_data(sim::Context* ctx, std::string_view key) {
       run_resilient(ctx, [&] { found = store_->exists(key); });
   const SimTime t =
       charge(ctx, platform::StoreOp::Poll, 0, config_.transport);
-  stats_["poll_time"].add(t);
+  stats_.write()["poll_time"].add(t);
   return ok && found;
 }
 

@@ -27,6 +27,7 @@
 #include <functional>
 #include <string>
 
+#include "check/shared_cell.hpp"
 #include "fault/fault.hpp"
 #include "fault/retry.hpp"
 #include "kv/store.hpp"
@@ -99,8 +100,11 @@ class DataStore {
 
   /// Series: "write_time", "read_time", "poll_time", "write_bytes",
   /// "read_bytes", "write_throughput", "read_throughput" (B/s, nominal).
-  const util::StatSeries& stats() const { return stats_; }
-  util::StatSeries& stats() { return stats_; }
+  /// The const accessor is unrecorded (post-run harvesting); the mutable
+  /// one records a write access with the race detector, like the internal
+  /// per-op updates do.
+  const util::StatSeries& stats() const { return stats_.raw(); }
+  util::StatSeries& stats() { return stats_.write(); }
 
   /// Transport events so far (successful writes + successful reads +
   /// steering ops — the paper's Table 2 counting).
@@ -134,7 +138,10 @@ class DataStore {
   const platform::TransportModel* model_;
   DataStoreConfig config_;
   sim::TraceRecorder* trace_;
-  util::StatSeries stats_;
+  // Instrumented: per-op timings land here from whichever process runs the
+  // op. Clients are usually per-process, but nothing enforces it — sharing
+  // a DataStore across processes is exactly what the race detector audits.
+  check::SharedCell<util::StatSeries> stats_{"DataStore.stats"};
   std::uint64_t transport_events_ = 0;
   fault::RecoveryStats recovery_;
   util::Xoshiro256 retry_rng_;  // backoff jitter (deterministic per client)

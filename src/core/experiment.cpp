@@ -119,6 +119,7 @@ Pattern1Result run_pattern1(const Pattern1Config& config) {
   }
 
   Workflow w;
+  w.spawn_order_salt(config.spawn_order_salt);
   std::vector<std::uint64_t> sim_steps(pairs, 0), train_steps(pairs, 0);
 
   for (int p = 0; p < pairs; ++p) {
@@ -262,6 +263,7 @@ Pattern1Result run_pattern1_streaming(const Pattern1Config& config,
   }
 
   Workflow w;
+  w.spawn_order_salt(config.spawn_order_salt);
   for (int p = 0; p < pairs; ++p) {
     const auto idx = static_cast<std::size_t>(p);
     // ---- simulation: publish a step every write_every iterations --------
@@ -438,6 +440,7 @@ Pattern2Result run_pattern2(const Pattern2Config& config) {
       rounds * config.write_every + config.write_every;
 
   Workflow w;
+  w.spawn_order_salt(config.spawn_order_salt);
   std::vector<std::uint64_t> sim_steps(
       static_cast<std::size_t>(config.num_sims), 0);
   std::uint64_t train_steps = 0;

@@ -76,6 +76,9 @@ struct Pattern1Config {
 
   std::uint64_t seed = 42;
   bool record_trace = false;
+  /// Workflow::spawn_order_salt — permutes component spawn order (0 =
+  /// registration order). Results must be salt-invariant; see sim_parity_test.
+  std::uint64_t spawn_order_salt = 0;
 
   /// Total store clients machine-wide (both components), for MDS pricing.
   int concurrent_clients() const { return nodes * pairs_per_node * 2; }
@@ -124,6 +127,9 @@ struct Pattern2Config {
   double poll_interval = 0.005;
 
   std::uint64_t seed = 43;
+  /// Workflow::spawn_order_salt — permutes component spawn order (0 =
+  /// registration order). Results must be salt-invariant; see sim_parity_test.
+  std::uint64_t spawn_order_salt = 0;
 
   int nodes() const { return num_sims + 1; }
   /// Store clients: 12 ranks per simulation node + the AI's readers.

@@ -32,6 +32,8 @@ Pattern1Config pattern1_from_json(const util::Json& j) {
   c.seed = static_cast<std::uint64_t>(
       j.get("seed", static_cast<std::int64_t>(c.seed)));
   c.record_trace = j.get("record_trace", c.record_trace);
+  c.spawn_order_salt = static_cast<std::uint64_t>(
+      j.get("spawn_order_salt", static_cast<std::int64_t>(c.spawn_order_salt)));
   return c;
 }
 
@@ -56,6 +58,7 @@ util::Json pattern1_to_json(const Pattern1Config& c) {
   j["poll_interval"] = c.poll_interval;
   j["seed"] = static_cast<std::int64_t>(c.seed);
   j["record_trace"] = c.record_trace;
+  j["spawn_order_salt"] = static_cast<std::int64_t>(c.spawn_order_salt);
   return j;
 }
 
@@ -78,6 +81,8 @@ Pattern2Config pattern2_from_json(const util::Json& j) {
   c.poll_interval = j.get("poll_interval", c.poll_interval);
   c.seed = static_cast<std::uint64_t>(
       j.get("seed", static_cast<std::int64_t>(c.seed)));
+  c.spawn_order_salt = static_cast<std::uint64_t>(
+      j.get("spawn_order_salt", static_cast<std::int64_t>(c.spawn_order_salt)));
   return c;
 }
 
@@ -95,6 +100,7 @@ util::Json pattern2_to_json(const Pattern2Config& c) {
   j["read_every"] = c.read_every;
   j["poll_interval"] = c.poll_interval;
   j["seed"] = static_cast<std::int64_t>(c.seed);
+  j["spawn_order_salt"] = static_cast<std::int64_t>(c.spawn_order_salt);
   return j;
 }
 

@@ -55,8 +55,9 @@ SimTime StreamBroker::charge_write(sim::Context& ctx, std::uint64_t bytes) {
   const SimTime t = model_->cost(platform::BackendKind::Stream,
                                  platform::StoreOp::Write, bytes, transport_);
   ctx.delay(t);
-  stats_["step_write_time"].add(t);
-  stats_["step_bytes"].add(static_cast<double>(bytes));
+  util::StatSeries& stats = stats_.write();
+  stats["step_write_time"].add(t);
+  stats["step_bytes"].add(static_cast<double>(bytes));
   return t;
 }
 
@@ -65,7 +66,7 @@ SimTime StreamBroker::charge_read(sim::Context& ctx, std::uint64_t bytes) {
   const SimTime t = model_->cost(platform::BackendKind::Stream,
                                  platform::StoreOp::Read, bytes, transport_);
   ctx.delay(t);
-  stats_["step_read_time"].add(t);
+  stats_.write()["step_read_time"].add(t);
   return t;
 }
 
@@ -101,6 +102,9 @@ void StreamWriter::end_step(sim::Context& ctx) {
   // Writer-side transfer cost: the data plane is pipelined, so the
   // producer pays the full step cost on publish...
   broker_.charge_write(ctx, open_step_->total_nominal());
+  // The step counter advances before the step is enqueued, so the channel
+  // edge covers it and the reader-side check in begin_step holds.
+  ++s.published.write();
   // ...then blocks (virtual time) while the bounded queue is full.
   s.queue->put(ctx, std::move(*open_step_));
   open_step_.reset();
@@ -142,6 +146,13 @@ StepStatus StreamReader::begin_step(sim::Context& ctx, double timeout) {
   while (true) {
     if (auto step = s.queue->try_get()) {
       current_ = std::move(*step);
+      // Instrumented read of the writer's step counter: the channel edge
+      // from try_get orders it, so the race detector stays quiet on every
+      // legal schedule — and the invariant itself guards queue integrity.
+      if (current_->step_index >= s.published.read())
+        throw Error("stream '" + name_ + "': step " +
+                    std::to_string(current_->step_index) +
+                    " delivered before it was published");
       ++consumed_;
       return StepStatus::Ok;
     }

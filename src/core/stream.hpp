@@ -21,6 +21,7 @@
 #include <memory>
 #include <optional>
 
+#include "check/shared_cell.hpp"
 #include "platform/transport_model.hpp"
 #include "sim/channel.hpp"
 #include "sim/engine.hpp"
@@ -119,7 +120,9 @@ class StreamBroker {
   StreamReader open_reader(const std::string& stream_name);
 
   /// Aggregate stats: "step_write_time", "step_read_time", "step_bytes".
-  const util::StatSeries& stats() const { return stats_; }
+  /// (Unrecorded access: reading aggregates post-run is not part of any
+  /// process schedule.)
+  const util::StatSeries& stats() const { return stats_.raw(); }
 
  private:
   friend class StreamWriter;
@@ -132,6 +135,11 @@ class StreamBroker {
     bool closed = false;  // writer called close()
     bool failed = false;  // writer called fail() — producer death
     std::unique_ptr<sim::Event> state_change;
+    /// Writer-side step counter, read by the reader on every consumed step:
+    /// the detector-visible writer/reader pairing. A clean schedule always
+    /// has the channel happens-before edge, so any report here means the
+    /// stream was bypassed.
+    check::SharedCell<std::uint64_t> published{"Stream.published"};
   };
 
   Stream& stream_of(const std::string& name, bool create);
@@ -143,7 +151,10 @@ class StreamBroker {
   platform::TransportContext transport_;
   std::size_t queue_limit_;
   std::map<std::string, Stream> streams_;
-  util::StatSeries stats_;
+  // Written by writer AND reader processes (step costs land here from both
+  // sides), so instrumented: the race detector checks that every pair of
+  // same-virtual-time contributions is ordered by a stream edge.
+  check::SharedCell<util::StatSeries> stats_{"StreamBroker.stats"};
 };
 
 }  // namespace simai::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "util/rng.hpp"
+
 namespace simai::core {
 
 Workflow::Workflow(util::Json sys_config)
@@ -89,9 +91,21 @@ void Workflow::launch(sim::Engine& engine) {
       by_name_[dep]->dependents.push_back(comp.get());
   }
 
+  // Spawn order: registration order, or a salt-keyed deterministic
+  // permutation (Fisher-Yates over component indices). Permuting only
+  // reshuffles the engine's same-time tie-breaks — any observable
+  // difference means the workload depends on spawn order.
+  std::vector<std::size_t> order(components_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (spawn_order_salt_ != 0) {
+    util::Xoshiro256 rng(spawn_order_salt_);
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.next() % i]);
+  }
+
   active_engine_ = &engine;
-  for (auto& comp_ptr : components_) {
-    spawn_ranks(engine, comp_ptr.get());
+  for (std::size_t i : order) {
+    spawn_ranks(engine, components_[i].get());
   }
 
   engine.run();

@@ -70,6 +70,17 @@ class Workflow {
     return component(name, type, 1, std::move(dependencies), std::move(body));
   }
 
+  /// Deterministically permute the order components are spawned at
+  /// launch() (0, the default, keeps registration order). The DES breaks
+  /// same-virtual-time ties by spawn sequence, so a workflow whose results
+  /// change under a different salt is relying on tie-break accidents — the
+  /// N-way determinism test (sim_parity_test) launches the same workload
+  /// under several salts and requires identical canonical timelines.
+  Workflow& spawn_order_salt(std::uint64_t salt) {
+    spawn_order_salt_ = salt;
+    return *this;
+  }
+
   /// Run the whole DAG to completion on an internal engine.
   /// Throws WorkflowError on graph problems before starting anything.
   void launch();
@@ -132,6 +143,7 @@ class Workflow {
 
   sim::Engine* active_engine_ = nullptr;  // set while launch() runs
   util::Json sys_config_;
+  std::uint64_t spawn_order_salt_ = 0;
   std::vector<std::unique_ptr<Component>> components_;
   std::map<std::string, Component*> by_name_;
   sim::TraceRecorder trace_;

@@ -10,34 +10,37 @@ namespace simai::kv {
 void MemoryStore::put(std::string_view key, ByteView value) {
   Bytes copy(value.begin(), value.end());
   std::unique_lock lock(mutex_);
-  data_.insert_or_assign(std::string(key), std::move(copy));
+  data_.write().insert_or_assign(std::string(key), std::move(copy));
 }
 
 bool MemoryStore::get(std::string_view key, Bytes& out) {
   std::shared_lock lock(mutex_);
-  const auto it = data_.find(key);
-  if (it == data_.end()) return false;
+  const Map& data = data_.read();
+  const auto it = data.find(key);
+  if (it == data.end()) return false;
   out = it->second;
   return true;
 }
 
 bool MemoryStore::exists(std::string_view key) {
   std::shared_lock lock(mutex_);
-  return data_.find(key) != data_.end();
+  const Map& data = data_.read();
+  return data.find(key) != data.end();
 }
 
 std::size_t MemoryStore::erase(std::string_view key) {
   std::unique_lock lock(mutex_);
-  const auto it = data_.find(key);
-  if (it == data_.end()) return 0;
-  data_.erase(it);
+  Map& data = data_.write();
+  const auto it = data.find(key);
+  if (it == data.end()) return 0;
+  data.erase(it);
   return 1;
 }
 
 std::vector<std::string> MemoryStore::keys(std::string_view pattern) {
   std::shared_lock lock(mutex_);
   std::vector<std::string> out;
-  for (const auto& [key, value] : data_) {
+  for (const auto& [key, value] : data_.read()) {
     if (util::glob_match(pattern, key)) out.push_back(key);
   }
   // The map is unordered; sort so listings stay deterministic (callers and
@@ -48,18 +51,18 @@ std::vector<std::string> MemoryStore::keys(std::string_view pattern) {
 
 std::size_t MemoryStore::size() {
   std::shared_lock lock(mutex_);
-  return data_.size();
+  return data_.read().size();
 }
 
 void MemoryStore::clear() {
   std::unique_lock lock(mutex_);
-  data_.clear();
+  data_.write().clear();
 }
 
 std::size_t MemoryStore::total_bytes() const {
   std::shared_lock lock(mutex_);
   std::size_t total = 0;
-  for (const auto& [key, value] : data_) total += value.size();
+  for (const auto& [key, value] : data_.read()) total += value.size();
   return total;
 }
 

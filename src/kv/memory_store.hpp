@@ -18,6 +18,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "check/shared_cell.hpp"
 #include "kv/store.hpp"
 
 namespace simai::kv {
@@ -46,9 +47,16 @@ class MemoryStore final : public IKeyValueStore {
   std::size_t total_bytes() const;
 
  private:
+  using Map =
+      std::unordered_map<std::string, Bytes, StringViewHash, std::equal_to<>>;
+
   mutable std::shared_mutex mutex_;
-  std::unordered_map<std::string, Bytes, StringViewHash, std::equal_to<>>
-      data_;
+  // The keyspace is the canonical cross-process shared state of a staging
+  // workload, so it is a check::SharedCell: with SIMAI_CHECK=1 the race
+  // detector flags same-virtual-time get/put pairs between logical
+  // processes that have no happens-before edge. Real threads (MiniRedis
+  // handlers) are invisible to the detector and covered by mutex_ + TSan.
+  check::SharedCell<Map> data_{"MemoryStore.data"};
 };
 
 }  // namespace simai::kv

@@ -22,7 +22,11 @@ void RedisServer::begin_stop() {
   if (stopping_.exchange(true)) return;
   listener_->shutdown();
   std::lock_guard lock(conn_mutex_);
-  for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  // Entries are -1 once their connection closed its socket; only live fds
+  // may be poked (a closed fd's number can already belong to someone else).
+  for (int fd : conn_fds_) {
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
 }
 
 void RedisServer::stop() {
@@ -45,15 +49,26 @@ void RedisServer::accept_loop() {
     if (!client) break;  // listener shut down
     std::lock_guard lock(conn_mutex_);
     if (stopping_.load()) break;
+    const std::size_t slot = conn_fds_.size();
     conn_fds_.push_back(client->fd());
     conn_threads_.emplace_back(
-        [this, sock = std::move(*client)]() mutable {
-          serve_connection(std::move(sock));
+        [this, slot, sock = std::move(*client)]() mutable {
+          serve_connection(std::move(sock), slot);
         });
   }
 }
 
-void RedisServer::serve_connection(net::Socket client) {
+void RedisServer::serve_connection(net::Socket client, std::size_t slot) {
+  serve_session(client);
+  // Unpublish the fd, then close it, atomically w.r.t. begin_stop(): once
+  // the slot reads -1 nobody will shutdown this fd, and the number cannot
+  // be recycled before that because the close happens under the same lock.
+  std::lock_guard lock(conn_mutex_);
+  conn_fds_[slot] = -1;
+  client.close();
+}
+
+void RedisServer::serve_session(net::Socket& client) {
   resp::Decoder decoder;
   try {
     while (!stopping_.load()) {

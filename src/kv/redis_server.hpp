@@ -53,7 +53,11 @@ class RedisServer {
 
  private:
   void accept_loop();
-  void serve_connection(net::Socket client);
+  /// Owns the client socket for the connection's lifetime. `slot` indexes
+  /// conn_fds_; the entry is cleared (under conn_mutex_) before the socket
+  /// closes, so begin_stop() can never shutdown a recycled fd number.
+  void serve_connection(net::Socket client, std::size_t slot);
+  void serve_session(net::Socket& client);
   /// Executes one command; sets `shutdown_requested` for SHUTDOWN so the
   /// connection loop can reply before tearing the server down.
   resp::Value execute(const std::vector<resp::Value>& argv,

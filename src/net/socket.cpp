@@ -83,41 +83,57 @@ UnixListener::UnixListener(const std::string& path, int backlog)
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
 
   std::filesystem::remove(path);  // stale socket from a previous run
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) raise_errno("socket");
-  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd_);
-    fd_ = -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) raise_errno("socket");
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
     raise_errno("bind " + path);
   }
-  if (::listen(fd_, backlog) != 0) {
-    ::close(fd_);
-    fd_ = -1;
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
     raise_errno("listen " + path);
   }
+  fd_.store(fd, std::memory_order_release);
 }
 
 UnixListener::~UnixListener() {
   shutdown();
+  // Safe to close only now: the owner joins acceptor threads before
+  // destroying the listener, so nobody is blocked in ::accept on this fd.
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
   std::filesystem::remove(path_);
 }
 
 std::optional<Socket> UnixListener::accept() {
   while (true) {
-    const int client = ::accept(fd_, nullptr, nullptr);
-    if (client >= 0) return Socket(client);
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0 || shutdown_.load(std::memory_order_acquire))
+      return std::nullopt;
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client >= 0) {
+      if (shutdown_.load(std::memory_order_acquire)) {
+        // Raced with shutdown(): drop the straggler and stop.
+        ::close(client);
+        return std::nullopt;
+      }
+      return Socket(client);
+    }
     if (errno == EINTR) continue;
-    // EBADF / EINVAL after shutdown(): orderly stop.
+    // EINVAL after shutdown(): orderly stop. Anything else is equally
+    // final for an acceptor loop.
     return std::nullopt;
   }
 }
 
 void UnixListener::shutdown() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
-  }
+  if (shutdown_.exchange(true, std::memory_order_acq_rel)) return;
+  const int fd = fd_.load(std::memory_order_acquire);
+  // Half-close unblocks any in-flight ::accept (it fails with EINVAL) and
+  // refuses new connections. The fd itself stays open until ~UnixListener —
+  // closing it here would race with the blocked accept's dereference and
+  // could redirect it to a recycled fd number.
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
 }
 
 Socket unix_connect(const std::string& path) {

@@ -7,6 +7,7 @@
 // is transport-agnostic.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <string>
 
@@ -60,14 +61,21 @@ class UnixListener {
   /// Block until a client connects; nullopt if the listener was shut down.
   std::optional<Socket> accept();
 
-  /// Unblock any accept() in progress and stop accepting (idempotent).
+  /// Unblock any accept() in progress and stop accepting (idempotent,
+  /// thread-safe). Half-closes the socket but does NOT close the fd — a
+  /// concurrently blocked accept() still dereferences it; the fd is closed
+  /// in the destructor, which the owner runs after joining acceptors.
   void shutdown();
 
   const std::string& path() const { return path_; }
 
  private:
   std::string path_;
-  int fd_ = -1;
+  // Written by the constructor, read by the acceptor thread and shutdown():
+  // atomic so the cross-thread handoff is well-defined under TSan. The fd
+  // value itself never changes between construction and destruction.
+  std::atomic<int> fd_{-1};
+  std::atomic<bool> shutdown_{false};
 };
 
 /// Connect to a Unix-domain listener; throws SocketError on failure.

@@ -11,6 +11,7 @@
 #include <optional>
 #include <utility>
 
+#include "check/check.hpp"
 #include "sim/engine.hpp"
 
 namespace simai::sim {
@@ -26,6 +27,7 @@ class Channel {
   void put(Context& ctx, T value) {
     while (full()) ctx.wait(not_full_);
     items_.push_back(std::move(value));
+    check::on_channel_send(this);  // sender clock rides with the message
     not_empty_.notify_all();
   }
 
@@ -34,6 +36,7 @@ class Channel {
     while (items_.empty()) ctx.wait(not_empty_);
     T value = std::move(items_.front());
     items_.pop_front();
+    check::on_channel_recv(this);  // acquire the paired sender clock
     not_full_.notify_all();
     return value;
   }
@@ -43,6 +46,7 @@ class Channel {
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
+    check::on_channel_recv(this);  // acquire the paired sender clock
     not_full_.notify_all();
     return value;
   }
@@ -51,6 +55,7 @@ class Channel {
   bool try_put(T value) {
     if (full()) return false;
     items_.push_back(std::move(value));
+    check::on_channel_send(this);  // sender clock rides with the message
     not_empty_.notify_all();
     return true;
   }

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <limits>
 
+#include "check/check.hpp"
 #include "sim/fiber.hpp"
 
 namespace simai::sim {
@@ -49,6 +50,8 @@ void Context::wait(Event& event) {
   process_.state_ = Process::State::Blocked;
   event.waiters_.push_back(&process_);
   suspend();
+  // Woken by a notify: acquire the notifier's clock (happens-before edge).
+  check::on_event_wait(&event);
 }
 
 bool Context::wait_for(Event& event, SimTime timeout) {
@@ -66,6 +69,7 @@ bool Context::wait_for(Event& event, SimTime timeout) {
     ws.erase(it);
     return false;
   }
+  check::on_event_wait(&event);  // notified: acquire the notifier's clock
   return true;
 }
 
@@ -81,11 +85,13 @@ void Context::wait_until(const std::function<bool()>& pred,
 // ---------------------------------------------------------------------------
 
 void Event::notify_all() {
+  check::on_event_notify(this);  // release the notifier's clock
   for (Process* p : waiters_) engine_.schedule(*p, engine_.now_);
   waiters_.clear();
 }
 
 void Event::notify_one() {
+  check::on_event_notify(this);  // release the notifier's clock
   if (waiters_.empty()) return;
   Process* p = waiters_.front();
   waiters_.pop_front();  // O(1), FIFO preserved
@@ -96,9 +102,25 @@ void Event::notify_one() {
 // Engine
 // ---------------------------------------------------------------------------
 
+namespace {
+
+Substrate coerce_substrate(Substrate requested) {
+#if defined(SIMAI_BUILD_TSAN)
+  // ThreadSanitizer cannot follow ucontext fiber switches (its shadow stack
+  // desynchronizes), and the tsan preset exists to watch REAL threads — so
+  // every engine, even an explicit Fiber request, runs thread-per-process.
+  (void)requested;
+  return Substrate::Thread;
+#else
+  return requested;
+#endif
+}
+
+}  // namespace
+
 Engine::Engine() : Engine(default_substrate()) {}
 
-Engine::Engine(Substrate substrate) : substrate_(substrate) {}
+Engine::Engine(Substrate substrate) : substrate_(coerce_substrate(substrate)) {}
 
 Engine::~Engine() { kill_all(); }
 
@@ -122,8 +144,22 @@ Process& Engine::spawn(std::string name, std::function<void(Context&)> body) {
       new Process(*this, next_pid_++, std::move(name), std::move(body)));
   Process& p = *proc;
   processes_.push_back(std::move(proc));
+  if (check::enabled()) {
+    p.check_id_ = check::register_process(p.name_);
+    check::on_spawn(p.check_id_);  // parent = the spawning process, if any
+  }
   schedule(p, now_);
   return p;
+}
+
+void Engine::enable_race_detection() {
+  check::set_enabled(true);
+  // Processes spawned before the switch get registered retroactively; their
+  // mutual spawn edges are lost, which is conservative (more concurrency
+  // reported, never less) — enable before spawning for exact edges.
+  for (auto& p : processes_) {
+    if (p->check_id_ == 0) p->check_id_ = check::register_process(p->name_);
+  }
 }
 
 void Engine::schedule(Process& p, SimTime when) {
@@ -150,19 +186,30 @@ void Engine::process_body(Process& p) {
 
 void Engine::thread_trampoline(Process& p) {
   p.resume_.acquire();  // wait for first dispatch
+  // This thread IS the logical process for its whole life, so the race
+  // detector binding is set once (fibers instead bracket each dispatch).
+  if (p.check_id_ != 0) check::set_current_process(p.check_id_);
   process_body(p);
   engine_turn_.release();
 }
 
 void Engine::dispatch(Process& p) {
   p.state_ = Process::State::Running;
+  if (p.check_id_ != 0) check::on_dispatch(p.check_id_, now_);
   if (substrate_ == Substrate::Fiber) {
     if (!p.fiber_) {
       // Lazy fiber creation: entry runs process_body and returns, which
       // finishes the fiber and swaps back to this resume() call.
       p.fiber_ = std::make_unique<Fiber>([this, &p] { process_body(p); });
     }
-    p.fiber_->resume();  // returns when p suspends or finishes
+    if (p.check_id_ != 0) {
+      // All fibers share the engine thread: bind the detector's notion of
+      // "current process" only while this one actually runs.
+      check::ScopedProcess guard(p.check_id_);
+      p.fiber_->resume();  // returns when p suspends or finishes
+    } else {
+      p.fiber_->resume();
+    }
   } else {
     if (!p.thread_.joinable()) {
       // Lazy thread start: the thread immediately blocks on resume_, so

@@ -96,6 +96,7 @@ class Process {
   State state_ = State::Created;
   SimTime wake_time_ = 0.0;
   bool kill_requested_ = false;
+  std::uint32_t check_id_ = 0;  // race-detector id (simai::check); 0 = off
 };
 
 /// Handle passed to a process body; all blocking operations live here.
@@ -177,8 +178,20 @@ class Engine {
   /// Substrate for default-constructed engines: SIMAI_SIM_THREADS=1 forces
   /// Thread, SIMAI_SIM_THREADS=0 forces Fiber; unset falls back to the
   /// compile-time default (Fiber unless built with SIMAI_FIBERS=OFF).
+  /// Under the `tsan` preset every engine is coerced onto the Thread
+  /// substrate: the fiber context switches are invisible to
+  /// ThreadSanitizer, and the whole point of that build is watching real
+  /// threads.
   static Substrate default_substrate();
   Substrate substrate() const { return substrate_; }
+
+  /// Turn on simai::check virtual-time race detection (see check/check.hpp)
+  /// for this engine's processes: already-spawned and future processes are
+  /// registered with the detector and carry vector clocks across spawn,
+  /// Event, and Channel edges. The switch is process-wide (it also flips
+  /// check::set_enabled), equivalent to running with SIMAI_CHECK=1. Call
+  /// before run(). Zero cost for engines that never enable it.
+  void enable_race_detection();
 
   /// Create a logical process scheduled to start at the current time.
   /// Safe to call both before run() and from inside a running process.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <sstream>
+#include <tuple>
 
 #include "util/json.hpp"
 
@@ -46,6 +47,32 @@ std::string TraceRecorder::to_csv() const {
         << ",0\n";
   }
   for (const auto& i : instants_) {
+    out << i.track << ',' << i.category << ',' << i.time << ',' << i.time
+        << ',' << i.bytes << '\n';
+  }
+  return out.str();
+}
+
+std::string TraceRecorder::to_canonical_csv() const {
+  std::vector<TraceSpan> spans = spans_;
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              return std::tie(a.track, a.category, a.start, a.end, a.async) <
+                     std::tie(b.track, b.category, b.start, b.end, b.async);
+            });
+  std::vector<TraceInstant> instants = instants_;
+  std::sort(instants.begin(), instants.end(),
+            [](const TraceInstant& a, const TraceInstant& b) {
+              return std::tie(a.track, a.category, a.time, a.bytes) <
+                     std::tie(b.track, b.category, b.time, b.bytes);
+            });
+  std::ostringstream out;
+  out << "track,category,start,end,bytes\n";
+  for (const auto& s : spans) {
+    out << s.track << ',' << s.category << ',' << s.start << ',' << s.end
+        << ",0\n";
+  }
+  for (const auto& i : instants) {
     out << i.track << ',' << i.category << ',' << i.time << ',' << i.time
         << ',' << i.bytes << '\n';
   }

@@ -51,6 +51,13 @@ class TraceRecorder {
   /// "track,category,start,end,bytes" rows; instants have start==end.
   std::string to_csv() const;
 
+  /// to_csv() with rows sorted (spans then instants, each lexicographically
+  /// by track, category, time). Recording order reflects the engine's
+  /// dispatch schedule, which legally varies with process-spawn order; the
+  /// canonical form is what spawn-order-invariant comparisons (the N-way
+  /// determinism test) must use.
+  std::string to_canonical_csv() const;
+
   /// Chrome trace_event JSON ("JSON Object Format"): loadable in
   /// chrome://tracing and Perfetto. Tracks map to thread lanes (named via
   /// thread_name metadata), spans to complete ("X") events, instants to

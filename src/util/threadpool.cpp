@@ -17,10 +17,14 @@ ThreadPool::~ThreadPool() { shutdown(); }
 void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
-    if (stopping_) return;
     stopping_ = true;
   }
   cv_.notify_all();
+  // Serialize the join phase instead of short-circuiting on `stopping_`:
+  // with the old early-return, a second caller (typically the destructor
+  // racing an explicit shutdown()) returned while the first was still
+  // joining, and destruction proceeded under live worker threads.
+  std::lock_guard join_lock(join_mutex_);
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }

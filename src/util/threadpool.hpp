@@ -48,6 +48,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
+  std::mutex join_mutex_;  // serializes concurrent shutdown() calls
   std::condition_variable cv_;
   bool stopping_ = false;
 };

@@ -1,0 +1,226 @@
+// simai::check race-detector tests.
+//
+// The contract under test (DESIGN.md §4.6): two logical processes touching
+// a SharedCell at the same virtual time with no happens-before edge is a
+// schedule-order dependence — reported exactly once per cell, with both
+// process names, deterministically, identically on both execution
+// substrates. Adding any engine edge (Event, Channel, spawn) between the
+// accesses makes the same workload clean.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/shared_cell.hpp"
+#include "kv/memory_store.hpp"
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+
+using namespace simai;
+
+namespace {
+
+// Every test starts from a blank detector (deterministic ids) with report
+// logging muted (these tests *provoke* races; the suite-level clean sweep
+// greps logs for unexpected ones).
+class CheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    check::reset();
+    check::set_log_reports(false);
+    check::set_enabled(true);
+  }
+  void TearDown() override {
+    check::set_enabled(false);
+    check::reset();
+    check::set_log_reports(true);
+  }
+};
+
+// A counter bumped by two processes at the same virtual time with no edge
+// between them: the canonical race. Returns the reports it produced.
+std::vector<check::RaceReport> run_racy_counter(sim::Substrate substrate) {
+  check::reset();
+  sim::Engine engine(substrate);
+  engine.enable_race_detection();
+  check::SharedCell<int> counter{"racy.counter"};
+  engine.spawn("alice", [&](sim::Context&) { ++counter.write(); });
+  engine.spawn("bob", [&](sim::Context&) { ++counter.write(); });
+  engine.run();
+  EXPECT_EQ(counter.raw(), 2);
+  return check::take_reports();
+}
+
+TEST_F(CheckTest, RacyCounterReportsExactlyOnce) {
+  const auto reports = run_racy_counter(sim::Substrate::Fiber);
+  ASSERT_EQ(reports.size(), 1u);
+  const check::RaceReport& r = reports[0];
+  EXPECT_EQ(r.first_process, "alice");
+  EXPECT_EQ(r.second_process, "bob");
+  EXPECT_EQ(r.time, 0.0);
+  EXPECT_EQ(r.first_kind, 'W');
+  EXPECT_EQ(r.second_kind, 'W');
+  EXPECT_NE(r.cell.find("racy.counter"), std::string::npos);
+  // The rendering carries both names — that's what makes reports actionable.
+  const std::string text = r.to_string();
+  EXPECT_NE(text.find("alice"), std::string::npos);
+  EXPECT_NE(text.find("bob"), std::string::npos);
+  EXPECT_NE(text.find("virtual-time race"), std::string::npos);
+}
+
+TEST_F(CheckTest, ReportIdenticalAcrossSubstrates) {
+  const auto fiber = run_racy_counter(sim::Substrate::Fiber);
+  const auto thread = run_racy_counter(sim::Substrate::Thread);
+  ASSERT_EQ(fiber.size(), 1u);
+  ASSERT_EQ(thread.size(), 1u);
+  EXPECT_EQ(fiber[0].to_string(), thread[0].to_string());
+}
+
+TEST_F(CheckTest, ThreeRacingProcessesStillOneReportPerCell) {
+  sim::Engine engine;
+  engine.enable_race_detection();
+  check::SharedCell<int> counter{"racy.counter"};
+  for (const char* name : {"p0", "p1", "p2"})
+    engine.spawn(name, [&](sim::Context&) { ++counter.write(); });
+  engine.run();
+  EXPECT_EQ(check::report_count(), 1u);
+}
+
+TEST_F(CheckTest, EventEdgeMakesSameWorkloadClean) {
+  sim::Engine engine;
+  engine.enable_race_detection();
+  check::SharedCell<int> counter{"handoff.counter"};
+  sim::Event done(engine);
+  // bob spawns first so he is already waiting when alice notifies; the
+  // notify->wait pair is the happens-before edge ordering the two writes.
+  engine.spawn("bob", [&](sim::Context& ctx) {
+    ctx.wait(done);
+    ++counter.write();
+  });
+  engine.spawn("alice", [&](sim::Context&) {
+    ++counter.write();
+    done.notify_all();
+  });
+  engine.run();
+  EXPECT_EQ(counter.raw(), 2);
+  EXPECT_EQ(check::report_count(), 0u);
+}
+
+TEST_F(CheckTest, ChannelEdgeMakesHandoffClean) {
+  sim::Engine engine;
+  engine.enable_race_detection();
+  check::SharedCell<int> value{"channel.value"};
+  sim::Channel<int> ch(engine, 1);
+  engine.spawn("consumer", [&](sim::Context& ctx) {
+    (void)ch.get(ctx);
+    ++value.write();  // ordered after the producer's write by the recv edge
+  });
+  engine.spawn("producer", [&](sim::Context& ctx) {
+    ++value.write();
+    ch.put(ctx, 1);
+  });
+  engine.run();
+  EXPECT_EQ(value.raw(), 2);
+  EXPECT_EQ(check::report_count(), 0u);
+}
+
+TEST_F(CheckTest, SpawnEdgeOrdersParentBeforeChild) {
+  sim::Engine engine;
+  engine.enable_race_detection();
+  check::SharedCell<int> counter{"spawn.counter"};
+  engine.spawn("parent", [&](sim::Context&) {
+    ++counter.write();
+    engine.spawn("child", [&](sim::Context&) { ++counter.write(); });
+  });
+  engine.run();
+  EXPECT_EQ(counter.raw(), 2);
+  EXPECT_EQ(check::report_count(), 0u);
+}
+
+TEST_F(CheckTest, ReadWritePairIsAlsoARace) {
+  sim::Engine engine;
+  engine.enable_race_detection();
+  check::SharedCell<int> cell{"rw.cell"};
+  engine.spawn("writer", [&](sim::Context&) { cell.write() = 7; });
+  engine.spawn("reader", [&](sim::Context&) { (void)cell.read(); });
+  engine.run();
+  const auto reports = check::take_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].first_kind, 'W');
+  EXPECT_EQ(reports[0].second_kind, 'R');
+}
+
+TEST_F(CheckTest, ReadersDoNotRaceWithReaders) {
+  sim::Engine engine;
+  engine.enable_race_detection();
+  check::SharedCell<int> cell{"ro.cell", 42};
+  engine.spawn("r1", [&](sim::Context&) { (void)cell.read(); });
+  engine.spawn("r2", [&](sim::Context&) { (void)cell.read(); });
+  engine.run();
+  EXPECT_EQ(check::report_count(), 0u);
+}
+
+TEST_F(CheckTest, DifferentVirtualTimesDoNotRace) {
+  sim::Engine engine;
+  engine.enable_race_detection();
+  check::SharedCell<int> counter{"timed.counter"};
+  engine.spawn("early", [&](sim::Context&) { ++counter.write(); });
+  engine.spawn("late", [&](sim::Context& ctx) {
+    ctx.delay(1.0);
+    ++counter.write();  // different virtual time: ordered by the clock itself
+  });
+  engine.run();
+  EXPECT_EQ(check::report_count(), 0u);
+}
+
+TEST_F(CheckTest, MemoryStoreSharedAcrossProcessesIsDetected) {
+  sim::Engine engine;
+  engine.enable_race_detection();
+  kv::MemoryStore store;
+  engine.spawn("w1", [&](sim::Context&) { store.put("a", Bytes{1}); });
+  engine.spawn("w2", [&](sim::Context&) { store.put("b", Bytes{2}); });
+  engine.run();
+  const auto reports = check::take_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_NE(reports[0].cell.find("MemoryStore.data"), std::string::npos);
+  EXPECT_EQ(reports[0].first_process, "w1");
+  EXPECT_EQ(reports[0].second_process, "w2");
+}
+
+TEST_F(CheckTest, DisabledDetectorReportsNothing) {
+  check::set_enabled(false);
+  sim::Engine engine;
+  check::SharedCell<int> counter{"off.counter"};
+  engine.spawn("a", [&](sim::Context&) { ++counter.write(); });
+  engine.spawn("b", [&](sim::Context&) { ++counter.write(); });
+  engine.run();
+  EXPECT_EQ(counter.raw(), 2);
+  EXPECT_EQ(check::report_count(), 0u);
+}
+
+TEST_F(CheckTest, AccessesOutsideAnyProcessAreIgnored) {
+  // Main-thread (non-DES) access: no virtual time, TSan's jurisdiction.
+  check::SharedCell<int> cell{"main.cell"};
+  ++cell.write();
+  sim::Engine engine;
+  engine.enable_race_detection();
+  engine.spawn("p", [&](sim::Context&) { ++cell.write(); });
+  engine.run();
+  EXPECT_EQ(cell.raw(), 2);
+  EXPECT_EQ(check::report_count(), 0u);
+}
+
+TEST_F(CheckTest, RaceReportSurvivesEnableViaEngineAfterSpawn) {
+  // enable_race_detection() after spawn retroactively registers processes.
+  sim::Engine engine;
+  check::SharedCell<int> counter{"late.counter"};
+  engine.spawn("a", [&](sim::Context&) { ++counter.write(); });
+  engine.spawn("b", [&](sim::Context&) { ++counter.write(); });
+  engine.enable_race_detection();
+  engine.run();
+  EXPECT_EQ(check::report_count(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,257 @@
+// Unit tests for the determinism lint (tools/lint.{hpp,cpp}).
+//
+// Every rule gets a seeded-bad fixture that MUST produce a finding and a
+// benign twin that MUST stay clean — the lint being green over src/ only
+// means something if it provably fails on the patterns it bans.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace lint = simai::lint;
+
+namespace {
+
+std::vector<std::string> rules_of(const std::vector<lint::Finding>& findings) {
+  std::vector<std::string> rules;
+  for (const auto& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool has_rule(const std::vector<lint::Finding>& findings, std::string_view rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const lint::Finding& f) { return f.rule == rule; });
+}
+
+std::vector<lint::Finding> run(std::string_view src,
+                               const lint::Allowlist* allow = nullptr,
+                               std::string_view companion = {}) {
+  return lint::lint_source(src, "fixture.cpp", allow, companion);
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock
+// ---------------------------------------------------------------------------
+
+TEST(LintWallClock, FlagsSystemClock) {
+  const auto f = run("auto t = std::chrono::system_clock::now();");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "wall-clock");
+  EXPECT_EQ(f[0].line, 1);
+  EXPECT_EQ(f[0].file, "fixture.cpp");
+}
+
+TEST(LintWallClock, FlagsHighResolutionClockAndFreeTimeCall) {
+  const auto f = run(
+      "double wall() {\n"
+      "  auto a = std::chrono::high_resolution_clock::now();\n"
+      "  return time(nullptr);\n"
+      "}\n");
+  EXPECT_EQ(rules_of(f), (std::vector<std::string>{"wall-clock", "wall-clock"}));
+  EXPECT_EQ(f[0].line, 2);
+  EXPECT_EQ(f[1].line, 3);
+}
+
+TEST(LintWallClock, IgnoresMemberAndQualifiedTime) {
+  // Member calls / non-std qualified calls named `time` are not libc time().
+  const auto f = run(
+      "double ok(Ctx& ctx) {\n"
+      "  double a = ctx.time();\n"
+      "  double b = ptr->time();\n"
+      "  double c = VirtualClock::time();\n"
+      "  return a + b + c;\n"
+      "}\n");
+  EXPECT_TRUE(f.empty()) << f.front().to_string();
+}
+
+TEST(LintWallClock, IgnoresIdentifiersContainingTime) {
+  const auto f = run("double write_time = stats.write_time(); SimTime t = 0;");
+  EXPECT_TRUE(f.empty()) << f.front().to_string();
+}
+
+TEST(LintWallClock, StdQualifiedTimeIsFlagged) {
+  const auto f = run("auto t = std::time(nullptr);");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "wall-clock");
+}
+
+// ---------------------------------------------------------------------------
+// libc-rand
+// ---------------------------------------------------------------------------
+
+TEST(LintLibcRand, FlagsRandAndSrand) {
+  const auto f = run("void seed() { srand(42); int x = rand(); }");
+  EXPECT_EQ(rules_of(f), (std::vector<std::string>{"libc-rand", "libc-rand"}));
+}
+
+TEST(LintLibcRand, IgnoresMemberRand) {
+  const auto f = run("int x = rng.rand(); int y = gen->rand();");
+  EXPECT_TRUE(f.empty()) << f.front().to_string();
+}
+
+// ---------------------------------------------------------------------------
+// nondet-seed
+// ---------------------------------------------------------------------------
+
+TEST(LintNondetSeed, FlagsRandomDevice) {
+  const auto f = run("std::random_device rd; std::mt19937 rng(rd());");
+  ASSERT_FALSE(f.empty());
+  EXPECT_TRUE(has_rule(f, "nondet-seed"));
+}
+
+TEST(LintNondetSeed, FlagsDefaultConstructedEngine) {
+  const auto f = run("std::mt19937 rng;");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "nondet-seed");
+}
+
+TEST(LintNondetSeed, AcceptsExplicitlySeededEngine) {
+  const auto f = run("std::mt19937 rng(config.seed); std::mt19937_64 r2{7};");
+  EXPECT_TRUE(f.empty()) << f.front().to_string();
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter
+// ---------------------------------------------------------------------------
+
+TEST(LintUnorderedIter, FlagsRangeForOverUnorderedMap) {
+  const auto f = run(
+      "void dump(std::unordered_map<int, int> counts) {\n"
+      "  for (const auto& [k, v] : counts) emit(k, v);\n"
+      "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "unordered-iter");
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LintUnorderedIter, IgnoresOrderedMapAndIndexLoops) {
+  const auto f = run(
+      "void ok(std::map<int, int> m, std::unordered_map<int, int> u) {\n"
+      "  for (const auto& [k, v] : m) emit(k, v);\n"
+      "  for (std::size_t i = 0; i < 3; ++i) use(u[i]);\n"
+      "}\n");
+  EXPECT_TRUE(f.empty()) << f.front().to_string();
+}
+
+TEST(LintUnorderedIter, TracksUsingAlias) {
+  const auto f = run(
+      "using Map = std::unordered_map<std::string, int>;\n"
+      "void dump(Map m) {\n"
+      "  for (const auto& kv : m) emit(kv);\n"
+      "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "unordered-iter");
+}
+
+TEST(LintUnorderedIter, TracksDeclarationInCompanionHeader) {
+  // The MemoryStore shape: declaration in the header, iteration in the cpp.
+  const std::string header =
+      "class Store {\n"
+      "  using Map = std::unordered_map<std::string, int>;\n"
+      "  check::SharedCell<Map> data_{\"label\"};\n"
+      "};\n";
+  const auto f = run("void Store::dump() { for (const auto& kv : data_.read()) emit(kv); }",
+                     nullptr, header);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "unordered-iter");
+  // Findings come only from the primary source, never the companion.
+  EXPECT_EQ(f[0].file, "fixture.cpp");
+}
+
+// ---------------------------------------------------------------------------
+// float-time
+// ---------------------------------------------------------------------------
+
+TEST(LintFloatTime, FlagsFloatTimeVariables) {
+  const auto f = run("float total_time = 0; float step_latency = x;");
+  EXPECT_EQ(rules_of(f), (std::vector<std::string>{"float-time", "float-time"}));
+}
+
+TEST(LintFloatTime, AcceptsDoubleTimeAndNonTimeFloats) {
+  const auto f = run("double total_time = 0; float ratio = 0.5f;");
+  EXPECT_TRUE(f.empty()) << f.front().to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Comment / literal stripping
+// ---------------------------------------------------------------------------
+
+TEST(LintStrip, CommentsAndStringsNeverFire) {
+  const auto f = run(
+      "// rand() and time() and system_clock in a line comment\n"
+      "/* srand(1); std::random_device rd; */\n"
+      "const char* s = \"system_clock rand( time( \";\n"
+      "const char* r = R\"(rand() time() system_clock)\";\n"
+      "char c = 't';\n");
+  EXPECT_TRUE(f.empty()) << f.front().to_string();
+}
+
+TEST(LintStrip, LineNumbersSurviveStripping) {
+  const auto f = run(
+      "/* a\n"
+      "   multi-line\n"
+      "   comment */\n"
+      "auto t = std::chrono::system_clock::now();\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 4);
+}
+
+TEST(LintStrip, DigitSeparatorsAreNotCharLiterals) {
+  const auto f = run("std::uint64_t big = 1'000'000; auto t = time(nullptr);");
+  ASSERT_EQ(f.size(), 1u);  // the time() call, not a swallowed literal
+  EXPECT_EQ(f[0].rule, "wall-clock");
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist
+// ---------------------------------------------------------------------------
+
+TEST(LintAllowlist, SuppressesMatchingRuleAndPath) {
+  lint::Allowlist allow = lint::Allowlist::parse(
+      "# comment\n"
+      "\n"
+      "wall-clock fixture.cpp  # reviewed\n");
+  const auto f = run("auto t = std::chrono::system_clock::now(); srand(1);", &allow);
+  ASSERT_EQ(f.size(), 1u);  // wall-clock suppressed, libc-rand survives
+  EXPECT_EQ(f[0].rule, "libc-rand");
+}
+
+TEST(LintAllowlist, PathSubstringMustMatch) {
+  lint::Allowlist allow;
+  allow.add("wall-clock", "some/other/file.cpp");
+  const auto f = run("auto t = std::chrono::system_clock::now();", &allow);
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(LintAllowlist, MalformedLinesAreReported) {
+  std::vector<std::string> errors;
+  lint::Allowlist::parse("just-a-rule-no-path\n", &errors);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("line 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of the lint itself
+// ---------------------------------------------------------------------------
+
+TEST(LintDeterminism, FindingsAreOrderedAndStable) {
+  const std::string src =
+      "void f() {\n"
+      "  srand(7);\n"
+      "  auto t = std::chrono::system_clock::now();\n"
+      "  float poll_time = 0;\n"
+      "}\n";
+  const auto a = run(src);
+  const auto b = run(src);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].to_string(), b[i].to_string());
+  // Ordered by line.
+  for (std::size_t i = 1; i < a.size(); ++i)
+    EXPECT_LE(a[i - 1].line, a[i].line);
+}
+
+}  // namespace

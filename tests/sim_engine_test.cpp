@@ -115,12 +115,20 @@ TEST(SimEngineSubstrates, IdenticalScheduleOnFiberAndThread) {
 }
 
 TEST(SimEngineSubstrates, DefaultSubstrateFollowsEnv) {
+#if defined(SIMAI_BUILD_TSAN)
+  // TSan builds coerce every engine to the thread substrate (TSan cannot
+  // follow ucontext fiber switches), so env control is intentionally inert.
+  ::setenv("SIMAI_SIM_THREADS", "0", 1);
+  EXPECT_EQ(Engine().substrate(), Substrate::Thread);
+  ::unsetenv("SIMAI_SIM_THREADS");
+#else
   ::setenv("SIMAI_SIM_THREADS", "1", 1);
   EXPECT_EQ(Engine().substrate(), Substrate::Thread);
   ::setenv("SIMAI_SIM_THREADS", "0", 1);
   EXPECT_EQ(Engine().substrate(), Substrate::Fiber);
   ::unsetenv("SIMAI_SIM_THREADS");
   EXPECT_EQ(Engine().substrate(), Engine::default_substrate());
+#endif
 }
 
 TEST_P(SimEngineTest, YieldReschedulesAfterPeersAtSameTime) {

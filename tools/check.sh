@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Pre-PR verification gate: determinism lint + the full test suite across
+# every build preset, plus a race-report-clean sweep with the virtual-time
+# race detector armed (SIMAI_CHECK=1).
+#
+#   tools/check.sh              # everything (default, asan-ubsan, tsan,
+#                               #   fibers-off + lint + SIMAI_CHECK sweep)
+#   tools/check.sh default tsan # just these presets
+#   SIMAI_CHECK_JOBS=4 tools/check.sh   # cap build/test parallelism
+#
+# Each preset builds into its own tree (build/, build-asan/, build-tsan/,
+# build-fibers-off/), so incremental reruns are cheap. The script fails on
+# the first broken stage. See DESIGN.md §4.6 for what each layer certifies.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PRESETS=("$@")
+if [ ${#PRESETS[@]} -eq 0 ]; then
+  PRESETS=(default asan-ubsan tsan fibers-off)
+fi
+JOBS="${SIMAI_CHECK_JOBS:-$(nproc)}"
+
+banner() { printf '\n==== %s ====\n' "$*"; }
+
+for preset in "${PRESETS[@]}"; do
+  banner "preset: $preset — configure + build"
+  cmake --preset "$preset" >/dev/null
+  cmake --build --preset "$preset" -j "$JOBS"
+
+  banner "preset: $preset — ctest"
+  ctest --preset "$preset" -j "$JOBS"
+done
+
+# Lint runs as the ctest target simai_lint_src in every preset above; run it
+# once more standalone so a lint regression is named explicitly even when
+# someone trims the preset list.
+if [ -x build/tools/simai_lint ]; then
+  banner "determinism lint (standalone)"
+  build/tools/simai_lint --allow tools/simai_lint_allow.txt src
+fi
+
+# Race-report-clean sweep: rerun the default suite with the virtual-time
+# race detector armed. Reports print as 'virtual-time race' warnings; any
+# occurrence outside the detector's own provoked-race tests fails the gate.
+# check_test and the parity suite mute logging for the races they provoke,
+# so a clean tree greps clean.
+if [ -d build ]; then
+  banner "SIMAI_CHECK=1 race-report sweep (default preset)"
+  sweep_log=$(mktemp)
+  trap 'rm -f "$sweep_log"' EXIT
+  (cd build && SIMAI_CHECK=1 ctest -j "$JOBS" --output-on-failure) | tee "$sweep_log"
+  if grep -q 'virtual-time race' "$sweep_log"; then
+    echo 'FAIL: race reports surfaced during the SIMAI_CHECK=1 sweep' >&2
+    exit 1
+  fi
+fi
+
+banner "all checks passed"

@@ -1,0 +1,523 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace simai::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;  // identifier text, or single punctuation char
+  int line = 0;
+  bool ident = false;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<Token> tokenize(std::string_view stripped) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  while (i < stripped.size()) {
+    const char c = stripped[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < stripped.size() && ident_char(stripped[j])) ++j;
+      out.push_back({std::string(stripped.substr(i, j - i)), line, true});
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Numbers (incl. hex / float / digit separators) — consume as one
+      // token so `1.5f` never reads as an identifier boundary.
+      std::size_t j = i + 1;
+      while (j < stripped.size() &&
+             (ident_char(stripped[j]) || stripped[j] == '.' ||
+              stripped[j] == '\'' ||
+              ((stripped[j] == '+' || stripped[j] == '-') &&
+               (stripped[j - 1] == 'e' || stripped[j - 1] == 'E' ||
+                stripped[j - 1] == 'p' || stripped[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.push_back({std::string(stripped.substr(i, j - i)), line, false});
+      i = j;
+    } else {
+      out.push_back({std::string(1, c), line, false});
+      ++i;
+    }
+  }
+  return out;
+}
+
+const Token* prev_tok(const std::vector<Token>& toks, std::size_t i, std::size_t back = 1) {
+  return i >= back ? &toks[i - back] : nullptr;
+}
+const Token* next_tok(const std::vector<Token>& toks, std::size_t i, std::size_t fwd = 1) {
+  return i + fwd < toks.size() ? &toks[i + fwd] : nullptr;
+}
+
+bool is(const Token* t, std::string_view text) { return t && t->text == text; }
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool name_smells_like_time(std::string_view name) {
+  const std::string n = lower(name);
+  for (const char* hint :
+       {"time", "delay", "latency", "duration", "deadline", "elapsed"}) {
+    if (n.find(hint) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+// Identifiers that are nondeterministic by their mere presence.
+constexpr std::string_view kWallClockIdents[] = {
+    "system_clock", "high_resolution_clock", "gettimeofday", "localtime",
+    "localtime_r",  "strftime",
+};
+
+// Free functions that read real time / global RNG state when called.
+// Flagged only when called as a free or std:: function — `ctx.now()` and
+// other member functions named `time` stay legal.
+constexpr std::string_view kWallClockCalls[] = {"time", "clock"};
+constexpr std::string_view kLibcRandCalls[] = {"rand", "srand", "random",
+                                               "drand48", "lrand48"};
+
+// Standard RNG engines whose default constructor uses a fixed-but-opaque
+// seed; default-constructing one hides the seed from the run config.
+constexpr std::string_view kRngEngines[] = {
+    "mt19937",   "mt19937_64", "default_random_engine", "minstd_rand",
+    "minstd_rand0", "ranlux24", "ranlux48", "knuth_b",
+};
+
+constexpr std::string_view kUnorderedContainers[] = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset",
+};
+
+template <std::size_t N>
+bool one_of(std::string_view text, const std::string_view (&set)[N]) {
+  for (std::string_view s : set) {
+    if (text == s) return true;
+  }
+  return false;
+}
+
+// True when token i is used as a free-function / std:: call target — i.e.
+// followed by '(' and NOT preceded by '.', '->' (member call) or a
+// non-std qualifier (SomeClass::time).
+bool is_free_call(const std::vector<Token>& toks, std::size_t i) {
+  if (!is(next_tok(toks, i), "(")) return false;
+  const Token* p1 = prev_tok(toks, i, 1);
+  if (is(p1, ".")) return false;
+  const Token* p2 = prev_tok(toks, i, 2);
+  if (is(p1, ">") && is(p2, "-")) return false;  // `->` tokenizes as '-','>'
+  if (is(p1, ":") && is(p2, ":")) {
+    // Qualified call: only std::/global `::time(` count as the libc one.
+    const Token* q = prev_tok(toks, i, 3);
+    return !q || !q->ident || q->text == "std";
+  }
+  // A declaration like `SimTime time(...)` would false-positive here;
+  // accept that — declaring a function named `time` in this codebase is
+  // worth a lint conversation anyway.
+  return true;
+}
+
+// Collect names of variables whose declared type is (or wraps) an unordered
+// container in this file. Three passes of token heuristics:
+//   1. aliases:   `using Map = std::unordered_map<...>;` records `Map`;
+//   2. direct:    `unordered_map<...> name` / `Map name` records `name`;
+//   3. wrapped:   `SharedCell<Map> name` — the alias appears inside another
+//                 template's argument list; the identifier after the closing
+//                 '>'s is the variable.
+// Range-for expressions mentioning any recorded name are then flagged, which
+// catches `for (auto& kv : data_.read())` even though `data_` is a wrapper.
+std::vector<std::string> unordered_variable_names(const std::vector<Token>& toks) {
+  // Pass 1: type aliases of unordered containers.
+  std::vector<std::string> aliases;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is(&toks[i], "using") || !toks[i + 1].ident || !is(&toks[i + 2], "="))
+      continue;
+    for (std::size_t j = i + 3; j < toks.size() && toks[j].text != ";"; ++j) {
+      if (toks[j].ident && one_of(toks[j].text, kUnorderedContainers)) {
+        aliases.push_back(toks[i + 1].text);
+        break;
+      }
+    }
+  }
+  const auto is_unordered_type = [&](const Token& t) {
+    return t.ident && (one_of(t.text, kUnorderedContainers) ||
+                       std::find(aliases.begin(), aliases.end(), t.text) !=
+                           aliases.end());
+  };
+
+  // Passes 2+3: variables declared with those types.
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_unordered_type(toks[i])) continue;
+    // Skip the type's own balanced template argument list, if any.
+    std::size_t j = i + 1;
+    if (j < toks.size() && toks[j].text == "<") {
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "<") ++depth;
+        if (toks[j].text == ">") {
+          if (--depth == 0) {
+            ++j;
+            break;
+          }
+        }
+        if (toks[j].text == ";") break;  // not a declaration after all
+      }
+    }
+    // Skip declarator noise, including closing '>'s of an enclosing template
+    // (the `SharedCell<Map> name` case).
+    while (j < toks.size() &&
+           (toks[j].text == ">" || toks[j].text == "&" ||
+            toks[j].text == "*" || toks[j].text == "const")) {
+      ++j;
+    }
+    if (j + 1 < toks.size() && toks[j].ident) {
+      const std::string& after = toks[j + 1].text;
+      if (after == ";" || after == "=" || after == "{" || after == "(" ||
+          after == "," || after == ")")
+        names.push_back(toks[j].text);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+void check_tokens(const std::vector<Token>& toks,
+                  const std::vector<Token>& companion_toks,
+                  const std::string& file, std::vector<Finding>& out) {
+  std::vector<std::string> unordered_vars = unordered_variable_names(toks);
+  for (std::string& name : unordered_variable_names(companion_toks))
+    unordered_vars.push_back(std::move(name));
+  std::sort(unordered_vars.begin(), unordered_vars.end());
+  unordered_vars.erase(std::unique(unordered_vars.begin(), unordered_vars.end()),
+                       unordered_vars.end());
+  const auto is_unordered_var = [&](const std::string& name) {
+    return std::binary_search(unordered_vars.begin(), unordered_vars.end(), name);
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!t.ident) continue;
+
+    // -- wall-clock -------------------------------------------------------
+    if (one_of(t.text, kWallClockIdents)) {
+      out.push_back({file, t.line, "wall-clock",
+                     "'" + t.text +
+                         "' reads real time; simulated time must come from "
+                         "the DES clock (ctx.now())"});
+    } else if (one_of(t.text, kWallClockCalls) && is_free_call(toks, i)) {
+      out.push_back({file, t.line, "wall-clock",
+                     "call to '" + t.text +
+                         "()' reads real time; use the DES clock instead"});
+    }
+
+    // -- libc-rand --------------------------------------------------------
+    if (one_of(t.text, kLibcRandCalls) && is_free_call(toks, i)) {
+      out.push_back({file, t.line, "libc-rand",
+                     "call to '" + t.text +
+                         "()' uses hidden global RNG state; use an "
+                         "explicitly seeded util::Xoshiro256 stream"});
+    }
+
+    // -- nondet-seed ------------------------------------------------------
+    if (t.text == "random_device") {
+      out.push_back({file, t.line, "nondet-seed",
+                     "'std::random_device' is nondeterministic; seeds must "
+                     "come from the run configuration"});
+    } else if (one_of(t.text, kRngEngines)) {
+      // `mt19937 name;` — default construction hides the seed.
+      const Token* n1 = next_tok(toks, i, 1);
+      const Token* n2 = next_tok(toks, i, 2);
+      if (n1 && n1->ident && is(n2, ";")) {
+        out.push_back({file, t.line, "nondet-seed",
+                       "'" + t.text + " " + n1->text +
+                           ";' default-constructs an RNG engine; pass an "
+                           "explicit seed from the run configuration"});
+      }
+    }
+
+    // -- unordered-iter ---------------------------------------------------
+    // `for ( <decl> : <range-expr> )` where the range expression mentions a
+    // variable declared unordered_* in this file.
+    if (t.text == "for" && is(next_tok(toks, i), "(")) {
+      int depth = 0;
+      std::size_t colon = 0, close = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")") {
+          if (--depth == 0) {
+            close = j;
+            break;
+          }
+        }
+        if (toks[j].text == ";") break;  // classic for loop — not range-for
+        if (toks[j].text == ":" && depth == 1 && colon == 0) {
+          // skip `::` qualifiers
+          if (is(next_tok(toks, j), ":") || is(prev_tok(toks, j), ":")) continue;
+          colon = j;
+        }
+      }
+      if (colon != 0 && close != 0) {
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (toks[j].ident && is_unordered_var(toks[j].text)) {
+            out.push_back(
+                {file, t.line, "unordered-iter",
+                 "range-for over unordered container '" + toks[j].text +
+                     "': iteration order is not deterministic; sort the "
+                     "result or use an ordered container"});
+            break;
+          }
+        }
+      }
+    }
+
+    // -- float-time -------------------------------------------------------
+    if (t.text == "float") {
+      const Token* n1 = next_tok(toks, i, 1);
+      if (n1 && n1->ident && name_smells_like_time(n1->text)) {
+        out.push_back({file, t.line, "float-time",
+                       "'float " + n1->text +
+                           "' holds a time quantity in single precision; "
+                           "SimTime is double — float accumulation drifts "
+                           "across substrates"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Comment / literal stripping
+// ---------------------------------------------------------------------------
+
+std::string strip_comments_and_literals(std::string_view src) {
+  std::string out;
+  out.reserve(src.size());
+  enum class State { Code, Line, Block, Str, Chr, Raw };
+  State state = State::Code;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char n = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && n == '/') {
+          state = State::Line;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && n == '*') {
+          state = State::Block;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && n == '"' &&
+                   (i == 0 || !ident_char(src[i - 1]))) {
+          state = State::Raw;
+          raw_delim.clear();
+          std::size_t j = i + 2;
+          while (j < src.size() && src[j] != '(') raw_delim += src[j++];
+          out.append(j + 1 - i, ' ');
+          i = j;
+        } else if (c == '"') {
+          state = State::Str;
+          out += ' ';
+        } else if (c == '\'' && !(i > 0 && std::isdigit(static_cast<unsigned char>(src[i - 1])))) {
+          // skip digit separators like 1'000'000
+          state = State::Chr;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::Line:
+        if (c == '\n') {
+          state = State::Code;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::Block:
+        if (c == '*' && n == '/') {
+          state = State::Code;
+          out += "  ";
+          ++i;
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+      case State::Str:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+          if (n == '\n') out.back() = '\n';
+        } else if (c == '"') {
+          state = State::Code;
+          out += ' ';
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+      case State::Chr:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::Code;
+          out += ' ';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::Raw: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (c == ')' && src.compare(i, close.size(), close) == 0) {
+          out.append(close.size(), ' ');
+          i += close.size() - 1;
+          state = State::Code;
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist
+// ---------------------------------------------------------------------------
+
+Allowlist Allowlist::parse(std::string_view text, std::vector<std::string>* errors) {
+  Allowlist allow;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream fields(line);
+    std::string rule, path;
+    if (!(fields >> rule)) continue;  // blank / comment-only
+    if (!(fields >> path)) {
+      if (errors)
+        errors->push_back("allowlist line " + std::to_string(lineno) +
+                          ": expected '<rule> <path-substring>'");
+      continue;
+    }
+    allow.add(std::move(rule), std::move(path));
+  }
+  return allow;
+}
+
+Allowlist Allowlist::load(const std::string& path, std::vector<std::string>* errors) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str(), errors);
+}
+
+void Allowlist::add(std::string rule, std::string path_substring) {
+  entries_.push_back({std::move(rule), std::move(path_substring)});
+}
+
+bool Allowlist::suppresses(const Finding& f) const {
+  for (const Entry& e : entries_) {
+    if (e.rule == f.rule && f.file.find(e.path_substring) != std::string::npos)
+      return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+std::string Finding::to_string() const {
+  return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+std::vector<Finding> lint_source(std::string_view source, const std::string& file,
+                                 const Allowlist* allow,
+                                 std::string_view companion_source) {
+  const std::string stripped = strip_comments_and_literals(source);
+  const std::vector<Token> toks = tokenize(stripped);
+  const std::string companion_stripped =
+      strip_comments_and_literals(companion_source);
+  const std::vector<Token> companion_toks = tokenize(companion_stripped);
+  std::vector<Finding> found;
+  check_tokens(toks, companion_toks, file, found);
+  if (allow) {
+    found.erase(std::remove_if(found.begin(), found.end(),
+                               [&](const Finding& f) { return allow->suppresses(f); }),
+                found.end());
+  }
+  std::stable_sort(found.begin(), found.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  return found;
+}
+
+std::vector<Finding> lint_file(const std::string& path, const Allowlist* allow) {
+  const auto slurp = [](const std::string& p, std::string& out) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+  };
+  std::string source;
+  if (!slurp(path, source)) throw Error("simai_lint: cannot read '" + path + "'");
+
+  // Declaration companion: the sibling header of a .cpp/.cc file.
+  std::string companion;
+  const auto dot = path.rfind('.');
+  if (dot != std::string::npos) {
+    const std::string ext = path.substr(dot);
+    if (ext == ".cpp" || ext == ".cc") {
+      const std::string stem = path.substr(0, dot);
+      if (!slurp(stem + ".hpp", companion)) slurp(stem + ".h", companion);
+    }
+  }
+  return lint_source(source, path, allow, companion);
+}
+
+}  // namespace simai::lint

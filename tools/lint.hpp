@@ -1,0 +1,101 @@
+// simai_lint: a token-level determinism lint for the simulator sources.
+//
+// The DES promises bit-identical timelines for identical configurations
+// (DESIGN.md §4). That promise dies quietly the moment a source file reads
+// the wall clock, consults an unseeded RNG, iterates an unordered container
+// into serialized output, or accumulates virtual time in float. Those
+// mistakes compile, pass single-run tests, and only show up as flaky
+// cross-run diffs months later — so they are checked statically, on every
+// ctest run, over all of src/.
+//
+// The checker is deliberately token-level, not AST-level: it strips
+// comments and literals, tokenizes, and pattern-matches short token
+// sequences. That keeps it dependency-free (no libclang in the image) and
+// fast enough to run as an ordinary test. The cost is a few heuristic
+// findings on benign code; those are suppressed through an explicit,
+// reviewed allowlist (tools/simai_lint_allow.txt) rather than by weakening
+// the rules.
+//
+// Rules (ids are stable; the allowlist references them):
+//   wall-clock       std::chrono::{system,high_resolution}_clock, ::time(),
+//                    ::clock(), gettimeofday(), localtime() — real time must
+//                    never influence simulated time.
+//   libc-rand        rand()/srand() — global hidden-state RNG; use the
+//                    engine-owned util::Xoshiro256 streams instead.
+//   nondet-seed      std::random_device, or a standard RNG engine
+//                    default-constructed without an explicit seed.
+//   unordered-iter   range-for over a container declared unordered_* in the
+//                    same file — iteration order is hash/layout dependent,
+//                    so anything it feeds (timelines, reports, schedules)
+//                    diverges across runs unless sorted afterwards.
+//   float-time       a `float` variable whose name says it holds a
+//                    time/latency/duration — SimTime is double; float
+//                    accumulation drifts and breaks substrate parity.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simai::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;     // stable rule id (see header comment)
+  std::string message;  // human-readable explanation
+
+  std::string to_string() const;
+};
+
+/// Allowlist: suppresses findings that a human has reviewed and judged
+/// benign. File format — one entry per line:
+///
+///   <rule-id> <path-substring>        # trailing comment allowed
+///
+/// A finding is suppressed when its rule matches exactly and its file path
+/// contains the substring. Blank lines and lines starting with '#' are
+/// ignored. Keeping suppressions in one reviewed file (instead of inline
+/// NOLINT markers) makes the exemption surface auditable at a glance.
+class Allowlist {
+ public:
+  Allowlist() = default;
+
+  /// Parse allowlist text; malformed lines are reported via `errors`.
+  static Allowlist parse(std::string_view text, std::vector<std::string>* errors = nullptr);
+  /// Load from a file; returns an empty allowlist when the file is absent.
+  static Allowlist load(const std::string& path, std::vector<std::string>* errors = nullptr);
+
+  void add(std::string rule, std::string path_substring);
+  bool suppresses(const Finding& f) const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string rule;
+    std::string path_substring;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Lint one translation unit's text. `file` labels the findings; the
+/// allowlist (if any) filters them. `companion_source` (optional) is
+/// scanned for *declarations only* — lint_file passes the sibling header
+/// here so a range-for in foo.cpp over a member declared unordered in
+/// foo.hpp is still caught; no findings are emitted from the companion
+/// itself. Deterministic: findings are ordered by line, then rule.
+std::vector<Finding> lint_source(std::string_view source, const std::string& file,
+                                 const Allowlist* allow = nullptr,
+                                 std::string_view companion_source = {});
+
+/// Lint a file on disk (throws simai::Error on read failure). For a
+/// .cpp/.cc file, a sibling header with the same stem (.hpp/.h) is read as
+/// the declaration companion when present.
+std::vector<Finding> lint_file(const std::string& path, const Allowlist* allow = nullptr);
+
+/// Strip comments, string literals, and char literals, preserving line
+/// structure (every replaced character becomes a space; newlines survive).
+/// Exposed for tests.
+std::string strip_comments_and_literals(std::string_view source);
+
+}  // namespace simai::lint

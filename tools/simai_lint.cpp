@@ -1,0 +1,91 @@
+// simai_lint CLI: determinism lint over simulator sources.
+//
+//   simai_lint [--allow FILE] PATH...
+//
+// Each PATH is a file or a directory (directories are walked recursively
+// for .cpp/.cc/.hpp/.h files, in sorted order so output is deterministic).
+// Findings print one per line as `file:line: [rule] message`; the exit code
+// is the number of findings (capped at 125), so ctest wiring is just
+// "run it and expect 0". See tools/lint.hpp for the rule catalogue and
+// tools/simai_lint_allow.txt for the reviewed suppressions.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+std::vector<std::string> collect(const std::vector<std::string>& roots) {
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && lintable(entry.path()))
+          files.push_back(entry.path().string());
+      }
+    } else {
+      files.push_back(root);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string allow_path;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allow" && i + 1 < argc) {
+      allow_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::puts("usage: simai_lint [--allow FILE] PATH...");
+      return 0;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fputs("simai_lint: no paths given (try --help)\n", stderr);
+    return 2;
+  }
+
+  std::vector<std::string> allow_errors;
+  simai::lint::Allowlist allow =
+      simai::lint::Allowlist::load(allow_path, &allow_errors);
+  for (const std::string& err : allow_errors)
+    std::fprintf(stderr, "simai_lint: %s\n", err.c_str());
+  if (!allow_errors.empty()) return 2;
+
+  int findings = 0;
+  int files_scanned = 0;
+  for (const std::string& file : collect(roots)) {
+    try {
+      for (const simai::lint::Finding& f :
+           simai::lint::lint_file(file, allow_path.empty() ? nullptr : &allow)) {
+        std::printf("%s\n", f.to_string().c_str());
+        ++findings;
+      }
+      ++files_scanned;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "simai_lint: %s\n", e.what());
+      return 2;
+    }
+  }
+  std::fprintf(stderr, "simai_lint: %d finding(s) in %d file(s)\n", findings,
+               files_scanned);
+  return std::min(findings, 125);
+}
