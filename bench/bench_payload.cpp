@@ -1,0 +1,261 @@
+// bench_payload: copies-per-hop and throughput of the zero-copy payload
+// plane, measured on the Fig. 3 staging path (DataStore -> FaultyStore ->
+// MemoryStore, node-local backend).
+//
+// Two chains run the same put/get round trip:
+//
+//  * payload — the shipped data plane: stage_write wraps the value once
+//    (header + bytes, the single copy), the store takes ownership by move,
+//    stage_read returns a refcounted slice of the stored buffer;
+//  * legacy  — the pre-payload value semantics, reconstructed with a
+//    CopyingStore decorator (fresh buffer on every put and get) plus the
+//    Bytes compatibility adapter on read: wrap + put + get + read-out,
+//    four payload-sized copies per round trip.
+//
+// Copies are counted with a global allocation hook: any heap allocation of
+// at least half the payload size during the timed loop is a payload copy —
+// headers ride along with the value, so every hop that materializes bytes
+// shows up exactly once. Emits BENCH_payload.json (cwd, or
+// $SIMAI_BENCH_DIR); `--smoke` runs a reduced sweep and `--check FILE`
+// fails if copies-per-round-trip regressed >25% vs the committed numbers.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <string>
+
+// The hook below pairs a malloc-backed operator new with a free-backed
+// operator delete; GCC cannot see they are replacements of each other and
+// flags container code as mismatched.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+#include "bench/bench_util.hpp"
+#include "core/datastore.hpp"
+#include "fault/faulty_store.hpp"
+#include "kv/memory_store.hpp"
+#include "util/json.hpp"
+
+using namespace simai;
+
+namespace {
+
+// -- allocation hook --------------------------------------------------------
+
+std::atomic<std::size_t> g_threshold{SIZE_MAX};  // count allocs >= this
+std::atomic<std::uint64_t> g_large_allocs{0};
+
+struct CountScope {
+  explicit CountScope(std::size_t payload_size) {
+    g_large_allocs.store(0, std::memory_order_relaxed);
+    g_threshold.store(std::max<std::size_t>(payload_size / 2, 512),
+                      std::memory_order_relaxed);
+  }
+  ~CountScope() { g_threshold.store(SIZE_MAX, std::memory_order_relaxed); }
+  std::uint64_t count() const {
+    return g_large_allocs.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (n >= g_threshold.load(std::memory_order_relaxed))
+    g_large_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  if (n >= g_threshold.load(std::memory_order_relaxed))
+    g_large_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+// -- the legacy chain -------------------------------------------------------
+
+/// Pre-payload kv value semantics: every hop materializes a fresh buffer.
+class CopyingStore final : public kv::IKeyValueStore {
+ public:
+  explicit CopyingStore(kv::StorePtr inner) : inner_(std::move(inner)) {}
+
+  using kv::IKeyValueStore::get;
+  void put(std::string_view key, util::Payload value) override {
+    inner_->put(key, util::Payload::copy(value.view()));
+  }
+  std::optional<util::Payload> get(std::string_view key) override {
+    std::optional<util::Payload> p = inner_->get(key);
+    if (!p) return std::nullopt;
+    return util::Payload::copy(p->view());
+  }
+  bool exists(std::string_view key) override { return inner_->exists(key); }
+  std::size_t erase(std::string_view key) override {
+    return inner_->erase(key);
+  }
+  std::vector<std::string> keys(std::string_view pattern) override {
+    return inner_->keys(pattern);
+  }
+  std::size_t size() override { return inner_->size(); }
+  void clear() override { inner_->clear(); }
+
+ private:
+  kv::StorePtr inner_;
+};
+
+// -- measurement ------------------------------------------------------------
+
+struct PathStats {
+  double copies_per_rt = 0.0;  // payload-sized allocations per round trip
+  double gbps = 0.0;           // application bytes moved per wall second
+};
+
+PathStats measure(bool zero_copy, std::size_t payload_size, int trips) {
+  kv::StorePtr backing = std::make_shared<kv::MemoryStore>();
+  if (!zero_copy) backing = std::make_shared<CopyingStore>(backing);
+  auto faulty =
+      std::make_shared<fault::FaultyStore>(backing, nullptr, nullptr);
+  core::DataStore store("bench", faulty, nullptr, core::DataStoreConfig{});
+
+  const util::Payload payload =
+      util::Payload::from_bytes(make_bytes(payload_size, 0xA5));
+  std::byte sink{};
+
+  const auto round_trip = [&] {
+    store.stage_write(nullptr, "snap", payload.view());
+    if (zero_copy) {
+      util::Payload out;
+      store.stage_read(nullptr, "snap", out);
+      sink ^= out.view().front();
+    } else {
+      Bytes out;
+      store.stage_read(nullptr, "snap", out);
+      sink ^= out.front();
+    }
+  };
+
+  for (int i = 0; i < 3; ++i) round_trip();  // warm caches and containers
+
+  CountScope copies(payload_size);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < trips; ++i) round_trip();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  PathStats out;
+  out.copies_per_rt =
+      static_cast<double>(copies.count()) / static_cast<double>(trips);
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  // One write + one read of the payload per trip.
+  out.gbps = 2.0 * static_cast<double>(payload_size) * trips / seconds / 1e9;
+  if (sink == std::byte{0xFF}) std::printf(" ");  // defeat dead-code elim
+  return out;
+}
+
+std::string size_tag(std::size_t bytes) {
+  if (bytes >= MiB) return std::to_string(bytes / MiB) + "MiB";
+  return std::to_string(bytes / 1024) + "KiB";
+}
+
+int trips_for(std::size_t bytes, bool smoke) {
+  if (bytes >= 64 * MiB) return smoke ? 2 : 6;
+  if (bytes >= MiB) return smoke ? 16 : 64;
+  return smoke ? 64 : 512;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    else if (arg == "--check" && i + 1 < argc) check_path = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--check BENCH.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  bench::banner("Payload plane: copies per round trip and throughput");
+
+  std::vector<std::size_t> sizes = {1024, 1 * MiB, 64 * MiB};
+  if (smoke) sizes.pop_back();  // keep the gate fast; 64 MiB is full-run only
+
+  util::Json::Object doc;
+  bench::Table table({"size", "chain", "copies/rt", "GB/s"}, 14);
+  bool ok = true;
+  double speedup_64 = 0.0;
+
+  for (std::size_t bytes : sizes) {
+    const int trips = trips_for(bytes, smoke);
+    const PathStats legacy = measure(false, bytes, trips);
+    const PathStats payload = measure(true, bytes, trips);
+    const std::string tag = size_tag(bytes);
+    table.row({tag, "legacy", bench::fixed(legacy.copies_per_rt, 2),
+               bench::fixed(legacy.gbps, 2)});
+    table.row({tag, "payload", bench::fixed(payload.copies_per_rt, 2),
+               bench::fixed(payload.gbps, 2)});
+    doc["legacy_copies_per_rt_" + tag] = legacy.copies_per_rt;
+    doc["payload_copies_per_rt_" + tag] = payload.copies_per_rt;
+    doc["legacy_gbps_" + tag] = legacy.gbps;
+    doc["payload_gbps_" + tag] = payload.gbps;
+
+    ok &= bench::check(
+        ("payload chain: <= 1 copy per round trip at " + tag).c_str(),
+        payload.copies_per_rt <= 1.0);
+    ok &= bench::check(
+        ("legacy chain: >= 4 copies per round trip at " + tag).c_str(),
+        legacy.copies_per_rt >= 4.0);
+    if (bytes == 64 * MiB) speedup_64 = payload.gbps / legacy.gbps;
+  }
+  table.print();
+
+  if (!smoke) {
+    doc["speedup_64MiB"] = speedup_64;
+    ok &= bench::check("payload chain >= 3x legacy throughput at 64 MiB",
+                       speedup_64 >= 3.0);
+  }
+
+  if (!check_path.empty()) {
+    // Regression gate: copies-per-round-trip must stay within 25% of the
+    // committed numbers (throughput is machine-dependent; copies are not).
+    const util::Json committed = util::Json::parse_file(check_path);
+    for (const auto& [key, value] : doc) {
+      if (key.find("copies_per_rt") == std::string::npos) continue;
+      if (!committed.contains(key)) continue;
+      const double base = committed.at(key).as_double();
+      const double now = value.as_double();
+      ok &= bench::check(
+          (key + ": " + bench::fixed(now, 2) + " within 25% of committed " +
+           bench::fixed(base, 2))
+              .c_str(),
+          now <= base * 1.25);
+    }
+  }
+
+  if (!smoke) {
+    const char* out_dir = std::getenv("SIMAI_BENCH_DIR");
+    const std::string path =
+        (out_dir ? std::string(out_dir) : std::string(".")) +
+        "/BENCH_payload.json";
+    std::ofstream(path) << util::Json(doc).dump(2) << "\n";
+    std::printf("wrote %s\n\n", path.c_str());
+  }
+
+  return ok ? 0 : 1;
+}

@@ -72,9 +72,11 @@ Bytes pack_sample(const Tensor& x, const Tensor& y) {
 
 std::pair<Tensor, Tensor> unpack_sample(ByteView data) {
   util::ByteReader r(data);
-  const Bytes xb = r.bytes();
-  const Bytes yb = r.bytes();
-  return {unpack_tensor(ByteView(xb)), unpack_tensor(ByteView(yb))};
+  // bytes_view() borrows from `data` instead of materializing owned copies
+  // of both tensors before decode; unpack_tensor reads in place.
+  const ByteView xb = r.bytes_view();
+  const ByteView yb = r.bytes_view();
+  return {unpack_tensor(xb), unpack_tensor(yb)};
 }
 
 }  // namespace simai::ai

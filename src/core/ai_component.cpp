@@ -118,12 +118,12 @@ bool AiComponent::ingest_staged(sim::Context& ctx, std::string_view key,
                                 bool clean_after) {
   if (!datastore_)
     throw kv::StoreError("ai component '" + name_ + "' has no datastore");
-  Bytes packed;
+  util::Payload packed;
   if (!datastore_->stage_read(&ctx, key, packed)) return false;
   if (loader_) {
     // Payload capping can truncate staged tensors; only feed intact ones.
     try {
-      loader_->add_packed(ByteView(packed));
+      loader_->add_packed(packed.view());
       stats_["ingest_bytes"].add(static_cast<double>(packed.size()));
     } catch (const Error&) {
       stats_["ingest_truncated"].add(1.0);

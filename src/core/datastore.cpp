@@ -43,31 +43,39 @@ SimTime DataStore::charge(sim::Context* ctx, platform::StoreOp op,
   return t;
 }
 
-Bytes DataStore::wrap_payload(ByteView value, std::uint64_t& nominal) const {
+util::Payload DataStore::wrap_payload(ByteView value,
+                                      std::uint64_t& nominal) const {
   if (nominal == 0) nominal = value.size();
   const std::size_t stored =
       config_.payload_cap == 0
           ? value.size()
           : std::min<std::size_t>(config_.payload_cap, value.size());
+  // Prefixing the header forces one copy of the stored bytes — the single
+  // payload-sized copy of a staging round trip. Everything downstream
+  // (FaultyStore, MemoryStore, unwrap) shares this buffer by refcount.
   util::ByteWriter w(12 + stored);
   w.u64(nominal | (config_.verify_integrity ? kCrcFlag : 0));
   if (config_.verify_integrity)
     w.u32(util::crc32(value.subspan(0, stored)));
   w.raw(value.subspan(0, stored));
-  return w.take();
+  return w.take_payload();
 }
 
-Bytes DataStore::unwrap_payload(ByteView stored, std::uint64_t& nominal) {
+util::Payload DataStore::unwrap_payload(const util::Payload& stored,
+                                        std::uint64_t& nominal) {
   util::ByteReader r(stored);
   const std::uint64_t head = r.u64();
   nominal = head & ~kCrcFlag;
   std::uint32_t expected = 0;
   const bool has_crc = (head & kCrcFlag) != 0;
   if (has_crc) expected = r.u32();
-  ByteView rest = r.raw(r.remaining());
-  if (has_crc && util::crc32(rest) != expected)
+  const std::size_t body = r.remaining();
+  // CRC runs over the view; the returned value is a header-stripped slice
+  // of the stored buffer, not a copy.
+  util::Payload rest = r.raw_payload(body);
+  if (has_crc && util::crc32(rest.view()) != expected)
     throw fault::IntegrityError("datastore: payload CRC32 mismatch");
-  return Bytes(rest.begin(), rest.end());
+  return rest;
 }
 
 bool DataStore::retry_pause(sim::Context* ctx, int attempt,
@@ -120,8 +128,9 @@ bool DataStore::stage_write(sim::Context* ctx, std::string_view key,
                             const platform::TransportContext& op_ctx,
                             std::uint64_t nominal_bytes) {
   std::uint64_t nominal = nominal_bytes;
-  const Bytes wrapped = wrap_payload(value, nominal);
-  if (!run_resilient(ctx, [&] { store_->put(key, ByteView(wrapped)); }))
+  const util::Payload wrapped = wrap_payload(value, nominal);
+  // Each (re)attempt hands the backend a refcount bump on the same buffer.
+  if (!run_resilient(ctx, [&] { store_->put(key, wrapped); }))
     return false;
   const SimTime t = charge(ctx, platform::StoreOp::Write, nominal, op_ctx);
   ++transport_events_;
@@ -135,22 +144,22 @@ bool DataStore::stage_write(sim::Context* ctx, std::string_view key,
 }
 
 bool DataStore::stage_read(sim::Context* ctx, std::string_view key,
-                           Bytes& out) {
+                           util::Payload& out) {
   return stage_read(ctx, key, out, config_.transport);
 }
 
 bool DataStore::stage_read(sim::Context* ctx, std::string_view key,
-                           Bytes& out,
+                           util::Payload& out,
                            const platform::TransportContext& op_ctx) {
   bool found = false;
   std::uint64_t nominal = 0;
-  Bytes value;
+  util::Payload value;
   // Fetch and integrity-verify as one retryable unit: a corrupted transfer
   // re-reads the intact value at rest.
   const bool ok = run_resilient(ctx, [&] {
-    Bytes stored;
-    found = store_->get(key, stored);
-    if (found) value = unwrap_payload(ByteView(stored), nominal);
+    std::optional<util::Payload> stored = store_->get(key);
+    found = stored.has_value();
+    if (found) value = unwrap_payload(*stored, nominal);
   });
   if (!ok || !found) {
     charge(ctx, platform::StoreOp::Poll, 0, op_ctx);
@@ -164,6 +173,21 @@ bool DataStore::stage_read(sim::Context* ctx, std::string_view key,
   stats_.write()["read_bytes"].add(static_cast<double>(nominal));
   if (t > 0.0) stats_.write()["read_throughput"].add(static_cast<double>(nominal) / t);
   if (trace_ && ctx) trace_->record_instant(name_, "read", ctx->now(), nominal);
+  return true;
+}
+
+bool DataStore::stage_read(sim::Context* ctx, std::string_view key,
+                           Bytes& out) {
+  return stage_read(ctx, key, out, config_.transport);
+}
+
+bool DataStore::stage_read(sim::Context* ctx, std::string_view key,
+                           Bytes& out,
+                           const platform::TransportContext& op_ctx) {
+  util::Payload value;
+  if (!stage_read(ctx, key, value, op_ctx)) return false;
+  // Deliberate copy-out: legacy callers own a mutable Bytes.
+  out = Bytes(value.data(), value.data() + value.size());
   return true;
 }
 

@@ -83,6 +83,15 @@ class DataStore {
 
   /// Read `key`; false if absent (only the poll cost is charged then) or
   /// if the read exhausted its retry budget (recorded in recovery()).
+  /// The payload form is the zero-copy path: `out` is a slice of the
+  /// backend's stored buffer (header stripped), shared by refcount.
+  bool stage_read(sim::Context* ctx, std::string_view key,
+                  util::Payload& out);
+  bool stage_read(sim::Context* ctx, std::string_view key, util::Payload& out,
+                  const platform::TransportContext& op_ctx);
+
+  /// Compatibility adapters: identical behavior, but copy the payload into
+  /// a caller-owned Bytes (the pre-zero-copy cost).
   bool stage_read(sim::Context* ctx, std::string_view key, Bytes& out);
   bool stage_read(sim::Context* ctx, std::string_view key, Bytes& out,
                   const platform::TransportContext& op_ctx);
@@ -123,8 +132,9 @@ class DataStore {
   SimTime charge(sim::Context* ctx, platform::StoreOp op,
                  std::uint64_t nominal_bytes,
                  const platform::TransportContext& op_ctx);
-  Bytes wrap_payload(ByteView value, std::uint64_t& nominal) const;
-  static Bytes unwrap_payload(ByteView stored, std::uint64_t& nominal);
+  util::Payload wrap_payload(ByteView value, std::uint64_t& nominal) const;
+  static util::Payload unwrap_payload(const util::Payload& stored,
+                                      std::uint64_t& nominal);
 
   /// Run `op`, retrying per config_.retry on TransientStoreError /
   /// IntegrityError. False when attempts are exhausted. Charges timeouts

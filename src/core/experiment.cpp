@@ -27,16 +27,17 @@ namespace {
 /// Synthetic snapshot payload: deterministic bytes. Only the bytes the
 /// store will actually keep are materialized (min(nominal, cap)); the
 /// nominal size is declared separately at stage_write time, so a 32 MB x
-/// 127-rank experiment does not allocate gigabytes.
-Bytes make_payload(std::uint64_t nominal, std::size_t cap,
-                   std::uint64_t salt) {
+/// 127-rank experiment does not allocate gigabytes. Built once per rank as
+/// an immutable Payload and re-staged every snapshot by refcount.
+util::Payload make_payload(std::uint64_t nominal, std::size_t cap,
+                           std::uint64_t salt) {
   const std::size_t real =
       cap == 0 ? static_cast<std::size_t>(nominal)
                : std::min<std::size_t>(cap, static_cast<std::size_t>(nominal));
   Bytes p(real);
   for (std::size_t i = 0; i < p.size(); ++i)
     p[i] = static_cast<std::byte>((i * 131 + salt) & 0xFF);
-  return p;
+  return util::Payload::from_bytes(std::move(p));
 }
 
 util::Json time_dist(double mean, double stddev) {
@@ -139,10 +140,10 @@ Pattern1Result run_pattern1(const Pattern1Config& config) {
           } else {
             ctx.delay(config.sim_init_time);
           }
-          const Bytes x_payload =
+          const util::Payload x_payload =
               make_payload(config.payload_bytes, config.payload_cap,
                            11 + static_cast<unsigned>(p));
-          const Bytes y_payload =
+          const util::Payload y_payload =
               make_payload(config.payload_bytes, config.payload_cap,
                            29 + static_cast<unsigned>(p));
           std::int64_t step = 0;
@@ -156,12 +157,12 @@ Pattern1Result run_pattern1(const Pattern1Config& config) {
               // y goes first: the trainer polls on x, so once x is visible
               // the whole snapshot is guaranteed complete.
               sim->stage_write(ctx, "y_" + tag + "_" + std::to_string(step),
-                               ByteView(y_payload), config.payload_bytes);
+                               y_payload.view(), config.payload_bytes);
               sim->stage_write(ctx, "x_" + tag + "_" + std::to_string(step),
-                               ByteView(x_payload), config.payload_bytes);
+                               x_payload.view(), config.payload_bytes);
               // Steering check once per snapshot period.
               if (sim->poll_staged_data(ctx, "stop_" + tag)) {
-                Bytes ignored;
+                util::Payload ignored;
                 sim_store->stage_read(&ctx, "stop_" + tag, ignored);
                 break;
               }
@@ -194,7 +195,7 @@ Pattern1Result run_pattern1(const Pattern1Config& config) {
                 const std::string ykey =
                     "y_" + tag + "_" + std::to_string(next_snapshot);
                 if (!train_store->poll_staged_data(&ctx, xkey)) break;
-                Bytes xb, yb;
+                util::Payload xb, yb;
                 train_store->stage_read(&ctx, xkey, xb);
                 train_store->stage_read(&ctx, ykey, yb);
                 next_snapshot += config.write_every;
@@ -271,9 +272,9 @@ Pattern1Result run_pattern1_streaming(const Pattern1Config& config,
         "sim_pair" + std::to_string(p), "remote", {},
         [&, p, idx](sim::Context& ctx, const ComponentInfo&) {
           ctx.delay(config.sim_init_time);
-          const Bytes payload = make_payload(config.payload_bytes,
-                                             config.payload_cap,
-                                             3 + static_cast<unsigned>(p));
+          const util::Payload payload = make_payload(
+              config.payload_bytes, config.payload_cap,
+              3 + static_cast<unsigned>(p));
           util::Xoshiro256 rng(config.seed + 50 + static_cast<unsigned>(p));
           util::Distribution* iter_dist = nullptr;
           auto dist = util::make_distribution(
@@ -290,10 +291,10 @@ Pattern1Result run_pattern1_streaming(const Pattern1Config& config,
             if (step % config.write_every == 0) {
               const SimTime w0 = ctx.now();
               data_writers[idx].begin_step(ctx);
-              data_writers[idx].put("x", ByteView(payload),
-                                    config.payload_bytes);
-              data_writers[idx].put("y", ByteView(payload),
-                                    config.payload_bytes);
+              // Payload by value: publishing the same snapshot buffer every
+              // step is a refcount bump, not a copy.
+              data_writers[idx].put("x", payload, config.payload_bytes);
+              data_writers[idx].put("y", payload, config.payload_bytes);
               data_writers[idx].end_step(ctx);
               const SimTime dt = ctx.now() - w0;
               sim_stats[idx].write_time.add(dt);
@@ -452,7 +453,7 @@ Pattern2Result run_pattern2(const Pattern2Config& config) {
     w.component(
         "sim" + tag, "remote", {},
         [=, &config, &sim_steps](sim::Context& ctx, const ComponentInfo&) {
-          const Bytes payload =
+          const util::Payload payload =
               make_payload(config.payload_bytes, config.payload_cap,
                            7 + static_cast<unsigned>(s));
           for (std::int64_t step = 1; step <= sim_iters; ++step) {
@@ -463,7 +464,7 @@ Pattern2Result run_pattern2(const Pattern2Config& config) {
               const std::int64_t round = step / config.write_every;
               sim->stage_write(
                   ctx, "data_" + tag + "_" + std::to_string(round),
-                  ByteView(payload), config.payload_bytes);
+                  payload.view(), config.payload_bytes);
             }
           }
         });
@@ -486,7 +487,7 @@ Pattern2Result run_pattern2(const Pattern2Config& config) {
                   "data_" + std::to_string(s) + "_" + std::to_string(round);
               while (!ai_store->poll_staged_data(&ctx, key))
                 ctx.delay(config.poll_interval);
-              Bytes data;
+              util::Payload data;
               ai_store->stage_read(&ctx, key, data);
             }
           }

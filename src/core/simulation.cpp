@@ -124,6 +124,13 @@ void Simulation::stage_write(sim::Context& ctx, std::string_view key,
 }
 
 bool Simulation::stage_read(sim::Context& ctx, std::string_view key,
+                            util::Payload& out) {
+  if (!datastore_)
+    throw kv::StoreError("simulation '" + name_ + "' has no datastore");
+  return datastore_->stage_read(&ctx, key, out);
+}
+
+bool Simulation::stage_read(sim::Context& ctx, std::string_view key,
                             Bytes& out) {
   if (!datastore_)
     throw kv::StoreError("simulation '" + name_ + "' has no datastore");

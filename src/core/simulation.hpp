@@ -61,6 +61,9 @@ class Simulation {
   /// real buffer — see DataStore::stage_write.
   void stage_write(sim::Context& ctx, std::string_view key, ByteView value,
                    std::uint64_t nominal_bytes = 0);
+  /// Zero-copy read: `out` shares the staged buffer (see DataStore).
+  bool stage_read(sim::Context& ctx, std::string_view key, util::Payload& out);
+  /// Compatibility adapter — copies the payload out.
   bool stage_read(sim::Context& ctx, std::string_view key, Bytes& out);
   bool poll_staged_data(sim::Context& ctx, std::string_view key);
 

@@ -85,14 +85,13 @@ void StreamWriter::begin_step(sim::Context&) {
   open_step_->step_index = next_step_;
 }
 
-void StreamWriter::put(std::string_view variable, ByteView data,
+void StreamWriter::put(std::string_view variable, util::Payload data,
                        std::uint64_t nominal_bytes) {
   if (!open_step_)
     throw Error("stream '" + name_ + "': put outside begin/end step");
-  open_step_->variables[std::string(variable)] =
-      Bytes(data.begin(), data.end());
   open_step_->nominal[std::string(variable)] =
       nominal_bytes ? nominal_bytes : data.size();
+  open_step_->variables[std::string(variable)] = std::move(data);
 }
 
 void StreamWriter::end_step(sim::Context& ctx) {
@@ -172,7 +171,8 @@ StepStatus StreamReader::begin_step(sim::Context& ctx, double timeout) {
   }
 }
 
-Bytes StreamReader::get(sim::Context& ctx, std::string_view variable) {
+util::Payload StreamReader::get(sim::Context& ctx,
+                                std::string_view variable) {
   if (!current_)
     throw Error("stream '" + name_ + "': get outside begin/end step");
   const auto it = current_->variables.find(variable);

@@ -25,6 +25,7 @@
 #include "platform/transport_model.hpp"
 #include "sim/channel.hpp"
 #include "sim/engine.hpp"
+#include "util/payload.hpp"
 #include "util/stats.hpp"
 
 namespace simai::core {
@@ -39,8 +40,11 @@ enum class StepStatus { Ok, NotReady, EndOfStream, ProducerFailed };
 
 /// One step's payload: named variables -> blobs (nominal sizes may exceed
 /// the stored bytes, mirroring DataStore's payload virtualization).
+/// Variables are Payloads, so a step moving writer -> queue -> reader is
+/// refcount traffic: the bytes are written once by the producer and read
+/// in place by the consumer.
 struct StreamStep {
-  std::map<std::string, Bytes, std::less<>> variables;
+  std::map<std::string, util::Payload, std::less<>> variables;
   std::map<std::string, std::uint64_t, std::less<>> nominal;
   std::uint64_t step_index = 0;
 
@@ -53,9 +57,12 @@ class StreamWriter {
  public:
   /// Start assembling a new step.
   void begin_step(sim::Context& ctx);
-  /// Add a variable to the open step. `nominal_bytes` declares the modelled
-  /// size when nonzero (stored bytes may be capped by the caller).
-  void put(std::string_view variable, ByteView data,
+  /// Add a variable to the open step. Takes the payload by value: a Payload
+  /// argument is a refcount bump (publish the same buffer every step for
+  /// free), ByteView/Bytes arguments convert with one copy at the boundary.
+  /// `nominal_bytes` declares the modelled size when nonzero (stored bytes
+  /// may be capped by the caller).
+  void put(std::string_view variable, util::Payload data,
            std::uint64_t nominal_bytes = 0);
   /// Publish the step: charges the stream transfer cost and blocks (in
   /// virtual time) while the step queue is full.
@@ -87,7 +94,8 @@ class StreamReader {
   /// when timeout >= 0). On Ok the step's variables are readable.
   StepStatus begin_step(sim::Context& ctx, double timeout = -1.0);
   /// Read a variable from the current step; charges the read-side share.
-  Bytes get(sim::Context& ctx, std::string_view variable);
+  /// Returns a refcount bump on the published payload — no copy.
+  util::Payload get(sim::Context& ctx, std::string_view variable);
   /// Nominal size of a variable in the current step.
   std::uint64_t nominal_of(std::string_view variable) const;
   /// Release the current step.

@@ -32,25 +32,29 @@ std::uint64_t FaultyStore::check_faults(const char* what) {
   return op;
 }
 
-void FaultyStore::put(std::string_view key, ByteView value) {
+void FaultyStore::put(std::string_view key, util::Payload value) {
   check_faults("put");
-  inner_->put(key, value);
+  inner_->put(key, std::move(value));
 }
 
-bool FaultyStore::get(std::string_view key, Bytes& out) {
+std::optional<util::Payload> FaultyStore::get(std::string_view key) {
   const std::uint64_t op = check_faults("get");
-  Bytes fetched;
-  if (!inner_->get(key, fetched)) return false;
-  if (schedule_ && !fetched.empty() && schedule_->corrupts(op)) {
+  std::optional<util::Payload> fetched = inner_->get(key);
+  if (!fetched) return std::nullopt;
+  if (schedule_ && !fetched->empty() && schedule_->corrupts(op)) {
     // In-transit corruption: the value at rest is intact, a re-read can
-    // succeed. Flip the last byte — inside the payload region, or inside
-    // the CRC field itself for empty payloads; either way a checksummed
-    // round-trip detects it.
-    fetched.back() ^= static_cast<std::byte>(0xFF);
+    // succeed. Payloads are immutable, so the flip happens on a
+    // copy-on-write clone — the corrupt-op path is the only one that
+    // copies, and other holders of the stored payload are untouched. Flip
+    // the last byte: inside the payload region, or inside the CRC field
+    // itself for empty payloads; either way a checksummed round-trip
+    // detects it.
+    Bytes clone = fetched->to_bytes();
+    clone.back() ^= static_cast<std::byte>(0xFF);
+    fetched = util::Payload::from_bytes(std::move(clone));
     ++injected_corruptions_;
   }
-  out = std::move(fetched);
-  return true;
+  return fetched;
 }
 
 bool FaultyStore::exists(std::string_view key) {

@@ -32,8 +32,9 @@ class FaultyStore : public kv::IKeyValueStore {
   FaultyStore(kv::StorePtr inner, const FaultSchedule* schedule,
               const sim::Engine* engine);
 
-  void put(std::string_view key, ByteView value) override;
-  bool get(std::string_view key, Bytes& out) override;
+  using kv::IKeyValueStore::get;
+  void put(std::string_view key, util::Payload value) override;
+  std::optional<util::Payload> get(std::string_view key) override;
   bool exists(std::string_view key) override;
   std::size_t erase(std::string_view key) override;
   std::vector<std::string> keys(std::string_view pattern = "*") override;

@@ -43,50 +43,59 @@ std::string DaosStore::stripe_key(std::string_view key,
          std::to_string(stripe);
 }
 
-void DaosStore::put(std::string_view key, ByteView value) {
+void DaosStore::put(std::string_view key, util::Payload value) {
   const int home = home_target(key);
   const std::size_t stripes = stripe_count(value.size());
   // Write stripes round-robin from the home target, then commit the
-  // descriptor last so readers never see a half-written object.
+  // descriptor last so readers never see a half-written object. Each stripe
+  // is an O(1) slice sharing the object's buffer — striping costs zero
+  // copies regardless of object size.
   for (std::size_t s = 0; s < stripes; ++s) {
     const std::size_t begin = s * stripe_bytes_;
     const std::size_t len = std::min(stripe_bytes_, value.size() - begin);
     const auto target = static_cast<std::size_t>(
         (static_cast<std::size_t>(home) + s) % targets_.size());
-    targets_[target]->put(stripe_key(key, s), value.subspan(begin, len));
+    targets_[target]->put(stripe_key(key, s), value.slice(begin, len));
   }
   util::ByteWriter desc;
   desc.u64(value.size());
   desc.u32(static_cast<std::uint32_t>(stripes));
   targets_[static_cast<std::size_t>(home)]->put(descriptor_key(key),
-                                                ByteView(desc.data()));
+                                                desc.take_payload());
 }
 
-bool DaosStore::get(std::string_view key, Bytes& out) {
+std::optional<util::Payload> DaosStore::get(std::string_view key) {
   const int home = home_target(key);
-  Bytes desc_bytes;
-  if (!targets_[static_cast<std::size_t>(home)]->get(descriptor_key(key),
-                                                     desc_bytes))
-    return false;
-  util::ByteReader desc((ByteView(desc_bytes)));
+  const std::optional<util::Payload> desc_bytes =
+      targets_[static_cast<std::size_t>(home)]->get(descriptor_key(key));
+  if (!desc_bytes) return std::nullopt;
+  util::ByteReader desc(*desc_bytes);
   const std::uint64_t total = desc.u64();
   const std::uint32_t stripes = desc.u32();
-  Bytes assembled;
-  assembled.reserve(static_cast<std::size_t>(total));
+  std::vector<util::Payload> parts;
+  parts.reserve(stripes);
+  std::size_t assembled_size = 0;
   for (std::uint32_t s = 0; s < stripes; ++s) {
     const auto target = static_cast<std::size_t>(
         (static_cast<std::size_t>(home) + s) % targets_.size());
-    Bytes stripe;
-    if (!targets_[target]->get(stripe_key(key, s), stripe))
+    std::optional<util::Payload> stripe =
+        targets_[target]->get(stripe_key(key, s));
+    if (!stripe)
       throw StoreError("daos: missing stripe " + std::to_string(s) +
                        " of object '" + std::string(key) + "'");
-    assembled.insert(assembled.end(), stripe.begin(), stripe.end());
+    assembled_size += stripe->size();
+    parts.push_back(std::move(*stripe));
   }
-  if (assembled.size() != total)
+  if (assembled_size != total)
     throw StoreError("daos: reassembled size mismatch for '" +
                      std::string(key) + "'");
-  out = std::move(assembled);
-  return true;
+  // Single-stripe objects (the common case below stripe_bytes) hand the
+  // stored stripe straight back — zero copies. Multi-stripe objects must
+  // gather into one contiguous buffer.
+  if (parts.size() == 1) return std::move(parts.front());
+  util::PayloadBuilder gathered(assembled_size);
+  for (const util::Payload& part : parts) gathered.append(part.view());
+  return gathered.finish();
 }
 
 bool DaosStore::exists(std::string_view key) {
@@ -96,11 +105,10 @@ bool DaosStore::exists(std::string_view key) {
 
 std::size_t DaosStore::erase(std::string_view key) {
   const int home = home_target(key);
-  Bytes desc_bytes;
-  if (!targets_[static_cast<std::size_t>(home)]->get(descriptor_key(key),
-                                                     desc_bytes))
-    return 0;
-  util::ByteReader desc((ByteView(desc_bytes)));
+  const std::optional<util::Payload> desc_bytes =
+      targets_[static_cast<std::size_t>(home)]->get(descriptor_key(key));
+  if (!desc_bytes) return 0;
+  util::ByteReader desc(*desc_bytes);
   desc.u64();  // total size, unused here
   const std::uint32_t stripes = desc.u32();
   for (std::uint32_t s = 0; s < stripes; ++s) {

@@ -26,8 +26,9 @@ class DaosStore final : public IKeyValueStore {
  public:
   explicit DaosStore(int targets = 8, std::size_t stripe_bytes = 1 * MiB);
 
-  void put(std::string_view key, ByteView value) override;
-  bool get(std::string_view key, Bytes& out) override;
+  using IKeyValueStore::get;
+  void put(std::string_view key, util::Payload value) override;
+  std::optional<util::Payload> get(std::string_view key) override;
   bool exists(std::string_view key) override;
   std::size_t erase(std::string_view key) override;
   std::vector<std::string> keys(std::string_view pattern = "*") override;

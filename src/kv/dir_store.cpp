@@ -76,22 +76,24 @@ fs::path DirStore::path_of(std::string_view key) const {
   return shard_dir(shard_of(key)) / (encode_key(key) + std::string(kSuffix));
 }
 
-void DirStore::put(std::string_view key, ByteView value) {
+void DirStore::put(std::string_view key, util::Payload value) {
   // Temp-write + atomic rename: the §3.2 protocol (os.replace in Python).
-  util::atomic_write_file(path_of(key), value);
+  // Written straight from the payload's view — no staging copy.
+  util::atomic_write_file(path_of(key), value.view());
 }
 
-bool DirStore::get(std::string_view key, Bytes& out) {
+std::optional<util::Payload> DirStore::get(std::string_view key) {
   const fs::path p = path_of(key);
   std::error_code ec;
-  if (!fs::exists(p, ec) || ec) return false;
+  if (!fs::exists(p, ec) || ec) return std::nullopt;
   try {
-    out = util::read_file(p);
+    // read_file's buffer is adopted wholesale — the one unavoidable copy
+    // on this backend is disk → memory.
+    return util::Payload::from_bytes(util::read_file(p));
   } catch (const util::FsError&) {
     // Raced with a concurrent erase between exists() and read.
-    return false;
+    return std::nullopt;
   }
-  return true;
 }
 
 bool DirStore::exists(std::string_view key) {

@@ -40,11 +40,14 @@ void DragonDictionary::manager_loop(Manager& m) {
     Response resp;
     switch (req->op) {
       case OpType::Put:
-        m.store.put(req->key, ByteView(req->value));
+        m.store.put(req->key, std::move(req->value));
         resp.found = true;
         break;
       case OpType::Get:
-        resp.found = m.store.get(req->key, resp.value);
+        if (std::optional<util::Payload> p = m.store.get(req->key)) {
+          resp.found = true;
+          resp.value = std::move(*p);
+        }
         break;
       case OpType::Exists:
         resp.found = m.store.exists(req->key);
@@ -75,22 +78,21 @@ DragonDictionary::Response DragonDictionary::call(int manager, Request req) {
   return future.get();
 }
 
-void DragonDictionary::put(std::string_view key, ByteView value) {
+void DragonDictionary::put(std::string_view key, util::Payload value) {
   Request req;
   req.op = OpType::Put;
   req.key = std::string(key);
-  req.value.assign(value.begin(), value.end());
+  req.value = std::move(value);
   call(manager_of(key), std::move(req));
 }
 
-bool DragonDictionary::get(std::string_view key, Bytes& out) {
+std::optional<util::Payload> DragonDictionary::get(std::string_view key) {
   Request req;
   req.op = OpType::Get;
   req.key = std::string(key);
   Response resp = call(manager_of(key), std::move(req));
-  if (!resp.found) return false;
-  out = std::move(resp.value);
-  return true;
+  if (!resp.found) return std::nullopt;
+  return std::move(resp.value);
 }
 
 bool DragonDictionary::exists(std::string_view key) {

@@ -29,8 +29,9 @@ class DragonDictionary final : public IKeyValueStore {
   DragonDictionary(const DragonDictionary&) = delete;
   DragonDictionary& operator=(const DragonDictionary&) = delete;
 
-  void put(std::string_view key, ByteView value) override;
-  bool get(std::string_view key, Bytes& out) override;
+  using IKeyValueStore::get;
+  void put(std::string_view key, util::Payload value) override;
+  std::optional<util::Payload> get(std::string_view key) override;
   bool exists(std::string_view key) override;
   std::size_t erase(std::string_view key) override;
   std::vector<std::string> keys(std::string_view pattern = "*") override;
@@ -50,9 +51,12 @@ class DragonDictionary final : public IKeyValueStore {
  private:
   enum class OpType { Put, Get, Exists, Erase, Keys, Size, Clear };
 
+  // Values cross the client→manager channel as Payloads: the refcount is
+  // atomic, so the hand-off between the client thread and the shard
+  // manager thread moves no bytes in either direction.
   struct Response {
     bool found = false;
-    Bytes value;
+    util::Payload value;
     std::vector<std::string> keys;
     std::size_t count = 0;
   };
@@ -60,7 +64,7 @@ class DragonDictionary final : public IKeyValueStore {
   struct Request {
     OpType op;
     std::string key;
-    Bytes value;
+    util::Payload value;
     std::string pattern;
     std::promise<Response> reply;
   };

@@ -7,19 +7,17 @@
 
 namespace simai::kv {
 
-void MemoryStore::put(std::string_view key, ByteView value) {
-  Bytes copy(value.begin(), value.end());
+void MemoryStore::put(std::string_view key, util::Payload value) {
   std::unique_lock lock(mutex_);
-  data_.write().insert_or_assign(std::string(key), std::move(copy));
+  data_.write().insert_or_assign(std::string(key), std::move(value));
 }
 
-bool MemoryStore::get(std::string_view key, Bytes& out) {
+std::optional<util::Payload> MemoryStore::get(std::string_view key) {
   std::shared_lock lock(mutex_);
   const Map& data = data_.read();
   const auto it = data.find(key);
-  if (it == data.end()) return false;
-  out = it->second;
-  return true;
+  if (it == data.end()) return std::nullopt;
+  return it->second;  // refcount bump, no byte copy
 }
 
 bool MemoryStore::exists(std::string_view key) {

@@ -35,8 +35,9 @@ class MemoryStore final : public IKeyValueStore {
  public:
   MemoryStore() = default;
 
-  void put(std::string_view key, ByteView value) override;
-  bool get(std::string_view key, Bytes& out) override;
+  using IKeyValueStore::get;
+  void put(std::string_view key, util::Payload value) override;
+  std::optional<util::Payload> get(std::string_view key) override;
   bool exists(std::string_view key) override;
   std::size_t erase(std::string_view key) override;
   std::vector<std::string> keys(std::string_view pattern = "*") override;
@@ -47,8 +48,11 @@ class MemoryStore final : public IKeyValueStore {
   std::size_t total_bytes() const;
 
  private:
-  using Map =
-      std::unordered_map<std::string, Bytes, StringViewHash, std::equal_to<>>;
+  // Values are Payloads: put() moves the caller's refcount in, get() hands
+  // one back — neither side copies bytes, and immutability makes the
+  // sharing safe across MiniRedis/Dragon threads.
+  using Map = std::unordered_map<std::string, util::Payload, StringViewHash,
+                                 std::equal_to<>>;
 
   mutable std::shared_mutex mutex_;
   // The keyspace is the canonical cross-process shared state of a staging

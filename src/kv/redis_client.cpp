@@ -9,33 +9,56 @@ namespace simai::kv {
 RedisClient::RedisClient(const std::string& socket_path)
     : socket_(net::unix_connect(socket_path)) {}
 
-resp::Value RedisClient::round_trip(Bytes request) {
-  socket_.send_all(ByteView(request));
+void RedisClient::recv_chunk(const char* context) {
+  // Receive straight into the decoder's buffer: prepare() exposes a
+  // writable tail, commit() trims it to what actually arrived — no
+  // intermediate chunk allocation per recv.
+  const std::span<std::byte> room = decoder_.prepare(64 * 1024);
+  const std::size_t n = socket_.recv_into(room);
+  decoder_.commit(n);
+  if (n == 0) throw StoreError(std::string("redis: ") + context);
+}
+
+resp::Value RedisClient::round_trip(const resp::Value& request) {
+  socket_.send_frames(resp::encode_frames(request));
   while (true) {
     if (auto reply = decoder_.next()) return *reply;
-    Bytes chunk = socket_.recv_some(64 * 1024);
-    if (chunk.empty())
-      throw StoreError("redis: server closed the connection");
-    decoder_.feed(chunk);
+    recv_chunk("server closed the connection");
   }
 }
 
 resp::Value RedisClient::command(const std::vector<Bytes>& argv) {
-  return round_trip(resp::encode_command(argv));
+  std::vector<resp::Value> items;
+  items.reserve(argv.size());
+  for (const Bytes& p : argv)
+    items.push_back(resp::Value::bulk_of(ByteView(p)));
+  return round_trip(resp::Value::array_of(std::move(items)));
 }
 
 resp::Value RedisClient::command(const std::vector<std::string>& argv) {
-  return round_trip(resp::encode_command(argv));
+  std::vector<resp::Value> items;
+  items.reserve(argv.size());
+  for (const std::string& p : argv)
+    items.push_back(resp::Value::bulk_of(p));
+  return round_trip(resp::Value::array_of(std::move(items)));
 }
 
 std::vector<resp::Value> RedisClient::pipeline(
     const std::vector<std::vector<std::string>>& commands) {
-  Bytes wire;
+  // Gather every command's frames into one scatter list: N commands, one
+  // writev, one kernel round-trip (the classic Redis batching win).
+  std::vector<util::Payload> wire;
   for (const auto& argv : commands) {
-    const Bytes one = resp::encode_command(argv);
-    wire.insert(wire.end(), one.begin(), one.end());
+    std::vector<resp::Value> items;
+    items.reserve(argv.size());
+    for (const std::string& p : argv)
+      items.push_back(resp::Value::bulk_of(p));
+    std::vector<util::Payload> frames =
+        resp::encode_frames(resp::Value::array_of(std::move(items)));
+    wire.insert(wire.end(), std::make_move_iterator(frames.begin()),
+                std::make_move_iterator(frames.end()));
   }
-  socket_.send_all(ByteView(wire));
+  socket_.send_frames(wire);
   std::vector<resp::Value> replies;
   replies.reserve(commands.size());
   while (replies.size() < commands.size()) {
@@ -43,10 +66,7 @@ std::vector<resp::Value> RedisClient::pipeline(
       replies.push_back(std::move(*reply));
       continue;
     }
-    Bytes chunk = socket_.recv_some(64 * 1024);
-    if (chunk.empty())
-      throw StoreError("redis: server closed the connection mid-pipeline");
-    decoder_.feed(chunk);
+    recv_chunk("server closed the connection mid-pipeline");
   }
   return replies;
 }
@@ -55,21 +75,22 @@ void RedisClient::raise_if_error(const resp::Value& v) {
   if (v.is_error()) throw StoreError("redis: " + v.text);
 }
 
-void RedisClient::put(std::string_view key, ByteView value) {
-  std::vector<Bytes> argv;
-  argv.push_back(to_bytes("SET"));
-  argv.push_back(to_bytes(key));
-  argv.emplace_back(value.begin(), value.end());
-  raise_if_error(command(argv));
+void RedisClient::put(std::string_view key, util::Payload value) {
+  // The value rides as a bulk payload: encode_frames hands large values to
+  // writev as a slice of the caller's buffer — no wire-image concatenation.
+  std::vector<resp::Value> argv;
+  argv.push_back(resp::Value::bulk_of("SET"));
+  argv.push_back(resp::Value::bulk_of(key));
+  argv.push_back(resp::Value::bulk_of(std::move(value)));
+  raise_if_error(round_trip(resp::Value::array_of(std::move(argv))));
 }
 
-bool RedisClient::get(std::string_view key, Bytes& out) {
-  const resp::Value v = command(
-      std::vector<std::string>{"GET", std::string(key)});
+std::optional<util::Payload> RedisClient::get(std::string_view key) {
+  resp::Value v = command(std::vector<std::string>{"GET", std::string(key)});
   raise_if_error(v);
-  if (v.kind == resp::Kind::Nil) return false;
-  out = v.bulk;
-  return true;
+  if (v.kind == resp::Kind::Nil) return std::nullopt;
+  // Large replies are slices of the receive buffer — handed through intact.
+  return std::move(v.bulk);
 }
 
 bool RedisClient::exists(std::string_view key) {
@@ -150,12 +171,12 @@ RedisClient& RedisClusterClient::route(std::string_view key) {
   return *shards_[shard_of(key)];
 }
 
-void RedisClusterClient::put(std::string_view key, ByteView value) {
-  route(key).put(key, value);
+void RedisClusterClient::put(std::string_view key, util::Payload value) {
+  route(key).put(key, std::move(value));
 }
 
-bool RedisClusterClient::get(std::string_view key, Bytes& out) {
-  return route(key).get(key, out);
+std::optional<util::Payload> RedisClusterClient::get(std::string_view key) {
+  return route(key).get(key);
 }
 
 bool RedisClusterClient::exists(std::string_view key) {

@@ -22,8 +22,9 @@ class RedisClient final : public IKeyValueStore {
   explicit RedisClient(const std::string& socket_path);
 
   // IKeyValueStore
-  void put(std::string_view key, ByteView value) override;
-  bool get(std::string_view key, Bytes& out) override;
+  using IKeyValueStore::get;
+  void put(std::string_view key, util::Payload value) override;
+  std::optional<util::Payload> get(std::string_view key) override;
   bool exists(std::string_view key) override;
   std::size_t erase(std::string_view key) override;
   std::vector<std::string> keys(std::string_view pattern = "*") override;
@@ -48,7 +49,11 @@ class RedisClient final : public IKeyValueStore {
       const std::vector<std::vector<std::string>>& commands);
 
  private:
-  resp::Value round_trip(Bytes request);
+  /// Send one request as scatter-gather frames (payload args go to the
+  /// kernel straight from their owning buffers) and block for the reply.
+  resp::Value round_trip(const resp::Value& request);
+  /// Grow the decoder's receive buffer by one recv(2) directly into it.
+  void recv_chunk(const char* context);
   static void raise_if_error(const resp::Value& v);
 
   net::Socket socket_;
@@ -62,8 +67,9 @@ class RedisClusterClient final : public IKeyValueStore {
  public:
   explicit RedisClusterClient(const std::vector<std::string>& socket_paths);
 
-  void put(std::string_view key, ByteView value) override;
-  bool get(std::string_view key, Bytes& out) override;
+  using IKeyValueStore::get;
+  void put(std::string_view key, util::Payload value) override;
+  std::optional<util::Payload> get(std::string_view key) override;
   bool exists(std::string_view key) override;
   std::size_t erase(std::string_view key) override;
   std::vector<std::string> keys(std::string_view pattern = "*") override;

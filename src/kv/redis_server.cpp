@@ -74,9 +74,12 @@ void RedisServer::serve_session(net::Socket& client) {
     while (!stopping_.load()) {
       auto value = decoder.next();
       if (!value) {
-        Bytes chunk = client.recv_some(64 * 1024);
-        if (chunk.empty()) return;  // client hung up
-        decoder.feed(chunk);
+        // Receive straight into the decoder's buffer (no per-chunk copy);
+        // large command payloads then surface as slices of it.
+        const std::span<std::byte> room = decoder.prepare(64 * 1024);
+        const std::size_t n = client.recv_into(room);
+        decoder.commit(n);
+        if (n == 0) return;  // client hung up
         continue;
       }
       if (value->kind != resp::Kind::Array || value->array.empty()) {
@@ -86,7 +89,9 @@ void RedisServer::serve_session(net::Socket& client) {
       }
       bool shutdown_requested = false;
       const resp::Value reply = execute(value->array, shutdown_requested);
-      client.send_all(resp::encode(reply));
+      // Scatter-gather reply: a GET of a 64 MiB value writev's the stored
+      // payload directly — the server never builds a contiguous wire image.
+      client.send_frames(resp::encode_frames(reply));
       if (shutdown_requested) {
         begin_stop();
         return;
@@ -127,14 +132,16 @@ resp::Value RedisServer::execute(const std::vector<resp::Value>& argv,
   }
   if (cmd == "set") {
     if (argv.size() != 3) return arity_error();
-    store_.put(argv[1].bulk_text(), ByteView(argv[2].bulk));
+    // Refcount hand-off: the stored value shares the decoded payload (for
+    // large values, a slice of the receive buffer) — no server-side copy.
+    store_.put(argv[1].bulk_text(), argv[2].bulk);
     return Value::simple("OK");
   }
   if (cmd == "get") {
     if (argv.size() != 2) return arity_error();
-    Bytes out;
-    if (!store_.get(argv[1].bulk_text(), out)) return Value::nil();
-    return Value::bulk_of(ByteView(out));
+    if (std::optional<util::Payload> p = store_.get(argv[1].bulk_text()))
+      return Value::bulk_of(std::move(*p));
+    return Value::nil();
   }
   if (cmd == "del") {
     if (argv.size() < 2) return arity_error();
@@ -187,18 +194,19 @@ resp::Value RedisServer::execute(const std::vector<resp::Value>& argv,
   if (cmd == "append") {
     if (argv.size() != 3) return arity_error();
     const std::string key = argv[1].bulk_text();
-    Bytes current;
-    store_.get(key, current);
-    current.insert(current.end(), argv[2].bulk.begin(), argv[2].bulk.end());
-    const std::size_t len = current.size();
-    store_.put(key, ByteView(current));
+    util::PayloadBuilder combined;
+    if (std::optional<util::Payload> current = store_.get(key))
+      combined.append(current->view());
+    combined.append(argv[2].bulk.view());
+    const std::size_t len = combined.size();
+    store_.put(key, combined.finish());
     return Value::integer_of(static_cast<std::int64_t>(len));
   }
   if (cmd == "strlen") {
     if (argv.size() != 2) return arity_error();
-    Bytes current;
-    if (!store_.get(argv[1].bulk_text(), current)) return Value::integer_of(0);
-    return Value::integer_of(static_cast<std::int64_t>(current.size()));
+    if (std::optional<util::Payload> p = store_.get(argv[1].bulk_text()))
+      return Value::integer_of(static_cast<std::int64_t>(p->size()));
+    return Value::integer_of(0);
   }
   if (cmd == "info") {
     return Value::bulk_of(util::strformat(

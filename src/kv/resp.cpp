@@ -1,5 +1,6 @@
 #include "kv/resp.hpp"
 
+#include <algorithm>
 #include <charconv>
 
 namespace simai::kv::resp {
@@ -25,10 +26,10 @@ Value Value::integer_of(std::int64_t i) {
   return v;
 }
 
-Value Value::bulk_of(ByteView b) {
+Value Value::bulk_of(util::Payload b) {
   Value v;
   v.kind = Kind::Bulk;
-  v.bulk.assign(b.begin(), b.end());
+  v.bulk = std::move(b);
   return v;
 }
 
@@ -43,7 +44,7 @@ Value Value::array_of(std::vector<Value> items) {
 
 std::string Value::bulk_text() const {
   if (kind != Kind::Bulk) throw RespError("resp: value is not a bulk string");
-  return to_string(ByteView(bulk));
+  return to_string(bulk.view());
 }
 
 namespace {
@@ -75,7 +76,7 @@ void encode_into(Bytes& out, const Value& v) {
       append_text(out, "$");
       append_text(out, std::to_string(v.bulk.size()));
       append_crlf(out);
-      out.insert(out.end(), v.bulk.begin(), v.bulk.end());
+      out.insert(out.end(), v.bulk.data(), v.bulk.data() + v.bulk.size());
       append_crlf(out);
       break;
     case Kind::Nil:
@@ -90,12 +91,67 @@ void encode_into(Bytes& out, const Value& v) {
       break;
   }
 }
+
+void frames_into(std::vector<util::Payload>& frames,
+                 util::PayloadBuilder& control, const Value& v) {
+  const auto text = [&control](std::string_view s) {
+    control.append(as_bytes_view(s));
+  };
+  switch (v.kind) {
+    case Kind::Simple:
+      text("+");
+      text(v.text);
+      text("\r\n");
+      break;
+    case Kind::Error:
+      text("-");
+      text(v.text);
+      text("\r\n");
+      break;
+    case Kind::Integer:
+      text(":");
+      text(std::to_string(v.integer));
+      text("\r\n");
+      break;
+    case Kind::Bulk:
+      text("$");
+      text(std::to_string(v.bulk.size()));
+      text("\r\n");
+      if (v.bulk.size() >= kBulkSliceThreshold) {
+        // Flush the control bytes gathered so far, then emit the bulk as a
+        // refcount bump on the caller's payload — the bytes never move.
+        if (control.size() > 0) frames.push_back(control.finish());
+        frames.push_back(v.bulk);
+      } else {
+        control.append(v.bulk.view());
+      }
+      text("\r\n");
+      break;
+    case Kind::Nil:
+      text("$-1\r\n");
+      break;
+    case Kind::Array:
+      text("*");
+      text(std::to_string(v.array.size()));
+      text("\r\n");
+      for (const Value& item : v.array) frames_into(frames, control, item);
+      break;
+  }
+}
 }  // namespace
 
 Bytes encode(const Value& value) {
   Bytes out;
   encode_into(out, value);
   return out;
+}
+
+std::vector<util::Payload> encode_frames(const Value& value) {
+  std::vector<util::Payload> frames;
+  util::PayloadBuilder control;
+  frames_into(frames, control, value);
+  if (control.size() > 0) frames.push_back(control.finish());
+  return frames;
 }
 
 Bytes encode_command(const std::vector<Bytes>& parts) {
@@ -116,23 +172,50 @@ Bytes encode_command(const std::vector<std::string>& parts) {
 // Decoder
 // ---------------------------------------------------------------------------
 
-void Decoder::feed(ByteView data) {
-  buffer_.insert(buffer_.end(), data.begin(), data.end());
-}
-
-void Decoder::compact() {
-  // Reclaim consumed prefix once it dominates the buffer.
-  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
-    buffer_.erase(buffer_.begin(),
-                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+void Decoder::ensure_writable() {
+  if (!buffer_) {
+    buffer_ = std::make_shared<Bytes>();
+    if (reserve_hint_ > 0) buffer_->reserve(reserve_hint_);
+    return;
+  }
+  if (buffer_.use_count() > 1) {
+    // Decoded slices still pin the old buffer. Copy-on-write: move only the
+    // unconsumed tail into a fresh buffer; the slices keep the old one
+    // alive until their payloads drop.
+    auto fresh = std::make_shared<Bytes>();
+    const std::size_t tail = buffer_->size() - consumed_;
+    fresh->reserve(std::max(reserve_hint_, tail));
+    fresh->insert(fresh->end(), buffer_->begin() +
+                                    static_cast<std::ptrdiff_t>(consumed_),
+                  buffer_->end());
+    buffer_ = std::move(fresh);
     consumed_ = 0;
+  } else if (reserve_hint_ > buffer_->capacity()) {
+    buffer_->reserve(reserve_hint_);
   }
 }
 
+void Decoder::feed(ByteView data) {
+  ensure_writable();
+  buffer_->insert(buffer_->end(), data.begin(), data.end());
+}
+
+std::span<std::byte> Decoder::prepare(std::size_t n) {
+  ensure_writable();
+  prepared_base_ = buffer_->size();
+  buffer_->resize(prepared_base_ + n);
+  return {buffer_->data() + prepared_base_, n};
+}
+
+void Decoder::commit(std::size_t used) {
+  buffer_->resize(prepared_base_ + used);
+}
+
 std::optional<std::string> Decoder::read_line(std::size_t& pos) {
-  for (std::size_t i = pos; i + 1 < buffer_.size(); ++i) {
-    if (buffer_[i] == std::byte{'\r'} && buffer_[i + 1] == std::byte{'\n'}) {
-      std::string line(reinterpret_cast<const char*>(buffer_.data() + pos),
+  const Bytes& buf = *buffer_;
+  for (std::size_t i = pos; i + 1 < buf.size(); ++i) {
+    if (buf[i] == std::byte{'\r'} && buf[i + 1] == std::byte{'\n'}) {
+      std::string line(reinterpret_cast<const char*>(buf.data() + pos),
                        i - pos);
       pos = i + 2;
       return line;
@@ -142,8 +225,8 @@ std::optional<std::string> Decoder::read_line(std::size_t& pos) {
 }
 
 std::optional<Value> Decoder::parse(std::size_t& pos) {
-  if (pos >= buffer_.size()) return std::nullopt;
-  const char type = static_cast<char>(buffer_[pos]);
+  if (!buffer_ || pos >= buffer_->size()) return std::nullopt;
+  const char type = static_cast<char>((*buffer_)[pos]);
   std::size_t cursor = pos + 1;
   auto line = read_line(cursor);
   if (!line) return std::nullopt;
@@ -178,10 +261,22 @@ std::optional<Value> Decoder::parse(std::size_t& pos) {
       }
       if (len < 0) throw RespError("resp: negative bulk length");
       const auto n = static_cast<std::size_t>(len);
-      if (buffer_.size() - cursor < n + 2) return std::nullopt;  // need more
-      Value v = Value::bulk_of(ByteView(buffer_.data() + cursor, n));
-      if (buffer_[cursor + n] != std::byte{'\r'} ||
-          buffer_[cursor + n + 1] != std::byte{'\n'})
+      if (buffer_->size() - cursor < n + 2) {
+        // Incomplete bulk: remember how big the buffer must grow so the
+        // next receive reserves once instead of reallocating repeatedly.
+        reserve_hint_ = std::max(reserve_hint_, cursor + n + 2);
+        return std::nullopt;  // need more
+      }
+      const ByteView body(buffer_->data() + cursor, n);
+      // Large bulks become slices of the shared receive buffer (zero
+      // copy); small ones are detached so they don't pin a whole receive
+      // chunk. See kBulkSliceThreshold.
+      Value v = Value::bulk_of(
+          n >= kBulkSliceThreshold
+              ? util::Payload::wrap(buffer_, body.data(), body.size())
+              : util::Payload::copy(body));
+      if ((*buffer_)[cursor + n] != std::byte{'\r'} ||
+          (*buffer_)[cursor + n + 1] != std::byte{'\n'})
         throw RespError("resp: bulk string missing CRLF terminator");
       pos = cursor + n + 2;
       return v;
@@ -213,7 +308,19 @@ std::optional<Value> Decoder::next() {
   auto v = parse(pos);
   if (v) {
     consumed_ = pos;
-    compact();
+    reserve_hint_ = 0;
+    // Recycle only when fully drained: an offset bump per value, one
+    // O(1) reset per burst — never the old quadratic front-erase. If
+    // decoded slices still pin the buffer, drop our reference instead;
+    // the next receive starts a fresh buffer.
+    if (consumed_ == buffer_->size()) {
+      if (buffer_.use_count() == 1) {
+        buffer_->clear();
+      } else {
+        buffer_.reset();
+      }
+      consumed_ = 0;
+    }
   }
   return v;
 }

@@ -8,15 +8,24 @@
 // Supported value kinds: simple strings (+OK), errors (-ERR ...), integers
 // (:N), bulk strings ($N\r\n...), nil ($-1), and arrays (*N ...), which is
 // the complete RESP2 surface a key-value workload touches.
+//
+// Zero-copy framing: bulk payloads are util::Payload. encode_frames()
+// produces a scatter-gather frame list where large bulks appear as
+// refcount-bumped slices of the caller's payload (writev sends them without
+// ever concatenating), and the Decoder returns large bulks as slices of its
+// receive buffer instead of re-materializing them.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
-#include <variant>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/payload.hpp"
 #include "util/types.hpp"
 
 namespace simai::kv::resp {
@@ -28,19 +37,28 @@ class RespError : public Error {
 
 enum class Kind { Simple, Error, Integer, Bulk, Nil, Array };
 
+/// Bulks at or above this size are passed as buffer slices (scatter-gather
+/// on encode, receive-buffer slices on decode). Smaller bulks are copied:
+/// inlining them into the control frame beats an extra iovec entry, and on
+/// decode a detached copy avoids pinning a 64 KiB receive chunk for a
+/// 10-byte value.
+inline constexpr std::size_t kBulkSliceThreshold = 1024;
+
 /// One RESP value (tree for arrays).
 struct Value {
   Kind kind = Kind::Nil;
-  std::string text;          // Simple / Error payload
-  std::int64_t integer = 0;  // Integer payload
-  Bytes bulk;                // Bulk payload
-  std::vector<Value> array;  // Array payload
+  std::string text;           // Simple / Error payload
+  std::int64_t integer = 0;   // Integer payload
+  util::Payload bulk;         // Bulk payload (immutable, refcounted)
+  std::vector<Value> array;   // Array payload
 
   static Value simple(std::string s);
   static Value error(std::string s);
   static Value integer_of(std::int64_t v);
-  static Value bulk_of(ByteView b);
-  static Value bulk_of(std::string_view s) { return bulk_of(as_bytes_view(s)); }
+  /// Takes the payload by value: passing a Payload is a refcount bump,
+  /// passing Bytes/ByteView converts (one copy) at the boundary.
+  static Value bulk_of(util::Payload b);
+  static Value bulk_of(std::string_view s) { return bulk_of(util::Payload(as_bytes_view(s))); }
   static Value nil();
   static Value array_of(std::vector<Value> items);
 
@@ -49,8 +67,15 @@ struct Value {
   std::string bulk_text() const;
 };
 
-/// Serialize a value to wire bytes.
+/// Serialize a value to one contiguous wire buffer (copies bulks; kept for
+/// tests and small control messages — the data path uses encode_frames).
 Bytes encode(const Value& value);
+
+/// Serialize a value as a scatter-gather frame list: control bytes and
+/// small bulks are gathered into builder-backed frames, bulks of at least
+/// kBulkSliceThreshold appear as slices of the original payload. The
+/// concatenation of all frames is byte-identical to encode().
+std::vector<util::Payload> encode_frames(const Value& value);
 
 /// Encode a client command (array of bulk strings): e.g. {"SET", key, value}.
 Bytes encode_command(const std::vector<Bytes>& parts);
@@ -58,24 +83,46 @@ Bytes encode_command(const std::vector<std::string>& parts);
 
 /// Incremental decoder: feed() bytes as they arrive, next() yields complete
 /// values. Handles values split across arbitrary packet boundaries.
+///
+/// The receive buffer is shared (shared_ptr<Bytes>): large decoded bulks
+/// are slices that pin it, and the next feed()/prepare() copies only the
+/// unconsumed tail into a fresh buffer (copy-on-write) so outstanding
+/// slices stay valid. The consumed prefix is tracked as an offset and the
+/// buffer is recycled only when fully drained — no quadratic front-erase.
 class Decoder {
  public:
   void feed(ByteView data);
+
+  /// Zero-copy receive path: prepare(n) exposes a writable tail of the
+  /// receive buffer for recv(2) to fill, commit(used) records how many
+  /// bytes actually arrived. Pairs with Socket::recv_into.
+  std::span<std::byte> prepare(std::size_t n);
+  void commit(std::size_t used);
 
   /// Parse one complete value if available; nullopt if more bytes needed.
   /// Throws RespError on protocol violations.
   std::optional<Value> next();
 
-  std::size_t buffered() const { return buffer_.size() - consumed_; }
+  std::size_t buffered() const {
+    return buffer_ ? buffer_->size() - consumed_ : 0;
+  }
 
  private:
   // Try to parse a value at offset `pos`; on success advance pos past it.
   std::optional<Value> parse(std::size_t& pos);
   std::optional<std::string> read_line(std::size_t& pos);
-  void compact();
+  /// Make buffer_ safe to mutate: allocate it on first use; if decoded
+  /// slices still reference it, move the unconsumed tail into a fresh
+  /// buffer (the copy-on-write step).
+  void ensure_writable();
 
-  Bytes buffer_;
+  std::shared_ptr<Bytes> buffer_;
   std::size_t consumed_ = 0;
+  std::size_t prepared_base_ = 0;
+  // When a partial bulk header has been seen, the total buffer size needed
+  // to complete it — lets ensure_writable() reserve once instead of letting
+  // a 64 MiB bulk grow the buffer through repeated reallocation.
+  std::size_t reserve_hint_ = 0;
 };
 
 }  // namespace simai::kv::resp

@@ -2,11 +2,10 @@
 
 namespace simai::kv {
 
-Bytes IKeyValueStore::get_or_throw(std::string_view key) {
-  Bytes out;
-  if (!get(key, out))
-    throw StoreError("key not found: '" + std::string(key) + "'");
-  return out;
+util::Payload IKeyValueStore::get_or_throw(std::string_view key) {
+  std::optional<util::Payload> p = get(key);
+  if (!p) throw StoreError("key not found: '" + std::string(key) + "'");
+  return std::move(*p);
 }
 
 }  // namespace simai::kv

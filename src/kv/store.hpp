@@ -8,11 +8,13 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/payload.hpp"
 #include "util/types.hpp"
 
 namespace simai::kv {
@@ -26,13 +28,25 @@ class IKeyValueStore {
  public:
   virtual ~IKeyValueStore() = default;
 
-  /// Insert or replace `key`. Implementations must make the new value
-  /// visible atomically: a concurrent get() sees either the old or the new
-  /// value, never a torn one.
-  virtual void put(std::string_view key, ByteView value) = 0;
+  /// Insert or replace `key`. The payload is taken by value: callers that
+  /// hold a Payload hand over a refcount bump, legacy ByteView/Bytes call
+  /// sites convert (one copy) at the boundary. Implementations must make
+  /// the new value visible atomically: a concurrent get() sees either the
+  /// old or the new value, never a torn one.
+  virtual void put(std::string_view key, util::Payload value) = 0;
 
-  /// Fetch `key` into `out`; false if absent (out untouched).
-  virtual bool get(std::string_view key, Bytes& out) = 0;
+  /// Fetch `key`; nullopt if absent. In-memory backends return the stored
+  /// payload itself (a refcount bump, no byte copy).
+  virtual std::optional<util::Payload> get(std::string_view key) = 0;
+
+  /// Compatibility adapter: fetch `key` into `out`; false if absent (out
+  /// untouched). Copies the payload out — legacy callers keep the old cost.
+  bool get(std::string_view key, Bytes& out) {
+    std::optional<util::Payload> p = get(key);
+    if (!p) return false;
+    out = Bytes(p->data(), p->data() + p->size());
+    return true;
+  }
 
   virtual bool exists(std::string_view key) = 0;
 
@@ -49,7 +63,7 @@ class IKeyValueStore {
   virtual void clear() = 0;
 
   /// Convenience: get() that throws StoreError when the key is missing.
-  Bytes get_or_throw(std::string_view key);
+  util::Payload get_or_throw(std::string_view key);
 
   /// Convenience overloads for text values.
   void put_string(std::string_view key, std::string_view value) {

@@ -1,10 +1,13 @@
 #include "net/socket.hpp"
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <climits>
 #include <cstring>
 #include <filesystem>
 
@@ -46,6 +49,43 @@ void Socket::send_all(ByteView data) {
   }
 }
 
+void Socket::send_frames(const std::vector<util::Payload>& frames) {
+  // Build the iovec list once, then advance a cursor over it after partial
+  // writes. IOV_MAX caps a single writev; the outer loop restarts from the
+  // cursor, so any frame count works.
+  std::vector<iovec> iov;
+  iov.reserve(frames.size());
+  for (const util::Payload& f : frames) {
+    if (f.empty()) continue;
+    iovec v;
+    v.iov_base = const_cast<std::byte*>(f.data());
+    v.iov_len = f.size();
+    iov.push_back(v);
+  }
+  std::size_t first = 0;
+  while (first < iov.size()) {
+    const auto count = std::min<std::size_t>(iov.size() - first, IOV_MAX);
+    const ssize_t n =
+        ::writev(fd_, iov.data() + first, static_cast<int>(count));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("writev");
+    }
+    if (n == 0) throw SocketError("writev: connection closed");
+    // Advance past fully written iovecs; trim the partial one in place.
+    auto written = static_cast<std::size_t>(n);
+    while (first < iov.size() && written >= iov[first].iov_len) {
+      written -= iov[first].iov_len;
+      ++first;
+    }
+    if (first < iov.size() && written > 0) {
+      iov[first].iov_base = static_cast<std::byte*>(iov[first].iov_base) +
+                            written;
+      iov[first].iov_len -= written;
+    }
+  }
+}
+
 Bytes Socket::recv_exact(std::size_t n) {
   Bytes out(n);
   std::size_t got = 0;
@@ -71,6 +111,17 @@ Bytes Socket::recv_some(std::size_t n) {
     }
     out.resize(static_cast<std::size_t>(r));
     return out;
+  }
+}
+
+std::size_t Socket::recv_into(std::span<std::byte> out) {
+  while (true) {
+    const ssize_t r = ::recv(fd_, out.data(), out.size(), 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("recv");
+    }
+    return static_cast<std::size_t>(r);
   }
 }
 

@@ -9,9 +9,12 @@
 
 #include <atomic>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "util/error.hpp"
+#include "util/payload.hpp"
 #include "util/types.hpp"
 
 namespace simai::net {
@@ -40,11 +43,22 @@ class Socket {
   void send_all(ByteView data);
   void send_all(std::string_view text) { send_all(as_bytes_view(text)); }
 
+  /// Scatter-gather write: send every frame, in order, without
+  /// concatenating them first (::writev under the hood). The frame list is
+  /// what resp::encode_frames produces — large payloads go straight from
+  /// their owning buffer to the kernel.
+  void send_frames(const std::vector<util::Payload>& frames);
+
   /// Read exactly n bytes; throws SocketError on failure or premature EOF.
   Bytes recv_exact(std::size_t n);
 
   /// Read at most n bytes (one recv call); empty result means orderly EOF.
   Bytes recv_some(std::size_t n);
+
+  /// Read at most out.size() bytes into caller-provided storage (one recv
+  /// call); returns the byte count, 0 on orderly EOF. The zero-copy
+  /// receive path — pairs with resp::Decoder::prepare/commit.
+  std::size_t recv_into(std::span<std::byte> out);
 
  private:
   int fd_ = -1;

@@ -28,4 +28,21 @@ Bytes ByteReader::bytes() {
   return Bytes(v.begin(), v.end());
 }
 
+ByteView ByteReader::bytes_view() {
+  const std::uint64_t n = u64();
+  return take(static_cast<std::size_t>(n));
+}
+
+Payload ByteReader::bytes_payload() {
+  const std::uint64_t n = u64();
+  return raw_payload(static_cast<std::size_t>(n));
+}
+
+Payload ByteReader::raw_payload(std::size_t n) {
+  const std::size_t at = pos_;
+  ByteView v = take(n);
+  if (source_.empty()) return Payload::copy(v);
+  return source_.slice(at, n);
+}
+
 }  // namespace simai::util

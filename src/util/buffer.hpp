@@ -13,6 +13,7 @@
 #include <string_view>
 
 #include "util/error.hpp"
+#include "util/payload.hpp"
 #include "util/types.hpp"
 
 namespace simai::util {
@@ -47,6 +48,8 @@ class ByteWriter {
 
   const Bytes& data() const { return buffer_; }
   Bytes take() { return std::move(buffer_); }
+  /// Adopt the accumulated buffer as an immutable Payload without copying.
+  Payload take_payload() { return Payload::from_bytes(std::move(buffer_)); }
   std::size_t size() const { return buffer_.size(); }
 
  private:
@@ -73,6 +76,13 @@ class ByteWriter {
 class ByteReader {
  public:
   explicit ByteReader(ByteView data) : data_(data) {}
+  // Exact match for Bytes arguments — without it a Bytes would be ambiguous
+  // between the ByteView and Payload converting constructors.
+  explicit ByteReader(const Bytes& data) : data_(ByteView(data)) {}
+  /// Payload-backed reader: bytes_payload()/raw_payload() return O(1)
+  /// slices sharing the payload's owner instead of copies.
+  explicit ByteReader(const Payload& data)
+      : data_(data.view()), source_(data) {}
 
   std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)[0]); }
   std::uint16_t u16() { return read_le<std::uint16_t>(); }
@@ -87,8 +97,15 @@ class ByteReader {
   }
   std::string str();
   Bytes bytes();
+  /// Like bytes(), but borrows: no copy, valid while the source buffer lives.
+  ByteView bytes_view();
+  /// Like bytes(), but returns an owner-sharing slice when this reader was
+  /// constructed over a Payload (falls back to a copy for plain views).
+  Payload bytes_payload();
   /// Read exactly n raw bytes.
   ByteView raw(std::size_t n) { return take(n); }
+  /// Owner-sharing slice of the next n bytes (copy for plain-view readers).
+  Payload raw_payload(std::size_t n);
 
   std::size_t remaining() const { return data_.size() - pos_; }
   bool done() const { return remaining() == 0; }
@@ -113,6 +130,7 @@ class ByteReader {
     return out;
   }
   ByteView data_;
+  Payload source_;  // empty unless constructed from a Payload
   std::size_t pos_ = 0;
 };
 

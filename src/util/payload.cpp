@@ -1,0 +1,51 @@
+#include "util/payload.hpp"
+
+#include <algorithm>
+
+namespace simai::util {
+
+Payload Payload::copy(ByteView view) {
+  return from_bytes(Bytes(view.begin(), view.end()));
+}
+
+Payload Payload::from_bytes(Bytes&& bytes) {
+  if (bytes.empty()) return {};
+  auto holder = std::make_shared<const Bytes>(std::move(bytes));
+  Payload p;
+  p.data_ = holder->data();
+  p.size_ = holder->size();
+  p.owner_ = std::move(holder);
+  return p;
+}
+
+Payload Payload::wrap(std::shared_ptr<const void> owner, const std::byte* data,
+                      std::size_t size) {
+  if (size == 0) return {};
+  Payload p;
+  p.owner_ = std::move(owner);
+  p.data_ = data;
+  p.size_ = size;
+  return p;
+}
+
+Payload Payload::slice(std::size_t offset, std::size_t length) const {
+  offset = std::min(offset, size_);
+  length = std::min(length, size_ - offset);
+  if (length == 0) return {};
+  Payload p;
+  p.owner_ = owner_;
+  p.data_ = data_ + offset;
+  p.size_ = length;
+  return p;
+}
+
+Payload Payload::slice(std::size_t offset) const {
+  return slice(offset, size_ - std::min(offset, size_));
+}
+
+bool operator==(const Payload& a, const Payload& b) {
+  if (a.size() != b.size()) return false;
+  return std::equal(a.data(), a.data() + a.size(), b.data());
+}
+
+}  // namespace simai::util

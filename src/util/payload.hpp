@@ -1,0 +1,103 @@
+// Payload: the zero-copy unit of the data plane.
+//
+// Every staged value, RESP bulk string, stream variable, and kv map entry
+// moves through the transport stack as a Payload: an immutable, refcounted
+// byte buffer (shared owner + pointer/length). Copying a Payload bumps a
+// refcount; slice() yields an O(1) sub-range sharing the same owner; the
+// bytes themselves are `const std::byte` and can never be mutated through
+// any Payload, so hand-offs across threads (Dragon managers, MiniRedis
+// sessions) and across DES processes are safe without defensive copies.
+//
+// Ownership rules (DESIGN.md §4.7):
+//  * from_bytes(Bytes&&) / PayloadBuilder::finish() / ByteWriter::
+//    take_payload() adopt a buffer without copying — the zero-copy entry
+//    points producers should use;
+//  * the implicit ByteView / Bytes& converting constructors COPY — they are
+//    the compatibility shims that let legacy `put(key, ByteView(...))` call
+//    sites keep working, at the old cost;
+//  * view() / data() are borrows: valid while any Payload referencing the
+//    owner lives. to_bytes() is the one explicit copy-out.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "util/types.hpp"
+
+namespace simai::util {
+
+class Payload {
+ public:
+  /// Empty payload (data() == nullptr, size() == 0).
+  Payload() = default;
+
+  // Compatibility shims — implicit on purpose so every pre-zero-copy call
+  // site (`put(key, ByteView(buf))`, `put(key, some_bytes)`) still compiles;
+  // each takes one full copy, exactly what the old interface cost.
+  Payload(ByteView view) : Payload(copy(view)) {}          // NOLINT(runtime/explicit)
+  Payload(const Bytes& bytes) : Payload(copy(ByteView(bytes))) {}  // NOLINT
+  Payload(Bytes&& bytes) : Payload(from_bytes(std::move(bytes))) {}  // NOLINT
+
+  /// Copy `view` into a freshly owned buffer.
+  static Payload copy(ByteView view);
+  /// Adopt `bytes` without copying (the buffer is moved into the owner).
+  static Payload from_bytes(Bytes&& bytes);
+  /// Alias an externally owned range: `owner` keeps [data, data+size) alive.
+  static Payload wrap(std::shared_ptr<const void> owner, const std::byte* data,
+                      std::size_t size);
+
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  ByteView view() const { return {data_, size_}; }
+  /// Implicit borrow: lets ByteView-taking functions accept a Payload. The
+  /// view is valid only while this Payload (or a sharing copy) lives.
+  operator ByteView() const { return view(); }  // NOLINT(runtime/explicit)
+
+  /// O(1) sub-range sharing this payload's owner — no bytes move.
+  Payload slice(std::size_t offset, std::size_t length) const;
+  /// Slice from `offset` to the end.
+  Payload slice(std::size_t offset) const;
+
+  /// Explicit copy-out for callers that need a mutable owned buffer.
+  Bytes to_bytes() const { return Bytes(data_, data_ + size_); }
+
+  /// Owner refcount (0 for an empty/default payload) — exposed for tests.
+  long use_count() const { return owner_.use_count(); }
+
+ private:
+  std::shared_ptr<const void> owner_;
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Content equality (gtest and dedup checks compare stored values).
+bool operator==(const Payload& a, const Payload& b);
+inline bool operator!=(const Payload& a, const Payload& b) { return !(a == b); }
+
+/// Accumulates bytes and finishes into a Payload without a final copy.
+/// Reusable: finish() resets the builder for the next payload.
+class PayloadBuilder {
+ public:
+  PayloadBuilder() = default;
+  explicit PayloadBuilder(std::size_t reserve) { buffer_.reserve(reserve); }
+
+  void reserve(std::size_t n) { buffer_.reserve(n); }
+  void append(ByteView b) { buffer_.insert(buffer_.end(), b.begin(), b.end()); }
+  void append_byte(std::byte b) { buffer_.push_back(b); }
+  std::size_t size() const { return buffer_.size(); }
+
+  /// Adopt the accumulated buffer as an immutable Payload (no copy) and
+  /// reset the builder. Slices of the result outlive the builder.
+  Payload finish() {
+    Payload p = Payload::from_bytes(std::move(buffer_));
+    buffer_.clear();
+    return p;
+  }
+
+ private:
+  Bytes buffer_;
+};
+
+}  // namespace simai::util

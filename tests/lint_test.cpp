@@ -176,6 +176,53 @@ TEST(LintFloatTime, AcceptsDoubleTimeAndNonTimeFloats) {
 }
 
 // ---------------------------------------------------------------------------
+// byte-copy
+// ---------------------------------------------------------------------------
+
+TEST(LintByteCopy, FlagsByValueBytesParameter) {
+  const auto f = lint::lint_source(
+      "void put(std::string_view key, Bytes value);", "src/kv/fixture.hpp");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "byte-copy");
+  EXPECT_NE(f[0].message.find("'value'"), std::string::npos);
+}
+
+TEST(LintByteCopy, FlagsBytesCopyConstruction) {
+  const auto f = lint::lint_source(
+      "void f() { out = Bytes(p->data(), p->data() + p->size()); }",
+      "src/core/fixture.cpp");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "byte-copy");
+}
+
+TEST(LintByteCopy, IgnoresReferencesLocalsAndContainers) {
+  const auto f = lint::lint_source(
+      "void ok(const Bytes& in, Bytes&& sink, std::vector<Bytes> all) {\n"
+      "  Bytes out;\n"
+      "  Bytes sized(16);\n"
+      "  use(in, sink, all, out, sized);\n"
+      "}\n",
+      "src/net/fixture.cpp");
+  EXPECT_TRUE(f.empty()) << f.front().to_string();
+}
+
+TEST(LintByteCopy, OnlyAppliesToDataPlanePaths) {
+  // Same patterns outside src/kv|src/net|src/core (e.g. bench/, tests/)
+  // are legal — the rule polices the transport stack, not the harnesses.
+  const auto f = run("void put(Bytes value); void f() { x = Bytes(a, b); }");
+  EXPECT_TRUE(f.empty()) << f.front().to_string();
+}
+
+TEST(LintByteCopy, AllowlistSuppressesReviewedAdapters) {
+  lint::Allowlist allow;
+  allow.add("byte-copy", "src/kv/store.hpp");
+  const auto f =
+      lint::lint_source("void f() { out = Bytes(p->data(), p->size()); }",
+                        "src/kv/store.hpp", &allow);
+  EXPECT_TRUE(f.empty()) << f.front().to_string();
+}
+
+// ---------------------------------------------------------------------------
 // Comment / literal stripping
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,232 @@
+// util::Payload semantics tests — the ownership contract of the zero-copy
+// data plane (DESIGN.md §4.7).
+//
+// The properties the transport stack leans on: adopting a Bytes never
+// copies, slices alias the parent allocation and keep it alive on their
+// own, payloads outlive every intermediate (builders, stores, engines),
+// and sharing is done through immutable views so refcounted hand-off is
+// race-free by construction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "check/check.hpp"
+#include "kv/memory_store.hpp"
+#include "sim/engine.hpp"
+#include "util/buffer.hpp"
+#include "util/payload.hpp"
+
+using namespace simai;
+using util::Payload;
+using util::PayloadBuilder;
+
+namespace {
+
+Bytes make_seq(std::size_t n, std::uint8_t salt = 0) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b[i] = static_cast<std::byte>((i + salt) & 0xFF);
+  return b;
+}
+
+// -- adoption and copying ---------------------------------------------------
+
+TEST(Payload, FromBytesAdoptsWithoutCopy) {
+  Bytes b = make_seq(4096);
+  const std::byte* origin = b.data();
+  const Payload p = Payload::from_bytes(std::move(b));
+  EXPECT_EQ(p.data(), origin);  // same allocation, no copy
+  EXPECT_EQ(p.size(), 4096u);
+}
+
+TEST(Payload, CopyFactoryAndViewConversionCopy) {
+  const Bytes b = make_seq(64);
+  const Payload p = Payload::copy(ByteView(b));
+  EXPECT_NE(p.data(), b.data());
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), p.view().begin()));
+  // Implicit conversions for legacy call sites: ByteView / const Bytes&
+  // copy, Bytes&& adopts.
+  const Payload from_view = ByteView(b);
+  EXPECT_NE(from_view.data(), b.data());
+  Bytes movable = make_seq(64);
+  const std::byte* origin = movable.data();
+  const Payload adopted = std::move(movable);
+  EXPECT_EQ(adopted.data(), origin);
+}
+
+TEST(Payload, EmptyPayloadHasNoOwner) {
+  const Payload p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_EQ(p.use_count(), 0);
+  EXPECT_TRUE(p == Payload::from_bytes(Bytes{}));
+}
+
+// -- aliasing and immutability ----------------------------------------------
+
+TEST(Payload, CopiesAliasTheSameImmutableBuffer) {
+  const Payload a = Payload::from_bytes(make_seq(1024));
+  const Payload b = a;           // refcount bump
+  const Payload c = a.slice(0);  // whole-buffer slice
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a.data(), c.data());
+  EXPECT_EQ(a.use_count(), 3);
+  // The shared bytes are const all the way down: every accessor hands out
+  // const std::byte — aliasing holders cannot write through each other.
+  static_assert(
+      std::is_same_v<decltype(a.view()), ByteView>,
+      "payload views must be read-only");
+  static_assert(std::is_const_v<std::remove_pointer_t<decltype(a.data())>>,
+                "payload bytes must be immutable");
+}
+
+TEST(Payload, SliceIsZeroCopyAndClamps) {
+  const Payload p = Payload::from_bytes(make_seq(100));
+  const Payload mid = p.slice(10, 20);
+  EXPECT_EQ(mid.size(), 20u);
+  EXPECT_EQ(mid.data(), p.data() + 10);  // aliases, not copies
+  EXPECT_EQ(p.slice(90, 50).size(), 10u);   // length clamped
+  EXPECT_EQ(p.slice(200, 5).size(), 0u);    // offset clamped
+  EXPECT_EQ(p.slice(40).size(), 60u);       // open-ended tail
+}
+
+TEST(Payload, ContentEqualityIgnoresOwnership) {
+  const Payload a = Payload::from_bytes(make_seq(32));
+  const Payload b = Payload::copy(a.view());  // distinct allocation
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == Payload::from_bytes(make_seq(32, 1)));
+  EXPECT_TRUE(a.slice(4, 8) == b.slice(4, 8));
+}
+
+// -- lifetime ---------------------------------------------------------------
+
+TEST(Payload, SliceOutlivesBuilderAndParent) {
+  Payload tail;
+  {
+    PayloadBuilder builder(128);
+    const Bytes b = make_seq(128);
+    builder.append(ByteView(b));
+    const Payload whole = builder.finish();
+    tail = whole.slice(100);
+    // builder and whole die here; tail must keep the allocation alive.
+  }
+  ASSERT_EQ(tail.size(), 28u);
+  EXPECT_EQ(tail.use_count(), 1);
+  for (std::size_t i = 0; i < tail.size(); ++i)
+    EXPECT_EQ(tail.view()[i], static_cast<std::byte>(100 + i));
+}
+
+TEST(Payload, BuilderIsReusableAfterFinish) {
+  PayloadBuilder builder;
+  builder.append(as_bytes_view("first"));
+  const Payload first = builder.finish();
+  EXPECT_EQ(builder.size(), 0u);
+  builder.append(as_bytes_view("second"));
+  const Payload second = builder.finish();
+  EXPECT_EQ(to_string(first.view()), "first");
+  EXPECT_EQ(to_string(second.view()), "second");
+}
+
+TEST(Payload, StoredValueSurvivesEngineAndStoreTeardown) {
+  Payload fetched;
+  {
+    kv::MemoryStore store;
+    sim::Engine engine;
+    engine.spawn("writer", [&](sim::Context&) {
+      store.put("snap", Payload::from_bytes(make_seq(512)));
+    });
+    engine.run();
+    std::optional<Payload> got = store.get("snap");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->use_count(), 2);  // the store and us
+    fetched = std::move(*got);
+    // engine and store tear down here.
+  }
+  ASSERT_EQ(fetched.size(), 512u);
+  EXPECT_EQ(fetched.use_count(), 1);
+  EXPECT_TRUE(fetched == Payload::from_bytes(make_seq(512)));
+}
+
+// -- ByteWriter / ByteReader interop ----------------------------------------
+
+TEST(Payload, TakePayloadAndReaderSlicesShareTheFrame) {
+  util::ByteWriter w;
+  w.u64(7);
+  const Bytes body = make_seq(256);
+  w.bytes(ByteView(body));
+  const Payload frame = w.take_payload();
+
+  Payload decoded;
+  {
+    util::ByteReader r(frame);
+    EXPECT_EQ(r.u64(), 7u);
+    decoded = r.bytes_payload();
+    // frame + decoded + the reader's own source alias.
+    EXPECT_EQ(frame.use_count(), 3);
+  }
+  EXPECT_EQ(decoded.size(), 256u);
+  // Decoding from a Payload-backed reader slices the frame in place.
+  EXPECT_EQ(decoded.data(), frame.data() + 16);
+  EXPECT_EQ(frame.use_count(), 2);
+
+  // bytes_view borrows without adding a holder beyond the reader itself.
+  {
+    util::ByteReader r2(frame);
+    r2.u64();
+    const ByteView borrowed = r2.bytes_view();
+    EXPECT_EQ(borrowed.data(), frame.data() + 16);
+    EXPECT_EQ(frame.use_count(), 3);
+  }
+  EXPECT_EQ(frame.use_count(), 2);
+}
+
+TEST(Payload, ReaderWithoutOwnerFallsBackToCopy) {
+  util::ByteWriter w;
+  const Bytes body = make_seq(32);
+  w.bytes(ByteView(body));
+  const Bytes encoded = w.take();
+  util::ByteReader r{ByteView(encoded)};  // borrowed source, no owner
+  const Payload decoded = r.bytes_payload();
+  EXPECT_TRUE(std::equal(body.begin(), body.end(), decoded.view().begin()));
+  EXPECT_NE(decoded.data(), encoded.data() + 8);  // owned copy, must not dangle
+}
+
+// -- race-detector interaction ----------------------------------------------
+
+// Refcounted hand-off through an instrumented MemoryStore: producer puts,
+// consumer gets after a spawn edge, both keep aliases. The detector must
+// see the store accesses as ordered — payload sharing adds no hidden
+// writes. (tools/check.sh reruns the suite with SIMAI_CHECK=1 and greps
+// for race reports, so this test guards the clean sweep.)
+TEST(Payload, RefcountedHandoffIsRaceFreeUnderDetector) {
+  check::reset();
+  check::set_log_reports(false);
+  check::set_enabled(true);
+  {
+    kv::MemoryStore store;
+    sim::Engine engine;
+    engine.enable_race_detection();
+    Payload producer_alias, consumer_alias;
+    engine.spawn("producer", [&](sim::Context& ctx) {
+      const Payload p = Payload::from_bytes(make_seq(2048));
+      producer_alias = p;
+      store.put("snap", p);
+      ctx.engine().spawn("consumer", [&](sim::Context&) {
+        consumer_alias = *store.get("snap");
+      });
+    });
+    engine.run();
+    EXPECT_EQ(producer_alias.use_count(), 3);  // producer, store, consumer
+    EXPECT_TRUE(producer_alias == consumer_alias);
+  }
+  const auto reports = check::take_reports();
+  check::set_enabled(false);
+  check::reset();
+  check::set_log_reports(true);
+  EXPECT_TRUE(reports.empty());
+}
+
+}  // namespace

@@ -40,6 +40,15 @@ if [ -x build/tools/simai_lint ]; then
   build/tools/simai_lint --allow tools/simai_lint_allow.txt src
 fi
 
+# Payload-plane bench smoke: rerun the copies-per-hop measurement and fail
+# if a data-plane change regressed copies per round trip by more than 25%
+# versus the committed BENCH_payload.json (throughput is machine-dependent
+# and not gated; copy counts are structural and are).
+if [ -x build/bench/bench_payload ] && [ -f BENCH_payload.json ]; then
+  banner "payload-plane bench smoke (copies-per-hop gate)"
+  build/bench/bench_payload --smoke --check BENCH_payload.json
+fi
+
 # Race-report-clean sweep: rerun the default suite with the virtual-time
 # race detector armed. Reports print as 'virtual-time race' warnings; any
 # occurrence outside the detector's own provoked-race tests fails the gate.

@@ -120,6 +120,19 @@ constexpr std::string_view kUnorderedContainers[] = {
     "unordered_multiset",
 };
 
+// Directories forming the zero-copy data plane: payloads there move as
+// refcounted util::Payload or borrowed ByteView, and materializing a Bytes
+// is a per-hop copy the byte-copy rule exists to catch.
+constexpr std::string_view kBytePlanePaths[] = {"src/kv", "src/net",
+                                                "src/core"};
+
+bool on_byte_plane(std::string_view file) {
+  for (std::string_view p : kBytePlanePaths) {
+    if (file.find(p) != std::string_view::npos) return true;
+  }
+  return false;
+}
+
 template <std::size_t N>
 bool one_of(std::string_view text, const std::string_view (&set)[N]) {
   for (std::string_view s : set) {
@@ -227,9 +240,41 @@ void check_tokens(const std::vector<Token>& toks,
     return std::binary_search(unordered_vars.begin(), unordered_vars.end(), name);
   };
 
+  const bool byte_plane = on_byte_plane(file);
+  int paren_depth = 0;
   for (std::size_t i = 0; i < toks.size(); ++i) {
     const Token& t = toks[i];
-    if (!t.ident) continue;
+    if (!t.ident) {
+      if (t.text == "(") ++paren_depth;
+      if (t.text == ")") --paren_depth;
+      continue;
+    }
+
+    // -- byte-copy --------------------------------------------------------
+    // Data-plane files only. Two shapes: `Bytes(` is a copy-construction
+    // (a fresh owned buffer from whatever the arguments borrow), and
+    // `Bytes name` directly inside a parameter list (depth > 0, followed
+    // by ',' or ')') is a by-value parameter — one copy per call. `Bytes&`,
+    // `Bytes&&`, `const Bytes&`, `vector<Bytes>` and local declarations
+    // like `Bytes out;` / `Bytes out(n);` do not match.
+    if (byte_plane && t.text == "Bytes") {
+      const Token* n1 = next_tok(toks, i, 1);
+      const Token* n2 = next_tok(toks, i, 2);
+      if (is(n1, "(")) {
+        out.push_back(
+            {file, t.line, "byte-copy",
+             "'Bytes(...)' materializes a copied buffer on the data plane; "
+             "hand off a util::Payload (refcount) or ByteView (borrow) "
+             "instead"});
+      } else if (paren_depth > 0 && n1 && n1->ident &&
+                 (is(n2, ",") || is(n2, ")"))) {
+        out.push_back(
+            {file, t.line, "byte-copy",
+             "by-value Bytes parameter '" + n1->text +
+                 "' copies the payload at the call boundary; take ByteView, "
+                 "util::Payload, or const Bytes&"});
+      }
+    }
 
     // -- wall-clock -------------------------------------------------------
     if (one_of(t.text, kWallClockIdents)) {

@@ -31,6 +31,11 @@
 //   float-time       a `float` variable whose name says it holds a
 //                    time/latency/duration — SimTime is double; float
 //                    accumulation drifts and breaks substrate parity.
+//   byte-copy        (data-plane files only: src/kv, src/net, src/core)
+//                    a by-value `Bytes` parameter or a `Bytes(...)`
+//                    copy-construction — payloads travel as refcounted
+//                    util::Payload or borrowed ByteView; materializing a
+//                    Bytes buffer is a per-hop copy of the payload.
 #pragma once
 
 #include <string>
