@@ -1,6 +1,16 @@
 #include "core/ai_component.hpp"
 
+#include <optional>
+
 namespace simai::core {
+
+namespace {
+// ScopedSpan clock adapter: reads the current virtual time from the
+// process's Context.
+SimTime ctx_clock(const void* arg) {
+  return static_cast<const sim::Context*>(arg)->now();
+}
+}  // namespace
 
 AiComponent::AiComponent(std::string name, const util::Json& config,
                          std::uint64_t seed)
@@ -68,6 +78,11 @@ SimTime AiComponent::modeled_step_time(std::size_t batch_rows) {
 
 std::optional<double> AiComponent::train_iteration(sim::Context& ctx) {
   const SimTime t_start = ctx.now();
+  // RAII iter span: closed by the ScopedSpan destructor at the then-current
+  // clock, so every exit path records the iteration.
+  std::optional<sim::ScopedSpan> iter_span;
+  if (trace_)
+    iter_span.emplace(*trace_, name_, "iter", t_start, &ctx_clock, &ctx);
   std::optional<double> loss;
 
   if (real_train_) {
@@ -98,7 +113,6 @@ std::optional<double> AiComponent::train_iteration(sim::Context& ctx) {
   ++iterations_;
   const SimTime elapsed = ctx.now() - t_start;
   stats_["iter_time"].add(elapsed);
-  if (trace_) trace_->record_span(name_, "iter", t_start, ctx.now());
   return loss;
 }
 

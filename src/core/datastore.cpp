@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "util/buffer.hpp"
 #include "util/crc32.hpp"
 
@@ -78,6 +80,50 @@ util::Payload DataStore::unwrap_payload(const util::Payload& stored,
   return rest;
 }
 
+void DataStore::obs_record(sim::Context* ctx, bool is_write,
+                           std::string_view key, std::uint64_t nominal,
+                           std::uint64_t retries, SimTime t0) {
+  const std::string backend(platform::backend_name(config_.backend));
+  const char* op = is_write ? "write" : "read";
+  auto& reg = obs::registry();
+  reg.histogram(is_write ? "transport_write_seconds" : "transport_read_seconds",
+                {{"backend", backend}})
+      .observe(ctx->now() - t0);
+  reg.counter("transport_ops_total", {{"backend", backend}, {"op", op}}).inc();
+  reg.counter("transport_bytes_total", {{"backend", backend}, {"op", op}})
+      .inc(static_cast<double>(nominal));
+  if (retries != 0)
+    reg.counter("transport_retries_total", {{"backend", backend}})
+        .inc(static_cast<double>(retries));
+  if (!trace_) return;
+
+  sim::LabeledSpan span;
+  span.track = name_;
+  span.category = is_write ? "stage_write" : "stage_read";
+  span.start = t0;
+  span.end = ctx->now();
+  if (obs::TraceContext* oc = obs::context(ctx->obs_id()))
+    span.span_id = obs::next_span_id(*oc);
+  // Flow hand-off: the writer publishes its span id under (store, key); the
+  // reader of the same key on the same backing store picks it up, and the
+  // Chrome export draws the producer->consumer arrow.
+  if (is_write) {
+    if (span.span_id != 0) {
+      span.flow_id = span.span_id;
+      span.flow_start = true;
+      obs::publish_flow(store_.get(), key, span.flow_id);
+    }
+  } else {
+    span.flow_id = obs::find_flow(store_.get(), key);
+    span.flow_start = false;
+  }
+  span.labels = {{"backend", backend},
+                 {"key", std::string(key)},
+                 {"bytes", std::to_string(nominal)},
+                 {"retries", std::to_string(retries)}};
+  trace_->record_labeled_span(std::move(span));
+}
+
 bool DataStore::retry_pause(sim::Context* ctx, int attempt,
                             SimTime retry_after) {
   const fault::RetryPolicy& policy = config_.retry;
@@ -127,6 +173,9 @@ bool DataStore::stage_write(sim::Context* ctx, std::string_view key,
                             ByteView value,
                             const platform::TransportContext& op_ctx,
                             std::uint64_t nominal_bytes) {
+  const bool observed = obs::enabled() && ctx != nullptr;
+  const SimTime obs_t0 = observed ? ctx->now() : 0.0;
+  const std::uint64_t obs_retries0 = observed ? recovery_.retries : 0;
   std::uint64_t nominal = nominal_bytes;
   const util::Payload wrapped = wrap_payload(value, nominal);
   // Each (re)attempt hands the backend a refcount bump on the same buffer.
@@ -140,6 +189,9 @@ bool DataStore::stage_write(sim::Context* ctx, std::string_view key,
     stats_.write()["write_throughput"].add(static_cast<double>(nominal) / t);
   if (trace_ && ctx)
     trace_->record_instant(name_, "write", ctx->now(), nominal);
+  if (observed)
+    obs_record(ctx, /*is_write=*/true, key, nominal,
+               recovery_.retries - obs_retries0, obs_t0);
   return true;
 }
 
@@ -151,6 +203,9 @@ bool DataStore::stage_read(sim::Context* ctx, std::string_view key,
 bool DataStore::stage_read(sim::Context* ctx, std::string_view key,
                            util::Payload& out,
                            const platform::TransportContext& op_ctx) {
+  const bool observed = obs::enabled() && ctx != nullptr;
+  const SimTime obs_t0 = observed ? ctx->now() : 0.0;
+  const std::uint64_t obs_retries0 = observed ? recovery_.retries : 0;
   bool found = false;
   std::uint64_t nominal = 0;
   util::Payload value;
@@ -173,6 +228,9 @@ bool DataStore::stage_read(sim::Context* ctx, std::string_view key,
   stats_.write()["read_bytes"].add(static_cast<double>(nominal));
   if (t > 0.0) stats_.write()["read_throughput"].add(static_cast<double>(nominal) / t);
   if (trace_ && ctx) trace_->record_instant(name_, "read", ctx->now(), nominal);
+  if (observed)
+    obs_record(ctx, /*is_write=*/false, key, nominal,
+               recovery_.retries - obs_retries0, obs_t0);
   return true;
 }
 

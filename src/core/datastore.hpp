@@ -136,6 +136,13 @@ class DataStore {
   static util::Payload unwrap_payload(const util::Payload& stored,
                                       std::uint64_t& nominal);
 
+  /// Observability plane: record one completed stage op — a labeled span
+  /// [t0, now] into trace_ (backend/key/bytes/retries labels, flow ids for
+  /// write->read hand-off) plus registry metrics. Only called while
+  /// obs::enabled() and inside the DES; never perturbs virtual time.
+  void obs_record(sim::Context* ctx, bool is_write, std::string_view key,
+                  std::uint64_t nominal, std::uint64_t retries, SimTime t0);
+
   /// Run `op`, retrying per config_.retry on TransientStoreError /
   /// IntegrityError. False when attempts are exhausted. Charges timeouts
   /// and backoffs to `ctx` and accumulates recovery_.

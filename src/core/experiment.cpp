@@ -5,6 +5,8 @@
 
 #include "core/stream.hpp"
 #include "kv/memory_store.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace simai::core {
 
@@ -121,6 +123,10 @@ Pattern1Result run_pattern1(const Pattern1Config& config) {
 
   Workflow w;
   w.spawn_order_salt(config.spawn_order_salt);
+  if (obs::enabled()) {
+    obs::registry().set_common_label("pattern", "1");
+    w.set_obs_trace(trace);  // counter samples join the exported timeline
+  }
   std::vector<std::uint64_t> sim_steps(pairs, 0), train_steps(pairs, 0);
 
   for (int p = 0; p < pairs; ++p) {
@@ -245,6 +251,9 @@ Pattern1Result run_pattern1_streaming(const Pattern1Config& config,
   StreamBroker broker(engine, &model, local, queue_limit);
 
   Pattern1Result result;
+  sim::TraceRecorder* trace = config.record_trace ? &result.trace : nullptr;
+  if (obs::enabled()) obs::registry().set_common_label("pattern", "1");
+  broker.set_trace(trace);
   std::vector<std::uint64_t> sim_steps(static_cast<std::size_t>(pairs), 0);
   std::vector<std::uint64_t> train_steps(static_cast<std::size_t>(pairs), 0);
   // Per-pair stat accumulators, merged at the end.
@@ -265,6 +274,7 @@ Pattern1Result run_pattern1_streaming(const Pattern1Config& config,
 
   Workflow w;
   w.spawn_order_salt(config.spawn_order_salt);
+  if (obs::enabled()) w.set_obs_trace(trace);
   for (int p = 0; p < pairs; ++p) {
     const auto idx = static_cast<std::size_t>(p);
     // ---- simulation: publish a step every write_every iterations --------
@@ -442,6 +452,7 @@ Pattern2Result run_pattern2(const Pattern2Config& config) {
 
   Workflow w;
   w.spawn_order_salt(config.spawn_order_salt);
+  if (obs::enabled()) obs::registry().set_common_label("pattern", "2");
   std::vector<std::uint64_t> sim_steps(
       static_cast<std::size_t>(config.num_sims), 0);
   std::uint64_t train_steps = 0;

@@ -1,5 +1,8 @@
 #include "core/report.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
 namespace simai::core {
 
 util::Json stats_to_json(const util::RunningStats& s) {
@@ -37,6 +40,11 @@ util::Json component_to_json(const ComponentStats& c) {
   return j;
 }
 
+util::Json metrics_to_json() {
+  if (!obs::enabled()) return util::Json::object();
+  return obs::registry().to_json();
+}
+
 util::Json report_pattern1(const Pattern1Config& config,
                            const Pattern1Result& result) {
   util::Json j;
@@ -45,6 +53,8 @@ util::Json report_pattern1(const Pattern1Config& config,
   j["makespan_s"] = result.makespan;
   j["sim"] = component_to_json(result.sim);
   j["train"] = component_to_json(result.train);
+  if (obs::enabled() && !obs::registry().empty())
+    j["metrics"] = metrics_to_json();
   return j;
 }
 
@@ -57,6 +67,8 @@ util::Json report_pattern2(const Pattern2Config& config,
   j["train_runtime_per_iter_s"] = result.train_runtime_per_iter;
   j["sim"] = component_to_json(result.sim);
   j["train"] = component_to_json(result.train);
+  if (obs::enabled() && !obs::registry().empty())
+    j["metrics"] = metrics_to_json();
   return j;
 }
 

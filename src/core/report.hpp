@@ -19,6 +19,11 @@ util::Json recovery_to_json(const fault::RecoveryStats& r);
 /// Component record: steps, transport events, iteration/read/write stats.
 util::Json component_to_json(const ComponentStats& c);
 
+/// Snapshot of the armed obs::Registry: canonical series keys mapped to
+/// values (counters/gauges) or histogram objects with p50/p95/p99. Returns
+/// an empty object while the obs plane is disarmed or nothing was recorded.
+util::Json metrics_to_json();
+
 /// Full Pattern-1 report: {"pattern": 1, "config": ..., "makespan": ...,
 /// "sim": {...}, "train": {...}}.
 util::Json report_pattern1(const Pattern1Config& config,

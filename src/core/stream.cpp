@@ -1,6 +1,47 @@
 #include "core/stream.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
 namespace simai::core {
+
+namespace {
+
+// Observability: one completed stream step on either side. Records a
+// labeled span on the acting process's track (publish side starts the flow,
+// consume side finishes it) and the per-stream registry metrics. No-ops
+// are handled by the callers' obs::enabled() gate.
+void obs_record_step(sim::TraceRecorder* trace, sim::Context& ctx,
+                     const std::string& stream, bool publish,
+                     std::uint64_t step, std::uint64_t bytes,
+                     std::uint64_t flow_id, SimTime t0) {
+  const char* side = publish ? "publish" : "consume";
+  auto& reg = obs::registry();
+  reg.histogram(publish ? "stream_publish_seconds" : "stream_consume_seconds",
+                {{"stream", stream}})
+      .observe(ctx.now() - t0);
+  reg.counter("stream_steps_total", {{"stream", stream}, {"side", side}})
+      .inc();
+  if (publish)
+    reg.counter("stream_bytes_total", {{"stream", stream}})
+        .inc(static_cast<double>(bytes));
+  if (!trace) return;
+  sim::LabeledSpan span;
+  span.track = ctx.name();
+  span.category = publish ? "stream_publish" : "stream_consume";
+  span.start = t0;
+  span.end = ctx.now();
+  if (obs::TraceContext* oc = obs::context(ctx.obs_id()))
+    span.span_id = obs::next_span_id(*oc);
+  span.flow_id = flow_id;
+  span.flow_start = publish;
+  span.labels = {{"stream", stream},
+                 {"step", std::to_string(step)},
+                 {"bytes", std::to_string(bytes)}};
+  trace->record_labeled_span(std::move(span));
+}
+
+}  // namespace
 
 std::uint64_t StreamStep::total_nominal() const {
   std::uint64_t total = 0;
@@ -98,9 +139,20 @@ void StreamWriter::end_step(sim::Context& ctx) {
   if (!open_step_)
     throw Error("stream '" + name_ + "': end_step without begin_step");
   StreamBroker::Stream& s = broker_.stream_of(name_, false);
+  const bool observed = obs::enabled();
+  const SimTime obs_t0 = observed ? ctx.now() : 0.0;
+  const std::uint64_t step = open_step_->step_index;
+  const std::uint64_t bytes = open_step_->total_nominal();
+  if (observed) {
+    // Stamp the producer's flow id into the step before it travels — the
+    // consumer's span closes this flow.
+    if (obs::TraceContext* oc = obs::context(ctx.obs_id()))
+      open_step_->flow_id = obs::next_span_id(*oc);
+  }
+  const std::uint64_t flow = open_step_->flow_id;
   // Writer-side transfer cost: the data plane is pipelined, so the
   // producer pays the full step cost on publish...
-  broker_.charge_write(ctx, open_step_->total_nominal());
+  broker_.charge_write(ctx, bytes);
   // The step counter advances before the step is enqueued, so the channel
   // edge covers it and the reader-side check in begin_step holds.
   ++s.published.write();
@@ -109,6 +161,9 @@ void StreamWriter::end_step(sim::Context& ctx) {
   open_step_.reset();
   ++next_step_;
   s.state_change->notify_all();
+  if (observed)
+    obs_record_step(broker_.trace_, ctx, name_, /*publish=*/true, step, bytes,
+                    flow, obs_t0);
 }
 
 void StreamWriter::close(sim::Context&) {
@@ -141,6 +196,8 @@ StepStatus StreamReader::begin_step(sim::Context& ctx, double timeout) {
   if (current_)
     throw Error("stream '" + name_ + "': begin_step with a step open");
   StreamBroker::Stream& s = broker_.stream_of(name_, false);
+  const bool observed = obs::enabled();
+  const SimTime obs_t0 = observed ? ctx.now() : 0.0;
   const SimTime deadline = timeout >= 0 ? ctx.now() + timeout : -1.0;
   while (true) {
     if (auto step = s.queue->try_get()) {
@@ -153,6 +210,12 @@ StepStatus StreamReader::begin_step(sim::Context& ctx, double timeout) {
                     std::to_string(current_->step_index) +
                     " delivered before it was published");
       ++consumed_;
+      // The consume span covers the wait: its start is begin_step entry,
+      // so queue starvation shows up as span length in the trace.
+      if (observed)
+        obs_record_step(broker_.trace_, ctx, name_, /*publish=*/false,
+                        current_->step_index, current_->total_nominal(),
+                        current_->flow_id, obs_t0);
       return StepStatus::Ok;
     }
     // Order matters: already-published steps drain first; then producer

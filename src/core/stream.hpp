@@ -25,6 +25,7 @@
 #include "platform/transport_model.hpp"
 #include "sim/channel.hpp"
 #include "sim/engine.hpp"
+#include "sim/trace.hpp"
 #include "util/payload.hpp"
 #include "util/stats.hpp"
 
@@ -47,6 +48,10 @@ struct StreamStep {
   std::map<std::string, util::Payload, std::less<>> variables;
   std::map<std::string, std::uint64_t, std::less<>> nominal;
   std::uint64_t step_index = 0;
+  /// Observability: the producer's flow id for this step (0 when the obs
+  /// plane is disarmed). Travels with the step so the consumer's span can
+  /// close the Perfetto flow arrow started at publish time.
+  std::uint64_t flow_id = 0;
 
   std::uint64_t total_nominal() const;
 };
@@ -132,6 +137,11 @@ class StreamBroker {
   /// process schedule.)
   const util::StatSeries& stats() const { return stats_.raw(); }
 
+  /// Observability sink: while the obs plane is armed, publish/consume
+  /// spans (with flow events linking each hand-off) land here. Null (the
+  /// default) records metrics only.
+  void set_trace(sim::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   friend class StreamWriter;
   friend class StreamReader;
@@ -158,6 +168,7 @@ class StreamBroker {
   const platform::TransportModel* model_;
   platform::TransportContext transport_;
   std::size_t queue_limit_;
+  sim::TraceRecorder* trace_ = nullptr;
   std::map<std::string, Stream> streams_;
   // Written by writer AND reader processes (step costs land here from both
   // sides), so instrumented: the race detector checks that every pair of

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace simai::core {
@@ -106,6 +108,16 @@ void Workflow::launch(sim::Engine& engine) {
   active_engine_ = &engine;
   for (std::size_t i : order) {
     spawn_ranks(engine, components_[i].get());
+  }
+
+  if (obs::enabled()) {
+    // Snapshot every counter/gauge series at virtual-time intervals; the
+    // samples export as Chrome counter events alongside the timeline.
+    sim::TraceRecorder* sink = obs_trace_ ? obs_trace_ : &trace_;
+    engine.set_metric_sampler(obs::sample_interval(), [sink](SimTime t) {
+      for (const auto& [series, value] : obs::registry().scalar_values())
+        sink->record_counter_sample(series, t, value);
+    });
   }
 
   engine.run();

@@ -119,6 +119,13 @@ class Workflow {
   sim::TraceRecorder& trace() { return trace_; }
   std::size_t component_count() const { return components_.size(); }
 
+  /// Observability sink: while the obs plane is armed, launch() installs a
+  /// virtual-time engine sampler that snapshots obs::Registry scalar series
+  /// into this recorder as counter samples. Defaults to the workflow's own
+  /// trace(); harnesses that expose a separate result trace point it there
+  /// so counter events land in the exported timeline.
+  void set_obs_trace(sim::TraceRecorder* trace) { obs_trace_ = trace; }
+
   /// GraphViz DOT rendering of the dependency DAG (components as nodes,
   /// dependency edges, rank counts and placement types as labels).
   std::string to_dot() const;
@@ -147,6 +154,7 @@ class Workflow {
   std::vector<std::unique_ptr<Component>> components_;
   std::map<std::string, Component*> by_name_;
   sim::TraceRecorder trace_;
+  sim::TraceRecorder* obs_trace_ = nullptr;
   SimTime makespan_ = 0.0;
   std::vector<std::string> completion_order_;
 };

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 
 namespace simai::fault {
@@ -20,12 +22,18 @@ std::uint64_t FaultyStore::check_faults(const char* what) {
   const SimTime t = now();
   if (schedule_->outage_active(t)) {
     ++injected_failures_;
+    if (obs::enabled())
+      obs::registry().counter("fault_injections_total", {{"kind", "outage"}}).inc();
     throw TransientStoreError(
         std::string("fault: store outage during ") + what,
         schedule_->outage_end_after(t));
   }
   if (schedule_->transfer_fails(op)) {
     ++injected_failures_;
+    if (obs::enabled())
+      obs::registry()
+          .counter("fault_injections_total", {{"kind", "transfer"}})
+          .inc();
     throw TransientStoreError(std::string("fault: transfer failure during ") +
                               what);
   }
@@ -53,6 +61,10 @@ std::optional<util::Payload> FaultyStore::get(std::string_view key) {
     clone.back() ^= static_cast<std::byte>(0xFF);
     fetched = util::Payload::from_bytes(std::move(clone));
     ++injected_corruptions_;
+    if (obs::enabled())
+      obs::registry()
+          .counter("fault_injections_total", {{"kind", "corruption"}})
+          .inc();
   }
   return fetched;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/buffer.hpp"
 #include "util/crc32.hpp"
 #include "util/string_util.hpp"
@@ -44,6 +45,7 @@ std::string DaosStore::stripe_key(std::string_view key,
 }
 
 void DaosStore::put(std::string_view key, util::Payload value) {
+  obs::count_kv("daos", "put", value.size());
   const int home = home_target(key);
   const std::size_t stripes = stripe_count(value.size());
   // Write stripes round-robin from the home target, then commit the
@@ -89,6 +91,7 @@ std::optional<util::Payload> DaosStore::get(std::string_view key) {
   if (assembled_size != total)
     throw StoreError("daos: reassembled size mismatch for '" +
                      std::string(key) + "'");
+  obs::count_kv("daos", "get", total);
   // Single-stripe objects (the common case below stripe_bytes) hand the
   // stored stripe straight back — zero copies. Multi-stripe objects must
   // gather into one contiguous buffer.

@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "obs/obs.hpp"
 #include "util/crc32.hpp"
 #include "util/fsutil.hpp"
 #include "util/string_util.hpp"
@@ -77,6 +78,7 @@ fs::path DirStore::path_of(std::string_view key) const {
 }
 
 void DirStore::put(std::string_view key, util::Payload value) {
+  obs::count_kv("filesystem", "put", value.size());
   // Temp-write + atomic rename: the §3.2 protocol (os.replace in Python).
   // Written straight from the payload's view — no staging copy.
   util::atomic_write_file(path_of(key), value.view());
@@ -89,7 +91,9 @@ std::optional<util::Payload> DirStore::get(std::string_view key) {
   try {
     // read_file's buffer is adopted wholesale — the one unavoidable copy
     // on this backend is disk → memory.
-    return util::Payload::from_bytes(util::read_file(p));
+    util::Payload loaded = util::Payload::from_bytes(util::read_file(p));
+    obs::count_kv("filesystem", "get", loaded.size());
+    return loaded;
   } catch (const util::FsError&) {
     // Raced with a concurrent erase between exists() and read.
     return std::nullopt;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/crc32.hpp"
 
 namespace simai::kv {
@@ -79,6 +80,7 @@ DragonDictionary::Response DragonDictionary::call(int manager, Request req) {
 }
 
 void DragonDictionary::put(std::string_view key, util::Payload value) {
+  obs::count_kv("dragon", "put", value.size());
   Request req;
   req.op = OpType::Put;
   req.key = std::string(key);
@@ -92,6 +94,7 @@ std::optional<util::Payload> DragonDictionary::get(std::string_view key) {
   req.key = std::string(key);
   Response resp = call(manager_of(key), std::move(req));
   if (!resp.found) return std::nullopt;
+  obs::count_kv("dragon", "get", resp.value.size());
   return std::move(resp.value);
 }
 

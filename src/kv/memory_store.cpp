@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <mutex>
 
+#include "obs/obs.hpp"
 #include "util/string_util.hpp"
 
 namespace simai::kv {
 
 void MemoryStore::put(std::string_view key, util::Payload value) {
+  obs::count_kv("memory", "put", value.size());
   std::unique_lock lock(mutex_);
   data_.write().insert_or_assign(std::string(key), std::move(value));
 }
@@ -17,6 +19,7 @@ std::optional<util::Payload> MemoryStore::get(std::string_view key) {
   const Map& data = data_.read();
   const auto it = data.find(key);
   if (it == data.end()) return std::nullopt;
+  obs::count_kv("memory", "get", it->second.size());
   return it->second;  // refcount bump, no byte copy
 }
 

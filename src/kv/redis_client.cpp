@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/crc32.hpp"
 
 namespace simai::kv {
@@ -76,6 +77,7 @@ void RedisClient::raise_if_error(const resp::Value& v) {
 }
 
 void RedisClient::put(std::string_view key, util::Payload value) {
+  obs::count_kv("redis", "put", value.size());
   // The value rides as a bulk payload: encode_frames hands large values to
   // writev as a slice of the caller's buffer — no wire-image concatenation.
   std::vector<resp::Value> argv;
@@ -89,6 +91,7 @@ std::optional<util::Payload> RedisClient::get(std::string_view key) {
   resp::Value v = command(std::vector<std::string>{"GET", std::string(key)});
   raise_if_error(v);
   if (v.kind == resp::Kind::Nil) return std::nullopt;
+  obs::count_kv("redis", "get", v.bulk.size());
   // Large replies are slices of the receive buffer — handed through intact.
   return std::move(v.bulk);
 }

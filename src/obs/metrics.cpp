@@ -1,0 +1,189 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace simai::obs {
+
+std::string series_key(std::string_view name, const Labels& labels) {
+  if (labels.empty()) return std::string(name);
+  Labels sorted = labels;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string key(name);
+  key += '{';
+  std::string_view prev_label;
+  bool first = true;
+  for (const auto& [k, v] : sorted) {
+    if (k == prev_label) continue;  // duplicate keys: first occurrence wins
+    prev_label = k;
+    if (!first) key += ',';
+    first = false;
+    key += k;
+    key += "=\"";
+    key += v;
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+BucketHistogram::BucketHistogram() {
+  bounds_.reserve(25);
+  double bound = 1e-6;
+  for (int k = 0; k <= 24; ++k) {
+    bounds_.push_back(bound);
+    bound *= 2.0;
+  }
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+BucketHistogram::BucketHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) throw Error("BucketHistogram: empty bucket bounds");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i] > bounds_[i - 1]))
+      throw Error("BucketHistogram: bounds must be strictly increasing");
+  }
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void BucketHistogram::observe(double value) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value;
+}
+
+double BucketHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target observation, 1-based; p=0 maps to the first.
+  const double rank = std::max(1.0, std::ceil(p / 100.0 * double(count_)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    cumulative += buckets_[i];
+    if (double(cumulative) < rank) continue;
+    if (i == bounds_.size()) return bounds_.back();  // overflow bucket
+    const double hi = bounds_[i];
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const double into = rank - double(cumulative - buckets_[i]);
+    return lo + (hi - lo) * into / double(buckets_[i]);
+  }
+  return bounds_.back();
+}
+
+util::Json BucketHistogram::to_json() const {
+  util::Json j = util::Json::object();
+  j["count"] = count_;
+  j["sum"] = sum_;
+  j["p50"] = percentile(50.0);
+  j["p95"] = percentile(95.0);
+  j["p99"] = percentile(99.0);
+  util::Json::Array sparse;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const double bound =
+        i == bounds_.size() ? std::numeric_limits<double>::max() : bounds_[i];
+    util::Json::Array pair;
+    pair.emplace_back(bound);
+    pair.emplace_back(buckets_[i]);
+    sparse.emplace_back(std::move(pair));
+  }
+  j["buckets"] = std::move(sparse);
+  return j;
+}
+
+Registry::Series& Registry::lookup(std::string_view name, const Labels& labels,
+                                   char kind) {
+  Labels merged = labels;
+  for (const auto& [k, v] : common_) {
+    const bool shadowed =
+        std::any_of(labels.begin(), labels.end(),
+                    [&](const auto& lbl) { return lbl.first == k; });
+    if (!shadowed) merged.emplace_back(k, v);
+  }
+  auto [it, inserted] = series_.try_emplace(series_key(name, merged));
+  Series& s = it->second;
+  if (inserted) {
+    s.kind = kind;
+    if (kind == 'h') s.histogram = std::make_unique<BucketHistogram>();
+  } else if (s.kind != kind) {
+    throw Error("obs::Registry: series '" + it->first +
+                "' already registered with a different metric type");
+  }
+  return s;
+}
+
+Counter& Registry::counter(std::string_view name, const Labels& labels) {
+  return lookup(name, labels, 'c').counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, const Labels& labels) {
+  return lookup(name, labels, 'g').gauge;
+}
+
+BucketHistogram& Registry::histogram(std::string_view name,
+                                     const Labels& labels) {
+  return *lookup(name, labels, 'h').histogram;
+}
+
+BucketHistogram& Registry::histogram(std::string_view name, const Labels& labels,
+                                     std::vector<double> bounds) {
+  Series& s = lookup(name, labels, 'h');
+  if (s.histogram->count() == 0 && !bounds.empty())
+    s.histogram = std::make_unique<BucketHistogram>(std::move(bounds));
+  return *s.histogram;
+}
+
+void Registry::set_common_label(std::string key, std::string value) {
+  for (auto& [k, v] : common_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  common_.emplace_back(std::move(key), std::move(value));
+}
+
+void Registry::clear_common_labels() { common_.clear(); }
+
+void Registry::clear() {
+  series_.clear();
+  common_.clear();
+}
+
+std::vector<std::pair<std::string, double>> Registry::scalar_values() const {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [key, s] : series_) {
+    if (s.kind == 'c')
+      out.emplace_back(key, s.counter.value());
+    else if (s.kind == 'g')
+      out.emplace_back(key, s.gauge.value());
+  }
+  return out;
+}
+
+util::Json Registry::to_json() const {
+  util::Json j = util::Json::object();
+  for (const auto& [key, s] : series_) {
+    switch (s.kind) {
+      case 'c': j[key] = s.counter.value(); break;
+      case 'g': j[key] = s.gauge.value(); break;
+      case 'h': j[key] = s.histogram->to_json(); break;
+      default: break;
+    }
+  }
+  return j;
+}
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace simai::obs

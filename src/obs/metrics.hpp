@@ -1,0 +1,147 @@
+// Labeled metrics for the observability plane: a registry of counters,
+// gauges, and fixed-bucket histograms keyed by (name, labels), in the
+// familiar Prometheus shape — transport_read_seconds{backend="redis"}.
+//
+// Design points:
+//  * Series are stored in a std::map keyed by the canonical series name
+//    (labels sorted by key), so snapshots, JSON exports, and counter-sample
+//    streams enumerate in one deterministic order on every platform.
+//  * Histograms are fixed-bucket (exponential bounds, not raw samples):
+//    percentiles come from linear interpolation inside the landing bucket,
+//    which keeps memory O(buckets) no matter how many observations land and
+//    keeps the export representation stable.
+//  * The registry is process-global (obs::registry()) because the plane is
+//    process-global; obs::reset() clears it between independent runs.
+//
+// Everything here is cheap but not free — callers gate on obs::enabled()
+// (see obs.hpp) so a disarmed run never reaches this file.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace simai::obs {
+
+/// Label set for one series: key/value pairs. Order does not matter at the
+/// call site — series_key() sorts by key when canonicalizing.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical series name: `name{k1="v1",k2="v2"}` with labels sorted by
+/// key (duplicate keys keep the first occurrence), or bare `name` when the
+/// label set is empty. This string is the registry key and the identity
+/// used by counter samples and the trace tools.
+std::string series_key(std::string_view name, const Labels& labels);
+
+/// Monotonically increasing sum.
+class Counter {
+ public:
+  void inc(double delta = 1.0) {
+    if (delta > 0.0) value_ += delta;
+  }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. Default bounds are exponential in seconds —
+/// 1 µs · 2^k for k = 0..24 (1 µs up to ~16.8 s) — sized for transport
+/// latencies; pass explicit bounds for anything else. Observations above
+/// the last bound land in an overflow bucket.
+class BucketHistogram {
+ public:
+  BucketHistogram();
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit BucketHistogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+  /// Approximate percentile (p in [0,100]) by linear interpolation inside
+  /// the bucket containing the target rank. Returns 0.0 when empty; the
+  /// overflow bucket reports the last finite bound.
+  double percentile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+  /// {"count":N,"sum":S,"p50":...,"p95":...,"p99":...,"buckets":[...]}
+  /// Buckets export sparsely as [bound, count] pairs for non-empty buckets.
+  util::Json to_json() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// The (name, labels) -> series registry. Lookup lazily creates a series;
+/// asking for an existing series with a different type throws simai::Error
+/// (a series' identity includes its kind).
+class Registry {
+ public:
+  Counter& counter(std::string_view name, const Labels& labels = {});
+  Gauge& gauge(std::string_view name, const Labels& labels = {});
+  BucketHistogram& histogram(std::string_view name, const Labels& labels = {});
+  BucketHistogram& histogram(std::string_view name, const Labels& labels,
+                             std::vector<double> bounds);
+
+  /// Common labels are stamped onto every series *created* after the call
+  /// (explicit labels win on key collision). run_pattern1/2 use this to tag
+  /// all series with pattern="1"/"2" without threading a label argument
+  /// through the whole data plane.
+  void set_common_label(std::string key, std::string value);
+  void clear_common_labels();
+
+  bool empty() const { return series_.empty(); }
+  std::size_t size() const { return series_.size(); }
+  void clear();
+
+  /// All counter and gauge series as (canonical key, current value), in
+  /// deterministic key order — the engine sampler snapshots this.
+  std::vector<std::pair<std::string, double>> scalar_values() const;
+
+  /// Full snapshot for the run report: an object mapping canonical series
+  /// keys to either a number (counter/gauge) or a histogram object.
+  util::Json to_json() const;
+
+ private:
+  struct Series {
+    char kind = 0;  // 'c' | 'g' | 'h'
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<BucketHistogram> histogram;
+  };
+
+  Series& lookup(std::string_view name, const Labels& labels, char kind);
+
+  std::map<std::string, Series> series_;
+  Labels common_;
+};
+
+/// The process-global registry, armed/cleared with the rest of the plane.
+Registry& registry();
+
+}  // namespace simai::obs

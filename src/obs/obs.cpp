@@ -1,0 +1,137 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+
+namespace simai::obs {
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+// All mutable plane state behind one mutex. The engine runs one logical
+// process at a time, so contention is nil; the lock only matters for the
+// thread substrate, where the previous and next process briefly overlap in
+// real time around a hand-off.
+struct PlaneState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<TraceContext>> contexts;  // id-1 indexed
+  // (backing store instance, key) -> flow id published by the writer.
+  std::map<const void*, std::map<std::string, std::uint64_t, std::less<>>>
+      flows;
+  double sample_interval = 1.0;
+};
+
+PlaneState& state() {
+  static PlaneState s;
+  return s;
+}
+
+// Arm from the environment at static-init time, mirroring SIMAI_CHECK: any
+// value other than "" / "0" turns the plane on for the whole process.
+const bool g_env_armed = [] {
+  const char* env = std::getenv("SIMAI_OBS");
+  const bool armed = env != nullptr && env[0] != '\0' &&
+                     !(env[0] == '0' && env[1] == '\0');
+  if (armed) g_enabled.store(true, std::memory_order_relaxed);
+  if (const char* iv = std::getenv("SIMAI_OBS_INTERVAL")) {
+    const double parsed = std::atof(iv);
+    if (parsed > 0.0) state().sample_interval = parsed;
+  }
+  return armed;
+}();
+
+}  // namespace
+
+void count_kv_impl(std::string_view store, std::string_view op,
+                   std::uint64_t bytes) {
+  Labels labels{{"store", std::string(store)}, {"op", std::string(op)}};
+  registry().counter("kv_ops_total", labels).inc();
+  if (bytes != 0)
+    registry().counter("kv_bytes_total", labels).inc(double(bytes));
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint32_t register_context(const std::string& process_name) {
+  auto ctx = std::make_unique<TraceContext>();
+  // mix64 never returns 0 for the values crc32 produces here, but guard
+  // anyway: 0 is the "no context" sentinel throughout the plane.
+  ctx->trace_id = util::mix64(0x0b5eab1e00000000ull | util::crc32(process_name));
+  if (ctx->trace_id == 0) ctx->trace_id = 1;
+  ctx->process = process_name;
+
+  auto& st = detail::state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.contexts.push_back(std::move(ctx));
+  return static_cast<std::uint32_t>(st.contexts.size());
+}
+
+TraceContext* context(std::uint32_t id) {
+  if (id == 0) return nullptr;
+  auto& st = detail::state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (id > st.contexts.size()) return nullptr;
+  return st.contexts[id - 1].get();
+}
+
+std::uint64_t next_span_id(TraceContext& ctx) {
+  ++ctx.next_seq;
+  std::uint64_t id =
+      util::mix64(ctx.trace_id ^ (0x9E3779B97F4A7C15ull * ctx.next_seq));
+  return id == 0 ? 1 : id;
+}
+
+void publish_flow(const void* store, std::string_view key,
+                  std::uint64_t flow_id) {
+  auto& st = detail::state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.flows[store].insert_or_assign(std::string(key), flow_id);
+}
+
+std::uint64_t find_flow(const void* store, std::string_view key) {
+  auto& st = detail::state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  auto per_store = st.flows.find(store);
+  if (per_store == st.flows.end()) return 0;
+  auto it = per_store->second.find(key);
+  return it == per_store->second.end() ? 0 : it->second;
+}
+
+double sample_interval() {
+  auto& st = detail::state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.sample_interval;
+}
+
+void set_sample_interval(double seconds) {
+  if (seconds <= 0.0) return;
+  auto& st = detail::state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.sample_interval = seconds;
+}
+
+void reset() {
+  auto& st = detail::state();
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.contexts.clear();
+    st.flows.clear();
+    st.sample_interval = 1.0;
+  }
+  registry().clear();
+}
+
+}  // namespace simai::obs

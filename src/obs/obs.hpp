@@ -1,0 +1,112 @@
+// simai::obs — the observability plane: causal tracing + labeled metrics.
+//
+// The paper's whole argument is about *where virtual time goes* — per-backend
+// send/receive latencies as functions of message size and node count (Figs.
+// 3–6). This layer makes those costs observable per run instead of
+// eyeballed from aggregates, with two halves:
+//
+//  * Causal tracing. Every sim::Process carries a TraceContext (a stable
+//    trace id derived from the process name plus a step counter), registered
+//    by the engine when the plane is armed. The data plane — DataStore
+//    stage_write/stage_read, Stream publish/poll — derives child span and
+//    flow ids from that context and records labeled spans into the run's
+//    TraceRecorder. A write→read hand-off on the same key shares a flow id
+//    (published here, looked up by the reader), which the Chrome export
+//    renders as a flow arrow ("s"/"f" events) from the producer's write
+//    span to the consumer's read span.
+//
+//  * Labeled metrics. A process-global Registry (obs/metrics.hpp) of
+//    counters / gauges / fixed-bucket histograms keyed by (name, labels),
+//    e.g. transport_read_seconds{backend="redis",pattern="1"}. The engine
+//    samples scalar series at virtual-time intervals; samples export as
+//    Chrome counter ("C") events and the registry snapshot lands in the run
+//    report's "metrics" section.
+//
+// Determinism contract: ids derive from process names and per-process step
+// counters — never wall clock or addresses — so an armed run produces the
+// byte-identical trace on every execution, and arming the plane never
+// touches virtual time: canonical timeline fingerprints are identical with
+// observability on and off (tests/obs_test.cpp holds this).
+//
+// Cost model (mirrors simai::check): everything is OFF by default; every
+// hook is an inline relaxed-atomic load + branch. Arm per engine with
+// Engine::enable_observability() or process-wide with SIMAI_OBS=1.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace simai::obs {
+
+/// Per-logical-process trace context, carried in the engine's process state
+/// (sim::Process) and reached from operation code via sim::Context::obs_id().
+struct TraceContext {
+  std::uint64_t trace_id = 0;  // stable hash of the process name
+  std::uint64_t next_seq = 0;  // per-process step counter feeding span ids
+  std::string process;         // owning process name (the track label)
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+void count_kv_impl(std::string_view store, std::string_view op,
+                   std::uint64_t bytes);
+}  // namespace detail
+
+/// Fast global switch — the only cost instrumented code pays when off.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Arm/disarm process-wide. SIMAI_OBS=1 in the environment arms the plane
+/// at static-initialization time (any value other than "" / "0").
+void set_enabled(bool on);
+
+/// Register a logical process; returns its context id (0 is "none"). Called
+/// by the engine at spawn time while the plane is armed.
+std::uint32_t register_context(const std::string& process_name);
+
+/// Context for an id from register_context; nullptr for 0 / unknown ids.
+TraceContext* context(std::uint32_t id);
+
+/// Next deterministic span/flow id for a context: a mix of the name-derived
+/// trace id and the per-process step counter. Never 0.
+std::uint64_t next_span_id(TraceContext& ctx);
+
+// -- flow hand-off table ------------------------------------------------------
+//
+// A producer's stage_write publishes its flow id under (store, key); the
+// consumer's stage_read of the same key on the same backing store looks it
+// up and anchors the matching flow-finish event. The store pointer scopes
+// keys to one backing store instance, so concurrent experiments in one
+// process cannot cross-link.
+
+void publish_flow(const void* store, std::string_view key,
+                  std::uint64_t flow_id);
+/// 0 when no producer published this key (e.g. the plane was armed late).
+std::uint64_t find_flow(const void* store, std::string_view key);
+
+// -- kv backend hook ----------------------------------------------------------
+
+/// Count one backend-level store operation into the registry
+/// (kv_ops_total{store,op} / kv_bytes_total{store,op}). Inline no-op while
+/// the plane is disarmed; called by all kv backends.
+inline void count_kv(std::string_view store, std::string_view op,
+                     std::uint64_t bytes = 0) {
+  if (enabled()) detail::count_kv_impl(store, op, bytes);
+}
+
+// -- sampling -----------------------------------------------------------------
+
+/// Virtual-time spacing of engine counter samples (default 1.0 s; override
+/// with SIMAI_OBS_INTERVAL or set_sample_interval).
+double sample_interval();
+void set_sample_interval(double seconds);
+
+/// Drop all plane state (contexts, flow table, metrics registry, interval).
+/// Call between independent runs in one process when deterministic ids and
+/// a fresh registry matter (tests do).
+void reset();
+
+}  // namespace simai::obs

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "check/check.hpp"
+#include "obs/obs.hpp"
 #include "sim/fiber.hpp"
 
 namespace simai::sim {
@@ -148,6 +149,7 @@ Process& Engine::spawn(std::string name, std::function<void(Context&)> body) {
     p.check_id_ = check::register_process(p.name_);
     check::on_spawn(p.check_id_);  // parent = the spawning process, if any
   }
+  if (obs::enabled()) p.obs_id_ = obs::register_context(p.name_);
   schedule(p, now_);
   return p;
 }
@@ -160,6 +162,28 @@ void Engine::enable_race_detection() {
   for (auto& p : processes_) {
     if (p->check_id_ == 0) p->check_id_ = check::register_process(p->name_);
   }
+}
+
+void Engine::enable_observability() {
+  obs::set_enabled(true);
+  // Retroactive registration mirrors enable_race_detection: processes
+  // spawned before the switch still get deterministic trace contexts
+  // (ids derive from names, not registration time).
+  for (auto& p : processes_) {
+    if (p->obs_id_ == 0) p->obs_id_ = obs::register_context(p->name_);
+  }
+}
+
+void Engine::set_metric_sampler(SimTime interval,
+                                std::function<void(SimTime)> fn) {
+  if (interval <= 0.0 || !fn) {
+    sampler_ = nullptr;
+    sampler_interval_ = 0.0;
+    return;
+  }
+  sampler_ = std::move(fn);
+  sampler_interval_ = interval;
+  sampler_next_ = 0.0;
 }
 
 void Engine::schedule(Process& p, SimTime when) {
@@ -248,8 +272,20 @@ void Engine::drain(SimTime t_end) {
     if (top.time > t_end) return;  // leave for a future run_until call
     ready_.pop();
     now_ = std::max(now_, top.time);
+    // Metric sampling runs from the scheduler, between dispatches, so it
+    // observes a consistent registry and cannot perturb process schedules.
+    // At most one sample per clock advance: a jump across several interval
+    // boundaries emits the first missed boundary, then realigns.
+    if (sampler_ && now_ >= sampler_next_) {
+      sampler_(sampler_next_);
+      sampler_next_ =
+          (std::floor(now_ / sampler_interval_) + 1.0) * sampler_interval_;
+    }
     dispatch(*top.process);
   }
+
+  // Final sample at drain time so the last partial interval is covered.
+  if (sampler_) sampler_(now_);
 
   // Nothing runnable. Any live, blocked processes mean deadlock.
   std::string blocked;

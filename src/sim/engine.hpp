@@ -97,6 +97,7 @@ class Process {
   SimTime wake_time_ = 0.0;
   bool kill_requested_ = false;
   std::uint32_t check_id_ = 0;  // race-detector id (simai::check); 0 = off
+  std::uint32_t obs_id_ = 0;    // trace-context id (simai::obs); 0 = off
 };
 
 /// Handle passed to a process body; all blocking operations live here.
@@ -107,6 +108,11 @@ class Context {
   const std::string& name() const { return process_.name(); }
   std::uint64_t pid() const { return process_.id(); }
   Engine& engine() const { return engine_; }
+
+  /// simai::obs trace-context id for this process (0 while the obs plane is
+  /// disarmed). The data plane resolves it via obs::context() to derive
+  /// deterministic span/flow ids; see obs/obs.hpp.
+  std::uint32_t obs_id() const { return process_.obs_id_; }
 
   /// Advance virtual time by dt (>= 0): models compute/transfer occupancy.
   void delay(SimTime dt);
@@ -193,6 +199,22 @@ class Engine {
   /// before run(). Zero cost for engines that never enable it.
   void enable_race_detection();
 
+  /// Arm the simai::obs observability plane for this engine's processes:
+  /// already-spawned and future processes get trace contexts (reachable via
+  /// Context::obs_id()), so the data plane records labeled spans, flow
+  /// events, and registry metrics. Process-wide (flips obs::set_enabled),
+  /// equivalent to running with SIMAI_OBS=1. Call before run(). Zero cost
+  /// for engines that never enable it; never perturbs virtual time.
+  void enable_observability();
+
+  /// Install a virtual-time metric sampler: `fn(t)` runs from the scheduler
+  /// loop (never inside a process) each time the clock reaches a multiple
+  /// of `interval`, plus once more when the run drains, with `t` the sample
+  /// boundary. One sampler per engine; an interval <= 0 removes it. The
+  /// workflow layer uses this to snapshot obs::Registry counters into the
+  /// run's TraceRecorder.
+  void set_metric_sampler(SimTime interval, std::function<void(SimTime)> fn);
+
   /// Create a logical process scheduled to start at the current time.
   /// Safe to call both before run() and from inside a running process.
   Process& spawn(std::string name, std::function<void(Context&)> body);
@@ -238,6 +260,9 @@ class Engine {
   SimTime now_ = 0.0;
   std::uint64_t next_pid_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::function<void(SimTime)> sampler_;
+  SimTime sampler_interval_ = 0.0;
+  SimTime sampler_next_ = 0.0;
   std::binary_semaphore engine_turn_{0};  // thread substrate: process -> engine
   std::exception_ptr pending_error_;
   bool running_ = false;

@@ -25,6 +25,15 @@ void TraceRecorder::record_instant(std::string track, std::string category,
   instants_.push_back({std::move(track), std::move(category), time, bytes});
 }
 
+void TraceRecorder::record_labeled_span(LabeledSpan span) {
+  labeled_spans_.push_back(std::move(span));
+}
+
+void TraceRecorder::record_counter_sample(std::string series, SimTime time,
+                                          double value) {
+  counter_samples_.push_back({std::move(series), time, value});
+}
+
 SimTime TraceRecorder::begin_time() const {
   SimTime t = std::numeric_limits<SimTime>::infinity();
   for (const auto& s : spans_) t = std::min(t, s.start);
@@ -139,6 +148,7 @@ std::string TraceRecorder::to_chrome_json() const {
   };
   for (const auto& s : spans_) track_tid(s.track);
   for (const auto& i : instants_) track_tid(i.track);
+  for (const auto& l : labeled_spans_) track_tid(l.track);
 
   const auto micros = [](SimTime t) { return t * 1e6; };
   util::Json events = util::Json::array();
@@ -194,6 +204,49 @@ std::string TraceRecorder::to_chrome_json() const {
     events.push_back(std::move(e));
   }
 
+  // Observability annotations (armed runs only; the vectors are empty
+  // otherwise). Each labeled span is an "X" slice carrying its labels as
+  // args; spans with a flow id also anchor a flow event at the slice start
+  // so Perfetto draws an arrow from producer write to consumer read. Flow
+  // events pair by (cat, id); "bp":"e" binds the finish to its enclosing
+  // slice instead of the next one.
+  for (const auto& l : labeled_spans_) {
+    const std::int64_t tid = track_tid(l.track);
+    util::Json e;
+    e["ph"] = "X";
+    e["name"] = l.category;
+    e["cat"] = "transport";
+    e["pid"] = 0;
+    e["tid"] = tid;
+    e["ts"] = micros(l.start);
+    e["dur"] = micros(l.end - l.start);
+    e["args"]["span_id"] = static_cast<std::int64_t>(l.span_id);
+    for (const auto& lbl : l.labels) e["args"][lbl.key] = lbl.value;
+    events.push_back(std::move(e));
+    if (l.flow_id == 0) continue;
+    util::Json f;
+    f["ph"] = l.flow_start ? "s" : "f";
+    if (!l.flow_start) f["bp"] = "e";
+    f["name"] = "staged";
+    f["cat"] = "dataflow";
+    f["id"] = static_cast<std::int64_t>(l.flow_id);
+    f["pid"] = 0;
+    f["tid"] = tid;
+    f["ts"] = micros(l.start);
+    events.push_back(std::move(f));
+  }
+  // Scalar-metric samples as counter events. Counters live on pid 0 with no
+  // tid; the series' canonical key (name + labels) is the counter name.
+  for (const auto& c : counter_samples_) {
+    util::Json e;
+    e["ph"] = "C";
+    e["name"] = c.series;
+    e["pid"] = 0;
+    e["ts"] = micros(c.time);
+    e["args"]["value"] = c.value;
+    events.push_back(std::move(e));
+  }
+
   util::Json doc;
   doc["traceEvents"] = std::move(events);
   doc["displayTimeUnit"] = "ms";
@@ -203,6 +256,8 @@ std::string TraceRecorder::to_chrome_json() const {
 void TraceRecorder::clear() {
   spans_.clear();
   instants_.clear();
+  labeled_spans_.clear();
+  counter_samples_.clear();
 }
 
 }  // namespace simai::sim

@@ -31,6 +31,40 @@ struct TraceInstant {
   std::uint64_t bytes = 0;
 };
 
+/// One key/value annotation on a labeled span (backend, key, bytes, ...).
+struct TraceLabel {
+  std::string key;
+  std::string value;
+};
+
+/// Observability annotation: a child span recorded by the transport layer
+/// while the simai::obs plane is armed. Labeled spans live *outside* the
+/// canonical timeline — to_csv()/to_canonical_csv() ignore them, so run
+/// fingerprints are byte-identical whether or not a run was observed.
+/// to_chrome_json() renders them as "X" slices carrying their labels as
+/// args; a span with a nonzero flow id additionally anchors a Perfetto flow
+/// event ("s" when flow_start, else "f") that visually links a producer's
+/// stage_write to the consumer's stage_read of the same key.
+struct LabeledSpan {
+  std::string track;
+  std::string category;  // e.g. "stage_write", "stage_read", "stream_step"
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  std::uint64_t span_id = 0;  // deterministic (obs::next_span_id)
+  std::uint64_t flow_id = 0;  // 0 = not part of a flow
+  bool flow_start = false;    // producer side ("s") vs consumer side ("f")
+  std::vector<TraceLabel> labels;
+};
+
+/// One sample of a scalar metric series, taken by the engine's virtual-time
+/// sampler while the obs plane is armed. Exported as Chrome counter ("C")
+/// events; excluded from the canonical CSVs like LabeledSpan.
+struct CounterSample {
+  std::string series;  // canonical series key, e.g. kv_ops_total{op="put",...}
+  SimTime time = 0.0;
+  double value = 0.0;
+};
+
 class TraceRecorder {
  public:
   void record_span(std::string track, std::string category, SimTime start,
@@ -40,9 +74,20 @@ class TraceRecorder {
                          SimTime start, SimTime end);
   void record_instant(std::string track, std::string category, SimTime time,
                       std::uint64_t bytes = 0);
+  /// Record an observability annotation (see LabeledSpan). Never affects
+  /// the canonical CSV outputs.
+  void record_labeled_span(LabeledSpan span);
+  /// Record one scalar-metric sample (see CounterSample).
+  void record_counter_sample(std::string series, SimTime time, double value);
 
   const std::vector<TraceSpan>& spans() const { return spans_; }
   const std::vector<TraceInstant>& instants() const { return instants_; }
+  const std::vector<LabeledSpan>& labeled_spans() const {
+    return labeled_spans_;
+  }
+  const std::vector<CounterSample>& counter_samples() const {
+    return counter_samples_;
+  }
 
   /// Earliest/latest time across all records (0 if empty).
   SimTime begin_time() const;
@@ -77,17 +122,26 @@ class TraceRecorder {
  private:
   std::vector<TraceSpan> spans_;
   std::vector<TraceInstant> instants_;
+  std::vector<LabeledSpan> labeled_spans_;
+  std::vector<CounterSample> counter_samples_;
 };
 
 /// RAII helper: records a span from construction to destruction using the
-/// provided clock getter.
+/// provided clock getter (`clock(arg)` reads the current virtual time — a
+/// plain function pointer so the header stays free of sim::Context). An
+/// explicit finish(end) first wins; the destructor then records nothing.
 class ScopedSpan {
  public:
   using Clock = SimTime (*)(const void*);
   ScopedSpan(TraceRecorder& rec, std::string track, std::string category,
-             SimTime start)
+             SimTime start, Clock clock = nullptr, const void* clock_arg = nullptr)
       : rec_(rec), track_(std::move(track)), category_(std::move(category)),
-        start_(start) {}
+        start_(start), clock_(clock), clock_arg_(clock_arg) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (!done_ && clock_ != nullptr) finish(clock_(clock_arg_));
+  }
   void finish(SimTime end) {
     if (!done_) {
       rec_.record_span(track_, category_, start_, end);
@@ -100,6 +154,8 @@ class ScopedSpan {
   std::string track_;
   std::string category_;
   SimTime start_;
+  Clock clock_ = nullptr;
+  const void* clock_arg_ = nullptr;
   bool done_ = false;
 };
 

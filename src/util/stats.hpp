@@ -48,7 +48,9 @@ class Histogram {
  public:
   void add(double x);
   std::size_t count() const { return samples_.size(); }
-  /// p in [0,100]; linear interpolation between order statistics.
+  /// p in [0,100]; linear interpolation between order statistics. An empty
+  /// histogram returns 0.0 (documented sentinel, never an out-of-range
+  /// index); a single sample is every percentile.
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
   const std::vector<double>& samples() const { return samples_; }

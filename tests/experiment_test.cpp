@@ -5,6 +5,7 @@
 
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "obs/obs.hpp"
 
 namespace simai::core {
 namespace {
@@ -277,6 +278,61 @@ TEST(Report, Pattern2ReportIsCompleteJson) {
   EXPECT_GT(report.at("train").at("read_time").at("count").as_int(), 0);
   // Round-trips through text (valid JSON).
   EXPECT_EQ(util::Json::parse(report.dump(2)), report);
+}
+
+TEST(Report, Pattern1ReportRoundTripsMetricsAndRecovery) {
+  // An observed run's report must survive a full write -> read cycle: the
+  // new "metrics" section and the existing per-component "recovery" fields
+  // both reparse from the emitted text with values intact.
+  obs::reset();
+  obs::set_enabled(true);
+  Pattern1Config c = small_p1(platform::BackendKind::Redis);
+  c.train_iters = 30;
+  Pattern1Result r = run_pattern1(c);
+  // Recovery stats the way a fault-injected run populates them (the
+  // patterns themselves run fault-free; fault_test drives the injector).
+  r.train.recovery.retries = 3;
+  r.train.recovery.failed_ops = 1;
+  r.train.recovery.recovery_time = 0.125;
+
+  const std::string path = testing::TempDir() + "/simai_obs_report.json";
+  write_report(report_pattern1(c, r), path);
+  const util::Json back = util::Json::parse_file(path);
+  obs::set_enabled(false);
+  obs::reset();
+
+  EXPECT_EQ(back.at("pattern").as_int(), 1);
+  const util::Json& recovery = back.at("train").at("recovery");
+  EXPECT_EQ(recovery.at("retries").as_int(), 3);
+  EXPECT_EQ(recovery.at("failed_ops").as_int(), 1);
+  EXPECT_DOUBLE_EQ(recovery.at("recovery_time_s").as_double(), 0.125);
+  const util::Json& metrics = back.at("metrics");
+  ASSERT_FALSE(metrics.as_object().empty());
+  const util::Json* ops = metrics.find(
+      "transport_ops_total{backend=\"redis\",op=\"write\",pattern=\"1\"}");
+  ASSERT_NE(ops, nullptr);
+  EXPECT_GT(ops->as_double(), 0.0);
+}
+
+TEST(Report, Pattern2ReportRoundTripsMetrics) {
+  obs::reset();
+  obs::set_enabled(true);
+  Pattern2Config c = small_p2(platform::BackendKind::Dragon, 3);
+  const Pattern2Result r = run_pattern2(c);
+  const util::Json report = report_pattern2(c, r);
+  const util::Json back = util::Json::parse(report.dump(2));
+  obs::set_enabled(false);
+  obs::reset();
+
+  EXPECT_EQ(back, report);
+  const util::Json* metrics = back.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  bool saw_pattern2_series = false;
+  for (const auto& [key, value] : metrics->as_object()) {
+    if (key.find("pattern=\"2\"") != std::string::npos)
+      saw_pattern2_series = true;
+  }
+  EXPECT_TRUE(saw_pattern2_series);
 }
 
 TEST(Report, WriteReportCreatesFile) {

@@ -223,6 +223,58 @@ TEST(LintByteCopy, AllowlistSuppressesReviewedAdapters) {
 }
 
 // ---------------------------------------------------------------------------
+// raw-logging
+// ---------------------------------------------------------------------------
+
+TEST(LintRawLogging, FlagsStreamObjectsInLibraryCode) {
+  const auto f = lint::lint_source(
+      "void f() { std::cout << 1; std::cerr << 2; std::clog << 3; }",
+      "src/core/fixture.cpp");
+  EXPECT_EQ(rules_of(f), (std::vector<std::string>{"raw-logging", "raw-logging",
+                                                   "raw-logging"}));
+}
+
+TEST(LintRawLogging, FlagsStdioCalls) {
+  const auto f = lint::lint_source(
+      "void f(FILE* out) {\n"
+      "  printf(\"%d\", 1);\n"
+      "  fprintf(out, \"x\");\n"
+      "  puts(\"y\");\n"
+      "}\n",
+      "src/kv/fixture.cpp");
+  EXPECT_EQ(rules_of(f), (std::vector<std::string>{"raw-logging", "raw-logging",
+                                                   "raw-logging"}));
+}
+
+TEST(LintRawLogging, SnprintfAndMemberPrintfAreLegal) {
+  // snprintf formats into a caller buffer (no I/O); member calls named like
+  // stdio functions belong to their class, not libc.
+  const auto f = lint::lint_source(
+      "void f(char* buf) { snprintf(buf, 8, \"%d\", 1); sink.printf(\"x\"); }",
+      "src/core/fixture.cpp");
+  EXPECT_TRUE(f.empty()) << f.front().to_string();
+}
+
+TEST(LintRawLogging, FormatAttributeIsNotACall) {
+  // __attribute__((format(printf, 1, 2))) mentions `printf` without calling
+  // it — the next token is ',', not '('.
+  const auto f = lint::lint_source(
+      "std::string strformat(const char* fmt, ...) "
+      "__attribute__((format(printf, 1, 2)));",
+      "src/util/fixture.hpp");
+  EXPECT_TRUE(f.empty()) << f.front().to_string();
+}
+
+TEST(LintRawLogging, OnlyAppliesToLibrarySources) {
+  // tools/ CLIs print to stdout by design; util/logging owns the stderr
+  // write; test fixtures outside src/ are unaffected.
+  const char* src = "void f() { std::cout << 1; printf(\"x\"); }";
+  EXPECT_TRUE(lint::lint_source(src, "tools/simai_trace.cpp").empty());
+  EXPECT_TRUE(lint::lint_source(src, "src/util/logging.cpp").empty());
+  EXPECT_TRUE(lint::lint_source(src, "fixture.cpp").empty());
+}
+
+// ---------------------------------------------------------------------------
 // Comment / literal stripping
 // ---------------------------------------------------------------------------
 

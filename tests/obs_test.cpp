@@ -1,0 +1,393 @@
+// simai::obs — observability plane tests.
+//
+// Covers the registry's label semantics, the fixed-bucket histogram math,
+// context/flow id determinism, and — end to end on the mini-apps — the
+// plane's two contracts: armed runs record causal flows + labeled metrics
+// into the Chrome export, and arming the plane never perturbs the canonical
+// timeline fingerprint (spans, instants, virtual time are byte-identical
+// with observability on and off).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace simai {
+namespace {
+
+/// Arms (or disarms) the plane for one test and restores a pristine
+/// disarmed plane afterwards — the registry/flow table are process-global,
+/// so leaking armed state would couple unrelated tests.
+class ObsGuard {
+ public:
+  explicit ObsGuard(bool armed) {
+    obs::reset();
+    obs::set_enabled(armed);
+  }
+  ~ObsGuard() {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+};
+
+core::Pattern1Config small_p1(platform::BackendKind backend) {
+  core::Pattern1Config c;
+  c.backend = backend;
+  c.nodes = 8;
+  c.representative_pairs = 1;
+  c.train_iters = 40;
+  c.payload_bytes = 1258291;
+  c.payload_cap = 4 * KiB;
+  c.sim_init_time = 0.5;
+  c.train_init_time = 1.0;
+  c.record_trace = true;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// series_key
+// ---------------------------------------------------------------------------
+
+TEST(ObsSeriesKey, BareNameWithoutLabels) {
+  EXPECT_EQ(obs::series_key("up", {}), "up");
+}
+
+TEST(ObsSeriesKey, SortsLabelsByKey) {
+  EXPECT_EQ(obs::series_key("x", {{"zz", "1"}, {"aa", "2"}}),
+            "x{aa=\"2\",zz=\"1\"}");
+}
+
+TEST(ObsSeriesKey, DuplicateKeysFirstOccurrenceWins) {
+  EXPECT_EQ(obs::series_key("x", {{"k", "first"}, {"k", "second"}}),
+            "x{k=\"first\"}");
+}
+
+// ---------------------------------------------------------------------------
+// Registry label semantics
+// ---------------------------------------------------------------------------
+
+TEST(ObsRegistry, DistinctLabelsAreDistinctSeries) {
+  obs::Registry reg;
+  reg.counter("ops", {{"backend", "redis"}}).inc();
+  reg.counter("ops", {{"backend", "daos"}}).inc(2.0);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.counter("ops", {{"backend", "redis"}}).value(), 1.0);
+  EXPECT_EQ(reg.counter("ops", {{"backend", "daos"}}).value(), 2.0);
+}
+
+TEST(ObsRegistry, LabelOrderIsNormalized) {
+  obs::Registry reg;
+  reg.counter("ops", {{"a", "1"}, {"b", "2"}}).inc();
+  reg.counter("ops", {{"b", "2"}, {"a", "1"}}).inc();
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.counter("ops", {{"a", "1"}, {"b", "2"}}).value(), 2.0);
+}
+
+TEST(ObsRegistry, CommonLabelsStampNewSeriesAndExplicitWins) {
+  obs::Registry reg;
+  reg.set_common_label("pattern", "1");
+  reg.counter("ops", {{"backend", "redis"}}).inc();
+  reg.counter("ops", {{"pattern", "override"}}).inc();
+  const auto scalars = reg.scalar_values();
+  ASSERT_EQ(scalars.size(), 2u);
+  EXPECT_EQ(scalars[0].first, "ops{backend=\"redis\",pattern=\"1\"}");
+  EXPECT_EQ(scalars[1].first, "ops{pattern=\"override\"}");
+}
+
+TEST(ObsRegistry, TypeMismatchThrows) {
+  obs::Registry reg;
+  reg.counter("latency");
+  EXPECT_THROW(reg.histogram("latency"), Error);
+  EXPECT_THROW(reg.gauge("latency"), Error);
+}
+
+TEST(ObsRegistry, CounterIgnoresNonPositiveDeltas) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("ops");
+  c.inc(5.0);
+  c.inc(0.0);
+  c.inc(-3.0);
+  EXPECT_EQ(c.value(), 5.0);
+}
+
+TEST(ObsRegistry, ScalarValuesAreDeterministicallyOrdered) {
+  obs::Registry reg;
+  reg.counter("zeta").inc();
+  reg.gauge("alpha").set(7.0);
+  reg.histogram("hist").observe(1.0);  // histograms excluded from scalars
+  const auto scalars = reg.scalar_values();
+  ASSERT_EQ(scalars.size(), 2u);
+  EXPECT_EQ(scalars[0].first, "alpha");
+  EXPECT_EQ(scalars[1].first, "zeta");
+}
+
+// ---------------------------------------------------------------------------
+// BucketHistogram
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogram, EmptyPercentileIsZero) {
+  obs::BucketHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  EXPECT_EQ(h.percentile(99.0), 0.0);
+}
+
+TEST(ObsHistogram, SingleObservationIsEveryPercentile) {
+  obs::BucketHistogram h({1.0, 2.0, 4.0});
+  h.observe(1.5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.5);
+  // The sample lands in bucket (1, 2]; interpolation reports the bucket's
+  // upper edge for a single occupant at every percentile.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), h.percentile(99.0));
+  EXPECT_GT(h.percentile(50.0), 1.0);
+  EXPECT_LE(h.percentile(50.0), 2.0);
+}
+
+TEST(ObsHistogram, PercentilesLandInTheRightBuckets) {
+  obs::BucketHistogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 90; ++i) h.observe(0.5);  // bucket (0, 1]
+  for (int i = 0; i < 10; ++i) h.observe(3.0);  // bucket (2, 4]
+  EXPECT_LE(h.percentile(50.0), 1.0);
+  EXPECT_GT(h.percentile(95.0), 2.0);
+  EXPECT_LE(h.percentile(95.0), 4.0);
+}
+
+TEST(ObsHistogram, OverflowReportsLastBound) {
+  obs::BucketHistogram h({1.0, 2.0});
+  h.observe(100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 2.0);
+}
+
+TEST(ObsHistogram, InvalidBoundsThrow) {
+  EXPECT_THROW(obs::BucketHistogram(std::vector<double>{}), Error);
+  EXPECT_THROW(obs::BucketHistogram({1.0, 1.0}), Error);
+  EXPECT_THROW(obs::BucketHistogram({2.0, 1.0}), Error);
+}
+
+TEST(ObsHistogram, JsonSnapshotHasSparseBuckets) {
+  obs::BucketHistogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(0.7);
+  const util::Json j = h.to_json();
+  EXPECT_EQ(j.at("count").as_int(), 2);
+  EXPECT_DOUBLE_EQ(j.at("sum").as_double(), 1.2);
+  ASSERT_EQ(j.at("buckets").as_array().size(), 1u);  // only occupied buckets
+  EXPECT_DOUBLE_EQ(j.at("buckets").at(0).at(0).as_double(), 1.0);
+  EXPECT_EQ(j.at("buckets").at(0).at(1).as_int(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Contexts, span ids, flow table
+// ---------------------------------------------------------------------------
+
+TEST(ObsContext, IdsAreDeterministicFunctionsOfNameAndSequence) {
+  ObsGuard guard(true);
+  const std::uint32_t a = obs::register_context("sim0");
+  const std::uint32_t b = obs::register_context("sim0");
+  ASSERT_NE(a, 0u);
+  ASSERT_NE(b, 0u);
+  EXPECT_NE(a, b);  // distinct registrations, even under one name
+  obs::TraceContext* ca = obs::context(a);
+  obs::TraceContext* cb = obs::context(b);
+  ASSERT_NE(ca, nullptr);
+  ASSERT_NE(cb, nullptr);
+  // Trace ids hash the process name only: same name, same id.
+  EXPECT_EQ(ca->trace_id, cb->trace_id);
+  EXPECT_NE(ca->trace_id, 0u);
+  // Span ids advance a per-context counter; the sequences match exactly.
+  const std::uint64_t s1 = obs::next_span_id(*ca);
+  const std::uint64_t s2 = obs::next_span_id(*ca);
+  EXPECT_NE(s1, 0u);
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(obs::next_span_id(*cb), s1);
+  EXPECT_EQ(obs::next_span_id(*cb), s2);
+}
+
+TEST(ObsContext, ZeroIsTheNullContext) {
+  ObsGuard guard(true);
+  EXPECT_EQ(obs::context(0), nullptr);
+  EXPECT_EQ(obs::context(12345), nullptr);
+}
+
+TEST(ObsFlows, HandOffScopedToStoreInstance) {
+  ObsGuard guard(true);
+  int store_a = 0, store_b = 0;
+  obs::publish_flow(&store_a, "x_0_0", 42);
+  EXPECT_EQ(obs::find_flow(&store_a, "x_0_0"), 42u);
+  // Same key on a different backing store must not cross-link.
+  EXPECT_EQ(obs::find_flow(&store_b, "x_0_0"), 0u);
+  EXPECT_EQ(obs::find_flow(&store_a, "other"), 0u);
+  obs::reset();
+  EXPECT_EQ(obs::find_flow(&store_a, "x_0_0"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: disarmed runs are unobserved, armed runs are fully observed
+// ---------------------------------------------------------------------------
+
+TEST(ObsEndToEnd, DisarmedRunRecordsNothing) {
+  ObsGuard guard(false);
+  const core::Pattern1Result r =
+      core::run_pattern1(small_p1(platform::BackendKind::Redis));
+  EXPECT_TRUE(r.trace.labeled_spans().empty());
+  EXPECT_TRUE(r.trace.counter_samples().empty());
+  EXPECT_TRUE(obs::registry().empty());
+}
+
+TEST(ObsEndToEnd, ArmedRunRecordsFlowsMetricsAndCounterSamples) {
+  ObsGuard guard(true);
+  const core::Pattern1Result r =
+      core::run_pattern1(small_p1(platform::BackendKind::Redis));
+  ASSERT_FALSE(r.trace.labeled_spans().empty());
+
+  // Every write span starts a flow; its reader finishes the same flow id.
+  std::set<std::uint64_t> started, finished;
+  bool saw_backend_label = false;
+  for (const sim::LabeledSpan& s : r.trace.labeled_spans()) {
+    if (s.flow_id == 0) continue;
+    (s.flow_start ? started : finished).insert(s.flow_id);
+    for (const sim::TraceLabel& l : s.labels) {
+      if (l.key == "backend" && l.value == "redis") saw_backend_label = true;
+    }
+  }
+  EXPECT_FALSE(started.empty());
+  EXPECT_FALSE(finished.empty());
+  EXPECT_TRUE(saw_backend_label);
+  for (const std::uint64_t id : finished) EXPECT_TRUE(started.count(id));
+
+  // Labeled metrics: per-backend latency histograms + operation counters,
+  // all stamped with the pattern common label.
+  const util::Json metrics = obs::registry().to_json();
+  const util::Json* write_hist =
+      metrics.find("transport_write_seconds{backend=\"redis\",pattern=\"1\"}");
+  ASSERT_NE(write_hist, nullptr);
+  EXPECT_GT(write_hist->at("count").as_int(), 0);
+  EXPECT_GT(write_hist->at("p50").as_double(), 0.0);
+  const util::Json* read_ops =
+      metrics.find(
+          "transport_ops_total{backend=\"redis\",op=\"read\",pattern=\"1\"}");
+  ASSERT_NE(read_ops, nullptr);
+  EXPECT_GT(read_ops->as_double(), 0.0);
+
+  // The engine sampler fed scalar snapshots into the run's trace.
+  EXPECT_FALSE(r.trace.counter_samples().empty());
+}
+
+TEST(ObsEndToEnd, ChromeExportCarriesFlowAndCounterEvents) {
+  ObsGuard guard(true);
+  const core::Pattern1Result r =
+      core::run_pattern1(small_p1(platform::BackendKind::Redis));
+  const util::Json doc = util::Json::parse(r.trace.to_chrome_json());
+  std::size_t flow_s = 0, flow_f = 0;
+  std::set<std::string> counter_series;
+  for (const util::Json& e : doc.at("traceEvents").as_array()) {
+    const std::string ph = e.get("ph", "");
+    if (ph == "s") ++flow_s;
+    if (ph == "f") ++flow_f;
+    if (ph == "C") counter_series.insert(e.at("name").as_string());
+  }
+  EXPECT_GE(flow_s, 1u);
+  EXPECT_GE(flow_f, 1u);
+  EXPECT_GE(counter_series.size(), 2u);
+}
+
+TEST(ObsEndToEnd, StreamHandOffPropagatesContext) {
+  ObsGuard guard(true);
+  const core::Pattern1Result r =
+      core::run_pattern1_streaming(small_p1(platform::BackendKind::NodeLocal));
+  std::set<std::uint64_t> published, consumed;
+  for (const sim::LabeledSpan& s : r.trace.labeled_spans()) {
+    if (s.category == "stream_publish" && s.flow_id != 0)
+      published.insert(s.flow_id);
+    if (s.category == "stream_consume" && s.flow_id != 0)
+      consumed.insert(s.flow_id);
+  }
+  ASSERT_FALSE(published.empty());
+  ASSERT_FALSE(consumed.empty());
+  // Every consumed step's flow id was minted by its producer.
+  for (const std::uint64_t id : consumed) EXPECT_TRUE(published.count(id));
+}
+
+TEST(ObsEndToEnd, ArmedTraceIsDeterministicAcrossRuns) {
+  std::string first, second;
+  {
+    ObsGuard guard(true);
+    first = core::run_pattern1(small_p1(platform::BackendKind::Redis))
+                .trace.to_chrome_json();
+  }
+  {
+    ObsGuard guard(true);
+    second = core::run_pattern1(small_p1(platform::BackendKind::Redis))
+                 .trace.to_chrome_json();
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(ObsEndToEnd, ArmingNeverChangesTheCanonicalFingerprint) {
+  std::string disarmed, armed;
+  {
+    ObsGuard guard(false);
+    disarmed = core::run_pattern1(small_p1(platform::BackendKind::Redis))
+                   .trace.to_canonical_csv();
+  }
+  {
+    ObsGuard guard(true);
+    armed = core::run_pattern1(small_p1(platform::BackendKind::Redis))
+                .trace.to_canonical_csv();
+  }
+  EXPECT_EQ(disarmed, armed);
+}
+
+TEST(ObsEndToEnd, ArmingNeverChangesPattern2Results) {
+  // The fig6 workload's observable results (virtual times, step and event
+  // counts) must be bit-identical with the plane off and on — observation
+  // never touches the clock.
+  core::Pattern2Config c;
+  c.num_sims = 3;
+  c.ai_reader_ranks = 4;
+  c.train_iters = 40;
+  c.payload_cap = 16 * KiB;
+  core::Pattern2Result off, on;
+  {
+    ObsGuard guard(false);
+    off = core::run_pattern2(c);
+  }
+  {
+    ObsGuard guard(true);
+    on = core::run_pattern2(c);
+  }
+  EXPECT_EQ(off.makespan, on.makespan);
+  EXPECT_EQ(off.train_runtime_per_iter, on.train_runtime_per_iter);
+  EXPECT_EQ(off.sim.steps, on.sim.steps);
+  EXPECT_EQ(off.train.steps, on.train.steps);
+  EXPECT_EQ(off.sim.transport_events, on.sim.transport_events);
+  EXPECT_EQ(off.train.transport_events, on.train.transport_events);
+  EXPECT_EQ(off.sim.iter_time.mean(), on.sim.iter_time.mean());
+  EXPECT_EQ(off.train.iter_time.mean(), on.train.iter_time.mean());
+}
+
+TEST(ObsEndToEnd, ReportGrowsMetricsSectionOnlyWhenArmed) {
+  const core::Pattern1Config c = small_p1(platform::BackendKind::Redis);
+  {
+    ObsGuard guard(false);
+    const core::Pattern1Result r = core::run_pattern1(c);
+    EXPECT_EQ(core::report_pattern1(c, r).find("metrics"), nullptr);
+  }
+  {
+    ObsGuard guard(true);
+    const core::Pattern1Result r = core::run_pattern1(c);
+    const util::Json report = core::report_pattern1(c, r);
+    const util::Json* metrics = report.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_FALSE(metrics->as_object().empty());
+  }
+}
+
+}  // namespace
+}  // namespace simai

@@ -14,6 +14,7 @@
 #include "sim/channel.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
+#include "util/json.hpp"
 
 namespace simai::sim {
 namespace {
@@ -482,9 +483,94 @@ TEST(Trace, AsciiTimelineShowsTracksAndMarks) {
 TEST(Trace, ClearResets) {
   TraceRecorder rec;
   rec.record_span("a", "b", 0, 1);
+  rec.record_labeled_span({});
+  rec.record_counter_sample("s", 0.0, 1.0);
   rec.clear();
   EXPECT_TRUE(rec.spans().empty());
+  EXPECT_TRUE(rec.labeled_spans().empty());
+  EXPECT_TRUE(rec.counter_samples().empty());
   EXPECT_DOUBLE_EQ(rec.end_time(), 0.0);
+}
+
+TEST(Trace, ChromeJsonEscapesHostileNames) {
+  // Track/category names flow into the JSON as user-controlled strings;
+  // quotes, backslashes, and multi-byte UTF-8 must survive a parse round
+  // trip rather than corrupt the document.
+  TraceRecorder rec;
+  const std::string track = "sim \"0\"\\node\tμ-rank";
+  rec.record_span(track, "iter \"a\"", 0.0, 1.0);
+  rec.record_instant(track, "write\\x", 0.5, 64);
+  const std::string json = rec.to_chrome_json();
+  const util::Json doc = util::Json::parse(json);
+  bool saw_track = false, saw_span = false;
+  for (const util::Json& e : doc.at("traceEvents").as_array()) {
+    if (e.get("ph", "") == "M" &&
+        e.at("args").at("name").as_string() == track)
+      saw_track = true;
+    if (e.get("ph", "") == "X" && e.get("name", "") == "iter \"a\"")
+      saw_span = true;
+  }
+  EXPECT_TRUE(saw_track);
+  EXPECT_TRUE(saw_span);
+}
+
+TEST(Trace, ChromeJsonEscapesLabeledSpanPayloads) {
+  TraceRecorder rec;
+  LabeledSpan s;
+  s.track = "store\\\"primary\"";
+  s.category = "stage_write";
+  s.start = 0.0;
+  s.end = 0.5;
+  s.span_id = 1;
+  s.labels = {{"key", "snap\"shot\"_0\\n"}};
+  rec.record_labeled_span(s);
+  const util::Json doc = util::Json::parse(rec.to_chrome_json());
+  bool found = false;
+  for (const util::Json& e : doc.at("traceEvents").as_array()) {
+    if (e.get("ph", "") != "X") continue;
+    if (e.at("args").at("key").as_string() == "snap\"shot\"_0\\n")
+      found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// --------------------------------------------------------------------------
+// ScopedSpan
+// --------------------------------------------------------------------------
+
+namespace scoped_span_clock {
+SimTime fixed(const void* arg) { return *static_cast<const SimTime*>(arg); }
+}  // namespace scoped_span_clock
+
+TEST(ScopedSpanTest, DestructorRecordsAtCurrentClock) {
+  TraceRecorder rec;
+  SimTime now = 1.0;
+  {
+    ScopedSpan span(rec, "sim", "iter", 0.25, &scoped_span_clock::fixed, &now);
+    now = 3.5;  // virtual time advances while the span is open
+  }
+  ASSERT_EQ(rec.spans().size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.spans()[0].start, 0.25);
+  EXPECT_DOUBLE_EQ(rec.spans()[0].end, 3.5);
+}
+
+TEST(ScopedSpanTest, ExplicitFinishWinsOverDestructor) {
+  TraceRecorder rec;
+  SimTime now = 9.0;
+  {
+    ScopedSpan span(rec, "sim", "iter", 0.0, &scoped_span_clock::fixed, &now);
+    span.finish(2.0);
+  }
+  ASSERT_EQ(rec.spans().size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.spans()[0].end, 2.0);
+}
+
+TEST(ScopedSpanTest, NoClockMeansNoImplicitRecord) {
+  // Without a clock the destructor cannot know the end time; only an
+  // explicit finish() records (the pre-RAII contract, still honored).
+  TraceRecorder rec;
+  { ScopedSpan span(rec, "sim", "iter", 0.0); }
+  EXPECT_TRUE(rec.spans().empty());
 }
 
 }  // namespace

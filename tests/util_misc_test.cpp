@@ -104,8 +104,23 @@ TEST(Histogram, Percentiles) {
 }
 
 TEST(Histogram, EmptyReturnsZero) {
+  // Documented sentinel: every percentile of an empty histogram is 0.0 —
+  // never an out-of-range order-statistic index.
   Histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
   EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 0.0);
+  EXPECT_DOUBLE_EQ(h.median(), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsEveryPercentile) {
+  Histogram h;
+  h.add(7.25);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 7.25);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 7.25);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 7.25);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 7.25);
 }
 
 // --------------------------------------------------------------------------

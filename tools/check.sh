@@ -49,6 +49,30 @@ if [ -x build/bench/bench_payload ] && [ -f BENCH_payload.json ]; then
   build/bench/bench_payload --smoke --check BENCH_payload.json
 fi
 
+# Observability plane smoke: verify the trace exporter/analyzer round-trip
+# (simai_trace --self-check), then run the fig2 timeline bench with the obs
+# plane armed (SIMAI_OBS=1) and summarize the emitted Chrome trace. The
+# summary must show at least one matched write->read flow and counter
+# series — the causal-tracing contract of DESIGN.md §4.8.
+if [ -x build/tools/simai_trace ]; then
+  banner "obs plane: simai_trace self-check"
+  build/tools/simai_trace --self-check
+
+  if [ -x build/bench/bench_fig2_timeline ]; then
+    banner "obs plane: SIMAI_OBS=1 fig2 smoke + trace summary"
+    obs_dir=$(mktemp -d)
+    SIMAI_OBS=1 SIMAI_FIG2_DIR="$obs_dir" build/bench/bench_fig2_timeline >/dev/null
+    build/tools/simai_trace summary "$obs_dir/fig2_original.trace.json" \
+      | tee "$obs_dir/summary.txt"
+    if ! grep -Eq 'flows: [1-9][0-9]* start' "$obs_dir/summary.txt"; then
+      echo 'FAIL: armed fig2 trace contains no flow events' >&2
+      rm -rf "$obs_dir"
+      exit 1
+    fi
+    rm -rf "$obs_dir"
+  fi
+fi
+
 # Race-report-clean sweep: rerun the default suite with the virtual-time
 # race detector armed. Reports print as 'virtual-time race' warnings; any
 # occurrence outside the detector's own provoked-race tests fails the gate.

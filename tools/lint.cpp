@@ -120,6 +120,24 @@ constexpr std::string_view kUnorderedContainers[] = {
     "unordered_multiset",
 };
 
+// Raw logging surfaces banned from library code (raw-logging rule): stream
+// objects whose mere mention means unleveled output, and stdio functions
+// that write to a FILE*. snprintf/vsnprintf format into buffers without
+// doing I/O and stay legal.
+constexpr std::string_view kRawStreamIdents[] = {"cout", "cerr", "clog"};
+constexpr std::string_view kRawStdioCalls[] = {
+    "printf", "fprintf", "vprintf", "vfprintf", "puts", "fputs", "putchar",
+};
+
+// The raw-logging rule covers library sources only: tools/ CLIs print to
+// stdout by design, and util/logging is the one reviewed sink that owns the
+// stderr write.
+bool raw_logging_applies(std::string_view file) {
+  return file.find("src/") != std::string_view::npos &&
+         file.find("util/logging") == std::string_view::npos &&
+         file.find("tools/") == std::string_view::npos;
+}
+
 // Directories forming the zero-copy data plane: payloads there move as
 // refcounted util::Payload or borrowed ByteView, and materializing a Bytes
 // is a per-hop copy the byte-copy rule exists to catch.
@@ -345,6 +363,21 @@ void check_tokens(const std::vector<Token>& toks,
             break;
           }
         }
+      }
+    }
+
+    // -- raw-logging ------------------------------------------------------
+    if (raw_logging_applies(file)) {
+      if (one_of(t.text, kRawStreamIdents)) {
+        out.push_back({file, t.line, "raw-logging",
+                       "'std::" + t.text +
+                           "' in library code bypasses util/logging; use "
+                           "SIMAI_LOG so output is leveled and capturable"});
+      } else if (one_of(t.text, kRawStdioCalls) && is_free_call(toks, i)) {
+        out.push_back({file, t.line, "raw-logging",
+                       "call to '" + t.text +
+                           "()' writes raw output from library code; route "
+                           "through util/logging instead"});
       }
     }
 

@@ -36,6 +36,13 @@
 //                    copy-construction — payloads travel as refcounted
 //                    util::Payload or borrowed ByteView; materializing a
 //                    Bytes buffer is a per-hop copy of the payload.
+//   raw-logging      (src/ only, excluding the reviewed sink util/logging)
+//                    bare std::cout/std::cerr/std::clog, or a free call to
+//                    printf/fprintf/vprintf/vfprintf/puts/fputs/putchar —
+//                    library code must log through util/logging so output
+//                    stays leveled, capturable in tests, and silent in
+//                    benchmarks. snprintf (formats to a buffer, no I/O) and
+//                    the tools/ CLIs (stdout IS their interface) are exempt.
 #pragma once
 
 #include <string>

@@ -1,0 +1,264 @@
+// simai_trace: triage CLI for Chrome/Perfetto traces exported by
+// sim::TraceRecorder::to_chrome_json (bench_fig2_timeline, simai_run).
+//
+//   simai_trace summary <trace.json>    per-track occupancy, per-backend
+//                                       latency percentiles, flow/counter
+//                                       inventory
+//   simai_trace diff <a.json> <b.json>  side-by-side latency + counter
+//                                       comparison for regression triage
+//   simai_trace --self-check            round-trip a synthetic recorder
+//                                       through the exporter and verify the
+//                                       analyzer reads it back correctly
+//
+// Exit codes: 0 ok, 1 self-check failure, 2 usage, 3 unreadable/invalid
+// trace JSON.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using simai::util::Json;
+
+struct TrackStats {
+  double busy_s = 0.0;
+  std::uint64_t spans = 0;
+};
+
+struct Analysis {
+  std::map<std::string, TrackStats> tracks;
+  /// Keyed "category backend=<b>" (labeled transport spans) — the
+  /// per-backend latency distributions the paper's figures are built from.
+  std::map<std::string, simai::util::Histogram> latencies;
+  /// Counter series -> (sample count, last value).
+  std::map<std::string, std::pair<std::uint64_t, double>> counters;
+  std::set<std::int64_t> flow_starts;
+  std::set<std::int64_t> flow_finishes;
+  std::uint64_t events = 0;
+  double t_min = std::numeric_limits<double>::infinity();
+  double t_max = 0.0;
+};
+
+Analysis analyze(const Json& doc) {
+  Analysis a;
+  const Json& events = doc.at("traceEvents");
+  // Pass 1: thread_name metadata names the track lanes.
+  std::map<std::int64_t, std::string> track_of;
+  for (const Json& e : events.as_array()) {
+    if (e.get("ph", "") == "M" && e.get("name", "") == "thread_name")
+      track_of[e.at("tid").as_int()] = e.at("args").at("name").as_string();
+  }
+  for (const Json& e : events.as_array()) {
+    ++a.events;
+    const std::string ph = e.get("ph", "");
+    if (ph == "M") continue;
+    if (const Json* ts = e.find("ts")) {
+      const double t = ts->as_double() / 1e6;
+      a.t_min = std::min(a.t_min, t);
+      a.t_max = std::max(a.t_max, t);
+    }
+    if (ph == "X") {
+      const double dur = e.get("dur", 0.0) / 1e6;
+      a.t_max = std::max(a.t_max, e.at("ts").as_double() / 1e6 + dur);
+      const auto it = track_of.find(e.at("tid").as_int());
+      const std::string track =
+          it != track_of.end() ? it->second
+                               : "tid" + std::to_string(e.at("tid").as_int());
+      TrackStats& ts = a.tracks[track];
+      ts.busy_s += dur;
+      ts.spans += 1;
+      // Labeled transport spans carry their backend as an arg.
+      if (const Json* args = e.find("args")) {
+        if (const Json* backend = args->find("backend")) {
+          a.latencies[e.get("name", "?") + " backend=" + backend->as_string()]
+              .add(dur);
+        } else if (args->find("stream") != nullptr) {
+          a.latencies[e.get("name", "?") +
+                      " stream=" + args->at("stream").as_string()]
+              .add(dur);
+        }
+      }
+    } else if (ph == "s") {
+      a.flow_starts.insert(e.at("id").as_int());
+    } else if (ph == "f") {
+      a.flow_finishes.insert(e.at("id").as_int());
+    } else if (ph == "C") {
+      auto& [n, last] = a.counters[e.get("name", "?")];
+      ++n;
+      last = e.at("args").at("value").as_double();
+    }
+  }
+  if (!std::isfinite(a.t_min)) a.t_min = 0.0;
+  return a;
+}
+
+Analysis load(const std::string& path) {
+  return analyze(Json::parse_file(path));
+}
+
+std::string fmt_s(double seconds) {
+  return simai::util::format_seconds(seconds);
+}
+
+void print_latencies(const Analysis& a) {
+  if (a.latencies.empty()) {
+    std::cout << "  (no labeled transport spans — run with SIMAI_OBS=1)\n";
+    return;
+  }
+  for (const auto& [key, hist] : a.latencies) {
+    std::printf("  %-42s n=%-6zu p50=%-10s p95=%-10s p99=%s\n", key.c_str(),
+                hist.count(), fmt_s(hist.percentile(50)).c_str(),
+                fmt_s(hist.percentile(95)).c_str(),
+                fmt_s(hist.percentile(99)).c_str());
+  }
+}
+
+int cmd_summary(const std::string& path) {
+  const Analysis a = load(path);
+  const double wall = std::max(a.t_max - a.t_min, 1e-12);
+  std::cout << "trace: " << path << "\n";
+  std::cout << "events: " << a.events << ", virtual span " << fmt_s(a.t_min)
+            << " .. " << fmt_s(a.t_max) << "\n\n";
+  std::cout << "tracks (occupancy over " << fmt_s(wall) << "):\n";
+  for (const auto& [name, ts] : a.tracks) {
+    std::printf("  %-16s spans=%-8llu busy=%-12s occupancy=%5.1f%%\n",
+                name.c_str(), static_cast<unsigned long long>(ts.spans),
+                fmt_s(ts.busy_s).c_str(), 100.0 * ts.busy_s / wall);
+  }
+  std::cout << "\nper-backend transport latency:\n";
+  print_latencies(a);
+  std::size_t matched = 0;
+  for (const std::int64_t id : a.flow_starts)
+    matched += a.flow_finishes.count(id);
+  std::cout << "\nflows: " << a.flow_starts.size() << " start, "
+            << a.flow_finishes.size() << " finish, " << matched
+            << " matched\n";
+  std::cout << "counters: " << a.counters.size() << " series\n";
+  for (const auto& [series, cv] : a.counters) {
+    std::printf("  %-60s samples=%-6llu last=%.6g\n", series.c_str(),
+                static_cast<unsigned long long>(cv.first), cv.second);
+  }
+  return 0;
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b) {
+  const Analysis a = load(path_a);
+  const Analysis b = load(path_b);
+  std::cout << "A: " << path_a << "\nB: " << path_b << "\n\n";
+  std::cout << "per-backend latency p95 (A -> B):\n";
+  std::set<std::string> keys;
+  for (const auto& [k, h] : a.latencies) keys.insert(k);
+  for (const auto& [k, h] : b.latencies) keys.insert(k);
+  if (keys.empty()) std::cout << "  (no labeled transport spans)\n";
+  for (const std::string& k : keys) {
+    const auto ia = a.latencies.find(k);
+    const auto ib = b.latencies.find(k);
+    const double pa = ia == a.latencies.end() ? 0.0 : ia->second.percentile(95);
+    const double pb = ib == b.latencies.end() ? 0.0 : ib->second.percentile(95);
+    std::string delta = "n/a";
+    if (pa > 0.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%+.1f%%", 100.0 * (pb - pa) / pa);
+      delta = buf;
+    }
+    std::printf("  %-42s %-10s -> %-10s (%s)\n", k.c_str(), fmt_s(pa).c_str(),
+                fmt_s(pb).c_str(), delta.c_str());
+  }
+  std::cout << "\ncounters (last value, A -> B):\n";
+  std::set<std::string> series;
+  for (const auto& [k, v] : a.counters) series.insert(k);
+  for (const auto& [k, v] : b.counters) series.insert(k);
+  if (series.empty()) std::cout << "  (no counter events)\n";
+  for (const std::string& k : series) {
+    const auto ia = a.counters.find(k);
+    const auto ib = b.counters.find(k);
+    const double va = ia == a.counters.end() ? 0.0 : ia->second.second;
+    const double vb = ib == b.counters.end() ? 0.0 : ib->second.second;
+    if (va == vb) continue;  // only differences matter in a diff
+    std::printf("  %-60s %.6g -> %.6g\n", k.c_str(), va, vb);
+  }
+  return 0;
+}
+
+int self_check() {
+  // Synthesize a recorder the way an armed run would fill it, export, and
+  // verify the analyzer reads back exactly what went in.
+  simai::sim::TraceRecorder rec;
+  rec.record_span("sim0", "iter", 0.0, 1.0);
+  rec.record_span("train0", "iter", 1.0, 1.5);
+  simai::sim::LabeledSpan w;
+  w.track = "sim0";
+  w.category = "stage_write";
+  w.start = 1.0;
+  w.end = 1.25;
+  w.span_id = 7;
+  w.flow_id = 7;
+  w.flow_start = true;
+  w.labels = {{"backend", "redis"}, {"key", "x_0_0"}, {"bytes", "1024"}};
+  rec.record_labeled_span(w);
+  simai::sim::LabeledSpan r = w;
+  r.track = "train0";
+  r.category = "stage_read";
+  r.start = 1.5;
+  r.end = 1.75;
+  r.span_id = 9;
+  r.flow_start = false;
+  rec.record_labeled_span(r);
+  rec.record_counter_sample("kv_ops_total{op=\"put\"}", 0.0, 0.0);
+  rec.record_counter_sample("kv_ops_total{op=\"put\"}", 2.0, 5.0);
+
+  const Analysis a = analyze(Json::parse(rec.to_chrome_json()));
+  auto fail = [](const char* what) {
+    std::cerr << "self-check FAILED: " << what << "\n";
+    return 1;
+  };
+  if (a.tracks.size() != 2) return fail("expected 2 tracks");
+  if (a.tracks.at("sim0").spans != 2) return fail("sim0 span count");
+  const auto wkey = a.latencies.find("stage_write backend=redis");
+  if (wkey == a.latencies.end()) return fail("missing write latency series");
+  if (std::abs(wkey->second.percentile(50) - 0.25) > 1e-9)
+    return fail("write p50 mismatch");
+  if (a.flow_starts != std::set<std::int64_t>{7}) return fail("flow start id");
+  if (a.flow_finishes != std::set<std::int64_t>{7})
+    return fail("flow finish id");
+  const auto counter = a.counters.find("kv_ops_total{op=\"put\"}");
+  if (counter == a.counters.end() || counter->second.first != 2 ||
+      counter->second.second != 5.0)
+    return fail("counter samples");
+  std::cout << "simai_trace self-check OK\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: simai_trace summary <trace.json>\n"
+               "       simai_trace diff <a.json> <b.json>\n"
+               "       simai_trace --self-check\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.size() == 1 && args[0] == "--self-check") return self_check();
+    if (args.size() == 2 && args[0] == "summary") return cmd_summary(args[1]);
+    if (args.size() == 3 && args[0] == "diff")
+      return cmd_diff(args[1], args[2]);
+    return usage();
+  } catch (const simai::Error& e) {
+    std::cerr << "simai_trace: " << e.what() << "\n";
+    return 3;
+  }
+}
