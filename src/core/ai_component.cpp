@@ -38,9 +38,10 @@ AiComponent::AiComponent(std::string name, const util::Json& config,
   }
   if (real_train_ && !model_)
     throw ConfigError("ai component: real_train requires a model spec");
-  if (!real_train_ && !run_time_)
+  if (!real_train_ && !run_time_ && !model_)
     throw ConfigError(
-        "ai component: emulation mode requires run_time (or set real_train)");
+        "ai component: emulation mode requires run_time (or set real_train; "
+        "a bare model spec makes an inference-only component)");
 }
 
 void AiComponent::set_comm(net::Communicator* comm, int rank, int nranks) {
@@ -97,6 +98,10 @@ std::optional<double> AiComponent::train_iteration(sim::Context& ctx) {
       ctx.delay(run_time_ ? run_time_->sample(rng_) : 1e-3);
     }
   } else {
+    if (!run_time_)
+      throw ConfigError(
+          "ai component '" + name_ +
+          "' is inference-only (no run_time / real_train): cannot train");
     ctx.delay(run_time_->sample(rng_));
     // Optionally run a real step too (model configured, loader non-empty):
     // keeps the emulation honest without changing the charged time.
@@ -126,6 +131,50 @@ ai::Tensor AiComponent::infer(sim::Context& ctx, const ai::Tensor& x) {
                        static_cast<double>(x.rows());
   ctx.delay(device_.compute_time(flops));
   return trainer_->infer(x);
+}
+
+ai::Tensor AiComponent::infer_batch(sim::Context& ctx,
+                                    const std::vector<const ai::Tensor*>& batch) {
+  ensure_trainer(ctx);
+  if (!trainer_)
+    throw ConfigError("ai component: inference requires a model spec");
+  std::size_t total_rows = 0;
+  const std::size_t cols = batch.empty() ? 0 : batch.front()->cols();
+  for (const ai::Tensor* t : batch) {
+    if (t->cols() != cols)
+      throw ConfigError("ai component: ragged batch (input widths differ)");
+    total_rows += t->rows();
+  }
+  if (total_rows == 0) return ai::Tensor();
+  ai::Tensor stacked(total_rows, cols);
+  std::size_t row = 0;
+  for (const ai::Tensor* t : batch) {
+    for (std::size_t r = 0; r < t->rows(); ++r, ++row)
+      for (std::size_t c = 0; c < cols; ++c) stacked.at(row, c) = t->at(r, c);
+  }
+  // One forward for the whole batch: ~2 * params * rows FLOPs, charged once
+  // — per-request cost amortizes with batch size, which is the continuous-
+  // batching scheduler's entire reason to exist.
+  const double flops = 2.0 *
+                       static_cast<double>(trainer_->model().parameter_count()) *
+                       static_cast<double>(total_rows);
+  ctx.delay(device_.compute_time(flops));
+  return trainer_->infer(stacked);
+}
+
+void AiComponent::load_weights(const std::vector<double>& flat) {
+  if (trainer_)
+    trainer_->model().load_parameters(flat);
+  else if (model_)
+    model_->load_parameters(flat);
+  else
+    throw ConfigError("ai component: load_weights requires a model spec");
+}
+
+std::vector<double> AiComponent::weights() {
+  if (trainer_) return trainer_->model().flatten_parameters();
+  if (model_) return model_->flatten_parameters();
+  throw ConfigError("ai component: weights() requires a model spec");
 }
 
 bool AiComponent::ingest_staged(sim::Context& ctx, std::string_view key,

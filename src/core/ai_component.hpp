@@ -36,6 +36,10 @@ class AiComponent {
   ///   device        "cpu"|"xpu" (modelled time in real mode)
   ///   capacity      data loader sample window (default 4096)
   ///   real_train    true => actually train the MLP each iteration
+  ///
+  /// A config with a model but neither run_time nor real_train is an
+  /// inference-only component (the serving plane's replicas): infer /
+  /// infer_batch work, train_iteration throws ConfigError.
   AiComponent(std::string name, const util::Json& config,
               std::uint64_t seed = 7);
 
@@ -50,6 +54,22 @@ class AiComponent {
 
   /// One inference pass over `x` (real model required).
   ai::Tensor infer(sim::Context& ctx, const ai::Tensor& x);
+
+  /// Batched inference entry point for the serving plane (simai::serve):
+  /// stacks the per-request row blocks into ONE forward pass and charges
+  /// the modelled device time once for the whole batch — the continuous-
+  /// batching payoff. Inputs must share the model's input width; the result
+  /// is the stacked output, rows in input order (callers slice per request).
+  ai::Tensor infer_batch(sim::Context& ctx,
+                         const std::vector<const ai::Tensor*>& batch);
+
+  /// Replace the model parameters from a flat weight vector (a replica
+  /// pulling published weights via the DataStore). Size must match
+  /// parameter_count(); no virtual time is charged — the transport that
+  /// delivered the bytes already was.
+  void load_weights(const std::vector<double>& flat);
+  /// Current parameters as one flat vector (what a publisher stages).
+  std::vector<double> weights();
 
   /// Poll `key`; when present, read it, feed the loader, optionally clean.
   /// Returns true if new data was ingested.

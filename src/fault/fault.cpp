@@ -15,6 +15,7 @@ std::string_view fault_kind_name(FaultKind kind) {
     case FaultKind::LatencySpike: return "spike";
     case FaultKind::TransferFailure: return "transfer-failure";
     case FaultKind::PayloadCorruption: return "corruption";
+    case FaultKind::ReplicaOutage: return "replica-outage";
   }
   return "?";
 }
@@ -27,6 +28,7 @@ constexpr std::uint64_t kOutageSalt = 0x07a6eull;
 constexpr std::uint64_t kSpikeSalt = 0x5b1ce5ull;
 constexpr std::uint64_t kTransferSalt = 0x7a115ull;
 constexpr std::uint64_t kCorruptSalt = 0xc0bb1eull;
+constexpr std::uint64_t kReplicaSalt = 0x5e7f1ull;
 
 /// Poisson window process: arrivals at rate `rate`, exponential durations
 /// with the given mean, clipped to [0, horizon).
@@ -62,6 +64,18 @@ FaultSchedule::FaultSchedule(const FaultSpec& spec) : spec_(spec) {
                      spec.horizon, FaultKind::LatencySpike, node,
                      spec.spike_multiplier, windows_);
   }
+  replica_outages_.resize(static_cast<std::size_t>(std::max(spec.replicas, 0)));
+  for (int r = 0; r < spec.replicas; ++r) {
+    // One independent stream per replica, mirroring the per-node spike
+    // streams: adding replicas never perturbs existing ones.
+    util::Xoshiro256 rng(util::mix64(spec.seed ^ kReplicaSalt) +
+                         static_cast<std::uint64_t>(r));
+    auto& stream = replica_outages_[static_cast<std::size_t>(r)];
+    generate_windows(rng, spec.replica_outage_rate,
+                     spec.replica_outage_mean_duration, spec.horizon,
+                     FaultKind::ReplicaOutage, r, 1.0, stream);
+    windows_.insert(windows_.end(), stream.begin(), stream.end());
+  }
   std::stable_sort(windows_.begin(), windows_.end(),
                    [](const FaultWindow& a, const FaultWindow& b) {
                      return a.start < b.start;
@@ -92,6 +106,39 @@ double FaultSchedule::latency_multiplier(int node, SimTime t) const {
     if (t < w.end) m *= w.multiplier;
   }
   return m;
+}
+
+bool FaultSchedule::replica_down(int replica, SimTime t) const {
+  return replica_outage_end_after(replica, t) > t;
+}
+
+SimTime FaultSchedule::replica_outage_end_after(int replica, SimTime t) const {
+  if (replica < 0 ||
+      static_cast<std::size_t>(replica) >= replica_outages_.size())
+    return t;
+  const auto& stream = replica_outages_[static_cast<std::size_t>(replica)];
+  // Per-replica streams are sorted and non-overlapping, like outages_.
+  auto it = std::upper_bound(
+      stream.begin(), stream.end(), t,
+      [](SimTime v, const FaultWindow& w) { return v < w.start; });
+  if (it == stream.begin()) return t;
+  --it;
+  return t < it->end ? it->end : t;
+}
+
+bool FaultSchedule::replica_down_within(int replica, SimTime t0,
+                                        SimTime t1) const {
+  if (replica < 0 ||
+      static_cast<std::size_t>(replica) >= replica_outages_.size())
+    return false;
+  const auto& stream = replica_outages_[static_cast<std::size_t>(replica)];
+  // First window starting at or after t0, minus one to catch a window that
+  // opened earlier and is still covering t0.
+  auto it = std::upper_bound(
+      stream.begin(), stream.end(), t0,
+      [](SimTime v, const FaultWindow& w) { return v < w.start; });
+  if (it != stream.begin() && std::prev(it)->end > t0) return true;
+  return it != stream.end() && it->start < t1;
 }
 
 bool FaultSchedule::transfer_fails(std::uint64_t op_index) const {

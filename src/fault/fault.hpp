@@ -60,7 +60,8 @@ enum class FaultKind {
   StoreOutage,       // backend rejects every operation inside the window
   LatencySpike,      // one node's transport costs are multiplied
   TransferFailure,   // a single operation is dropped (per-op draw)
-  PayloadCorruption  // a read returns flipped bytes (per-op draw)
+  PayloadCorruption, // a read returns flipped bytes (per-op draw)
+  ReplicaOutage      // one inference replica is down (simai::serve failover)
 };
 
 std::string_view fault_kind_name(FaultKind kind);
@@ -86,6 +87,14 @@ struct FaultSpec {
   /// Per-operation fault probabilities.
   double transfer_failure_prob = 0.0;
   double corruption_prob = 0.0;
+
+  /// Serving-plane replica outages: independent Poisson window streams per
+  /// replica (like spike streams per node), consumed by simai::serve's
+  /// scheduler to trigger batch failover. `node` on the generated windows
+  /// carries the replica index.
+  int replicas = 0;
+  double replica_outage_rate = 0.0;  // windows per replica per virtual second
+  SimTime replica_outage_mean_duration = 0.5;
 };
 
 /// One generated fault window on the virtual timeline.
@@ -121,6 +130,18 @@ class FaultSchedule {
   bool transfer_fails(std::uint64_t op_index) const;
   bool corrupts(std::uint64_t op_index) const;
 
+  /// Serving-plane hook: true when a ReplicaOutage window for `replica`
+  /// covers virtual time `t` — the scheduler skips the replica and the
+  /// replica fails any batch in flight across the window's start.
+  bool replica_down(int replica, SimTime t) const;
+  /// End of the outage window covering (replica, t); == `t` when none is
+  /// active, so failover loops can sleep exactly until the replica returns.
+  SimTime replica_outage_end_after(int replica, SimTime t) const;
+  /// True when any outage window for `replica` intersects [t0, t1) — how a
+  /// replica detects that it died while a batch was in flight (including
+  /// windows that open and close entirely inside the compute span).
+  bool replica_down_within(int replica, SimTime t0, SimTime t1) const;
+
   /// Canonical textual form of the whole timeline; two schedules are
   /// identical iff their to_string() matches (the determinism tests and
   /// bench_resilience compare exactly this).
@@ -140,6 +161,8 @@ class FaultSchedule {
   FaultSpec spec_;
   std::vector<FaultWindow> windows_;  // sorted by start time
   std::vector<FaultWindow> outages_;  // the StoreOutage subset, sorted
+  /// ReplicaOutage windows, one sorted non-overlapping stream per replica.
+  std::vector<std::vector<FaultWindow>> replica_outages_;
 };
 
 }  // namespace simai::fault

@@ -56,6 +56,7 @@ void BucketHistogram::observe(double value) {
   ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
   ++count_;
   sum_ += value;
+  if (count_ == 1 || value > max_) max_ = value;
 }
 
 double BucketHistogram::percentile(double p) const {
@@ -68,13 +69,16 @@ double BucketHistogram::percentile(double p) const {
     if (buckets_[i] == 0) continue;
     cumulative += buckets_[i];
     if (double(cumulative) < rank) continue;
-    if (i == bounds_.size()) return bounds_.back();  // overflow bucket
-    const double hi = bounds_[i];
+    // The overflow bucket's true extent is [last bound, max observation]:
+    // interpolating inside it (instead of clamping to the lower edge) keeps
+    // p99-style queries honest when the tail spills past the bounds.
+    const double hi =
+        i == bounds_.size() ? std::max(max_, bounds_.back()) : bounds_[i];
     const double lo = i == 0 ? 0.0 : bounds_[i - 1];
     const double into = rank - double(cumulative - buckets_[i]);
     return lo + (hi - lo) * into / double(buckets_[i]);
   }
-  return bounds_.back();
+  return std::max(max_, bounds_.back());
 }
 
 util::Json BucketHistogram::to_json() const {
@@ -184,6 +188,17 @@ util::Json Registry::to_json() const {
 Registry& registry() {
   static Registry r;
   return r;
+}
+
+std::vector<double> serve_latency_bounds() {
+  std::vector<double> bounds;
+  bounds.reserve(20);
+  double bound = 50e-6;
+  for (int k = 0; k <= 19; ++k) {
+    bounds.push_back(bound);
+    bound *= 2.0;
+  }
+  return bounds;
 }
 
 }  // namespace simai::obs

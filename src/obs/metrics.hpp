@@ -74,12 +74,19 @@ class BucketHistogram {
 
   void observe(double value);
 
+  /// Observations so far / their sum — count()/sum() make mean and rate
+  /// computations possible without reading the bucket array.
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
+  /// Largest observation so far (0.0 when empty). Bounds the overflow
+  /// bucket so top-percentile queries stay finite and meaningful.
+  double max() const { return count_ ? max_ : 0.0; }
 
   /// Approximate percentile (p in [0,100]) by linear interpolation inside
-  /// the bucket containing the target rank. Returns 0.0 when empty; the
-  /// overflow bucket reports the last finite bound.
+  /// the bucket containing the target rank. Returns 0.0 when empty. Ranks
+  /// landing in the overflow bucket interpolate between the last finite
+  /// bound and the largest observation (the bucket's true extent) instead
+  /// of clamping to the bucket's lower edge.
   double percentile(double p) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
@@ -95,6 +102,7 @@ class BucketHistogram {
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
+  double max_ = 0.0;
 };
 
 /// The (name, labels) -> series registry. Lookup lazily creates a series;
@@ -143,5 +151,35 @@ class Registry {
 
 /// The process-global registry, armed/cleared with the rest of the plane.
 Registry& registry();
+
+// -- serving-plane series (simai::serve, DESIGN.md §4.9) ----------------------
+//
+// Canonical metric names shared between the serving subsystem and the trace
+// tools, so keys never drift between producer and consumer. Label keys:
+//   serve_requests_total{status}            status = completed | rejected
+//   serve_request_latency_seconds{backend}  end-to-end, arrival -> response
+//   serve_phase_seconds{phase}              phase = queue | batch | compute
+//                                                   | transport
+//   serve_batch_rows                        rows per dispatched batch
+//   serve_failovers_total                   batches re-queued off a dead
+//                                           replica
+//   serve_weight_refreshes_total            replica weight re-pulls
+//   serve_queue_depth                       gauge, sampled by the engine
+namespace keys {
+inline constexpr std::string_view kServeRequestsTotal = "serve_requests_total";
+inline constexpr std::string_view kServeRequestLatency =
+    "serve_request_latency_seconds";
+inline constexpr std::string_view kServePhaseSeconds = "serve_phase_seconds";
+inline constexpr std::string_view kServeBatchRows = "serve_batch_rows";
+inline constexpr std::string_view kServeFailoversTotal = "serve_failovers_total";
+inline constexpr std::string_view kServeWeightRefreshesTotal =
+    "serve_weight_refreshes_total";
+inline constexpr std::string_view kServeQueueDepth = "serve_queue_depth";
+}  // namespace keys
+
+/// Histogram bounds sized for request-serving latencies: 50 µs · 2^k for
+/// k = 0..19 (50 µs up to ~26 s). The transport default (1 µs base) wastes
+/// its resolution below any plausible request latency.
+std::vector<double> serve_latency_bounds();
 
 }  // namespace simai::obs

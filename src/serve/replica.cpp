@@ -1,0 +1,204 @@
+#include "serve/replica.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "serve/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "util/buffer.hpp"
+#include "util/error.hpp"
+
+namespace simai::serve {
+
+util::Payload pack_weights(std::uint64_t version,
+                           const std::vector<double>& flat) {
+  util::ByteWriter w(2 * sizeof(std::uint64_t) + flat.size() * sizeof(double));
+  w.u64(version);
+  w.u64(flat.size());
+  for (double v : flat) w.f64(v);
+  return w.take_payload();
+}
+
+std::uint64_t unpack_weights(const util::Payload& payload,
+                             std::vector<double>& flat) {
+  util::ByteReader r(payload);
+  const std::uint64_t version = r.u64();
+  const std::uint64_t count = r.u64();
+  if (count * sizeof(double) != r.remaining())
+    throw util::SerializationError("weights payload: bad parameter count");
+  flat.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) flat[i] = r.f64();
+  return version;
+}
+
+ReplicaServer::ReplicaServer(sim::Engine& engine, ReplicaConfig config,
+                             core::DataStore* store, Scheduler* scheduler,
+                             sim::TraceRecorder* trace)
+    : config_(std::move(config)),
+      store_(store),
+      scheduler_(scheduler),
+      trace_(trace),
+      ai_(config_.name, config_.model, config_.seed),
+      mail_(engine) {
+  if (store_ == nullptr || scheduler_ == nullptr)
+    throw ConfigError("ReplicaServer: store and scheduler are required");
+  ai_.set_datastore(store_);
+}
+
+void ReplicaServer::enqueue(sim::Context& ctx, Batch batch) {
+  (void)ctx;
+  if (busy_) throw Error("ReplicaServer: dispatched to a busy replica");
+  busy_ = true;
+  mailbox_.push_back(std::move(batch));
+  mail_.notify_all();
+}
+
+void ReplicaServer::shutdown(sim::Context& ctx) {
+  (void)ctx;
+  stop_ = true;
+  mail_.notify_all();
+}
+
+bool ReplicaServer::pull_weights(sim::Context& ctx) {
+  util::Payload payload;
+  if (!store_->stage_read(&ctx, config_.weights_key, payload)) return false;
+  std::vector<double> flat;
+  std::uint64_t version = 0;
+  try {
+    version = unpack_weights(payload, flat);
+    ai_.load_weights(flat);
+  } catch (const util::SerializationError&) {
+    return false;  // corrupted in transit: treat like a degraded read
+  }
+  if (weight_version_ != 0 && version != weight_version_) {
+    ++weight_refreshes_;
+    if (obs::enabled())
+      obs::registry().counter(obs::keys::kServeWeightRefreshesTotal).inc();
+  }
+  weight_version_ = version;
+  return true;
+}
+
+bool ReplicaServer::died_within(SimTime t0, SimTime t1) const {
+  return config_.faults != nullptr &&
+         config_.faults->replica_down_within(config_.index, t0, t1);
+}
+
+void ReplicaServer::run(sim::Context& ctx) {
+  // Startup: the model is served only after the published weights arrive
+  // through the transport (the paper's weight-distribution leg).
+  while (!stop_) {
+    if (store_->poll_staged_data(&ctx, config_.weights_key) &&
+        pull_weights(ctx))
+      break;
+    ctx.delay(config_.poll_interval);
+  }
+  if (stop_) return;
+  busy_ = false;
+  scheduler_->notify_idle(ctx);
+
+  while (true) {
+    while (mailbox_.empty() && !stop_) ctx.wait(mail_);
+    if (mailbox_.empty()) return;  // stop requested and drained
+    Batch batch = std::move(mailbox_.front());
+    mailbox_.pop_front();
+    serve_batch(ctx, batch);
+  }
+}
+
+void ReplicaServer::serve_batch(sim::Context& ctx, Batch& batch) {
+  const SimTime t0 = ctx.now();
+  bool ok = true;
+
+  // Weight refresh: the publisher bumped the version since our last pull.
+  if (published_version_ != nullptr && *published_version_ > weight_version_)
+    ok = pull_weights(ctx);
+
+  // Input transport: zero-copy reads of every request payload.
+  std::vector<ai::Tensor> inputs;
+  if (ok) {
+    inputs.reserve(batch.requests.size());
+    for (const Request* r : batch.requests) {
+      util::Payload payload;
+      if (!store_->stage_read(&ctx, r->input_key(), payload)) {
+        ok = false;
+        break;
+      }
+      try {
+        inputs.push_back(ai::unpack_tensor(payload.view()));
+      } catch (const util::SerializationError&) {
+        ok = false;
+        break;
+      }
+    }
+  }
+
+  if (ok) {
+    const SimTime tc = ctx.now();
+    for (Request* r : batch.requests) r->compute_start = tc;
+    ctx.delay(config_.batch_overhead);  // dispatch/stacking glue, charged once
+    std::vector<const ai::Tensor*> views;
+    views.reserve(inputs.size());
+    for (const ai::Tensor& t : inputs) views.push_back(&t);
+    const ai::Tensor stacked = ai_.infer_batch(ctx, views);
+    const SimTime te = ctx.now();
+    std::size_t row = 0;
+    for (Request* r : batch.requests) {
+      r->compute_end = te;
+      r->output = ai::Tensor(r->rows, stacked.cols());
+      for (std::size_t i = 0; i < r->rows; ++i)
+        for (std::size_t j = 0; j < stacked.cols(); ++j)
+          r->output.at(i, j) = stacked.at(row + i, j);
+      row += r->rows;
+    }
+  }
+
+  // Response staging (replica-side transport leg).
+  if (ok && !died_within(t0, ctx.now())) {
+    for (Request* r : batch.requests) {
+      const Bytes packed = ai::pack_tensor(r->output);
+      if (!store_->stage_write(&ctx, r->response_key(), ByteView(packed))) {
+        ok = false;  // response lost in degraded mode: re-run elsewhere
+        break;
+      }
+      r->replica = config_.index;
+    }
+  }
+  // One overlap check covering the whole batch span: a replica that died at
+  // any point between dispatch and the last staged response fails the batch,
+  // even if the outage window opened and closed entirely inside it.
+  if (ok && died_within(t0, ctx.now())) ok = false;
+
+  if (!ok) {
+    scheduler_->requeue_failover(ctx, std::move(batch));
+    // Sleep out our own outage (if any) so the loop never spins while down.
+    const SimTime up = down_until(ctx.now());
+    if (up > ctx.now()) ctx.delay(up - ctx.now());
+    busy_ = false;
+    scheduler_->notify_idle(ctx);
+    return;
+  }
+
+  ++batches_served_;
+  if (trace_ != nullptr) {
+    trace_->record_span(config_.name, "batch", t0, ctx.now());
+    if (obs::enabled()) {
+      sim::LabeledSpan span;
+      span.track = config_.name;
+      span.category = "serve_batch";
+      span.start = t0;
+      span.end = ctx.now();
+      if (obs::TraceContext* oc = obs::context(ctx.obs_id()))
+        span.span_id = obs::next_span_id(*oc);
+      span.labels = {{"batch", std::to_string(batch.id)},
+                     {"requests", std::to_string(batch.requests.size())},
+                     {"rows", std::to_string(batch.total_rows())},
+                     {"weights_version", std::to_string(weight_version_)}};
+      trace_->record_labeled_span(std::move(span));
+    }
+  }
+  if (on_complete_) on_complete_(ctx, batch);
+  busy_ = false;
+  scheduler_->notify_idle(ctx);
+}
+
+}  // namespace simai::serve

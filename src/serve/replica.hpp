@@ -1,0 +1,127 @@
+// One model-serving replica process (DESIGN.md §4.9).
+//
+// Lifecycle: at startup the replica polls the weights key until the
+// publisher's first version lands, pulls the flat parameter vector through
+// its DataStore (the weight transport is charged to the virtual clock at
+// the configured backend's prices), and only then reports idle. Per batch
+// it re-pulls weights when the published version moved (the seeded
+// weight-refresh path), reads every request's input payload, runs ONE
+// stacked forward through AiComponent::infer_batch, stages the per-request
+// responses, and hands the batch to the frontend collector.
+//
+// Fault hook: the replica consults fault::FaultSchedule's ReplicaOutage
+// stream. A batch whose [dispatch, responses-staged) span intersects an
+// outage window is failed over — returned whole to the scheduler for
+// re-dispatch to a survivor — and the dead replica sleeps until its window
+// closes. Requests are never lost: ids, inputs, and attempt counts ride
+// along and the re-run is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "core/ai_component.hpp"
+#include "fault/fault.hpp"
+#include "serve/request.hpp"
+#include "sim/engine.hpp"
+#include "util/json.hpp"
+#include "util/payload.hpp"
+#include "util/types.hpp"
+
+namespace simai::serve {
+
+class Scheduler;
+
+/// Published-weights wire format: u64 version, u64 count, count f64 values.
+util::Payload pack_weights(std::uint64_t version,
+                           const std::vector<double>& flat);
+/// Returns the version; fills `flat` with the parameter vector.
+std::uint64_t unpack_weights(const util::Payload& payload,
+                             std::vector<double>& flat);
+
+struct ReplicaConfig {
+  int index = 0;
+  std::string name = "replica0";     // process/track name
+  util::Json model;                  // inference-only AiComponent config
+  SimTime batch_overhead = 2e-4;     // fixed per-dispatch cost (s)
+  SimTime poll_interval = 5e-4;      // startup weight-poll spacing (s)
+  std::string weights_key = "serve/weights";
+  const fault::FaultSchedule* faults = nullptr;  // may be null (no outages)
+  std::uint64_t seed = 7;
+};
+
+class ReplicaServer {
+ public:
+  /// `store` is this replica's DataStore (its own node id / pricing
+  /// context over the cluster's shared backing store); `scheduler`
+  /// receives failover requeues and idle notifications.
+  ReplicaServer(sim::Engine& engine, ReplicaConfig config,
+                core::DataStore* store, Scheduler* scheduler,
+                sim::TraceRecorder* trace = nullptr);
+
+  /// Invoked after a batch's responses are staged (the frontend collector
+  /// hooks this to start the response legs).
+  void set_on_complete(std::function<void(sim::Context&, Batch&)> fn) {
+    on_complete_ = std::move(fn);
+  }
+  /// The publisher's version counter; a batch observing a newer version
+  /// than the loaded one triggers a weight re-pull before computing.
+  void set_published_version(const std::uint64_t* version) {
+    published_version_ = version;
+  }
+
+  /// Scheduler dispatch: marks the replica busy immediately so it is never
+  /// double-booked before its process runs.
+  void enqueue(sim::Context& ctx, Batch batch);
+  /// Ask the process to exit once its mailbox drains.
+  void shutdown(sim::Context& ctx);
+
+  bool busy() const { return busy_; }
+  bool down(SimTime t) const {
+    return config_.faults != nullptr &&
+           config_.faults->replica_down(config_.index, t);
+  }
+  SimTime down_until(SimTime t) const {
+    return config_.faults == nullptr
+               ? t
+               : config_.faults->replica_outage_end_after(config_.index, t);
+  }
+
+  /// Process body (spawn under config().name).
+  void run(sim::Context& ctx);
+
+  int index() const { return config_.index; }
+  const std::string& name() const { return config_.name; }
+  const ReplicaConfig& config() const { return config_; }
+  std::uint64_t batches_served() const { return batches_served_; }
+  std::uint64_t weight_refreshes() const { return weight_refreshes_; }
+  std::uint64_t loaded_weight_version() const { return weight_version_; }
+  core::AiComponent& ai() { return ai_; }
+
+ private:
+  /// Read + load the published weights; false when the read degraded.
+  bool pull_weights(sim::Context& ctx);
+  /// True when an outage intersects [t0, t1) for this replica.
+  bool died_within(SimTime t0, SimTime t1) const;
+  void serve_batch(sim::Context& ctx, Batch& batch);
+
+  ReplicaConfig config_;
+  core::DataStore* store_;
+  Scheduler* scheduler_;
+  sim::TraceRecorder* trace_;
+  core::AiComponent ai_;
+  std::function<void(sim::Context&, Batch&)> on_complete_;
+  const std::uint64_t* published_version_ = nullptr;
+
+  std::deque<Batch> mailbox_;
+  sim::Event mail_;
+  bool busy_ = true;  // not ready until the startup weight pull completes
+  bool stop_ = false;
+  std::uint64_t weight_version_ = 0;  // 0 = nothing loaded yet
+  std::uint64_t batches_served_ = 0;
+  std::uint64_t weight_refreshes_ = 0;
+};
+
+}  // namespace simai::serve

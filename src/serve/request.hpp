@@ -1,0 +1,77 @@
+// Request vocabulary of the serving plane (simai::serve, DESIGN.md §4.9).
+//
+// A Request is one client inference call moving through the cluster:
+//
+//   arrival ──queue──> batched ──batch──> compute_start ──compute──>
+//   compute_end ──transport──> completed
+//
+// The four named phases are the SLO breakdown the tentpole asks for: queue
+// is admission-to-dispatch wait, batch is dispatch + input transport into
+// the replica, compute is the stacked forward pass, transport is the
+// response leg back to the frontend. Every timestamp is virtual time from
+// the DES clock; a request that is shed by admission control ends life as
+// Rejected with only `arrival` set (the HTTP-429 path — the client is told
+// immediately and no payload ever touches the transport).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ai/tensor.hpp"
+#include "util/types.hpp"
+
+namespace simai::serve {
+
+enum class RequestStatus { Pending, Rejected, Completed };
+
+std::string_view request_status_name(RequestStatus status);
+
+struct Request {
+  std::uint64_t id = 0;  // deterministic: client * requests_per_client + k
+  int client = 0;
+  std::size_t rows = 1;  // input rows this request carries
+  ai::Tensor input;      // rows x in_features
+  ai::Tensor output;     // rows x out_features, filled on completion
+
+  RequestStatus status = RequestStatus::Pending;
+  int replica = -1;  // replica that served it (completed requests)
+  int attempts = 0;  // dispatch attempts; > 1 means failover re-queues
+
+  // -- phase timestamps (virtual seconds; -1 = never reached) --------------
+  SimTime arrival = -1.0;        // client submitted (and was admitted)
+  SimTime batched = -1.0;        // left the queue into an in-flight batch
+  SimTime compute_start = -1.0;  // replica began the stacked forward
+  SimTime compute_end = -1.0;    // forward finished
+  SimTime completed = -1.0;      // response delivered at the frontend
+
+  SimTime latency() const { return completed - arrival; }
+  SimTime queue_time() const { return batched - arrival; }
+  SimTime batch_time() const { return compute_start - batched; }
+  SimTime compute_time() const { return compute_end - compute_start; }
+  SimTime transport_time() const { return completed - compute_end; }
+
+  /// Staging keys the request's payloads travel under.
+  std::string input_key() const {
+    return "serve/req_" + std::to_string(id);
+  }
+  std::string response_key() const {
+    return "serve/resp_" + std::to_string(id);
+  }
+};
+
+/// One in-flight unit of replica work: up to max_batch_size requests
+/// dispatched together and answered by one stacked forward pass.
+struct Batch {
+  std::uint64_t id = 0;
+  std::vector<Request*> requests;
+
+  std::size_t total_rows() const {
+    std::size_t n = 0;
+    for (const Request* r : requests) n += r->rows;
+    return n;
+  }
+};
+
+}  // namespace simai::serve

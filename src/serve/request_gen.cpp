@@ -1,0 +1,103 @@
+#include "serve/request_gen.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace simai::serve {
+
+std::string_view request_status_name(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::Pending: return "pending";
+    case RequestStatus::Rejected: return "rejected";
+    case RequestStatus::Completed: return "completed";
+  }
+  return "?";
+}
+
+namespace {
+// Domain separation: the arrival streams and the input-value draws are
+// independent families under one seed (the fault module's construction).
+constexpr std::uint64_t kArrivalSalt = 0xa771fa1ull;
+constexpr std::uint64_t kInputSalt = 0x17e4507ull;
+}  // namespace
+
+RequestGenerator::RequestGenerator(ArrivalConfig config,
+                                   std::size_t in_features)
+    : config_(std::move(config)), in_features_(in_features) {
+  if (config_.clients <= 0)
+    throw Error("RequestGenerator: clients must be positive");
+  if (in_features_ == 0)
+    throw Error("RequestGenerator: in_features must be positive");
+  if (config_.input_rows == 0)
+    throw Error("RequestGenerator: input_rows must be positive");
+
+  const auto n_clients = static_cast<std::size_t>(config_.clients);
+  arrivals_.assign(n_clients, {});
+  ids_.assign(n_clients, {});
+
+  if (!config_.trace.empty()) {
+    // Trace mode: ids follow the global time order of the trace, requests
+    // are dealt round-robin so every client carries its share of the load.
+    std::vector<SimTime> sorted = config_.trace;
+    std::stable_sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      if (sorted[i] < 0.0)
+        throw Error("RequestGenerator: trace arrival times must be >= 0");
+      const std::size_t c = i % n_clients;
+      arrivals_[c].push_back(sorted[i]);
+      ids_[c].push_back(static_cast<std::uint64_t>(i));
+    }
+    total_ = static_cast<int>(sorted.size());
+    return;
+  }
+
+  if (config_.rate <= 0.0)
+    throw Error("RequestGenerator: Poisson mode needs a positive rate");
+  if (config_.requests_per_client <= 0)
+    throw Error("RequestGenerator: requests_per_client must be positive");
+  const double client_rate = config_.rate / config_.clients;
+  for (int c = 0; c < config_.clients; ++c) {
+    // Independent per-client stream: the same construction the fault
+    // injector uses for per-node windows.
+    util::Xoshiro256 rng(util::mix64(config_.seed ^ kArrivalSalt) +
+                         static_cast<std::uint64_t>(c));
+    SimTime t = 0.0;
+    const auto ci = static_cast<std::size_t>(c);
+    for (int k = 0; k < config_.requests_per_client; ++k) {
+      t += rng.next_exponential(client_rate);
+      arrivals_[ci].push_back(t);
+      ids_[ci].push_back(static_cast<std::uint64_t>(c) *
+                             static_cast<std::uint64_t>(
+                                 config_.requests_per_client) +
+                         static_cast<std::uint64_t>(k));
+    }
+  }
+  total_ = config_.clients * config_.requests_per_client;
+}
+
+Request RequestGenerator::make_request(int client, int k) const {
+  const auto ci = static_cast<std::size_t>(client);
+  const auto ki = static_cast<std::size_t>(k);
+  if (ci >= arrivals_.size() || ki >= arrivals_[ci].size())
+    throw Error("RequestGenerator: request index out of range");
+  Request r;
+  r.id = ids_[ci][ki];
+  r.client = client;
+  r.rows = config_.input_rows;
+  r.arrival = arrivals_[ci][ki];
+  r.input = ai::Tensor(config_.input_rows, in_features_);
+  // Keyed draws: the tensor depends only on (seed, id, cell), never on how
+  // many requests were materialized before it.
+  const std::uint64_t base = r.id * (config_.input_rows * in_features_);
+  for (std::size_t row = 0; row < config_.input_rows; ++row)
+    for (std::size_t col = 0; col < in_features_; ++col)
+      r.input.at(row, col) =
+          2.0 * util::keyed_uniform(config_.seed ^ kInputSalt,
+                                    base + row * in_features_ + col) -
+          1.0;
+  return r;
+}
+
+}  // namespace simai::serve

@@ -1,0 +1,72 @@
+// Open-loop request generation for the serving plane.
+//
+// Open-loop means the arrival process never reacts to the system: client k
+// submits at its predrawn times whether or not earlier requests have been
+// answered — the load model that exposes queueing collapse, which a
+// closed-loop (wait-for-response) generator structurally cannot (it
+// self-throttles exactly when the system saturates).
+//
+// Two arrival sources, both deterministic:
+//  * seeded Poisson — per-client exponential interarrivals drawn up front
+//    from util::Xoshiro256::next_exponential on an independent stream per
+//    client (mix64(seed) + client), so adding clients never perturbs the
+//    arrivals of existing ones;
+//  * trace — an explicit list of arrival times (e.g. replayed from a
+//    production log), distributed round-robin across the clients.
+//
+// The whole arrival table and every input tensor are functions of the
+// config alone — never of the DES schedule — so the request stream is
+// byte-identical across runs, substrates, and spawn orders.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "util/types.hpp"
+
+namespace simai::serve {
+
+struct ArrivalConfig {
+  int clients = 4;
+  /// Poisson mode: requests per client (total = clients * requests_per_client).
+  int requests_per_client = 50;
+  /// Aggregate offered load, requests per virtual second (Poisson mode).
+  double rate = 50.0;
+  /// Non-empty => trace mode: these arrival times (virtual seconds) replace
+  /// the Poisson draws; requests are dealt round-robin across clients.
+  std::vector<SimTime> trace;
+  /// Rows per request's input tensor.
+  std::size_t input_rows = 1;
+  std::uint64_t seed = 1;
+};
+
+class RequestGenerator {
+ public:
+  /// `in_features` is the served model's input width (request tensors are
+  /// input_rows x in_features).
+  RequestGenerator(ArrivalConfig config, std::size_t in_features);
+
+  int clients() const { return static_cast<int>(arrivals_.size()); }
+  int total_requests() const { return total_; }
+  const ArrivalConfig& config() const { return config_; }
+
+  /// Per-client arrival times, each stream sorted ascending.
+  const std::vector<std::vector<SimTime>>& arrivals() const {
+    return arrivals_;
+  }
+
+  /// Materialize request `k` of `client` (0-based within the client's
+  /// stream): deterministic id plus an input tensor whose values are keyed
+  /// by (seed, id) — independent of every other draw.
+  Request make_request(int client, int k) const;
+
+ private:
+  ArrivalConfig config_;
+  std::size_t in_features_;
+  std::vector<std::vector<SimTime>> arrivals_;   // [client][k]
+  std::vector<std::vector<std::uint64_t>> ids_;  // [client][k] request ids
+  int total_ = 0;
+};
+
+}  // namespace simai::serve

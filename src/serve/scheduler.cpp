@@ -1,0 +1,158 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "serve/replica.hpp"
+#include "util/error.hpp"
+
+namespace simai::serve {
+
+Scheduler::Scheduler(sim::Engine& engine, SchedulerPolicy policy,
+                     int total_requests)
+    : engine_(engine),
+      policy_(policy),
+      wake_(engine),
+      remaining_(total_requests) {
+  if (policy_.max_batch_size == 0)
+    throw ConfigError("Scheduler: max_batch_size must be positive");
+  if (policy_.max_queue_delay < 0.0)
+    throw ConfigError("Scheduler: max_queue_delay must be >= 0");
+  if (total_requests <= 0)
+    throw ConfigError("Scheduler: total_requests must be positive");
+}
+
+void Scheduler::add_replica(ReplicaServer* replica) {
+  replicas_.push_back(replica);
+}
+
+void Scheduler::note_depth(sim::Context& ctx) {
+  peak_depth_ = std::max(peak_depth_, depth());
+  if (obs::enabled())
+    obs::registry()
+        .gauge(obs::keys::kServeQueueDepth)
+        .set(static_cast<double>(depth()));
+  (void)ctx;
+}
+
+bool Scheduler::admit(sim::Context& ctx, Request& r) {
+  if (policy_.max_queue_depth != 0 && depth() >= policy_.max_queue_depth) {
+    // Shed: the client learns immediately and the payload never stages.
+    r.status = RequestStatus::Rejected;
+    ++rejected_;
+    --remaining_;
+    if (obs::enabled())
+      obs::registry()
+          .counter(obs::keys::kServeRequestsTotal, {{"status", "rejected"}})
+          .inc();
+    // A shed request resolves here, not at the frontend: wake both loops so
+    // a run whose *last* request is shed still terminates.
+    wake_.notify_all();
+    if (resolve_event_) resolve_event_->notify_all();
+    (void)ctx;
+    return false;
+  }
+  ++reserved_;  // slot held while the client stages the input payload
+  note_depth(ctx);
+  return true;
+}
+
+void Scheduler::enqueue(sim::Context& ctx, Request& r) {
+  if (reserved_ == 0) throw Error("Scheduler: enqueue without admission");
+  --reserved_;
+  queue_.push_back({&r, ctx.now()});
+  note_depth(ctx);
+  wake_.notify_all();
+}
+
+void Scheduler::requeue_failover(sim::Context& ctx, Batch batch) {
+  ++failovers_;
+  if (obs::enabled())
+    obs::registry().counter(obs::keys::kServeFailoversTotal).inc();
+  // Front of the queue, original order preserved: these requests have
+  // already waited once and must not starve behind fresh arrivals.
+  for (auto it = batch.requests.rbegin(); it != batch.requests.rend(); ++it)
+    queue_.push_front({*it, ctx.now()});
+  note_depth(ctx);
+  wake_.notify_all();
+}
+
+void Scheduler::notify_idle(sim::Context& ctx) {
+  (void)ctx;
+  wake_.notify_all();
+}
+
+void Scheduler::on_resolved(sim::Context& ctx) {
+  (void)ctx;
+  --remaining_;
+  wake_.notify_all();
+}
+
+ReplicaServer* Scheduler::pick_replica(SimTime now, bool& all_down,
+                                       SimTime& next_up) {
+  all_down = true;
+  next_up = now;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    ReplicaServer* r = replicas_[(next_rr_ + i) % replicas_.size()];
+    if (r->down(now)) {
+      const SimTime up = r->down_until(now);
+      if (all_down) next_up = next_up == now ? up : std::min(next_up, up);
+      continue;
+    }
+    all_down = false;
+    if (r->busy()) continue;
+    next_rr_ = (next_rr_ + i + 1) % replicas_.size();
+    return r;
+  }
+  return nullptr;
+}
+
+void Scheduler::run(sim::Context& ctx) {
+  if (replicas_.empty()) throw ConfigError("Scheduler: no replicas");
+  while (remaining_ > 0) {
+    if (queue_.empty()) {
+      ctx.wait(wake_);
+      continue;
+    }
+    // Continuous batching: flush immediately when full, otherwise give the
+    // head at most max_queue_delay to accumulate company.
+    const SimTime deadline = queue_.front().enqueued + policy_.max_queue_delay;
+    if (queue_.size() < policy_.max_batch_size && ctx.now() < deadline) {
+      ctx.wait_for(wake_, deadline - ctx.now());
+      continue;  // re-evaluate: queue may have grown or been flushed
+    }
+    bool all_down = false;
+    SimTime next_up = ctx.now();
+    ReplicaServer* replica = pick_replica(ctx.now(), all_down, next_up);
+    if (replica == nullptr) {
+      if (all_down && next_up > ctx.now()) {
+        // Every replica is in an outage window: sleep exactly until the
+        // first one returns (the fault timeline is known and seeded).
+        ctx.delay(next_up - ctx.now());
+      } else {
+        ctx.wait(wake_);  // all merely busy: a completion will wake us
+      }
+      continue;
+    }
+    Batch batch;
+    batch.id = ++batch_seq_;
+    while (!queue_.empty() && batch.requests.size() < policy_.max_batch_size) {
+      Request* r = queue_.front().request;
+      queue_.pop_front();
+      r->batched = ctx.now();
+      ++r->attempts;
+      batch.requests.push_back(r);
+    }
+    ++batches_;
+    note_depth(ctx);
+    if (obs::enabled())
+      obs::registry()
+          .histogram(obs::keys::kServeBatchRows)
+          .observe(static_cast<double>(batch.total_rows()));
+    replica->enqueue(ctx, std::move(batch));
+  }
+  for (ReplicaServer* r : replicas_) r->shutdown(ctx);
+}
+
+}  // namespace simai::serve

@@ -1,0 +1,113 @@
+// Continuous-batching scheduler with admission control (DESIGN.md §4.9).
+//
+// Continuous batching means batches form *when a replica is free*, not on a
+// fixed clock: a full batch dispatches immediately; a partial batch waits at
+// most max_queue_delay from the head request's enqueue before flushing. The
+// queue never drains into a busy or down replica — completions and outage
+// ends re-wake the scheduler, so capacity freed anywhere is used at once.
+//
+// Admission control is the HTTP-429 path: a request arriving while
+// queued + in-staging depth is at max_queue_depth is Rejected on the spot,
+// before its payload touches the transport. Under open-loop overload this
+// converts unbounded queueing collapse into bounded latency plus measured
+// shed load (the goodput curves in BENCH_serve.json).
+//
+// Failover: a replica that dies mid-batch hands the whole batch back via
+// requeue_failover(); the requests re-enter at the *front* of the queue
+// (they have already waited) and re-dispatch to a surviving replica. No
+// request is ever dropped after admission.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "sim/engine.hpp"
+#include "util/types.hpp"
+
+namespace simai::serve {
+
+class ReplicaServer;
+
+struct SchedulerPolicy {
+  /// Max requests stacked into one forward pass.
+  std::size_t max_batch_size = 8;
+  /// Max virtual seconds the queue head waits before a partial batch flushes.
+  SimTime max_queue_delay = 0.002;
+  /// Admission bound: requests arriving while queued + in-staging depth is
+  /// at this value are shed (Rejected). 0 disables shedding.
+  std::size_t max_queue_depth = 64;
+};
+
+class Scheduler {
+ public:
+  Scheduler(sim::Engine& engine, SchedulerPolicy policy, int total_requests);
+
+  /// Registration order defines the round-robin order; call before run().
+  void add_replica(ReplicaServer* replica);
+
+  /// The event poked whenever a request leaves the system (completed or
+  /// rejected); the frontend collector waits on it alongside its own queue.
+  void set_resolve_event(sim::Event* event) { resolve_event_ = event; }
+
+  // -- client path ------------------------------------------------------------
+  /// Admission decision at arrival time. False => the request was shed:
+  /// status set to Rejected and accounted immediately; the caller must not
+  /// stage its payload. True reserves a queue slot until enqueue().
+  bool admit(sim::Context& ctx, Request& r);
+  /// Hand an admitted request (input already staged) to the queue.
+  void enqueue(sim::Context& ctx, Request& r);
+
+  // -- replica path -----------------------------------------------------------
+  /// Return a failed batch for re-dispatch; requests keep their ids and
+  /// attempt counts and rejoin at the queue front.
+  void requeue_failover(sim::Context& ctx, Batch batch);
+  /// A replica became free (batch finished or outage slept off).
+  void notify_idle(sim::Context& ctx);
+
+  // -- frontend path ----------------------------------------------------------
+  /// A request completed its response leg and left the system.
+  void on_resolved(sim::Context& ctx);
+
+  /// Scheduler process body: forms and dispatches batches until every
+  /// request has resolved, then shuts the replicas down.
+  void run(sim::Context& ctx);
+
+  bool finished() const { return remaining_ == 0; }
+  std::uint64_t rejected() const { return rejected_; }
+  std::uint64_t batches_dispatched() const { return batches_; }
+  std::uint64_t failovers() const { return failovers_; }
+  std::size_t peak_queue_depth() const { return peak_depth_; }
+
+ private:
+  struct QueueEntry {
+    Request* request = nullptr;
+    SimTime enqueued = 0.0;  // feeds the max_queue_delay flush deadline
+  };
+
+  /// Round-robin pick of an up, idle replica; nullptr when none. `all_down`
+  /// reports whether every replica is in an outage window (vs merely busy),
+  /// and `next_up` the earliest time one returns.
+  ReplicaServer* pick_replica(SimTime now, bool& all_down, SimTime& next_up);
+  std::size_t depth() const { return queue_.size() + reserved_; }
+  void note_depth(sim::Context& ctx);
+
+  sim::Engine& engine_;
+  SchedulerPolicy policy_;
+  std::vector<ReplicaServer*> replicas_;
+  std::deque<QueueEntry> queue_;
+  sim::Event wake_;                     // arrivals, completions, requeues
+  sim::Event* resolve_event_ = nullptr;  // frontend's, poked on rejection
+
+  int remaining_ = 0;        // requests not yet Completed/Rejected
+  std::size_t reserved_ = 0;  // admitted, input still staging
+  std::size_t next_rr_ = 0;
+  std::uint64_t batch_seq_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::size_t peak_depth_ = 0;
+};
+
+}  // namespace simai::serve

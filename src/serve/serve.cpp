@@ -1,0 +1,332 @@
+#include "serve/serve.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <memory>
+
+#include "ai/mlp.hpp"
+#include "core/datastore.hpp"
+#include "fault/faulty_store.hpp"
+#include "kv/memory_store.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace simai::serve {
+
+namespace {
+
+constexpr const char* kWeightsKey = "serve/weights";
+/// Publisher refresh draws are an independent stream under weight_seed.
+constexpr std::uint64_t kRefreshSalt = 0x3efe5ull;
+/// Refresh-loop wake spacing: bounds how long the publisher can hold the
+/// engine open past the last resolved request.
+constexpr SimTime kPublisherHeartbeat = 0.05;
+
+util::Json default_model_spec() {
+  util::Json spec = util::Json::object();
+  spec["layers"] = util::Json::array({16, 64, 32, 8});
+  spec["activation"] = "tanh";
+  return spec;
+}
+
+}  // namespace
+
+std::string ServeResult::fingerprint() const {
+  std::string out =
+      "id,client,replica,status,attempts,arrival,batched,compute_end,"
+      "completed\n";
+  char line[224];
+  for (const RequestRecord& r : requests) {
+    std::snprintf(line, sizeof line,
+                  "%llu,%d,%d,%s,%d,%.9g,%.9g,%.9g,%.9g\n",
+                  static_cast<unsigned long long>(r.id), r.client, r.replica,
+                  std::string(request_status_name(r.status)).c_str(),
+                  r.attempts, r.arrival, r.batched, r.compute_end,
+                  r.completed);
+    out += line;
+  }
+  return out;
+}
+
+ServeResult run_cluster(const ServeConfig& config) {
+  if (config.replicas <= 0)
+    throw ConfigError("run_cluster: replicas must be positive");
+
+  util::Json model_spec =
+      config.model.is_null() ? default_model_spec() : config.model;
+  model_spec["seed"] = config.weight_seed;  // the publisher owns the stream
+  const util::Json* layers = model_spec.find("layers");
+  if (layers == nullptr || !layers->is_array() || layers->size() < 2)
+    throw ConfigError("run_cluster: model needs a layers array (>= 2)");
+  const auto in_features =
+      static_cast<std::size_t>(layers->at(std::size_t{0}).as_int());
+
+  RequestGenerator gen(config.arrivals, in_features);
+  const int clients = gen.clients();
+  const int total = gen.total_requests();
+
+  ServeResult result;
+  sim::TraceRecorder* trace = config.record_trace ? &result.trace : nullptr;
+
+  sim::Engine engine;
+  if (trace != nullptr && config.faults != nullptr)
+    config.faults->install(engine, trace);
+  if (obs::enabled() && trace != nullptr) {
+    engine.set_metric_sampler(obs::sample_interval(), [trace](SimTime t) {
+      for (const auto& [series, value] : obs::registry().scalar_values())
+        trace->record_counter_sample(series, t, value);
+    });
+  }
+
+  // One backing store shared by every actor — the in-transit staging area —
+  // wrapped with the fault injector when a schedule is present. Each actor
+  // gets its own DataStore client (node id + pricing context) over it.
+  platform::TransportModel model;
+  auto backing = std::make_shared<kv::MemoryStore>();
+  kv::StorePtr store = backing;
+  if (config.faults != nullptr)
+    store = std::make_shared<fault::FaultyStore>(backing, config.faults,
+                                                 &engine);
+
+  core::DataStoreConfig base;
+  base.backend = config.backend;
+  base.payload_cap = config.payload_cap;
+  base.faults = config.faults;
+  base.verify_integrity = config.verify_integrity;
+  base.retry = config.retry;
+  base.transport.concurrent_clients = clients + config.replicas + 2;
+  const bool remote = config.backend == platform::BackendKind::Redis ||
+                      config.backend == platform::BackendKind::Dragon;
+
+  std::vector<std::unique_ptr<core::DataStore>> client_stores;
+  for (int c = 0; c < clients; ++c) {
+    core::DataStoreConfig cfg = base;
+    cfg.node = c;
+    client_stores.push_back(std::make_unique<core::DataStore>(
+        "client" + std::to_string(c), store, &model, cfg, trace));
+  }
+  std::vector<std::unique_ptr<core::DataStore>> replica_stores;
+  for (int r = 0; r < config.replicas; ++r) {
+    core::DataStoreConfig cfg = base;
+    cfg.node = clients + r;
+    cfg.transport.remote = remote;
+    replica_stores.push_back(std::make_unique<core::DataStore>(
+        "replica" + std::to_string(r) + "_store", store, &model, cfg, trace));
+  }
+  core::DataStoreConfig frontend_cfg = base;
+  frontend_cfg.node = clients + config.replicas;
+  frontend_cfg.transport.remote = remote;
+  frontend_cfg.transport.fanin = config.replicas;
+  core::DataStore frontend_store("frontend", store, &model, frontend_cfg,
+                                 trace);
+  core::DataStoreConfig pub_cfg = base;
+  pub_cfg.node = clients + config.replicas + 1;
+  pub_cfg.transport.remote = remote;
+  core::DataStore publisher_store("publisher", store, &model, pub_cfg, trace);
+
+  Scheduler scheduler(engine, config.policy, total);
+  std::deque<Request*> done;
+  sim::Event done_event(engine);
+  scheduler.set_resolve_event(&done_event);
+
+  std::uint64_t published_version = 0;
+  std::vector<std::unique_ptr<ReplicaServer>> replicas;
+  for (int r = 0; r < config.replicas; ++r) {
+    ReplicaConfig rc;
+    rc.index = r;
+    rc.name = "replica" + std::to_string(r);
+    rc.model = util::Json::object();
+    rc.model["model"] = model_spec;
+    rc.model["device"] = config.device;
+    rc.batch_overhead = config.batch_overhead;
+    rc.poll_interval = config.poll_interval;
+    rc.weights_key = kWeightsKey;
+    rc.faults = config.faults;
+    rc.seed = config.weight_seed;
+    auto replica = std::make_unique<ReplicaServer>(
+        engine, std::move(rc),
+        replica_stores[static_cast<std::size_t>(r)].get(), &scheduler, trace);
+    replica->set_published_version(&published_version);
+    replica->set_on_complete([&done, &done_event](sim::Context&, Batch& b) {
+      for (Request* req : b.requests) done.push_back(req);
+      done_event.notify_all();
+    });
+    scheduler.add_replica(replica.get());
+    replicas.push_back(std::move(replica));
+  }
+
+  // Requests live here from materialization to accounting; pointers are
+  // stable (unique_ptr) while clients append in arrival order.
+  std::vector<std::unique_ptr<Request>> pool;
+  pool.reserve(static_cast<std::size_t>(total));
+
+  // -- processes (spawn order is part of the deterministic schedule) --------
+
+  engine.spawn("publisher", [&](sim::Context& ctx) {
+    ai::Mlp mlp = ai::Mlp::from_json(model_spec);
+    {
+      const util::Payload w = pack_weights(1, mlp.flatten_parameters());
+      publisher_store.stage_write(&ctx, kWeightsKey, w.view());
+      published_version = 1;
+    }
+    if (config.weight_refresh_rate <= 0.0) return;
+    util::Xoshiro256 rng(util::mix64(config.weight_seed ^ kRefreshSalt));
+    SimTime next = ctx.now() + rng.next_exponential(config.weight_refresh_rate);
+    while (!scheduler.finished()) {
+      const SimTime gap = next - ctx.now();
+      ctx.delay(gap > 0.0 ? std::min(gap, kPublisherHeartbeat)
+                          : kPublisherHeartbeat);
+      if (scheduler.finished()) return;
+      if (ctx.now() < next) continue;
+      // New parameter version: a fresh deterministic draw per version.
+      util::Json spec = model_spec;
+      spec["seed"] = config.weight_seed + published_version;
+      ai::Mlp fresh = ai::Mlp::from_json(spec);
+      const util::Payload w =
+          pack_weights(published_version + 1, fresh.flatten_parameters());
+      if (publisher_store.stage_write(&ctx, kWeightsKey, w.view()))
+        ++published_version;
+      next = ctx.now() + rng.next_exponential(config.weight_refresh_rate);
+    }
+  });
+
+  for (auto& replica : replicas) {
+    ReplicaServer* rp = replica.get();
+    engine.spawn(rp->name(),
+                 [rp](sim::Context& ctx) { rp->run(ctx); });
+  }
+
+  engine.spawn("scheduler",
+               [&scheduler](sim::Context& ctx) { scheduler.run(ctx); });
+
+  engine.spawn("frontend", [&](sim::Context& ctx) {
+    const std::string backend(platform::backend_name(config.backend));
+    while (!scheduler.finished() || !done.empty()) {
+      if (done.empty()) {
+        ctx.wait(done_event);
+        continue;
+      }
+      Request* r = done.front();
+      done.pop_front();
+      // Response leg: the frontend pulls the staged response. Degraded
+      // reads (outage windows) poll-retry — the value is at rest, so a
+      // later attempt succeeds once the window closes.
+      util::Payload resp;
+      while (!frontend_store.stage_read(&ctx, r->response_key(), resp))
+        ctx.delay(config.poll_interval);
+      try {
+        r->output = ai::unpack_tensor(resp.view());
+      } catch (const util::SerializationError&) {
+        // Undetected in-transit corruption (verify_integrity off): deliver
+        // the replica-computed output; the request still completed.
+      }
+      r->completed = ctx.now();
+      r->status = RequestStatus::Completed;
+      frontend_store.clean_staged_data(&ctx, r->input_key());
+      frontend_store.clean_staged_data(&ctx, r->response_key());
+      if (trace != nullptr)
+        trace->record_instant("frontend", "respond", ctx.now(),
+                              static_cast<std::uint64_t>(resp.size()));
+      if (obs::enabled()) {
+        auto& reg = obs::registry();
+        reg.counter(obs::keys::kServeRequestsTotal, {{"status", "completed"}})
+            .inc();
+        reg.histogram(obs::keys::kServeRequestLatency, {{"backend", backend}},
+                      obs::serve_latency_bounds())
+            .observe(r->latency());
+        reg.histogram(obs::keys::kServePhaseSeconds, {{"phase", "queue"}},
+                      obs::serve_latency_bounds())
+            .observe(r->queue_time());
+        reg.histogram(obs::keys::kServePhaseSeconds, {{"phase", "batch"}},
+                      obs::serve_latency_bounds())
+            .observe(r->batch_time());
+        reg.histogram(obs::keys::kServePhaseSeconds, {{"phase", "compute"}},
+                      obs::serve_latency_bounds())
+            .observe(r->compute_time());
+        reg.histogram(obs::keys::kServePhaseSeconds, {{"phase", "transport"}},
+                      obs::serve_latency_bounds())
+            .observe(r->transport_time());
+        if (trace != nullptr) {
+          sim::LabeledSpan span;
+          span.track = "frontend";
+          span.category = "serve_request";
+          span.start = r->arrival;
+          span.end = r->completed;
+          if (obs::TraceContext* oc = obs::context(ctx.obs_id()))
+            span.span_id = obs::next_span_id(*oc);
+          span.labels = {{"id", std::to_string(r->id)},
+                         {"client", std::to_string(r->client)},
+                         {"replica", std::to_string(r->replica)},
+                         {"attempts", std::to_string(r->attempts)}};
+          trace->record_labeled_span(std::move(span));
+        }
+      }
+      scheduler.on_resolved(ctx);
+    }
+  });
+
+  const auto& arrivals = gen.arrivals();
+  for (int c = 0; c < clients; ++c) {
+    core::DataStore* cstore = client_stores[static_cast<std::size_t>(c)].get();
+    engine.spawn("client" + std::to_string(c), [&, cstore,
+                                                c](sim::Context& ctx) {
+      const auto& times = arrivals[static_cast<std::size_t>(c)];
+      for (std::size_t k = 0; k < times.size(); ++k) {
+        if (times[k] > ctx.now()) ctx.delay(times[k] - ctx.now());
+        pool.push_back(
+            std::make_unique<Request>(gen.make_request(c, static_cast<int>(k))));
+        Request* r = pool.back().get();
+        if (!scheduler.admit(ctx, *r)) continue;  // shed: the 429 path
+        // Request leg: stage the input through this client's store. The
+        // replica's stage_read of the same key closes the client->replica
+        // flow arrow when the obs plane is armed.
+        const Bytes packed = ai::pack_tensor(r->input);
+        cstore->stage_write(&ctx, r->input_key(), ByteView(packed));
+        scheduler.enqueue(ctx, *r);
+      }
+    });
+  }
+
+  engine.run();
+  result.makespan = engine.now();
+
+  // -- accounting -----------------------------------------------------------
+  if (pool.size() != static_cast<std::size_t>(total))
+    throw Error("run_cluster: request pool diverged from the arrival table");
+  std::sort(pool.begin(), pool.end(),
+            [](const auto& a, const auto& b) { return a->id < b->id; });
+  result.requests.reserve(pool.size());
+  for (const auto& rp : pool) {
+    const Request& r = *rp;
+    if (r.status == RequestStatus::Pending)
+      throw Error("run_cluster: request " + std::to_string(r.id) +
+                  " never resolved");
+    result.requests.push_back({r.id, r.client, r.replica, r.status,
+                               r.attempts, r.arrival, r.batched,
+                               r.compute_start, r.compute_end, r.completed});
+    if (r.status != RequestStatus::Completed) {
+      ++result.rejected;
+      continue;
+    }
+    ++result.completed;
+    result.last_completion = std::max(result.last_completion, r.completed);
+    result.latency.add(r.latency());
+    result.queue_phase.add(r.queue_time());
+    result.batch_phase.add(r.batch_time());
+    result.compute_phase.add(r.compute_time());
+    result.transport_phase.add(r.transport_time());
+  }
+  result.batches = scheduler.batches_dispatched();
+  result.failovers = scheduler.failovers();
+  result.peak_queue_depth = scheduler.peak_queue_depth();
+  for (const auto& replica : replicas)
+    result.weight_refreshes += replica->weight_refreshes();
+  if (result.rejected != scheduler.rejected())
+    throw Error("run_cluster: rejection accounting diverged");
+  return result;
+}
+
+}  // namespace simai::serve

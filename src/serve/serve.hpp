@@ -1,0 +1,131 @@
+// simai::serve — the serving-plane cluster (DESIGN.md §4.9).
+//
+// The paper's transport benchmarks drive simulation->training traffic; this
+// subsystem turns the same stack around and serves a trained model back:
+// open-loop clients (request_gen.hpp) submit inference requests through a
+// continuous-batching scheduler (scheduler.hpp) to replica processes
+// (replica.hpp) that pull published weights and execute stacked forward
+// passes, with every payload — weights, inputs, responses — priced by the
+// configured transport backend. run_cluster() wires the whole thing onto
+// one deterministic DES engine:
+//
+//   clients (open-loop arrivals)             weights publisher
+//        │ admit / reject (429)                    │ stage_write
+//        ▼                                        ▼
+//   Scheduler ──batch──> ReplicaServer ──pull──> DataStore (shared store)
+//        ▲                    │ stacked forward + response stage_write
+//        └──completions── frontend collector ──stage_read── responses
+//
+// Everything is a function of ServeConfig alone: the same config produces a
+// byte-identical request timeline (ServeResult::fingerprint()) on every
+// run, on both engine substrates, armed or disarmed — the contract
+// tests/serve_test.cpp holds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/retry.hpp"
+#include "platform/transport_model.hpp"
+#include "serve/replica.hpp"
+#include "serve/request_gen.hpp"
+#include "serve/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace simai::serve {
+
+struct ServeConfig {
+  ArrivalConfig arrivals;
+  SchedulerPolicy policy;
+  int replicas = 2;
+
+  /// Served model (ai::Mlp JSON spec). Null => a small default MLP. The
+  /// spec's "seed" is overridden by weight_seed so the publisher owns the
+  /// parameter stream.
+  util::Json model;
+  std::string device = "cpu";
+  std::uint64_t weight_seed = 21;
+  /// Poisson rate (events per virtual second) of publisher weight
+  /// refreshes; replicas re-pull before the next batch. 0 = publish once.
+  double weight_refresh_rate = 0.0;
+
+  /// Transport: backend prices every weight/input/response movement.
+  platform::BackendKind backend = platform::BackendKind::NodeLocal;
+  std::size_t payload_cap = 0;  // DataStore payload virtualization cap
+  fault::RetryPolicy retry;
+  bool verify_integrity = true;
+  /// Store faults + per-replica outage windows. May be null. The spec's
+  /// `replicas` field must cover ServeConfig::replicas for outages to hit.
+  const fault::FaultSchedule* faults = nullptr;
+
+  SimTime batch_overhead = 2e-4;  // per-dispatch replica cost (s)
+  SimTime poll_interval = 5e-4;   // weight/response poll spacing (s)
+
+  /// Record the run's timeline (spans + instants; labeled spans too when
+  /// the obs plane is armed) into ServeResult::trace.
+  bool record_trace = false;
+};
+
+/// Flat per-request outcome — what the fingerprint and the SLO accounting
+/// are computed from. Timestamps are virtual seconds, -1 = never reached.
+struct RequestRecord {
+  std::uint64_t id = 0;
+  int client = 0;
+  int replica = -1;
+  RequestStatus status = RequestStatus::Pending;
+  int attempts = 0;
+  SimTime arrival = -1.0;
+  SimTime batched = -1.0;
+  SimTime compute_start = -1.0;
+  SimTime compute_end = -1.0;
+  SimTime completed = -1.0;
+};
+
+struct ServeResult {
+  std::vector<RequestRecord> requests;  // sorted by id
+
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t weight_refreshes = 0;
+  std::size_t peak_queue_depth = 0;
+
+  SimTime makespan = 0.0;         // engine drain time
+  SimTime last_completion = 0.0;  // final response delivery
+
+  /// SLO accounting over completed requests (virtual seconds). These are
+  /// always-on util::Histograms — percentiles work with obs disarmed; the
+  /// labeled obs::Registry series exist additionally when armed.
+  util::Histogram latency;
+  util::Histogram queue_phase;
+  util::Histogram batch_phase;
+  util::Histogram compute_phase;
+  util::Histogram transport_phase;
+
+  /// Completed requests per virtual second up to the last completion
+  /// (admitted-and-answered work only — shed requests don't count).
+  double goodput() const {
+    return last_completion > 0.0
+               ? static_cast<double>(completed) / last_completion
+               : 0.0;
+  }
+
+  /// Canonical request/response timeline: one CSV row per request, sorted
+  /// by id. Byte-identical across runs/substrates/obs arming is the
+  /// serving plane's determinism contract.
+  std::string fingerprint() const;
+
+  sim::TraceRecorder trace;  // populated when ServeConfig::record_trace
+};
+
+/// Build the cluster on a fresh engine, run to completion, return the
+/// accounting. Substrate follows SIMAI_SIM_THREADS like every engine.
+ServeResult run_cluster(const ServeConfig& config);
+
+}  // namespace simai::serve

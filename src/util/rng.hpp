@@ -46,6 +46,11 @@ class Xoshiro256 {
   double normal(double mean, double stddev);
   /// Exponential with the given rate (lambda > 0).
   double exponential(double rate);
+  /// Seeded exponential interarrival draw — the canonical name for open-loop
+  /// Poisson arrival streams (simai::serve request generators, fault window
+  /// processes). Identical to exponential(rate); the alias exists so arrival
+  /// code reads as what it is and stays grep-able in determinism audits.
+  double next_exponential(double rate) { return exponential(rate); }
 
   /// Jump ahead 2^128 steps: gives independent streams for parallel ranks
   /// derived from a common seed.

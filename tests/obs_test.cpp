@@ -158,10 +158,29 @@ TEST(ObsHistogram, PercentilesLandInTheRightBuckets) {
   EXPECT_LE(h.percentile(95.0), 4.0);
 }
 
-TEST(ObsHistogram, OverflowReportsLastBound) {
+TEST(ObsHistogram, OverflowInterpolatesTowardTheMaxObservation) {
   obs::BucketHistogram h({1.0, 2.0});
   h.observe(100.0);
-  EXPECT_DOUBLE_EQ(h.percentile(50.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  // A lone overflow occupant: every percentile reports the bucket's true
+  // upper edge — the largest observation — not the last finite bound.
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 100.0);
+
+  // With company in the overflow bucket, ranks interpolate across
+  // [last bound, max]: 2 occupants => p50 lands halfway, p100 at the max.
+  h.observe(2.5);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 51.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 100.0);
+}
+
+TEST(ObsHistogram, MaxTracksTheLargestObservation) {
+  obs::BucketHistogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);  // empty
+  h.observe(0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 0.25);
+  h.observe(1.75);
+  h.observe(0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1.75);
 }
 
 TEST(ObsHistogram, InvalidBoundsThrow) {

@@ -1,0 +1,271 @@
+// Serving-plane contract tests (DESIGN.md §4.9).
+//
+// The load-bearing claims: (1) the whole cluster is a pure function of
+// ServeConfig — same seed, same byte-identical timeline — on BOTH engine
+// substrates and with the obs plane armed or disarmed; (2) admission
+// control sheds instead of queueing without bound; (3) replica outages
+// fail batches over without losing a single admitted request; (4) the
+// continuous batcher actually batches.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "fault/fault.hpp"
+#include "obs/obs.hpp"
+#include "serve/serve.hpp"
+#include "util/error.hpp"
+
+namespace simai {
+namespace {
+
+/// Forces run_cluster's engine onto one substrate for the guard's
+/// lifetime, restoring the env afterwards (same shape as sim_parity_test).
+class SubstrateGuard {
+ public:
+  explicit SubstrateGuard(sim::Substrate s) {
+    const char* prev = std::getenv("SIMAI_SIM_THREADS");
+    if (prev) saved_ = prev;
+    had_prev_ = prev != nullptr;
+    ::setenv("SIMAI_SIM_THREADS", s == sim::Substrate::Thread ? "1" : "0", 1);
+  }
+  ~SubstrateGuard() {
+    if (had_prev_)
+      ::setenv("SIMAI_SIM_THREADS", saved_.c_str(), 1);
+    else
+      ::unsetenv("SIMAI_SIM_THREADS");
+  }
+
+ private:
+  std::string saved_;
+  bool had_prev_ = false;
+};
+
+/// Arms/disarms the process-global obs plane for one test (obs_test shape).
+class ObsGuard {
+ public:
+  explicit ObsGuard(bool armed) {
+    obs::reset();
+    obs::set_enabled(armed);
+  }
+  ~ObsGuard() {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+};
+
+serve::ServeConfig small_cluster() {
+  serve::ServeConfig cfg;
+  cfg.arrivals.clients = 3;
+  cfg.arrivals.requests_per_client = 12;
+  cfg.arrivals.rate = 300.0;
+  cfg.arrivals.seed = 9;
+  cfg.policy.max_batch_size = 4;
+  cfg.policy.max_queue_delay = 0.002;
+  cfg.policy.max_queue_depth = 32;
+  cfg.replicas = 2;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: fingerprint identical across runs, substrates, obs arming
+// ---------------------------------------------------------------------------
+
+TEST(ServeDeterminism, SameSeedSameFingerprint) {
+  const serve::ServeConfig cfg = small_cluster();
+  const serve::ServeResult a = serve::run_cluster(cfg);
+  const serve::ServeResult b = serve::run_cluster(cfg);
+  EXPECT_FALSE(a.fingerprint().empty());
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(ServeDeterminism, DifferentSeedsDiverge) {
+  serve::ServeConfig cfg = small_cluster();
+  const std::string a = serve::run_cluster(cfg).fingerprint();
+  cfg.arrivals.seed = 10;
+  EXPECT_NE(a, serve::run_cluster(cfg).fingerprint());
+}
+
+TEST(ServeDeterminism, FiberAndThreadSubstratesAgree) {
+  const serve::ServeConfig cfg = small_cluster();
+  std::string fiber, thread;
+  {
+    SubstrateGuard guard(sim::Substrate::Fiber);
+    fiber = serve::run_cluster(cfg).fingerprint();
+  }
+  {
+    SubstrateGuard guard(sim::Substrate::Thread);
+    thread = serve::run_cluster(cfg).fingerprint();
+  }
+  EXPECT_EQ(fiber, thread);
+}
+
+TEST(ServeDeterminism, ArmedAndDisarmedObsAgree) {
+  serve::ServeConfig cfg = small_cluster();
+  cfg.record_trace = true;  // exercise the labeled-span paths too
+  std::string disarmed, armed;
+  {
+    ObsGuard guard(false);
+    disarmed = serve::run_cluster(cfg).fingerprint();
+  }
+  {
+    ObsGuard guard(true);
+    armed = serve::run_cluster(cfg).fingerprint();
+  }
+  EXPECT_EQ(disarmed, armed);
+}
+
+// ---------------------------------------------------------------------------
+// Request lifecycle and SLO accounting
+// ---------------------------------------------------------------------------
+
+TEST(ServeLifecycle, EveryRequestResolvesWithOrderedTimestamps) {
+  const serve::ServeResult r = serve::run_cluster(small_cluster());
+  ASSERT_EQ(r.requests.size(), 36u);
+  EXPECT_EQ(r.completed + r.rejected, 36u);
+  std::set<std::uint64_t> ids;
+  for (const serve::RequestRecord& q : r.requests) {
+    ids.insert(q.id);
+    ASSERT_NE(q.status, serve::RequestStatus::Pending);
+    ASSERT_GE(q.arrival, 0.0);
+    if (q.status != serve::RequestStatus::Completed) continue;
+    EXPECT_GE(q.batched, q.arrival);
+    EXPECT_GE(q.compute_start, q.batched);
+    EXPECT_GT(q.compute_end, q.compute_start);
+    EXPECT_GT(q.completed, q.compute_end);
+    EXPECT_GE(q.replica, 0);
+    EXPECT_GE(q.attempts, 1);
+  }
+  EXPECT_EQ(ids.size(), 36u);  // ids unique
+  EXPECT_EQ(r.latency.count(), r.completed);
+  EXPECT_EQ(r.queue_phase.count(), r.completed);
+}
+
+TEST(ServeLifecycle, BatcherAmortizesDispatches) {
+  serve::ServeConfig cfg = small_cluster();
+  cfg.arrivals.rate = 20000.0;  // all requests arrive nearly at once
+  const serve::ServeResult r = serve::run_cluster(cfg);
+  ASSERT_GT(r.completed, 0u);
+  // With everything queued, dispatches fill to max_batch_size: far fewer
+  // batches than requests.
+  EXPECT_LT(r.batches, r.completed);
+  EXPECT_LE(r.batches * cfg.policy.max_batch_size + r.rejected +
+                cfg.policy.max_batch_size,
+            36u + cfg.policy.max_batch_size);
+}
+
+TEST(ServeLifecycle, TraceArrivalsReplaceThePoissonDraws) {
+  serve::ServeConfig cfg = small_cluster();
+  cfg.arrivals.clients = 2;
+  cfg.arrivals.trace = {0.001, 0.002, 0.003, 0.004, 0.005, 0.006};
+  const serve::ServeResult r = serve::run_cluster(cfg);
+  ASSERT_EQ(r.requests.size(), 6u);
+  EXPECT_EQ(r.completed, 6u);
+  for (const serve::RequestRecord& q : r.requests)
+    EXPECT_NEAR(q.arrival, 0.001 * static_cast<double>(q.id + 1), 1e-12);
+}
+
+TEST(ServeLifecycle, WeightRefreshesReachTheReplicas) {
+  serve::ServeConfig cfg = small_cluster();
+  cfg.arrivals.rate = 60.0;  // stretch the run so refresh events land
+  cfg.weight_refresh_rate = 20.0;
+  const serve::ServeResult r = serve::run_cluster(cfg);
+  EXPECT_EQ(r.completed, 36u);
+  EXPECT_GE(r.weight_refreshes, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST(ServeAdmission, OverloadShedsInsteadOfQueueingUnbounded) {
+  serve::ServeConfig cfg = small_cluster();
+  cfg.arrivals.requests_per_client = 60;
+  cfg.arrivals.rate = 50000.0;  // far past capacity
+  cfg.policy.max_queue_depth = 8;
+  const serve::ServeResult r = serve::run_cluster(cfg);
+  EXPECT_EQ(r.completed + r.rejected, 180u);
+  EXPECT_GT(r.rejected, 0u);
+  EXPECT_GT(r.completed, 0u);
+  // The shed bound is honoured: the queue (incl. reserved slots) never
+  // exceeded the configured depth.
+  EXPECT_LE(r.peak_queue_depth, 8u);
+  // Shed requests end life Rejected with only the arrival stamp.
+  for (const serve::RequestRecord& q : r.requests)
+    if (q.status == serve::RequestStatus::Rejected) {
+      EXPECT_GE(q.arrival, 0.0);
+      EXPECT_LT(q.batched, 0.0);
+      EXPECT_EQ(q.replica, -1);
+    }
+}
+
+TEST(ServeAdmission, DepthZeroDisablesShedding) {
+  serve::ServeConfig cfg = small_cluster();
+  cfg.arrivals.requests_per_client = 40;
+  cfg.arrivals.rate = 50000.0;
+  cfg.policy.max_queue_depth = 0;
+  const serve::ServeResult r = serve::run_cluster(cfg);
+  EXPECT_EQ(r.completed, 120u);
+  EXPECT_EQ(r.rejected, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Failover
+// ---------------------------------------------------------------------------
+
+TEST(ServeFailover, OutagesLoseNothing) {
+  serve::ServeConfig cfg = small_cluster();
+  cfg.arrivals.requests_per_client = 120;
+  cfg.arrivals.rate = 600.0;
+  cfg.policy.max_batch_size = 8;
+  cfg.policy.max_queue_depth = 0;
+  cfg.batch_overhead = 0.02;  // slow accelerator: outages straddle batches
+  fault::FaultSpec spec;
+  spec.seed = 77;
+  spec.horizon = 30.0;
+  spec.replicas = cfg.replicas;
+  spec.replica_outage_rate = 5.0;
+  spec.replica_outage_mean_duration = 0.1;
+  const fault::FaultSchedule schedule(spec);
+  cfg.faults = &schedule;
+
+  const serve::ServeResult r = serve::run_cluster(cfg);
+  EXPECT_EQ(r.completed, 360u);  // nothing lost, nothing shed
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_GE(r.failovers, 1u);
+  int retried = 0;
+  for (const serve::RequestRecord& q : r.requests) retried += q.attempts > 1;
+  EXPECT_GE(retried, 1);
+
+  // Failover runs are deterministic too.
+  const fault::FaultSchedule again(spec);
+  cfg.faults = &again;
+  EXPECT_EQ(serve::run_cluster(cfg).fingerprint(), r.fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Weights wire format
+// ---------------------------------------------------------------------------
+
+TEST(ServeWeights, PackUnpackRoundTrip) {
+  const std::vector<double> flat = {1.5, -2.25, 0.0, 3.125};
+  const util::Payload p = serve::pack_weights(7, flat);
+  std::vector<double> back;
+  EXPECT_EQ(serve::unpack_weights(p, back), 7u);
+  EXPECT_EQ(back, flat);
+}
+
+TEST(ServeWeights, TruncatedPayloadThrows) {
+  const util::Payload p = serve::pack_weights(1, {1.0, 2.0, 3.0});
+  const util::Payload cut =
+      util::Payload::copy(p.view().first(p.view().size() - sizeof(double)));
+  std::vector<double> back;
+  EXPECT_THROW(serve::unpack_weights(cut, back), util::SerializationError);
+}
+
+}  // namespace
+}  // namespace simai

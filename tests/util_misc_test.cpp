@@ -174,6 +174,21 @@ TEST(Rng, ExponentialMean) {
   EXPECT_NEAR(s.mean(), 0.25, 0.01);
 }
 
+TEST(Rng, NextExponentialGoldenValues) {
+  // Golden draws pin the (seed, rate) -> value mapping: arrival streams and
+  // fault windows are derived from these bytes, so any change to the
+  // generator or the inverse-CDF transform must show up here first.
+  Xoshiro256 rng(42);
+  EXPECT_DOUBLE_EQ(rng.next_exponential(2.0), 1.2392855545292949);
+  EXPECT_DOUBLE_EQ(rng.next_exponential(2.0), 0.4851355921634557);
+  EXPECT_DOUBLE_EQ(rng.next_exponential(2.0), 0.19279932155119542);
+  EXPECT_DOUBLE_EQ(rng.next_exponential(2.0), 0.039146773788610832);
+  // The alias is exactly exponential(): identical stream from the same seed.
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.next_exponential(3.5), b.exponential(3.5));
+}
+
 TEST(Rng, JumpCreatesIndependentStream) {
   Xoshiro256 a(99);
   Xoshiro256 b(99);

@@ -49,6 +49,19 @@ if [ -x build/bench/bench_payload ] && [ -f BENCH_payload.json ]; then
   build/bench/bench_payload --smoke --check BENCH_payload.json
 fi
 
+# Serving-plane smoke: determinism/failover contract tests, then the serve
+# bench in smoke mode gated against the committed offered-load/latency
+# curves (outage-scenario keys only — the smoke sweep is reduced, the
+# outage cell is not; see bench_serve.cpp).
+if [ -x build/tests/serve_test ]; then
+  banner "serving plane: serve_test"
+  build/tests/serve_test
+fi
+if [ -x build/bench/bench_serve ] && [ -f BENCH_serve.json ]; then
+  banner "serving plane: bench smoke (goodput/latency gate)"
+  build/bench/bench_serve --smoke --check BENCH_serve.json
+fi
+
 # Observability plane smoke: verify the trace exporter/analyzer round-trip
 # (simai_trace --self-check), then run the fig2 timeline bench with the obs
 # plane armed (SIMAI_OBS=1) and summarize the emitted Chrome trace. The

@@ -142,7 +142,7 @@ bool raw_logging_applies(std::string_view file) {
 // refcounted util::Payload or borrowed ByteView, and materializing a Bytes
 // is a per-hop copy the byte-copy rule exists to catch.
 constexpr std::string_view kBytePlanePaths[] = {"src/kv", "src/net",
-                                                "src/core"};
+                                                "src/core", "src/serve"};
 
 bool on_byte_plane(std::string_view file) {
   for (std::string_view p : kBytePlanePaths) {
