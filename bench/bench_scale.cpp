@@ -1,0 +1,333 @@
+// Engine scale benchmark: events/sec as a function of live-process count,
+// 64 up to one million logical processes, plus full-width (512-node)
+// replays of the paper's Pattern-1 and Pattern-2 workflows.
+//
+// The paper's target machine is Aurora at 10,624 nodes; modelling it
+// rank-for-rank (6 sim + 6 AI ranks per node, §4.1) needs ~127k live
+// processes, and headroom beyond that lets ensembles and serving fleets
+// ride along. This bench pins the three mechanisms that make that feasible
+// — the calendar ready queue, pooled fiber stacks, and the reclaiming
+// process arena — to numbers:
+//
+//  * ping curve: P processes x K empty delays (the dispatch-rate worst
+//    case, same workload as bench_engine) at geometrically spaced P. The
+//    fiber curve runs to P = 1,048,576; the thread curve stops at 4,096
+//    (beyond that the OS, not the engine, is the experiment).
+//  * fig3/fig6 replays: Pattern 1 with ALL 512x6 rank pairs instantiated
+//    (representative_pairs = 0 — no statistical collapsing) and Pattern 2
+//    with a 511-member ensemble, each at reduced iteration counts.
+//
+// Emits BENCH_scale.json (cwd or $SIMAI_BENCH_DIR). `--smoke` runs a
+// two-point fiber curve for the CI gate; `--check FILE` compares the
+// 4,096-process smoke point against the committed file and fails on a
+// >20% events/sec regression.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+#include "sim/engine.hpp"
+#include "util/json.hpp"
+
+using namespace simai;
+using namespace simai::bench;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double max_rss_mib() {
+  struct rusage ru{};
+  ::getrusage(RUSAGE_SELF, &ru);
+  return double(ru.ru_maxrss) / 1024.0;  // Linux: ru_maxrss is in KiB
+}
+
+struct CurvePoint {
+  std::string substrate;
+  std::uint64_t processes = 0;
+  std::uint64_t events = 0;
+  double spawn_seconds = 0.0;  // building P processes (arena + name alloc)
+  double run_seconds = 0.0;    // dispatching all events
+  double events_per_sec() const { return double(events) / run_seconds; }
+};
+
+// P processes x K empty delays. Spawn and run are timed separately: spawn
+// cost is arena/bookkeeping, run cost is pure dispatch + ready-queue churn
+// (fiber stacks and OS threads are created lazily inside the run).
+CurvePoint ping(sim::Substrate substrate, std::uint64_t processes,
+                std::uint64_t total_events) {
+  const std::uint64_t steps =
+      std::max<std::uint64_t>(1, total_events / processes);
+  CurvePoint pt;
+  pt.substrate =
+      substrate == sim::Substrate::Fiber ? "fiber" : "thread";
+  pt.processes = processes;
+  pt.events = processes * steps;
+
+  sim::Engine engine(substrate);
+  const double t0 = now_s();
+  for (std::uint64_t p = 0; p < processes; ++p) {
+    engine.spawn("p" + std::to_string(p), [steps](sim::Context& ctx) {
+      for (std::uint64_t k = 0; k < steps; ++k) ctx.delay(0.0);
+    });
+  }
+  const double t1 = now_s();
+  engine.run();
+  const double t2 = now_s();
+  pt.spawn_seconds = t1 - t0;
+  pt.run_seconds = t2 - t1;
+
+  if (engine.live_process_count() != 0) {
+    std::fprintf(stderr, "FATAL: %zu processes leaked\n",
+                 engine.live_process_count());
+    std::exit(2);
+  }
+  return pt;
+}
+
+struct ReplayResult {
+  double makespan = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t sim_steps = 0;
+  std::uint64_t train_steps = 0;
+};
+
+// Fig-3 workload at full width: every one of 512 x 6 = 3,072 rank pairs is
+// a real pair of DES processes (the figure benches collapse them to 2
+// representative pairs; here the POINT is the process count).
+ReplayResult replay_fig3_512() {
+  core::Pattern1Config c;
+  c.backend = platform::BackendKind::NodeLocal;
+  c.nodes = 512;
+  c.representative_pairs = 0;  // all 3,072 pairs -> 6,144 rank processes
+  c.payload_cap = 4 * KiB;
+  c.train_iters = 60;  // reduced; the scale is the experiment, not the stats
+  c.sim_init_time = 0.5;
+  c.train_init_time = 1.0;
+  const double t0 = now_s();
+  const core::Pattern1Result r = core::run_pattern1(c);
+  ReplayResult out;
+  out.wall_seconds = now_s() - t0;
+  out.makespan = r.makespan;
+  out.sim_steps = r.sim.steps;
+  out.train_steps = r.train.steps;
+  return out;
+}
+
+// Fig-6 workload at 512 nodes: a 511-member ensemble (one sim per node)
+// plus the single trainer node reading all members non-locally.
+ReplayResult replay_fig6_512() {
+  core::Pattern2Config c;
+  c.backend = platform::BackendKind::Dragon;
+  c.num_sims = 511;  // nodes() == 512
+  c.payload_cap = 4 * KiB;
+  c.train_iters = 40;
+  const double t0 = now_s();
+  const core::Pattern2Result r = core::run_pattern2(c);
+  ReplayResult out;
+  out.wall_seconds = now_s() - t0;
+  out.makespan = r.makespan;
+  out.sim_steps = r.sim.steps;
+  out.train_steps = r.train.steps;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--check" && i + 1 < argc) {
+      check_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--check BENCH.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  banner("Engine scale: events/sec vs live-process count");
+
+  // Geometric process-count sweep. Event totals are sized so each point
+  // takes O(1s): enough dispatches to amortize clocks, small enough that
+  // the full curve stays a few minutes.
+  struct Sweep {
+    sim::Substrate substrate;
+    std::uint64_t processes;
+    std::uint64_t events;
+  };
+  std::vector<Sweep> sweeps;
+  if (smoke) {
+    sweeps = {{sim::Substrate::Fiber, 64, 400'000},
+              {sim::Substrate::Fiber, 4'096, 400'000}};
+  } else {
+    for (std::uint64_t p : {64ull, 1'024ull, 16'384ull, 131'072ull,
+                            1'048'576ull})
+      sweeps.push_back({sim::Substrate::Fiber, p,
+                        std::max<std::uint64_t>(2'000'000, 2 * p)});
+    // Thread substrate: one OS thread per live process; past a few
+    // thousand the kernel is the bottleneck being measured, so stop there.
+    for (std::uint64_t p : {64ull, 1'024ull, 4'096ull})
+      sweeps.push_back({sim::Substrate::Thread, p, 100'000});
+  }
+
+  // Warm-up faults in allocator paths outside the timed region.
+  (void)ping(sim::Substrate::Fiber, 16, 10'000);
+
+  util::Json::Array curve;
+  Table table({"substrate", "processes", "events", "spawn s", "run s",
+               "events/s"},
+              12);
+  std::vector<CurvePoint> points;
+  for (const Sweep& s : sweeps) {
+    const CurvePoint pt = ping(s.substrate, s.processes, s.events);
+    points.push_back(pt);
+    table.row({pt.substrate, std::to_string(pt.processes),
+               std::to_string(pt.events), fixed(pt.spawn_seconds, 3),
+               fixed(pt.run_seconds, 3), fixed(pt.events_per_sec(), 0)});
+    util::Json::Object o;
+    o["substrate"] = pt.substrate;
+    o["processes"] = pt.processes;
+    o["events"] = pt.events;
+    o["spawn_seconds"] = pt.spawn_seconds;
+    o["run_seconds"] = pt.run_seconds;
+    o["events_per_sec"] = pt.events_per_sec();
+    curve.push_back(util::Json(o));
+  }
+  table.print();
+
+  auto find_point = [&](const char* substrate,
+                        std::uint64_t procs) -> const CurvePoint* {
+    for (const CurvePoint& pt : points)
+      if (pt.substrate == substrate && pt.processes == procs) return &pt;
+    return nullptr;
+  };
+
+  bool ok = true;
+
+  if (!check_path.empty()) {
+    // CI regression gate: the committed full-run curve also contains a
+    // 4,096-neighborhood... but smoke measures exactly 4,096, so the
+    // committed file stores a dedicated smoke baseline for it.
+    const util::Json committed = util::Json::parse_file(check_path);
+    const CurvePoint* now_pt = find_point("fiber", 4'096);
+    if (now_pt && committed.contains("smoke_fiber_4096_events_per_sec")) {
+      const double base =
+          committed.at("smoke_fiber_4096_events_per_sec").as_double();
+      ok &= bench::check(
+          ("fiber @4096 procs: " + fixed(now_pt->events_per_sec(), 0) +
+           " ev/s within 20% of committed " + fixed(base, 0))
+              .c_str(),
+          now_pt->events_per_sec() >= 0.8 * base);
+    }
+  }
+
+  if (smoke) {
+    // Gate mode: no file output, no multi-minute replays.
+    const CurvePoint* p64 = find_point("fiber", 64);
+    ok &= bench::check("fiber @64 procs sustains >= 1M events/s",
+                       p64 && p64->events_per_sec() >= 1e6);
+    return ok ? 0 : 1;
+  }
+
+  util::Json::Object doc;
+  doc["workload"] = "empty-delay ping, geometric process sweep";
+  doc["curve"] = util::Json(curve);
+
+  // Smoke baseline for the tools/check.sh gate (measured here with the
+  // same event count the smoke sweep uses, so the gate compares apples).
+  {
+    const CurvePoint pt = ping(sim::Substrate::Fiber, 4'096, 400'000);
+    doc["smoke_fiber_4096_events_per_sec"] = pt.events_per_sec();
+    std::printf("smoke baseline: fiber @4096 procs = %.0f ev/s\n\n",
+                pt.events_per_sec());
+  }
+
+  // Full-width paper-workflow replays.
+  banner("512-node workflow replays (all ranks instantiated)");
+  const ReplayResult f3 = replay_fig3_512();
+  const ReplayResult f6 = replay_fig6_512();
+  Table rt({"replay", "ranks", "makespan vs", "wall s", "sim steps"}, 13);
+  rt.row({"fig3 p1 512n", "6144", fixed(f3.makespan, 1),
+          fixed(f3.wall_seconds, 2), std::to_string(f3.sim_steps)});
+  rt.row({"fig6 p2 512n", "512", fixed(f6.makespan, 1),
+          fixed(f6.wall_seconds, 2), std::to_string(f6.sim_steps)});
+  rt.print();
+
+  util::Json::Object j3;
+  j3["nodes"] = 512;
+  j3["rank_processes"] = 6144;
+  j3["makespan_virtual_s"] = f3.makespan;
+  j3["wall_seconds"] = f3.wall_seconds;
+  j3["sim_steps"] = f3.sim_steps;
+  j3["train_steps"] = f3.train_steps;
+  doc["fig3_replay_512_nodes"] = util::Json(j3);
+  util::Json::Object j6;
+  j6["nodes"] = 512;
+  j6["ensemble_sims"] = 511;
+  j6["makespan_virtual_s"] = f6.makespan;
+  j6["wall_seconds"] = f6.wall_seconds;
+  j6["sim_steps"] = f6.sim_steps;
+  j6["train_steps"] = f6.train_steps;
+  doc["fig6_replay_512_nodes"] = util::Json(j6);
+
+  // Extrapolation toward the full machine: Aurora is 10,624 nodes; the
+  // paper's Pattern-1 mapping (6 sim + 6 AI ranks per node) needs
+  // 10,624 * 12 = 127,488 live processes — bracketed by the measured
+  // 131,072-process point, with the 1M point giving ~8x headroom for
+  // ensembles/serving on top.
+  {
+    const CurvePoint* p131k = find_point("fiber", 131'072);
+    const CurvePoint* p1m = find_point("fiber", 1'048'576);
+    util::Json::Object ex;
+    ex["aurora_nodes"] = 10'624;
+    ex["ranks_per_node"] = 12;
+    ex["aurora_rank_processes"] = 127'488;
+    if (p131k) ex["events_per_sec_at_131072"] = p131k->events_per_sec();
+    if (p1m) ex["events_per_sec_at_1048576"] = p1m->events_per_sec();
+    ex["note"] =
+        "full-Aurora Pattern 1 (10,624 nodes x 12 ranks = 127,488 "
+        "processes) sits just below the measured 131,072-process point; "
+        "the 1,048,576-process point shows ~8x headroom beyond that";
+    doc["aurora_extrapolation"] = util::Json(ex);
+  }
+
+  doc["max_rss_mib"] = max_rss_mib();
+  std::printf("peak RSS: %.0f MiB\n\n", max_rss_mib());
+
+  const char* out_dir = std::getenv("SIMAI_BENCH_DIR");
+  const std::string path = (out_dir ? std::string(out_dir) : std::string(".")) +
+                           "/BENCH_scale.json";
+  std::ofstream(path) << util::Json(doc).dump(2) << "\n";
+  std::printf("wrote %s\n\n", path.c_str());
+
+  std::printf("Shape checks vs the paper's scaling needs:\n");
+  const CurvePoint* p64 = find_point("fiber", 64);
+  const CurvePoint* p1m = find_point("fiber", 1'048'576);
+  ok &= bench::check("fiber @64 procs sustains >= 1M events/s",
+                     p64 && p64->events_per_sec() >= 1e6);
+  ok &= bench::check("1,048,576 processes complete the ping workload",
+                     p1m != nullptr);
+  ok &= bench::check("fiber @1M procs sustains >= 100k events/s",
+                     p1m && p1m->events_per_sec() >= 1e5);
+  ok &= bench::check("fig3 replay (512 nodes, all pairs) completes",
+                     f3.makespan > 0.0 && f3.sim_steps > 0);
+  ok &= bench::check("fig6 replay (512 nodes, full ensemble) completes",
+                     f6.makespan > 0.0 && f6.sim_steps > 0);
+  return ok ? 0 : 1;
+}

@@ -101,6 +101,11 @@ class Detector {
     return id;
   }
 
+  void release_process(ProcId pid) {
+    std::lock_guard lock(mutex_);
+    procs_.erase(pid);
+  }
+
   void on_spawn(ProcId parent, ProcId child) {
     std::lock_guard lock(mutex_);
     ProcState* c = find(child);
@@ -369,6 +374,10 @@ void set_enabled(bool on) {
 
 ProcId register_process(const std::string& name) {
   return Detector::instance().register_process(name);
+}
+
+void release_process(ProcId pid) {
+  if (pid != 0) Detector::instance().release_process(pid);
 }
 
 std::size_t report_count() { return Detector::instance().report_count(); }

@@ -90,6 +90,13 @@ void set_enabled(bool on);
 /// spawn happens-before edge.
 ProcId register_process(const std::string& name);
 
+/// Drop the per-process state (clock, name, op stack) of a FINISHED logical
+/// process — it emits no further ops, and everything race reports need was
+/// snapshotted at access time. Called by the engine when it reclaims the
+/// process, so detector memory is bounded by live processes. Ids are never
+/// reused; other processes' clocks may still carry this pid's counters.
+void release_process(ProcId pid);
+
 // -- engine-side hooks (inline no-ops while disabled) -----------------------
 
 /// Parent (the calling thread's current process, if any) -> child edge.

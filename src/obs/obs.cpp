@@ -24,6 +24,7 @@ namespace {
 struct PlaneState {
   std::mutex mu;
   std::vector<std::unique_ptr<TraceContext>> contexts;  // id-1 indexed
+  std::vector<std::uint32_t> free_ids;  // released slots, recycled LIFO
   // (backing store instance, key) -> flow id published by the writer.
   std::map<const void*, std::map<std::string, std::uint64_t, std::less<>>>
       flows;
@@ -75,8 +76,23 @@ std::uint32_t register_context(const std::string& process_name) {
 
   auto& st = detail::state();
   std::lock_guard<std::mutex> lock(st.mu);
+  if (!st.free_ids.empty()) {
+    const std::uint32_t id = st.free_ids.back();
+    st.free_ids.pop_back();
+    st.contexts[id - 1] = std::move(ctx);
+    return id;
+  }
   st.contexts.push_back(std::move(ctx));
   return static_cast<std::uint32_t>(st.contexts.size());
+}
+
+void release_context(std::uint32_t id) {
+  if (id == 0) return;
+  auto& st = detail::state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (id > st.contexts.size() || !st.contexts[id - 1]) return;
+  st.contexts[id - 1].reset();
+  st.free_ids.push_back(id);
 }
 
 TraceContext* context(std::uint32_t id) {
@@ -128,6 +144,7 @@ void reset() {
   {
     std::lock_guard<std::mutex> lock(st.mu);
     st.contexts.clear();
+    st.free_ids.clear();
     st.flows.clear();
     st.sample_interval = 1.0;
   }

@@ -64,8 +64,15 @@ inline bool enabled() {
 void set_enabled(bool on);
 
 /// Register a logical process; returns its context id (0 is "none"). Called
-/// by the engine at spawn time while the plane is armed.
+/// by the engine at spawn time while the plane is armed. Ids of released
+/// contexts are recycled, so the table is bounded by LIVE processes.
 std::uint32_t register_context(const std::string& process_name);
+
+/// Drop the context behind `id` and recycle the id. Called by the engine
+/// when a process finishes; no-op for 0 / unknown / already-released ids.
+/// Span/flow ids never depend on the numeric id (they derive from the
+/// process name), so recycling cannot perturb traces.
+void release_context(std::uint32_t id);
 
 /// Context for an id from register_context; nullptr for 0 / unknown ids.
 TraceContext* context(std::uint32_t id);

@@ -139,19 +139,21 @@ Substrate Engine::default_substrate() {
 }
 
 Process& Engine::spawn(std::string name, std::function<void(Context&)> body) {
-  // Process is immovable (owns semaphores), and its ctor is private: build
-  // it in place via the raw-new form available to this friend class.
-  std::unique_ptr<Process> proc(
-      new Process(*this, next_pid_++, std::move(name), std::move(body)));
-  Process& p = *proc;
-  processes_.push_back(std::move(proc));
+  // Process is immovable (owns semaphores), and its ctor is private: the
+  // arena hands us raw slot storage and this friend class placement-news
+  // into it. Slots are recycled from finished processes.
+  auto [p, h] = arena_.create([&](void* mem) {
+    return new (mem)
+        Process(*this, next_pid_++, std::move(name), std::move(body));
+  });
+  p->self_ = ProcessHandle{h.slot, h.gen};
   if (check::enabled()) {
-    p.check_id_ = check::register_process(p.name_);
-    check::on_spawn(p.check_id_);  // parent = the spawning process, if any
+    p->check_id_ = check::register_process(p->name_);
+    check::on_spawn(p->check_id_);  // parent = the spawning process, if any
   }
-  if (obs::enabled()) p.obs_id_ = obs::register_context(p.name_);
-  schedule(p, now_);
-  return p;
+  if (obs::enabled()) p->obs_id_ = obs::register_context(p->name_);
+  schedule(*p, now_);
+  return *p;
 }
 
 void Engine::enable_race_detection() {
@@ -159,9 +161,9 @@ void Engine::enable_race_detection() {
   // Processes spawned before the switch get registered retroactively; their
   // mutual spawn edges are lost, which is conservative (more concurrency
   // reported, never less) — enable before spawning for exact edges.
-  for (auto& p : processes_) {
-    if (p->check_id_ == 0) p->check_id_ = check::register_process(p->name_);
-  }
+  arena_.for_each_live([](Process& p) {
+    if (p.check_id_ == 0) p.check_id_ = check::register_process(p.name_);
+  });
 }
 
 void Engine::enable_observability() {
@@ -169,9 +171,9 @@ void Engine::enable_observability() {
   // Retroactive registration mirrors enable_race_detection: processes
   // spawned before the switch still get deterministic trace contexts
   // (ids derive from names, not registration time).
-  for (auto& p : processes_) {
-    if (p->obs_id_ == 0) p->obs_id_ = obs::register_context(p->name_);
-  }
+  arena_.for_each_live([](Process& p) {
+    if (p.obs_id_ == 0) p.obs_id_ = obs::register_context(p.name_);
+  });
 }
 
 void Engine::set_metric_sampler(SimTime interval,
@@ -187,9 +189,16 @@ void Engine::set_metric_sampler(SimTime interval,
 }
 
 void Engine::schedule(Process& p, SimTime when) {
-  p.wake_time_ = when;
   p.state_ = Process::State::Ready;
-  ready_.push(HeapEntry{when, next_seq_++, &p});
+  const std::uint64_t seq = next_seq_++;  // every schedule burns a seq
+  if (p.cal_.queued) {
+    // Rescheduled at the SAME time: keep the existing (earlier-seq) entry.
+    // This reproduces the heap's tie-break exactly — there the older entry
+    // surfaced first and the newer one was skipped as stale.
+    if (p.cal_.time == when) return;
+    ready_.erase(p);
+  }
+  ready_.insert(p, when, seq);
 }
 
 // One step of a process body: run user code, swallow teardown, capture the
@@ -217,14 +226,30 @@ void Engine::thread_trampoline(Process& p) {
   engine_turn_.release();
 }
 
+// A finished process gives everything back: its OS thread is joined, its
+// detector/trace registrations dropped, and its arena slot (plus fiber
+// stack, via ~Process -> ~Fiber -> StackPool::release) recycled for future
+// spawns. After this any ProcessHandle to it resolves to nullptr.
+void Engine::reclaim(Process& p) {
+  if (p.thread_.joinable()) p.thread_.join();
+  if (p.check_id_ != 0) check::release_process(p.check_id_);
+  if (p.obs_id_ != 0) obs::release_context(p.obs_id_);
+  ready_.erase(p);  // defensive; a finished process holds no queue entry
+  arena_.destroy({p.self_.slot, p.self_.gen});
+}
+
 void Engine::dispatch(Process& p) {
   p.state_ = Process::State::Running;
   if (p.check_id_ != 0) check::on_dispatch(p.check_id_, now_);
   if (substrate_ == Substrate::Fiber) {
     if (!p.fiber_) {
       // Lazy fiber creation: entry runs process_body and returns, which
-      // finishes the fiber and swaps back to this resume() call.
-      p.fiber_ = std::make_unique<Fiber>([this, &p] { process_body(p); });
+      // finishes the fiber and swaps back to this resume() call. The
+      // runtime (stack pool + scheduler link) is itself created on the
+      // engine's first fiber dispatch.
+      if (!fiber_rt_) fiber_rt_ = std::make_unique<FiberRuntime>();
+      p.fiber_ =
+          std::make_unique<Fiber>([this, &p] { process_body(p); }, *fiber_rt_);
     }
     if (p.check_id_ != 0) {
       // All fibers share the engine thread: bind the detector's notion of
@@ -246,9 +271,10 @@ void Engine::dispatch(Process& p) {
   if (pending_error_) {
     std::exception_ptr err = pending_error_;
     pending_error_ = nullptr;
-    kill_all();
+    kill_all();  // reclaims every process, including p
     std::rethrow_exception(err);
   }
+  if (p.state_ == Process::State::Finished) reclaim(p);
 }
 
 void Engine::drain(SimTime t_end) {
@@ -259,19 +285,13 @@ void Engine::drain(SimTime t_end) {
     ~Guard() { flag = false; }
   } guard{running_};
 
-  while (!ready_.empty()) {
-    HeapEntry top = ready_.top();
-    // Skip stale heap entries: a process may have been rescheduled (e.g. the
-    // event side of wait_for fired before its timeout entry surfaced) or
-    // finished. An entry is current iff the process is Ready at this time.
-    if (top.process->state_ != Process::State::Ready ||
-        top.process->wake_time_ != top.time) {
-      ready_.pop();
-      continue;
-    }
-    if (top.time > t_end) return;  // leave for a future run_until call
+  // The calendar queue holds each ready process exactly once (reschedules
+  // move the entry in place), so every peek is live — no stale-skip loop.
+  while (Process* top = ready_.peek()) {
+    const SimTime t = top->cal_.time;
+    if (t > t_end) return;  // leave for a future run_until call
     ready_.pop();
-    now_ = std::max(now_, top.time);
+    now_ = std::max(now_, t);
     // Metric sampling runs from the scheduler, between dispatches, so it
     // observes a consistent registry and cannot perturb process schedules.
     // At most one sample per clock advance: a jump across several interval
@@ -281,20 +301,22 @@ void Engine::drain(SimTime t_end) {
       sampler_next_ =
           (std::floor(now_ / sampler_interval_) + 1.0) * sampler_interval_;
     }
-    dispatch(*top.process);
+    dispatch(*top);  // may reclaim *top; not touched afterwards
   }
 
   // Final sample at drain time so the last partial interval is covered.
   if (sampler_) sampler_(now_);
 
-  // Nothing runnable. Any live, blocked processes mean deadlock.
+  // Nothing runnable. Any live, blocked processes mean deadlock. (Finished
+  // processes were reclaimed at dispatch, so the live set is exactly the
+  // blocked ones plus, under run_until, not-yet-due ones.)
   std::string blocked;
-  for (const auto& p : processes_) {
-    if (p->state_ == Process::State::Blocked) {
+  arena_.for_each_live([&](Process& p) {
+    if (p.state_ == Process::State::Blocked) {
       if (!blocked.empty()) blocked += ", ";
-      blocked += p->name_;
+      blocked += p.name_;
     }
-  }
+  });
   if (!blocked.empty())
     throw DeadlockError("sim: deadlock — processes blocked on events: " +
                         blocked);
@@ -304,36 +326,43 @@ void Engine::run() { drain(std::numeric_limits<SimTime>::infinity()); }
 
 void Engine::run_until(SimTime t_end) { drain(t_end); }
 
-std::size_t Engine::live_process_count() const {
-  std::size_t n = 0;
-  for (const auto& p : processes_) {
-    if (p->state_ != Process::State::Finished) ++n;
-  }
-  return n;
+Engine::FiberStats Engine::fiber_stats() const {
+  FiberStats out;
+  if (!fiber_rt_) return out;  // no fiber ever dispatched (or Thread substrate)
+  const StackPool::Stats& s = fiber_rt_->pool.stats();
+  out.stacks_acquired = s.acquires;
+  out.stack_pool_hits = s.pool_hits;
+  out.stack_slabs = s.slabs;
+  out.stack_bytes_mapped = s.mapped_bytes;
+  out.stacks_pooled = s.pooled;
+  out.stacks_guarded = s.guarded;
+  return out;
 }
 
 void Engine::kill_all() {
-  for (auto& p : processes_) {
-    if (p->state_ == Process::State::Finished) {
-      if (p->thread_.joinable()) p->thread_.join();
-      continue;
-    }
-    p->kill_requested_ = true;
+  ready_.clear();
+  // Phase 1: unwind every unfinished process. Unwinding runs destructors on
+  // the process stack, which may legally notify Events — i.e. schedule other
+  // processes — so every record must stay alive until all unwinds are done.
+  arena_.for_each_live([&](Process& p) {
+    if (p.state_ == Process::State::Finished) return;
+    p.kill_requested_ = true;
     if (substrate_ == Substrate::Fiber) {
-      if (p->fiber_ && !p->fiber_->finished()) {
+      if (p.fiber_ && !p.fiber_->finished()) {
         // The fiber is parked in suspend(); resuming lets it observe the
         // kill flag, throw ProcessKilled, unwind its stack, and finish.
-        p->fiber_->resume();
+        p.fiber_->resume();
       }
-    } else if (p->thread_.joinable()) {
+    } else if (p.thread_.joinable()) {
       // The thread is parked on resume_; release it so it can observe the
       // kill flag, unwind, and hand the baton back.
-      p->resume_.release();
+      p.resume_.release();
       engine_turn_.acquire();
-      p->thread_.join();
     }
-    p->state_ = Process::State::Finished;
-  }
+    p.state_ = Process::State::Finished;
+  });
+  // Phase 2: reclaim everything (for_each_live tolerates destroy-in-visit).
+  arena_.for_each_live([&](Process& p) { reclaim(p); });
 }
 
 }  // namespace simai::sim

@@ -27,6 +27,17 @@
 //  * Virtual time is decoupled from wall time: a 512-node, 2500-iteration
 //    workflow finishes in seconds of wall clock.
 //
+// Scale (DESIGN.md §4.10): the engine is built to hold ~1M live logical
+// processes. The ready structure is an intrusive calendar queue
+// (sim/calendar_queue.hpp — O(1) amortized schedule/dispatch, in-place
+// reschedule, no stale entries), Process records live in a slab arena
+// (sim/process_arena.hpp) whose slots are RECLAIMED the moment a process
+// finishes (memory tracks peak-live, not total spawns; generation-checked
+// ProcessHandles detect stale references), and fiber stacks come from a
+// per-engine pool of lazily-faulted slabs that recycles a finished
+// process's stack to the next spawn. bench/bench_scale.cpp measures the
+// events/sec-vs-process-count curve this buys.
+//
 // The design follows the classic "process-interaction" simulation worldview
 // (SimPy-style), which is what a workflow mini-app maps onto naturally:
 // `delay()` models compute occupancy, `Event`/`Channel` model coordination,
@@ -37,12 +48,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <semaphore>
 #include <string>
 #include <thread>
-#include <vector>
 
+#include "sim/calendar_queue.hpp"
+#include "sim/process_arena.hpp"
 #include "util/error.hpp"
 #include "util/types.hpp"
 
@@ -52,6 +63,7 @@ class Engine;
 class Context;
 class Event;
 class Fiber;
+struct FiberRuntime;
 
 /// Which execution mechanism backs logical processes (see file comment).
 enum class Substrate { Fiber, Thread };
@@ -68,6 +80,17 @@ class DeadlockError : public Error {
   using Error::Error;
 };
 
+/// Generation-checked reference to a logical process. A Process& returned
+/// by Engine::spawn is only valid until that process finishes (its arena
+/// slot is then reclaimed for future spawns); a handle stays safe forever —
+/// Engine::find returns nullptr once the process is gone, even if the slot
+/// has a new tenant.
+struct ProcessHandle {
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;  // 0 = null handle
+  bool null() const { return gen == 0; }
+};
+
 /// Internal per-process record. Users interact through Context.
 class Process {
  public:
@@ -75,11 +98,14 @@ class Process {
   const std::string& name() const { return name_; }
   std::uint64_t id() const { return id_; }
   bool finished() const { return state_ == State::Finished; }
+  /// Generation-checked handle; outlives the Process safely.
+  ProcessHandle handle() const { return self_; }
 
  private:
   friend class Engine;
   friend class Context;
   friend class Event;
+  friend class SlabArena<Process>;
 
   enum class State { Created, Ready, Running, Blocked, Finished };
 
@@ -93,8 +119,9 @@ class Process {
   std::unique_ptr<Fiber> fiber_;     // fiber substrate (lazy, first dispatch)
   std::thread thread_;               // thread substrate (lazy, first dispatch)
   std::binary_semaphore resume_{0};  // thread substrate: engine -> process
+  CalendarHook<Process> cal_;        // ready-queue linkage (time under cal_.time)
+  ProcessHandle self_;               // this process's arena slot + generation
   State state_ = State::Created;
-  SimTime wake_time_ = 0.0;
   bool kill_requested_ = false;
   std::uint32_t check_id_ = 0;  // race-detector id (simai::check); 0 = off
   std::uint32_t obs_id_ = 0;    // trace-context id (simai::obs); 0 = off
@@ -217,11 +244,21 @@ class Engine {
 
   /// Create a logical process scheduled to start at the current time.
   /// Safe to call both before run() and from inside a running process.
+  /// The reference is valid until the process FINISHES — its record is
+  /// then reclaimed; keep Process::handle() for anything longer-lived.
   Process& spawn(std::string name, std::function<void(Context&)> body);
+
+  /// The process behind `h`, or nullptr once it has finished and been
+  /// reclaimed (generation-checked: a recycled slot does not alias).
+  Process* find(ProcessHandle h) { return arena_.get({h.slot, h.gen}); }
+  bool is_live(ProcessHandle h) const {
+    return arena_.is_live({h.slot, h.gen});
+  }
 
   /// Run until no process is runnable. Throws DeadlockError if processes
   /// remain blocked on events, and rethrows the first exception that
-  /// escaped a process body.
+  /// escaped a process body (after which the engine and any Events still
+  /// holding its waiters must be discarded).
   void run();
 
   /// Run until virtual time would exceed `t_end`; blocked/later processes
@@ -230,33 +267,46 @@ class Engine {
 
   SimTime now() const { return now_; }
 
-  /// Number of processes that have not finished.
-  std::size_t live_process_count() const;
+  /// Number of processes that have not finished. O(1) — a maintained
+  /// counter, not a scan.
+  std::size_t live_process_count() const { return arena_.live(); }
+
+  /// Arena slots ever allocated: the peak-live high-water mark. Bounded by
+  /// peak concurrency, NOT total spawns — finished processes are recycled.
+  std::size_t process_slots() const { return arena_.capacity(); }
+
+  /// Fiber-substrate allocator counters (all zero before the first fiber
+  /// dispatch, and forever on the thread substrate). `stack_pool_hits` over
+  /// `stacks_acquired` is the recycle rate; `stack_bytes_mapped` is address
+  /// space, not RSS (stacks fault in lazily, page by page).
+  struct FiberStats {
+    std::uint64_t stacks_acquired = 0;
+    std::uint64_t stack_pool_hits = 0;
+    std::uint64_t stack_slabs = 0;
+    std::uint64_t stack_bytes_mapped = 0;
+    std::uint64_t stacks_pooled = 0;
+    std::uint64_t stacks_guarded = 0;
+  };
+  FiberStats fiber_stats() const;
 
  private:
   friend class Context;
   friend class Event;
 
-  struct HeapEntry {
-    SimTime time;
-    std::uint64_t seq;
-    Process* process;
-    bool operator>(const HeapEntry& o) const {
-      return time != o.time ? time > o.time : seq > o.seq;
-    }
-  };
-
   void schedule(Process& p, SimTime when);
   void dispatch(Process& p);
   void process_body(Process& p);      // shared trampoline core
   void thread_trampoline(Process& p);
+  void reclaim(Process& p);           // finished -> slot back to the arena
   void drain(SimTime t_end);
   void kill_all();
 
   const Substrate substrate_;
-  std::vector<std::unique_ptr<Process>> processes_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
-      ready_;
+  // Pool before arena: processes (arena) borrow stacks from the pool, so
+  // the pool must be destroyed after them.
+  std::unique_ptr<FiberRuntime> fiber_rt_;  // lazy, first fiber dispatch
+  SlabArena<Process> arena_;
+  CalendarQueue<Process, &Process::cal_> ready_;
   SimTime now_ = 0.0;
   std::uint64_t next_pid_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -4,9 +4,11 @@
 #include <unistd.h>
 
 #include <cassert>
-#include <cstdint>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
+#include <string>
 
 #include "util/error.hpp"
 
@@ -64,6 +66,27 @@ std::size_t round_up_to_page(std::size_t bytes) {
   return (bytes + page - 1) / page * page;
 }
 
+/// Strict decimal parse for fiber env knobs: the whole string must be a
+/// number in [lo, hi]. Anything else — empty, trailing junk, negative,
+/// overflow — throws with the offending value in the message.
+std::uint64_t parse_env_u64(const char* name, const char* value,
+                            std::uint64_t lo, std::uint64_t hi) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  // strtoull is too lenient for a config knob: it skips leading whitespace,
+  // accepts a sign (silently wrapping negatives), and stops at trailing
+  // junk. Require pure digits, in range.
+  const bool leading_junk = value[0] < '0' || value[0] > '9';
+  if (leading_junk || errno == ERANGE || end == value || *end != '\0' ||
+      parsed < lo || parsed > hi) {
+    throw Error(std::string("fiber: invalid ") + name + "='" + value +
+                "' (expected an integer in [" + std::to_string(lo) + ", " +
+                std::to_string(hi) + "])");
+  }
+  return parsed;
+}
+
 // makecontext only forwards ints, so the Fiber* rides in two halves.
 static_assert(sizeof(void*) == 8, "fiber trampoline assumes 64-bit pointers");
 Fiber* unsplit(unsigned int hi, unsigned int lo) {
@@ -74,26 +97,86 @@ Fiber* unsplit(unsigned int hi, unsigned int lo) {
 
 }  // namespace
 
-Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
-    : entry_(std::move(entry)) {
-  stack_bytes_ =
-      round_up_to_page(stack_bytes ? stack_bytes : default_stack_bytes());
-  mapping_bytes_ = stack_bytes_ + page_size();  // +1 guard page below
-  void* m = ::mmap(nullptr, mapping_bytes_, PROT_READ | PROT_WRITE,
-                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
-  if (m == MAP_FAILED)
-    throw Error("fiber: mmap of " + std::to_string(mapping_bytes_) +
-                "-byte stack failed");
-  mapping_ = static_cast<std::byte*>(m);
-  // Guard page: overflowing the fiber stack faults instead of silently
-  // corrupting the adjacent mapping.
-  ::mprotect(mapping_, page_size(), PROT_NONE);
-  stack_bottom_ = mapping_ + page_size();
+// ---------------------------------------------------------------------------
+// StackPool
+// ---------------------------------------------------------------------------
 
+StackPool::StackPool() {
+  guard_budget_ = 8192;
+  if (const char* env = std::getenv("SIMAI_SIM_STACK_GUARDS")) {
+    if (*env != '\0')
+      guard_budget_ = static_cast<std::size_t>(
+          parse_env_u64("SIMAI_SIM_STACK_GUARDS", env, 0, 1u << 20));
+  }
+}
+
+StackPool::~StackPool() {
+  for (const auto& [base, bytes] : slabs_) ::munmap(base, bytes);
+}
+
+StackPool::Stack StackPool::acquire(std::size_t bytes) {
+  bytes = round_up_to_page(bytes);
+  SizeClass& cls = classes_[bytes];
+  ++stats_.acquires;
+
+  if (!cls.free.empty()) {
+    std::byte* base = cls.free.back();
+    cls.free.pop_back();
+    ++stats_.pool_hits;
+    --stats_.pooled;
+    return Stack{base, bytes};
+  }
+
+  // Every slot reserves a leading page so guarded and guardless stacks
+  // share one stride (and one free list) per size class.
+  const std::size_t stride = bytes + page_size();
+  if (static_cast<std::size_t>(cls.bump_end - cls.bump) < stride) {
+    const std::size_t slots = cls.slab_slots;
+    if (cls.slab_slots < kMaxSlabSlots) cls.slab_slots *= 2;
+    const std::size_t slab_bytes = stride * slots;
+    void* m = ::mmap(nullptr, slab_bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK | MAP_NORESERVE,
+                     -1, 0);
+    if (m == MAP_FAILED)
+      throw Error("fiber: mmap of " + std::to_string(slab_bytes) +
+                  "-byte stack slab failed");
+    slabs_.emplace_back(static_cast<std::byte*>(m), slab_bytes);
+    ++stats_.slabs;
+    stats_.mapped_bytes += slab_bytes;
+    cls.bump = static_cast<std::byte*>(m);
+    cls.bump_end = cls.bump + slab_bytes;
+  }
+
+  std::byte* slot = cls.bump;
+  cls.bump += stride;
+  if (stats_.guarded < guard_budget_) {
+    // Guard page: overflowing this stack faults instead of silently
+    // corrupting the neighboring one. Each guard splits the slab mapping,
+    // costing kernel VMA slots — hence the budget.
+    if (::mprotect(slot, page_size(), PROT_NONE) == 0) ++stats_.guarded;
+  }
+  return Stack{slot + page_size(), bytes};
+}
+
+void StackPool::release(Stack s) {
+  if (!s.base) return;
+  classes_[s.bytes].free.push_back(s.base);
+  ++stats_.pooled;
+}
+
+// ---------------------------------------------------------------------------
+// Fiber
+// ---------------------------------------------------------------------------
+
+Fiber::Fiber(std::function<void()> entry, FiberRuntime& runtime,
+             std::size_t stack_bytes)
+    : entry_(std::move(entry)), runtime_(runtime) {
+  stack_ =
+      runtime_.pool.acquire(stack_bytes ? stack_bytes : default_stack_bytes());
   if (::getcontext(&ctx_) != 0) throw Error("fiber: getcontext failed");
-  ctx_.uc_stack.ss_sp = stack_bottom_;
-  ctx_.uc_stack.ss_size = stack_bytes_;
-  ctx_.uc_link = &link_;  // safety net; run() swaps back explicitly
+  ctx_.uc_stack.ss_sp = stack_.base;
+  ctx_.uc_stack.ss_size = stack_.bytes;
+  ctx_.uc_link = &runtime_.sched_link;  // safety net; run() swaps explicitly
   const auto bits = reinterpret_cast<std::uintptr_t>(this);
   ::makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
                 static_cast<unsigned int>(bits >> 32),
@@ -103,13 +186,19 @@ Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
 Fiber::~Fiber() {
   // The engine unwinds every fiber (kill_all) before destruction; a
   // suspended fiber reaching this point just loses its stack contents.
-  if (mapping_) ::munmap(mapping_, mapping_bytes_);
+  // The faulted-in pages go back to the pool for the next fiber.
+  runtime_.pool.release(stack_);
 }
 
 std::size_t Fiber::default_stack_bytes() {
   if (const char* env = std::getenv("SIMAI_SIM_STACK_KB")) {
-    const long kb = std::atol(env);
-    if (kb > 0) return static_cast<std::size_t>(kb) * 1024;
+    if (*env != '\0') {
+      // 16 KiB floor: below that even the entry trampoline may not fit.
+      // 4 GiB ceiling: catches "bytes where KiB was meant" typos.
+      const std::uint64_t kb =
+          parse_env_u64("SIMAI_SIM_STACK_KB", env, 16, 4ull * 1024 * 1024);
+      return static_cast<std::size_t>(kb) * 1024;
+    }
   }
 #if defined(SIMAI_FIBER_ASAN)
   return 1024 * 1024;
@@ -132,7 +221,7 @@ void Fiber::run() {
   // Dying switch: fake_stack_save == nullptr tells ASan to release this
   // fiber's fake stack instead of preserving it for a future resume.
   sanitizer_start_switch(nullptr, peer_stack_bottom_, peer_stack_size_);
-  ::swapcontext(&ctx_, &link_);
+  ::swapcontext(&ctx_, &runtime_.sched_link);
   assert(false && "finished fiber must not be resumed");
   std::terminate();
 }
@@ -142,8 +231,8 @@ void Fiber::resume() {
   assert(!finished_ && "resume() called on a finished fiber");
   started_ = true;
   running_ = true;
-  sanitizer_start_switch(&resume_fake_stack_, stack_bottom_, stack_bytes_);
-  ::swapcontext(&link_, &ctx_);
+  sanitizer_start_switch(&resume_fake_stack_, stack_.base, stack_.bytes);
+  ::swapcontext(&runtime_.sched_link, &ctx_);
   sanitizer_finish_switch(resume_fake_stack_, nullptr, nullptr);
 }
 
@@ -152,7 +241,7 @@ void Fiber::suspend() {
   running_ = false;
   sanitizer_start_switch(&fiber_fake_stack_, peer_stack_bottom_,
                          peer_stack_size_);
-  ::swapcontext(&ctx_, &link_);
+  ::swapcontext(&ctx_, &runtime_.sched_link);
   // Resumed again: refresh the resumer's stack bounds (same scheduler
   // stack in practice, but run()/run_until() frames may differ).
   sanitizer_finish_switch(fiber_fake_stack_, &peer_stack_bottom_,

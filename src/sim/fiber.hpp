@@ -1,12 +1,30 @@
 // User-level stackful coroutines (fibers) — the fast execution substrate
-// for the DES engine.
+// for the DES engine — plus the pooled stack allocator that lets them
+// scale to a million live processes.
 //
-// A Fiber owns a private mmap'd stack (with a PROT_NONE guard page below
-// it) and a ucontext pair: `resume()` switches from the caller's stack onto
-// the fiber's, `suspend()` switches back to whoever resumed it. Both are
-// plain user-space register swaps — no kernel involvement — which is what
-// makes event dispatch ~10-100x cheaper than the semaphore-baton thread
-// substrate it replaces (see bench/bench_engine.cpp).
+// A Fiber runs on a stack borrowed from a StackPool and a ucontext pair:
+// `resume()` switches from the caller's stack onto the fiber's, `suspend()`
+// switches back to whoever resumed it. Both are plain user-space register
+// swaps — no kernel involvement — which is what makes event dispatch
+// ~10-100x cheaper than the semaphore-baton thread substrate it replaces
+// (see bench/bench_engine.cpp). The engine runs strictly one fiber at a
+// time, so all fibers of an engine share ONE resumer-side ucontext (the
+// FiberRuntime's scheduler link) instead of carrying a ~1 KiB link context
+// each.
+//
+// StackPool: one mmap per FIBER does not survive a million processes —
+// each mapping (plus its mprotect'd guard page) consumes kernel VMA slots
+// against vm.max_map_count (~65k by default), and munmap on every process
+// exit throws the faulted-in pages away. The pool instead carves stacks
+// out of large MAP_NORESERVE slabs (one VMA each) and keeps released
+// stacks in per-size free lists, so a finished process's stack — pages
+// already faulted in — is handed whole to the next fiber of that size.
+// Pages are first-touch lazy: a slab of 4096 stacks costs address space
+// only; RSS grows with pages actually written, one or two per shallow
+// process. The first `guard_budget` stacks get a PROT_NONE guard page
+// below them (each costs VMA slots, hence the budget — default 8192,
+// override with SIMAI_SIM_STACK_GUARDS=<count>); beyond the budget stacks
+// are packed guardless, the price of scale.
 //
 // Sanitizer interop: AddressSanitizer tracks shadow memory per stack, so
 // every switch is bracketed with __sanitizer_start_switch_fiber /
@@ -16,27 +34,92 @@
 //
 // Invariants (enforced by the Engine, asserted here):
 //  * resume() is only called off-fiber (from the scheduler), suspend()
-//    only on-fiber, strictly alternating.
+//    only on-fiber, strictly alternating; at most one fiber of a runtime
+//    is between resume() and suspend() at any moment (which is what makes
+//    the shared scheduler link sound).
 //  * A finished fiber (entry returned) is never resumed again.
 //  * The fiber unwinds (entry returns or throws through a catch in the
 //    entry wrapper) before the Fiber is destroyed; destroying a suspended
-//    fiber frees the stack without running destructors of objects on it.
+//    fiber recycles the stack without running destructors of objects on it.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <ucontext.h>
+#include <unordered_map>
+#include <vector>
 
 namespace simai::sim {
 
+/// Slab allocator for fiber stacks: free lists keyed by stack size over
+/// large lazily-faulted mappings. Stacks are recycled, never munmapped,
+/// until the pool itself dies (engine teardown).
+class StackPool {
+ public:
+  struct Stack {
+    std::byte* base = nullptr;   // usable low address (above any guard)
+    std::size_t bytes = 0;       // usable size (page multiple)
+  };
+
+  struct Stats {
+    std::uint64_t acquires = 0;      // total stack requests
+    std::uint64_t pool_hits = 0;     // served from a free list
+    std::uint64_t slabs = 0;         // mmap'd slabs
+    std::uint64_t mapped_bytes = 0;  // address space reserved (not RSS)
+    std::uint64_t guarded = 0;       // stacks with a PROT_NONE guard page
+    std::uint64_t pooled = 0;        // stacks currently in free lists
+  };
+
+  StackPool();
+  ~StackPool();
+  StackPool(const StackPool&) = delete;
+  StackPool& operator=(const StackPool&) = delete;
+
+  /// A stack of at least `bytes` usable bytes (rounded up to page size):
+  /// recycled from the matching free list when possible, else carved from
+  /// a slab (mmap'ing a new slab when the current one is full).
+  Stack acquire(std::size_t bytes);
+
+  /// Return a stack for reuse. Must have come from this pool's acquire().
+  void release(Stack s);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct SizeClass {
+    std::vector<std::byte*> free;   // released stack bases, LIFO
+    std::byte* bump = nullptr;      // next carve position in current slab
+    std::byte* bump_end = nullptr;
+    std::size_t slab_slots = 16;    // next slab size, doubles to kMaxSlabSlots
+  };
+
+  static constexpr std::size_t kMaxSlabSlots = 4096;
+
+  std::unordered_map<std::size_t, SizeClass> classes_;  // keyed by stack size
+  std::vector<std::pair<std::byte*, std::size_t>> slabs_;
+  std::size_t guard_budget_ = 0;
+  Stats stats_;
+};
+
+/// Per-engine fiber machinery: the stack pool plus the single shared
+/// scheduler-side ucontext every fiber of the engine swaps against. Owned
+/// by the Engine (lazily, first fiber dispatch) behind a unique_ptr so
+/// <ucontext.h> stays out of the public engine header.
+struct FiberRuntime {
+  StackPool pool;
+  ucontext_t sched_link{};  // saved scheduler context during a dispatch
+};
+
 class Fiber {
  public:
-  /// `entry` runs on the fiber's own stack at the first resume(). It must
+  /// `entry` runs on a pool-acquired stack at the first resume(). It must
   /// not let exceptions escape (the engine's trampoline catches them);
   /// anything that does terminates the program.
   /// `stack_bytes` == 0 picks default_stack_bytes().
-  explicit Fiber(std::function<void()> entry, std::size_t stack_bytes = 0);
-  ~Fiber();
+  Fiber(std::function<void()> entry, FiberRuntime& runtime,
+        std::size_t stack_bytes = 0);
+  ~Fiber();  // returns the stack to the pool (the pool owns the mapping)
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
 
@@ -54,7 +137,9 @@ class Fiber {
   bool finished() const { return finished_; }
 
   /// Default stack size: SIMAI_SIM_STACK_KB env override, else 256 KiB
-  /// (1 MiB under ASan — redzones inflate every frame).
+  /// (1 MiB under ASan — redzones inflate every frame). A set-but-invalid
+  /// override (non-numeric, zero, below 16 KiB, above 4 GiB, overflow)
+  /// throws Error instead of silently misconfiguring every stack.
   static std::size_t default_stack_bytes();
 
  private:
@@ -62,12 +147,9 @@ class Fiber {
   [[noreturn]] void run();
 
   std::function<void()> entry_;
-  ucontext_t ctx_{};   // the fiber's saved context
-  ucontext_t link_{};  // the resumer's saved context
-  std::byte* mapping_ = nullptr;  // mmap base: [guard page][stack]
-  std::size_t mapping_bytes_ = 0;
-  std::byte* stack_bottom_ = nullptr;  // usable low address (above guard)
-  std::size_t stack_bytes_ = 0;
+  FiberRuntime& runtime_;
+  ucontext_t ctx_{};              // the fiber's saved context
+  StackPool::Stack stack_;        // borrowed from runtime_.pool
   bool started_ = false;
   bool running_ = false;  // control currently on the fiber's stack
   bool finished_ = false;

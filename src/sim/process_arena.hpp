@@ -1,0 +1,131 @@
+// Slab arena with generation-checked handles: backing store for the
+// engine's Process records.
+//
+// The engine used to keep every process in a
+// std::vector<std::unique_ptr<Process>> for its whole life — one heap
+// allocation per spawn and memory that grows monotonically with TOTAL
+// spawns, not live processes. At the million-process scale the engine now
+// targets (and for serving-style workloads that churn short-lived
+// processes forever) both costs matter.
+//
+// The arena instead carves objects out of fixed-size chunks (1024 slots
+// each, never freed or moved until arena destruction, so T* stays stable
+// for an object's lifetime) and recycles destroyed slots through a free
+// list — memory is bounded by PEAK live objects. Each slot carries a
+// generation counter bumped on destroy; a Handle{slot, gen} therefore
+// detects use-after-reclaim in O(1) instead of silently aliasing the
+// slot's next tenant.
+//
+// Not thread-safe; the DES engine mutates it from the scheduler only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace simai::sim {
+
+template <class T>
+class SlabArena {
+ public:
+  static constexpr std::size_t kChunkSlots = 1024;
+
+  struct Handle {
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;  // 0 = null handle (generations start at 1)
+  };
+
+  SlabArena() = default;
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  ~SlabArena() {
+    for_each_live([](T& obj) { obj.~T(); });
+  }
+
+  /// Construct an object in a fresh-or-recycled slot. `make` receives the
+  /// slot's raw storage and must placement-new a T there (this indirection
+  /// lets callers invoke private constructors the arena cannot).
+  template <class MakeFn>
+  std::pair<T*, Handle> create(MakeFn&& make) {
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      if (slots_used_ == chunks_.size() * kChunkSlots)
+        chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+      slot = static_cast<std::uint32_t>(slots_used_++);
+    }
+    Slot& s = slot_at(slot);
+    T* obj = make(static_cast<void*>(s.storage));
+    s.live = true;
+    ++live_;
+    return {obj, Handle{slot, s.gen}};
+  }
+
+  /// Destroy the object behind `h` and recycle its slot. No-op when the
+  /// handle is stale (slot already reclaimed, generation mismatch).
+  void destroy(Handle h) {
+    Slot* s = resolve(h);
+    if (!s) return;
+    reinterpret_cast<T*>(s->storage)->~T();
+    s->live = false;
+    ++s->gen;
+    --live_;
+    free_.push_back(h.slot);
+  }
+
+  /// The object behind `h`, or nullptr if it has been reclaimed.
+  T* get(Handle h) {
+    Slot* s = resolve(h);
+    return s ? reinterpret_cast<T*>(s->storage) : nullptr;
+  }
+
+  bool is_live(Handle h) const {
+    return const_cast<SlabArena*>(this)->resolve(h) != nullptr;
+  }
+
+  /// Live objects right now — maintained counter, O(1).
+  std::size_t live() const { return live_; }
+
+  /// Slots ever allocated (peak-live high-water mark; bounds memory).
+  std::size_t capacity() const { return slots_used_; }
+
+  /// Visit every live object. Destroying the VISITED object from `fn` is
+  /// allowed (liveness is re-checked per slot); creating objects is not.
+  template <class Fn>
+  void for_each_live(Fn&& fn) {
+    for (std::size_t i = 0; i < slots_used_; ++i) {
+      Slot& s = slot_at(static_cast<std::uint32_t>(i));
+      if (s.live) fn(*reinterpret_cast<T*>(s.storage));
+    }
+  }
+
+ private:
+  struct Slot {
+    alignas(T) unsigned char storage[sizeof(T)];
+    std::uint32_t gen = 1;
+    bool live = false;
+  };
+
+  Slot& slot_at(std::uint32_t slot) {
+    return chunks_[slot / kChunkSlots][slot % kChunkSlots];
+  }
+
+  Slot* resolve(Handle h) {
+    if (h.gen == 0 || h.slot >= slots_used_) return nullptr;
+    Slot& s = slot_at(h.slot);
+    return (s.live && s.gen == h.gen) ? &s : nullptr;
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::vector<std::uint32_t> free_;
+  std::size_t slots_used_ = 0;  // slots handed out at least once
+  std::size_t live_ = 0;
+};
+
+}  // namespace simai::sim

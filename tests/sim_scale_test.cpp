@@ -1,0 +1,478 @@
+// Scale-machinery tests: the calendar ready queue, the process arena with
+// generation-checked handles, the pooled fiber stacks, and the hardened
+// stack-size env parsing — everything PR 7 added to push the engine toward
+// a million live processes.
+//
+// The calendar queue is fuzzed directly against a reference model (a sorted
+// multiset) because its correctness argument — exact (time, seq) pop order
+// across bucket boundaries, resizes, and in-place reschedules — is the
+// engine's determinism contract. Engine-level cases then pin the behaviors
+// the queue swap could plausibly have disturbed: same-time tie-breaks,
+// run_until landing exactly on an event time, reschedule-while-queued via
+// wait_for, and mid-run spawns at high process counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <random>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/calendar_queue.hpp"
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+#include "util/error.hpp"
+
+namespace simai::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CalendarQueue unit + fuzz tests
+// ---------------------------------------------------------------------------
+
+struct Item {
+  CalendarHook<Item> hook;
+  int id = 0;
+};
+
+using Queue = CalendarQueue<Item, &Item::hook>;
+
+TEST(CalendarQueueTest, PopsInTimeOrder) {
+  Queue q;
+  std::vector<Item> items(5);
+  const double times[] = {3.0, 1.0, 4.0, 1.5, 0.25};
+  for (int i = 0; i < 5; ++i) q.insert(items[i], times[i], i);
+  std::vector<double> popped;
+  while (Item* it = q.pop()) popped.push_back(it->hook.time);
+  EXPECT_EQ(popped, (std::vector<double>{0.25, 1.0, 1.5, 3.0, 4.0}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueueTest, SameTimeTieBrokenBySeqAcrossBucketBoundaries) {
+  // Many same-time entries inserted in shuffled seq order, enough to force
+  // several grows (and thus re-bucketing): pop order must be exactly
+  // ascending seq, which is what preserves the engine's spawn-order ties.
+  Queue q;
+  constexpr int kN = 500;
+  std::vector<Item> items(kN);
+  std::vector<int> seqs(kN);
+  for (int i = 0; i < kN; ++i) seqs[i] = i;
+  std::mt19937 rng(7);
+  std::shuffle(seqs.begin(), seqs.end(), rng);
+  for (int i = 0; i < kN; ++i) {
+    items[i].id = seqs[i];
+    q.insert(items[i], 42.0, static_cast<std::uint64_t>(seqs[i]));
+  }
+  for (int want = 0; want < kN; ++want) {
+    Item* it = q.pop();
+    ASSERT_NE(it, nullptr);
+    EXPECT_EQ(it->id, want);
+  }
+}
+
+TEST(CalendarQueueTest, ExactBucketEdgeTimesStaySorted) {
+  // Times sitting exactly on bucket boundaries (integer multiples of the
+  // initial width 1.0) are the classic calendar-queue off-by-one spot: a
+  // float-derived boundary compare can place t = k*w in year k-1 or k
+  // inconsistently between insert and dequeue. The integer-cycle design
+  // must pop them in exact order regardless.
+  Queue q;
+  constexpr int kN = 64;
+  std::vector<Item> items(kN);
+  for (int i = 0; i < kN; ++i)
+    q.insert(items[i], double(kN - 1 - i), static_cast<std::uint64_t>(i));
+  double prev = -1.0;
+  while (Item* it = q.pop()) {
+    EXPECT_GT(it->hook.time, prev);
+    prev = it->hook.time;
+  }
+  EXPECT_DOUBLE_EQ(prev, double(kN - 1));
+}
+
+TEST(CalendarQueueTest, EraseUnlinksAndReinsertMoves) {
+  Queue q;
+  Item a, b, c;
+  q.insert(a, 1.0, 0);
+  q.insert(b, 2.0, 1);
+  q.insert(c, 3.0, 2);
+  EXPECT_TRUE(Queue::queued(b));
+  q.erase(b);
+  EXPECT_FALSE(Queue::queued(b));
+  q.insert(b, 0.5, 3);  // rescheduled earlier than the calendar position
+  EXPECT_EQ(q.pop(), &b);
+  EXPECT_EQ(q.pop(), &a);
+  EXPECT_EQ(q.pop(), &c);
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+TEST(CalendarQueueTest, ClearResetsHooks) {
+  Queue q;
+  std::vector<Item> items(40);
+  for (int i = 0; i < 40; ++i) q.insert(items[i], i * 0.1, i);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  for (Item& it : items) EXPECT_FALSE(Queue::queued(it));
+  // Items are reusable after a clear.
+  q.insert(items[0], 9.0, 100);
+  EXPECT_EQ(q.pop(), &items[0]);
+}
+
+TEST(CalendarQueueTest, FuzzAgainstReferenceModel) {
+  // Random insert/erase/pop/peek against a sorted-set model. Times are
+  // drawn from a mix of a fine grid (forcing same-bucket pileups and exact
+  // boundary hits) and a wide range (forcing dry-year searches); the pool
+  // is large enough to drive several grow/shrink rehashes.
+  constexpr int kPool = 400;
+  constexpr int kOps = 20000;
+  Queue q;
+  std::vector<Item> items(kPool);
+  for (int i = 0; i < kPool; ++i) items[i].id = i;
+  // Model: (time, seq, item index), ordered like the queue pops.
+  std::set<std::tuple<double, std::uint64_t, int>> model;
+  std::mt19937 rng(12345);
+  std::uint64_t seq = 0;
+
+  auto random_time = [&]() -> double {
+    switch (rng() % 4) {
+      case 0:
+        return double(rng() % 16);             // exact small-integer edges
+      case 1:
+        return double(rng() % 1000) * 0.125;   // fine grid, dense buckets
+      case 2:
+        return double(rng() % 1000000) * 0.5;  // sparse far future
+      default:
+        return std::uniform_real_distribution<double>(0.0, 64.0)(rng);
+    }
+  };
+
+  for (int op = 0; op < kOps; ++op) {
+    const int idx = int(rng() % kPool);
+    Item& it = items[idx];
+    switch (rng() % 5) {
+      case 0:
+      case 1: {  // insert (if free)
+        if (!Queue::queued(it)) {
+          const double t = random_time();
+          q.insert(it, t, seq);
+          model.emplace(t, seq, idx);
+          ++seq;
+        }
+        break;
+      }
+      case 2: {  // erase (possibly a no-op)
+        if (Queue::queued(it))
+          model.erase({it.hook.time, it.hook.seq, idx});
+        q.erase(it);
+        break;
+      }
+      case 3: {  // pop and compare with the model min
+        Item* got = q.pop();
+        if (model.empty()) {
+          EXPECT_EQ(got, nullptr);
+        } else {
+          ASSERT_NE(got, nullptr);
+          const auto [t, s, want_idx] = *model.begin();
+          EXPECT_EQ(got->id, want_idx);
+          EXPECT_DOUBLE_EQ(got->hook.time, t);
+          EXPECT_EQ(got->hook.seq, s);
+          model.erase(model.begin());
+        }
+        break;
+      }
+      default: {  // peek is non-destructive and matches the model min
+        Item* got = q.peek();
+        if (model.empty()) {
+          EXPECT_EQ(got, nullptr);
+        } else {
+          ASSERT_NE(got, nullptr);
+          EXPECT_EQ(got->id, std::get<2>(*model.begin()));
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(q.size(), model.size());
+  }
+
+  // Drain: the full remaining pop sequence must equal the model's order.
+  while (!model.empty()) {
+    Item* got = q.pop();
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->id, std::get<2>(*model.begin()));
+    model.erase(model.begin());
+  }
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level scale behaviors (both substrates)
+// ---------------------------------------------------------------------------
+
+std::string substrate_name(const ::testing::TestParamInfo<Substrate>& info) {
+  return info.param == Substrate::Fiber ? "Fiber" : "Thread";
+}
+
+class SimScaleTest : public ::testing::TestWithParam<Substrate> {};
+
+TEST_P(SimScaleTest, RunUntilExactlyOnEventTimeRunsThatEvent) {
+  // run_until(t) is inclusive of events AT t; only strictly later ones are
+  // deferred. Pinned here because the queue swap moved the comparison from
+  // heap entries to calendar hooks.
+  Engine engine(GetParam());
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0}) {
+    engine.spawn("p", [&fired, t](Context& ctx) {
+      ctx.delay(t);
+      fired.push_back(t);
+    });
+  }
+  engine.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(engine.live_process_count(), 1u);
+  engine.run();
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(engine.live_process_count(), 0u);
+}
+
+TEST_P(SimScaleTest, WaitForRescheduleKeepsTimeoutAndNotifyOrder) {
+  // wait_for parks a process in the queue at its deadline; a notify
+  // reschedules it in place. All three relations of notify time vs
+  // deadline (earlier, exactly equal, only-timeout) must behave. At the
+  // exactly-equal point the tie goes by schedule seq: the waiter's timer
+  // entry predates the notifier's delay entry here, so the TIMEOUT wins.
+  Engine engine(GetParam());
+  std::vector<std::string> order;
+  Event ev_early(engine), ev_exact(engine), ev_never(engine);
+  engine.spawn("early", [&](Context& ctx) {
+    order.push_back(ctx.wait_for(ev_early, 10.0) ? "early:notified"
+                                                 : "early:timeout");
+  });
+  engine.spawn("exact", [&](Context& ctx) {
+    order.push_back(ctx.wait_for(ev_exact, 5.0) ? "exact:notified"
+                                                : "exact:timeout");
+  });
+  engine.spawn("timeout", [&](Context& ctx) {
+    order.push_back(ctx.wait_for(ev_never, 7.0) ? "never:notified"
+                                                : "never:timeout");
+  });
+  engine.spawn("notifier", [&](Context& ctx) {
+    ctx.delay(2.0);
+    ev_early.notify_all();  // well before its 10.0 deadline
+    ctx.delay(3.0);         // t = 5.0 == exact's deadline, but the timer
+    ev_exact.notify_all();  // entry is older and dispatches first
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"early:notified",
+                                             "exact:timeout",
+                                             "never:timeout"}));
+}
+
+TEST_P(SimScaleTest, SameTimeNotifyBeforeDeadlineEntryWins) {
+  // The mirror case: the notifier's delay entry is OLDER than the waiter's
+  // deadline entry, so at the shared time t=5 the notify runs first and the
+  // same-time in-place reschedule must keep the waiter's original (earlier)
+  // seq — the waiter then wakes notified, not timed out.
+  Engine engine(GetParam());
+  std::string result;
+  Event ev(engine);
+  engine.spawn("notifier", [&](Context& ctx) {
+    ctx.delay(5.0);
+    ev.notify_all();
+  });
+  engine.spawn("waiter", [&](Context& ctx) {
+    result = ctx.wait_for(ev, 5.0) ? "notified" : "timeout";
+  });
+  engine.run();
+  EXPECT_EQ(result, "notified");
+}
+
+TEST_P(SimScaleTest, SpawnDuringRunAtHighProcessCounts) {
+  // A seeder keeps injecting processes while thousands are in flight;
+  // every child must run, and the arena must reclaim them all.
+  const int kChildren = GetParam() == Substrate::Fiber ? 4000 : 400;
+  Engine engine(GetParam());
+  int ran = 0;
+  engine.spawn("seeder", [&](Context& ctx) {
+    for (int i = 0; i < kChildren; ++i) {
+      engine.spawn("child", [&ran](Context& cctx) {
+        cctx.delay(0.5);
+        ++ran;
+      });
+      if (i % 64 == 0) ctx.yield();
+    }
+  });
+  engine.run();
+  EXPECT_EQ(ran, kChildren);
+  EXPECT_EQ(engine.live_process_count(), 0u);
+}
+
+TEST_P(SimScaleTest, ProcessSlotsBoundedByPeakNotTotalSpawns) {
+  // Five sequential waves: finished processes are reclaimed, so the arena
+  // high-water mark tracks one wave (plus the driver), not the sum.
+  constexpr int kWave = 256;
+  constexpr int kWaves = 5;
+  Engine engine(GetParam());
+  for (int w = 0; w < kWaves; ++w) {
+    for (int i = 0; i < kWave; ++i)
+      engine.spawn("w", [](Context& ctx) { ctx.delay(0.1); });
+    engine.run();
+    EXPECT_EQ(engine.live_process_count(), 0u);
+  }
+  EXPECT_LE(engine.process_slots(), std::size_t(kWave) + 1);
+}
+
+TEST_P(SimScaleTest, HandleGoesStaleOnFinishAndSurvivesSlotReuse) {
+  Engine engine(GetParam());
+  Process& p = engine.spawn("short", [](Context& ctx) { ctx.delay(1.0); });
+  const ProcessHandle h = p.handle();
+  EXPECT_FALSE(h.null());
+  EXPECT_TRUE(engine.is_live(h));
+  ASSERT_NE(engine.find(h), nullptr);
+  EXPECT_EQ(engine.find(h)->name(), "short");
+  engine.run();
+  // Finished => reclaimed: the handle resolves to nothing...
+  EXPECT_FALSE(engine.is_live(h));
+  EXPECT_EQ(engine.find(h), nullptr);
+  // ...and keeps resolving to nothing after the slot is recycled.
+  Process& p2 = engine.spawn("tenant", [](Context& ctx) { ctx.delay(1.0); });
+  const ProcessHandle h2 = p2.handle();
+  EXPECT_EQ(h2.slot, h.slot);  // LIFO free list: same slot, new generation
+  EXPECT_NE(h2.gen, h.gen);
+  EXPECT_EQ(engine.find(h), nullptr);
+  ASSERT_NE(engine.find(h2), nullptr);
+  EXPECT_EQ(engine.find(h2)->name(), "tenant");
+  engine.run();
+}
+
+TEST_P(SimScaleTest, LiveProcessCountTracksBlockedAndReady) {
+  Engine engine(GetParam());
+  Event ev(engine);
+  engine.spawn("waiter", [&](Context& ctx) { ctx.wait(ev); });
+  engine.spawn("late", [](Context& ctx) { ctx.delay(10.0); });
+  engine.spawn("notifier", [&](Context& ctx) {
+    ctx.delay(1.0);
+    ev.notify_all();
+  });
+  EXPECT_EQ(engine.live_process_count(), 3u);
+  engine.run_until(2.0);
+  EXPECT_EQ(engine.live_process_count(), 1u);  // only "late" remains
+  engine.run();
+  EXPECT_EQ(engine.live_process_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Substrates, SimScaleTest,
+                         ::testing::Values(Substrate::Fiber,
+                                           Substrate::Thread),
+                         substrate_name);
+
+// ---------------------------------------------------------------------------
+// Fiber-substrate stress: tens of thousands of concurrent processes
+// ---------------------------------------------------------------------------
+
+#if !defined(SIMAI_BUILD_TSAN)
+// Under the tsan preset every engine is coerced to thread-per-process, and
+// 20k OS threads is not a stress test, it is a fork bomb — the substrate
+// coverage above suffices there.
+TEST(SimScaleStressTest, TwentyThousandConcurrentFiberProcesses) {
+  constexpr int kProcs = 20000;
+  Engine engine(Substrate::Fiber);
+  Event barrier(engine);
+  std::uint64_t sum = 0;
+  for (int i = 0; i < kProcs; ++i) {
+    engine.spawn("p" + std::to_string(i), [&sum, &barrier, i](Context& ctx) {
+      ctx.delay(double(i % 97) * 0.01);
+      if (i == 0) {
+        ctx.delay(10.0);
+        barrier.notify_all();  // everyone else is parked by now
+      } else {
+        ctx.wait(barrier);
+      }
+      sum += std::uint64_t(i);
+    });
+  }
+  EXPECT_EQ(engine.live_process_count(), std::size_t(kProcs));
+  engine.run();
+  EXPECT_EQ(sum, std::uint64_t(kProcs) * (kProcs - 1) / 2);
+  EXPECT_EQ(engine.live_process_count(), 0u);
+
+  // Every process got a pooled stack; a second wave must recycle them.
+  const Engine::FiberStats first = engine.fiber_stats();
+  EXPECT_EQ(first.stacks_acquired, std::uint64_t(kProcs));
+  EXPECT_GE(first.stacks_pooled, std::uint64_t(1));
+  for (int i = 0; i < 100; ++i)
+    engine.spawn("again", [](Context& ctx) { ctx.delay(0.1); });
+  engine.run();
+  const Engine::FiberStats second = engine.fiber_stats();
+  EXPECT_EQ(second.stacks_acquired, std::uint64_t(kProcs) + 100);
+  EXPECT_GE(second.stack_pool_hits, std::uint64_t(100));
+  EXPECT_EQ(second.stack_slabs, first.stack_slabs);  // no new mappings
+}
+#endif  // !SIMAI_BUILD_TSAN
+
+// ---------------------------------------------------------------------------
+// SIMAI_SIM_STACK_KB / SIMAI_SIM_STACK_GUARDS hardening
+// ---------------------------------------------------------------------------
+
+class StackEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("SIMAI_SIM_STACK_KB");
+    ::unsetenv("SIMAI_SIM_STACK_GUARDS");
+  }
+  void set_kb(const char* v) { ::setenv("SIMAI_SIM_STACK_KB", v, 1); }
+};
+
+TEST_F(StackEnvTest, ValidOverrideIsUsed) {
+  set_kb("512");
+  EXPECT_EQ(Fiber::default_stack_bytes(), std::size_t(512) * 1024);
+  set_kb("16");  // the floor itself is accepted
+  EXPECT_EQ(Fiber::default_stack_bytes(), std::size_t(16) * 1024);
+}
+
+TEST_F(StackEnvTest, UnsetAndEmptyFallBackToDefault) {
+  ::unsetenv("SIMAI_SIM_STACK_KB");
+  const std::size_t dflt = Fiber::default_stack_bytes();
+  EXPECT_GE(dflt, std::size_t(256) * 1024);
+  set_kb("");
+  EXPECT_EQ(Fiber::default_stack_bytes(), dflt);
+}
+
+TEST_F(StackEnvTest, GarbageIsRejectedLoudly) {
+  for (const char* bad : {"abc", "256k", "1e3", "12 34", " 64", "0x40"}) {
+    set_kb(bad);
+    EXPECT_THROW(Fiber::default_stack_bytes(), Error) << "value: " << bad;
+  }
+}
+
+TEST_F(StackEnvTest, ZeroTinyNegativeAndOverflowAreRejected) {
+  for (const char* bad : {"0", "8", "15",            // below the 16 KiB floor
+                          "-256",                    // strtoull would wrap
+                          "4294967297",              // > 4 GiB ceiling
+                          "99999999999999999999"}) {  // > uint64 range
+    set_kb(bad);
+    EXPECT_THROW(Fiber::default_stack_bytes(), Error) << "value: " << bad;
+  }
+}
+
+TEST_F(StackEnvTest, ErrorMessageNamesVariableAndValue) {
+  set_kb("banana");
+  try {
+    Fiber::default_stack_bytes();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("SIMAI_SIM_STACK_KB"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("banana"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(StackEnvTest, GuardBudgetEnvIsValidatedToo) {
+  ::setenv("SIMAI_SIM_STACK_GUARDS", "not-a-number", 1);
+  EXPECT_THROW(StackPool{}, Error);
+  ::setenv("SIMAI_SIM_STACK_GUARDS", "0", 1);
+  EXPECT_NO_THROW(StackPool{});  // zero guards is a legal choice
+}
+
+}  // namespace
+}  // namespace simai::sim

@@ -49,6 +49,16 @@ if [ -x build/bench/bench_payload ] && [ -f BENCH_payload.json ]; then
   build/bench/bench_payload --smoke --check BENCH_payload.json
 fi
 
+# Engine-scale bench smoke: rerun the two-point fiber dispatch curve and
+# fail if events/sec at 4,096 processes dropped more than 20% versus the
+# committed BENCH_scale.json baseline — the calendar queue / stack pool /
+# process arena are all on this path, so a structural regression shows up
+# here before the full curve would.
+if [ -x build/bench/bench_scale ] && [ -f BENCH_scale.json ]; then
+  banner "engine-scale bench smoke (events/sec gate)"
+  build/bench/bench_scale --smoke --check BENCH_scale.json
+fi
+
 # Serving-plane smoke: determinism/failover contract tests, then the serve
 # bench in smoke mode gated against the committed offered-load/latency
 # curves (outage-scenario keys only — the smoke sweep is reduced, the
