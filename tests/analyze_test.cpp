@@ -1,0 +1,500 @@
+// Unit tests for the whole-program analyzer (tools/analyze.{hpp,cpp}).
+//
+// Same contract as lint_test: every rule id has a seeded-bad fixture that
+// MUST fire and a benign twin that MUST stay clean. The gate being green
+// over src/ only means something if the analyzer provably catches the
+// patterns it bans — including through multiple call-graph hops and across
+// files.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+#include "util/json.hpp"
+
+namespace an = simai::analyze;
+namespace util = simai::util;
+
+namespace {
+
+bool has_rule(const std::vector<an::Finding>& fs, std::string_view rule) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const an::Finding& f) { return f.rule == rule; });
+}
+
+const an::Finding* find_rule(const std::vector<an::Finding>& fs,
+                             std::string_view rule) {
+  for (const an::Finding& f : fs) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<an::SourceFile> one(std::string text) {
+  return {{"src/sim/fixture.cpp", std::move(text)}};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// fiber-blocking: direct sites
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeBlocking, FlagsMutexDirectlyInProcessBody) {
+  const auto fs = an::check_blocking_reachability(one(
+      "void body(sim::Context& ctx) {\n"
+      "  std::lock_guard<std::mutex> g(mu);\n"
+      "}\n"));
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "fiber-blocking");
+  EXPECT_EQ(fs[0].line, 2);
+  ASSERT_EQ(fs[0].chain.size(), 1u);
+  EXPECT_NE(fs[0].chain[0].find("body"), std::string::npos);
+}
+
+TEST(AnalyzeBlocking, FlagsSleepAndJoinInContextLambda) {
+  const auto fs = an::check_blocking_reachability(one(
+      "void setup(Engine& e) {\n"
+      "  e.spawn(\"p\", [](sim::Context& ctx) {\n"
+      "    sleep(1);\n"
+      "    worker.join();\n"
+      "  });\n"
+      "}\n"));
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].line, 3);
+  EXPECT_EQ(fs[1].line, 4);
+  // The lambda, not setup(), is the process body in the chain.
+  EXPECT_NE(fs[0].chain[0].find("lambda"), std::string::npos);
+}
+
+TEST(AnalyzeBlocking, VirtualWaitsDoNotFire) {
+  // ctx.wait / ctx.delay are virtual-time primitives; a member wait only
+  // counts when its receiver is declared condition_variable somewhere.
+  const auto fs = an::check_blocking_reachability(one(
+      "void body(sim::Context& ctx) {\n"
+      "  ctx.wait(done_event);\n"
+      "  ctx.delay(1.0);\n"
+      "  queue.wait_for_space();\n"
+      "}\n"));
+  EXPECT_TRUE(fs.empty()) << fs.front().to_string();
+}
+
+TEST(AnalyzeBlocking, CvTypedReceiverWaitFires) {
+  const auto fs = an::check_blocking_reachability(one(
+      "std::condition_variable cv_;\n"
+      "void body(sim::Context& ctx) {\n"
+      "  cv_.wait(lk);\n"
+      "}\n"));
+  // The cv_ declaration itself is shared-state's business, not ours; the
+  // wait through it is a real park.
+  ASSERT_TRUE(has_rule(fs, "fiber-blocking"));
+  EXPECT_EQ(find_rule(fs, "fiber-blocking")->line, 3);
+}
+
+TEST(AnalyzeBlocking, GlobalQualifiedReadWriteOnly) {
+  const auto fs = an::check_blocking_reachability(one(
+      "void body(sim::Context& ctx) {\n"
+      "  store.read(key);\n"           // member: fine
+      "  payload.write(out);\n"        // member: fine
+      "  ::read(fd, buf, n);\n"        // real syscall: fires
+      "}\n"));
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].line, 4);
+}
+
+TEST(AnalyzeBlocking, BlockingWithoutContextRootStaysClean) {
+  // A mutex in a function no process body can reach is not our problem.
+  const auto fs = an::check_blocking_reachability(one(
+      "void tool_main() {\n"
+      "  std::lock_guard<std::mutex> g(mu);\n"
+      "}\n"));
+  EXPECT_TRUE(fs.empty()) << fs.front().to_string();
+}
+
+// ---------------------------------------------------------------------------
+// fiber-blocking: reachability through the cross-file call graph
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeBlocking, TwoHopChainAcrossFiles) {
+  const std::vector<an::SourceFile> files = {
+      {"src/core/proc.cpp",
+       "void body(sim::Context& ctx) { helper_a(); }\n"},
+      {"src/kv/helper.cpp",
+       "void helper_a() { helper_b(); }\n"
+       "void helper_b() {\n"
+       "  std::unique_lock<std::mutex> lk(mu_);\n"
+       "}\n"},
+  };
+  const auto fs = an::check_blocking_reachability(files);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].file, "src/kv/helper.cpp");
+  EXPECT_EQ(fs[0].line, 3);
+  // Full chain, process body first: body -> helper_a -> helper_b.
+  ASSERT_EQ(fs[0].chain.size(), 3u);
+  EXPECT_NE(fs[0].chain[0].find("body"), std::string::npos);
+  EXPECT_NE(fs[0].chain[1].find("helper_a"), std::string::npos);
+  EXPECT_NE(fs[0].chain[2].find("helper_b"), std::string::npos);
+}
+
+TEST(AnalyzeBlocking, MemberFunctionChainThroughClass) {
+  const std::vector<an::SourceFile> files = {
+      {"src/core/proc.cpp",
+       "void body(sim::Context& ctx) { store.flush(); }\n"},
+      {"src/kv/store.cpp",
+       "void Store::flush() { sync_to_disk(); }\n"
+       "void Store::sync_to_disk() { ::write(fd_, buf_, n_); }\n"},
+  };
+  const auto fs = an::check_blocking_reachability(files);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].line, 2);
+  ASSERT_EQ(fs[0].chain.size(), 3u);
+  EXPECT_NE(fs[0].chain[1].find("Store::flush"), std::string::npos);
+}
+
+TEST(AnalyzeBlocking, UnreachableHelperStaysClean) {
+  // helper_b blocks but nothing on the Context side calls it.
+  const std::vector<an::SourceFile> files = {
+      {"src/core/proc.cpp", "void body(sim::Context& ctx) { ctx.delay(1); }\n"},
+      {"src/kv/helper.cpp",
+       "void helper_b() { std::lock_guard<std::mutex> g(mu); }\n"},
+  };
+  EXPECT_TRUE(an::check_blocking_reachability(files).empty());
+}
+
+// ---------------------------------------------------------------------------
+// shared-state
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeShared, FlagsBareGlobalAndStaticLocal) {
+  const auto fs = an::check_shared_state(one(
+      "int g_count = 0;\n"
+      "void bump() {\n"
+      "  static int calls = 0;\n"
+      "  ++calls;\n"
+      "}\n"));
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].rule, "shared-state");
+  EXPECT_EQ(fs[0].line, 1);
+  EXPECT_NE(fs[0].message.find("g_count"), std::string::npos);
+  EXPECT_EQ(fs[1].line, 3);
+  EXPECT_NE(fs[1].message.find("calls"), std::string::npos);
+}
+
+TEST(AnalyzeShared, SharedCellWrappedGlobalIsClean) {
+  const auto fs = an::check_shared_state(one(
+      "check::SharedCell<int> g_count{\"g_count\"};\n"
+      "simai::check::SharedCell<std::vector<double>> g_hist{\"hist\"};\n"));
+  EXPECT_TRUE(fs.empty()) << fs.front().to_string();
+}
+
+TEST(AnalyzeShared, ConstAndConstexprAreClean) {
+  const auto fs = an::check_shared_state(one(
+      "const int kLimit = 8;\n"
+      "constexpr double kEps = 1e-9;\n"
+      "static const char kName[] = \"x\";\n"
+      "void f() { static constexpr int kLocal = 3; (void)kLocal; }\n"));
+  EXPECT_TRUE(fs.empty()) << fs.front().to_string();
+}
+
+TEST(AnalyzeShared, SyncPrimitivesAreExemptHere) {
+  // Mutexes/once_flags are fiber-blocking's concern at their use sites.
+  const auto fs = an::check_shared_state(one(
+      "std::mutex g_mu;\n"
+      "std::once_flag g_once;\n"
+      "std::condition_variable g_cv;\n"));
+  EXPECT_TRUE(fs.empty()) << fs.front().to_string();
+}
+
+TEST(AnalyzeShared, ThreadLocalAndInitializedGlobalFire) {
+  const auto fs = an::check_shared_state(one(
+      "thread_local int tls_depth = 0;\n"
+      "std::atomic<bool> g_enabled{false};\n"));
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_NE(fs[0].message.find("tls_depth"), std::string::npos);
+  EXPECT_NE(fs[1].message.find("g_enabled"), std::string::npos);
+}
+
+TEST(AnalyzeShared, PlainDataMembersAreClean) {
+  // Non-static members are per-object state, not escapes.
+  const auto fs = an::check_shared_state(one(
+      "class Store {\n"
+      "  int size_ = 0;\n"
+      "  std::vector<double> vals_;\n"
+      "  static int live_stores_;\n"  // static member: fires
+      "};\n"));
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_NE(fs[0].message.find("live_stores_"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// spawn-ref-capture
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeSpawnCapture, DefaultRefCaptureFires) {
+  const auto fs = an::check_shared_state(one(
+      "void setup(Engine& e) {\n"
+      "  int shared = 0;\n"
+      "  e.spawn(\"p\", [&](sim::Context& ctx) { shared++; });\n"
+      "}\n"));
+  const an::Finding* f = find_rule(fs, "spawn-ref-capture");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->line, 3);
+  EXPECT_NE(f->message.find("[&] default"), std::string::npos);
+}
+
+TEST(AnalyzeSpawnCapture, NamedRefCaptureFires) {
+  const auto fs = an::check_shared_state(one(
+      "void setup(Engine& e, Scheduler& s) {\n"
+      "  e.spawn(\"sched\", [&s](sim::Context& ctx) { s.run(ctx); });\n"
+      "}\n"));
+  const an::Finding* f = find_rule(fs, "spawn-ref-capture");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("&s"), std::string::npos);
+}
+
+TEST(AnalyzeSpawnCapture, ValueAndInitCapturesAreClean) {
+  const auto fs = an::check_shared_state(one(
+      "void setup(Engine& e, Replica* rp) {\n"
+      "  int k = 3;\n"
+      "  e.spawn(\"a\", [rp](sim::Context& ctx) { rp->run(ctx); });\n"
+      "  e.spawn(\"b\", [k, name = tag()](sim::Context& ctx) { use(k, name); });\n"
+      "  e.spawn(\"c\", [this, k](sim::Context& ctx) { body(ctx, k); });\n"
+      "}\n"));
+  EXPECT_FALSE(has_rule(fs, "spawn-ref-capture"));
+}
+
+TEST(AnalyzeSpawnCapture, RefCaptureOutsideSpawnIsClean) {
+  // [&] into an ordinary algorithm never crosses a process boundary.
+  const auto fs = an::check_shared_state(one(
+      "void count(std::vector<int>& v) {\n"
+      "  int total = 0;\n"
+      "  std::for_each(v.begin(), v.end(), [&](int x) { total += x; });\n"
+      "}\n"));
+  EXPECT_FALSE(has_rule(fs, "spawn-ref-capture"));
+}
+
+// ---------------------------------------------------------------------------
+// layering
+// ---------------------------------------------------------------------------
+
+namespace {
+
+an::LayerMap test_layers() {
+  an::LayerMap m;
+  m.set("util", 0);
+  m.set("sim", 1);
+  m.set("kv", 2);
+  return m;
+}
+
+}  // namespace
+
+TEST(AnalyzeLayering, UpwardIncludeFires) {
+  const std::vector<an::SourceFile> files = {
+      {"src/util/helper.hpp", "#include \"kv/store.hpp\"\n"},
+      {"src/kv/store.hpp", "#pragma once\n"},
+  };
+  const auto fs = an::check_layering(files, test_layers());
+  const an::Finding* f = find_rule(fs, "layer-upward");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->file, "src/util/helper.hpp");
+  EXPECT_EQ(f->line, 1);
+  EXPECT_EQ(f->severity, an::Severity::Error);
+}
+
+TEST(AnalyzeLayering, DownwardAndSameRankAreClean) {
+  const std::vector<an::SourceFile> files = {
+      {"src/kv/store.hpp",
+       "#include \"util/error.hpp\"\n#include \"sim/engine.hpp\"\n"},
+      {"src/util/error.hpp", "#pragma once\n"},
+      {"src/sim/engine.hpp", "#include \"util/error.hpp\"\n"},
+  };
+  const auto fs = an::check_layering(files, test_layers());
+  EXPECT_FALSE(has_rule(fs, "layer-upward"));
+  EXPECT_FALSE(has_rule(fs, "layer-cycle"));
+}
+
+TEST(AnalyzeLayering, IncludeCycleFires) {
+  const std::vector<an::SourceFile> files = {
+      {"src/kv/a.hpp", "#include \"kv/b.hpp\"\n"},
+      {"src/kv/b.hpp", "#include \"kv/c.hpp\"\n"},
+      {"src/kv/c.hpp", "#include \"kv/a.hpp\"\n"},
+  };
+  const auto fs = an::check_layering(files, test_layers());
+  const an::Finding* f = find_rule(fs, "layer-cycle");
+  ASSERT_NE(f, nullptr);
+  // Reported once, anchored at the lexicographically-smallest member.
+  EXPECT_EQ(f->file, "src/kv/a.hpp");
+  EXPECT_NE(f->message.find("a.hpp -> src/kv/b.hpp"), std::string::npos);
+  EXPECT_EQ(std::count_if(fs.begin(), fs.end(),
+                          [](const an::Finding& x) {
+                            return x.rule == "layer-cycle";
+                          }),
+            1);
+}
+
+TEST(AnalyzeLayering, AcyclicGraphHasNoCycleFinding) {
+  const std::vector<an::SourceFile> files = {
+      {"src/kv/a.hpp", "#include \"kv/b.hpp\"\n"},
+      {"src/kv/b.hpp", "#pragma once\n"},
+  };
+  EXPECT_FALSE(has_rule(an::check_layering(files, test_layers()), "layer-cycle"));
+}
+
+TEST(AnalyzeLayering, UnmappedSubsystemWarnsOnce) {
+  const std::vector<an::SourceFile> files = {
+      {"src/fault/inject.hpp", "#pragma once\n"},
+      {"src/fault/plan.hpp", "#pragma once\n"},
+  };
+  const auto fs = an::check_layering(files, test_layers());
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "layer-unmapped");
+  EXPECT_EQ(fs[0].severity, an::Severity::Warning);
+  EXPECT_EQ(fs[0].file, "src/fault/inject.hpp");
+}
+
+TEST(AnalyzeLayering, MappedSubsystemDoesNotWarn) {
+  const std::vector<an::SourceFile> files = {
+      {"src/kv/store.hpp", "#pragma once\n"},
+  };
+  EXPECT_FALSE(has_rule(an::check_layering(files, test_layers()), "layer-unmapped"));
+}
+
+TEST(AnalyzeLayering, ParseAndBuiltinMaps) {
+  std::vector<std::string> errors;
+  const an::LayerMap m = an::LayerMap::parse(
+      "# comment\n0 util platform\n1 sim\n3 kv net\n", &errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(m.rank("util"), 0);
+  EXPECT_EQ(m.rank("net"), 3);
+  EXPECT_FALSE(m.rank("serve").has_value());
+  EXPECT_FALSE(an::LayerMap::builtin().empty());
+  EXPECT_LT(*an::LayerMap::builtin().rank("sim"),
+            *an::LayerMap::builtin().rank("serve"));
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist integration (anchors + chain matching) and the Analyzer driver
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeDriver, AllowlistAnchorsFilterByExcerptAndChain) {
+  an::Analyzer a;
+  a.add_file("src/sim/fixture.cpp",
+             "void body(sim::Context& ctx) {\n"
+             "  std::lock_guard<std::mutex> g(mu);\n"
+             "  int leak = 0;\n"
+             "}\n"
+             "int g_bare = 0;\n");
+  // Unanchored rule+path suppression for the lock; the bare global stays.
+  simai::lint::Allowlist allow;
+  allow.add("fiber-blocking", "fixture.cpp", "lock_guard");
+  const auto fs = a.run(&allow);
+  EXPECT_FALSE(has_rule(fs, "fiber-blocking"));
+  EXPECT_TRUE(has_rule(fs, "shared-state"));
+  EXPECT_TRUE(allow.stale_entries().empty());
+}
+
+TEST(AnalyzeDriver, NonMatchingAnchorIsStale) {
+  an::Analyzer a;
+  a.add_file("src/sim/fixture.cpp", "void f(sim::Context& ctx) { ctx.delay(1); }\n");
+  simai::lint::Allowlist allow;
+  allow.add("fiber-blocking", "fixture.cpp", "no_such_token");
+  (void)a.run(&allow);
+  ASSERT_EQ(allow.stale_entries().size(), 1u);
+  EXPECT_NE(allow.stale_entries()[0].find("no_such_token"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSON / SARIF round-trips through util::Json::parse
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<an::Finding> sample_findings() {
+  an::Analyzer a;
+  a.add_file("src/util/low.hpp", "#include \"kv/high.hpp\"\nint g_x = 0;\n");
+  a.add_file("src/kv/high.hpp", "#pragma once\n");
+  an::LayerMap m;
+  m.set("util", 0);
+  m.set("kv", 1);
+  a.set_layer_map(std::move(m));
+  return a.run();
+}
+
+}  // namespace
+
+TEST(AnalyzeOutput, JsonRoundTripsAndCounts) {
+  const auto fs = sample_findings();
+  ASSERT_GE(fs.size(), 2u);  // layer-upward + shared-state
+  const util::Json doc = util::Json::parse(an::to_json(fs));
+  EXPECT_EQ(doc.at("tool").as_string(), "simai_analyze");
+  ASSERT_EQ(doc.at("findings").size(), fs.size());
+  EXPECT_EQ(doc.at("counts").at("error").as_int(),
+            static_cast<std::int64_t>(fs.size()));
+  EXPECT_EQ(doc.at("counts").at("warning").as_int(), 0);
+  const util::Json& first = doc.at("findings").at(0);
+  EXPECT_EQ(first.at("file").as_string(), fs[0].file);
+  EXPECT_EQ(first.at("line").as_int(), fs[0].line);
+  EXPECT_EQ(first.at("rule").as_string(), fs[0].rule);
+  EXPECT_EQ(first.at("severity").as_string(), "error");
+  EXPECT_FALSE(first.at("message").as_string().empty());
+  EXPECT_FALSE(first.at("fix_hint").as_string().empty());
+}
+
+TEST(AnalyzeOutput, SarifRoundTripsSchema) {
+  const auto fs = sample_findings();
+  const util::Json doc = util::Json::parse(an::to_sarif(fs));
+  EXPECT_EQ(doc.at("version").as_string(), "2.1.0");
+  ASSERT_EQ(doc.at("runs").size(), 1u);
+  const util::Json& run = doc.at("runs").at(0);
+  EXPECT_EQ(run.at("tool").at("driver").at("name").as_string(), "simai_analyze");
+  ASSERT_EQ(run.at("results").size(), fs.size());
+  const util::Json& r0 = run.at("results").at(0);
+  EXPECT_EQ(r0.at("ruleId").as_string(), fs[0].rule);
+  EXPECT_EQ(r0.at("level").as_string(), "error");
+  const util::Json& loc = r0.at("locations").at(0).at("physicalLocation");
+  EXPECT_EQ(loc.at("artifactLocation").at("uri").as_string(), fs[0].file);
+  EXPECT_EQ(loc.at("region").at("startLine").as_int(), fs[0].line);
+  // Every emitted ruleId appears in the driver's rule catalogue.
+  std::vector<std::string> catalog;
+  for (std::size_t i = 0; i < run.at("tool").at("driver").at("rules").size(); ++i)
+    catalog.push_back(run.at("tool").at("driver").at("rules").at(i).at("id").as_string());
+  for (std::size_t i = 0; i < run.at("results").size(); ++i) {
+    const std::string id = run.at("results").at(i).at("ruleId").as_string();
+    EXPECT_NE(std::find(catalog.begin(), catalog.end(), id), catalog.end())
+        << id << " missing from rule catalogue";
+  }
+}
+
+TEST(AnalyzeOutput, EmptyFindingsStillEmitValidDocuments) {
+  const util::Json j = util::Json::parse(an::to_json({}));
+  EXPECT_EQ(j.at("findings").size(), 0u);
+  EXPECT_EQ(j.at("counts").at("error").as_int(), 0);
+  const util::Json s = util::Json::parse(an::to_sarif({}));
+  EXPECT_EQ(s.at("runs").at(0).at("results").size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: the scanner must not be confused by what it scans
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeRobustness, PreprocessorLinesAreInvisible) {
+  const auto fs = an::check_blocking_reachability(one(
+      "#define PARK() sleep(1)\n"
+      "#define LONG_MACRO(x) \\\n"
+      "  sleep(x)\n"
+      "void body(sim::Context& ctx) { ctx.delay(1.0); }\n"));
+  EXPECT_TRUE(fs.empty()) << fs.front().to_string();
+}
+
+TEST(AnalyzeRobustness, LiteralsAndCommentsAreInvisible) {
+  const auto fs = an::check_blocking_reachability(one(
+      "void body(sim::Context& ctx) {\n"
+      "  log(\"calling sleep(5) now\");   // sleep(5)\n"
+      "  const char* s = R\"x(lock_guard<std::mutex>)x\";\n"
+      "  (void)s;\n"
+      "}\n"));
+  EXPECT_TRUE(fs.empty()) << fs.front().to_string();
+}

@@ -353,4 +353,103 @@ TEST(LintDeterminism, FindingsAreOrderedAndStable) {
     EXPECT_LE(a[i - 1].line, a[i].line);
 }
 
+// ---------------------------------------------------------------------------
+// Lexer regressions: raw strings and digit separators
+// ---------------------------------------------------------------------------
+
+TEST(LintLexer, RawStringWithCustomDelimiterIsStripped) {
+  // The payload of a raw string must never leak into the token stream —
+  // even when it contains an unescaped quote and banned identifiers.
+  const auto f = run(
+      "const char* s = R\"sep(srand(1); \" std::chrono::system_clock )sep\";\n"
+      "double x = 0;\n");
+  EXPECT_TRUE(f.empty()) << f.front().to_string();
+}
+
+TEST(LintLexer, RawStringWithEncodingPrefixIsStripped) {
+  const auto f = run(
+      "auto a = u8R\"x(rand();)x\";\n"
+      "auto b = LR\"(time(nullptr))\";\n"
+      "auto c = UR\"y(std::random_device)y\";\n");
+  EXPECT_TRUE(f.empty()) << f.front().to_string();
+}
+
+TEST(LintLexer, RawStringSimilarDelimiterDoesNotEndEarly)  {
+  // `)x` appears inside the payload but the delimiter is `)xy"`.
+  const auto f = run("const char* s = R\"xy(clock() )x )xy\"; int y = 1;\n");
+  EXPECT_TRUE(f.empty()) << f.front().to_string();
+}
+
+TEST(LintLexer, DigitSeparatorsAreNotCharLiterals) {
+  // 1'000'000 once mis-lexed the ' as a char-literal open, swallowing the
+  // rest of the line — which hid real findings after the literal.
+  const auto f = run(
+      "int n = 1'000'000; auto t = std::chrono::system_clock::now();\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "wall-clock");
+}
+
+TEST(LintLexer, HexAndBinaryDigitSeparators) {
+  // 0xFF'AA: the char before ' is a letter, not a digit — the lexer must
+  // still treat it as a separator, not a char literal.
+  const auto f = run(
+      "unsigned a = 0xFF'AA; unsigned b = 0b1010'1010; srand(a ^ b);\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "libc-rand");
+}
+
+TEST(LintLexer, CharLiteralsStillStripped) {
+  const auto f = run(
+      "char q = '\\''; char w = L'x'; char e = u'y';\n"
+      "if (q == 'r') { rand(); }\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "libc-rand");
+  EXPECT_EQ(f[0].line, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist anchors and stale-entry tracking
+// ---------------------------------------------------------------------------
+
+TEST(LintAllowlist, AnchorMatchesOffendingLineOnly) {
+  lint::Allowlist allow;
+  allow.add("wall-clock", "fixture.cpp", "startup_stamp");
+  const auto f = run(
+      "auto startup_stamp = std::chrono::system_clock::now();\n"
+      "auto other = std::chrono::system_clock::now();\n",
+      &allow);
+  // The anchored entry suppresses line 1 but NOT line 2.
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LintAllowlist, ParseAnchorSyntax) {
+  std::vector<std::string> errors;
+  const lint::Allowlist allow = lint::Allowlist::parse(
+      "wall-clock src/util/now.cpp:boot_time  # reviewed\n", &errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(allow.size(), 1u);
+  lint::Finding f{"src/util/now.cpp", 3, "wall-clock", "msg",
+                  "auto boot_time = std::chrono::system_clock::now();"};
+  EXPECT_TRUE(allow.suppresses(f));
+}
+
+TEST(LintAllowlist, EmptyAnchorIsMalformed) {
+  std::vector<std::string> errors;
+  lint::Allowlist::parse("wall-clock src/x.cpp:\n", &errors);
+  EXPECT_EQ(errors.size(), 1u);
+}
+
+TEST(LintAllowlist, StaleEntriesTrackHits) {
+  lint::Allowlist allow;
+  allow.add("wall-clock", "fixture.cpp");
+  allow.add("libc-rand", "never/matches.cpp");
+  (void)run("auto t = std::chrono::system_clock::now();", &allow);
+  const auto stale = allow.stale_entries();
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_NE(stale[0].find("never/matches.cpp"), std::string::npos);
+  allow.reset_hits();
+  EXPECT_EQ(allow.stale_entries().size(), 2u);
+}
+
 }  // namespace

@@ -1,0 +1,1374 @@
+#include "analyze.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace simai::analyze {
+
+using lint::Token;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Token preparation
+// ---------------------------------------------------------------------------
+
+// C++ keywords and builtin types that look like call targets when followed
+// by '(' but never are (control flow, casts, builtin-type constructions).
+bool is_noncall_keyword(std::string_view t) {
+  static const std::set<std::string_view> kSet = {
+      "if",       "for",        "while",    "switch",     "return",
+      "sizeof",   "alignof",    "alignas",  "decltype",   "noexcept",
+      "new",      "delete",     "catch",    "throw",      "co_await",
+      "co_yield", "co_return",  "assert",   "defined",    "typeid",
+      "static_cast",            "dynamic_cast",           "const_cast",
+      "reinterpret_cast",       "requires",
+      "int",      "char",       "bool",     "float",      "double",
+      "long",     "short",      "unsigned", "signed",     "void",
+      "auto",
+  };
+  return kSet.count(t) != 0;
+}
+
+bool is_decl_specifier(std::string_view t) {
+  static const std::set<std::string_view> kSet = {
+      "static",   "inline",   "extern",  "thread_local", "constexpr",
+      "constinit", "const",   "volatile", "mutable",     "virtual",
+      "explicit", "typename", "register",
+  };
+  return kSet.count(t) != 0;
+}
+
+// Strip + tokenize + drop preprocessor lines (directives would otherwise
+// read as code: `#define SLEEP sleep` must not become a call site). A
+// directive swallows its whole logical line, including '\'-continuations.
+std::vector<Token> prepare_tokens(std::string_view text) {
+  const std::string stripped = lint::strip_comments_and_literals(text);
+  std::vector<Token> toks = lint::tokenize(stripped);
+  std::vector<Token> out;
+  out.reserve(toks.size());
+  int last_kept_line = 0;   // last line with a kept (non-directive) token
+  int skipping_line = -1;   // line currently being swallowed, -1 = none
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (skipping_line >= 0) {
+      if (t.line == skipping_line) continue;
+      // Continuation: previous skipped token was '\' at end of its line.
+      if (i > 0 && toks[i - 1].text == "\\" &&
+          toks[i - 1].line == skipping_line && t.line == skipping_line + 1) {
+        skipping_line = t.line;
+        continue;
+      }
+      skipping_line = -1;
+    }
+    if (t.text == "#" && t.line != last_kept_line) {
+      skipping_line = t.line;
+      continue;
+    }
+    out.push_back(t);
+    last_kept_line = t.line;
+  }
+  return out;
+}
+
+std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t open,
+                          std::string_view open_c, std::string_view close_c) {
+  // `open` indexes the opening token; returns the index AFTER the matching
+  // close (or toks.size() when unbalanced).
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == open_c) ++depth;
+    else if (toks[i].text == close_c && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+// Skip a template argument list starting at '<'. Heuristic balance of <>,
+// bailing out at ';' or '{' so comparison operators cannot run away.
+std::size_t skip_template_args(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "<") ++depth;
+    else if (t == ">" && --depth == 0) return i + 1;
+    else if (t == ";" || t == "{") return i;  // not a template list after all
+  }
+  return toks.size();
+}
+
+// ---------------------------------------------------------------------------
+// File index: functions, shared-state candidates
+// ---------------------------------------------------------------------------
+
+struct FuncDef {
+  std::string qual;  // Ns::Class::name, or <lambda> for Context lambdas
+  std::string base;  // last name component (call-graph resolution key)
+  int file_idx = 0;
+  int line = 0;
+  bool takes_context = false;
+  std::size_t body_begin = 0, body_end = 0;  // token range inside the braces
+  std::size_t owner = static_cast<std::size_t>(-1);  // enclosing FuncDef
+};
+
+enum class VarKind { Global, StaticLocal, StaticMember, ThreadLocal };
+
+struct VarDecl {
+  std::string name;
+  int file_idx = 0;
+  int line = 0;
+  VarKind kind = VarKind::Global;
+};
+
+struct FileIndex {
+  std::vector<Token> toks;
+  std::vector<FuncDef> funcs;        // indices into a per-file list
+  std::vector<VarDecl> shared_vars;  // bare mutable globals/statics
+};
+
+class Scanner {
+ public:
+  Scanner(const std::vector<Token>& toks, int file_idx, FileIndex& out)
+      : toks_(toks), file_idx_(file_idx), out_(out) {}
+
+  void run() { scan_decl_context(0, toks_.size(), ""); }
+
+ private:
+  const std::vector<Token>& toks_;
+  int file_idx_;
+  FileIndex& out_;
+
+  const std::string& text(std::size_t i) const { return toks_[i].text; }
+
+  // Scan a namespace/class body (function-definition context) in
+  // [i, end). `prefix` qualifies names; `in_type` marks class scope
+  // (where only `static` members are shared state).
+  void scan_decl_context(std::size_t i, std::size_t end, std::string prefix,
+                         bool in_type = false) {
+    while (i < end && i < toks_.size()) {
+      const std::string& t = text(i);
+      if (t == "}") return;
+      if (t == ";" || t == "public" || t == "private" || t == "protected" ||
+          t == ":" || t == ",") {
+        ++i;
+        continue;
+      }
+      if (t == "namespace") {
+        i = scan_namespace(i, end, prefix);
+        continue;
+      }
+      if (t == "template") {
+        ++i;
+        if (i < end && text(i) == "<") i = skip_template_args(toks_, i);
+        continue;
+      }
+      if (t == "using" || t == "typedef" || t == "static_assert" ||
+          t == "friend") {
+        i = skip_statement(i);
+        continue;
+      }
+      if (t == "extern" && i + 1 < end && text(i + 1) == "{") {
+        // `extern "C" {` — the literal was stripped; recurse transparently.
+        std::size_t close = skip_balanced(toks_, i + 1, "{", "}");
+        scan_decl_context(i + 2, close - 1, prefix, in_type);
+        i = close;
+        continue;
+      }
+      if (t == "class" || t == "struct" || t == "union" || t == "enum") {
+        i = scan_type(i, end, prefix);
+        continue;
+      }
+      // Generic statement: try to recognize a function definition; fall
+      // back to a declaration (shared-state candidate).
+      i = scan_statement(i, end, prefix, in_type);
+    }
+  }
+
+  std::size_t scan_namespace(std::size_t i, std::size_t end, const std::string& prefix) {
+    ++i;  // past 'namespace'
+    std::string name;
+    while (i < end && (toks_[i].ident || text(i) == ":")) {
+      if (toks_[i].ident && text(i) != "inline") {
+        name = name.empty() ? text(i) : name + "::" + text(i);
+      }
+      ++i;
+    }
+    if (i < end && text(i) == "=") return skip_statement(i);  // alias
+    if (i < end && text(i) == "{") {
+      std::size_t close = skip_balanced(toks_, i, "{", "}");
+      std::string inner = prefix;
+      if (!name.empty()) inner += name + "::";
+      scan_decl_context(i + 1, close - 1, inner);
+      return close;
+    }
+    return i + 1;
+  }
+
+  std::size_t scan_type(std::size_t i, std::size_t end, const std::string& prefix) {
+    ++i;                                           // past class/struct/...
+    if (i < end && text(i) == "class") ++i;        // enum class
+    while (i < end && text(i) == "[") i = skip_balanced(toks_, i, "[", "]");
+    std::string name;
+    if (i < end && toks_[i].ident) name = text(i);
+    // Forward to the body '{' or a ';' (forward declaration / variable).
+    while (i < end && text(i) != "{" && text(i) != ";") {
+      if (text(i) == "<") {  // specialization args
+        i = skip_template_args(toks_, i);
+        continue;
+      }
+      if (toks_[i].ident) name = name.empty() ? text(i) : name;
+      ++i;
+    }
+    if (i >= end || text(i) == ";") return i + 1;
+    std::size_t close = skip_balanced(toks_, i, "{", "}");
+    scan_decl_context(i + 1, close - 1, prefix + name + "::",
+                      /*in_type=*/true);
+    // `struct {...} g_state;` — a declarator after the body is a variable.
+    std::size_t j = close;
+    while (j < end && text(j) != ";") {
+      if (toks_[j].ident) {
+        out_.shared_vars.push_back(
+            {text(j), file_idx_, toks_[j].line, VarKind::Global});
+        break;
+      }
+      ++j;
+    }
+    return skip_statement(close);
+  }
+
+  // Advance past one statement (to just after its ';'), balancing braces,
+  // parens and brackets so initializer braces never end the statement.
+  std::size_t skip_statement(std::size_t i) {
+    while (i < toks_.size()) {
+      const std::string& t = text(i);
+      if (t == ";") return i + 1;
+      if (t == "{") { i = skip_balanced(toks_, i, "{", "}"); continue; }
+      if (t == "(") { i = skip_balanced(toks_, i, "(", ")"); continue; }
+      if (t == "[") { i = skip_balanced(toks_, i, "[", "]"); continue; }
+      if (t == "}") return i;  // unterminated — let the caller see the brace
+      ++i;
+    }
+    return i;
+  }
+
+  // One declaration-context statement starting at `i`. Either indexes a
+  // function definition (scanning its body) or records a shared-state
+  // candidate, then returns the index after the statement.
+  std::size_t scan_statement(std::size_t i, std::size_t end,
+                             const std::string& prefix, bool in_type) {
+    bool saw_const = false, saw_static = false, saw_thread_local = false;
+    bool saw_extern = false, saw_operator = false;
+    std::size_t first = i;
+    std::size_t j = i;
+    while (j < end) {
+      const std::string& t = text(j);
+      if (t == ";") break;
+      if (t == "}") break;
+      if (t == "const" || t == "constexpr" || t == "constinit")
+        saw_const = true;
+      else if (t == "static") saw_static = true;
+      else if (t == "thread_local") saw_thread_local = true;
+      else if (t == "extern") saw_extern = true;
+      else if (t == "operator") saw_operator = true;
+      if (t == "=") {
+        // Variable initializer (`= default/delete` never reaches here —
+        // try_function consumes those). Record, then finish the statement.
+        std::size_t after = skip_statement(j);
+        record_var_candidate(first, j, saw_const, saw_static,
+                             saw_thread_local, saw_extern, saw_operator,
+                             in_type);
+        return after;
+      }
+      if (t == "<") { j = skip_template_args(toks_, j); continue; }
+      if (t == "{") {
+        // A brace before any '(' is an initializer: `std::atomic<int> x{0};`
+        std::size_t after = skip_statement(j);
+        record_var_candidate(first, j, saw_const, saw_static,
+                             saw_thread_local, saw_extern, saw_operator,
+                             in_type);
+        return after;
+      }
+      if (toks_[j].ident && j + 1 < end && text(j + 1) == "(" &&
+          !is_noncall_keyword(t) && !is_decl_specifier(t)) {
+        // Possible function definition / declaration.
+        std::size_t after = try_function(j, prefix);
+        if (after != 0) return after;
+        // Not a function — a parenthesized variable init `int x(5);` or a
+        // namespace-scope macro invocation; finish the statement.
+        std::size_t stmt_end = skip_statement(j);
+        record_var_candidate(first, stmt_end - 1, saw_const, saw_static,
+                             saw_thread_local, saw_extern, saw_operator,
+                             in_type);
+        return stmt_end;
+      }
+      ++j;
+    }
+    if (j < end && text(j) == ";") {
+      record_var_candidate(first, j, saw_const, saw_static, saw_thread_local,
+                           saw_extern, saw_operator, in_type);
+      return j + 1;
+    }
+    return j == i ? j + 1 : j;
+  }
+
+  void record_var_candidate(std::size_t first, std::size_t last,
+                            bool saw_const, bool saw_static,
+                            bool saw_thread_local, bool saw_extern,
+                            bool saw_operator, bool in_type) {
+    if (saw_const || saw_extern || saw_operator) return;
+    if (in_type && !saw_static && !saw_thread_local) return;  // plain member
+    // Exempt SharedCell wrappers and bare synchronization primitives (the
+    // fiber-blocking pass owns those).
+    static const std::set<std::string_view> kExemptTypes = {
+        "SharedCell",     "mutex",          "recursive_mutex",
+        "shared_mutex",   "timed_mutex",    "recursive_timed_mutex",
+        "once_flag",      "condition_variable", "condition_variable_any",
+    };
+    for (std::size_t k = first; k <= last && k < toks_.size(); ++k) {
+      if (toks_[k].ident && kExemptTypes.count(text(k))) return;
+    }
+    // The variable name: first identifier followed by ';', '=', '{' or '('
+    // that is not the leading token (a leading ident+'(' is a macro call).
+    for (std::size_t k = first + 1; k <= last && k + 1 < toks_.size(); ++k) {
+      if (!toks_[k].ident || is_decl_specifier(text(k)) ||
+          is_noncall_keyword(text(k)))
+        continue;
+      const std::string& nx = text(k + 1);
+      if (nx == ";" || nx == "=" || nx == "{" || nx == "(" || nx == ",") {
+        VarKind kind = saw_thread_local ? VarKind::ThreadLocal
+                       : in_type        ? VarKind::StaticMember
+                                        : VarKind::Global;
+        out_.shared_vars.push_back({text(k), file_idx_, toks_[k].line, kind});
+        return;
+      }
+    }
+  }
+
+  // Attempt to parse a function whose name identifier is at `i` (followed
+  // by '('). Returns the index after the definition/declaration, or 0 when
+  // this is not function-shaped (caller falls back to a declaration).
+  std::size_t try_function(std::size_t i, const std::string& prefix) {
+    // Qualified name: walk back over `A::B::` pairs.
+    std::string name = text(i);
+    std::size_t q = i;
+    while (q >= 2 && text(q - 1) == ":" && q >= 3 && text(q - 2) == ":" &&
+           toks_[q - 3].ident) {
+      name = text(q - 3) + "::" + name;
+      q -= 3;
+    }
+    std::size_t lp = i + 1;  // '('
+    std::size_t after_params = skip_balanced(toks_, lp, "(", ")");
+    if (after_params >= toks_.size()) return 0;
+    bool takes_context = false;
+    for (std::size_t k = lp + 1; k + 1 < after_params; ++k) {
+      if (toks_[k].ident && text(k) == "Context") takes_context = true;
+    }
+    // Post-parameter clause: cv, ref-qualifiers, noexcept(...), attributes,
+    // trailing return — ends at '{' (definition), ';' (declaration), '='
+    // (= default/delete) or ':' (ctor-init).
+    std::size_t j = after_params;
+    while (j < toks_.size()) {
+      const std::string& t = text(j);
+      if (t == "{" || t == ";" || t == "=" || t == ":") break;
+      if (t == "(") { j = skip_balanced(toks_, j, "(", ")"); continue; }
+      if (t == "[") { j = skip_balanced(toks_, j, "[", "]"); continue; }
+      if (t == "<") { j = skip_template_args(toks_, j); continue; }
+      if (toks_[j].ident || t == "&" || t == "*" || t == "-" || t == ">" ||
+          t == ",") {
+        ++j;
+        continue;
+      }
+      return 0;  // something unfunction-like ('::'... handled via ident)
+    }
+    if (j >= toks_.size()) return 0;
+    if (text(j) == ";") return j + 1;            // declaration only
+    if (text(j) == "=") return skip_statement(j);  // = default / = delete
+    if (text(j) == ":") {
+      // Constructor initializer list: ident[(...)|{...}] [, ...] then '{'.
+      ++j;
+      while (j < toks_.size() && text(j) != "{") {
+        if (text(j) == "(") { j = skip_balanced(toks_, j, "(", ")"); continue; }
+        if (text(j) == "<") { j = skip_template_args(toks_, j); continue; }
+        if (text(j) == ";") return j + 1;  // was a bitfield/ternary — bail
+        if (toks_[j].ident || text(j) == "," || text(j) == ":") {
+          // Init braces `a_{1}`: consume only when followed by ',' or '{'.
+          if (j + 1 < toks_.size() && text(j + 1) == "{") {
+            std::size_t after = skip_balanced(toks_, j + 1, "{", "}");
+            if (after < toks_.size() && text(after) == ",") {
+              j = after;
+              continue;
+            }
+            if (after < toks_.size() && text(after) == "{") {
+              j = after;  // last init by braces, body follows
+              continue;
+            }
+            // `a_{...}` then end: treat what follows as body.
+            j = after;
+            continue;
+          }
+          ++j;
+          continue;
+        }
+        ++j;
+      }
+      if (j >= toks_.size()) return 0;
+    }
+    // Definition body.
+    std::size_t body_open = j;
+    std::size_t close = skip_balanced(toks_, body_open, "{", "}");
+    FuncDef fn;
+    fn.qual = prefix + name;
+    const auto lastsep = name.rfind("::");
+    fn.base = lastsep == std::string::npos ? name : name.substr(lastsep + 2);
+    fn.file_idx = file_idx_;
+    fn.line = toks_[i].line;
+    fn.takes_context = takes_context;
+    fn.body_begin = body_open + 1;
+    fn.body_end = close > 0 ? close - 1 : close;
+    const std::size_t self = out_.funcs.size();
+    out_.funcs.push_back(fn);
+    scan_func_body(fn.body_begin, fn.body_end, self);
+    return close;
+  }
+
+  // Walk a function body: record Context-taking lambdas as their own
+  // functions (so blocking chains start at the process body, not at the
+  // function that spawned it) and catch function-local statics.
+  void scan_func_body(std::size_t i, std::size_t end, std::size_t owner) {
+    while (i < end && i < toks_.size()) {
+      const std::string& t = text(i);
+      if (t == "static" || t == "thread_local") {
+        bool thread_local_seen = t == "thread_local";
+        std::size_t stmt_end = skip_statement(i);
+        // Reuse the declaration heuristics; function-local statics are
+        // VarKind::StaticLocal unless thread_local.
+        std::size_t before = out_.shared_vars.size();
+        record_var_candidate(i, stmt_end > 0 ? stmt_end - 1 : i,
+                             /*saw_const=*/contains_const(i, stmt_end),
+                             /*saw_static=*/true, thread_local_seen,
+                             /*saw_extern=*/false, /*saw_operator=*/false,
+                             /*in_type=*/false);
+        for (std::size_t v = before; v < out_.shared_vars.size(); ++v) {
+          if (!thread_local_seen)
+            out_.shared_vars[v].kind = VarKind::StaticLocal;
+        }
+        i = stmt_end;
+        continue;
+      }
+      if (t == "[") {
+        // Lambda introducer vs subscript: a subscript follows a value
+        // (identifier, ')', ']'); a lambda follows anything else.
+        const bool subscript =
+            i > 0 && (toks_[i - 1].ident || text(i - 1) == ")" ||
+                      text(i - 1) == "]");
+        if (!subscript) {
+          std::size_t after = scan_lambda(i, end, owner);
+          if (after != 0) {
+            i = after;
+            continue;
+          }
+        }
+        i = skip_balanced(toks_, i, "[", "]");
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  bool contains_const(std::size_t i, std::size_t end) {
+    for (std::size_t k = i; k < end && k < toks_.size(); ++k) {
+      const std::string& t = text(k);
+      if (t == "const" || t == "constexpr" || t == "constinit") return true;
+      if (t == "=") break;  // const on the init side doesn't count
+    }
+    return false;
+  }
+
+  // Lambda at '[': when it takes a Context parameter, index it as a
+  // process-body function and scan its body under that identity. Returns
+  // the index after the lambda body, or 0 when not handled specially.
+  std::size_t scan_lambda(std::size_t open, std::size_t end, std::size_t owner) {
+    std::size_t after_caps = skip_balanced(toks_, open, "[", "]");
+    if (after_caps >= end) return 0;
+    bool takes_context = false;
+    std::size_t j = after_caps;
+    if (j < end && text(j) == "(") {
+      std::size_t after_params = skip_balanced(toks_, j, "(", ")");
+      for (std::size_t k = j + 1; k + 1 < after_params; ++k) {
+        if (toks_[k].ident && text(k) == "Context") takes_context = true;
+      }
+      j = after_params;
+    }
+    if (!takes_context) return 0;
+    // Skip mutable/noexcept/trailing-return to the body.
+    while (j < end && text(j) != "{") {
+      if (text(j) == "(") { j = skip_balanced(toks_, j, "(", ")"); continue; }
+      if (text(j) == ";") return 0;
+      ++j;
+    }
+    if (j >= end) return 0;
+    std::size_t close = skip_balanced(toks_, j, "{", "}");
+    FuncDef fn;
+    fn.qual = "<lambda:" + std::to_string(toks_[open].line) + ">";
+    fn.base = fn.qual;
+    fn.file_idx = file_idx_;
+    fn.line = toks_[open].line;
+    fn.takes_context = true;
+    fn.body_begin = j + 1;
+    fn.body_end = close > 0 ? close - 1 : close;
+    fn.owner = owner;
+    const std::size_t self = out_.funcs.size();
+    out_.funcs.push_back(fn);
+    scan_func_body(fn.body_begin, fn.body_end, self);
+    return close;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Blocking-call reachability
+// ---------------------------------------------------------------------------
+
+struct BlockSite {
+  int line = 0;
+  std::string what;  // human description of the primitive
+};
+
+// Free functions that park the calling thread when invoked.
+bool is_blocking_free_call(std::string_view t) {
+  static const std::set<std::string_view> kSet = {
+      "sleep",    "usleep",   "nanosleep", "sleep_for", "sleep_until",
+      "poll",     "ppoll",    "select",    "pselect",   "epoll_wait",
+      "accept",   "connect",  "recv",      "recvfrom",  "send",
+      "sendto",   "pthread_join",
+  };
+  return kSet.count(t) != 0;
+}
+
+// Mutex-acquiring RAII types: constructing one is a potential wait.
+bool is_lock_type(std::string_view t) {
+  return t == "lock_guard" || t == "unique_lock" || t == "scoped_lock" ||
+         t == "shared_lock";
+}
+
+// Global variable-type tables (collected across every file, headers
+// included, so a member declared `std::condition_variable cv_;` in the
+// header is recognized at its .cpp use sites).
+struct VarTypeTables {
+  std::set<std::string> cv_vars;   // condition_variable(_any)
+};
+
+void collect_var_types(const std::vector<Token>& toks, VarTypeTables& out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (!toks[i].ident) continue;
+    if (t == "condition_variable" || t == "condition_variable_any") {
+      if (toks[i + 1].ident) out.cv_vars.insert(toks[i + 1].text);
+    }
+  }
+}
+
+bool is_member_call(const std::vector<Token>& toks, std::size_t i) {
+  // toks[i] is the called name; member when preceded by '.' or '->'.
+  if (i == 0) return false;
+  if (toks[i - 1].text == ".") return true;
+  return i >= 2 && toks[i - 1].text == ">" && toks[i - 2].text == "-";
+}
+
+std::string member_receiver(const std::vector<Token>& toks, std::size_t i) {
+  // `recv . name (` → recv; `a -> name (` → a.
+  if (i >= 2 && toks[i - 1].text == "." && toks[i - 2].ident)
+    return toks[i - 2].text;
+  if (i >= 3 && toks[i - 1].text == ">" && toks[i - 2].text == "-" &&
+      toks[i - 3].ident)
+    return toks[i - 3].text;
+  return {};
+}
+
+bool is_global_qualified(const std::vector<Token>& toks, std::size_t i) {
+  // `::name(` with nothing (or a non-identifier) before the '::'.
+  if (i < 2 || toks[i - 1].text != ":" || toks[i - 2].text != ":") return false;
+  return i < 3 || !toks[i - 3].ident;
+}
+
+void collect_block_sites(const std::vector<Token>& toks, std::size_t begin,
+                         std::size_t end, const VarTypeTables& types,
+                         std::vector<BlockSite>& out) {
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!t.ident) continue;
+    const bool called = i + 1 < toks.size() && toks[i + 1].text == "(";
+    if (is_lock_type(t.text) && !is_member_call(toks, i)) {
+      out.push_back({t.line, "std::" + t.text + " acquisition (mutex wait)"});
+      continue;
+    }
+    if (!called) continue;
+    if (is_member_call(toks, i)) {
+      if (t.text == "join") {
+        out.push_back({t.line, "." + t.text + "() (thread join)"});
+      } else if (t.text == "acquire" || t.text == "try_acquire_for") {
+        out.push_back({t.line, "." + t.text + "() (semaphore wait)"});
+      } else if ((t.text == "wait" || t.text == "wait_for" ||
+                  t.text == "wait_until") &&
+                 types.cv_vars.count(member_receiver(toks, i))) {
+        out.push_back(
+            {t.line, "." + t.text + "() (condition_variable wait)"});
+      }
+      continue;
+    }
+    if (t.text == "read" || t.text == "write") {
+      if (is_global_qualified(toks, i))
+        out.push_back({t.line, "::" + t.text + "() (blocking fd syscall)"});
+      continue;
+    }
+    if (is_blocking_free_call(t.text)) {
+      out.push_back({t.line, t.text + "() (blocking call)"});
+    }
+  }
+}
+
+void collect_call_names(const std::vector<Token>& toks, std::size_t begin,
+                        std::size_t end,
+                        const std::vector<std::pair<std::size_t, std::size_t>>& holes,
+                        std::set<std::string>& out) {
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    // Skip sub-ranges owned by nested Context lambdas.
+    bool in_hole = false;
+    for (const auto& h : holes) {
+      if (i >= h.first && i < h.second) {
+        i = h.second - 1;
+        in_hole = true;
+        break;
+      }
+    }
+    if (in_hole) continue;
+    const Token& t = toks[i];
+    if (!t.ident || is_noncall_keyword(t.text)) continue;
+    if (i + 1 < toks.size() && toks[i + 1].text == "(") out.insert(t.text);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+void sort_findings(std::vector<Finding>& v) {
+  std::stable_sort(v.begin(), v.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+}
+
+void fill_excerpts(std::vector<Finding>& v, const std::vector<SourceFile>& files) {
+  for (Finding& f : v) {
+    if (!f.excerpt.empty()) continue;
+    for (const SourceFile& s : files) {
+      if (s.path == f.file) {
+        f.excerpt = lint::source_line(s.text, f.line);
+        break;
+      }
+    }
+  }
+}
+
+std::string subsystem_of(std::string_view path) {
+  const auto pos = path.rfind("src/");
+  if (pos == std::string_view::npos) return {};
+  std::string_view rest = path.substr(pos + 4);
+  const auto slash = rest.find('/');
+  if (slash == std::string_view::npos) return {};
+  return std::string(rest.substr(0, slash));
+}
+
+struct IncludeEdge {
+  int line = 0;
+  std::string target;  // as written between quotes
+};
+
+std::vector<IncludeEdge> parse_includes(std::string_view text) {
+  std::vector<IncludeEdge> out;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    ++line_no;
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    std::size_t k = line.find_first_not_of(" \t");
+    if (k == std::string_view::npos || line[k] != '#') continue;
+    k = line.find_first_not_of(" \t", k + 1);
+    if (k == std::string_view::npos || line.compare(k, 7, "include") != 0)
+      continue;
+    const std::size_t open = line.find('"', k + 7);
+    if (open == std::string_view::npos) continue;
+    const std::size_t close = line.find('"', open + 1);
+    if (close == std::string_view::npos) continue;
+    out.push_back({line_no, std::string(line.substr(open + 1, close - open - 1))});
+    if (pos > text.size()) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Severity / Finding
+// ---------------------------------------------------------------------------
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "error";
+}
+
+std::string Finding::to_string() const {
+  std::string out = file + ":" + std::to_string(line) + ": " +
+                    std::string(severity_name(severity)) + " [" + rule + "] " +
+                    message;
+  for (const std::string& frame : chain) out += "\n    via " + frame;
+  if (!fix_hint.empty()) out += "\n    hint: " + fix_hint;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LayerMap
+// ---------------------------------------------------------------------------
+
+LayerMap LayerMap::parse(std::string_view text, std::vector<std::string>* errors) {
+  LayerMap m;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream fields(line);
+    int rank = 0;
+    if (!(fields >> rank)) {
+      std::string word;
+      if (fields.clear(), fields >> word) {
+        if (errors)
+          errors->push_back("layer map line " + std::to_string(lineno) +
+                            ": expected '<rank> <subsystem>...'");
+      }
+      continue;
+    }
+    std::string sub;
+    bool any = false;
+    while (fields >> sub) {
+      m.set(sub, rank);
+      any = true;
+    }
+    if (!any && errors)
+      errors->push_back("layer map line " + std::to_string(lineno) +
+                        ": rank with no subsystems");
+  }
+  return m;
+}
+
+LayerMap LayerMap::load(const std::string& path, std::vector<std::string>* errors) {
+  std::ifstream in(path);
+  if (!in) return builtin();
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str(), errors);
+}
+
+LayerMap LayerMap::builtin() {
+  // Mirrors tools/simai_layers.txt; rationale in DESIGN.md §4.11.
+  LayerMap m;
+  m.set("util", 0);
+  m.set("platform", 0);
+  m.set("check", 1);
+  m.set("obs", 1);
+  m.set("sim", 2);
+  m.set("kv", 3);
+  m.set("net", 3);
+  m.set("io", 3);
+  m.set("kernels", 4);
+  m.set("fault", 5);
+  m.set("ai", 6);
+  m.set("core", 7);
+  m.set("serve", 8);
+  return m;
+}
+
+void LayerMap::set(std::string subsystem, int rank) {
+  for (auto& [name, r] : ranks_) {
+    if (name == subsystem) {
+      r = rank;
+      return;
+    }
+  }
+  ranks_.emplace_back(std::move(subsystem), rank);
+  std::sort(ranks_.begin(), ranks_.end());
+}
+
+std::optional<int> LayerMap::rank(std::string_view subsystem) const {
+  for (const auto& [name, r] : ranks_) {
+    if (name == subsystem) return r;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: blocking-call reachability
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> check_blocking_reachability(const std::vector<SourceFile>& files) {
+  // Index every file.
+  std::vector<FileIndex> indexes(files.size());
+  VarTypeTables types;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    indexes[fi].toks = prepare_tokens(files[fi].text);
+    Scanner(indexes[fi].toks, static_cast<int>(fi), indexes[fi]).run();
+    collect_var_types(indexes[fi].toks, types);
+  }
+
+  // Flatten functions; per function: nested-lambda holes, calls, sites.
+  struct Node {
+    const FuncDef* def = nullptr;
+    std::size_t file = 0;
+    std::set<std::string> calls;
+    std::vector<BlockSite> sites;
+  };
+  std::vector<Node> nodes;
+  std::map<std::string, std::vector<std::size_t>> by_base;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const FileIndex& ix = indexes[fi];
+    for (std::size_t k = 0; k < ix.funcs.size(); ++k) {
+      const FuncDef& fn = ix.funcs[k];
+      Node n;
+      n.def = &fn;
+      n.file = fi;
+      std::vector<std::pair<std::size_t, std::size_t>> holes;
+      for (const FuncDef& other : ix.funcs) {
+        if (&other == &fn) continue;
+        if (other.body_begin >= fn.body_begin && other.body_end <= fn.body_end)
+          holes.emplace_back(other.body_begin, other.body_end);
+      }
+      collect_call_names(ix.toks, fn.body_begin, fn.body_end, holes, n.calls);
+      // Blocking sites: exclude holes the same way.
+      std::size_t cursor = fn.body_begin;
+      std::sort(holes.begin(), holes.end());
+      for (const auto& h : holes) {
+        if (h.first > cursor)
+          collect_block_sites(ix.toks, cursor, h.first, types, n.sites);
+        cursor = std::max(cursor, h.second);
+      }
+      collect_block_sites(ix.toks, cursor, fn.body_end, types, n.sites);
+      by_base[fn.base].push_back(nodes.size());
+      nodes.push_back(std::move(n));
+    }
+  }
+
+  // Multi-source BFS from process bodies (Context-taking functions),
+  // resolving calls by base name (deliberate over-approximation).
+  const std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> parent(nodes.size(), kNone);
+  std::vector<char> reached(nodes.size(), 0);
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].def->takes_context) {
+      reached[i] = 1;
+      queue.push_back(i);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t cur = queue.front();
+    queue.pop_front();
+    for (const std::string& callee : nodes[cur].calls) {
+      const auto it = by_base.find(callee);
+      if (it == by_base.end()) continue;
+      for (std::size_t next : it->second) {
+        if (reached[next]) continue;
+        reached[next] = 1;
+        parent[next] = cur;
+        queue.push_back(next);
+      }
+    }
+  }
+
+  const auto frame = [&](std::size_t i) {
+    const Node& n = nodes[i];
+    return n.def->qual + " (" + files[n.file].path + ":" +
+           std::to_string(n.def->line) + ")";
+  };
+
+  std::vector<Finding> out;
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!reached[i] || nodes[i].sites.empty()) continue;
+    // Chain: root → … → this function.
+    std::vector<std::string> chain;
+    for (std::size_t cur = i; cur != kNone; cur = parent[cur])
+      chain.push_back(frame(cur));
+    std::reverse(chain.begin(), chain.end());
+    for (const BlockSite& site : nodes[i].sites) {
+      Finding f;
+      f.file = files[nodes[i].file].path;
+      f.line = site.line;
+      f.rule = "fiber-blocking";
+      f.severity = Severity::Error;
+      f.message = site.what + " in '" + nodes[i].def->qual +
+                  "' is reachable from process body '" +
+                  nodes[i].def->qual + "'";
+      if (chain.size() > 1 || !nodes[i].def->takes_context) {
+        f.message = site.what + " in '" + nodes[i].def->qual +
+                    "' is reachable from process body '" + chain.front() +
+                    "' — one blocked fiber stalls the whole engine";
+      } else {
+        f.message = site.what + " directly inside process body '" +
+                    nodes[i].def->qual +
+                    "' — one blocked fiber stalls the whole engine";
+      }
+      f.fix_hint =
+          "wait in virtual time (ctx.delay / sim::Event) or move the real "
+          "I/O off the engine thread; scheduler-side or thread-substrate "
+          "machinery belongs in the allowlist with a justification";
+      f.chain = chain;
+      const std::string key = f.file + ":" + std::to_string(f.line) + ":" +
+                              site.what;
+      if (seen.insert(key).second) out.push_back(std::move(f));
+    }
+  }
+  fill_excerpts(out, files);
+  sort_findings(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: shared-state escapes
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> check_shared_state(const std::vector<SourceFile>& files) {
+  std::vector<Finding> out;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    FileIndex ix;
+    ix.toks = prepare_tokens(files[fi].text);
+    Scanner(ix.toks, static_cast<int>(fi), ix).run();
+
+    for (const VarDecl& v : ix.shared_vars) {
+      const char* where = nullptr;
+      switch (v.kind) {
+        case VarKind::Global: where = "namespace-scope"; break;
+        case VarKind::StaticLocal: where = "function-local static"; break;
+        case VarKind::StaticMember: where = "static member"; break;
+        case VarKind::ThreadLocal: where = "thread_local"; break;
+      }
+      Finding f;
+      f.file = files[fi].path;
+      f.line = v.line;
+      f.rule = "shared-state";
+      f.severity = Severity::Error;
+      f.message = std::string("mutable ") + where + " state '" + v.name +
+                  "' is visible to every logical process outside "
+                  "check::SharedCell — a data race once LPs run on worker "
+                  "threads, and invisible to the virtual-time race detector "
+                  "today";
+      f.fix_hint =
+          "wrap it in check::SharedCell<T> (src/check/shared_cell.hpp), "
+          "make it const/constexpr, or allowlist with a justification";
+      out.push_back(std::move(f));
+    }
+
+    // By-reference lambda captures crossing Engine::spawn.
+    const std::vector<Token>& toks = ix.toks;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!toks[i].ident || toks[i].text != "spawn" ||
+          toks[i + 1].text != "(")
+        continue;
+      const std::size_t after = skip_balanced(toks, i + 1, "(", ")");
+      for (std::size_t j = i + 2; j + 1 < after; ++j) {
+        if (toks[j].text != "[") continue;
+        const bool subscript = toks[j - 1].ident || toks[j - 1].text == ")" ||
+                               toks[j - 1].text == "]";
+        if (subscript) continue;
+        const std::size_t caps_end = skip_balanced(toks, j, "[", "]");
+        std::string captured;
+        for (std::size_t k = j + 1; k + 1 < caps_end; ++k) {
+          if (toks[k].text != "&") continue;
+          // `&&` in an init-capture expression is not a by-ref capture.
+          const std::string& nx = toks[k + 1].text;
+          if (nx == "]" || nx == ",") {
+            captured = "[&] default";
+            break;
+          }
+          if (toks[k + 1].ident &&
+              (k + 2 >= caps_end || toks[k + 2].text == "," ||
+               toks[k + 2].text == "]")) {
+            captured = "&" + toks[k + 1].text;
+            break;
+          }
+        }
+        if (!captured.empty()) {
+          Finding f;
+          f.file = files[fi].path;
+          f.line = toks[j].line;
+          f.rule = "spawn-ref-capture";
+          f.severity = Severity::Error;
+          f.message = "lambda passed to spawn captures by reference (" +
+                      captured +
+                      "): the capture crosses the Engine::spawn boundary "
+                      "into another logical process";
+          f.fix_hint =
+              "capture by value / init-capture, route shared state through "
+              "check::SharedCell, or allowlist with a justification that "
+              "names the owner";
+          out.push_back(std::move(f));
+        }
+        j = caps_end - 1;
+      }
+      i = after - 1;
+    }
+  }
+  fill_excerpts(out, files);
+  sort_findings(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: include-graph layering
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> check_layering(const std::vector<SourceFile>& files,
+                                    const LayerMap& layers) {
+  std::vector<Finding> out;
+
+  // Known subsystems = those present in the file set.
+  std::set<std::string> known;
+  for (const SourceFile& f : files) {
+    const std::string sub = subsystem_of(f.path);
+    if (!sub.empty()) known.insert(sub);
+  }
+  for (const std::string& sub : known) {
+    if (layers.rank(sub)) continue;
+    // Anchor the warning at the first file of the subsystem.
+    std::string first;
+    for (const SourceFile& f : files) {
+      if (subsystem_of(f.path) == sub && (first.empty() || f.path < first))
+        first = f.path;
+    }
+    Finding f;
+    f.file = first;
+    f.line = 1;
+    f.rule = "layer-unmapped";
+    f.severity = Severity::Warning;
+    f.message = "subsystem '" + sub +
+                "' is not in the layer map; the layering pass cannot vouch "
+                "for its dependencies";
+    f.fix_hint = "add it to tools/simai_layers.txt at the right rank";
+    out.push_back(std::move(f));
+  }
+
+  // Per-file include lists, plus resolution to files in the set.
+  std::map<std::string, std::size_t> by_path;
+  for (std::size_t i = 0; i < files.size(); ++i) by_path[files[i].path] = i;
+  std::vector<std::vector<std::pair<std::size_t, int>>> graph(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::string sub = subsystem_of(files[i].path);
+    const auto my_rank = sub.empty() ? std::nullopt : layers.rank(sub);
+    const std::string dir =
+        files[i].path.substr(0, files[i].path.find_last_of('/') + 1);
+    for (const IncludeEdge& inc : parse_includes(files[i].text)) {
+      // Layer check on the subsystem component of the include path.
+      const auto slash = inc.target.find('/');
+      if (slash != std::string::npos) {
+        const std::string target_sub = inc.target.substr(0, slash);
+        const auto target_rank = layers.rank(target_sub);
+        if (my_rank && target_rank && *target_rank > *my_rank) {
+          Finding f;
+          f.file = files[i].path;
+          f.line = inc.line;
+          f.rule = "layer-upward";
+          f.severity = Severity::Error;
+          f.message = "#include \"" + inc.target + "\" reaches up from '" +
+                      sub + "' (layer " + std::to_string(*my_rank) +
+                      ") into '" + target_sub + "' (layer " +
+                      std::to_string(*target_rank) +
+                      ") — upward edges make subsystems unpartitionable";
+          f.fix_hint =
+              "invert the dependency (callback/interface at the lower "
+              "layer) or move the shared piece down; changing "
+              "tools/simai_layers.txt needs a DESIGN.md §4.11 review";
+          out.push_back(std::move(f));
+        }
+      }
+      // Resolve for the cycle graph: src-root relative, then includer-
+      // relative, then unique suffix match.
+      std::size_t target = static_cast<std::size_t>(-1);
+      for (const std::string& cand : {"src/" + inc.target, dir + inc.target}) {
+        for (const auto& [path, idx] : by_path) {
+          if (path == cand ||
+              (path.size() > cand.size() &&
+               path.compare(path.size() - cand.size() - 1, 1, "/") == 0 &&
+               path.compare(path.size() - cand.size(), cand.size(), cand) ==
+                   0)) {
+            target = idx;
+            break;
+          }
+        }
+        if (target != static_cast<std::size_t>(-1)) break;
+      }
+      if (target != static_cast<std::size_t>(-1) && target != i)
+        graph[i].emplace_back(target, inc.line);
+    }
+  }
+
+  // Cycle detection (iterative DFS with colors); each cycle reported once,
+  // rotated to start at its lexicographically-smallest file.
+  std::vector<int> color(files.size(), 0);  // 0 white, 1 gray, 2 black
+  std::vector<std::size_t> stack;
+  std::set<std::string> reported;
+  std::vector<Finding>* out_ptr = &out;
+
+  // Recursive lambda via explicit stack of (node, next-edge).
+  for (std::size_t start = 0; start < files.size(); ++start) {
+    if (color[start] != 0) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> dfs;  // node, edge idx
+    dfs.emplace_back(start, 0);
+    color[start] = 1;
+    stack.push_back(start);
+    while (!dfs.empty()) {
+      auto& [node, edge] = dfs.back();
+      if (edge >= graph[node].size()) {
+        color[node] = 2;
+        stack.pop_back();
+        dfs.pop_back();
+        continue;
+      }
+      const auto [next, line] = graph[node][edge];
+      ++edge;
+      if (color[next] == 1) {
+        // Back edge: the cycle is the stack suffix from `next`.
+        auto it = std::find(stack.begin(), stack.end(), next);
+        std::vector<std::size_t> cycle(it, stack.end());
+        // Canonical rotation.
+        std::size_t min_pos = 0;
+        for (std::size_t k = 1; k < cycle.size(); ++k) {
+          if (files[cycle[k]].path < files[cycle[min_pos]].path) min_pos = k;
+        }
+        std::rotate(cycle.begin(), cycle.begin() + min_pos, cycle.end());
+        std::string desc;
+        for (std::size_t idx : cycle) desc += files[idx].path + " -> ";
+        desc += files[cycle.front()].path;
+        if (reported.insert(desc).second) {
+          // Line: the include edge leaving the first file of the cycle.
+          int at_line = 1;
+          const std::size_t from = cycle.front();
+          const std::size_t to = cycle.size() > 1 ? cycle[1] : cycle.front();
+          for (const auto& [tgt, l] : graph[from]) {
+            if (tgt == to) {
+              at_line = l;
+              break;
+            }
+          }
+          Finding f;
+          f.file = files[from].path;
+          f.line = at_line;
+          f.rule = "layer-cycle";
+          f.severity = Severity::Error;
+          f.message = "include cycle: " + desc;
+          f.fix_hint =
+              "break the cycle with a forward declaration or by moving the "
+              "shared declarations into a lower-layer header";
+          out_ptr->push_back(std::move(f));
+        }
+      } else if (color[next] == 0) {
+        color[next] = 1;
+        stack.push_back(next);
+        dfs.emplace_back(next, 0);
+      }
+    }
+  }
+
+  fill_excerpts(out, files);
+  sort_findings(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+void Analyzer::add_file(std::string path, std::string text) {
+  files_.push_back({std::move(path), std::move(text)});
+}
+
+void Analyzer::add_path(const std::string& path) {
+  namespace fs = std::filesystem;
+  const auto slurp = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) throw Error("simai_analyze: cannot read '" + p + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const auto wanted = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+  };
+  if (fs::is_directory(path)) {
+    std::vector<std::string> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(path)) {
+      if (entry.is_regular_file() && wanted(entry.path()))
+        paths.push_back(entry.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const std::string& p : paths) add_file(p, slurp(p));
+  } else {
+    add_file(path, slurp(path));
+  }
+}
+
+std::vector<Finding> Analyzer::run(const lint::Allowlist* allow) const {
+  std::vector<Finding> all = check_blocking_reachability(files_);
+  for (Finding& f : check_shared_state(files_)) all.push_back(std::move(f));
+  for (Finding& f : check_layering(files_, layers_)) all.push_back(std::move(f));
+  if (allow) {
+    all.erase(std::remove_if(all.begin(), all.end(),
+                             [&](const Finding& f) {
+                               std::string haystack = f.excerpt + "\n" + f.message;
+                               for (const std::string& frame : f.chain)
+                                 haystack += "\n" + frame;
+                               return allow->suppresses(f.rule, f.file, haystack);
+                             }),
+              all.end());
+  }
+  sort_findings(all);
+  return all;
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable output
+// ---------------------------------------------------------------------------
+
+std::string to_json(const std::vector<Finding>& findings) {
+  using util::Json;
+  Json doc = Json::object();
+  doc["tool"] = "simai_analyze";
+  Json arr = Json::array();
+  int errors = 0, warnings = 0, notes = 0;
+  for (const Finding& f : findings) {
+    Json j = Json::object();
+    j["file"] = f.file;
+    j["line"] = f.line;
+    j["rule"] = f.rule;
+    j["severity"] = std::string(severity_name(f.severity));
+    j["message"] = f.message;
+    if (!f.fix_hint.empty()) j["fix_hint"] = f.fix_hint;
+    if (!f.excerpt.empty()) j["excerpt"] = f.excerpt;
+    if (!f.chain.empty()) {
+      Json chain = Json::array();
+      for (const std::string& frame : f.chain) chain.push_back(frame);
+      j["chain"] = std::move(chain);
+    }
+    arr.push_back(std::move(j));
+    switch (f.severity) {
+      case Severity::Error: ++errors; break;
+      case Severity::Warning: ++warnings; break;
+      case Severity::Note: ++notes; break;
+    }
+  }
+  doc["findings"] = std::move(arr);
+  Json counts = Json::object();
+  counts["error"] = errors;
+  counts["warning"] = warnings;
+  counts["note"] = notes;
+  doc["counts"] = std::move(counts);
+  return doc.dump(2) + "\n";
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  using util::Json;
+  // Rule catalog: one reportingDescriptor per distinct rule id.
+  static const std::map<std::string_view, std::string_view> kRuleDescs = {
+      {"fiber-blocking",
+       "A blocking primitive is reachable from a sim::Context process body; "
+       "one blocked fiber stalls the whole engine."},
+      {"shared-state",
+       "Mutable namespace-scope/static state is shared across logical "
+       "processes outside check::SharedCell."},
+      {"spawn-ref-capture",
+       "A lambda passed to Engine::spawn captures by reference across the "
+       "process boundary."},
+      {"layer-upward",
+       "An #include edge reaches from a lower layer into a higher one, "
+       "violating the declared layer map."},
+      {"layer-cycle", "The file-level include graph contains a cycle."},
+      {"layer-unmapped",
+       "A src/ subsystem is missing from the declared layer map."},
+  };
+  std::set<std::string> used;
+  for (const Finding& f : findings) used.insert(f.rule);
+
+  Json rules = Json::array();
+  for (const std::string& id : used) {
+    Json r = Json::object();
+    r["id"] = id;
+    Json short_desc = Json::object();
+    const auto it = kRuleDescs.find(id);
+    short_desc["text"] =
+        it != kRuleDescs.end() ? std::string(it->second) : id;
+    r["shortDescription"] = std::move(short_desc);
+    rules.push_back(std::move(r));
+  }
+
+  Json results = Json::array();
+  for (const Finding& f : findings) {
+    Json r = Json::object();
+    r["ruleId"] = f.rule;
+    r["level"] = std::string(severity_name(f.severity));
+    Json msg = Json::object();
+    std::string text = f.message;
+    for (const std::string& frame : f.chain) text += "\nvia " + frame;
+    if (!f.fix_hint.empty()) text += "\nhint: " + f.fix_hint;
+    msg["text"] = std::move(text);
+    r["message"] = std::move(msg);
+    Json region = Json::object();
+    region["startLine"] = f.line;
+    Json artifact = Json::object();
+    artifact["uri"] = f.file;
+    Json phys = Json::object();
+    phys["artifactLocation"] = std::move(artifact);
+    phys["region"] = std::move(region);
+    Json loc = Json::object();
+    loc["physicalLocation"] = std::move(phys);
+    Json locs = Json::array();
+    locs.push_back(std::move(loc));
+    r["locations"] = std::move(locs);
+    results.push_back(std::move(r));
+  }
+
+  Json driver = Json::object();
+  driver["name"] = "simai_analyze";
+  driver["informationUri"] = "DESIGN.md#411-static-analysis";
+  driver["rules"] = std::move(rules);
+  Json tool = Json::object();
+  tool["driver"] = std::move(driver);
+  Json run = Json::object();
+  run["tool"] = std::move(tool);
+  run["results"] = std::move(results);
+  Json runs = Json::array();
+  runs.push_back(std::move(run));
+  Json doc = Json::object();
+  doc["$schema"] = "https://json.schemastore.org/sarif-2.1.0.json";
+  doc["version"] = "2.1.0";
+  doc["runs"] = std::move(runs);
+  return doc.dump(2) + "\n";
+}
+
+}  // namespace simai::analyze

@@ -1,0 +1,149 @@
+// simai_analyze: a whole-program static analyzer for the simulator sources.
+//
+// simai_lint (lint.hpp) checks one translation unit at a time; everything it
+// can prove is local. The properties that actually gate the parallel-DES
+// roadmap item are *global*: whether a blocking syscall is reachable from a
+// fiber body three calls away, whether a namespace-scope mutable escapes
+// into several logical processes, whether the subsystem include graph still
+// forms the layering that makes per-LP partitioning safe. simai_analyze
+// indexes every file under src/ at once (sharing the lint lexer), builds a
+// cross-file symbol/call graph plus the include graph, and checks those
+// whole-program properties statically — at compile-graph level, not at
+// flaky-test level.
+//
+// Rules (ids are stable; the allowlist references them):
+//   fiber-blocking     a real blocking primitive (mutex acquisition,
+//                      condition_variable wait, thread join, semaphore
+//                      acquire, sleep*, ::read/::write/poll/select/accept/
+//                      connect/recv/send on real fds) is reachable through
+//                      the call graph from a process body — a function (or
+//                      lambda) taking sim::Context&. One blocked fiber
+//                      stalls the entire engine: every finding carries the
+//                      full call chain from a process body to the primitive.
+//   shared-state       a non-const namespace-scope / static / thread_local
+//                      mutable variable. Logical processes all see it; once
+//                      LPs run on different worker threads it is a data
+//                      race, and even single-threaded it is cross-LP state
+//                      invisible to the virtual-time race detector unless it
+//                      goes through check::SharedCell. Synchronization
+//                      primitives themselves (mutex, once_flag, …) are
+//                      exempt here — fiber-blocking owns them.
+//   spawn-ref-capture  a lambda passed to Engine::spawn captures by
+//                      reference ([&], [&x]). The capture crosses the spawn
+//                      boundary into another logical process: the static
+//                      counterpart of the dynamic race detector, and the
+//                      precondition for partitioning LPs across threads.
+//   layer-upward       an #include edge from a lower-layer subsystem to a
+//                      higher-layer one, per the declared layer map
+//                      (tools/simai_layers.txt). Upward edges are what make
+//                      subsystems unpartitionable.
+//   layer-cycle        a cycle in the file-level include graph.
+//   layer-unmapped     (warning) a src/ subsystem missing from the layer
+//                      map — the layering pass cannot vouch for it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace simai::analyze {
+
+enum class Severity { Note, Warning, Error };
+std::string_view severity_name(Severity s);
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;  // stable rule id (see header comment)
+  Severity severity = Severity::Error;
+  std::string message;
+  std::string fix_hint;  // how findings of this rule graduate to fixes
+  std::string excerpt;   // offending source line (allowlist anchor target)
+  // fiber-blocking only: the call chain, process body first, each frame
+  // formatted "qualified_name (file:line)".
+  std::vector<std::string> chain;
+
+  std::string to_string() const;
+};
+
+struct SourceFile {
+  std::string path;
+  std::string text;
+};
+
+/// Declared subsystem layering, bottom (rank 0) to top. File format — one
+/// layer per line, lowest first:
+///
+///   <rank> <subsystem> [<subsystem>...]   # comment
+///
+/// Subsystems on the same line may include each other; an include edge from
+/// rank a to rank b is an error when b > a. Subsystem = the directory
+/// component after src/ (util, sim, kv, ...).
+class LayerMap {
+ public:
+  static LayerMap parse(std::string_view text, std::vector<std::string>* errors = nullptr);
+  /// Load from a file; returns builtin() when the file is absent.
+  static LayerMap load(const std::string& path, std::vector<std::string>* errors = nullptr);
+  /// The shipped map (tools/simai_layers.txt mirrors it; see DESIGN.md
+  /// §4.11 for the rationale).
+  static LayerMap builtin();
+
+  void set(std::string subsystem, int rank);
+  std::optional<int> rank(std::string_view subsystem) const;
+  bool empty() const { return ranks_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, int>> ranks_;  // sorted by name
+};
+
+// ---------------------------------------------------------------------------
+// Individual passes — exposed for tests; no allowlist filtering. Findings
+// are deterministically ordered (file, line, rule, message).
+// ---------------------------------------------------------------------------
+
+/// Cross-file call-graph pass: flags blocking primitives reachable from
+/// sim::Context-taking functions/lambdas, with the full call chain.
+std::vector<Finding> check_blocking_reachability(const std::vector<SourceFile>& files);
+
+/// Shared-state escape pass: bare mutable globals/statics and by-reference
+/// lambda captures crossing Engine::spawn.
+std::vector<Finding> check_shared_state(const std::vector<SourceFile>& files);
+
+/// Include-graph layering pass: upward edges and cycles per the layer map.
+std::vector<Finding> check_layering(const std::vector<SourceFile>& files,
+                                    const LayerMap& layers);
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+class Analyzer {
+ public:
+  void add_file(std::string path, std::string text);
+  /// Add a file or recursively a directory of .cpp/.cc/.hpp/.h files, in
+  /// sorted order. Throws simai::Error on read failure.
+  void add_path(const std::string& path);
+  void set_layer_map(LayerMap m) { layers_ = std::move(m); }
+  const std::vector<SourceFile>& files() const { return files_; }
+
+  /// Run every pass over the indexed files. The allowlist (if any) filters
+  /// findings; anchors match against the offending line and the message.
+  std::vector<Finding> run(const lint::Allowlist* allow = nullptr) const;
+
+ private:
+  std::vector<SourceFile> files_;
+  LayerMap layers_ = LayerMap::builtin();
+};
+
+/// Machine-readable output. to_json emits
+///   {"tool":"simai_analyze","findings":[{file,line,rule,severity,message,
+///    fix_hint,chain[]}...],"counts":{"error":N,"warning":N,"note":N}}
+/// and to_sarif a minimal SARIF 2.1.0 document (one run, one result per
+/// finding, chains rendered as related locations).
+std::string to_json(const std::vector<Finding>& findings);
+std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace simai::analyze

@@ -34,10 +34,31 @@ done
 
 # Lint runs as the ctest target simai_lint_src in every preset above; run it
 # once more standalone so a lint regression is named explicitly even when
-# someone trims the preset list.
+# someone trims the preset list. --prune fails on allowlist entries that no
+# longer match anything (dead suppressions).
 if [ -x build/tools/simai_lint ]; then
-  banner "determinism lint (standalone)"
-  build/tools/simai_lint --allow tools/simai_lint_allow.txt src
+  banner "determinism lint (standalone, --prune)"
+  build/tools/simai_lint --allow tools/simai_lint_allow.txt --prune src
+fi
+
+# Whole-program static analysis (DESIGN.md §4.11): fiber-blocking
+# reachability, shared-state escapes, include layering. Runs as the ctest
+# target simai_analyze_src too; this standalone stage emits --format json
+# and exits nonzero on any error-severity finding or stale allowlist entry,
+# so the machine-readable output path is exercised on every gate run.
+if [ -x build/tools/simai_analyze ]; then
+  banner "whole-program static analysis (--format json, --prune)"
+  analyze_out=$(mktemp)
+  if ! build/tools/simai_analyze \
+      --allow tools/simai_analyze_allow.txt \
+      --layers tools/simai_layers.txt \
+      --format json --prune src >"$analyze_out"; then
+    cat "$analyze_out"
+    rm -f "$analyze_out"
+    echo 'FAIL: simai_analyze reported error-severity findings' >&2
+    exit 1
+  fi
+  rm -f "$analyze_out"
 fi
 
 # Payload-plane bench smoke: rerun the copies-per-hop measurement and fail

@@ -11,22 +11,18 @@ namespace simai::lint {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------------
-
-struct Token {
-  std::string text;  // identifier text, or single punctuation char
-  int line = 0;
-  bool ident = false;
-};
-
 bool ident_start(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
 }
 bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Tokenizer (shared with tools/analyze.cpp — see lint.hpp)
+// ---------------------------------------------------------------------------
 
 std::vector<Token> tokenize(std::string_view stripped) {
   std::vector<Token> out;
@@ -65,6 +61,8 @@ std::vector<Token> tokenize(std::string_view stripped) {
   }
   return out;
 }
+
+namespace {
 
 const Token* prev_tok(const std::vector<Token>& toks, std::size_t i, std::size_t back = 1) {
   return i >= back ? &toks[i - back] : nullptr;
@@ -283,14 +281,14 @@ void check_tokens(const std::vector<Token>& toks,
             {file, t.line, "byte-copy",
              "'Bytes(...)' materializes a copied buffer on the data plane; "
              "hand off a util::Payload (refcount) or ByteView (borrow) "
-             "instead"});
+             "instead", {}});
       } else if (paren_depth > 0 && n1 && n1->ident &&
                  (is(n2, ",") || is(n2, ")"))) {
         out.push_back(
             {file, t.line, "byte-copy",
              "by-value Bytes parameter '" + n1->text +
                  "' copies the payload at the call boundary; take ByteView, "
-                 "util::Payload, or const Bytes&"});
+                 "util::Payload, or const Bytes&", {}});
       }
     }
 
@@ -299,11 +297,11 @@ void check_tokens(const std::vector<Token>& toks,
       out.push_back({file, t.line, "wall-clock",
                      "'" + t.text +
                          "' reads real time; simulated time must come from "
-                         "the DES clock (ctx.now())"});
+                         "the DES clock (ctx.now())", {}});
     } else if (one_of(t.text, kWallClockCalls) && is_free_call(toks, i)) {
       out.push_back({file, t.line, "wall-clock",
                      "call to '" + t.text +
-                         "()' reads real time; use the DES clock instead"});
+                         "()' reads real time; use the DES clock instead", {}});
     }
 
     // -- libc-rand --------------------------------------------------------
@@ -311,14 +309,14 @@ void check_tokens(const std::vector<Token>& toks,
       out.push_back({file, t.line, "libc-rand",
                      "call to '" + t.text +
                          "()' uses hidden global RNG state; use an "
-                         "explicitly seeded util::Xoshiro256 stream"});
+                         "explicitly seeded util::Xoshiro256 stream", {}});
     }
 
     // -- nondet-seed ------------------------------------------------------
     if (t.text == "random_device") {
       out.push_back({file, t.line, "nondet-seed",
                      "'std::random_device' is nondeterministic; seeds must "
-                     "come from the run configuration"});
+                     "come from the run configuration", {}});
     } else if (one_of(t.text, kRngEngines)) {
       // `mt19937 name;` — default construction hides the seed.
       const Token* n1 = next_tok(toks, i, 1);
@@ -327,7 +325,7 @@ void check_tokens(const std::vector<Token>& toks,
         out.push_back({file, t.line, "nondet-seed",
                        "'" + t.text + " " + n1->text +
                            ";' default-constructs an RNG engine; pass an "
-                           "explicit seed from the run configuration"});
+                           "explicit seed from the run configuration", {}});
       }
     }
 
@@ -359,7 +357,7 @@ void check_tokens(const std::vector<Token>& toks,
                 {file, t.line, "unordered-iter",
                  "range-for over unordered container '" + toks[j].text +
                      "': iteration order is not deterministic; sort the "
-                     "result or use an ordered container"});
+                     "result or use an ordered container", {}});
             break;
           }
         }
@@ -372,12 +370,12 @@ void check_tokens(const std::vector<Token>& toks,
         out.push_back({file, t.line, "raw-logging",
                        "'std::" + t.text +
                            "' in library code bypasses util/logging; use "
-                           "SIMAI_LOG so output is leveled and capturable"});
+                           "SIMAI_LOG so output is leveled and capturable", {}});
       } else if (one_of(t.text, kRawStdioCalls) && is_free_call(toks, i)) {
         out.push_back({file, t.line, "raw-logging",
                        "call to '" + t.text +
                            "()' writes raw output from library code; route "
-                           "through util/logging instead"});
+                           "through util/logging instead", {}});
       }
     }
 
@@ -389,7 +387,7 @@ void check_tokens(const std::vector<Token>& toks,
                        "'float " + n1->text +
                            "' holds a time quantity in single precision; "
                            "SimTime is double — float accumulation drifts "
-                           "across substrates"});
+                           "across substrates", {}});
       }
     }
   }
@@ -407,6 +405,28 @@ std::string strip_comments_and_literals(std::string_view src) {
   enum class State { Code, Line, Block, Str, Chr, Raw };
   State state = State::Code;
   std::string raw_delim;  // for R"delim( ... )delim"
+
+  // The run of identifier characters immediately before position i —
+  // empty at a non-identifier boundary. Decides how a quote is read:
+  // `1'000` / `0xFF'AA` (run starts with a digit → digit separator),
+  // `LR"(..)"` / `u8"s"` (encoding prefix → part of the literal),
+  // `L'a'` (prefix char literal).
+  const auto prefix_run = [&](std::size_t i) -> std::string_view {
+    std::size_t start = i;
+    while (start > 0 && ident_char(src[start - 1])) --start;
+    return src.substr(start, i - start);
+  };
+  const auto is_encoding_prefix = [](std::string_view run) {
+    return run == "L" || run == "u" || run == "U" || run == "u8";
+  };
+  // Encoding/raw prefixes were already copied into `out` as code before the
+  // quote revealed them as part of a literal; blank them so they never
+  // surface as phantom identifier tokens. Prefix chars are never newlines,
+  // so line structure is preserved.
+  const auto blank_prefix = [&](std::size_t len) {
+    out.replace(out.size() - len, len, len, ' ');
+  };
+
   for (std::size_t i = 0; i < src.size(); ++i) {
     const char c = src[i];
     const char n = i + 1 < src.size() ? src[i + 1] : '\0';
@@ -420,21 +440,42 @@ std::string strip_comments_and_literals(std::string_view src) {
           state = State::Block;
           out += "  ";
           ++i;
-        } else if (c == 'R' && n == '"' &&
-                   (i == 0 || !ident_char(src[i - 1]))) {
-          state = State::Raw;
-          raw_delim.clear();
-          std::size_t j = i + 2;
-          while (j < src.size() && src[j] != '(') raw_delim += src[j++];
-          out.append(j + 1 - i, ' ');
-          i = j;
         } else if (c == '"') {
-          state = State::Str;
-          out += ' ';
-        } else if (c == '\'' && !(i > 0 && std::isdigit(static_cast<unsigned char>(src[i - 1])))) {
-          // skip digit separators like 1'000'000
-          state = State::Chr;
-          out += ' ';
+          // Raw string when the preceding identifier run is exactly a raw
+          // prefix (R, u8R, uR, UR, LR) starting at a non-identifier
+          // boundary — `MACRO_R"..."` stays an ordinary string.
+          std::string_view run = prefix_run(i);
+          const bool raw =
+              !run.empty() && run.back() == 'R' &&
+              (run.size() == 1 ||
+               is_encoding_prefix(run.substr(0, run.size() - 1)));
+          if (raw) {
+            blank_prefix(run.size());
+            state = State::Raw;
+            raw_delim.clear();
+            std::size_t j = i + 1;
+            while (j < src.size() && src[j] != '(') raw_delim += src[j++];
+            out.append(j + 1 - i, ' ');
+            i = j;
+          } else {
+            if (is_encoding_prefix(run)) blank_prefix(run.size());
+            state = State::Str;
+            out += ' ';
+          }
+        } else if (c == '\'') {
+          std::string_view run = prefix_run(i);
+          if (!run.empty() &&
+              std::isdigit(static_cast<unsigned char>(run.front()))) {
+            // Digit separator inside a numeric literal (1'000'000 and the
+            // hex/binary forms 0xFF'AA / 0b1010'1010 whose preceding char
+            // is a letter, not a digit) — keep it so the tokenizer lexes
+            // the number as one token.
+            out += c;
+          } else {
+            if (is_encoding_prefix(run)) blank_prefix(run.size());
+            state = State::Chr;
+            out += ' ';
+          }
         } else {
           out += c;
         }
@@ -513,11 +554,25 @@ Allowlist Allowlist::parse(std::string_view text, std::vector<std::string>* erro
     if (!(fields >> rule)) continue;  // blank / comment-only
     if (!(fields >> path)) {
       if (errors)
-        errors->push_back("allowlist line " + std::to_string(lineno) +
-                          ": expected '<rule> <path-substring>'");
+        errors->push_back(
+            "allowlist line " + std::to_string(lineno) +
+            ": expected '<rule> <path-substring>[:<line-anchor-token>]'");
       continue;
     }
-    allow.add(std::move(rule), std::move(path));
+    // Optional line anchor after ':' — narrows the entry to findings whose
+    // offending line (or message) contains the token.
+    std::string anchor;
+    if (const auto colon = path.find(':'); colon != std::string::npos) {
+      anchor = path.substr(colon + 1);
+      path.erase(colon);
+      if (anchor.empty() || path.empty()) {
+        if (errors)
+          errors->push_back("allowlist line " + std::to_string(lineno) +
+                            ": empty path or anchor around ':'");
+        continue;
+      }
+    }
+    allow.add(std::move(rule), std::move(path), std::move(anchor));
   }
   return allow;
 }
@@ -530,16 +585,46 @@ Allowlist Allowlist::load(const std::string& path, std::vector<std::string>* err
   return parse(buf.str(), errors);
 }
 
-void Allowlist::add(std::string rule, std::string path_substring) {
-  entries_.push_back({std::move(rule), std::move(path_substring)});
+void Allowlist::add(std::string rule, std::string path_substring,
+                    std::string anchor) {
+  entries_.push_back(
+      {std::move(rule), std::move(path_substring), std::move(anchor), false});
 }
 
 bool Allowlist::suppresses(const Finding& f) const {
+  // Anchors match against the offending line first, the message as a
+  // fallback (analyzer findings sometimes carry no excerpt).
+  const std::string haystack = f.excerpt + "\n" + f.message;
+  return suppresses(f.rule, f.file, haystack);
+}
+
+bool Allowlist::suppresses(std::string_view rule, std::string_view file,
+                           std::string_view anchor_haystack) const {
   for (const Entry& e : entries_) {
-    if (e.rule == f.rule && f.file.find(e.path_substring) != std::string::npos)
-      return true;
+    if (e.rule != rule) continue;
+    if (file.find(e.path_substring) == std::string_view::npos) continue;
+    if (!e.anchor.empty() &&
+        anchor_haystack.find(e.anchor) == std::string_view::npos)
+      continue;
+    e.hit = true;
+    return true;
   }
   return false;
+}
+
+std::vector<std::string> Allowlist::stale_entries() const {
+  std::vector<std::string> stale;
+  for (const Entry& e : entries_) {
+    if (e.hit) continue;
+    std::string desc = e.rule + " " + e.path_substring;
+    if (!e.anchor.empty()) desc += ":" + e.anchor;
+    stale.push_back(std::move(desc));
+  }
+  return stale;
+}
+
+void Allowlist::reset_hits() {
+  for (const Entry& e : entries_) e.hit = false;
 }
 
 // ---------------------------------------------------------------------------
@@ -548,6 +633,25 @@ bool Allowlist::suppresses(const Finding& f) const {
 
 std::string Finding::to_string() const {
   return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+std::string source_line(std::string_view source, int line) {
+  int current = 1;
+  std::size_t begin = 0;
+  while (current < line) {
+    const std::size_t nl = source.find('\n', begin);
+    if (nl == std::string_view::npos) return {};
+    begin = nl + 1;
+    ++current;
+  }
+  std::size_t end = source.find('\n', begin);
+  if (end == std::string_view::npos) end = source.size();
+  std::string_view text = source.substr(begin, end - begin);
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())))
+    text.remove_prefix(1);
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())))
+    text.remove_suffix(1);
+  return std::string(text);
 }
 
 std::vector<Finding> lint_source(std::string_view source, const std::string& file,
@@ -560,6 +664,7 @@ std::vector<Finding> lint_source(std::string_view source, const std::string& fil
   const std::vector<Token> companion_toks = tokenize(companion_stripped);
   std::vector<Finding> found;
   check_tokens(toks, companion_toks, file, found);
+  for (Finding& f : found) f.excerpt = source_line(source, f.line);
   if (allow) {
     found.erase(std::remove_if(found.begin(), found.end(),
                                [&](const Finding& f) { return allow->suppresses(f); }),

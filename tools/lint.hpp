@@ -56,19 +56,46 @@ struct Finding {
   int line = 0;
   std::string rule;     // stable rule id (see header comment)
   std::string message;  // human-readable explanation
+  std::string excerpt;  // the offending source line, trimmed — what an
+                        // allowlist line-anchor token matches against
 
   std::string to_string() const;
 };
 
+// ---------------------------------------------------------------------------
+// Lexer (shared with tools/analyze.cpp)
+// ---------------------------------------------------------------------------
+
+/// One lexical token of a stripped translation unit: an identifier, a
+/// number (hex / float / digit-separated literals are one token), or a
+/// single punctuation character. Comments and string/char literals never
+/// reach the token stream — run strip_comments_and_literals first.
+struct Token {
+  std::string text;  // identifier text, or single punctuation char
+  int line = 0;
+  bool ident = false;
+};
+
+/// Tokenize text already passed through strip_comments_and_literals.
+/// Deterministic; line numbers are 1-based.
+std::vector<Token> tokenize(std::string_view stripped);
+
 /// Allowlist: suppresses findings that a human has reviewed and judged
 /// benign. File format — one entry per line:
 ///
-///   <rule-id> <path-substring>        # trailing comment allowed
+///   <rule-id> <path-substring>[:<line-anchor-token>]   # comment allowed
 ///
-/// A finding is suppressed when its rule matches exactly and its file path
-/// contains the substring. Blank lines and lines starting with '#' are
-/// ignored. Keeping suppressions in one reviewed file (instead of inline
-/// NOLINT markers) makes the exemption surface auditable at a glance.
+/// A finding is suppressed when its rule matches exactly, its file path
+/// contains the substring, and — when a line-anchor token is given after
+/// ':' — the offending source line (or the finding message) contains that
+/// token. Anchors keep one entry from silently hiding *new* findings of the
+/// same rule elsewhere in the file. Blank lines and lines starting with '#'
+/// are ignored. Keeping suppressions in one reviewed file (instead of
+/// inline NOLINT markers) makes the exemption surface auditable at a
+/// glance.
+///
+/// Entries record whether they ever matched; stale_entries() returns the
+/// ones that never did, so `--prune` can fail a gate on dead suppressions.
 class Allowlist {
  public:
   Allowlist() = default;
@@ -78,14 +105,25 @@ class Allowlist {
   /// Load from a file; returns an empty allowlist when the file is absent.
   static Allowlist load(const std::string& path, std::vector<std::string>* errors = nullptr);
 
-  void add(std::string rule, std::string path_substring);
+  void add(std::string rule, std::string path_substring, std::string anchor = {});
   bool suppresses(const Finding& f) const;
+  /// Generic form used by simai_analyze: `anchor_haystack` is whatever the
+  /// line-anchor token should be matched against (source line + message).
+  bool suppresses(std::string_view rule, std::string_view file,
+                  std::string_view anchor_haystack) const;
   std::size_t size() const { return entries_.size(); }
+
+  /// Entries that never suppressed a finding since construction (or the
+  /// last reset_hits), formatted as "<rule> <path>[:<anchor>]".
+  std::vector<std::string> stale_entries() const;
+  void reset_hits();
 
  private:
   struct Entry {
     std::string rule;
     std::string path_substring;
+    std::string anchor;        // empty = no line anchor
+    mutable bool hit = false;  // match bookkeeping for --prune
   };
   std::vector<Entry> entries_;
 };
@@ -107,7 +145,14 @@ std::vector<Finding> lint_file(const std::string& path, const Allowlist* allow =
 
 /// Strip comments, string literals, and char literals, preserving line
 /// structure (every replaced character becomes a space; newlines survive).
-/// Exposed for tests.
+/// Raw strings (including custom delimiters and the u8R/uR/UR/LR prefixes),
+/// wide/unicode char literals, and digit separators (1'000'000, 0xFF'AA)
+/// are all recognized, so nothing inside a literal leaks into the token
+/// stream as phantom code. Exposed for tests.
 std::string strip_comments_and_literals(std::string_view source);
+
+/// The (1-based) `line`-th line of `source`, whitespace-trimmed; empty when
+/// out of range. Findings carry this as their excerpt.
+std::string source_line(std::string_view source, int line);
 
 }  // namespace simai::lint

@@ -1,0 +1,135 @@
+// simai_analyze CLI: whole-program static analysis over simulator sources.
+//
+//   simai_analyze [--allow FILE] [--layers FILE] [--format text|json|sarif]
+//                 [--prune] [--quiet] PATH...
+//
+// Each PATH is a file or a directory (walked recursively for
+// .cpp/.cc/.hpp/.h, sorted). All files are indexed together — that is the
+// point: the passes (fiber-blocking reachability, shared-state escapes,
+// include-graph layering; see tools/analyze.hpp) are whole-program.
+//
+//   --allow FILE    reviewed suppressions, same format as simai_lint's
+//                   (rule path[:anchor]); anchors match the offending line,
+//                   the message, or a call-chain frame.
+//   --layers FILE   layer map (tools/simai_layers.txt format); defaults to
+//                   the builtin map when absent.
+//   --format        text (default, human), json (stable schema for the
+//                   check.sh gate), sarif (SARIF 2.1.0 for code scanners).
+//   --prune         also report allowlist entries that matched nothing;
+//                   each counts as a finding.
+//   --quiet         suppress per-finding output; summary + exit code only.
+//
+// Exit codes (shared convention with simai_lint):
+//   0  clean (no error-severity findings, no stale entries under --prune)
+//   1  error-severity findings present (warnings alone stay 0)
+//   2  usage or I/O error
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+
+int main(int argc, char** argv) {
+  std::string allow_path;
+  std::string layers_path;
+  std::string format = "text";
+  std::vector<std::string> roots;
+  bool quiet = false;
+  bool prune = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allow" && i + 1 < argc) {
+      allow_path = argv[++i];
+    } else if (arg == "--layers" && i + 1 < argc) {
+      layers_path = argv[++i];
+    } else if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::fprintf(stderr, "simai_analyze: unknown format '%s'\n",
+                     format.c_str());
+        return 2;
+      }
+    } else if (arg == "--quiet" || arg == "-q") {
+      quiet = true;
+    } else if (arg == "--prune") {
+      prune = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::puts(
+          "usage: simai_analyze [--allow FILE] [--layers FILE]\n"
+          "                     [--format text|json|sarif] [--prune]\n"
+          "                     [--quiet] PATH...");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "simai_analyze: unknown option '%s' (try --help)\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fputs("simai_analyze: no paths given (try --help)\n", stderr);
+    return 2;
+  }
+  if (prune && allow_path.empty()) {
+    std::fputs("simai_analyze: --prune needs --allow FILE\n", stderr);
+    return 2;
+  }
+
+  std::vector<std::string> cfg_errors;
+  simai::lint::Allowlist allow =
+      simai::lint::Allowlist::load(allow_path, &cfg_errors);
+  simai::analyze::LayerMap layers =
+      layers_path.empty()
+          ? simai::analyze::LayerMap::builtin()
+          : simai::analyze::LayerMap::load(layers_path, &cfg_errors);
+  for (const std::string& err : cfg_errors)
+    std::fprintf(stderr, "simai_analyze: %s\n", err.c_str());
+  if (!cfg_errors.empty()) return 2;
+
+  simai::analyze::Analyzer analyzer;
+  analyzer.set_layer_map(std::move(layers));
+  try {
+    for (const std::string& root : roots) analyzer.add_path(root);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "simai_analyze: %s\n", e.what());
+    return 2;
+  }
+
+  const std::vector<simai::analyze::Finding> findings =
+      analyzer.run(allow_path.empty() ? nullptr : &allow);
+
+  int errors = 0, warnings = 0;
+  for (const simai::analyze::Finding& f : findings) {
+    if (f.severity == simai::analyze::Severity::Error) ++errors;
+    if (f.severity == simai::analyze::Severity::Warning) ++warnings;
+  }
+
+  if (format == "json") {
+    std::fputs(simai::analyze::to_json(findings).c_str(), stdout);
+  } else if (format == "sarif") {
+    std::fputs(simai::analyze::to_sarif(findings).c_str(), stdout);
+  } else if (!quiet) {
+    for (const simai::analyze::Finding& f : findings)
+      std::printf("%s\n", f.to_string().c_str());
+  }
+
+  int stale = 0;
+  if (prune) {
+    for (const std::string& entry : allow.stale_entries()) {
+      ++stale;
+      if (!quiet && format == "text")
+        std::printf("allowlist: stale entry (matched nothing): %s\n",
+                    entry.c_str());
+    }
+  }
+
+  std::fprintf(stderr,
+               "simai_analyze: %zu file(s), %d error(s), %d warning(s)%s\n",
+               analyzer.files().size(), errors, warnings,
+               prune ? (", " + std::to_string(stale) + " stale allowlist entr" +
+                        (stale == 1 ? "y" : "ies"))
+                          .c_str()
+                     : "");
+  return errors + stale > 0 ? 1 : 0;
+}

@@ -1,13 +1,19 @@
 // simai_lint CLI: determinism lint over simulator sources.
 //
-//   simai_lint [--allow FILE] PATH...
+//   simai_lint [--allow FILE] [--prune] [--quiet] PATH...
 //
 // Each PATH is a file or a directory (directories are walked recursively
 // for .cpp/.cc/.hpp/.h files, in sorted order so output is deterministic).
-// Findings print one per line as `file:line: [rule] message`; the exit code
-// is the number of findings (capped at 125), so ctest wiring is just
-// "run it and expect 0". See tools/lint.hpp for the rule catalogue and
-// tools/simai_lint_allow.txt for the reviewed suppressions.
+// Findings print one per line as `file:line: [rule] message`; --quiet
+// suppresses them (the summary and exit code still tell the story).
+// --prune additionally reports allowlist entries that matched nothing in
+// this run — dead suppressions — and counts each as a finding, so the gate
+// fails until the stale entry is deleted.
+//
+// Exit codes (shared convention with simai_analyze):
+//   0  clean
+//   1  findings (or stale allowlist entries under --prune)
+//   2  usage or I/O error
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -47,19 +53,33 @@ std::vector<std::string> collect(const std::vector<std::string>& roots) {
 int main(int argc, char** argv) {
   std::string allow_path;
   std::vector<std::string> roots;
+  bool quiet = false;
+  bool prune = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--allow" && i + 1 < argc) {
       allow_path = argv[++i];
+    } else if (arg == "--quiet" || arg == "-q") {
+      quiet = true;
+    } else if (arg == "--prune") {
+      prune = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::puts("usage: simai_lint [--allow FILE] PATH...");
+      std::puts("usage: simai_lint [--allow FILE] [--prune] [--quiet] PATH...");
       return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "simai_lint: unknown option '%s' (try --help)\n",
+                   arg.c_str());
+      return 2;
     } else {
       roots.push_back(arg);
     }
   }
   if (roots.empty()) {
     std::fputs("simai_lint: no paths given (try --help)\n", stderr);
+    return 2;
+  }
+  if (prune && allow_path.empty()) {
+    std::fputs("simai_lint: --prune needs --allow FILE\n", stderr);
     return 2;
   }
 
@@ -76,7 +96,7 @@ int main(int argc, char** argv) {
     try {
       for (const simai::lint::Finding& f :
            simai::lint::lint_file(file, allow_path.empty() ? nullptr : &allow)) {
-        std::printf("%s\n", f.to_string().c_str());
+        if (!quiet) std::printf("%s\n", f.to_string().c_str());
         ++findings;
       }
       ++files_scanned;
@@ -85,7 +105,22 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  std::fprintf(stderr, "simai_lint: %d finding(s) in %d file(s)\n", findings,
-               files_scanned);
-  return std::min(findings, 125);
+
+  int stale = 0;
+  if (prune) {
+    for (const std::string& entry : allow.stale_entries()) {
+      ++stale;
+      if (!quiet)
+        std::printf("allowlist: stale entry (matched nothing): %s\n",
+                    entry.c_str());
+    }
+  }
+
+  std::fprintf(stderr, "simai_lint: %d finding(s) in %d file(s)%s\n", findings,
+               files_scanned,
+               prune ? (", " + std::to_string(stale) + " stale allowlist entr" +
+                        (stale == 1 ? "y" : "ies"))
+                          .c_str()
+                     : "");
+  return findings + stale > 0 ? 1 : 0;
 }
