@@ -33,7 +33,13 @@
 // by real threads outside the DES (MiniRedis connection handlers). Accesses
 // from threads that are not running a logical process carry no virtual time
 // and are ignored — real-thread interleavings are ThreadSanitizer's job
-// (the `tsan` preset), not this detector's.
+// (the `tsan` preset), not this detector's. Parallel DES dispatch
+// (Engine(Parallel{N}), engine.hpp) adds genuinely concurrent hook calls
+// from worker threads; the same singleton mutex covers them, and the
+// per-thread current-process binding (set_current_process, thread_local)
+// keeps each worker's hooks attributed to the process it is dispatching.
+// Vector-clock ordering is untouched: clocks advance on virtual-time
+// event edges, which the conservative windows already order.
 #pragma once
 
 #include <atomic>

@@ -128,11 +128,16 @@ class DataStore {
   const DataStoreConfig& config() const { return config_; }
   kv::IKeyValueStore& raw_store() { return *store_; }
 
+  /// The exact stored bytes a stage_write of `value` would produce under
+  /// this client's config (header + optional CRC + capped body). Used by
+  /// the parallel harness (DESIGN.md §4.12) to mirror a staged value into
+  /// another LP's store view without charging transport cost twice.
+  util::Payload wrap_payload(ByteView value, std::uint64_t& nominal) const;
+
  private:
   SimTime charge(sim::Context* ctx, platform::StoreOp op,
                  std::uint64_t nominal_bytes,
                  const platform::TransportContext& op_ctx);
-  util::Payload wrap_payload(ByteView value, std::uint64_t& nominal) const;
   static util::Payload unwrap_payload(const util::Payload& stored,
                                       std::uint64_t& nominal);
 

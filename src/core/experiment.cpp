@@ -70,10 +70,22 @@ Pattern1Result run_pattern1(const Pattern1Config& config) {
 
   platform::TransportModel model;
 
+  // Parallel dispatch: one LP per pair, sim + trainer co-located (their
+  // staging visibility is same-instant), pairs fully independent — no
+  // lookahead edges, so every worker count yields byte-identical results.
+  // With workers == 1 this is exactly the sequential engine.
+  sim::Engine engine(
+      sim::Parallel{.workers = config.workers, .window = config.window});
+
   // Real backend shared by all pairs (the co-located node store). Pricing —
   // not this in-process store — carries the backend identity, so one
   // MemoryStore faithfully stands in for every backend's data path at
   // bench scale; integration tests exercise the real servers end to end.
+  // Under parallel dispatch each pair gets its OWN store: keys are
+  // pair-disjoint, so the results are byte-identical, and independent LPs
+  // then genuinely share nothing — same-virtual-time writes by different
+  // pairs never touch one cell, which keeps the virtual-time race detector
+  // silent on a workload that has no cross-LP ordering to certify.
   auto backing = std::make_shared<kv::MemoryStore>();
 
   DataStoreConfig ds_cfg;
@@ -92,10 +104,12 @@ Pattern1Result run_pattern1(const Pattern1Config& config) {
   std::vector<std::unique_ptr<Simulation>> sims;
   std::vector<std::unique_ptr<AiComponent>> trainers;
   for (int p = 0; p < pairs; ++p) {
+    auto pair_backing =
+        engine.parallel() ? std::make_shared<kv::MemoryStore>() : backing;
     sim_stores.push_back(std::make_unique<DataStore>(
-        "sim" + std::to_string(p), backing, &model, ds_cfg, trace));
+        "sim" + std::to_string(p), pair_backing, &model, ds_cfg, trace));
     train_stores.push_back(std::make_unique<DataStore>(
-        "train" + std::to_string(p), backing, &model, ds_cfg, trace));
+        "train" + std::to_string(p), pair_backing, &model, ds_cfg, trace));
 
     util::Json sim_cfg;
     util::Json kernel;
@@ -126,6 +140,13 @@ Pattern1Result run_pattern1(const Pattern1Config& config) {
   if (obs::enabled()) {
     obs::registry().set_common_label("pattern", "1");
     w.set_obs_trace(trace);  // counter samples join the exported timeline
+  }
+  if (engine.parallel()) {
+    for (int p = 0; p < pairs; ++p) {
+      const std::string tag = std::to_string(p);
+      w.place("sim_pair" + tag, static_cast<std::uint32_t>(p));
+      w.place("train_pair" + tag, static_cast<std::uint32_t>(p));
+    }
   }
   std::vector<std::uint64_t> sim_steps(pairs, 0), train_steps(pairs, 0);
 
@@ -214,7 +235,7 @@ Pattern1Result run_pattern1(const Pattern1Config& config) {
         });
   }
 
-  w.launch();
+  w.launch(engine);
   result.makespan = w.makespan();
 
   for (int p = 0; p < pairs; ++p) {
@@ -401,7 +422,29 @@ Pattern2Result run_pattern2(const Pattern2Config& config) {
     throw ConfigError("pattern2: invalid iteration counts");
 
   platform::TransportModel model;
+
+  // Parallel dispatch: one LP per ensemble member plus one for the trainer.
+  // Lookahead-0 edges member -> trainer bound the trainer's window behind
+  // every member's LVT; no reverse edges — members never wait on the
+  // trainer, so they run freely ahead (mailbox backpressure bounds memory).
+  // With workers == 1 this is exactly the sequential engine.
+  sim::Engine engine(
+      sim::Parallel{.workers = config.workers, .window = config.window});
+  const bool par = engine.parallel();
+  const auto trainer_lp = static_cast<std::uint32_t>(config.num_sims);
+  if (par) {
+    engine.ensure_lps(trainer_lp + 1);
+    for (int s = 0; s < config.num_sims; ++s)
+      engine.add_lp_edge(static_cast<std::uint32_t>(s), trainer_lp, 0.0);
+  }
+
   auto backing = std::make_shared<kv::MemoryStore>();
+  // Under parallel dispatch the trainer reads a *mirrored* store view: each
+  // staged write is republished into it at the write's dispatch instant via
+  // Engine::post over the member -> trainer edge, so a trainer poll at
+  // virtual t observes exactly the keys a sequential run would have shown
+  // it — never a wall-early write from a member whose LP has run ahead.
+  auto ai_backing = par ? std::make_shared<kv::MemoryStore>() : backing;
 
   // Simulations write LOCALLY to their node's backend...
   DataStoreConfig write_cfg;
@@ -421,8 +464,14 @@ Pattern2Result run_pattern2(const Pattern2Config& config) {
   std::vector<std::unique_ptr<DataStore>> sim_stores;
   std::vector<std::unique_ptr<Simulation>> sims;
   for (int s = 0; s < config.num_sims; ++s) {
+    // Under parallel dispatch each member writes to its OWN node-local
+    // store (the trainer reads the mirror, so nothing else touches it):
+    // keys are member-disjoint, results byte-identical, and independent
+    // member LPs share no cell the race detector would have to order.
+    auto member_backing =
+        par ? std::make_shared<kv::MemoryStore>() : backing;
     sim_stores.push_back(std::make_unique<DataStore>(
-        "sim" + std::to_string(s), backing, &model, write_cfg));
+        "sim" + std::to_string(s), member_backing, &model, write_cfg));
     util::Json sim_cfg;
     util::Json kernel;
     kernel["name"] = "ensemble_member";
@@ -437,7 +486,7 @@ Pattern2Result run_pattern2(const Pattern2Config& config) {
     sims.push_back(std::move(sim));
   }
 
-  auto ai_store = std::make_unique<DataStore>("train", backing, &model,
+  auto ai_store = std::make_unique<DataStore>("train", ai_backing, &model,
                                               read_cfg);
   util::Json ai_cfg;
   ai_cfg["run_time"] = config.train_iter_time;
@@ -453,6 +502,11 @@ Pattern2Result run_pattern2(const Pattern2Config& config) {
   Workflow w;
   w.spawn_order_salt(config.spawn_order_salt);
   if (obs::enabled()) obs::registry().set_common_label("pattern", "2");
+  if (par) {
+    for (int s = 0; s < config.num_sims; ++s)
+      w.place("sim" + std::to_string(s), static_cast<std::uint32_t>(s));
+    w.place("train", trainer_lp);
+  }
   std::vector<std::uint64_t> sim_steps(
       static_cast<std::size_t>(config.num_sims), 0);
   std::uint64_t train_steps = 0;
@@ -461,9 +515,11 @@ Pattern2Result run_pattern2(const Pattern2Config& config) {
   for (int s = 0; s < config.num_sims; ++s) {
     const std::string tag = std::to_string(s);
     Simulation* sim = sims[static_cast<std::size_t>(s)].get();
+    DataStore* sim_store = sim_stores[static_cast<std::size_t>(s)].get();
     w.component(
         "sim" + tag, "remote", {},
-        [=, &config, &sim_steps](sim::Context& ctx, const ComponentInfo&) {
+        [=, &config, &sim_steps, &engine](sim::Context& ctx,
+                                          const ComponentInfo&) {
           const util::Payload payload =
               make_payload(config.payload_bytes, config.payload_cap,
                            7 + static_cast<unsigned>(s));
@@ -473,9 +529,24 @@ Pattern2Result run_pattern2(const Pattern2Config& config) {
                 static_cast<std::uint64_t>(step);
             if (step % config.write_every == 0) {
               const std::int64_t round = step / config.write_every;
-              sim->stage_write(
-                  ctx, "data_" + tag + "_" + std::to_string(round),
-                  payload.view(), config.payload_bytes);
+              const std::string key =
+                  "data_" + tag + "_" + std::to_string(round);
+              if (par) {
+                // Mirror BEFORE charging the write cost: stage_write puts
+                // first, so sequentially the key is visible from this
+                // instant — the mirrored view must agree. The mirrored
+                // bytes are wrapped with the writer's own config, exactly
+                // what stage_write is about to store.
+                std::uint64_t nominal = config.payload_bytes;
+                const util::Payload wrapped =
+                    sim_store->wrap_payload(payload.view(), nominal);
+                engine.post(trainer_lp, ctx.now(),
+                            [ai_backing, key, wrapped] {
+                              ai_backing->put(key, wrapped);
+                            });
+              }
+              sim->stage_write(ctx, key, payload.view(),
+                               config.payload_bytes);
             }
           }
         });
@@ -506,7 +577,7 @@ Pattern2Result run_pattern2(const Pattern2Config& config) {
         train_runtime = ctx.now() - t0;
       });
 
-  w.launch();
+  w.launch(engine);
 
   Pattern2Result result;
   result.makespan = w.makespan();

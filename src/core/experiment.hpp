@@ -80,6 +80,18 @@ struct Pattern1Config {
   /// registration order). Results must be salt-invariant; see sim_parity_test.
   std::uint64_t spawn_order_salt = 0;
 
+  /// Parallel DES dispatch (sim::Parallel, sim/engine.hpp): worker threads
+  /// for the harness engine. 1 (the default) = the sequential code path;
+  /// 0 = SIMAI_SIM_WORKERS. With N > 1 each instantiated pair becomes one
+  /// logical process (sim + trainer co-located — their staging visibility
+  /// is same-instant, so splitting a pair would serialize it anyway); pairs
+  /// exchange nothing, so no lookahead edges are needed and every worker
+  /// count produces byte-identical results. Ignored by the streaming flavor
+  /// (StreamBroker endpoints are intra-LP primitives; see sim/channel.hpp).
+  unsigned workers = 1;
+  /// Parallel round quantum (sim::Parallel::window); <= 0 = unbounded.
+  double window = 0.0;
+
   /// Total store clients machine-wide (both components), for MDS pricing.
   int concurrent_clients() const { return nodes * pairs_per_node * 2; }
   int instantiated_pairs() const {
@@ -130,6 +142,18 @@ struct Pattern2Config {
   /// Workflow::spawn_order_salt — permutes component spawn order (0 =
   /// registration order). Results must be salt-invariant; see sim_parity_test.
   std::uint64_t spawn_order_salt = 0;
+
+  /// Parallel DES dispatch (sim::Parallel, sim/engine.hpp): worker threads.
+  /// 1 (the default) = the sequential code path; 0 = SIMAI_SIM_WORKERS.
+  /// With N > 1 each ensemble member becomes one logical process and the
+  /// trainer another; lookahead-0 edges member -> trainer bound the
+  /// trainer's dispatch window behind every member's LVT, and staged writes
+  /// are mirrored into the trainer's store view at their virtual write time
+  /// (Engine::post), so the trainer's polls observe exactly what the
+  /// sequential engine would show them.
+  unsigned workers = 1;
+  /// Parallel round quantum (sim::Parallel::window); <= 0 = unbounded.
+  double window = 0.0;
 
   int nodes() const { return num_sims + 1; }
   /// Store clients: 12 ranks per simulation node + the AI's readers.

@@ -34,6 +34,9 @@ Pattern1Config pattern1_from_json(const util::Json& j) {
   c.record_trace = j.get("record_trace", c.record_trace);
   c.spawn_order_salt = static_cast<std::uint64_t>(
       j.get("spawn_order_salt", static_cast<std::int64_t>(c.spawn_order_salt)));
+  c.workers = static_cast<unsigned>(
+      j.get("workers", static_cast<std::int64_t>(c.workers)));
+  c.window = j.get("window", c.window);
   return c;
 }
 
@@ -59,6 +62,8 @@ util::Json pattern1_to_json(const Pattern1Config& c) {
   j["seed"] = static_cast<std::int64_t>(c.seed);
   j["record_trace"] = c.record_trace;
   j["spawn_order_salt"] = static_cast<std::int64_t>(c.spawn_order_salt);
+  j["workers"] = static_cast<std::int64_t>(c.workers);
+  j["window"] = c.window;
   return j;
 }
 
@@ -83,6 +88,9 @@ Pattern2Config pattern2_from_json(const util::Json& j) {
       j.get("seed", static_cast<std::int64_t>(c.seed)));
   c.spawn_order_salt = static_cast<std::uint64_t>(
       j.get("spawn_order_salt", static_cast<std::int64_t>(c.spawn_order_salt)));
+  c.workers = static_cast<unsigned>(
+      j.get("workers", static_cast<std::int64_t>(c.workers)));
+  c.window = j.get("window", c.window);
   return c;
 }
 
@@ -101,6 +109,8 @@ util::Json pattern2_to_json(const Pattern2Config& c) {
   j["poll_interval"] = c.poll_interval;
   j["seed"] = static_cast<std::int64_t>(c.seed);
   j["spawn_order_salt"] = static_cast<std::int64_t>(c.spawn_order_salt);
+  j["workers"] = static_cast<std::int64_t>(c.workers);
+  j["window"] = c.window;
   return j;
 }
 

@@ -78,19 +78,50 @@ void Workflow::launch() {
 
 void Workflow::launch(sim::Engine& engine) {
   validate();
+  for (const auto& [name, lp] : placements_) {
+    if (!by_name_.count(name))
+      throw WorkflowError("workflow: place() names unknown component '" +
+                          name + "'");
+    (void)lp;
+  }
   completion_order_.clear();
+  completions_.clear();
 
   // Wire launch-time state.
-  for (auto& comp : components_) {
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    Component* comp = components_[i].get();
+    comp->index = i;
     comp->unfinished_ranks = comp->nranks;
     comp->unsatisfied_deps = static_cast<int>(comp->dependencies.size());
     comp->failed = false;
     comp->ready = std::make_unique<sim::Event>(engine);
     comp->dependents.clear();
+    const auto it = placements_.find(comp->name);
+    comp->lp = it != placements_.end() ? it->second : 0;
   }
   for (auto& comp : components_) {
     for (const std::string& dep : comp->dependencies)
       by_name_[dep]->dependents.push_back(comp.get());
+  }
+
+  // Parallel partitioning: grow the engine to the placed shards and declare
+  // the cross-LP Event contract for every dependency pair that spans two
+  // shards — the dep -> dependent edge carries the release wake, and the
+  // lookahead-0 reverse edge keeps the dep's shard from virtually
+  // outrunning the dependent's wait registration (see sim::Event).
+  partitioned_ = engine.parallel() && !placements_.empty();
+  if (partitioned_) {
+    std::uint32_t max_lp = 0;
+    for (const auto& comp : components_) max_lp = std::max(max_lp, comp->lp);
+    engine.ensure_lps(max_lp + 1);
+    for (const auto& comp : components_) {
+      for (const std::string& dep : comp->dependencies) {
+        const Component* d = by_name_[dep];
+        if (d->lp == comp->lp) continue;
+        engine.add_lp_edge(d->lp, comp->lp, 0.0);
+        engine.add_lp_edge(comp->lp, d->lp, 0.0);
+      }
+    }
   }
 
   // Spawn order: registration order, or a salt-keyed deterministic
@@ -123,38 +154,64 @@ void Workflow::launch(sim::Engine& engine) {
   engine.run();
   active_engine_ = nullptr;
   makespan_ = engine.now();
+
+  // Completion order. Sequentially the record order IS the completion
+  // order. Under partitioned dispatch record order is wall-dependent (two
+  // shards' last ranks can finish in one round on different workers), so
+  // the canonical order sorts by (finish time, registration index) — a pure
+  // function of virtual state, identical at every worker count.
+  if (partitioned_) {
+    std::stable_sort(completions_.begin(), completions_.end(),
+                     [](const Completion& a, const Completion& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       return a.index < b.index;
+                     });
+  }
+  completion_order_.reserve(completions_.size());
+  for (const Completion& c : completions_) completion_order_.push_back(c.name);
 }
 
-void Workflow::spawn_ranks(sim::Engine& engine, Component* comp) {
+void Workflow::spawn_ranks(sim::Engine& engine, Component* comp,
+                           bool dynamic) {
+  const auto body = [this, comp](sim::Context& ctx, int rank) {
+    // Gate on dependencies. All ranks of this component wait on the
+    // same event; the last finishing dependency notifies it.
+    while (comp->unsatisfied_deps > 0) ctx.wait(*comp->ready);
+
+    ComponentInfo info{comp->name, comp->type, rank, comp->nranks};
+    const SimTime t_start = ctx.now();
+    try {
+      comp->body(ctx, info);
+    } catch (const ComponentFailure&) {
+      // Degraded mode: the rank died, but the workflow survives.
+      // Dependents are still released below — they observe the death
+      // through component_failed() / missing data, not a teardown.
+      comp->failed = true;
+    }
+    trace_.record_span(comp->name, comp->failed ? "failed" : "run", t_start,
+                       ctx.now());
+
+    if (--comp->unfinished_ranks == 0) {
+      {
+        std::lock_guard<std::mutex> lk(book_mu_);
+        completions_.push_back({ctx.now(), comp->index, comp->name});
+      }
+      for (Component* dependent : comp->dependents) {
+        if (--dependent->unsatisfied_deps == 0)
+          dependent->ready->notify_all();
+      }
+    }
+  };
   for (int rank = 0; rank < comp->nranks; ++rank) {
-    engine.spawn(
-        comp->name + "/" + std::to_string(rank),
-        [this, comp, rank](sim::Context& ctx) {
-          // Gate on dependencies. All ranks of this component wait on the
-          // same event; the last finishing dependency notifies it.
-          while (comp->unsatisfied_deps > 0) ctx.wait(*comp->ready);
-
-          ComponentInfo info{comp->name, comp->type, rank, comp->nranks};
-          const SimTime t_start = ctx.now();
-          try {
-            comp->body(ctx, info);
-          } catch (const ComponentFailure&) {
-            // Degraded mode: the rank died, but the workflow survives.
-            // Dependents are still released below — they observe the death
-            // through component_failed() / missing data, not a teardown.
-            comp->failed = true;
-          }
-          trace_.record_span(comp->name, comp->failed ? "failed" : "run",
-                             t_start, ctx.now());
-
-          if (--comp->unfinished_ranks == 0) {
-            completion_order_.push_back(comp->name);
-            for (Component* dependent : comp->dependents) {
-              if (--dependent->unsatisfied_deps == 0)
-                dependent->ready->notify_all();
-            }
-          }
-        });
+    std::string rank_name = comp->name + "/" + std::to_string(rank);
+    auto rank_body = [body, rank](sim::Context& ctx) { body(ctx, rank); };
+    if (dynamic) {
+      // Mid-run spawns must land on the calling process's own LP — a
+      // concurrent shard's arena is not shareable (engine.hpp, spawn_on).
+      engine.spawn(std::move(rank_name), std::move(rank_body));
+    } else {
+      engine.spawn_on(comp->lp, std::move(rank_name), std::move(rank_body));
+    }
   }
 }
 
@@ -193,8 +250,6 @@ void Workflow::spawn_component(sim::Context& ctx, const std::string& name,
   if (!active_engine_)
     throw WorkflowError(
         "workflow: spawn_component is only valid while launch() is running");
-  if (by_name_.count(name))
-    throw WorkflowError("workflow: duplicate component '" + name + "'");
   if (nranks <= 0)
     throw WorkflowError("workflow: component '" + name +
                         "' needs a positive rank count");
@@ -211,9 +266,18 @@ void Workflow::spawn_component(sim::Context& ctx, const std::string& name,
   comp->unsatisfied_deps = 0;  // starts immediately
   comp->ready = std::make_unique<sim::Event>(ctx.engine());
   Component* raw = comp.get();
-  by_name_[name] = raw;
-  components_.push_back(std::move(comp));
-  spawn_ranks(*active_engine_, raw);
+  {
+    // Dynamic registration can race between shards under parallel dispatch;
+    // the registration index (completion tie-break) is the lock-acquisition
+    // order, which for concurrent spawners is legitimately wall-dependent.
+    std::lock_guard<std::mutex> lk(book_mu_);
+    if (by_name_.count(name))
+      throw WorkflowError("workflow: duplicate component '" + name + "'");
+    comp->index = components_.size();
+    by_name_[name] = raw;
+    components_.push_back(std::move(comp));
+  }
+  spawn_ranks(*active_engine_, raw, /*dynamic=*/true);
 }
 
 }  // namespace simai::core

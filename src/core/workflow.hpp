@@ -15,9 +15,11 @@
 //   w.launch();
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -81,6 +83,21 @@ class Workflow {
     return *this;
   }
 
+  /// Pin a component's ranks onto logical-process shard `lp` when launch()
+  /// runs on a parallel engine (Engine(Parallel{N}), engine.hpp). launch()
+  /// grows the engine to the highest placed shard and declares lookahead-0
+  /// edges BOTH ways between the shards of every dependency pair — the
+  /// cross-LP Event contract (the dep's shard carries the release wake; the
+  /// reverse edge keeps the dep from virtually outrunning the waiter's
+  /// registration). Unplaced components land on LP 0; on a sequential
+  /// engine every placement collapses onto LP 0 and this is a no-op. May be
+  /// called before the component is registered; names are checked at
+  /// launch().
+  Workflow& place(const std::string& component, std::uint32_t lp) {
+    placements_[component] = lp;
+    return *this;
+  }
+
   /// Run the whole DAG to completion on an internal engine.
   /// Throws WorkflowError on graph problems before starting anything.
   void launch();
@@ -137,25 +154,44 @@ class Workflow {
     int nranks = 1;
     std::vector<std::string> dependencies;
     ComponentFn body;
-    // launch-time state
-    int unfinished_ranks = 0;
-    int unsatisfied_deps = 0;
-    bool failed = false;  // some rank threw ComponentFailure
+    std::uint32_t lp = 0;       // placement shard (see place())
+    std::size_t index = 0;      // registration order, completion tie-break
+    // launch-time state. The counters are atomic because under parallel
+    // dispatch the last ranks of two different dependencies can finish in
+    // the same round on different worker threads and decrement a shared
+    // dependent's unsatisfied_deps concurrently; the atomics make exactly
+    // one of them observe zero and fire the release.
+    std::atomic<int> unfinished_ranks{0};
+    std::atomic<int> unsatisfied_deps{0};
+    std::atomic<bool> failed{false};  // some rank threw ComponentFailure
     std::unique_ptr<sim::Event> ready;
     std::vector<Component*> dependents;
   };
 
   void validate() const;
-  void spawn_ranks(sim::Engine& engine, Component* comp);
+  /// `dynamic` = mid-run spawn_component registration: ranks spawn onto the
+  /// calling process's LP instead of the recorded placement.
+  void spawn_ranks(sim::Engine& engine, Component* comp, bool dynamic = false);
 
   sim::Engine* active_engine_ = nullptr;  // set while launch() runs
+  bool partitioned_ = false;  // launch() ran placements on a parallel engine
   util::Json sys_config_;
   std::uint64_t spawn_order_salt_ = 0;
+  std::map<std::string, std::uint32_t> placements_;
   std::vector<std::unique_ptr<Component>> components_;
   std::map<std::string, Component*> by_name_;
   sim::TraceRecorder trace_;
   sim::TraceRecorder* obs_trace_ = nullptr;
   SimTime makespan_ = 0.0;
+  /// Guards the completion log and dynamic registration (spawn_component)
+  /// while ranks run on worker threads.
+  std::mutex book_mu_;
+  struct Completion {
+    SimTime time = 0.0;
+    std::size_t index = 0;  // Component::index
+    std::string name;
+  };
+  std::vector<Completion> completions_;
   std::vector<std::string> completion_order_;
 };
 

@@ -53,6 +53,7 @@ BucketHistogram::BucketHistogram(std::vector<double> bounds)
 
 void BucketHistogram::observe(double value) {
   auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  std::lock_guard<std::mutex> lk(mu_);
   ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
   ++count_;
   sum_ += value;
@@ -60,6 +61,11 @@ void BucketHistogram::observe(double value) {
 }
 
 double BucketHistogram::percentile(double p) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return percentile_locked(p);
+}
+
+double BucketHistogram::percentile_locked(double p) const {
   if (count_ == 0) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
   // Rank of the target observation, 1-based; p=0 maps to the first.
@@ -82,12 +88,13 @@ double BucketHistogram::percentile(double p) const {
 }
 
 util::Json BucketHistogram::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
   util::Json j = util::Json::object();
   j["count"] = count_;
   j["sum"] = sum_;
-  j["p50"] = percentile(50.0);
-  j["p95"] = percentile(95.0);
-  j["p99"] = percentile(99.0);
+  j["p50"] = percentile_locked(50.0);
+  j["p95"] = percentile_locked(95.0);
+  j["p99"] = percentile_locked(99.0);
   util::Json::Array sparse;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     if (buckets_[i] == 0) continue;
@@ -102,6 +109,8 @@ util::Json BucketHistogram::to_json() const {
   return j;
 }
 
+// Internal: the public accessors hold mu_ across lookup so concurrent
+// first-touch creation of the same series cannot double-insert.
 Registry::Series& Registry::lookup(std::string_view name, const Labels& labels,
                                    char kind) {
   Labels merged = labels;
@@ -124,20 +133,24 @@ Registry::Series& Registry::lookup(std::string_view name, const Labels& labels,
 }
 
 Counter& Registry::counter(std::string_view name, const Labels& labels) {
+  std::lock_guard<std::mutex> lk(mu_);
   return lookup(name, labels, 'c').counter;
 }
 
 Gauge& Registry::gauge(std::string_view name, const Labels& labels) {
+  std::lock_guard<std::mutex> lk(mu_);
   return lookup(name, labels, 'g').gauge;
 }
 
 BucketHistogram& Registry::histogram(std::string_view name,
                                      const Labels& labels) {
+  std::lock_guard<std::mutex> lk(mu_);
   return *lookup(name, labels, 'h').histogram;
 }
 
 BucketHistogram& Registry::histogram(std::string_view name, const Labels& labels,
                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lk(mu_);
   Series& s = lookup(name, labels, 'h');
   if (s.histogram->count() == 0 && !bounds.empty())
     s.histogram = std::make_unique<BucketHistogram>(std::move(bounds));
@@ -145,6 +158,7 @@ BucketHistogram& Registry::histogram(std::string_view name, const Labels& labels
 }
 
 void Registry::set_common_label(std::string key, std::string value) {
+  std::lock_guard<std::mutex> lk(mu_);
   for (auto& [k, v] : common_) {
     if (k == key) {
       v = std::move(value);
@@ -154,14 +168,19 @@ void Registry::set_common_label(std::string key, std::string value) {
   common_.emplace_back(std::move(key), std::move(value));
 }
 
-void Registry::clear_common_labels() { common_.clear(); }
+void Registry::clear_common_labels() {
+  std::lock_guard<std::mutex> lk(mu_);
+  common_.clear();
+}
 
 void Registry::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
   series_.clear();
   common_.clear();
 }
 
 std::vector<std::pair<std::string, double>> Registry::scalar_values() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::vector<std::pair<std::string, double>> out;
   for (const auto& [key, s] : series_) {
     if (s.kind == 'c')
@@ -173,6 +192,7 @@ std::vector<std::pair<std::string, double>> Registry::scalar_values() const {
 }
 
 util::Json Registry::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
   util::Json j = util::Json::object();
   for (const auto& [key, s] : series_) {
     switch (s.kind) {

@@ -17,9 +17,11 @@
 // (see obs.hpp) so a disarmed run never reaches this file.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -39,27 +41,32 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 /// used by counter samples and the trace tools.
 std::string series_key(std::string_view name, const Labels& labels);
 
-/// Monotonically increasing sum.
+/// Monotonically increasing sum. Increments are lock-free atomic adds:
+/// under parallel DES dispatch (and the real-I/O server threads) series are
+/// bumped from several OS threads at once, and a counter must lose no
+/// increments. Accumulation order across threads is wall-dependent, so the
+/// float sum may differ in final ulps between runs — which is why counter
+/// *samples* are excluded from canonical fingerprints (see sim/trace.hpp).
 class Counter {
  public:
   void inc(double delta = 1.0) {
-    if (delta > 0.0) value_ += delta;
+    if (delta > 0.0) value_.fetch_add(delta, std::memory_order_relaxed);
   }
-  double value() const { return value_; }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
-/// Last-write-wins instantaneous value.
+/// Last-write-wins instantaneous value (atomic, same rationale as Counter).
 class Gauge {
  public:
-  void set(double value) { value_ = value; }
-  void add(double delta) { value_ += delta; }
-  double value() const { return value_; }
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-bucket histogram. Default bounds are exponential in seconds —
@@ -72,15 +79,27 @@ class BucketHistogram {
   /// `bounds` must be strictly increasing and non-empty.
   explicit BucketHistogram(std::vector<double> bounds);
 
+  /// Thread-safe (one short lock): multi-bucket updates cannot be atomic
+  /// piecewise, and histograms are observed from worker threads under
+  /// parallel dispatch. Only armed runs pay the lock.
   void observe(double value);
 
   /// Observations so far / their sum — count()/sum() make mean and rate
   /// computations possible without reading the bucket array.
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
+  std::uint64_t count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return count_;
+  }
+  double sum() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return sum_;
+  }
   /// Largest observation so far (0.0 when empty). Bounds the overflow
   /// bucket so top-percentile queries stay finite and meaningful.
-  double max() const { return count_ ? max_ : 0.0; }
+  double max() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return count_ ? max_ : 0.0;
+  }
 
   /// Approximate percentile (p in [0,100]) by linear interpolation inside
   /// the bucket containing the target rank. Returns 0.0 when empty. Ranks
@@ -90,7 +109,9 @@ class BucketHistogram {
   double percentile(double p) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
-  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  /// bounds().size() + 1 entries; the last is the overflow bucket. The
+  /// reference is unsynchronized — harvest after the run, like the other
+  /// bulk readers.
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }
 
   /// {"count":N,"sum":S,"p50":...,"p95":...,"p99":...,"buckets":[...]}
@@ -98,7 +119,10 @@ class BucketHistogram {
   util::Json to_json() const;
 
  private:
-  std::vector<double> bounds_;
+  double percentile_locked(double p) const;  // mu_ held by the caller
+
+  std::vector<double> bounds_;  // immutable after construction
+  mutable std::mutex mu_;       // guards buckets_/count_/sum_/max_
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -123,8 +147,14 @@ class Registry {
   void set_common_label(std::string key, std::string value);
   void clear_common_labels();
 
-  bool empty() const { return series_.empty(); }
-  std::size_t size() const { return series_.size(); }
+  bool empty() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return series_.empty();
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return series_.size();
+  }
   void clear();
 
   /// All counter and gauge series as (canonical key, current value), in
@@ -145,6 +175,12 @@ class Registry {
 
   Series& lookup(std::string_view name, const Labels& labels, char kind);
 
+  /// Guards series_/common_. Lookup holds it only across the map access —
+  /// returned Counter/Gauge/BucketHistogram references stay valid (std::map
+  /// nodes are stable) and are themselves safe to update concurrently, so
+  /// worker threads under parallel DES dispatch never serialize on the
+  /// registry for the increment itself.
+  mutable std::mutex mu_;
   std::map<std::string, Series> series_;
   Labels common_;
 };

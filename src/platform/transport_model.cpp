@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/string_util.hpp"
 
@@ -223,6 +224,22 @@ double TransportModel::throughput(BackendKind backend, StoreOp op,
                                   const TransportContext& ctx) const {
   const SimTime t = cost(backend, op, bytes, ctx);
   return t > 0.0 ? static_cast<double>(bytes) / t : 0.0;
+}
+
+SimTime TransportModel::min_link_latency() const {
+  // NodeLocal never crosses a node boundary, so it does not bound cross-LP
+  // lookahead; every other backend is probed at its cheapest remote access.
+  static constexpr BackendKind kRemote[] = {
+      BackendKind::Dragon, BackendKind::Redis, BackendKind::Filesystem,
+      BackendKind::Stream, BackendKind::Daos};
+  static constexpr StoreOp kOps[] = {StoreOp::Write, StoreOp::Read,
+                                     StoreOp::Poll, StoreOp::Clean};
+  TransportContext ctx;
+  ctx.remote = true;
+  SimTime lo = std::numeric_limits<SimTime>::infinity();
+  for (BackendKind backend : kRemote)
+    for (StoreOp op : kOps) lo = std::min(lo, cost(backend, op, 1, ctx));
+  return lo;
 }
 
 TransportModel TransportModel::from_json(const util::Json& spec) {

@@ -123,6 +123,17 @@ class TransportModel {
   double throughput(BackendKind backend, StoreOp op, std::uint64_t bytes,
                     const TransportContext& ctx = {}) const;
 
+  /// Minimum virtual-time cost of any cross-node store operation: the min
+  /// over every remote-capable backend and every StoreOp of the cost of a
+  /// 1-byte remote access under an otherwise-unloaded context. This is the
+  /// safe lookahead for inter-node LP edges in the parallel engine
+  /// (DESIGN.md §4.12): no interaction between distinct nodes can take
+  /// effect sooner than this, so an LP granted a dispatch window of
+  /// min(neighbor LVT + min_link_latency()) never receives an event in its
+  /// past. Strictly positive by construction — every remote path pays at
+  /// least one fixed software/RPC overhead.
+  SimTime min_link_latency() const;
+
   static TransportModel from_json(const util::Json& spec);
 
   // Sub-models are public so tests and ablation benches can probe and

@@ -5,6 +5,14 @@
 // full, `get` blocks while it is empty, and hand-offs happen at well-defined
 // virtual times. Because the DES runs one process at a time, no internal
 // locking is needed.
+//
+// Parallel dispatch caveat (engine.hpp, Engine(Parallel{N})): a Channel is
+// an *intra-LP* primitive. Its deque is plain mutable state and its Events
+// follow the cross-LP Event contract, so putting producer and consumer on
+// different LPs requires lookahead-0 edges BOTH ways — at which point the
+// two LPs serialize and the split buys nothing. Co-locate both endpoints on
+// one LP (spawn_on with the same lp id); cross-LP data motion goes through
+// the store/transport layer, whose deliveries ride LP mailboxes.
 #pragma once
 
 #include <deque>

@@ -1,16 +1,182 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <map>
+#include <utility>
 
 #include "check/check.hpp"
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "sim/fiber.hpp"
 
 namespace simai::sim {
+
+namespace {
+
+constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+
+/// The LP whose window the calling thread is currently executing:
+///  * worker threads set it around run_lp_window;
+///  * thread-substrate process threads pin it once (a process never migrates
+///    between LPs), so scheduling operations issued from the process's own
+///    OS thread route exactly like fiber-substrate ones;
+///  * the main thread (setup code, the sequential drain loop, the parallel
+///    coordinator) leaves it null.
+thread_local Lp* tls_current_lp = nullptr;
+
+}  // namespace
+
+/// One cross-LP message: run `fn` at the destination once its LVT reaches
+/// `when`. (src, seq) is the per-edge emission order; together with `when`
+/// it gives every inbox a total order independent of wall-clock arrival.
+struct Delivery {
+  SimTime when = 0.0;
+  std::uint32_t src = 0;
+  std::uint64_t seq = 0;
+  std::function<void()> fn;
+};
+
+namespace {
+
+bool delivery_less(const Delivery& a, const Delivery& b) {
+  if (a.when != b.when) return a.when < b.when;
+  if (a.src != b.src) return a.src < b.src;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+/// Per-LP scheduler shard: its own calendar queue, arena, fiber runtime,
+/// local virtual time (LVT), and seq counter — the unit of parallel
+/// dispatch. Outside a round the coordinator owns every field; during a
+/// round exactly one worker owns each LP in the batch (handed off through
+/// the pool's mutex, so cross-round access is release/acquire ordered).
+struct Lp {
+  explicit Lp(std::uint32_t id_in) : id(id_in) {}
+
+  const std::uint32_t id;
+  std::unique_ptr<FiberRuntime> fiber_rt;  // lazy, first fiber dispatch
+  SlabArena<Process> arena;
+  CalendarQueue<Process, &Process::cal_> ready;
+  SimTime now = 0.0;            // LVT: furthest event this LP has dispatched
+  std::uint64_t next_seq = 0;   // schedule tie-break counter (per LP)
+  std::uint64_t next_local_pid = 0;  // mid-run parallel spawns (see spawn_impl)
+  std::uint64_t dispatched = 0;
+  std::uint64_t deliveries = 0;
+  std::binary_semaphore engine_turn{0};  // thread substrate: process -> engine
+  std::exception_ptr pending_error;
+
+  /// Outgoing mailbox for one declared edge (this LP -> key LP).
+  struct Outbox {
+    SimTime lookahead = 0.0;    // min timestamp increment promised on sends
+    std::uint64_t next_seq = 0;
+    std::vector<Delivery> items;
+  };
+  std::map<std::uint32_t, Outbox> out;
+  std::vector<std::pair<std::uint32_t, SimTime>> in_edges;  // (src, lookahead)
+
+  /// Incoming deliveries, sorted by (when, src, seq); [0, inbox_pos) is the
+  /// applied prefix. Mutated by the coordinator at barriers and by this
+  /// LP's owner during its window — never concurrently.
+  std::vector<Delivery> inbox;
+  std::size_t inbox_pos = 0;
+  std::uint64_t inbox_seq = 0;  // emission counter for direct post() inserts
+  bool inbox_dirty = false;     // barrier appended; needs one re-sort
+
+  // Set by the coordinator each round, read by the owning worker.
+  SimTime next_time = 0.0;      // min(calendar head, earliest inbox delivery)
+  SimTime window_end = 0.0;     // conservative dispatch bound (exclusive...)
+  bool window_inclusive = false;  // ...except the progress-fallback round
+  bool mailbox_full = false;    // backpressure: end the window early
+};
+
+// ---------------------------------------------------------------------------
+// Worker pool: persistent threads, one barrier-synchronized round at a time.
+// ---------------------------------------------------------------------------
+
+struct Engine::Pool {
+  Pool(Engine& engine_in, unsigned n) : engine(engine_in) {
+    threads.reserve(n);
+    for (unsigned i = 0; i < n; ++i) threads.emplace_back([this] { worker(); });
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      stop = true;
+    }
+    start_cv.notify_all();
+    for (std::thread& t : threads) t.join();
+  }
+
+  /// Run one round: workers claim LPs from `b` (atomic cursor — dynamic
+  /// load balancing; WHICH worker runs an LP never matters, windows depend
+  /// only on virtual state) and return once every window finished. The
+  /// mutex hand-off gives the coordinator release/acquire visibility of all
+  /// LP state the workers touched, and vice versa for the next round.
+  void run_round(std::vector<Lp*>& b, SimTime t_end_in) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      batch = &b;
+      t_end = t_end_in;
+      cursor.store(0, std::memory_order_relaxed);
+      unfinished = threads.size();
+      ++epoch;
+    }
+    start_cv.notify_all();
+    std::unique_lock<std::mutex> lk(mu);
+    done_cv.wait(lk, [&] { return unfinished == 0; });
+  }
+
+  void worker() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      SimTime te;
+      std::vector<Lp*>* b;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        start_cv.wait(lk, [&] { return stop || epoch != seen; });
+        if (stop) return;
+        seen = epoch;
+        te = t_end;
+        b = batch;
+      }
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= b->size()) break;
+        Lp* lp = (*b)[i];
+        try {
+          engine.run_lp_window(*lp, te);
+        } catch (...) {
+          // Engine-internal failures surface like process errors: recorded
+          // per LP, resolved deterministically at the barrier.
+          if (!lp->pending_error) lp->pending_error = std::current_exception();
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (--unfinished == 0) done_cv.notify_all();
+      }
+    }
+  }
+
+  Engine& engine;
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  std::condition_variable start_cv, done_cv;
+  std::vector<Lp*>* batch = nullptr;
+  std::atomic<std::size_t> cursor{0};
+  SimTime t_end = 0.0;
+  std::uint64_t epoch = 0;
+  std::size_t unfinished = 0;
+  bool stop = false;
+};
 
 // ---------------------------------------------------------------------------
 // Process
@@ -28,14 +194,14 @@ Process::~Process() = default;
 // Context
 // ---------------------------------------------------------------------------
 
-SimTime Context::now() const { return engine_.now_; }
+SimTime Context::now() const { return process_.lp_->now; }
 
 void Context::suspend() {
   if (engine_.substrate_ == Substrate::Fiber) {
     process_.fiber_->suspend();  // user-space swap back to the scheduler
   } else {
-    engine_.engine_turn_.release();  // hand baton to the scheduler
-    process_.resume_.acquire();      // wait to be rescheduled
+    process_.lp_->engine_turn.release();  // hand baton to the LP's scheduler
+    process_.resume_.acquire();           // wait to be rescheduled
   }
   if (process_.kill_requested_) throw ProcessKilled{};
 }
@@ -43,13 +209,29 @@ void Context::suspend() {
 void Context::delay(SimTime dt) {
   if (dt < 0.0 || std::isnan(dt))
     throw Error("sim: negative or NaN delay in process '" + name() + "'");
-  engine_.schedule(process_, engine_.now_ + dt);
+  engine_.schedule(process_, process_.lp_->now + dt);
   suspend();
 }
 
 void Context::wait(Event& event) {
   process_.state_ = Process::State::Blocked;
-  event.waiters_.push_back(&process_);
+  if (engine_.parallel()) {
+    // Waiters order by (registration LVT, LP id) — wall-clock arrival of
+    // concurrently-registering LPs must not leak into notify_one's FIFO.
+    // Same-LP waiters keep FIFO (upper_bound inserts after equal keys).
+    process_.wait_time_ = process_.lp_->now;
+    process_.wait_deadline_ = kInf;
+    std::lock_guard<std::mutex> lk(event.mu_);
+    auto it = std::upper_bound(
+        event.waiters_.begin(), event.waiters_.end(), &process_,
+        [](const Process* a, const Process* b) {
+          if (a->wait_time_ != b->wait_time_) return a->wait_time_ < b->wait_time_;
+          return a->lp_->id < b->lp_->id;
+        });
+    event.waiters_.insert(it, &process_);
+  } else {
+    event.waiters_.push_back(&process_);
+  }
   suspend();
   // Woken by a notify: acquire the notifier's clock (happens-before edge).
   check::on_event_wait(&event);
@@ -59,18 +241,41 @@ bool Context::wait_for(Event& event, SimTime timeout) {
   // Waiting with a timeout: register on the event AND schedule a wake-up.
   // Whichever fires first wins; we then deregister from the loser.
   process_.state_ = Process::State::Blocked;
-  event.waiters_.push_back(&process_);
-  const SimTime deadline = engine_.now_ + timeout;
+  const SimTime deadline = process_.lp_->now + timeout;
+  if (engine_.parallel()) {
+    process_.wait_time_ = process_.lp_->now;
+    // The deadline rides on the record: a cross-LP notify at t > deadline
+    // must leave this waiter for its timer (sequential order: the timer
+    // event dispatched first), not claim it because the wall clock raced.
+    process_.wait_deadline_ = deadline;
+    std::lock_guard<std::mutex> lk(event.mu_);
+    auto it = std::upper_bound(
+        event.waiters_.begin(), event.waiters_.end(), &process_,
+        [](const Process* a, const Process* b) {
+          if (a->wait_time_ != b->wait_time_) return a->wait_time_ < b->wait_time_;
+          return a->lp_->id < b->lp_->id;
+        });
+    event.waiters_.insert(it, &process_);
+  } else {
+    event.waiters_.push_back(&process_);
+  }
   engine_.schedule(process_, deadline);
   suspend();
-  auto& ws = event.waiters_;
-  const auto it = std::find(ws.begin(), ws.end(), &process_);
-  if (it != ws.end()) {
-    // Still registered => the timer fired, not the event.
-    ws.erase(it);
-    return false;
+  bool still_registered;
+  if (engine_.parallel()) {
+    std::lock_guard<std::mutex> lk(event.mu_);
+    auto& ws = event.waiters_;
+    const auto it = std::find(ws.begin(), ws.end(), &process_);
+    still_registered = it != ws.end();
+    if (still_registered) ws.erase(it);
+  } else {
+    auto& ws = event.waiters_;
+    const auto it = std::find(ws.begin(), ws.end(), &process_);
+    still_registered = it != ws.end();
+    if (still_registered) ws.erase(it);
   }
-  check::on_event_wait(&event);  // notified: acquire the notifier's clock
+  if (still_registered) return false;  // the timer fired, not the event
+  check::on_event_wait(&event);        // notified: acquire the notifier's clock
   return true;
 }
 
@@ -87,16 +292,53 @@ void Context::wait_until(const std::function<bool()>& pred,
 
 void Event::notify_all() {
   check::on_event_notify(this);  // release the notifier's clock
-  for (Process* p : waiters_) engine_.schedule(*p, engine_.now_);
+  if (engine_.parallel()) {
+    const SimTime t = engine_.local_now();
+    std::vector<Process*> claimed;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (auto it = waiters_.begin(); it != waiters_.end();) {
+        // A waiter whose wait_for deadline already passed in virtual time
+        // belongs to its timer (which dispatched first sequentially); its
+        // record may still be present only because of wall-clock skew
+        // between LP windows. Leave it to deregister itself.
+        if ((*it)->wait_deadline_ >= t) {
+          claimed.push_back(*it);
+          it = waiters_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (Process* p : claimed) engine_.schedule(*p, t);
+    return;
+  }
+  for (Process* p : waiters_) engine_.schedule(*p, engine_.local_now());
   waiters_.clear();
 }
 
 void Event::notify_one() {
   check::on_event_notify(this);  // release the notifier's clock
+  if (engine_.parallel()) {
+    const SimTime t = engine_.local_now();
+    Process* claimed = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+        if ((*it)->wait_deadline_ >= t) {  // skip virtually-expired waiters
+          claimed = *it;
+          waiters_.erase(it);
+          break;
+        }
+      }
+    }
+    if (claimed) engine_.schedule(*claimed, t);
+    return;
+  }
   if (waiters_.empty()) return;
   Process* p = waiters_.front();
   waiters_.pop_front();  // O(1), FIFO preserved
-  engine_.schedule(*p, engine_.now_);
+  engine_.schedule(*p, engine_.local_now());
 }
 
 // ---------------------------------------------------------------------------
@@ -119,11 +361,25 @@ Substrate coerce_substrate(Substrate requested) {
 
 }  // namespace
 
-Engine::Engine() : Engine(default_substrate()) {}
+Engine::Engine() : Engine(default_substrate(), Parallel{.workers = 1}) {}
 
-Engine::Engine(Substrate substrate) : substrate_(coerce_substrate(substrate)) {}
+Engine::Engine(Substrate substrate)
+    : Engine(substrate, Parallel{.workers = 1}) {}
 
-Engine::~Engine() { kill_all(); }
+Engine::Engine(Parallel par) : Engine(default_substrate(), par) {}
+
+Engine::Engine(Substrate substrate, Parallel par)
+    : substrate_(coerce_substrate(substrate)),
+      workers_(par.workers == 0 ? default_workers() : par.workers),
+      window_(par.window),
+      mailbox_capacity_(par.mailbox_capacity == 0 ? 1 : par.mailbox_capacity) {
+  lps_.push_back(std::make_unique<Lp>(0));
+}
+
+Engine::~Engine() {
+  pool_.reset();  // workers idle at the barrier; stop them before teardown
+  kill_all();
+}
 
 Substrate Engine::default_substrate() {
   // Read the env on every call: tests flip it to compare substrates.
@@ -138,21 +394,106 @@ Substrate Engine::default_substrate() {
 #endif
 }
 
+unsigned Engine::default_workers() {
+  // Read the env on every call (benches sweep it). 4096 ceiling: catches
+  // "bytes where a count was meant" configuration mistakes.
+  if (const char* env = std::getenv("SIMAI_SIM_WORKERS")) {
+    if (*env != '\0')
+      return static_cast<unsigned>(
+          detail::parse_env_u64("SIMAI_SIM_WORKERS", env, 1, 4096, "sim"));
+  }
+  return 1;
+}
+
+std::uint32_t Engine::lp_count() const {
+  return static_cast<std::uint32_t>(lps_.size());
+}
+
+std::uint32_t Engine::add_lp() {
+  if (workers_ <= 1) return 0;  // sequential degradation: one shard
+  if (running_) throw Error("sim: add_lp while the engine is running");
+  lps_.push_back(std::make_unique<Lp>(static_cast<std::uint32_t>(lps_.size())));
+  return lps_.back()->id;
+}
+
+void Engine::ensure_lps(std::uint32_t count) {
+  while (lps_.size() < count && workers_ > 1) add_lp();
+}
+
+void Engine::add_lp_edge(std::uint32_t from, std::uint32_t to,
+                         SimTime lookahead) {
+  if (workers_ <= 1) return;  // single shard: every send is already local
+  if (running_) throw Error("sim: add_lp_edge while the engine is running");
+  if (from >= lps_.size() || to >= lps_.size())
+    throw Error("sim: add_lp_edge(" + std::to_string(from) + ", " +
+                std::to_string(to) + ") references an unknown LP (" +
+                std::to_string(lps_.size()) + " exist)");
+  if (from == to) throw Error("sim: add_lp_edge cannot declare a self-edge");
+  if (lookahead < 0.0 || std::isnan(lookahead))
+    throw Error("sim: add_lp_edge lookahead must be >= 0");
+  Lp::Outbox& box = lps_[from]->out[to];
+  box.lookahead = lookahead;
+  for (auto& [src, la] : lps_[to]->in_edges) {
+    if (src == from) {
+      la = lookahead;  // re-declaration overrides
+      return;
+    }
+  }
+  lps_[to]->in_edges.emplace_back(from, lookahead);
+}
+
+Lp& Engine::current_or_first() {
+  return tls_current_lp != nullptr ? *tls_current_lp : *lps_[0];
+}
+
+SimTime Engine::local_now() const {
+  return tls_current_lp != nullptr ? tls_current_lp->now : now_;
+}
+
 Process& Engine::spawn(std::string name, std::function<void(Context&)> body) {
+  return spawn_impl(current_or_first(), std::move(name), std::move(body));
+}
+
+Process& Engine::spawn_on(std::uint32_t lp_id, std::string name,
+                          std::function<void(Context&)> body) {
+  if (workers_ <= 1) lp_id = 0;  // Parallel{1} degrades to the sequential path
+  if (lp_id >= lps_.size())
+    throw Error("sim: spawn_on(" + std::to_string(lp_id) + ") — only " +
+                std::to_string(lps_.size()) + " LPs exist (ensure_lps first)");
+  Lp& lp = *lps_[lp_id];
+  if (tls_current_lp != nullptr && tls_current_lp != &lp)
+    throw Error(
+        "sim: spawn_on may only target the calling process's own LP while "
+        "running (a concurrent shard's arena is not shareable)");
+  return spawn_impl(lp, std::move(name), std::move(body));
+}
+
+Process& Engine::spawn_impl(Lp& lp, std::string name,
+                            std::function<void(Context&)> body) {
   // Process is immovable (owns semaphores), and its ctor is private: the
   // arena hands us raw slot storage and this friend class placement-news
   // into it. Slots are recycled from finished processes.
-  auto [p, h] = arena_.create([&](void* mem) {
-    return new (mem)
-        Process(*this, next_pid_++, std::move(name), std::move(body));
+  const bool in_process = tls_current_lp != nullptr;
+  std::uint64_t pid;
+  if (in_process && parallel()) {
+    // Mid-run parallel spawns draw from a per-LP pid space (high bits = LP
+    // id + 1) — a global counter would hand out wall-clock-ordered ids
+    // across concurrently-spawning shards.
+    pid = ((static_cast<std::uint64_t>(lp.id) + 1) << 40) | lp.next_local_pid++;
+  } else {
+    pid = next_pid_++;
+  }
+  auto [p, h] = lp.arena.create([&](void* mem) {
+    return new (mem) Process(*this, pid, std::move(name), std::move(body));
   });
-  p->self_ = ProcessHandle{h.slot, h.gen};
+  p->lp_ = &lp;
+  p->self_ = ProcessHandle{h.slot, h.gen, lp.id};
   if (check::enabled()) {
     p->check_id_ = check::register_process(p->name_);
     check::on_spawn(p->check_id_);  // parent = the spawning process, if any
   }
   if (obs::enabled()) p->obs_id_ = obs::register_context(p->name_);
-  schedule(*p, now_);
+  schedule_local(lp, *p, in_process ? lp.now : now_);
   return *p;
 }
 
@@ -161,9 +502,11 @@ void Engine::enable_race_detection() {
   // Processes spawned before the switch get registered retroactively; their
   // mutual spawn edges are lost, which is conservative (more concurrency
   // reported, never less) — enable before spawning for exact edges.
-  arena_.for_each_live([](Process& p) {
-    if (p.check_id_ == 0) p.check_id_ = check::register_process(p.name_);
-  });
+  for (auto& lp : lps_) {
+    lp->arena.for_each_live([](Process& p) {
+      if (p.check_id_ == 0) p.check_id_ = check::register_process(p.name_);
+    });
+  }
 }
 
 void Engine::enable_observability() {
@@ -171,9 +514,11 @@ void Engine::enable_observability() {
   // Retroactive registration mirrors enable_race_detection: processes
   // spawned before the switch still get deterministic trace contexts
   // (ids derive from names, not registration time).
-  arena_.for_each_live([](Process& p) {
-    if (p.obs_id_ == 0) p.obs_id_ = obs::register_context(p.name_);
-  });
+  for (auto& lp : lps_) {
+    lp->arena.for_each_live([](Process& p) {
+      if (p.obs_id_ == 0) p.obs_id_ = obs::register_context(p.name_);
+    });
+  }
 }
 
 void Engine::set_metric_sampler(SimTime interval,
@@ -188,17 +533,94 @@ void Engine::set_metric_sampler(SimTime interval,
   sampler_next_ = 0.0;
 }
 
+Process* Engine::find(ProcessHandle h) {
+  if (h.lp >= lps_.size()) return nullptr;
+  return lps_[h.lp]->arena.get({h.slot, h.gen});
+}
+
+bool Engine::is_live(ProcessHandle h) const {
+  if (h.lp >= lps_.size()) return false;
+  return lps_[h.lp]->arena.is_live({h.slot, h.gen});
+}
+
 void Engine::schedule(Process& p, SimTime when) {
+  Lp* cur = tls_current_lp;
+  Lp* dst = p.lp_;
+  if (cur != nullptr && dst != cur && !tearing_down_) {
+    // Cross-LP wake from inside a running window: the destination shard may
+    // be executing concurrently, so the wake travels through the declared
+    // edge's mailbox and is applied by the destination's own scheduler.
+    // (During kill_all — tearing_down_ — everything is single-threaded and
+    // unwind-time notifies schedule directly, like the sequential path.)
+    const ProcessHandle h = p.self_;
+    route_remote(*cur, *dst, when, [this, h, when] {
+      if (Process* q = find(h)) schedule_local(*q->lp_, *q, when);
+    });
+    return;
+  }
+  schedule_local(*dst, p, when);
+}
+
+void Engine::schedule_local(Lp& lp, Process& p, SimTime when) {
   p.state_ = Process::State::Ready;
-  const std::uint64_t seq = next_seq_++;  // every schedule burns a seq
+  const std::uint64_t seq = lp.next_seq++;  // every schedule burns a seq
   if (p.cal_.queued) {
     // Rescheduled at the SAME time: keep the existing (earlier-seq) entry.
     // This reproduces the heap's tie-break exactly — there the older entry
     // surfaced first and the newer one was skipped as stale.
     if (p.cal_.time == when) return;
-    ready_.erase(p);
+    lp.ready.erase(p);
   }
-  ready_.insert(p, when, seq);
+  lp.ready.insert(p, when, seq);
+}
+
+void Engine::route_remote(Lp& from, Lp& to, SimTime when,
+                          std::function<void()> fn) {
+  const auto it = from.out.find(to.id);
+  if (it == from.out.end())
+    throw Error("sim: cross-LP send " + std::to_string(from.id) + " -> " +
+                std::to_string(to.id) +
+                " without a declared edge (add_lp_edge)");
+  Lp::Outbox& box = it->second;
+  if (when < from.now + box.lookahead)
+    throw Error("sim: cross-LP send on edge " + std::to_string(from.id) +
+                " -> " + std::to_string(to.id) + " at t=" +
+                std::to_string(when) + " violates the declared lookahead (" +
+                std::to_string(box.lookahead) + " past sender LVT " +
+                std::to_string(from.now) + ")");
+  box.items.push_back(Delivery{when, from.id, box.next_seq++, std::move(fn)});
+  if (box.items.size() >= mailbox_capacity_) from.mailbox_full = true;
+}
+
+void Engine::post(std::uint32_t lp_id, SimTime when, std::function<void()> fn) {
+  if (!fn) throw Error("sim: post with an empty function");
+  if (std::isnan(when)) throw Error("sim: post at NaN time");
+  if (workers_ <= 1) lp_id = 0;  // sequential degradation: one shard
+  if (lp_id >= lps_.size())
+    throw Error("sim: post(" + std::to_string(lp_id) + ") — only " +
+                std::to_string(lps_.size()) + " LPs exist (ensure_lps first)");
+  Lp& dst = *lps_[lp_id];
+  Lp* cur = tls_current_lp;
+  if (cur != nullptr && cur != &dst) {
+    route_remote(*cur, dst, when, std::move(fn));
+    return;
+  }
+  // Direct insert: setup code between runs, sequential engines, and
+  // self-posts from the destination's own window — all single-threaded with
+  // respect to `dst`. Keep the unapplied suffix sorted.
+  if (when < dst.now)
+    throw Error("sim: post at t=" + std::to_string(when) +
+                " is before LP " + std::to_string(dst.id) + "'s LVT (" +
+                std::to_string(dst.now) + ")");
+  Delivery d{when, dst.id, dst.inbox_seq++, std::move(fn)};
+  const auto at = std::upper_bound(dst.inbox.begin() +
+                                       static_cast<std::ptrdiff_t>(dst.inbox_pos),
+                                   dst.inbox.end(), d, delivery_less);
+  dst.inbox.insert(at, std::move(d));
+}
+
+void Engine::post(std::uint32_t lp_id, std::function<void()> fn) {
+  post(lp_id, local_now(), std::move(fn));
 }
 
 // One step of a process body: run user code, swallow teardown, capture the
@@ -211,7 +633,8 @@ void Engine::process_body(Process& p) {
     } catch (const ProcessKilled&) {
       // Torn down by the engine; unwind silently.
     } catch (...) {
-      if (!pending_error_) pending_error_ = std::current_exception();
+      if (!p.lp_->pending_error)
+        p.lp_->pending_error = std::current_exception();
     }
   }
   p.state_ = Process::State::Finished;
@@ -219,41 +642,43 @@ void Engine::process_body(Process& p) {
 
 void Engine::thread_trampoline(Process& p) {
   p.resume_.acquire();  // wait for first dispatch
-  // This thread IS the logical process for its whole life, so the race
-  // detector binding is set once (fibers instead bracket each dispatch).
+  // This thread IS the logical process for its whole life, so both the race
+  // detector binding and the LP binding are set once (fibers instead run on
+  // whichever worker owns their LP's window, which sets tls_current_lp).
+  tls_current_lp = p.lp_;
   if (p.check_id_ != 0) check::set_current_process(p.check_id_);
   process_body(p);
-  engine_turn_.release();
+  p.lp_->engine_turn.release();
 }
 
 // A finished process gives everything back: its OS thread is joined, its
 // detector/trace registrations dropped, and its arena slot (plus fiber
 // stack, via ~Process -> ~Fiber -> StackPool::release) recycled for future
 // spawns. After this any ProcessHandle to it resolves to nullptr.
-void Engine::reclaim(Process& p) {
+void Engine::reclaim(Lp& lp, Process& p) {
   if (p.thread_.joinable()) p.thread_.join();
   if (p.check_id_ != 0) check::release_process(p.check_id_);
   if (p.obs_id_ != 0) obs::release_context(p.obs_id_);
-  ready_.erase(p);  // defensive; a finished process holds no queue entry
-  arena_.destroy({p.self_.slot, p.self_.gen});
+  lp.ready.erase(p);  // defensive; a finished process holds no queue entry
+  lp.arena.destroy({p.self_.slot, p.self_.gen});
 }
 
-void Engine::dispatch(Process& p) {
+void Engine::dispatch(Lp& lp, Process& p) {
   p.state_ = Process::State::Running;
-  if (p.check_id_ != 0) check::on_dispatch(p.check_id_, now_);
+  if (p.check_id_ != 0) check::on_dispatch(p.check_id_, lp.now);
   if (substrate_ == Substrate::Fiber) {
     if (!p.fiber_) {
       // Lazy fiber creation: entry runs process_body and returns, which
       // finishes the fiber and swaps back to this resume() call. The
       // runtime (stack pool + scheduler link) is itself created on the
-      // engine's first fiber dispatch.
-      if (!fiber_rt_) fiber_rt_ = std::make_unique<FiberRuntime>();
+      // LP's first fiber dispatch.
+      if (!lp.fiber_rt) lp.fiber_rt = std::make_unique<FiberRuntime>();
       p.fiber_ =
-          std::make_unique<Fiber>([this, &p] { process_body(p); }, *fiber_rt_);
+          std::make_unique<Fiber>([this, &p] { process_body(p); }, *lp.fiber_rt);
     }
     if (p.check_id_ != 0) {
-      // All fibers share the engine thread: bind the detector's notion of
-      // "current process" only while this one actually runs.
+      // All fibers of an LP share its owning thread: bind the detector's
+      // notion of "current process" only while this one actually runs.
       check::ScopedProcess guard(p.check_id_);
       p.fiber_->resume();  // returns when p suspends or finishes
     } else {
@@ -266,32 +691,32 @@ void Engine::dispatch(Process& p) {
       p.thread_ = std::thread([this, &p] { thread_trampoline(p); });
     }
     p.resume_.release();
-    engine_turn_.acquire();  // run exactly one step of p
+    lp.engine_turn.acquire();  // run exactly one step of p
   }
-  if (pending_error_) {
-    std::exception_ptr err = pending_error_;
-    pending_error_ = nullptr;
-    kill_all();  // reclaims every process, including p
-    std::rethrow_exception(err);
-  }
-  if (p.state_ == Process::State::Finished) reclaim(p);
+  // On error the process is left for kill_all (sequential: the drain loop
+  // rethrows immediately; parallel: the barrier resolves the first error in
+  // LP-id order).
+  if (p.state_ == Process::State::Finished && !lp.pending_error)
+    reclaim(lp, p);
 }
 
-void Engine::drain(SimTime t_end) {
-  if (running_) throw Error("sim: Engine::run is not reentrant");
-  running_ = true;
-  struct Guard {
-    bool& flag;
-    ~Guard() { flag = false; }
-  } guard{running_};
-
+void Engine::drain_sequential(SimTime t_end) {
+  Lp& lp = *lps_[0];
   // The calendar queue holds each ready process exactly once (reschedules
   // move the entry in place), so every peek is live — no stale-skip loop.
-  while (Process* top = ready_.peek()) {
-    const SimTime t = top->cal_.time;
+  // Mailbox deliveries (post) interleave by (time; deliveries first on
+  // ties, matching the parallel dispatch rule).
+  for (;;) {
+    const bool have_d = lp.inbox_pos < lp.inbox.size();
+    const SimTime td = have_d ? lp.inbox[lp.inbox_pos].when : kInf;
+    Process* top = lp.ready.peek();
+    const SimTime tp = top != nullptr ? top->cal_.time : kInf;
+    const bool take_delivery = have_d && td <= tp;
+    const SimTime t = take_delivery ? td : tp;
+    if (t == kInf) break;
     if (t > t_end) return;  // leave for a future run_until call
-    ready_.pop();
     now_ = std::max(now_, t);
+    lp.now = now_;
     // Metric sampling runs from the scheduler, between dispatches, so it
     // observes a consistent registry and cannot perturb process schedules.
     // At most one sample per clock advance: a jump across several interval
@@ -301,68 +726,334 @@ void Engine::drain(SimTime t_end) {
       sampler_next_ =
           (std::floor(now_ / sampler_interval_) + 1.0) * sampler_interval_;
     }
-    dispatch(*top);  // may reclaim *top; not touched afterwards
+    if (take_delivery) {
+      auto fn = std::move(lp.inbox[lp.inbox_pos].fn);
+      ++lp.inbox_pos;
+      ++lp.deliveries;
+      try {
+        fn();
+      } catch (...) {
+        if (!lp.pending_error) lp.pending_error = std::current_exception();
+      }
+    } else {
+      lp.ready.pop();
+      ++lp.dispatched;
+      dispatch(lp, *top);  // may reclaim *top; not touched afterwards
+    }
+    if (lp.pending_error) {
+      std::exception_ptr err = lp.pending_error;
+      lp.pending_error = nullptr;
+      kill_all();  // reclaims every process
+      std::rethrow_exception(err);
+    }
+  }
+  if (lp.inbox_pos == lp.inbox.size()) {
+    lp.inbox.clear();
+    lp.inbox_pos = 0;
   }
 
   // Final sample at drain time so the last partial interval is covered.
   if (sampler_) sampler_(now_);
+  throw_if_deadlocked();
+}
 
+void Engine::run_lp_window(Lp& lp, SimTime t_end) {
+  tls_current_lp = &lp;
+  struct TlsGuard {
+    ~TlsGuard() { tls_current_lp = nullptr; }
+  } tls_guard;
+  for (;;) {
+    if (lp.pending_error) break;
+    const bool have_d = lp.inbox_pos < lp.inbox.size();
+    const SimTime td = have_d ? lp.inbox[lp.inbox_pos].when : kInf;
+    Process* top = lp.ready.peek();
+    const SimTime tp = top != nullptr ? top->cal_.time : kInf;
+    // Deliveries apply before same-time local events: a staging store's
+    // publish lands before a consumer's poll at the same instant.
+    const bool take_delivery = have_d && td <= tp;
+    const SimTime t = take_delivery ? td : tp;
+    if (t == kInf || t > t_end) break;
+    if (t > lp.window_end || (t == lp.window_end && !lp.window_inclusive))
+      break;  // conservative bound: a neighbor may still emit earlier events
+    if (take_delivery) {
+      if (td < lp.now) {
+        // A correctly-declared edge makes this impossible (the window bound
+        // is derived from the same lookahead the sender promised).
+        lp.pending_error = std::make_exception_ptr(Error(
+            "sim: causality violation — delivery at t=" + std::to_string(td) +
+            " behind LP " + std::to_string(lp.id) + "'s LVT (" +
+            std::to_string(lp.now) + "); check add_lp_edge lookaheads"));
+        break;
+      }
+      lp.now = std::max(lp.now, td);
+      auto fn = std::move(lp.inbox[lp.inbox_pos].fn);
+      ++lp.inbox_pos;
+      ++lp.deliveries;
+      fn();  // throws propagate to the worker wrapper -> lp.pending_error
+    } else {
+      lp.ready.pop();
+      lp.now = std::max(lp.now, tp);
+      ++lp.dispatched;
+      dispatch(lp, *top);
+    }
+    if (lp.mailbox_full) {
+      // Backpressure: stop at the next dispatch boundary so the barrier can
+      // drain this LP's outboxes. Nothing is dropped.
+      lp.mailbox_full = false;
+      break;
+    }
+  }
+}
+
+void Engine::drain_parallel(SimTime t_end) {
+  if (!pool_) pool_ = std::make_unique<Pool>(*this, workers_);
+  std::vector<Lp*> batch;
+  std::uint64_t rounds = 0;
+  std::uint64_t fallback_rounds = 0;
+  std::uint64_t deliveries_before = 0;
+  for (auto& lp : lps_) deliveries_before += lp->deliveries;
+  bool hit_t_end = false;
+
+  for (;;) {
+    // Barrier, step 1: move every outbox into its destination's inbox, then
+    // restore each dirty inbox's (when, src LP, emission seq) order — a
+    // total order independent of which round a delivery arrived in.
+    for (auto& src : lps_) {
+      for (auto& [dst_id, box] : src->out) {
+        if (box.items.empty()) continue;
+        Lp& dst = *lps_[dst_id];
+        dst.inbox.insert(dst.inbox.end(),
+                         std::make_move_iterator(box.items.begin()),
+                         std::make_move_iterator(box.items.end()));
+        box.items.clear();
+        dst.inbox_dirty = true;
+      }
+    }
+    for (auto& lp : lps_) {
+      if (lp->inbox_dirty) {
+        lp->inbox.erase(lp->inbox.begin(),
+                        lp->inbox.begin() +
+                            static_cast<std::ptrdiff_t>(lp->inbox_pos));
+        lp->inbox_pos = 0;
+        std::stable_sort(lp->inbox.begin(), lp->inbox.end(), delivery_less);
+        lp->inbox_dirty = false;
+      } else if (lp->inbox_pos == lp->inbox.size() && !lp->inbox.empty()) {
+        lp->inbox.clear();
+        lp->inbox_pos = 0;
+      }
+    }
+
+    // Step 2: every LP's next-event time; the global minimum is the
+    // conservative clock floor.
+    SimTime t_min = kInf;
+    for (auto& lp : lps_) {
+      Process* top = lp->ready.peek();
+      SimTime n = top != nullptr ? top->cal_.time : kInf;
+      if (lp->inbox_pos < lp->inbox.size())
+        n = std::min(n, lp->inbox[lp->inbox_pos].when);
+      lp->next_time = n;
+      t_min = std::min(t_min, n);
+    }
+    if (t_min == kInf) break;  // fully drained
+    if (t_min > t_end) {
+      hit_t_end = true;  // run_until: leave future events queued
+      break;
+    }
+    now_ = std::max(now_, t_min);
+
+    // Step 3: sample at the barrier against the conservative global clock.
+    // Counter values reflect exactly the rounds completed so far — a pure
+    // function of virtual state, hence worker-count independent.
+    if (sampler_ && now_ >= sampler_next_) {
+      sampler_(sampler_next_);
+      sampler_next_ =
+          (std::floor(now_ / sampler_interval_) + 1.0) * sampler_interval_;
+    }
+
+    // Step 4: conservative windows. LP i may dispatch strictly below
+    // min over in-edges (j -> i) of n_j + lookahead_ji — neighbor j cannot
+    // emit anything earlier — further capped by the round time-quantum.
+    const SimTime quantum_end = window_ > 0.0 ? t_min + window_ : kInf;
+    batch.clear();
+    for (auto& lp : lps_) {
+      SimTime bound = quantum_end;
+      for (const auto& [src, la] : lp->in_edges)
+        bound = std::min(bound, lps_[src]->next_time + la);
+      lp->window_end = bound;
+      lp->window_inclusive = false;
+      if (lp->next_time < bound) batch.push_back(lp.get());
+    }
+    ++rounds;
+    if (batch.empty()) {
+      // Every minimal LP is bounded at its own next-event time (a
+      // 0-lookahead wait cycle at t_min). Null-message progress fallback:
+      // the lowest-id LP holding the global minimum runs events at exactly
+      // t_min. Deterministic — depends only on virtual state.
+      ++fallback_rounds;
+      for (auto& lp : lps_) {
+        if (lp->next_time == t_min) {
+          lp->window_end = t_min;
+          lp->window_inclusive = true;
+          batch.push_back(lp.get());
+          break;
+        }
+      }
+    }
+
+    // Step 5: execute the round. Single-LP rounds run inline — no reason to
+    // pay the pool wake-up.
+    if (batch.size() == 1) {
+      Lp& only = *batch[0];
+      try {
+        run_lp_window(only, t_end);
+      } catch (...) {
+        if (!only.pending_error) only.pending_error = std::current_exception();
+      }
+    } else {
+      pool_->run_round(batch, t_end);
+    }
+
+    // Step 6: resolve errors deterministically — the lowest-LP-id error
+    // wins regardless of which worker hit it first in wall time.
+    for (auto& lp : lps_) {
+      if (!lp->pending_error) continue;
+      std::exception_ptr err = lp->pending_error;
+      for (auto& l2 : lps_) l2->pending_error = nullptr;
+      kill_all();
+      std::rethrow_exception(err);
+    }
+  }
+
+  // Makespan: the furthest any LP ran (now_ tracked only the conservative
+  // floor during the run).
+  for (auto& lp : lps_) now_ = std::max(now_, lp->now);
+
+  if (obs::enabled()) {
+    std::uint64_t deliveries = 0;
+    for (auto& lp : lps_) deliveries += lp->deliveries;
+    obs::Registry& reg = obs::registry();
+    reg.counter("sim_parallel_rounds_total").inc(static_cast<double>(rounds));
+    reg.counter("sim_parallel_fallback_rounds_total")
+        .inc(static_cast<double>(fallback_rounds));
+    reg.counter("sim_parallel_deliveries_total")
+        .inc(static_cast<double>(deliveries - deliveries_before));
+    reg.gauge("sim_parallel_lps").set(static_cast<double>(lps_.size()));
+    reg.gauge("sim_parallel_workers").set(static_cast<double>(workers_));
+  }
+
+  if (hit_t_end) return;
+  if (sampler_) sampler_(now_);
+  throw_if_deadlocked();
+}
+
+void Engine::drain(SimTime t_end) {
+  if (running_) throw Error("sim: Engine::run is not reentrant");
+  running_ = true;
+  struct Guard {
+    bool& flag;
+    ~Guard() { flag = false; }
+  } guard{running_};
+  if (parallel() && lps_.size() > 1)
+    drain_parallel(t_end);
+  else
+    drain_sequential(t_end);
+}
+
+void Engine::run() { drain(kInf); }
+
+void Engine::run_until(SimTime t_end) { drain(t_end); }
+
+void Engine::throw_if_deadlocked() {
   // Nothing runnable. Any live, blocked processes mean deadlock. (Finished
   // processes were reclaimed at dispatch, so the live set is exactly the
   // blocked ones plus, under run_until, not-yet-due ones.)
   std::string blocked;
-  arena_.for_each_live([&](Process& p) {
-    if (p.state_ == Process::State::Blocked) {
-      if (!blocked.empty()) blocked += ", ";
-      blocked += p.name_;
-    }
-  });
+  for (auto& lp : lps_) {
+    lp->arena.for_each_live([&](Process& p) {
+      if (p.state_ == Process::State::Blocked) {
+        if (!blocked.empty()) blocked += ", ";
+        blocked += p.name_;
+      }
+    });
+  }
   if (!blocked.empty())
     throw DeadlockError("sim: deadlock — processes blocked on events: " +
                         blocked);
 }
 
-void Engine::run() { drain(std::numeric_limits<SimTime>::infinity()); }
+std::uint64_t Engine::dispatched_events() const {
+  std::uint64_t total = 0;
+  for (const auto& lp : lps_) total += lp->dispatched;
+  return total;
+}
 
-void Engine::run_until(SimTime t_end) { drain(t_end); }
+std::size_t Engine::live_process_count() const {
+  std::size_t total = 0;
+  for (const auto& lp : lps_) total += lp->arena.live();
+  return total;
+}
+
+std::size_t Engine::process_slots() const {
+  std::size_t total = 0;
+  for (const auto& lp : lps_) total += lp->arena.capacity();
+  return total;
+}
 
 Engine::FiberStats Engine::fiber_stats() const {
   FiberStats out;
-  if (!fiber_rt_) return out;  // no fiber ever dispatched (or Thread substrate)
-  const StackPool::Stats& s = fiber_rt_->pool.stats();
-  out.stacks_acquired = s.acquires;
-  out.stack_pool_hits = s.pool_hits;
-  out.stack_slabs = s.slabs;
-  out.stack_bytes_mapped = s.mapped_bytes;
-  out.stacks_pooled = s.pooled;
-  out.stacks_guarded = s.guarded;
+  for (const auto& lp : lps_) {
+    if (!lp->fiber_rt) continue;  // no fiber dispatched (or Thread substrate)
+    const StackPool::Stats& s = lp->fiber_rt->pool.stats();
+    out.stacks_acquired += s.acquires;
+    out.stack_pool_hits += s.pool_hits;
+    out.stack_slabs += s.slabs;
+    out.stack_bytes_mapped += s.mapped_bytes;
+    out.stacks_pooled += s.pooled;
+    out.stacks_guarded += s.guarded;
+  }
   return out;
 }
 
 void Engine::kill_all() {
-  ready_.clear();
+  tearing_down_ = true;
+  struct Guard {
+    bool& flag;
+    ~Guard() { flag = false; }
+  } guard{tearing_down_};
+  for (auto& lp : lps_) {
+    lp->ready.clear();
+    lp->inbox.clear();
+    lp->inbox_pos = 0;
+    for (auto& [dst, box] : lp->out) box.items.clear();
+  }
   // Phase 1: unwind every unfinished process. Unwinding runs destructors on
   // the process stack, which may legally notify Events — i.e. schedule other
-  // processes — so every record must stay alive until all unwinds are done.
-  arena_.for_each_live([&](Process& p) {
-    if (p.state_ == Process::State::Finished) return;
-    p.kill_requested_ = true;
-    if (substrate_ == Substrate::Fiber) {
-      if (p.fiber_ && !p.fiber_->finished()) {
-        // The fiber is parked in suspend(); resuming lets it observe the
-        // kill flag, throw ProcessKilled, unwind its stack, and finish.
-        p.fiber_->resume();
+  // processes, including across LPs (everything is single-threaded here, so
+  // those wakes apply directly) — so every record must stay alive until all
+  // unwinds are done.
+  for (auto& lp : lps_) {
+    lp->arena.for_each_live([&](Process& p) {
+      if (p.state_ == Process::State::Finished) return;
+      p.kill_requested_ = true;
+      if (substrate_ == Substrate::Fiber) {
+        if (p.fiber_ && !p.fiber_->finished()) {
+          // The fiber is parked in suspend(); resuming lets it observe the
+          // kill flag, throw ProcessKilled, unwind its stack, and finish.
+          p.fiber_->resume();
+        }
+      } else if (p.thread_.joinable()) {
+        // The thread is parked on resume_; release it so it can observe the
+        // kill flag, unwind, and hand the baton back.
+        p.resume_.release();
+        p.lp_->engine_turn.acquire();
       }
-    } else if (p.thread_.joinable()) {
-      // The thread is parked on resume_; release it so it can observe the
-      // kill flag, unwind, and hand the baton back.
-      p.resume_.release();
-      engine_turn_.acquire();
-    }
-    p.state_ = Process::State::Finished;
-  });
+      p.state_ = Process::State::Finished;
+    });
+  }
   // Phase 2: reclaim everything (for_each_live tolerates destroy-in-visit).
-  arena_.for_each_live([&](Process& p) { reclaim(p); });
+  for (auto& lp : lps_) {
+    lp->arena.for_each_live([&](Process& p) { reclaim(*lp, p); });
+  }
 }
 
 }  // namespace simai::sim

@@ -2,9 +2,15 @@
 //
 // This is the substrate that stands in for a multi-node HPC machine: every
 // workflow component rank (simulation, AI trainer, server poller) is a
-// *logical process* with a private virtual clock. The engine runs EXACTLY
-// ONE process at a time — the one whose next wake-up has the smallest
-// virtual time. Two execution substrates implement that hand-off:
+// *process* with a private virtual clock. Processes are partitioned into
+// LOGICAL PROCESSES (LPs) — one per simulated node, each with its own
+// calendar queue, fiber scheduler, and arena shard — and the engine runs
+// them either sequentially (the default: exactly one process at a time,
+// smallest virtual time first) or, with Engine(Parallel{N}), on a pool of
+// N worker threads under conservative lookahead-window synchronization
+// (see "Parallel dispatch" below and DESIGN.md §4.12).
+//
+// Two execution substrates implement the process hand-off:
 //
 //  * Substrate::Fiber (default): each process is a user-level stackful
 //    coroutine (sim/fiber.hpp); dispatch is a pair of in-process context
@@ -22,10 +28,29 @@
 //    given program produces the identical event order on every run AND on
 //    either substrate (verified by tests/sim_engine_test.cpp, which runs
 //    the whole suite under both, and tests/sim_parity_test.cpp).
-//  * Real side effects are safe. A process may freely touch shared stores,
-//    files, and sockets mid-step; no other process runs concurrently.
+//  * Real side effects are safe. Within one LP a process may freely touch
+//    that LP's state mid-step; no other process OF THE SAME LP ever runs
+//    concurrently. State shared ACROSS LPs must be synchronized (mailboxes,
+//    check::SharedCell-wrapped stores with real locks) — the
+//    cross-lp-shared-state rule in tools/simai_analyze flags violations.
 //  * Virtual time is decoupled from wall time: a 512-node, 2500-iteration
 //    workflow finishes in seconds of wall clock.
+//
+// Parallel dispatch (DESIGN.md §4.12): Engine(Parallel{N}) runs LPs on N
+// worker threads in barrier-synchronized rounds. Each round the coordinator
+// computes every LP's next-event time n_i, then grants LP i a dispatch
+// window ending at min over declared in-edges (j -> i, lookahead L_ji) of
+// n_j + L_ji — the conservative (null-message/window) bound: no event that
+// neighbor j can still emit lands before it. Cross-LP event sends are
+// routed through bounded per-edge mailboxes and applied at the receiver in
+// deterministic (timestamp, source LP, emission seq) order. Same-timestamp
+// events within an LP keep the sequential seq tie-break; across LPs they
+// dispatch in (LP id, per-LP seq) order regardless of worker count, so any
+// workload whose cross-LP interaction flows through mailboxes/events yields
+// byte-identical canonical fingerprints at every worker count — the parity
+// suite holds this for fig2/fig3/fig6 on both substrates. Parallel{1}
+// degrades exactly to the sequential code path (all spawns collapse onto
+// LP 0).
 //
 // Scale (DESIGN.md §4.10): the engine is built to hold ~1M live logical
 // processes. The ready structure is an intrusive calendar queue
@@ -34,9 +59,10 @@
 // (sim/process_arena.hpp) whose slots are RECLAIMED the moment a process
 // finishes (memory tracks peak-live, not total spawns; generation-checked
 // ProcessHandles detect stale references), and fiber stacks come from a
-// per-engine pool of lazily-faulted slabs that recycles a finished
-// process's stack to the next spawn. bench/bench_scale.cpp measures the
-// events/sec-vs-process-count curve this buys.
+// per-LP pool of lazily-faulted slabs that recycles a finished process's
+// stack to the next spawn. bench/bench_scale.cpp measures the
+// events/sec-vs-process-count curve this buys; bench/bench_parallel.cpp
+// the events/sec-vs-worker-count multiplier on top.
 //
 // The design follows the classic "process-interaction" simulation worldview
 // (SimPy-style), which is what a workflow mini-app maps onto naturally:
@@ -48,9 +74,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <semaphore>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "sim/calendar_queue.hpp"
 #include "sim/process_arena.hpp"
@@ -64,9 +92,27 @@ class Context;
 class Event;
 class Fiber;
 struct FiberRuntime;
+struct Lp;  // per-LP scheduler shard; definition private to engine.cpp
 
 /// Which execution mechanism backs logical processes (see file comment).
 enum class Substrate { Fiber, Thread };
+
+/// Parallel-dispatch configuration for Engine(Parallel{...}).
+struct Parallel {
+  /// Worker threads. 0 = take SIMAI_SIM_WORKERS (default 1); 1 = the
+  /// sequential code path (spawn_on collapses every LP onto LP 0).
+  unsigned workers = 0;
+  /// Round time-quantum: each round's windows additionally end at
+  /// t_min + window, which bounds how far LPs with no (or slack) in-edges
+  /// run ahead between barriers. <= 0 = unbounded (windows end only at
+  /// lookahead bounds). Purely a wall-clock pacing knob — it never changes
+  /// virtual-time results, only how much work each barrier batches.
+  SimTime window = 0.0;
+  /// Soft bound on per-edge mailbox occupancy: once an LP has queued this
+  /// many undelivered cross-LP sends on one edge, its window ends at the
+  /// next dispatch boundary (backpressure; nothing is ever dropped).
+  std::size_t mailbox_capacity = 65536;
+};
 
 /// Thrown inside a logical process when the engine tears it down early
 /// (engine destruction, error in another process). The process trampoline
@@ -84,10 +130,11 @@ class DeadlockError : public Error {
 /// by Engine::spawn is only valid until that process finishes (its arena
 /// slot is then reclaimed for future spawns); a handle stays safe forever —
 /// Engine::find returns nullptr once the process is gone, even if the slot
-/// has a new tenant.
+/// has a new tenant. `lp` names the arena shard the slot lives in.
 struct ProcessHandle {
   std::uint32_t slot = 0;
   std::uint32_t gen = 0;  // 0 = null handle
+  std::uint32_t lp = 0;   // owning logical process (shard) id
   bool null() const { return gen == 0; }
 };
 
@@ -106,6 +153,7 @@ class Process {
   friend class Context;
   friend class Event;
   friend class SlabArena<Process>;
+  friend struct Lp;  // forms the &Process::cal_ member pointer for its queue
 
   enum class State { Created, Ready, Running, Blocked, Finished };
 
@@ -120,7 +168,10 @@ class Process {
   std::thread thread_;               // thread substrate (lazy, first dispatch)
   std::binary_semaphore resume_{0};  // thread substrate: engine -> process
   CalendarHook<Process> cal_;        // ready-queue linkage (time under cal_.time)
+  Lp* lp_ = nullptr;                 // owning shard; fixed at spawn
   ProcessHandle self_;               // this process's arena slot + generation
+  SimTime wait_time_ = 0.0;          // LVT at Event registration (parallel order)
+  SimTime wait_deadline_ = 0.0;      // wait_for deadline (+inf for plain wait)
   State state_ = State::Created;
   bool kill_requested_ = false;
   std::uint32_t check_id_ = 0;  // race-detector id (simai::check); 0 = off
@@ -130,7 +181,9 @@ class Process {
 /// Handle passed to a process body; all blocking operations live here.
 class Context {
  public:
-  /// Current virtual time (same value for every process while it runs).
+  /// Current virtual time — the owning LP's local virtual time (LVT). In
+  /// sequential mode this is the single global clock; in parallel mode LPs
+  /// advance independently within their conservative windows.
   SimTime now() const;
   const std::string& name() const { return process_.name(); }
   std::uint64_t pid() const { return process_.id(); }
@@ -175,6 +228,20 @@ class Context {
 /// at the current virtual time (in deterministic FIFO order). Waiters live
 /// in a deque so notify_one pops the front in O(1); the (rare) middle
 /// erase only happens when a wait_for timeout deregisters.
+///
+/// Cross-LP use under Engine(Parallel{N>1}): the waiter list is mutex-
+/// guarded (different LPs run on different worker threads), waiters order
+/// by (registration LVT, LP id) instead of wall arrival so notify_one stays
+/// deterministic, and a notify whose waiter lives on another LP routes the
+/// wake through that edge's mailbox — the edge must have been declared with
+/// Engine::add_lp_edge. An Event shared by LPs i (waiter) and j (notifier)
+/// needs edges BOTH ways: j -> i carries the wake, and i -> j with
+/// lookahead 0 bounds j's window behind i's progress so a registration at
+/// virtual time t is always performed before any notify at/after t runs —
+/// without the reverse edge, j could virtually outrun the registration and
+/// the wake would be lost (the workflow layer declares both directions for
+/// every dependency pair). The notifier's vector clock still rides the
+/// Event object itself, so check/ happens-before edges are preserved.
 class Event {
  public:
   explicit Event(Engine& engine) : engine_(engine) {}
@@ -190,6 +257,7 @@ class Event {
   friend class Engine;
   Engine& engine_;
   std::deque<Process*> waiters_;
+  std::mutex mu_;  // guards waiters_ under parallel dispatch only
 };
 
 /// The scheduler. Typical usage:
@@ -198,12 +266,25 @@ class Event {
 ///   engine.spawn("producer", [&](sim::Context& ctx) { ... ctx.delay(0.1); });
 ///   engine.spawn("consumer", [&](sim::Context& ctx) { ... });
 ///   engine.run();
+///
+/// Parallel usage — partition work into LPs, declare lookahead edges for
+/// any cross-LP communication, then run as usual:
+///
+///   sim::Engine engine(sim::Parallel{.workers = 4});
+///   engine.ensure_lps(n);
+///   engine.add_lp_edge(/*from=*/1, /*to=*/0, /*lookahead=*/0.0);
+///   engine.spawn_on(1, "producer", ...);
+///   engine.spawn_on(0, "consumer", ...);
+///   engine.run();
 class Engine {
  public:
-  /// Uses default_substrate().
+  /// Uses default_substrate(); sequential (Parallel{.workers = 1}).
   Engine();
   /// Pins the execution substrate for this engine instance.
   explicit Engine(Substrate substrate);
+  /// Parallel dispatch over par.workers worker threads (see Parallel).
+  explicit Engine(Parallel par);
+  Engine(Substrate substrate, Parallel par);
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -217,6 +298,32 @@ class Engine {
   /// threads.
   static Substrate default_substrate();
   Substrate substrate() const { return substrate_; }
+
+  /// Worker count for Parallel{.workers = 0}: SIMAI_SIM_WORKERS env
+  /// override, else 1 (sequential). A set-but-invalid override (non-
+  /// numeric, zero, out of [1, 4096]) throws Error naming the variable and
+  /// value, same style as SIMAI_SIM_STACK_KB.
+  static unsigned default_workers();
+  unsigned workers() const { return workers_; }
+  /// True when this engine dispatches LPs on worker threads (workers > 1).
+  bool parallel() const { return workers_ > 1; }
+
+  /// Number of logical-process shards (always >= 1; LP 0 exists from
+  /// construction and is where plain spawn() lands).
+  std::uint32_t lp_count() const;
+  /// Append one LP shard; returns its id. Sequential engines (workers <= 1)
+  /// keep a single shard and return 0. Not callable while running.
+  std::uint32_t add_lp();
+  /// Grow to at least `count` LP shards (no-op when workers <= 1).
+  void ensure_lps(std::uint32_t count);
+  /// Declare the conservative-sync edge `from -> to`: LP `from` may send
+  /// cross-LP wakes/deliveries to LP `to`, each timestamped at least
+  /// `lookahead` past the sender's LVT at send time; `to`'s dispatch window
+  /// is bounded by n_from + lookahead. Lookahead derives from the transport
+  /// model's minimum inter-node link latency for priced links, and is 0 for
+  /// same-instant visibility (staging stores publish at the write's
+  /// dispatch instant). Not callable while running.
+  void add_lp_edge(std::uint32_t from, std::uint32_t to, SimTime lookahead);
 
   /// Turn on simai::check virtual-time race detection (see check/check.hpp)
   /// for this engine's processes: already-spawned and future processes are
@@ -239,46 +346,76 @@ class Engine {
   /// of `interval`, plus once more when the run drains, with `t` the sample
   /// boundary. One sampler per engine; an interval <= 0 removes it. The
   /// workflow layer uses this to snapshot obs::Registry counters into the
-  /// run's TraceRecorder.
+  /// run's TraceRecorder. Under parallel dispatch samples are taken at
+  /// round barriers against the conservative global clock (min LVT) — still
+  /// deterministic for a given workload, at barrier rather than per-event
+  /// granularity.
   void set_metric_sampler(SimTime interval, std::function<void(SimTime)> fn);
 
-  /// Create a logical process scheduled to start at the current time.
-  /// Safe to call both before run() and from inside a running process.
+  /// Create a logical process scheduled to start at the current time, on
+  /// LP 0 (or, when called from inside a running process, on the caller's
+  /// LP). Safe to call both before run() and from inside a running process.
   /// The reference is valid until the process FINISHES — its record is
   /// then reclaimed; keep Process::handle() for anything longer-lived.
   Process& spawn(std::string name, std::function<void(Context&)> body);
 
+  /// spawn() onto an explicit LP shard. With workers <= 1 every spawn_on
+  /// collapses onto LP 0 (the sequential degradation). From inside a
+  /// running process only the caller's own LP may be targeted — spawning
+  /// into a concurrently-executing shard would race on its arena.
+  Process& spawn_on(std::uint32_t lp, std::string name,
+                    std::function<void(Context&)> body);
+
+  /// Deliver `fn` to LP `lp`'s mailbox, to run from that LP's scheduler
+  /// (never inside one of its processes) once its LVT reaches `when`.
+  /// From inside a running process this is a cross-LP send over the
+  /// declared edge caller -> lp (`when` must be >= caller LVT + edge
+  /// lookahead); from outside a run it seeds the inbox directly. This is
+  /// how in-transit stores publish data across LP boundaries.
+  void post(std::uint32_t lp, SimTime when, std::function<void()> fn);
+  /// post() timestamped at the caller's current LVT (edge lookahead 0).
+  void post(std::uint32_t lp, std::function<void()> fn);
+
   /// The process behind `h`, or nullptr once it has finished and been
   /// reclaimed (generation-checked: a recycled slot does not alias).
-  Process* find(ProcessHandle h) { return arena_.get({h.slot, h.gen}); }
-  bool is_live(ProcessHandle h) const {
-    return arena_.is_live({h.slot, h.gen});
-  }
+  Process* find(ProcessHandle h);
+  bool is_live(ProcessHandle h) const;
 
   /// Run until no process is runnable. Throws DeadlockError if processes
   /// remain blocked on events, and rethrows the first exception that
   /// escaped a process body (after which the engine and any Events still
-  /// holding its waiters must be discarded).
+  /// holding its waiters must be discarded). Under parallel dispatch the
+  /// first error in (LP id, dispatch) order wins — deterministic, not a
+  /// wall-clock race.
   void run();
 
   /// Run until virtual time would exceed `t_end`; blocked/later processes
   /// are left intact and run() may be called again.
   void run_until(SimTime t_end);
 
+  /// Global virtual time: the sequential clock, or under parallel dispatch
+  /// the conservative global minimum (all LPs have reached at least this
+  /// time; equals the makespan once a run drains).
   SimTime now() const { return now_; }
 
-  /// Number of processes that have not finished. O(1) — a maintained
-  /// counter, not a scan.
-  std::size_t live_process_count() const { return arena_.live(); }
+  /// Total events dispatched (process resumes; mailbox deliveries not
+  /// included), summed over LPs. The events/sec numerator in bench_scale
+  /// and bench_parallel.
+  std::uint64_t dispatched_events() const;
+
+  /// Number of processes that have not finished. O(#LPs) — maintained
+  /// per-shard counters, not a scan.
+  std::size_t live_process_count() const;
 
   /// Arena slots ever allocated: the peak-live high-water mark. Bounded by
   /// peak concurrency, NOT total spawns — finished processes are recycled.
-  std::size_t process_slots() const { return arena_.capacity(); }
+  std::size_t process_slots() const;
 
   /// Fiber-substrate allocator counters (all zero before the first fiber
-  /// dispatch, and forever on the thread substrate). `stack_pool_hits` over
-  /// `stacks_acquired` is the recycle rate; `stack_bytes_mapped` is address
-  /// space, not RSS (stacks fault in lazily, page by page).
+  /// dispatch, and forever on the thread substrate), summed over the
+  /// per-LP stack pools. `stack_pool_hits` over `stacks_acquired` is the
+  /// recycle rate; `stack_bytes_mapped` is address space, not RSS (stacks
+  /// fault in lazily, page by page).
   struct FiberStats {
     std::uint64_t stacks_acquired = 0;
     std::uint64_t stack_pool_hits = 0;
@@ -293,29 +430,47 @@ class Engine {
   friend class Context;
   friend class Event;
 
-  void schedule(Process& p, SimTime when);
-  void dispatch(Process& p);
+  Lp& shard(std::uint32_t id) { return *lps_[id]; }
+  /// The LP owning the calling worker's current window, or LP 0 (callers
+  /// outside any dispatch: setup code, the coordinator).
+  Lp& current_or_first();
+  /// LVT seen by scheduling operations: the current window's LP clock, or
+  /// the global clock outside dispatch.
+  SimTime local_now() const;
+
+  Process& spawn_impl(Lp& lp, std::string name,
+                      std::function<void(Context&)> body);
+  void schedule(Process& p, SimTime when);          // routes cross-LP sends
+  void schedule_local(Lp& lp, Process& p, SimTime when);
+  void route_remote(Lp& from, Lp& to, SimTime when, std::function<void()> fn);
+  void dispatch(Lp& lp, Process& p);
   void process_body(Process& p);      // shared trampoline core
   void thread_trampoline(Process& p);
-  void reclaim(Process& p);           // finished -> slot back to the arena
+  void reclaim(Lp& lp, Process& p);   // finished -> slot back to the arena
   void drain(SimTime t_end);
+  void drain_sequential(SimTime t_end);
+  void drain_parallel(SimTime t_end);
+  /// One conservative window of one LP (worker-thread body): interleaves
+  /// due mailbox deliveries with calendar events up to the LP's bound.
+  void run_lp_window(Lp& lp, SimTime t_end);
+  void throw_if_deadlocked();
   void kill_all();
 
   const Substrate substrate_;
-  // Pool before arena: processes (arena) borrow stacks from the pool, so
-  // the pool must be destroyed after them.
-  std::unique_ptr<FiberRuntime> fiber_rt_;  // lazy, first fiber dispatch
-  SlabArena<Process> arena_;
-  CalendarQueue<Process, &Process::cal_> ready_;
+  const unsigned workers_;
+  const SimTime window_;
+  const std::size_t mailbox_capacity_;
+  std::vector<std::unique_ptr<Lp>> lps_;  // shard 0 always exists
   SimTime now_ = 0.0;
   std::uint64_t next_pid_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::function<void(SimTime)> sampler_;
   SimTime sampler_interval_ = 0.0;
   SimTime sampler_next_ = 0.0;
-  std::binary_semaphore engine_turn_{0};  // thread substrate: process -> engine
-  std::exception_ptr pending_error_;
   bool running_ = false;
+  bool tearing_down_ = false;  // kill_all: unwind-time wakes schedule directly
+
+  struct Pool;  // persistent worker threads (lazy, first parallel drain)
+  std::unique_ptr<Pool> pool_;
 };
 
 }  // namespace simai::sim

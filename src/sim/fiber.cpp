@@ -66,11 +66,21 @@ std::size_t round_up_to_page(std::size_t bytes) {
   return (bytes + page - 1) / page * page;
 }
 
-/// Strict decimal parse for fiber env knobs: the whole string must be a
-/// number in [lo, hi]. Anything else — empty, trailing junk, negative,
-/// overflow — throws with the offending value in the message.
+// makecontext only forwards ints, so the Fiber* rides in two halves.
+static_assert(sizeof(void*) == 8, "fiber trampoline assumes 64-bit pointers");
+Fiber* unsplit(unsigned int hi, unsigned int lo) {
+  const std::uintptr_t bits =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  return reinterpret_cast<Fiber*>(bits);
+}
+
+}  // namespace
+
+namespace detail {
+
 std::uint64_t parse_env_u64(const char* name, const char* value,
-                            std::uint64_t lo, std::uint64_t hi) {
+                            std::uint64_t lo, std::uint64_t hi,
+                            const char* prefix) {
   errno = 0;
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(value, &end, 10);
@@ -80,21 +90,17 @@ std::uint64_t parse_env_u64(const char* name, const char* value,
   const bool leading_junk = value[0] < '0' || value[0] > '9';
   if (leading_junk || errno == ERANGE || end == value || *end != '\0' ||
       parsed < lo || parsed > hi) {
-    throw Error(std::string("fiber: invalid ") + name + "='" + value +
+    throw Error(std::string(prefix) + ": invalid " + name + "='" + value +
                 "' (expected an integer in [" + std::to_string(lo) + ", " +
                 std::to_string(hi) + "])");
   }
   return parsed;
 }
 
-// makecontext only forwards ints, so the Fiber* rides in two halves.
-static_assert(sizeof(void*) == 8, "fiber trampoline assumes 64-bit pointers");
-Fiber* unsplit(unsigned int hi, unsigned int lo) {
-  const std::uintptr_t bits =
-      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
-  return reinterpret_cast<Fiber*>(bits);
-}
+}  // namespace detail
 
+namespace {
+using detail::parse_env_u64;
 }  // namespace
 
 // ---------------------------------------------------------------------------

@@ -52,6 +52,18 @@
 
 namespace simai::sim {
 
+namespace detail {
+/// Strict decimal parse for sim env knobs: the whole string must be pure
+/// digits in [lo, hi]. Anything else — empty, whitespace, sign, trailing
+/// junk, overflow — throws `Error("<prefix>: invalid <name>='<value>' ...")`
+/// naming the variable and offending value. Shared by SIMAI_SIM_STACK_KB /
+/// SIMAI_SIM_STACK_GUARDS (prefix "fiber") and SIMAI_SIM_WORKERS
+/// (prefix "sim").
+std::uint64_t parse_env_u64(const char* name, const char* value,
+                            std::uint64_t lo, std::uint64_t hi,
+                            const char* prefix = "fiber");
+}  // namespace detail
+
 /// Slab allocator for fiber stacks: free lists keyed by stack size over
 /// large lazily-faulted mappings. Stacks are recycled, never munmapped,
 /// until the pool itself dies (engine teardown).

@@ -12,25 +12,30 @@ namespace simai::sim {
 
 void TraceRecorder::record_span(std::string track, std::string category,
                                 SimTime start, SimTime end) {
+  std::lock_guard<std::mutex> lk(mu_);
   spans_.push_back({std::move(track), std::move(category), start, end, false});
 }
 
 void TraceRecorder::record_async_span(std::string track, std::string category,
                                       SimTime start, SimTime end) {
+  std::lock_guard<std::mutex> lk(mu_);
   spans_.push_back({std::move(track), std::move(category), start, end, true});
 }
 
 void TraceRecorder::record_instant(std::string track, std::string category,
                                    SimTime time, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
   instants_.push_back({std::move(track), std::move(category), time, bytes});
 }
 
 void TraceRecorder::record_labeled_span(LabeledSpan span) {
+  std::lock_guard<std::mutex> lk(mu_);
   labeled_spans_.push_back(std::move(span));
 }
 
 void TraceRecorder::record_counter_sample(std::string series, SimTime time,
                                           double value) {
+  std::lock_guard<std::mutex> lk(mu_);
   counter_samples_.push_back({std::move(series), time, value});
 }
 
@@ -254,6 +259,7 @@ std::string TraceRecorder::to_chrome_json() const {
 }
 
 void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
   spans_.clear();
   instants_.clear();
   labeled_spans_.clear();

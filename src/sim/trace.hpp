@@ -6,6 +6,7 @@
 // terminal — which is how bench_fig2_timeline reproduces the figure.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,43 @@ struct CounterSample {
 
 class TraceRecorder {
  public:
+  TraceRecorder() = default;
+  // Copy/move transfer the recorded data only; the record-side mutex is
+  // per-instance state. Neither runs while workers are still recording —
+  // results are harvested after the engine drains.
+  TraceRecorder(const TraceRecorder& other)
+      : spans_(other.spans_), instants_(other.instants_),
+        labeled_spans_(other.labeled_spans_),
+        counter_samples_(other.counter_samples_) {}
+  TraceRecorder(TraceRecorder&& other) noexcept
+      : spans_(std::move(other.spans_)), instants_(std::move(other.instants_)),
+        labeled_spans_(std::move(other.labeled_spans_)),
+        counter_samples_(std::move(other.counter_samples_)) {}
+  TraceRecorder& operator=(const TraceRecorder& other) {
+    if (this != &other) {
+      spans_ = other.spans_;
+      instants_ = other.instants_;
+      labeled_spans_ = other.labeled_spans_;
+      counter_samples_ = other.counter_samples_;
+    }
+    return *this;
+  }
+  TraceRecorder& operator=(TraceRecorder&& other) noexcept {
+    if (this != &other) {
+      spans_ = std::move(other.spans_);
+      instants_ = std::move(other.instants_);
+      labeled_spans_ = std::move(other.labeled_spans_);
+      counter_samples_ = std::move(other.counter_samples_);
+    }
+    return *this;
+  }
+
+  // The record_* methods are thread-safe (one short lock per record):
+  // under parallel DES dispatch several worker threads append to the same
+  // recorder. Recording order across workers is wall-dependent, which is
+  // exactly why spawn-order-invariant comparisons use to_canonical_csv()
+  // (fully sorted) rather than to_csv(). The read-side accessors are
+  // unsynchronized — harvest after run() returns.
   void record_span(std::string track, std::string category, SimTime start,
                    SimTime end);
   /// Record an overlay span (see TraceSpan::async) — e.g. a fault window.
@@ -120,6 +158,7 @@ class TraceRecorder {
   void clear();
 
  private:
+  mutable std::mutex mu_;  // guards the vectors on the record_* paths only
   std::vector<TraceSpan> spans_;
   std::vector<TraceInstant> instants_;
   std::vector<LabeledSpan> labeled_spans_;

@@ -276,6 +276,82 @@ TEST(AnalyzeSpawnCapture, RefCaptureOutsideSpawnIsClean) {
 }
 
 // ---------------------------------------------------------------------------
+// cross-lp-shared-state
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeCrossLp, RefCaptureIntoTwoLpsFires) {
+  const auto fs = an::check_cross_lp_state(one(
+      "void setup(Engine& e) {\n"
+      "  int hits = 0;\n"
+      "  e.spawn_on(0, \"a\", [&hits](sim::Context& ctx) { hits++; });\n"
+      "  e.spawn_on(1, \"b\", [&hits](sim::Context& ctx) { hits++; });\n"
+      "}\n"));
+  const an::Finding* f = find_rule(fs, "cross-lp-shared-state");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, an::Severity::Error);
+  EXPECT_EQ(f->line, 3);
+  EXPECT_NE(f->message.find("'hits'"), std::string::npos);
+  EXPECT_NE(f->message.find("'0'"), std::string::npos);
+  EXPECT_NE(f->message.find("'1'"), std::string::npos);
+  EXPECT_NE(f->fix_hint.find("Engine::post"), std::string::npos);
+}
+
+TEST(AnalyzeCrossLp, ExpressionLpArgsCompareTextually) {
+  // Distinct textual LP expressions count as distinct LPs even when they
+  // are not literals.
+  const auto fs = an::check_cross_lp_state(one(
+      "void setup(Engine& e, unsigned base) {\n"
+      "  Mailman m;\n"
+      "  e.spawn_on(base, \"a\", [&m](sim::Context& ctx) { m.go(ctx); });\n"
+      "  e.spawn_on(base + 1, \"b\", [&m](sim::Context& ctx) { m.go(ctx); });\n"
+      "}\n"));
+  EXPECT_TRUE(has_rule(fs, "cross-lp-shared-state"));
+}
+
+TEST(AnalyzeCrossLp, SameLpIsClean) {
+  // Both shards land on one LP: sequential dispatch, no concurrency.
+  const auto fs = an::check_cross_lp_state(one(
+      "void setup(Engine& e) {\n"
+      "  int hits = 0;\n"
+      "  e.spawn_on(2, \"a\", [&hits](sim::Context& ctx) { hits++; });\n"
+      "  e.spawn_on(2, \"b\", [&hits](sim::Context& ctx) { hits++; });\n"
+      "}\n"));
+  EXPECT_FALSE(has_rule(fs, "cross-lp-shared-state"));
+}
+
+TEST(AnalyzeCrossLp, ValueCapturesAreClean) {
+  const auto fs = an::check_cross_lp_state(one(
+      "void setup(Engine& e) {\n"
+      "  int k = 3;\n"
+      "  e.spawn_on(0, \"a\", [k](sim::Context& ctx) { use(ctx, k); });\n"
+      "  e.spawn_on(1, \"b\", [k](sim::Context& ctx) { use(ctx, k); });\n"
+      "}\n"));
+  EXPECT_FALSE(has_rule(fs, "cross-lp-shared-state"));
+}
+
+TEST(AnalyzeCrossLp, SharedCellIsExempt) {
+  // check::SharedCell is the sanctioned cross-LP holder; capturing the
+  // cell by reference from several LPs is its whole point.
+  const auto fs = an::check_cross_lp_state(one(
+      "void setup(Engine& e) {\n"
+      "  check::SharedCell<int> cell;\n"
+      "  e.spawn_on(0, \"a\", [&cell](sim::Context& ctx) { cell.write(ctx); });\n"
+      "  e.spawn_on(1, \"b\", [&cell](sim::Context& ctx) { cell.read(ctx); });\n"
+      "}\n"));
+  EXPECT_FALSE(has_rule(fs, "cross-lp-shared-state"));
+}
+
+TEST(AnalyzeCrossLp, SubscriptInsideCallIsNotACaptureList) {
+  // arr[i] inside the call's arguments must not be parsed as captures.
+  const auto fs = an::check_cross_lp_state(one(
+      "void setup(Engine& e, std::vector<int>& arr) {\n"
+      "  e.spawn_on(0, names[0], [v = arr[0]](sim::Context& ctx) { go(v); });\n"
+      "  e.spawn_on(1, names[1], [v = arr[1]](sim::Context& ctx) { go(v); });\n"
+      "}\n"));
+  EXPECT_FALSE(has_rule(fs, "cross-lp-shared-state"));
+}
+
+// ---------------------------------------------------------------------------
 // layering
 // ---------------------------------------------------------------------------
 

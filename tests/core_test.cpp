@@ -615,6 +615,47 @@ TEST(Workflow, ValidationErrors) {
   }
 }
 
+TEST(Workflow, PlacedDiamondMatchesSequentialAcrossWorkerCounts) {
+  // The partitioned diamond: shards on four LPs, dependencies crossing
+  // every LP boundary (the launch path declares lookahead-0 edges both
+  // ways per pair). Completion order and makespan must be identical to
+  // the unpartitioned run at every worker count.
+  auto run = [](unsigned workers) {
+    Workflow w;
+    auto work = [](sim::Context& ctx, const ComponentInfo&) {
+      ctx.delay(0.1);
+    };
+    w.component("top", "remote", {}, work);
+    w.component("left", "remote", {"top"}, work);
+    w.component("right", "remote", {"top"}, work);
+    w.component("bottom", "remote", {"left", "right"}, work);
+    w.place("top", 0);
+    w.place("left", 1);
+    w.place("right", 2);
+    w.place("bottom", 3);
+    sim::Engine engine(sim::Parallel{.workers = workers});
+    w.launch(engine);
+    return std::make_pair(w.completion_order(), w.makespan());
+  };
+  const auto base = run(1);
+  EXPECT_EQ(base.first.front(), "top");
+  EXPECT_EQ(base.first.back(), "bottom");
+  EXPECT_DOUBLE_EQ(base.second, 0.3);
+  for (const unsigned workers : {2u, 4u, 8u}) {
+    const auto par = run(workers);
+    EXPECT_EQ(par.first, base.first) << "workers=" << workers;
+    EXPECT_DOUBLE_EQ(par.second, base.second) << "workers=" << workers;
+  }
+}
+
+TEST(Workflow, PlaceUnknownComponentThrows) {
+  Workflow w;
+  w.component("a", "remote", {}, [](sim::Context&, const ComponentInfo&) {});
+  w.place("ghost", 1);
+  sim::Engine engine(sim::Parallel{.workers = 2});
+  EXPECT_THROW(w.launch(engine), WorkflowError);
+}
+
 TEST(Workflow, DynamicSpawnFromRunningComponent) {
   Workflow w;
   std::vector<std::string> order;

@@ -239,12 +239,16 @@ TEST(PatternConfig, Pattern1JsonRoundTrip) {
   c.payload_bytes = 32 * MiB;
   c.train_iters = 1234;
   c.sim_iter_std = 0.02;
+  c.workers = 4;
+  c.window = 0.25;
   const Pattern1Config back = pattern1_from_json(pattern1_to_json(c));
   EXPECT_EQ(back.backend, c.backend);
   EXPECT_EQ(back.nodes, c.nodes);
   EXPECT_EQ(back.payload_bytes, c.payload_bytes);
   EXPECT_EQ(back.train_iters, c.train_iters);
   EXPECT_DOUBLE_EQ(back.sim_iter_std, c.sim_iter_std);
+  EXPECT_EQ(back.workers, c.workers);
+  EXPECT_DOUBLE_EQ(back.window, c.window);
 }
 
 TEST(PatternConfig, Pattern2JsonRoundTrip) {
@@ -252,10 +256,14 @@ TEST(PatternConfig, Pattern2JsonRoundTrip) {
   c.backend = platform::BackendKind::Redis;
   c.num_sims = 127;
   c.payload_cap = 123;
+  c.workers = 8;
+  c.window = 1.5;
   const Pattern2Config back = pattern2_from_json(pattern2_to_json(c));
   EXPECT_EQ(back.backend, c.backend);
   EXPECT_EQ(back.num_sims, c.num_sims);
   EXPECT_EQ(back.payload_cap, c.payload_cap);
+  EXPECT_EQ(back.workers, c.workers);
+  EXPECT_DOUBLE_EQ(back.window, c.window);
 }
 
 TEST(PatternConfig, PartialJsonKeepsDefaults) {

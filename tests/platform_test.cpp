@@ -232,6 +232,27 @@ TEST_F(TransportModelTest, AllCostsPositive) {
   }
 }
 
+TEST_F(TransportModelTest, MinLinkLatencyBoundsEveryRemoteOp) {
+  const SimTime la = model.min_link_latency();
+  EXPECT_GT(la, 0.0);  // a zero lookahead would stall conservative windows
+  TransportContext remote;
+  remote.remote = true;
+  for (BackendKind b : {BackendKind::Dragon, BackendKind::Redis,
+                        BackendKind::Filesystem, BackendKind::Stream,
+                        BackendKind::Daos}) {
+    for (StoreOp op : {StoreOp::Write, StoreOp::Read, StoreOp::Poll,
+                       StoreOp::Clean}) {
+      EXPECT_LE(la, model.cost(b, op, 1, remote))
+          << backend_name(b) << "/" << store_op_name(op);
+      EXPECT_LE(la, model.cost(b, op, 1 * MiB, remote))
+          << backend_name(b) << "/" << store_op_name(op);
+    }
+  }
+  // Deterministic: derived purely from model parameters.
+  EXPECT_DOUBLE_EQ(la, model.min_link_latency());
+  EXPECT_DOUBLE_EQ(la, TransportModel().min_link_latency());
+}
+
 TEST_F(TransportModelTest, NodeLocalIndependentOfNodeCount) {
   // Fig 3a vs 3b: in-memory backends unchanged from 8 to 512 nodes.
   for (std::uint64_t b = 400 * KiB; b <= 32 * MiB; b *= 2) {

@@ -1,0 +1,474 @@
+// Parallel conservative-DES tests: LP partitioning, lookahead windows,
+// cross-LP mailboxes/events, deterministic multi-worker dispatch, and the
+// hardened SIMAI_SIM_WORKERS parsing.
+//
+// The determinism cases are the heart: the same workload, partitioned over
+// LPs and run at 1/2/4/8 workers, must produce the identical merged event
+// log — worker count is a wall-clock knob, never a semantic one. Everything
+// else pins the API contract: edge declaration/validation, the lookahead
+// send rule, spawn_on/post semantics, wait_for expiry across LPs, error
+// propagation in LP-id order, and Parallel{1} degrading to the sequential
+// engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace simai::sim {
+namespace {
+
+std::string fmt_time(SimTime t) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", t);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Degradation: Parallel{1} is the sequential engine
+// ---------------------------------------------------------------------------
+
+TEST(ParallelTest, OneWorkerCollapsesToSingleLp) {
+  Engine engine(Parallel{.workers = 1});
+  EXPECT_FALSE(engine.parallel());
+  EXPECT_EQ(engine.workers(), 1u);
+  EXPECT_EQ(engine.add_lp(), 0u);  // no-op: one shard
+  engine.ensure_lps(8);
+  EXPECT_EQ(engine.lp_count(), 1u);
+  engine.add_lp_edge(3, 5, 1.0);  // no-op, never validated
+
+  std::vector<std::string> log;
+  engine.spawn_on(7, "a", [&](Context& ctx) {  // collapses onto LP 0
+    ctx.delay(1.0);
+    log.push_back("a@" + fmt_time(ctx.now()));
+  });
+  engine.spawn_on(2, "b", [&](Context& ctx) {
+    ctx.delay(0.5);
+    log.push_back("b@" + fmt_time(ctx.now()));
+  });
+  engine.post(5, 0.25, [&] { log.push_back("post@0.25"); });
+  engine.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"post@0.25", "b@0.5", "a@1"}));
+  EXPECT_EQ(engine.now(), 1.0);
+}
+
+TEST(ParallelTest, DefaultEngineIsSequential) {
+  Engine engine;
+  EXPECT_FALSE(engine.parallel());
+  EXPECT_EQ(engine.lp_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-LP events
+// ---------------------------------------------------------------------------
+
+TEST(ParallelTest, TwoLpEventPingPong) {
+  Engine engine(Parallel{.workers = 2});
+  engine.ensure_lps(2);
+  ASSERT_EQ(engine.lp_count(), 2u);
+  engine.add_lp_edge(0, 1, 0.0);
+  engine.add_lp_edge(1, 0, 0.0);
+
+  Event ping(engine), pong(engine);
+  constexpr int kRounds = 25;
+  int p1_rounds = 0;
+  engine.spawn_on(0, "p0", [&](Context& ctx) {
+    for (int r = 0; r < kRounds; ++r) {
+      ctx.delay(0.05);  // p1 is strictly-earlier registered on ping
+      ping.notify_all();
+      ctx.wait(pong);
+    }
+  });
+  engine.spawn_on(1, "p1", [&](Context& ctx) {
+    for (int r = 0; r < kRounds; ++r) {
+      ctx.wait(ping);
+      ctx.delay(0.1);
+      ++p1_rounds;
+      pong.notify_all();
+    }
+  });
+  engine.run();
+  EXPECT_EQ(p1_rounds, kRounds);
+  EXPECT_DOUBLE_EQ(engine.now(), kRounds * 0.15);
+}
+
+TEST(ParallelTest, WaitForTimesOutDespiteLateCrossLpNotify) {
+  // The notifier's LP has no in-edges, so it runs to t=2 in wall-clock
+  // round 1 and its notify reaches the Event while the waiter (deadline 1)
+  // is still registered. The expiry rule must leave that waiter to its
+  // timer: sequential semantics dispatch the t=1 timeout first.
+  Engine engine(Parallel{.workers = 2});
+  engine.ensure_lps(2);
+  engine.add_lp_edge(0, 1, 0.0);
+
+  Event ev(engine);
+  bool notified = true;
+  SimTime woke_at = -1.0;
+  engine.spawn_on(1, "waiter", [&](Context& ctx) {
+    notified = ctx.wait_for(ev, 1.0);
+    woke_at = ctx.now();
+  });
+  engine.spawn_on(0, "notifier", [&](Context& ctx) {
+    ctx.delay(2.0);
+    ev.notify_all();
+  });
+  engine.run();
+  EXPECT_FALSE(notified);
+  EXPECT_DOUBLE_EQ(woke_at, 1.0);
+}
+
+TEST(ParallelTest, WaitForNotifiedBeforeDeadlineAcrossLps) {
+  Engine engine(Parallel{.workers = 2});
+  engine.ensure_lps(2);
+  // Both directions: 0 -> 1 carries the wake, 1 -> 0 (lookahead 0) pins the
+  // notifier's window behind the waiter's registrations — without it the
+  // notifier could virtually outrun a registration that precedes its notify.
+  engine.add_lp_edge(0, 1, 0.0);
+  engine.add_lp_edge(1, 0, 0.0);
+
+  Event ev(engine);
+  bool notified = false;
+  SimTime woke_at = -1.0;
+  engine.spawn_on(1, "waiter", [&](Context& ctx) {
+    notified = ctx.wait_for(ev, 5.0);
+    woke_at = ctx.now();
+  });
+  engine.spawn_on(0, "notifier", [&](Context& ctx) {
+    ctx.delay(2.0);
+    ev.notify_all();
+  });
+  engine.run();
+  EXPECT_TRUE(notified);
+  EXPECT_DOUBLE_EQ(woke_at, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Edge declaration and the lookahead send rule
+// ---------------------------------------------------------------------------
+
+TEST(ParallelTest, AddLpEdgeValidates) {
+  Engine engine(Parallel{.workers = 2});
+  engine.ensure_lps(2);
+  EXPECT_THROW(engine.add_lp_edge(0, 7, 0.0), Error);  // unknown LP
+  EXPECT_THROW(engine.add_lp_edge(1, 1, 0.0), Error);  // self-edge
+  EXPECT_THROW(engine.add_lp_edge(0, 1, -1.0), Error);  // negative lookahead
+  engine.add_lp_edge(0, 1, 2.0);
+  engine.add_lp_edge(0, 1, 0.5);  // re-declaration overrides
+  engine.spawn_on(0, "p", [&](Context& ctx) {
+    // 0.5 past LVT satisfies the overridden lookahead; 2.0 would have.
+    ctx.engine().post(1, ctx.now() + 0.5, [] {});
+    ctx.delay(0.1);
+  });
+  engine.run();
+}
+
+TEST(ParallelTest, CrossLpSendWithoutEdgeThrows) {
+  Engine engine(Parallel{.workers = 2});
+  engine.ensure_lps(2);
+  engine.spawn_on(0, "p", [&](Context& ctx) {
+    ctx.engine().post(1, ctx.now(), [] {});
+  });
+  try {
+    engine.run();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("add_lp_edge"), std::string::npos);
+  }
+}
+
+TEST(ParallelTest, SendBelowLookaheadThrows) {
+  Engine engine(Parallel{.workers = 2});
+  engine.ensure_lps(2);
+  engine.add_lp_edge(0, 1, 1.0);
+  engine.spawn_on(0, "p", [&](Context& ctx) {
+    ctx.engine().post(1, ctx.now() + 0.5, [] {});
+  });
+  try {
+    engine.run();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("lookahead"), std::string::npos);
+  }
+}
+
+TEST(ParallelTest, EdgeMutationWhileRunningThrows) {
+  Engine engine(Parallel{.workers = 2});
+  engine.ensure_lps(2);
+  engine.add_lp_edge(0, 1, 0.0);
+  engine.spawn_on(0, "p", [&](Context& ctx) {
+    EXPECT_THROW(ctx.engine().add_lp(), Error);
+    EXPECT_THROW(ctx.engine().add_lp_edge(1, 0, 0.0), Error);
+    ctx.delay(0.1);
+  });
+  engine.run();
+}
+
+// ---------------------------------------------------------------------------
+// spawn_on / post semantics
+// ---------------------------------------------------------------------------
+
+TEST(ParallelTest, SpawnOnForeignLpWhileRunningThrows) {
+  Engine engine(Parallel{.workers = 2});
+  engine.ensure_lps(2);
+  engine.spawn_on(0, "p", [&](Context& ctx) {
+    EXPECT_THROW(
+        ctx.engine().spawn_on(1, "child", [](Context&) {}), Error);
+    ctx.delay(0.1);
+  });
+  engine.run();
+}
+
+TEST(ParallelTest, MidRunSpawnOnOwnLp) {
+  Engine engine(Parallel{.workers = 2});
+  engine.ensure_lps(2);
+  std::vector<std::string> log0, log1;
+  engine.spawn_on(0, "parent0", [&](Context& ctx) {
+    ctx.delay(0.5);
+    Process& child = ctx.engine().spawn("child0", [&](Context& c) {
+      c.delay(0.25);
+      log0.push_back("child0@" + fmt_time(c.now()));
+    });
+    // Mid-run parallel pids are per-LP (high bits = LP id + 1): stable
+    // across worker counts, disjoint from pre-run global pids.
+    EXPECT_EQ(child.id() >> 40, 1u);
+    ProcessHandle h = child.handle();
+    EXPECT_TRUE(ctx.engine().is_live(h));
+    ctx.delay(1.0);
+    EXPECT_EQ(ctx.engine().find(h), nullptr);  // finished and reclaimed
+  });
+  engine.spawn_on(1, "parent1", [&](Context& ctx) {
+    ctx.delay(0.5);
+    ctx.engine().spawn("child1", [&](Context& c) {
+      c.delay(0.25);
+      log1.push_back("child1@" + fmt_time(c.now()));
+    });
+    ctx.delay(1.0);
+  });
+  engine.run();
+  EXPECT_EQ(log0, std::vector<std::string>{"child0@0.75"});
+  EXPECT_EQ(log1, std::vector<std::string>{"child1@0.75"});
+}
+
+TEST(ParallelTest, PostUnknownLpThrows) {
+  Engine engine(Parallel{.workers = 2});
+  engine.ensure_lps(2);
+  EXPECT_THROW(engine.post(5, 0.0, [] {}), Error);
+  EXPECT_THROW(engine.post(0, 0.0, std::function<void()>{}), Error);
+}
+
+TEST(ParallelTest, MailboxBackpressureLosesNothing) {
+  Engine engine(Parallel{.workers = 2, .mailbox_capacity = 4});
+  engine.ensure_lps(2);
+  engine.add_lp_edge(0, 1, 0.1);
+  int delivered = 0;
+  engine.spawn_on(0, "producer", [&](Context& ctx) {
+    for (int i = 0; i < 100; ++i) {
+      ctx.engine().post(1, ctx.now() + 0.1 + i * 0.001,
+                        [&delivered] { ++delivered; });
+      if (i % 10 == 9) ctx.delay(0.01);  // dispatch boundaries for the
+    }                                    // backpressure window cut
+  });
+  engine.spawn_on(1, "consumer", [&](Context& ctx) { ctx.delay(5.0); });
+  engine.run();
+  EXPECT_EQ(delivered, 100);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across worker counts
+// ---------------------------------------------------------------------------
+
+/// A ring workload over K LPs: every LP runs a looping process with a
+/// deterministic per-iteration delay pattern and periodically sends a
+/// timestamped message around the ring (lookahead 0.25). Returns the merged
+/// sorted event log — identical across worker counts by the determinism
+/// contract (and identical to the workers=1 collapse, where everything
+/// lands on LP 0 but the virtual-time arithmetic is unchanged).
+std::vector<std::string> run_ring(unsigned workers) {
+  constexpr std::uint32_t kLps = 6;
+  Engine engine(Parallel{.workers = workers});
+  engine.ensure_lps(kLps);
+  if (engine.parallel()) {
+    for (std::uint32_t i = 0; i < kLps; ++i)
+      engine.add_lp_edge(i, (i + 1) % kLps, 0.25);
+  }
+  // logs[k] is only ever touched by LP k's owner (its process + deliveries
+  // addressed to it), or by the single thread in the collapsed run.
+  std::vector<std::vector<std::string>> logs(kLps);
+  for (std::uint32_t k = 0; k < kLps; ++k) {
+    engine.spawn_on(k, "ring" + std::to_string(k), [&, k](Context& ctx) {
+      for (int it = 0; it < 30; ++it) {
+        ctx.delay(0.1 + 0.013 * ((k * 7 + static_cast<unsigned>(it)) % 5));
+        logs[k].push_back("tick " + std::to_string(k) + "#" +
+                          std::to_string(it) + " @" + fmt_time(ctx.now()));
+        if (it % 3 == 2) {
+          const std::uint32_t dst = (k + 1) % kLps;
+          const SimTime when = ctx.now() + 0.25;
+          ctx.engine().post(dst, when, [&logs, k, dst, when] {
+            logs[dst].push_back("msg " + std::to_string(k) + "->" +
+                                std::to_string(dst) + " @" + fmt_time(when));
+          });
+        }
+      }
+    });
+  }
+  engine.run();
+  std::vector<std::string> merged;
+  for (auto& l : logs) merged.insert(merged.end(), l.begin(), l.end());
+  std::sort(merged.begin(), merged.end());
+  return merged;
+}
+
+TEST(ParallelTest, RingDeterministicAcrossWorkerCounts) {
+  const std::vector<std::string> base = run_ring(1);
+  ASSERT_FALSE(base.empty());
+  EXPECT_EQ(run_ring(2), base);
+  EXPECT_EQ(run_ring(4), base);
+  EXPECT_EQ(run_ring(8), base);
+}
+
+TEST(ParallelTest, DispatchedEventsMatchAcrossWorkerCounts) {
+  auto count = [](unsigned workers) {
+    Engine engine(Parallel{.workers = workers});
+    engine.ensure_lps(4);
+    for (std::uint32_t k = 0; k < 4; ++k) {
+      engine.spawn_on(k, "p" + std::to_string(k), [k](Context& ctx) {
+        for (int i = 0; i < 50; ++i) ctx.delay(0.01 * (k + 1));
+      });
+    }
+    engine.run();
+    return engine.dispatched_events();
+  };
+  const std::uint64_t base = count(1);
+  EXPECT_EQ(count(2), base);
+  EXPECT_EQ(count(4), base);
+}
+
+// ---------------------------------------------------------------------------
+// Errors, deadlock, run_until
+// ---------------------------------------------------------------------------
+
+TEST(ParallelTest, ErrorResolvesInLpIdOrder) {
+  // Two LPs fail at the same virtual time in the same round; the rethrown
+  // error must be LP 1's (lowest failing id), not a wall-clock race.
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    Engine engine(Parallel{.workers = 4});
+    engine.ensure_lps(3);
+    engine.spawn_on(0, "ok", [](Context& ctx) { ctx.delay(10.0); });
+    engine.spawn_on(1, "fail1", [](Context& ctx) {
+      ctx.delay(1.0);
+      throw Error("boom-lp1");
+    });
+    engine.spawn_on(2, "fail2", [](Context& ctx) {
+      ctx.delay(1.0);
+      throw Error("boom-lp2");
+    });
+    try {
+      engine.run();
+      FAIL() << "expected Error";
+    } catch (const Error& e) {
+      EXPECT_STREQ(e.what(), "boom-lp1");
+    }
+    EXPECT_EQ(engine.live_process_count(), 0u);  // kill_all reclaimed all
+  }
+}
+
+TEST(ParallelTest, DeadlockDetectedAcrossLps) {
+  Engine engine(Parallel{.workers = 2});
+  engine.ensure_lps(2);
+  Event never(engine);
+  engine.spawn_on(0, "stuck0", [&](Context& ctx) { ctx.wait(never); });
+  engine.spawn_on(1, "stuck1", [&](Context& ctx) { ctx.wait(never); });
+  try {
+    engine.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("stuck0"), std::string::npos);
+    EXPECT_NE(msg.find("stuck1"), std::string::npos);
+  }
+}
+
+TEST(ParallelTest, RunUntilThenResume) {
+  Engine engine(Parallel{.workers = 2});
+  engine.ensure_lps(2);
+  std::vector<std::vector<SimTime>> logs(2);  // per-LP: no cross-worker writes
+  for (std::uint32_t k = 0; k < 2; ++k) {
+    engine.spawn_on(k, "p" + std::to_string(k), [&, k](Context& ctx) {
+      for (int i = 0; i < 4; ++i) {
+        ctx.delay(1.0 + k * 0.125);
+        logs[k].push_back(ctx.now());
+      }
+    });
+  }
+  engine.run_until(2.0);
+  const std::size_t after_first = logs[0].size() + logs[1].size();
+  EXPECT_GT(after_first, 0u);
+  EXPECT_LT(after_first, 8u);
+  for (const auto& l : logs)
+    for (SimTime t : l) EXPECT_LE(t, 2.0);
+  engine.run();
+  EXPECT_EQ(logs[0].size() + logs[1].size(), 8u);
+  EXPECT_DOUBLE_EQ(logs[0].back(), 4.0);
+  EXPECT_DOUBLE_EQ(logs[1].back(), 4.5);
+}
+
+// ---------------------------------------------------------------------------
+// SIMAI_SIM_WORKERS hardened parsing
+// ---------------------------------------------------------------------------
+
+class WorkersEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv("SIMAI_SIM_WORKERS"); }
+  static void set(const char* v) { ::setenv("SIMAI_SIM_WORKERS", v, 1); }
+};
+
+TEST_F(WorkersEnvTest, UnsetAndEmptyDefaultToOne) {
+  ::unsetenv("SIMAI_SIM_WORKERS");
+  EXPECT_EQ(Engine::default_workers(), 1u);
+  set("");
+  EXPECT_EQ(Engine::default_workers(), 1u);
+}
+
+TEST_F(WorkersEnvTest, ValidValuesParse) {
+  set("1");
+  EXPECT_EQ(Engine::default_workers(), 1u);
+  set("8");
+  EXPECT_EQ(Engine::default_workers(), 8u);
+  set("4096");
+  EXPECT_EQ(Engine::default_workers(), 4096u);
+}
+
+TEST_F(WorkersEnvTest, GarbageValuesThrowNamingVariableAndValue) {
+  for (const char* bad :
+       {"abc", "8k", "1e3", "12 34", " 4", "0x8", "-2", "+4", "4 ", "0",
+        "4097", "99999999999999999999"}) {
+    set(bad);
+    try {
+      (void)Engine::default_workers();
+      FAIL() << "expected Error for SIMAI_SIM_WORKERS='" << bad << "'";
+    } catch (const Error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("SIMAI_SIM_WORKERS"), std::string::npos) << msg;
+      EXPECT_NE(msg.find(bad), std::string::npos) << msg;
+      EXPECT_EQ(msg.rfind("sim:", 0), 0u) << msg;
+    }
+  }
+}
+
+TEST_F(WorkersEnvTest, EnvOnlyConsultedForWorkersZero) {
+  set("8");
+  Engine from_env{Parallel{.workers = 0}};
+  EXPECT_EQ(from_env.workers(), 8u);
+  Engine pinned{Parallel{.workers = 2}};
+  EXPECT_EQ(pinned.workers(), 2u);
+  Engine plain;  // default ctor is pinned sequential, ignores the env
+  EXPECT_FALSE(plain.parallel());
+}
+
+}  // namespace
+}  // namespace simai::sim

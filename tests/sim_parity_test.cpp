@@ -14,6 +14,7 @@
 
 #include "check/check.hpp"
 #include "core/experiment.hpp"
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 
 namespace simai {
@@ -212,6 +213,141 @@ TEST(NWayDeterminism, Fig6InvariantAcrossSubstratesAndSpawnOrders) {
   for (std::size_t i = 1; i < prints.size(); ++i) {
     EXPECT_EQ(prints[0], prints[i]) << "execution " << i << " diverged";
   }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel dispatch parity: worker count x substrate invariance
+// ---------------------------------------------------------------------------
+//
+// Engine(Parallel{N}) partitions the harness into logical processes driven
+// by N worker threads under conservative lookahead windows (DESIGN.md
+// §4.12). The contract is byte-identical canonical fingerprints at EVERY
+// worker count, on both substrates — the parallel scheduler is a pure
+// performance substitution, exactly like the fiber substrate before it.
+
+const unsigned kWorkerCounts[4] = {1, 2, 4, 8};
+
+/// Pattern 1 at multi-pair scale so partitioning is non-trivial: four
+/// instantiated pairs = four LPs with no cross edges.
+core::Pattern1Config fig3_multi_pair_config() {
+  core::Pattern1Config c = fig2_config(0.0, 0.0, 4);
+  c.nodes = 2;
+  c.representative_pairs = 4;
+  c.train_iters = 100;
+  return c;
+}
+
+TEST(ParallelDispatchParity, Pattern1InvariantAcrossWorkerCounts) {
+  std::vector<std::string> prints;
+  for (const sim::Substrate s : {sim::Substrate::Thread, sim::Substrate::Fiber}) {
+    for (const unsigned workers : kWorkerCounts) {
+      core::Pattern1Config c = fig3_multi_pair_config();
+      c.workers = workers;
+      prints.push_back(fingerprint(run_on(s, c)));
+    }
+  }
+  ASSERT_EQ(prints.size(), 8u);
+  for (std::size_t i = 1; i < prints.size(); ++i) {
+    EXPECT_EQ(prints[0], prints[i])
+        << "execution " << i << " (workers="
+        << kWorkerCounts[i % 4] << ") diverged";
+  }
+}
+
+TEST(ParallelDispatchParity, Pattern1StochasticInvariantAcrossWorkerCounts) {
+  // Stochastic timings stress the window protocol: LP-local RNG draws must
+  // stay keyed to components, never to dispatch interleaving.
+  std::vector<std::string> prints;
+  for (const unsigned workers : kWorkerCounts) {
+    core::Pattern1Config c = fig3_multi_pair_config();
+    c.sim_iter_time = 0.0312;
+    c.sim_iter_std = 0.0273;
+    c.train_iter_std = 0.1;
+    c.workers = workers;
+    prints.push_back(fingerprint(run_on(sim::Substrate::Fiber, c)));
+  }
+  for (std::size_t i = 1; i < prints.size(); ++i) {
+    EXPECT_EQ(prints[0], prints[i]) << "workers=" << kWorkerCounts[i];
+  }
+}
+
+TEST(ParallelDispatchParity, Pattern2InvariantAcrossWorkerCounts) {
+  // Pattern 2 exercises the cross-LP machinery for real: lookahead-0 edges
+  // member -> trainer and the mirrored store view (Engine::post).
+  std::vector<std::string> prints;
+  for (const sim::Substrate s : {sim::Substrate::Thread, sim::Substrate::Fiber}) {
+    for (const unsigned workers : kWorkerCounts) {
+      core::Pattern2Config c = fig6_config(43);
+      c.workers = workers;
+      SubstrateGuard guard(s);
+      prints.push_back(fingerprint(core::run_pattern2(c)));
+    }
+  }
+  ASSERT_EQ(prints.size(), 8u);
+  for (std::size_t i = 1; i < prints.size(); ++i) {
+    EXPECT_EQ(prints[0], prints[i])
+        << "execution " << i << " (workers="
+        << kWorkerCounts[i % 4] << ") diverged";
+  }
+}
+
+TEST(ParallelDispatchParity, Pattern2BoundedWindowInvariant) {
+  // A finite round quantum changes HOW MANY barrier rounds run, never what
+  // executes inside them.
+  const std::string base = [&] {
+    core::Pattern2Config c = fig6_config(43);
+    return fingerprint(core::run_pattern2(c));
+  }();
+  for (const double window : {0.01, 0.5}) {
+    core::Pattern2Config c = fig6_config(43);
+    c.workers = 4;
+    c.window = window;
+    EXPECT_EQ(base, fingerprint(core::run_pattern2(c)))
+        << "window=" << window;
+  }
+}
+
+TEST(ParallelDispatchParity, ArmedObservabilityDoesNotPerturbParallelRuns) {
+  // Arming the obs plane must not change virtual time at any worker count
+  // (counter samples are excluded from the canonical timeline precisely
+  // because relaxed float accumulation is order-sensitive).
+  const std::string disarmed = [&] {
+    core::Pattern1Config c = fig3_multi_pair_config();
+    c.workers = 4;
+    return fingerprint(run_on(sim::Substrate::Fiber, c));
+  }();
+  obs::set_enabled(true);
+  for (const unsigned workers : kWorkerCounts) {
+    core::Pattern1Config c = fig3_multi_pair_config();
+    c.workers = workers;
+    EXPECT_EQ(disarmed, fingerprint(run_on(sim::Substrate::Fiber, c)))
+        << "workers=" << workers;
+  }
+  obs::set_enabled(false);
+}
+
+TEST(ParallelDispatchParity, ParallelRunsAreRaceCleanUnderDetector) {
+  // SIMAI_CHECK-style certification of the parallel paths: the vector-clock
+  // race detector stays silent because conservative windows order every
+  // cross-LP access pair.
+  check::reset();
+  check::set_enabled(true);
+  {
+    core::Pattern1Config c1 = fig3_multi_pair_config();
+    c1.workers = 4;
+    run_on(sim::Substrate::Fiber, c1);
+    core::Pattern2Config c2 = fig6_config(43);
+    c2.workers = 4;
+    SubstrateGuard guard(sim::Substrate::Fiber);
+    core::run_pattern2(c2);
+  }
+  const std::size_t reports = check::report_count();
+  for (const auto& r : check::take_reports()) {
+    ADD_FAILURE() << "unexpected race: " << r.to_string();
+  }
+  check::set_enabled(false);
+  check::reset();
+  EXPECT_EQ(reports, 0u);
 }
 
 TEST(NWayDeterminism, Fig2IsRaceCleanUnderDetector) {

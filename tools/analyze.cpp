@@ -1041,6 +1041,104 @@ std::vector<Finding> check_shared_state(const std::vector<SourceFile>& files) {
 }
 
 // ---------------------------------------------------------------------------
+// Pass 2b: cross-LP shared state
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> check_cross_lp_state(const std::vector<SourceFile>& files) {
+  std::vector<Finding> out;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const std::vector<Token> toks = prepare_tokens(files[fi].text);
+
+    // Identifiers declared through check::SharedCell — the sanctioned
+    // cross-LP holder — are exempt. Declarations look like
+    // `check::SharedCell<T> name{...};`: collect every identifier in the
+    // declarator window after a SharedCell token (over-collecting type
+    // names is harmless — they never appear as lambda captures).
+    std::set<std::string> sanctioned;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!toks[i].ident || toks[i].text != "SharedCell") continue;
+      for (std::size_t k = i + 1; k < toks.size() && k < i + 12; ++k) {
+        const std::string& t = toks[k].text;
+        if (t == ";" || t == "(" || t == "=") break;
+        if (toks[k].ident) sanctioned.insert(t);
+      }
+    }
+
+    // Every by-ref capture entering a spawn_on body, keyed by identifier,
+    // with the textual first argument (the target LP expression).
+    struct Use {
+      std::string lp;
+      int line = 0;
+    };
+    std::map<std::string, std::vector<Use>> uses;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!toks[i].ident || toks[i].text != "spawn_on" ||
+          toks[i + 1].text != "(")
+        continue;
+      const std::size_t after = skip_balanced(toks, i + 1, "(", ")");
+      // First top-level argument = the LP expression, joined textually;
+      // two calls share an LP only when the expressions match exactly.
+      std::string lp_expr;
+      std::size_t j = i + 2;
+      int depth = 0;
+      for (; j + 1 < after; ++j) {
+        const std::string& t = toks[j].text;
+        if (t == "(" || t == "[" || t == "{") ++depth;
+        if (t == ")" || t == "]" || t == "}") --depth;
+        if (t == "," && depth == 0) break;
+        lp_expr += t;
+      }
+      for (std::size_t k = j; k + 1 < after; ++k) {
+        if (toks[k].text != "[") continue;
+        const bool subscript = toks[k - 1].ident || toks[k - 1].text == ")" ||
+                               toks[k - 1].text == "]";
+        if (subscript) continue;
+        const std::size_t caps_end = skip_balanced(toks, k, "[", "]");
+        for (std::size_t c = k + 1; c + 1 < caps_end; ++c) {
+          if (toks[c].text != "&") continue;
+          if (toks[c + 1].ident &&
+              (c + 2 >= caps_end || toks[c + 2].text == "," ||
+               toks[c + 2].text == "]")) {
+            uses[toks[c + 1].text].push_back({lp_expr, toks[k].line});
+            ++c;
+          }
+        }
+        k = caps_end - 1;
+      }
+      i = after - 1;
+    }
+
+    for (const auto& [ident, sites] : uses) {
+      if (sanctioned.count(ident)) continue;
+      std::set<std::string> lps;
+      for (const Use& u : sites) lps.insert(u.lp);
+      if (lps.size() < 2) continue;
+      const auto second = std::next(lps.begin());
+      Finding f;
+      f.file = files[fi].path;
+      f.line = sites.front().line;
+      f.rule = "cross-lp-shared-state";
+      f.severity = Severity::Error;
+      f.message = "'" + ident + "' is captured by reference into spawn_on "
+                  "bodies on " + std::to_string(lps.size()) +
+                  " different LPs ('" + *lps.begin() + "' vs '" + *second +
+                  "') — mutable state shared between concurrently-dispatched "
+                  "shards, bypassing both the LP mailbox and "
+                  "check::SharedCell";
+      f.fix_hint =
+          "route the data through the owning LP's mailbox (Engine::post), "
+          "wrap it in check::SharedCell<T>, co-locate both processes on one "
+          "LP, or allowlist with a justification that names the "
+          "synchronization";
+      out.push_back(std::move(f));
+    }
+  }
+  fill_excerpts(out, files);
+  sort_findings(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // Pass 3: include-graph layering
 // ---------------------------------------------------------------------------
 
@@ -1237,6 +1335,7 @@ void Analyzer::add_path(const std::string& path) {
 std::vector<Finding> Analyzer::run(const lint::Allowlist* allow) const {
   std::vector<Finding> all = check_blocking_reachability(files_);
   for (Finding& f : check_shared_state(files_)) all.push_back(std::move(f));
+  for (Finding& f : check_cross_lp_state(files_)) all.push_back(std::move(f));
   for (Finding& f : check_layering(files_, layers_)) all.push_back(std::move(f));
   if (allow) {
     all.erase(std::remove_if(all.begin(), all.end(),
@@ -1305,6 +1404,10 @@ std::string to_sarif(const std::vector<Finding>& findings) {
       {"spawn-ref-capture",
        "A lambda passed to Engine::spawn captures by reference across the "
        "process boundary."},
+      {"cross-lp-shared-state",
+       "The same identifier is captured by reference into spawn_on bodies "
+       "on two different LPs, bypassing the LP mailbox and "
+       "check::SharedCell."},
       {"layer-upward",
        "An #include edge reaches from a lower layer into a higher one, "
        "violating the declared layer map."},

@@ -33,6 +33,14 @@
 //                      boundary into another logical process: the static
 //                      counterpart of the dynamic race detector, and the
 //                      precondition for partitioning LPs across threads.
+//   cross-lp-shared-state  the same identifier is captured by reference
+//                      into Engine::spawn_on bodies whose first arguments
+//                      (the target LP expressions) differ textually. Those
+//                      shards dispatch on different worker threads, so the
+//                      shared object is mutable cross-LP state bypassing
+//                      both the LP mailbox (Engine::post) and
+//                      check::SharedCell; identifiers declared through
+//                      SharedCell are exempt.
 //   layer-upward       an #include edge from a lower-layer subsystem to a
 //                      higher-layer one, per the declared layer map
 //                      (tools/simai_layers.txt). Upward edges are what make
@@ -111,6 +119,11 @@ std::vector<Finding> check_blocking_reachability(const std::vector<SourceFile>& 
 /// Shared-state escape pass: bare mutable globals/statics and by-reference
 /// lambda captures crossing Engine::spawn.
 std::vector<Finding> check_shared_state(const std::vector<SourceFile>& files);
+
+/// Cross-LP escape pass: one identifier captured by reference into
+/// spawn_on bodies targeting two textually different LPs (SharedCell-held
+/// identifiers exempt).
+std::vector<Finding> check_cross_lp_state(const std::vector<SourceFile>& files);
 
 /// Include-graph layering pass: upward edges and cycles per the layer map.
 std::vector<Finding> check_layering(const std::vector<SourceFile>& files,

@@ -61,6 +61,22 @@ if [ -x build/tools/simai_analyze ]; then
   rm -f "$analyze_out"
 fi
 
+# Parallel scheduler under ThreadSanitizer: ctest above already runs every
+# test in the tsan preset, but the parallel dispatch paths deserve a named
+# stage — these are the only tests where worker THREADS (not fibers) mutate
+# engine state concurrently, so a silent tsan-preset trim would otherwise
+# lose exactly the coverage the conservative-window protocol depends on.
+# SIMAI_BUILD_TSAN coerces the substrate to Thread; the explicit filter
+# reruns the cross-LP scheduler suite and the worker-count parity suite.
+if [ -x build-tsan/tests/sim_parallel_test ]; then
+  banner "tsan: parallel scheduler (sim_parallel_test)"
+  build-tsan/tests/sim_parallel_test
+fi
+if [ -x build-tsan/tests/sim_parity_test ]; then
+  banner "tsan: worker-count parity (ParallelDispatchParity.*)"
+  build-tsan/tests/sim_parity_test --gtest_filter='ParallelDispatchParity.*'
+fi
+
 # Payload-plane bench smoke: rerun the copies-per-hop measurement and fail
 # if a data-plane change regressed copies per round trip by more than 25%
 # versus the committed BENCH_payload.json (throughput is machine-dependent
@@ -78,6 +94,18 @@ fi
 if [ -x build/bench/bench_scale ] && [ -f BENCH_scale.json ]; then
   banner "engine-scale bench smoke (events/sec gate)"
   build/bench/bench_scale --smoke --check BENCH_scale.json
+fi
+
+# Parallel-dispatch bench smoke: reduced-scale fig3/fig6 replays at 1, 2,
+# 4, and 8 workers. The fingerprint-parity gate (byte-identical canonical
+# results at every worker count) always runs; the events/sec comparison
+# fails on a >50% regression of the 1-worker replay versus the committed
+# BENCH_parallel.json (min-of-5 both sides — the smoke replay is ~10ms, so
+# the tolerance is generous by design). Wall-clock speedup is never gated
+# here — it is core-count-bound (see host_cpus in the committed file).
+if [ -x build/bench/bench_parallel ] && [ -f BENCH_parallel.json ]; then
+  banner "parallel dispatch bench smoke (fingerprint-parity gate)"
+  build/bench/bench_parallel --smoke --check BENCH_parallel.json
 fi
 
 # Serving-plane smoke: determinism/failover contract tests, then the serve
