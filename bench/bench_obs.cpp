@@ -1,0 +1,314 @@
+// Observability-plane benchmark: the two portable claims of src/obs,
+// measured instead of asserted.
+//
+//  * Parity — arming the plane, including windowed mode (SIMAI_OBS_WINDOW
+//    semantics via obs::set_window) and the flight ring, never changes a
+//    canonical fingerprint: fig2- (Pattern 1 / Redis), fig3- (Pattern 1 /
+//    NodeLocal, all pairs) and fig6-style (Pattern 2 / Dragon) replays run
+//    at workers = 1, 2, 4, 8 on BOTH process substrates (fiber and thread,
+//    via SIMAI_SIM_THREADS), armed and disarmed, and every fingerprint
+//    must be byte-identical to the first disarmed run of that workload.
+//    A telemetry plane that shifts virtual time is a broken one; this gate
+//    runs in --smoke too, so CI holds it.
+//
+//  * Cost — disarmed, the plane is one relaxed atomic load per hook; a
+//    binary with telemetry *configured* (window width set, flight ring
+//    sized) but disarmed must run the fig2 workload within 1% of one with
+//    no telemetry configured at all. Minimum wall time over interleaved
+//    trials on both sides (minima are robust against scheduler noise; a
+//    1 ms absolute allowance absorbs timer granularity on the smoke-sized
+//    replay). The armed and armed+windowed costs are reported alongside
+//    for scale, not gated — arming is opt-in.
+//
+// Emits BENCH_obs.json (cwd or $SIMAI_BENCH_DIR). `--smoke` shrinks the
+// replays for the CI gate; `--check FILE` additionally compares the smoke
+// fig2 events/sec against the committed file (50% tolerance — the gate is
+// for cliffs, not noise).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+#include "obs/flight.hpp"
+#include "obs/obs.hpp"
+#include "obs/window.hpp"
+#include "util/json.hpp"
+
+using namespace simai;
+using namespace simai::bench;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Replay {
+  std::string fingerprint;
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;
+};
+
+core::Pattern1Config fig2_config(bool smoke) {
+  core::Pattern1Config c;
+  c.backend = platform::BackendKind::Redis;
+  c.nodes = smoke ? 2 : 16;
+  c.payload_cap = 4 * KiB;
+  c.train_iters = smoke ? 40 : 300;
+  c.sim_init_time = 0.5;
+  c.train_init_time = 1.0;
+  return c;
+}
+
+core::Pattern1Config fig3_config(bool smoke) {
+  core::Pattern1Config c;
+  c.backend = platform::BackendKind::NodeLocal;
+  c.nodes = smoke ? 4 : 64;
+  c.representative_pairs = 0;  // every pair is a real LP
+  c.payload_cap = 4 * KiB;
+  c.train_iters = smoke ? 20 : 60;
+  c.sim_init_time = 0.5;
+  c.train_init_time = 1.0;
+  return c;
+}
+
+core::Pattern2Config fig6_config(bool smoke) {
+  core::Pattern2Config c;
+  c.backend = platform::BackendKind::Dragon;
+  c.num_sims = smoke ? 7 : 63;
+  c.payload_cap = 4 * KiB;
+  c.train_iters = smoke ? 20 : 40;
+  return c;
+}
+
+Replay run_p1(core::Pattern1Config c, unsigned workers) {
+  c.workers = workers;
+  const double t0 = now_s();
+  const core::Pattern1Result r = core::run_pattern1(c);
+  Replay out;
+  out.wall_seconds = now_s() - t0;
+  out.events = r.sim.steps + r.train.steps + r.sim.transport_events +
+               r.train.transport_events;
+  std::ostringstream fp;
+  fp.precision(17);
+  fp << "makespan=" << r.makespan << " sim.steps=" << r.sim.steps
+     << " train.steps=" << r.train.steps
+     << " sim.events=" << r.sim.transport_events
+     << " train.events=" << r.train.transport_events
+     << " sim.iter=" << r.sim.iter_time.mean()
+     << " train.iter=" << r.train.iter_time.mean();
+  out.fingerprint = fp.str();
+  return out;
+}
+
+Replay run_p2(core::Pattern2Config c, unsigned workers) {
+  c.workers = workers;
+  const double t0 = now_s();
+  const core::Pattern2Result r = core::run_pattern2(c);
+  Replay out;
+  out.wall_seconds = now_s() - t0;
+  out.events = r.sim.steps + r.train.steps + r.sim.transport_events +
+               r.train.transport_events;
+  std::ostringstream fp;
+  fp.precision(17);
+  fp << "makespan=" << r.makespan << " sim.steps=" << r.sim.steps
+     << " train.steps=" << r.train.steps
+     << " sim.events=" << r.sim.transport_events
+     << " train.events=" << r.train.transport_events
+     << " runtime_per_iter=" << r.train_runtime_per_iter;
+  out.fingerprint = fp.str();
+  return out;
+}
+
+/// Arm/disarm + telemetry configuration around one replay. reset() drops
+/// the accumulated registry/flight state afterwards so runs don't feed
+/// each other (fingerprints never read the registry, but hygiene is free).
+struct ObsMode {
+  const char* name;
+  bool armed;
+  double window;       // 0 = windowing off
+  std::size_t flight;  // ring capacity (0 = keep default)
+};
+
+Replay run_mode(const ObsMode& mode, const std::function<Replay()>& body) {
+  obs::reset();
+  obs::set_enabled(mode.armed);
+  if (mode.window > 0.0) obs::set_window(mode.window);
+  if (mode.flight > 0) obs::flight().set_capacity(mode.flight);
+  Replay r = body();
+  obs::set_enabled(false);
+  obs::reset();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--check" && i + 1 < argc) {
+      check_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--check BENCH.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  banner("Observability plane: fingerprint parity and disarmed cost");
+
+  bool ok = true;
+
+  // -- parity matrix --------------------------------------------------------
+  // workload x substrate x workers x {disarmed, armed+windowed+flight}.
+  // One fingerprint per workload, set by the first (disarmed, fiber, 1w)
+  // run; everything else must match it byte for byte.
+  struct Workload {
+    const char* name;
+    std::function<Replay(unsigned)> run;
+  };
+  const std::vector<Workload> workloads = {
+      {"fig2 p1/redis", [&](unsigned w) { return run_p1(fig2_config(smoke), w); }},
+      {"fig3 p1/local", [&](unsigned w) { return run_p1(fig3_config(smoke), w); }},
+      {"fig6 p2/dragon", [&](unsigned w) { return run_p2(fig6_config(smoke), w); }},
+  };
+  const ObsMode modes[] = {
+      {"disarmed", false, 0.0, 0},
+      {"armed+window", true, 0.25, 512},
+  };
+  const struct {
+    const char* name;
+    const char* env;
+  } substrates[] = {{"fiber", "0"}, {"thread", "1"}};
+  const unsigned worker_counts[] = {1, 2, 4, 8};
+
+  std::size_t parity_runs = 0;
+  for (const Workload& wl : workloads) {
+    std::string base;
+    for (const auto& sub : substrates) {
+      ::setenv("SIMAI_SIM_THREADS", sub.env, 1);
+      for (const unsigned w : worker_counts) {
+        for (const ObsMode& mode : modes) {
+          const Replay r =
+              run_mode(mode, [&] { return wl.run(w); });
+          ++parity_runs;
+          if (base.empty()) {
+            base = r.fingerprint;
+            continue;
+          }
+          const std::string what = std::string(wl.name) + " @" + sub.name +
+                                   " " + std::to_string(w) + "w " + mode.name +
+                                   " fingerprint identical";
+          ok &= bench::check(what.c_str(), r.fingerprint == base);
+        }
+      }
+    }
+  }
+  ::unsetenv("SIMAI_SIM_THREADS");
+  std::printf("\nparity matrix: %zu replays, one fingerprint per workload\n\n",
+              parity_runs);
+
+  // -- disarmed cost --------------------------------------------------------
+  // fig2 workload, interleaved min-of-N. "configured" = window width set +
+  // flight ring sized, plane still disarmed — the code path every
+  // non-observability user runs after this feature landed.
+  const int trials = smoke ? 9 : 7;
+  const ObsMode plain = {"disarmed-plain", false, 0.0, 0};
+  const ObsMode configured = {"disarmed-configured", false, 0.25, 512};
+  const ObsMode armed = {"armed", true, 0.0, 0};
+  const ObsMode armed_windowed = {"armed+window", true, 0.25, 512};
+  auto fig2 = [&] { return run_p1(fig2_config(smoke), 1); };
+  double min_plain = 1e9, min_configured = 1e9, min_armed = 1e9,
+         min_windowed = 1e9;
+  std::uint64_t fig2_events = 0;
+  (void)run_mode(plain, fig2);  // warm-up
+  for (int i = 0; i < trials; ++i) {
+    const Replay a = run_mode(plain, fig2);
+    const Replay b = run_mode(configured, fig2);
+    const Replay c = run_mode(armed, fig2);
+    const Replay d = run_mode(armed_windowed, fig2);
+    min_plain = std::min(min_plain, a.wall_seconds);
+    min_configured = std::min(min_configured, b.wall_seconds);
+    min_armed = std::min(min_armed, c.wall_seconds);
+    min_windowed = std::min(min_windowed, d.wall_seconds);
+    fig2_events = a.events;
+  }
+  const double overhead =
+      (min_configured - min_plain) / std::max(min_plain, 1e-12);
+
+  Table table({"mode", "min wall s", "vs plain"}, 22);
+  table.row({"disarmed-plain", fixed(min_plain, 4), "1.000"});
+  table.row({"disarmed-configured", fixed(min_configured, 4),
+             fixed(min_configured / min_plain, 3)});
+  table.row({"armed", fixed(min_armed, 4), fixed(min_armed / min_plain, 3)});
+  table.row({"armed+window", fixed(min_windowed, 4),
+             fixed(min_windowed / min_plain, 3)});
+  table.print();
+
+  ok &= bench::check(
+      ("disarmed overhead " + fixed(overhead * 100.0, 2) +
+       "% < 1% (+1ms timer allowance)")
+          .c_str(),
+      min_configured <= min_plain * 1.01 + 1e-3);
+
+  const double fig2_rate = double(fig2_events) / min_plain;
+
+  if (!check_path.empty()) {
+    const util::Json committed = util::Json::parse_file(check_path);
+    if (committed.contains("smoke_fig2_events_per_sec") && smoke) {
+      const double base = committed.at("smoke_fig2_events_per_sec").as_double();
+      ok &= bench::check(("fig2 disarmed: " + fixed(fig2_rate, 0) +
+                          " ev/s within 50% of committed " + fixed(base, 0))
+                             .c_str(),
+                         fig2_rate >= 0.5 * base);
+    }
+  }
+
+  if (smoke) return ok ? 0 : 1;
+
+  util::Json::Object doc;
+  doc["workload"] =
+      "fig2/fig3/fig6-style replays x {fiber,thread} x workers {1,2,4,8} x "
+      "{disarmed, armed+window}; disarmed cost on fig2 @1w";
+  doc["parity_runs"] = static_cast<std::uint64_t>(parity_runs);
+  doc["disarmed_plain_wall_s"] = min_plain;
+  doc["disarmed_configured_wall_s"] = min_configured;
+  doc["disarmed_overhead_pct"] = overhead * 100.0;
+  doc["armed_vs_plain_ratio"] = min_armed / min_plain;
+  doc["armed_windowed_vs_plain_ratio"] = min_windowed / min_plain;
+  doc["fig2_events"] = fig2_events;
+  doc["fig2_events_per_sec"] = fig2_rate;
+  // Smoke baseline for the tools/check.sh gate, measured the way the gate
+  // re-measures it: smoke-sized fig2, disarmed, min wall over trials.
+  {
+    double best = 1e9;
+    std::uint64_t ev = 0;
+    for (int i = 0; i < 9; ++i) {
+      const Replay r = run_mode(plain, [&] { return run_p1(fig2_config(true), 1); });
+      best = std::min(best, r.wall_seconds);
+      ev = r.events;
+    }
+    doc["smoke_fig2_events_per_sec"] = double(ev) / best;
+  }
+  const char* out_dir = std::getenv("SIMAI_BENCH_DIR");
+  const std::string path =
+      (out_dir ? std::string(out_dir) : std::string(".")) + "/BENCH_obs.json";
+  std::ofstream(path) << util::Json(doc).dump(2) << "\n";
+  std::printf("wrote %s\n\n", path.c_str());
+
+  return ok ? 0 : 1;
+}

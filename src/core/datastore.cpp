@@ -85,16 +85,21 @@ void DataStore::obs_record(sim::Context* ctx, bool is_write,
                            std::uint64_t retries, SimTime t0) {
   const std::string backend(platform::backend_name(config_.backend));
   const char* op = is_write ? "write" : "read";
+  const SimTime now = ctx->now();
   auto& reg = obs::registry();
+  // The *_at variants additionally land each observation in the virtual-
+  // time window covering `now` (obs/window.hpp) — the per-backend per-
+  // window latency/byte/retry series obs::MetricsView serves mid-run.
   reg.histogram(is_write ? "transport_write_seconds" : "transport_read_seconds",
                 {{"backend", backend}})
-      .observe(ctx->now() - t0);
-  reg.counter("transport_ops_total", {{"backend", backend}, {"op", op}}).inc();
+      .observe_at(now - t0, now);
+  reg.counter("transport_ops_total", {{"backend", backend}, {"op", op}})
+      .inc_at(1.0, now);
   reg.counter("transport_bytes_total", {{"backend", backend}, {"op", op}})
-      .inc(static_cast<double>(nominal));
+      .inc_at(static_cast<double>(nominal), now);
   if (retries != 0)
     reg.counter("transport_retries_total", {{"backend", backend}})
-        .inc(static_cast<double>(retries));
+        .inc_at(static_cast<double>(retries), now);
   if (!trace_) return;
 
   sim::LabeledSpan span;
@@ -121,6 +126,7 @@ void DataStore::obs_record(sim::Context* ctx, bool is_write,
                  {"key", std::string(key)},
                  {"bytes", std::to_string(nominal)},
                  {"retries", std::to_string(retries)}};
+  obs::flight().record(sim::to_flight(span));
   trace_->record_labeled_span(std::move(span));
 }
 

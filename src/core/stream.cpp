@@ -16,15 +16,18 @@ void obs_record_step(sim::TraceRecorder* trace, sim::Context& ctx,
                      std::uint64_t step, std::uint64_t bytes,
                      std::uint64_t flow_id, SimTime t0) {
   const char* side = publish ? "publish" : "consume";
+  const SimTime now = ctx.now();
   auto& reg = obs::registry();
+  // *_at: also land each observation in the virtual-time window covering
+  // `now`, feeding the live per-stream series (obs/window.hpp).
   reg.histogram(publish ? "stream_publish_seconds" : "stream_consume_seconds",
                 {{"stream", stream}})
-      .observe(ctx.now() - t0);
+      .observe_at(now - t0, now);
   reg.counter("stream_steps_total", {{"stream", stream}, {"side", side}})
-      .inc();
+      .inc_at(1.0, now);
   if (publish)
     reg.counter("stream_bytes_total", {{"stream", stream}})
-        .inc(static_cast<double>(bytes));
+        .inc_at(static_cast<double>(bytes), now);
   if (!trace) return;
   sim::LabeledSpan span;
   span.track = ctx.name();
@@ -38,6 +41,7 @@ void obs_record_step(sim::TraceRecorder* trace, sim::Context& ctx,
   span.labels = {{"stream", stream},
                  {"step", std::to_string(step)},
                  {"bytes", std::to_string(bytes)}};
+  obs::flight().record(sim::to_flight(span));
   trace->record_labeled_span(std::move(span));
 }
 

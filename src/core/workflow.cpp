@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "util/rng.hpp"
@@ -149,9 +150,12 @@ void Workflow::launch(sim::Engine& engine) {
       for (const auto& [series, value] : obs::registry().scalar_values())
         sink->record_counter_sample(series, t, value);
     });
+    // Give the parallel-DES profiler a sink for its per-LP round spans.
+    engine.set_trace(sink);
   }
 
   engine.run();
+  engine.set_trace(nullptr);
   active_engine_ = nullptr;
   makespan_ = engine.now();
 
@@ -187,6 +191,10 @@ void Workflow::spawn_ranks(sim::Engine& engine, Component* comp,
       // Dependents are still released below — they observe the death
       // through component_failed() / missing data, not a teardown.
       comp->failed = true;
+      // Post-mortem snapshot: dump the flight ring (the last data-plane
+      // spans + window state) once per failed component.
+      if (obs::enabled())
+        obs::flight().trigger("component_failure:" + comp->name);
     }
     trace_.record_span(comp->name, comp->failed ? "failed" : "run", t_start,
                        ctx.now());

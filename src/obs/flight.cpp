@@ -1,0 +1,157 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <tuple>
+
+#include "obs/metrics.hpp"
+#include "obs/window.hpp"
+
+namespace simai::obs {
+
+namespace {
+
+// Canonical ring order: oldest (smallest virtual end time) first, with a
+// total tie-break so equal-time spans from different workers still sort
+// identically on every run.
+bool span_less(const FlightSpan& a, const FlightSpan& b) {
+  return std::tie(a.end, a.start, a.track, a.category, a.span_id, a.flow_id) <
+         std::tie(b.end, b.start, b.track, b.category, b.span_id, b.flow_id);
+}
+
+std::string format_time(double t) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", t);
+  return buf;
+}
+
+}  // namespace
+
+void FlightRecorder::set_capacity(std::size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  capacity_ = n;
+  if (spans_.size() > capacity_)
+    spans_.erase(spans_.begin(),
+                 spans_.begin() +
+                     static_cast<std::ptrdiff_t>(spans_.size() - capacity_));
+}
+
+std::size_t FlightRecorder::capacity() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return capacity_;
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return spans_.size();
+}
+
+void FlightRecorder::record(FlightSpan span) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (capacity_ == 0) return;
+  const auto at =
+      std::upper_bound(spans_.begin(), spans_.end(), span, span_less);
+  spans_.insert(at, std::move(span));
+  // Evict by virtual age, never by insertion order: which worker recorded
+  // first is wall-clock noise, which span ends earliest is not.
+  if (spans_.size() > capacity_) spans_.erase(spans_.begin());
+}
+
+std::string FlightRecorder::dump(std::string_view reason) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "# flight dump reason=";
+  out += reason;
+  out += " spans=" + std::to_string(spans_.size());
+  out += " capacity=" + std::to_string(capacity_);
+  out += " window=" + format_time(window_width());
+  out += '\n';
+  for (const FlightSpan& s : spans_) {
+    out += "span track=" + s.track + " cat=" + s.category;
+    out += " start=" + format_time(s.start) + " end=" + format_time(s.end);
+    char ids[64];
+    std::snprintf(ids, sizeof(ids), " span=%016llx flow=%016llx",
+                  static_cast<unsigned long long>(s.span_id),
+                  static_cast<unsigned long long>(s.flow_id));
+    out += ids;
+    if (!s.labels.empty()) {
+      out += " labels=";
+      bool first = true;
+      for (const auto& [k, v] : s.labels) {
+        if (!first) out += ',';
+        first = false;
+        out += k + "=\"" + v + "\"";
+      }
+    }
+    out += '\n';
+  }
+  // Window snapshots: the last two windows of every data-plane series.
+  // sim_* (parallel-DES profiler) series are worker-count-dependent by
+  // nature and would break the dump's worker invariance — excluded.
+  if (window_width() > 0.0) {
+    for (const std::string& key : registry().keys()) {
+      if (std::string_view(key).substr(0, 4) == "sim_") continue;
+      const auto sw = registry().windows_of(key);
+      if (!sw || sw->wins.empty()) continue;
+      auto it = sw->wins.end();
+      const std::size_t take = std::min<std::size_t>(2, sw->wins.size());
+      std::advance(it, -static_cast<std::ptrdiff_t>(take));
+      for (; it != sw->wins.end(); ++it) {
+        const auto& [index, cell] = *it;
+        out += "window series=" + key + " idx=" + std::to_string(index);
+        out += " count=" + format_time(cell.count);
+        out += " max=" + format_time(cell.max);
+        if (sw->kind == 'h' && !cell.buckets.empty()) {
+          const auto n = static_cast<std::uint64_t>(cell.count);
+          out += " p50=" + format_time(detail::percentile_from_buckets(
+                               sw->bounds, cell.buckets, n, cell.max, 50.0));
+          out += " p95=" + format_time(detail::percentile_from_buckets(
+                               sw->bounds, cell.buckets, n, cell.max, 95.0));
+        }
+        out += '\n';
+      }
+    }
+  }
+  return out;
+}
+
+bool FlightRecorder::trigger(std::string_view reason) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const std::string& seen : dumped_reasons_) {
+      if (seen == reason) return false;
+    }
+    dumped_reasons_.emplace_back(reason);
+    ++triggers_;
+  }
+  // Render outside mu_ — dump() re-takes it and also walks the registry.
+  std::string rendered = dump(reason);
+  std::lock_guard<std::mutex> lk(mu_);
+  last_dump_ = std::move(rendered);
+  return true;
+}
+
+std::string FlightRecorder::last_dump() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return last_dump_;
+}
+
+std::uint64_t FlightRecorder::triggers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return triggers_;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  spans_.clear();
+  dumped_reasons_.clear();
+  last_dump_.clear();
+  triggers_ = 0;
+}
+
+FlightRecorder& flight() {
+  static FlightRecorder f;
+  return f;
+}
+
+}  // namespace simai::obs

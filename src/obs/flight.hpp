@@ -1,0 +1,88 @@
+// Flight recorder (DESIGN.md §4.13): a bounded ring of the most recent
+// labeled spans plus current window snapshots, dumped automatically when
+// something goes wrong — a fault-plane component failure, mailbox_full
+// backpressure in the parallel dispatcher, or a serving-plane SLO breach —
+// so a post-mortem has the last moments of the run without re-running with
+// full tracing armed.
+//
+// Determinism contract: "most recent" means most recent in *virtual* time,
+// not insertion order. Entries are kept in a canonical order keyed by
+// (end, start, track, category, span id), and eviction drops the entry
+// with the smallest virtual end time — a pure function of the run's span
+// multiset, independent of which worker thread recorded what first. The
+// armed span multiset is itself substrate- and worker-count-invariant, so
+// the same seed yields a byte-identical dump() at 1, 2, 4, or 8 workers on
+// either substrate (tests/obs_flight_test.cpp holds this). For the same
+// reason the dump's window section only includes data-plane series: the
+// parallel-DES profiler's sim_* series vary with worker count by nature
+// and are excluded by name prefix.
+//
+// Cost: disarmed runs never reach this file (callers gate on
+// obs::enabled()); armed recording is one mutex + an ordered insert into a
+// bounded set.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace simai::obs {
+
+/// One recorded span, copied at record time. Mirrors sim::LabeledSpan
+/// without depending on the sim layer (obs sits below it).
+struct FlightSpan {
+  std::string track;
+  std::string category;
+  double start = 0.0;
+  double end = 0.0;
+  std::uint64_t span_id = 0;
+  std::uint64_t flow_id = 0;
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+class FlightRecorder {
+ public:
+  /// Ring capacity in spans (default 256; SIMAI_OBS_FLIGHT overrides at
+  /// static init; 0 disables recording). Shrinking evicts oldest-first.
+  void set_capacity(std::size_t n);
+  std::size_t capacity() const;
+  std::size_t size() const;
+
+  /// Record one completed labeled span into the ring. Thread-safe; no-op
+  /// while capacity is 0.
+  void record(FlightSpan span);
+
+  /// Render the ring + current data-plane window snapshots as canonical
+  /// text. Pure read: two identical recorder states render identically.
+  std::string dump(std::string_view reason) const;
+
+  /// Automatic-dump entry point for the trigger sites. Renders dump() and
+  /// retains it (last_dump()); rate-limited to one dump per distinct
+  /// reason string until clear(), so a persistently full mailbox cannot
+  /// dump every round. Returns whether a dump was produced now.
+  bool trigger(std::string_view reason);
+
+  /// The most recent trigger()ed dump ("" when none fired).
+  std::string last_dump() const;
+  std::uint64_t triggers() const;
+
+  /// Drop all spans, retained dumps, and the per-reason rate limit.
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_ = 256;
+  std::vector<FlightSpan> spans_;  // kept sorted in canonical order
+  std::vector<std::string> dumped_reasons_;
+  std::string last_dump_;
+  std::uint64_t triggers_ = 0;
+};
+
+/// The process-global recorder, cleared with the rest of the plane by
+/// obs::reset().
+FlightRecorder& flight();
+
+}  // namespace simai::obs

@@ -1,12 +1,43 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 
+#include "obs/window.hpp"
 #include "util/error.hpp"
 
 namespace simai::obs {
+
+namespace {
+
+// Label names become unquoted key structure; anything that could splice the
+// canonical form (or an empty name) is a caller bug, not data.
+bool valid_label_name(std::string_view k) {
+  if (k.empty()) return false;
+  for (const char c : k) {
+    if (c == '{' || c == '}' || c == '"' || c == '=' || c == ',' ||
+        static_cast<unsigned char>(c) < 0x20)
+      return false;
+  }
+  return true;
+}
+
+// Label values are quoted; escape the quote, the escape, and newlines so a
+// hostile value cannot terminate the quoting and forge a different key.
+void append_escaped_value(std::string& key, std::string_view v) {
+  for (const char c : v) {
+    switch (c) {
+      case '"': key += "\\\""; break;
+      case '\\': key += "\\\\"; break;
+      case '\n': key += "\\n"; break;
+      default: key += c; break;
+    }
+  }
+}
+
+}  // namespace
 
 std::string series_key(std::string_view name, const Labels& labels) {
   if (labels.empty()) return std::string(name);
@@ -18,17 +49,107 @@ std::string series_key(std::string_view name, const Labels& labels) {
   std::string_view prev_label;
   bool first = true;
   for (const auto& [k, v] : sorted) {
-    if (k == prev_label) continue;  // duplicate keys: first occurrence wins
+    if (!valid_label_name(k))
+      throw Error("obs::series_key: invalid label name '" + k + "' on series '" +
+                  std::string(name) + "'");
+    if (k == prev_label)
+      throw Error("obs::series_key: duplicate label name '" + k +
+                  "' on series '" + std::string(name) + "'");
     prev_label = k;
     if (!first) key += ',';
     first = false;
     key += k;
     key += "=\"";
-    key += v;
+    append_escaped_value(key, v);
     key += '"';
   }
   key += '}';
+  assert(std::is_sorted(sorted.begin(), sorted.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.first < b.first;
+                        }) &&
+         "canonical label order must be sorted by name");
   return key;
+}
+
+namespace detail {
+
+double percentile_from_buckets(const std::vector<double>& bounds,
+                               const std::vector<std::uint64_t>& buckets,
+                               std::uint64_t count, double max_obs, double p) {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target observation, 1-based; p=0 maps to the first.
+  const double rank = std::max(1.0, std::ceil(p / 100.0 * double(count)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    cumulative += buckets[i];
+    if (double(cumulative) < rank) continue;
+    // The overflow bucket's true extent is [last bound, max observation]:
+    // interpolating inside it (instead of clamping to the lower edge) keeps
+    // p99-style queries honest when the tail spills past the bounds.
+    const double hi =
+        i == bounds.size() ? std::max(max_obs, bounds.back()) : bounds[i];
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double into = rank - double(cumulative - buckets[i]);
+    return lo + (hi - lo) * into / double(buckets[i]);
+  }
+  return std::max(max_obs, bounds.back());
+}
+
+void WindowAccrual::add(double t, double value,
+                        const std::vector<double>* bounds) {
+  const double width = window_width();
+  if (width <= 0.0) return;
+  const auto idx = static_cast<std::int64_t>(std::floor(t / width));
+  std::lock_guard<std::mutex> lk(mu_);
+  WindowCell& cell = wins_[idx];
+  if (bounds != nullptr && cell.buckets.empty())
+    cell.buckets.assign(bounds->size() + 1, 0);
+  cell.count += 1.0;
+  cell.sum += value;
+  if (cell.count == 1.0 || value > cell.max) cell.max = value;
+  if (bounds != nullptr) {
+    const auto it = std::lower_bound(bounds->begin(), bounds->end(), value);
+    ++cell.buckets[static_cast<std::size_t>(it - bounds->begin())];
+  }
+}
+
+std::map<std::int64_t, WindowCell> WindowAccrual::windows() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return wins_;
+}
+
+bool WindowAccrual::empty() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return wins_.empty();
+}
+
+}  // namespace detail
+
+double HistogramSnapshot::percentile(double p) const {
+  return detail::percentile_from_buckets(bounds, buckets, count, max, p);
+}
+
+HistogramSnapshot HistogramSnapshot::delta(
+    const HistogramSnapshot& earlier) const {
+  if (earlier.bounds != bounds)
+    throw Error("HistogramSnapshot::delta: mismatched bucket bounds");
+  HistogramSnapshot out;
+  out.bounds = bounds;
+  out.buckets.resize(buckets.size());
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (earlier.buckets[i] > buckets[i])
+      throw Error(
+          "HistogramSnapshot::delta: snapshots out of order (bucket count "
+          "would underflow)");
+    out.buckets[i] = buckets[i] - earlier.buckets[i];
+  }
+  out.count = count - earlier.count;
+  out.sum = sum - earlier.sum;
+  out.max = max;  // upper bound for the interval; see header
+  return out;
 }
 
 BucketHistogram::BucketHistogram() {
@@ -66,25 +187,18 @@ double BucketHistogram::percentile(double p) const {
 }
 
 double BucketHistogram::percentile_locked(double p) const {
-  if (count_ == 0) return 0.0;
-  p = std::clamp(p, 0.0, 100.0);
-  // Rank of the target observation, 1-based; p=0 maps to the first.
-  const double rank = std::max(1.0, std::ceil(p / 100.0 * double(count_)));
-  std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    if (buckets_[i] == 0) continue;
-    cumulative += buckets_[i];
-    if (double(cumulative) < rank) continue;
-    // The overflow bucket's true extent is [last bound, max observation]:
-    // interpolating inside it (instead of clamping to the lower edge) keeps
-    // p99-style queries honest when the tail spills past the bounds.
-    const double hi =
-        i == bounds_.size() ? std::max(max_, bounds_.back()) : bounds_[i];
-    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
-    const double into = rank - double(cumulative - buckets_[i]);
-    return lo + (hi - lo) * into / double(buckets_[i]);
-  }
-  return std::max(max_, bounds_.back());
+  return detail::percentile_from_buckets(bounds_, buckets_, count_, max_, p);
+}
+
+HistogramSnapshot BucketHistogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  std::lock_guard<std::mutex> lk(mu_);
+  s.buckets = buckets_;
+  s.count = count_;
+  s.sum = sum_;
+  s.max = count_ ? max_ : 0.0;
+  return s;
 }
 
 util::Json BucketHistogram::to_json() const {
@@ -187,6 +301,46 @@ std::vector<std::pair<std::string, double>> Registry::scalar_values() const {
       out.emplace_back(key, s.counter.value());
     else if (s.kind == 'g')
       out.emplace_back(key, s.gauge.value());
+  }
+  return out;
+}
+
+std::vector<std::string> Registry::keys(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  for (const auto& [key, s] : series_) {
+    if (!name.empty()) {
+      const std::string_view metric =
+          std::string_view(key).substr(0, key.find('{'));
+      if (metric != name) continue;
+    }
+    out.push_back(key);
+  }
+  return out;
+}
+
+std::optional<Registry::SeriesWindows> Registry::windows_of(
+    std::string_view key) const {
+  // Copy the series pointer out under the registry lock, then read the
+  // series' own window cells under its lock — node stability makes the
+  // two-phase read safe, and neither lock is held across the other.
+  const Series* s = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = series_.find(key);
+    if (it == series_.end()) return std::nullopt;
+    s = &it->second;
+  }
+  SeriesWindows out;
+  out.kind = s->kind;
+  switch (s->kind) {
+    case 'c': out.wins = s->counter.windows(); break;
+    case 'g': out.wins = s->gauge.windows(); break;
+    case 'h':
+      out.bounds = s->histogram->bounds();
+      out.wins = s->histogram->windows();
+      break;
+    default: break;
   }
   return out;
 }

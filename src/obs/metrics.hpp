@@ -19,9 +19,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -36,10 +38,54 @@ namespace simai::obs {
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
 /// Canonical series name: `name{k1="v1",k2="v2"}` with labels sorted by
-/// key (duplicate keys keep the first occurrence), or bare `name` when the
-/// label set is empty. This string is the registry key and the identity
-/// used by counter samples and the trace tools.
+/// key, or bare `name` when the label set is empty. This string is the
+/// registry key and the identity used by counter samples and the trace
+/// tools, so it is hardened against collisions: duplicate label names and
+/// label names containing structural characters (`{}",=` or control bytes)
+/// throw simai::Error, and `"` / `\` / newlines inside label *values* are
+/// escaped so hostile values cannot forge another series' key.
 std::string series_key(std::string_view name, const Labels& labels);
+
+namespace detail {
+
+/// One fixed virtual-time window of one series (see obs/window.hpp for the
+/// window width). `count`/`sum`/`max` cover the observations that landed in
+/// the window; `buckets` (histogram series only) are per-window bucket
+/// counts against the owning histogram's bounds, so in-window percentiles
+/// interpolate exactly like whole-run ones.
+struct WindowCell {
+  double count = 0.0;
+  double sum = 0.0;
+  double max = 0.0;
+  std::vector<std::uint64_t> buckets;
+};
+
+/// Per-series windowed accrual: observations stamped with a virtual time
+/// land in window floor(t / window_width()). Out-of-order timestamps are
+/// fine — parallel DES workers observe at different local times inside one
+/// conservative round — because cells are keyed, not appended. No-op (and
+/// no memory) while windowing is off.
+class WindowAccrual {
+ public:
+  void add(double t, double value, const std::vector<double>* bounds);
+  std::map<std::int64_t, WindowCell> windows() const;
+  bool empty() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::int64_t, WindowCell> wins_;
+};
+
+/// Percentile (p in [0,100]) by linear interpolation inside the bucket
+/// containing the target rank; ranks landing in the overflow bucket
+/// interpolate between the last finite bound and `max_obs`. Shared by
+/// BucketHistogram, HistogramSnapshot, and the per-window query path so all
+/// three agree bit-for-bit on the same bucket contents.
+double percentile_from_buckets(const std::vector<double>& bounds,
+                               const std::vector<std::uint64_t>& buckets,
+                               std::uint64_t count, double max_obs, double p);
+
+}  // namespace detail
 
 /// Monotonically increasing sum. Increments are lock-free atomic adds:
 /// under parallel DES dispatch (and the real-I/O server threads) series are
@@ -52,21 +98,67 @@ class Counter {
   void inc(double delta = 1.0) {
     if (delta > 0.0) value_.fetch_add(delta, std::memory_order_relaxed);
   }
+  /// inc() plus windowed accrual: the delta also lands in the virtual-time
+  /// window covering `t` (obs/window.hpp). Identical to inc() while
+  /// windowing is off.
+  void inc_at(double delta, double t) {
+    inc(delta);
+    if (delta > 0.0) windows_.add(t, delta, nullptr);
+  }
   double value() const { return value_.load(std::memory_order_relaxed); }
+  std::map<std::int64_t, detail::WindowCell> windows() const {
+    return windows_.windows();
+  }
 
  private:
   std::atomic<double> value_{0.0};
+  detail::WindowAccrual windows_;
 };
 
 /// Last-write-wins instantaneous value (atomic, same rationale as Counter).
 class Gauge {
  public:
   void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  /// set() plus windowed accrual at virtual time `t`: per-window cells keep
+  /// the sample count, sum, and max, so depth-style gauges expose their
+  /// per-window peak, not just the final value.
+  void set_at(double value, double t) {
+    set(value);
+    windows_.add(t, value, nullptr);
+  }
   void add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
   double value() const { return value_.load(std::memory_order_relaxed); }
+  std::map<std::int64_t, detail::WindowCell> windows() const {
+    return windows_.windows();
+  }
 
  private:
   std::atomic<double> value_{0.0};
+  detail::WindowAccrual windows_;
+};
+
+/// Point-in-time copy of a BucketHistogram's state. Counts, sums, and
+/// per-bucket tallies are plain sums, so subtracting an earlier snapshot
+/// (delta()) yields the *exact* distribution of the interval between the
+/// two snapshots — the correct way to compute per-window percentiles from
+/// a cumulative histogram. `max` is the largest observation up to the
+/// snapshot; for a delta it is an upper bound on the interval's max (a
+/// maximum is not subtractable), which only widens the overflow bucket's
+/// interpolation extent, never misplaces a rank.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1, last = overflow
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+
+  /// Same interpolation as BucketHistogram::percentile, overflow bucket
+  /// included. 0.0 when empty.
+  double percentile(double p) const;
+
+  /// this - earlier. Throws simai::Error on mismatched bounds or when
+  /// `earlier` is not actually earlier (a bucket count would underflow).
+  HistogramSnapshot delta(const HistogramSnapshot& earlier) const;
 };
 
 /// Fixed-bucket histogram. Default bounds are exponential in seconds —
@@ -83,6 +175,13 @@ class BucketHistogram {
   /// piecewise, and histograms are observed from worker threads under
   /// parallel dispatch. Only armed runs pay the lock.
   void observe(double value);
+  /// observe() plus windowed accrual at virtual time `t`: the observation
+  /// also lands (with bucket resolution) in the window covering `t`, so
+  /// per-window percentiles are queryable mid-run (obs::MetricsView).
+  void observe_at(double value, double t) {
+    observe(value);
+    windows_.add(t, value, &bounds_);
+  }
 
   /// Observations so far / their sum — count()/sum() make mean and rate
   /// computations possible without reading the bucket array.
@@ -114,6 +213,15 @@ class BucketHistogram {
   /// bulk readers.
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }
 
+  /// Consistent point-in-time copy (one lock): subtract two of these for
+  /// exact interval distributions — see HistogramSnapshot.
+  HistogramSnapshot snapshot() const;
+
+  /// Windowed accrual cells (empty while windowing is off).
+  std::map<std::int64_t, detail::WindowCell> windows() const {
+    return windows_.windows();
+  }
+
   /// {"count":N,"sum":S,"p50":...,"p95":...,"p99":...,"buckets":[...]}
   /// Buckets export sparsely as [bound, count] pairs for non-empty buckets.
   util::Json to_json() const;
@@ -127,6 +235,7 @@ class BucketHistogram {
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double max_ = 0.0;
+  detail::WindowAccrual windows_;  // own lock; never held with mu_
 };
 
 /// The (name, labels) -> series registry. Lookup lazily creates a series;
@@ -161,6 +270,23 @@ class Registry {
   /// deterministic key order — the engine sampler snapshots this.
   std::vector<std::pair<std::string, double>> scalar_values() const;
 
+  /// Canonical keys of every registered series, in deterministic order;
+  /// when `name` is non-empty, only series whose metric name (the part
+  /// before `{`) equals it. The window-query layer (obs::MetricsView) and
+  /// the flight recorder enumerate series through this.
+  std::vector<std::string> keys(std::string_view name = {}) const;
+
+  /// Windowed accrual of the series with canonical key `key`: its kind,
+  /// histogram bounds ('h' only), and per-window cells. nullopt when the
+  /// series does not exist. Lock-cheap: one registry lock to find the
+  /// series, one series lock to copy its cells; never touches the engine.
+  struct SeriesWindows {
+    char kind = 0;  // 'c' | 'g' | 'h'
+    std::vector<double> bounds;
+    std::map<std::int64_t, detail::WindowCell> wins;
+  };
+  std::optional<SeriesWindows> windows_of(std::string_view key) const;
+
   /// Full snapshot for the run report: an object mapping canonical series
   /// keys to either a number (counter/gauge) or a histogram object.
   util::Json to_json() const;
@@ -181,7 +307,7 @@ class Registry {
   /// worker threads under parallel DES dispatch never serialize on the
   /// registry for the increment itself.
   mutable std::mutex mu_;
-  std::map<std::string, Series> series_;
+  std::map<std::string, Series, std::less<>> series_;
   Labels common_;
 };
 

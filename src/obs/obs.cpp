@@ -6,7 +6,9 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/window.hpp"
 #include "util/crc32.hpp"
 #include "util/rng.hpp"
 
@@ -29,6 +31,9 @@ struct PlaneState {
   std::map<const void*, std::map<std::string, std::uint64_t, std::less<>>>
       flows;
   double sample_interval = 1.0;
+  // SIMAI_OBS_WINDOW's value, so reset() restores the environment default
+  // instead of silently turning windowing off between runs.
+  double env_window = 0.0;
 };
 
 PlaneState& state() {
@@ -46,6 +51,17 @@ const bool g_env_armed = [] {
   if (const char* iv = std::getenv("SIMAI_OBS_INTERVAL")) {
     const double parsed = std::atof(iv);
     if (parsed > 0.0) state().sample_interval = parsed;
+  }
+  if (const char* wv = std::getenv("SIMAI_OBS_WINDOW")) {
+    const double parsed = std::atof(wv);
+    if (parsed > 0.0) {
+      set_window(parsed);
+      state().env_window = parsed;
+    }
+  }
+  if (const char* fv = std::getenv("SIMAI_OBS_FLIGHT")) {
+    const long parsed = std::atol(fv);
+    if (parsed >= 0) flight().set_capacity(static_cast<std::size_t>(parsed));
   }
   return armed;
 }();
@@ -141,14 +157,18 @@ void set_sample_interval(double seconds) {
 
 void reset() {
   auto& st = detail::state();
+  double env_window = 0.0;
   {
     std::lock_guard<std::mutex> lock(st.mu);
     st.contexts.clear();
     st.free_ids.clear();
     st.flows.clear();
     st.sample_interval = 1.0;
+    env_window = st.env_window;
   }
   registry().clear();
+  set_window(env_window);
+  flight().clear();
 }
 
 }  // namespace simai::obs

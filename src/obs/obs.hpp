@@ -111,9 +111,14 @@ inline void count_kv(std::string_view store, std::string_view op,
 double sample_interval();
 void set_sample_interval(double seconds);
 
-/// Drop all plane state (contexts, flow table, metrics registry, interval).
-/// Call between independent runs in one process when deterministic ids and
-/// a fresh registry matter (tests do).
+// Windowed time-series live in obs/window.hpp (SIMAI_OBS_WINDOW arms
+// them); the flight recorder lives in obs/flight.hpp (SIMAI_OBS_FLIGHT
+// sizes its ring). Both are part of this plane and cleared by reset().
+
+/// Drop all plane state (contexts, flow table, metrics registry, interval,
+/// flight-recorder ring; the window width reverts to the environment
+/// default). Call between independent runs in one process when
+/// deterministic ids and a fresh registry matter (tests do).
 void reset();
 
 }  // namespace simai::obs

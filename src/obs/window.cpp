@@ -1,0 +1,142 @@
+#include "obs/window.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <map>
+
+namespace simai::obs {
+
+namespace {
+
+// Width is read on every *_at observation, so it lives in a lone relaxed
+// atomic instead of the obs PlaneState mutex. The environment default is
+// installed by obs.cpp's static-init hook via set_window().
+std::atomic<double> g_window_width{0.0};
+
+// A canonical key matches (name, labels) when its metric-name part equals
+// `name` and it carries every given label verbatim. Extra labels (e.g. the
+// pattern= common label run_pattern1 stamps) are allowed — the caller
+// usually cannot know them.
+bool key_matches(std::string_view key, std::string_view name,
+                 const Labels& labels) {
+  const std::size_t brace = key.find('{');
+  if (key.substr(0, brace) != name) return false;
+  if (labels.empty()) return true;
+  if (brace == std::string_view::npos) return false;
+  const std::string_view body = key.substr(brace);
+  for (const auto& [k, v] : labels) {
+    const std::string needle = k + "=\"" + v + "\"";
+    if (body.find(needle) == std::string_view::npos) return false;
+  }
+  return true;
+}
+
+// First registered series matching (name, labels); empty when none.
+std::string find_key(std::string_view name, const Labels& labels) {
+  for (const std::string& key : registry().keys(name)) {
+    if (key_matches(key, name, labels)) return key;
+  }
+  return {};
+}
+
+WindowStats resolve(std::int64_t index, const detail::WindowCell& cell,
+                    const std::vector<double>& bounds, double width) {
+  WindowStats w;
+  w.index = index;
+  w.start = double(index) * width;
+  w.end = w.start + width;
+  w.count = cell.count;
+  w.sum = cell.sum;
+  w.max = cell.max;
+  if (!bounds.empty() && !cell.buckets.empty()) {
+    const auto n = static_cast<std::uint64_t>(cell.count);
+    w.p50 = detail::percentile_from_buckets(bounds, cell.buckets, n, cell.max,
+                                            50.0);
+    w.p95 = detail::percentile_from_buckets(bounds, cell.buckets, n, cell.max,
+                                            95.0);
+  }
+  return w;
+}
+
+}  // namespace
+
+double window_width() {
+  return g_window_width.load(std::memory_order_relaxed);
+}
+
+void set_window(double seconds) {
+  g_window_width.store(seconds > 0.0 ? seconds : 0.0,
+                       std::memory_order_relaxed);
+}
+
+std::vector<WindowStats> MetricsView::series_windows(std::string_view name,
+                                                     const Labels& labels) {
+  const double width = window_width();
+  std::vector<WindowStats> out;
+  if (width <= 0.0) return out;
+  const std::string key = find_key(name, labels);
+  if (key.empty()) return out;
+  const auto sw = registry().windows_of(key);
+  if (!sw) return out;
+  out.reserve(sw->wins.size());
+  for (const auto& [index, cell] : sw->wins)
+    out.push_back(resolve(index, cell, sw->bounds, width));
+  return out;
+}
+
+WindowStats MetricsView::window_at(std::string_view name, const Labels& labels,
+                                   double t) {
+  const double width = window_width();
+  WindowStats empty;
+  if (width <= 0.0) return empty;
+  const auto index = static_cast<std::int64_t>(std::floor(t / width));
+  empty.index = index;
+  empty.start = double(index) * width;
+  empty.end = empty.start + width;
+  for (const WindowStats& w : series_windows(name, labels)) {
+    if (w.index == index) return w;
+  }
+  return empty;
+}
+
+std::vector<MetricsView::TransportWindow> MetricsView::transport_windows(
+    std::string_view backend, std::string_view op) {
+  const double width = window_width();
+  std::vector<TransportWindow> out;
+  if (width <= 0.0) return out;
+  const Labels backend_only{{"backend", std::string(backend)}};
+  const std::string hist_name = op == "write" ? "transport_write_seconds"
+                                              : "transport_read_seconds";
+
+  // Merge the latency histogram and the sibling counters on window index.
+  std::map<std::int64_t, TransportWindow> merged;
+  const auto slot = [&](std::int64_t index) -> TransportWindow& {
+    TransportWindow& t = merged[index];
+    if (t.end == 0.0) {
+      t.index = index;
+      t.start = double(index) * width;
+      t.end = t.start + width;
+    }
+    return t;
+  };
+  for (const WindowStats& w : series_windows(hist_name, backend_only)) {
+    TransportWindow& t = slot(w.index);
+    t.p50 = w.p50;
+    t.p95 = w.p95;
+  }
+  const Labels with_op{{"backend", std::string(backend)},
+                       {"op", std::string(op)}};
+  for (const WindowStats& w : series_windows("transport_ops_total", with_op))
+    slot(w.index).ops = w.sum;
+  for (const WindowStats& w : series_windows("transport_bytes_total", with_op))
+    slot(w.index).bytes = w.sum;
+  for (const WindowStats& w :
+       series_windows("transport_retries_total", backend_only))
+    slot(w.index).retries = w.sum;
+
+  out.reserve(merged.size());
+  for (auto& [index, t] : merged) out.push_back(t);
+  return out;
+}
+
+}  // namespace simai::obs

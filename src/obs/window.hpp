@@ -1,0 +1,90 @@
+// Windowed time-series queries for the observability plane (DESIGN.md
+// §4.13): the live half of obs — per-backend transport latencies, retry
+// rates, and byte counts aggregated into fixed virtual-time windows that an
+// in-run consumer (a transport-steering policy, serve admission control, a
+// test) can poll *during* the run.
+//
+// Model: every metrics hook that knows the virtual clock observes through
+// the *_at variants (Counter::inc_at, Gauge::set_at,
+// BucketHistogram::observe_at), which additionally land the observation in
+// window floor(t / window_width()). Windows are derived purely from the
+// observation timestamps — no engine events, no extra processes — so
+// windowed mode costs zero virtual time and cannot perturb results:
+// canonical fingerprints stay byte-identical with windowing on or off.
+//
+// Width comes from SIMAI_OBS_WINDOW (virtual seconds, parsed at static
+// init like SIMAI_OBS_INTERVAL) or set_window(); 0 disables windowing, and
+// disabled accrual is a single double comparison per observation.
+//
+// MetricsView is the read side: lock-cheap (one registry lock to find a
+// series + one series lock to copy its cells — never the engine), safe to
+// call from any process mid-run, and deterministic: per-window counts,
+// bucket tallies, and maxima are order-independent accumulations, so two
+// runs of the same seed agree exactly at any poll point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace simai::obs {
+
+/// Current window width in virtual seconds; 0 = windowing off.
+double window_width();
+/// Override the width (<= 0 disables). Takes effect for subsequent
+/// observations; changing width mid-run splits series across widths, so
+/// set it before the run (obs::reset() restores the environment value).
+void set_window(double seconds);
+
+/// One aggregated window of one series, resolved for queries.
+struct WindowStats {
+  std::int64_t index = 0;  // floor(t / width)
+  double start = 0.0;      // index * width
+  double end = 0.0;        // start + width
+  double count = 0.0;
+  double sum = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;  // histogram series only (0 otherwise)
+  double p95 = 0.0;
+};
+
+/// Live windowed-metrics query API. All methods are static and act on the
+/// process-global registry; construction is not needed. Results are copies
+/// — hold them as long as convenient.
+class MetricsView {
+ public:
+  /// Windows of the series matching `name` + `labels`, oldest first.
+  /// Matching ignores labels stamped by Registry::set_common_label: a
+  /// series matches when its canonical key carries every *given* label.
+  /// Empty when no such series exists or windowing is off.
+  static std::vector<WindowStats> series_windows(std::string_view name,
+                                                 const Labels& labels = {});
+
+  /// The single window covering virtual time `t` (zeroed stats with the
+  /// right index/bounds when nothing landed in it yet).
+  static WindowStats window_at(std::string_view name, const Labels& labels,
+                               double t);
+
+  /// Per-window transport view for one backend — the shape the steering
+  /// policy consumes. Latency quantiles come from
+  /// transport_{write,read}_seconds{backend=...}; ops / bytes / retries are
+  /// merged in from the sibling counters' windows of the same backend.
+  struct TransportWindow {
+    std::int64_t index = 0;
+    double start = 0.0;
+    double end = 0.0;
+    double ops = 0.0;
+    double bytes = 0.0;
+    double retries = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+  };
+  /// `op` is "write" or "read"; windows ordered oldest first.
+  static std::vector<TransportWindow> transport_windows(
+      std::string_view backend, std::string_view op);
+};
+
+}  // namespace simai::obs

@@ -232,23 +232,28 @@ ServeResult run_cluster(const ServeConfig& config) {
                               static_cast<std::uint64_t>(resp.size()));
       if (obs::enabled()) {
         auto& reg = obs::registry();
+        const SimTime now = ctx.now();
         reg.counter(obs::keys::kServeRequestsTotal, {{"status", "completed"}})
-            .inc();
+            .inc_at(1.0, now);
         reg.histogram(obs::keys::kServeRequestLatency, {{"backend", backend}},
                       obs::serve_latency_bounds())
-            .observe(r->latency());
+            .observe_at(r->latency(), now);
         reg.histogram(obs::keys::kServePhaseSeconds, {{"phase", "queue"}},
                       obs::serve_latency_bounds())
-            .observe(r->queue_time());
+            .observe_at(r->queue_time(), now);
         reg.histogram(obs::keys::kServePhaseSeconds, {{"phase", "batch"}},
                       obs::serve_latency_bounds())
-            .observe(r->batch_time());
+            .observe_at(r->batch_time(), now);
         reg.histogram(obs::keys::kServePhaseSeconds, {{"phase", "compute"}},
                       obs::serve_latency_bounds())
-            .observe(r->compute_time());
+            .observe_at(r->compute_time(), now);
         reg.histogram(obs::keys::kServePhaseSeconds, {{"phase", "transport"}},
                       obs::serve_latency_bounds())
-            .observe(r->transport_time());
+            .observe_at(r->transport_time(), now);
+        // SLO breach: snapshot the flight ring the first time a completed
+        // request blows the configured latency bound.
+        if (config.slo_latency > 0.0 && r->latency() > config.slo_latency)
+          obs::flight().trigger("slo_breach");
         if (trace != nullptr) {
           sim::LabeledSpan span;
           span.track = "frontend";
@@ -261,6 +266,7 @@ ServeResult run_cluster(const ServeConfig& config) {
                          {"client", std::to_string(r->client)},
                          {"replica", std::to_string(r->replica)},
                          {"attempts", std::to_string(r->attempts)}};
+          obs::flight().record(sim::to_flight(span));
           trace->record_labeled_span(std::move(span));
         }
       }

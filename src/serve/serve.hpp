@@ -69,6 +69,12 @@ struct ServeConfig {
   /// Record the run's timeline (spans + instants; labeled spans too when
   /// the obs plane is armed) into ServeResult::trace.
   bool record_trace = false;
+
+  /// End-to-end latency SLO in virtual seconds (0 = no SLO). Purely
+  /// observational: a completed request over the bound trips the obs
+  /// flight recorder once per run ("slo_breach" dump) while the plane is
+  /// armed; scheduling and results are unaffected.
+  SimTime slo_latency = 0.0;
 };
 
 /// Flat per-request outcome — what the fingerprint and the SLO accounting

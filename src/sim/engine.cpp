@@ -11,9 +11,12 @@
 #include <utility>
 
 #include "check/check.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "sim/fiber.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
 
 namespace simai::sim {
 
@@ -589,7 +592,12 @@ void Engine::route_remote(Lp& from, Lp& to, SimTime when,
                 std::to_string(box.lookahead) + " past sender LVT " +
                 std::to_string(from.now) + ")");
   box.items.push_back(Delivery{when, from.id, box.next_seq++, std::move(fn)});
-  if (box.items.size() >= mailbox_capacity_) from.mailbox_full = true;
+  if (box.items.size() >= mailbox_capacity_) {
+    from.mailbox_full = true;
+    // Backpressure post-mortem: snapshot the flight ring the first time a
+    // mailbox fills (rate-limited inside trigger; safe from workers).
+    if (obs::enabled()) obs::flight().trigger("mailbox_full");
+  }
 }
 
 void Engine::post(std::uint32_t lp_id, SimTime when, std::function<void()> fn) {
@@ -814,6 +822,45 @@ void Engine::drain_parallel(SimTime t_end) {
   for (auto& lp : lps_) deliveries_before += lp->deliveries;
   bool hit_t_end = false;
 
+  // Parallel-DES profiler (DESIGN.md §4.13), armed runs only. Series refs
+  // are resolved once — registry nodes are stable — and every observation
+  // rides the obs side channels canonical fingerprints exclude, so arming
+  // cannot shift results. The series are named sim_* on purpose: round
+  // structure legitimately varies with worker count, and the flight
+  // recorder's worker-invariant dump skips that prefix.
+  const bool profiled = obs::enabled();
+  obs::BucketHistogram* prof_lps_per_round = nullptr;
+  obs::BucketHistogram* prof_round_events = nullptr;
+  obs::BucketHistogram* prof_mailbox_depth = nullptr;
+  obs::BucketHistogram* prof_lookahead_idle = nullptr;
+  obs::Gauge* prof_depth_max = nullptr;
+  obs::Counter* prof_null_rounds = nullptr;
+  obs::Counter* prof_lookahead_stalls = nullptr;
+  if (profiled) {
+    // Count-valued histograms get power-of-two count bounds; the latency
+    // default (1 µs base) would waste all its resolution.
+    std::vector<double> count_bounds;
+    for (double b = 1.0; b <= double(1 << 20); b *= 2.0)
+      count_bounds.push_back(b);
+    obs::Registry& reg = obs::registry();
+    prof_lps_per_round =
+        &reg.histogram("sim_parallel_lps_per_round", {}, count_bounds);
+    prof_round_events =
+        &reg.histogram("sim_parallel_round_events", {}, count_bounds);
+    prof_mailbox_depth =
+        &reg.histogram("sim_parallel_mailbox_depth", {}, count_bounds);
+    prof_lookahead_idle = &reg.histogram("sim_parallel_lookahead_idle_seconds");
+    prof_depth_max = &reg.gauge("sim_parallel_mailbox_depth_max");
+    prof_null_rounds = &reg.counter("sim_parallel_null_rounds_total");
+    prof_lookahead_stalls =
+        &reg.counter("sim_parallel_lookahead_stalls_total");
+  }
+  struct LpBefore {
+    SimTime now = 0.0;
+    std::uint64_t events = 0;
+  };
+  std::vector<LpBefore> before;
+
   for (;;) {
     // Barrier, step 1: move every outbox into its destination's inbox, then
     // restore each dirty inbox's (when, src LP, emission seq) order — a
@@ -900,6 +947,29 @@ void Engine::drain_parallel(SimTime t_end) {
       }
     }
 
+    if (profiled) {
+      before.clear();
+      for (Lp* lp : batch)
+        before.push_back({lp->now, lp->dispatched + lp->deliveries});
+      prof_lps_per_round->observe_at(double(batch.size()), t_min);
+      std::size_t depth_max = 0;
+      for (auto& lp : lps_) {
+        const std::size_t depth = lp->inbox.size() - lp->inbox_pos;
+        depth_max = std::max(depth_max, depth);
+        prof_mailbox_depth->observe_at(double(depth), t_min);
+        // Lookahead-limited stall: the LP has pending work it may not run
+        // this round because a neighbor's promise caps its window below
+        // its own next event. The idle measure is how far beyond the
+        // conservative floor that work is forced to wait.
+        if (lp->next_time != kInf && lp->next_time >= lp->window_end &&
+            !lp->window_inclusive) {
+          prof_lookahead_stalls->inc_at(1.0, t_min);
+          prof_lookahead_idle->observe_at(lp->next_time - t_min, t_min);
+        }
+      }
+      prof_depth_max->set_at(double(depth_max), t_min);
+    }
+
     // Step 5: execute the round. Single-LP rounds run inline — no reason to
     // pay the pool wake-up.
     if (batch.size() == 1) {
@@ -911,6 +981,32 @@ void Engine::drain_parallel(SimTime t_end) {
       }
     } else {
       pool_->run_round(batch, t_end);
+    }
+
+    if (profiled) {
+      std::uint64_t round_events = 0;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        Lp* lp = batch[i];
+        const std::uint64_t ev =
+            lp->dispatched + lp->deliveries - before[i].events;
+        round_events += ev;
+        // Perfetto LP tracks: one labeled span per LP per round it actually
+        // advanced in, with a deterministic id (round x LP, never worker).
+        if (trace_ != nullptr && ev != 0) {
+          LabeledSpan span;
+          span.track = "lp" + std::to_string(lp->id);
+          span.category = "lp_window";
+          span.start = before[i].now;
+          span.end = lp->now;
+          span.span_id =
+              util::mix64(0x0b5f11e700000000ull ^ (rounds * 8191ull + lp->id));
+          span.labels = {{"round", std::to_string(rounds)},
+                         {"events", std::to_string(ev)}};
+          trace_->record_labeled_span(std::move(span));
+        }
+      }
+      prof_round_events->observe_at(double(round_events), t_min);
+      if (round_events == 0) prof_null_rounds->inc_at(1.0, t_min);
     }
 
     // Step 6: resolve errors deterministically — the lowest-LP-id error

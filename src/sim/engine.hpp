@@ -91,6 +91,7 @@ class Engine;
 class Context;
 class Event;
 class Fiber;
+class TraceRecorder;
 struct FiberRuntime;
 struct Lp;  // per-LP scheduler shard; definition private to engine.cpp
 
@@ -352,6 +353,15 @@ class Engine {
   /// granularity.
   void set_metric_sampler(SimTime interval, std::function<void(SimTime)> fn);
 
+  /// Attach a trace recorder for the parallel-DES profiler (DESIGN.md
+  /// §4.13): while the obs plane is armed, each round of the conservative
+  /// dispatcher records per-LP window-execution spans ("lp<N>" tracks) and
+  /// per-round scheduler spans as labeled spans on `trace`. Labeled spans
+  /// are excluded from canonical CSVs, so attaching a recorder never
+  /// changes fingerprints. nullptr detaches; the recorder must outlive the
+  /// run. The workflow layer attaches its own recorder at launch.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
   /// Create a logical process scheduled to start at the current time, on
   /// LP 0 (or, when called from inside a running process, on the caller's
   /// LP). Safe to call both before run() and from inside a running process.
@@ -466,6 +476,7 @@ class Engine {
   std::function<void(SimTime)> sampler_;
   SimTime sampler_interval_ = 0.0;
   SimTime sampler_next_ = 0.0;
+  TraceRecorder* trace_ = nullptr;  // profiler sink (see set_trace)
   bool running_ = false;
   bool tearing_down_ = false;  // kill_all: unwind-time wakes schedule directly
 

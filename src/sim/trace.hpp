@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "util/types.hpp"
 
 namespace simai::sim {
@@ -56,6 +57,22 @@ struct LabeledSpan {
   bool flow_start = false;    // producer side ("s") vs consumer side ("f")
   std::vector<TraceLabel> labels;
 };
+
+/// A LabeledSpan reshaped for the flight recorder's ring
+/// (obs::flight().record(to_flight(span))) — obs sits below sim, so the
+/// conversion lives here instead of a FlightRecorder overload.
+inline obs::FlightSpan to_flight(const LabeledSpan& span) {
+  obs::FlightSpan fs;
+  fs.track = span.track;
+  fs.category = span.category;
+  fs.start = span.start;
+  fs.end = span.end;
+  fs.span_id = span.span_id;
+  fs.flow_id = span.flow_id;
+  fs.labels.reserve(span.labels.size());
+  for (const TraceLabel& l : span.labels) fs.labels.emplace_back(l.key, l.value);
+  return fs;
+}
 
 /// One sample of a scalar metric series, taken by the engine's virtual-time
 /// sampler while the obs plane is armed. Exported as Chrome counter ("C")

@@ -275,6 +275,84 @@ TEST(LintRawLogging, OnlyAppliesToLibrarySources) {
 }
 
 // ---------------------------------------------------------------------------
+// obs-unlabeled-metric
+// ---------------------------------------------------------------------------
+
+TEST(LintObsMetric, FlagsUnlabeledSiblingOfDiscriminatedSeries) {
+  const auto f = lint::lint_source(
+      "void f(obs::Registry& reg) {\n"
+      "  reg.counter(\"transport_ops_total\", {{\"backend\", b}}).inc();\n"
+      "  reg.counter(\"transport_ops_total\").inc();\n"
+      "}\n",
+      "src/core/fixture.cpp");
+  ASSERT_EQ(f.size(), 1u) << rules_of(f).size();
+  EXPECT_EQ(f[0].rule, "obs-unlabeled-metric");
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(LintObsMetric, FlagsLabelSetMissingTheDiscriminator) {
+  // A labels literal that carries *some* label but not backend/store/op is
+  // still a different series than the discriminated sibling.
+  const auto f = lint::lint_source(
+      "void f(obs::Registry& reg) {\n"
+      "  reg.histogram(keys::kLatency, {{\"op\", \"put\"}}, bounds).observe(x);\n"
+      "  reg.histogram(keys::kLatency, {{\"phase\", \"queue\"}}, bounds)\n"
+      "      .observe(x);\n"
+      "}\n",
+      "src/serve/fixture.cpp");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "obs-unlabeled-metric");
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(LintObsMetric, ConsistentlyLabeledAndLoneSeriesStayClean) {
+  const auto f = lint::lint_source(
+      "void f(obs::Registry& reg) {\n"
+      "  reg.counter(\"a_total\", {{\"backend\", b}}).inc();\n"
+      "  reg.counter(\"a_total\", {{\"backend\", c}, {\"op\", o}}).inc();\n"
+      "  reg.counter(\"b_total\").inc();\n"  // no discriminated sibling
+      "  reg.gauge(\"depth\").set(1.0);\n"
+      "}\n",
+      "src/core/fixture.cpp");
+  EXPECT_TRUE(f.empty()) << f.front().to_string();
+}
+
+TEST(LintObsMetric, DynamicLabelsAreNotJudged) {
+  // A labels *variable* may well contain the discriminator at runtime —
+  // it neither fires nor counts as sibling evidence.
+  const auto f = lint::lint_source(
+      "void f(obs::Registry& reg, std::vector<obs::Label> labels) {\n"
+      "  reg.counter(\"kv_ops_total\", labels).inc();\n"
+      "  reg.counter(\"kv_ops_total\").inc();\n"
+      "}\n",
+      "src/obs/fixture.cpp");
+  EXPECT_TRUE(f.empty()) << f.front().to_string();
+}
+
+TEST(LintObsMetric, OnlyAppliesToLibrarySources) {
+  const char* src =
+      "void f(obs::Registry& reg) {\n"
+      "  reg.counter(\"x_total\", {{\"backend\", b}}).inc();\n"
+      "  reg.counter(\"x_total\").inc();\n"
+      "}\n";
+  EXPECT_TRUE(lint::lint_source(src, "tests/fixture.cpp").empty());
+  EXPECT_TRUE(lint::lint_source(src, "fixture.cpp").empty());
+  EXPECT_FALSE(lint::lint_source(src, "src/kv/fixture.cpp").empty());
+}
+
+TEST(LintObsMetric, AllowlistSuppressesReviewedSites) {
+  lint::Allowlist allow;
+  allow.add("obs-unlabeled-metric", "src/core", "x_total");
+  const auto f = lint::lint_source(
+      "void f(obs::Registry& reg) {\n"
+      "  reg.counter(\"x_total\", {{\"store\", s}}).inc();\n"
+      "  reg.counter(\"x_total\").inc();\n"
+      "}\n",
+      "src/core/fixture.cpp", &allow);
+  EXPECT_TRUE(f.empty()) << f.front().to_string();
+}
+
+// ---------------------------------------------------------------------------
 // Comment / literal stripping
 // ---------------------------------------------------------------------------
 

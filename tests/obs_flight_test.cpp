@@ -1,0 +1,250 @@
+// simai::obs — flight-recorder tests (DESIGN.md §4.13).
+//
+// Unit level: the ring keeps the newest spans in *virtual* time (insertion
+// order — i.e. which worker thread got there first — never shows in the
+// dump), trigger() fires once per distinct reason until clear(), and the
+// dump renders a stable canonical text. End to end: with the plane armed,
+// the same seed produces a byte-identical dump on both engine substrates
+// at 1, 2, 4, and 8 workers, and the three wired trigger sites
+// (component_failure via the fault plane, slo_breach via the serving
+// plane) actually fire.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/workflow.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/window.hpp"
+#include "serve/serve.hpp"
+#include "sim/engine.hpp"
+
+namespace simai {
+namespace {
+
+/// Arms the plane for one test and restores a pristine disarmed plane
+/// afterwards (the registry and flight ring are process-global).
+class ObsGuard {
+ public:
+  explicit ObsGuard(bool armed) {
+    obs::reset();
+    obs::set_enabled(armed);
+  }
+  ~ObsGuard() {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+};
+
+/// Forces every engine built inside the scope onto one substrate.
+class SubstrateGuard {
+ public:
+  explicit SubstrateGuard(sim::Substrate s) {
+    const char* prev = std::getenv("SIMAI_SIM_THREADS");
+    if (prev) saved_ = prev;
+    had_ = prev != nullptr;
+    ::setenv("SIMAI_SIM_THREADS", s == sim::Substrate::Thread ? "1" : "0", 1);
+  }
+  ~SubstrateGuard() {
+    if (had_)
+      ::setenv("SIMAI_SIM_THREADS", saved_.c_str(), 1);
+    else
+      ::unsetenv("SIMAI_SIM_THREADS");
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+obs::FlightSpan span(double start, double end, std::string track) {
+  obs::FlightSpan s;
+  s.track = std::move(track);
+  s.category = "iter";
+  s.start = start;
+  s.end = end;
+  s.span_id = static_cast<std::uint64_t>(end * 1000.0);
+  return s;
+}
+
+core::Pattern1Config flight_p1(unsigned workers) {
+  core::Pattern1Config c;
+  c.backend = platform::BackendKind::Redis;
+  c.nodes = 8;
+  c.representative_pairs = 4;  // > max workers, so every count has work
+  c.train_iters = 20;
+  c.payload_bytes = 1258291;
+  c.payload_cap = 4 * KiB;
+  c.sim_init_time = 0.5;
+  c.train_init_time = 1.0;
+  c.workers = workers;
+  c.record_trace = true;  // labeled spans (and thus the flight ring) ride
+                          // the trace path — see DataStore::finish_stage
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Ring semantics
+// ---------------------------------------------------------------------------
+
+TEST(ObsFlightRing, EvictsTheOldestVirtualTimeNotTheOldestInsertion) {
+  obs::FlightRecorder rec;
+  rec.set_capacity(3);
+  // Inserted newest-first: a pure FIFO would evict end=4.0 first; the
+  // canonical ring must evict end=1.0.
+  rec.record(span(3.5, 4.0, "d"));
+  rec.record(span(2.5, 3.0, "c"));
+  rec.record(span(1.5, 2.0, "b"));
+  rec.record(span(0.5, 1.0, "a"));
+  EXPECT_EQ(rec.size(), 3u);
+  const std::string dump = rec.dump("test");
+  EXPECT_EQ(dump.find("track=a"), std::string::npos);
+  EXPECT_NE(dump.find("track=b"), std::string::npos);
+  EXPECT_NE(dump.find("track=d"), std::string::npos);
+}
+
+TEST(ObsFlightRing, InsertionOrderNeverShowsInTheDump) {
+  obs::FlightRecorder fwd;
+  obs::FlightRecorder rev;
+  std::vector<obs::FlightSpan> spans;
+  for (int i = 0; i < 8; ++i)
+    spans.push_back(span(i * 0.5, i * 0.5 + 0.25, "t" + std::to_string(i)));
+  for (const auto& s : spans) fwd.record(s);
+  for (auto it = spans.rbegin(); it != spans.rend(); ++it) rev.record(*it);
+  EXPECT_EQ(fwd.dump("order"), rev.dump("order"));
+}
+
+TEST(ObsFlightRing, ShrinkingCapacityDropsOldestFirst) {
+  obs::FlightRecorder rec;
+  for (int i = 0; i < 6; ++i)
+    rec.record(span(i * 1.0, i * 1.0 + 0.5, "t" + std::to_string(i)));
+  rec.set_capacity(2);
+  EXPECT_EQ(rec.size(), 2u);
+  const std::string dump = rec.dump("shrink");
+  EXPECT_EQ(dump.find("track=t3"), std::string::npos);
+  EXPECT_NE(dump.find("track=t4"), std::string::npos);
+  EXPECT_NE(dump.find("track=t5"), std::string::npos);
+}
+
+TEST(ObsFlightRing, ZeroCapacityDisablesRecording) {
+  obs::FlightRecorder rec;
+  rec.set_capacity(0);
+  rec.record(span(0.0, 1.0, "t"));
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(ObsFlightRing, DumpRendersHeaderSpansAndLabels) {
+  obs::FlightRecorder rec;
+  obs::FlightSpan s = span(1.0, 2.0, "sim0");
+  s.category = "stage_write";
+  s.labels = {{"backend", "redis"}, {"bytes", "4096"}};
+  rec.record(s);
+  const std::string dump = rec.dump("unit_test");
+  EXPECT_EQ(dump.rfind("# flight dump reason=unit_test spans=1", 0), 0u);
+  EXPECT_NE(dump.find("span track=sim0 cat=stage_write"), std::string::npos);
+  EXPECT_NE(dump.find("labels=backend=\"redis\",bytes=\"4096\""),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trigger rate limit
+// ---------------------------------------------------------------------------
+
+TEST(ObsFlightTrigger, FiresOncePerDistinctReasonUntilCleared) {
+  obs::FlightRecorder rec;
+  rec.record(span(0.0, 1.0, "t"));
+  EXPECT_TRUE(rec.trigger("mailbox_full"));
+  EXPECT_FALSE(rec.trigger("mailbox_full"));  // persistently-full mailbox
+  EXPECT_TRUE(rec.trigger("slo_breach"));     // distinct reason still fires
+  EXPECT_EQ(rec.triggers(), 2u);
+  EXPECT_EQ(rec.last_dump().rfind("# flight dump reason=slo_breach", 0), 0u);
+  rec.clear();
+  EXPECT_EQ(rec.triggers(), 0u);
+  EXPECT_EQ(rec.last_dump(), "");
+  EXPECT_TRUE(rec.trigger("mailbox_full"));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: substrates x worker counts
+// ---------------------------------------------------------------------------
+
+TEST(ObsFlightEndToEnd, DumpIsByteIdenticalAcrossSubstratesAndWorkers) {
+  std::string reference;
+  for (sim::Substrate sub : {sim::Substrate::Fiber, sim::Substrate::Thread}) {
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+      SubstrateGuard substrate(sub);
+      ObsGuard obs_on(true);
+      obs::set_window(0.25);  // exercise the window-snapshot section too
+      obs::flight().set_capacity(64);
+      (void)core::run_pattern1(flight_p1(workers));
+      const std::string dump = obs::flight().dump("parity");
+      EXPECT_GT(obs::flight().size(), 0u);
+      if (reference.empty())
+        reference = dump;
+      else
+        EXPECT_EQ(dump, reference)
+            << "substrate=" << (sub == sim::Substrate::Thread ? "thread"
+                                                              : "fiber")
+            << " workers=" << workers;
+    }
+  }
+  EXPECT_NE(reference.find("cat=stage_write"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Wired trigger sites
+// ---------------------------------------------------------------------------
+
+TEST(ObsFlightEndToEnd, ComponentFailureDumpsTheFlightRecorder) {
+  ObsGuard obs_on(true);
+  obs::flight().set_capacity(64);
+  core::Workflow wf;
+  wf.component("producer", "remote", {}, [](sim::Context& ctx,
+                                            const core::ComponentInfo&) {
+    ctx.delay(0.5);
+  });
+  wf.component("doomed", "remote", {"producer"},
+               [](sim::Context& ctx, const core::ComponentInfo&) {
+                 ctx.delay(0.1);
+                 throw core::ComponentFailure("simulated crash");
+               });
+  wf.launch();
+  EXPECT_TRUE(wf.component_failed("doomed"));
+  EXPECT_GE(obs::flight().triggers(), 1u);
+  EXPECT_NE(
+      obs::flight().last_dump().find("reason=component_failure:doomed"),
+      std::string::npos);
+}
+
+TEST(ObsFlightEndToEnd, SloBreachDumpsTheFlightRecorder) {
+  ObsGuard obs_on(true);
+  obs::flight().set_capacity(64);
+  serve::ServeConfig cfg;
+  cfg.arrivals.clients = 2;
+  cfg.arrivals.requests_per_client = 6;
+  cfg.arrivals.rate = 300.0;
+  cfg.arrivals.seed = 9;
+  cfg.policy.max_batch_size = 4;
+  cfg.policy.max_queue_delay = 0.002;
+  cfg.policy.max_queue_depth = 32;
+  cfg.slo_latency = 1e-9;  // any completed request breaches
+  const serve::ServeResult r = serve::run_cluster(cfg);
+  ASSERT_GT(r.completed, 0u);
+  EXPECT_GE(obs::flight().triggers(), 1u);
+  EXPECT_NE(obs::flight().last_dump().find("reason=slo_breach"),
+            std::string::npos);
+}
+
+TEST(ObsFlightEndToEnd, DisarmedRunsNeverTouchTheRecorder) {
+  ObsGuard obs_off(false);
+  (void)core::run_pattern1(flight_p1(1));
+  EXPECT_EQ(obs::flight().size(), 0u);
+  EXPECT_EQ(obs::flight().triggers(), 0u);
+}
+
+}  // namespace
+}  // namespace simai

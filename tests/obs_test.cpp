@@ -12,10 +12,15 @@
 #include <set>
 #include <string>
 
+#include "core/datastore.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "kv/memory_store.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/window.hpp"
+#include "sim/engine.hpp"
 
 namespace simai {
 namespace {
@@ -62,9 +67,30 @@ TEST(ObsSeriesKey, SortsLabelsByKey) {
             "x{aa=\"2\",zz=\"1\"}");
 }
 
-TEST(ObsSeriesKey, DuplicateKeysFirstOccurrenceWins) {
-  EXPECT_EQ(obs::series_key("x", {{"k", "first"}, {"k", "second"}}),
-            "x{k=\"first\"}");
+TEST(ObsSeriesKey, DuplicateLabelNamesThrow) {
+  // Silently dropping one of two conflicting values would alias distinct
+  // series; a duplicate name is a caller bug and is rejected loudly.
+  EXPECT_THROW(obs::series_key("x", {{"k", "first"}, {"k", "second"}}),
+               Error);
+}
+
+TEST(ObsSeriesKey, HostileLabelNamesThrow) {
+  // Names containing the key syntax's structural characters could forge
+  // another series' canonical key. Values are escaped; names are rejected.
+  for (const char* hostile :
+       {"", "a{b", "a}b", "a\"b", "a=b", "a,b", "a\nb", "a\tb"}) {
+    EXPECT_THROW(obs::series_key("x", {{hostile, "v"}}), Error) << hostile;
+  }
+}
+
+TEST(ObsSeriesKey, HostileLabelValuesAreEscaped) {
+  EXPECT_EQ(obs::series_key("x", {{"k", "a\"b"}}), "x{k=\"a\\\"b\"}");
+  EXPECT_EQ(obs::series_key("x", {{"k", "a\\b"}}), "x{k=\"a\\\\b\"}");
+  EXPECT_EQ(obs::series_key("x", {{"k", "a\nb"}}), "x{k=\"a\\nb\"}");
+  // The classic forgery: a value that spells out `",extra="` must NOT
+  // produce the same key as the two-label series it imitates.
+  EXPECT_NE(obs::series_key("x", {{"k", "a\",z=\"1"}}),
+            obs::series_key("x", {{"k", "a"}, {"z", "1"}}));
 }
 
 // ---------------------------------------------------------------------------
@@ -202,6 +228,64 @@ TEST(ObsHistogram, JsonSnapshotHasSparseBuckets) {
 }
 
 // ---------------------------------------------------------------------------
+// HistogramSnapshot: snapshot-and-subtract
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogramSnapshot, DeltaIsTheIntervalDistribution) {
+  obs::BucketHistogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(3.0);
+  const obs::HistogramSnapshot early = h.snapshot();
+  h.observe(1.5);
+  h.observe(3.5);
+  h.observe(3.6);
+  const obs::HistogramSnapshot d = h.snapshot().delta(early);
+  EXPECT_EQ(d.count, 3u);
+  EXPECT_DOUBLE_EQ(d.sum, 1.5 + 3.5 + 3.6);
+  // Interval distribution: one occupant in (1,2], two in (2,4] — the two
+  // pre-snapshot observations are subtracted out exactly.
+  EXPECT_GT(d.percentile(10.0), 1.0);
+  EXPECT_LE(d.percentile(10.0), 2.0);
+  EXPECT_GT(d.percentile(90.0), 2.0);
+  EXPECT_LE(d.percentile(90.0), 4.0);
+}
+
+TEST(ObsHistogramSnapshot, OverflowBucketInterpolatesAtTheBoundary) {
+  // The window-boundary case: the early snapshot already holds an overflow
+  // observation larger than anything in the interval. The delta's overflow
+  // occupants interpolate across [last bound, max] where max is the
+  // whole-run maximum — a documented upper bound for the interval — so the
+  // quantile degrades toward too-high, never below the last finite bound.
+  obs::BucketHistogram h({1.0, 2.0});
+  h.observe(100.0);
+  const obs::HistogramSnapshot early = h.snapshot();
+  h.observe(2.5);
+  h.observe(50.0);
+  const obs::HistogramSnapshot d = h.snapshot().delta(early);
+  EXPECT_EQ(d.count, 2u);
+  EXPECT_DOUBLE_EQ(d.max, 100.0);
+  // Two occupants in (2, 100]: p50 lands halfway, p100 at the top — the
+  // same interpolation the live histogram applies (see
+  // ObsHistogram.OverflowInterpolatesTowardTheMaxObservation).
+  EXPECT_DOUBLE_EQ(d.percentile(50.0), 51.0);
+  EXPECT_DOUBLE_EQ(d.percentile(100.0), 100.0);
+}
+
+TEST(ObsHistogramSnapshot, MismatchedOrUnderflowingDeltaThrows) {
+  obs::BucketHistogram a({1.0, 2.0});
+  obs::BucketHistogram b({1.0, 3.0});
+  a.observe(0.5);
+  b.observe(0.5);
+  EXPECT_THROW(b.snapshot().delta(a.snapshot()), Error);  // bounds differ
+  obs::BucketHistogram c({1.0, 2.0});
+  c.observe(0.5);
+  const obs::HistogramSnapshot earlier = c.snapshot();
+  c.observe(0.5);
+  // Operands swapped: a bucket would go negative.
+  EXPECT_THROW(earlier.delta(c.snapshot()), Error);
+}
+
+// ---------------------------------------------------------------------------
 // Contexts, span ids, flow table
 // ---------------------------------------------------------------------------
 
@@ -244,6 +328,121 @@ TEST(ObsFlows, HandOffScopedToStoreInstance) {
   EXPECT_EQ(obs::find_flow(&store_a, "other"), 0u);
   obs::reset();
   EXPECT_EQ(obs::find_flow(&store_a, "x_0_0"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Windowed series (obs/window.hpp)
+// ---------------------------------------------------------------------------
+
+TEST(ObsWindows, DisabledByDefaultAndKeyedByObservationTime) {
+  ObsGuard guard(true);
+  auto& reg = obs::registry();
+  reg.counter("w_ops").inc_at(1.0, 0.25);
+  EXPECT_TRUE(obs::MetricsView::series_windows("w_ops").empty());  // off
+
+  obs::set_window(1.0);
+  obs::Counter& c = reg.counter("w_ops");
+  c.inc_at(1.0, 0.25);
+  c.inc_at(2.0, 0.75);
+  c.inc_at(1.0, 2.5);  // out-of-order arrival for window 1 below is fine:
+  c.inc_at(1.0, 1.5);  // cells are keyed by floor(t/width), not appended
+  const auto wins = obs::MetricsView::series_windows("w_ops");
+  ASSERT_EQ(wins.size(), 3u);
+  EXPECT_EQ(wins[0].index, 0);
+  EXPECT_DOUBLE_EQ(wins[0].count, 2.0);
+  EXPECT_DOUBLE_EQ(wins[0].sum, 3.0);
+  EXPECT_EQ(wins[1].index, 1);
+  EXPECT_DOUBLE_EQ(wins[1].sum, 1.0);
+  EXPECT_EQ(wins[2].index, 2);
+
+  const obs::WindowStats at = obs::MetricsView::window_at("w_ops", {}, 0.9);
+  EXPECT_EQ(at.index, 0);
+  EXPECT_DOUBLE_EQ(at.start, 0.0);
+  EXPECT_DOUBLE_EQ(at.end, 1.0);
+  EXPECT_DOUBLE_EQ(at.sum, 3.0);
+  // A window nothing landed in: right bounds, zeroed stats.
+  const obs::WindowStats empty = obs::MetricsView::window_at("w_ops", {}, 7.5);
+  EXPECT_EQ(empty.index, 7);
+  EXPECT_DOUBLE_EQ(empty.count, 0.0);
+}
+
+TEST(ObsWindows, MidRunPollMatchesWholeRunTotals) {
+  // DataStore writes at known virtual times; a consumer process polls the
+  // windowed transport view MID-RUN — the live-metrics contract — and the
+  // per-window ops must sum to the whole-run Registry counter afterwards.
+  ObsGuard guard(true);
+  obs::set_window(1.0);
+
+  platform::TransportModel model;
+  auto backing = std::make_shared<kv::MemoryStore>();
+  core::DataStoreConfig cfg;
+  cfg.backend = platform::BackendKind::NodeLocal;
+  core::DataStore store("writer", backing, &model, cfg);
+  const std::string backend(platform::backend_name(cfg.backend));
+
+  const Bytes payload(2048, std::byte{7});
+  double midrun_ops = -1.0;
+  sim::Engine engine;
+  engine.spawn("writer", [&](sim::Context& ctx) {
+    // Two writes completing in window 0, one in window 1.
+    ctx.delay(0.2);
+    store.stage_write(&ctx, "k0", ByteView(payload));
+    ctx.delay(std::max(0.0, 0.7 - ctx.now()));
+    store.stage_write(&ctx, "k1", ByteView(payload));
+    ctx.delay(std::max(0.0, 1.5 - ctx.now()));
+    store.stage_write(&ctx, "k2", ByteView(payload));
+    ctx.delay(1.0);
+    // Mid-run poll (virtual time 2.5): window 0 is closed and immutable.
+    const auto wins = obs::MetricsView::transport_windows(backend, "write");
+    for (const auto& w : wins)
+      if (w.index == 0) midrun_ops = w.ops;
+  });
+  engine.run();
+
+  EXPECT_DOUBLE_EQ(midrun_ops, 2.0);
+  const auto wins = obs::MetricsView::transport_windows(backend, "write");
+  ASSERT_EQ(wins.size(), 2u);
+  EXPECT_EQ(wins[0].index, 0);
+  EXPECT_DOUBLE_EQ(wins[0].ops, 2.0);
+  EXPECT_EQ(wins[1].index, 1);
+  EXPECT_DOUBLE_EQ(wins[1].ops, 1.0);
+  EXPECT_GT(wins[0].bytes, 0.0);
+  EXPECT_GT(wins[0].p95, 0.0);
+  EXPECT_GE(wins[0].p95, wins[0].p50);
+  // Σ windows == whole-run totals, for ops and bytes both.
+  auto& reg = obs::registry();
+  const double total_ops =
+      reg.counter("transport_ops_total", {{"backend", backend}, {"op", "write"}})
+          .value();
+  const double total_bytes =
+      reg.counter("transport_bytes_total",
+                  {{"backend", backend}, {"op", "write"}})
+          .value();
+  EXPECT_DOUBLE_EQ(wins[0].ops + wins[1].ops, total_ops);
+  EXPECT_DOUBLE_EQ(wins[0].bytes + wins[1].bytes, total_bytes);
+}
+
+TEST(ObsWindows, SingleWindowQuantilesMatchWholeRunRegistry) {
+  // With one window spanning the whole run, the per-window p50/p95 must
+  // equal the whole-run BucketHistogram's — same buckets, same
+  // interpolation — and ops/retries must equal the counters. This is the
+  // acceptance check tying MetricsView to the Registry it summarizes.
+  ObsGuard guard(true);
+  obs::set_window(1e9);
+  (void)core::run_pattern1(small_p1(platform::BackendKind::Redis));
+
+  const auto wins = obs::MetricsView::transport_windows("redis", "write");
+  ASSERT_EQ(wins.size(), 1u);
+  auto& reg = obs::registry();
+  obs::BucketHistogram& hist =
+      reg.histogram("transport_write_seconds", {{"backend", "redis"}});
+  EXPECT_DOUBLE_EQ(wins[0].p50, hist.percentile(50.0));
+  EXPECT_DOUBLE_EQ(wins[0].p95, hist.percentile(95.0));
+  EXPECT_DOUBLE_EQ(
+      wins[0].ops,
+      reg.counter("transport_ops_total", {{"backend", "redis"}, {"op", "write"}})
+          .value());
+  EXPECT_EQ(static_cast<std::uint64_t>(wins[0].ops), hist.count());
 }
 
 // ---------------------------------------------------------------------------
@@ -361,6 +560,27 @@ TEST(ObsEndToEnd, ArmingNeverChangesTheCanonicalFingerprint) {
                 .trace.to_canonical_csv();
   }
   EXPECT_EQ(disarmed, armed);
+}
+
+TEST(ObsEndToEnd, WindowedModeNeverChangesTheCanonicalFingerprint) {
+  // The windowed-mode extension of the invariance contract: arming the
+  // plane WITH window accrual and a flight ring must still produce the
+  // byte-identical canonical timeline — windows are derived purely from
+  // observation timestamps, never from engine events.
+  std::string disarmed, windowed;
+  {
+    ObsGuard guard(false);
+    disarmed = core::run_pattern1(small_p1(platform::BackendKind::Redis))
+                   .trace.to_canonical_csv();
+  }
+  {
+    ObsGuard guard(true);
+    obs::set_window(0.25);
+    obs::flight().set_capacity(64);
+    windowed = core::run_pattern1(small_p1(platform::BackendKind::Redis))
+                   .trace.to_canonical_csv();
+  }
+  EXPECT_EQ(disarmed, windowed);
 }
 
 TEST(ObsEndToEnd, ArmingNeverChangesPattern2Results) {

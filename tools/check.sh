@@ -127,11 +127,12 @@ fi
 # summary must show at least one matched write->read flow and counter
 # series — the causal-tracing contract of DESIGN.md §4.8.
 if [ -x build/tools/simai_trace ]; then
-  banner "obs plane: simai_trace self-check"
+  banner "obs plane: simai_trace self-checks"
   build/tools/simai_trace --self-check
+  build/tools/simai_trace critical-path --self-check
 
   if [ -x build/bench/bench_fig2_timeline ]; then
-    banner "obs plane: SIMAI_OBS=1 fig2 smoke + trace summary"
+    banner "obs plane: SIMAI_OBS=1 fig2 smoke + trace summary + critical path"
     obs_dir=$(mktemp -d)
     SIMAI_OBS=1 SIMAI_FIG2_DIR="$obs_dir" build/bench/bench_fig2_timeline >/dev/null
     build/tools/simai_trace summary "$obs_dir/fig2_original.trace.json" \
@@ -141,8 +142,26 @@ if [ -x build/tools/simai_trace ]; then
       rm -rf "$obs_dir"
       exit 1
     fi
+    # Critical-path walk over the same armed trace: the blame table must
+    # attribute at least some path time to transport (the workload moves
+    # every snapshot through a priced backend).
+    build/tools/simai_trace critical-path "$obs_dir/fig2_original.trace.json" \
+      | tee "$obs_dir/critical.txt"
+    if ! grep -q 'transport:' "$obs_dir/critical.txt"; then
+      echo 'FAIL: fig2 critical path attributes no transport time' >&2
+      rm -rf "$obs_dir"
+      exit 1
+    fi
     rm -rf "$obs_dir"
   fi
+fi
+
+# Observability bench smoke: the full parity matrix (fig2/fig3/fig6-style
+# replays x both substrates x workers 1/2/4/8 x armed/disarmed) plus the
+# <1% disarmed-cost gate, compared against the committed BENCH_obs.json.
+if [ -x build/bench/bench_obs ] && [ -f BENCH_obs.json ]; then
+  banner "obs plane: bench smoke (parity + disarmed-cost gate)"
+  build/bench/bench_obs --smoke --check BENCH_obs.json
 fi
 
 # Race-report-clean sweep: rerun the default suite with the virtual-time

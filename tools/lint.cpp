@@ -393,6 +393,154 @@ void check_tokens(const std::vector<Token>& toks,
   }
 }
 
+// ---------------------------------------------------------------------------
+// obs-unlabeled-metric
+// ---------------------------------------------------------------------------
+// Registry registrations (`reg.counter(name, labels)` and friends) that
+// omit the backend/store/op discriminator while sibling registrations of
+// the same series name carry one. The unlabeled call registers the *bare*
+// key, so its increments silently land in a different series than the
+// labeled ones and every per-backend aggregation under-counts. Detected on
+// the raw source (label names live inside string literals, which the token
+// stream deliberately blanks): strip_comments_and_literals is byte-aligned
+// 1:1 with the input, so call extents found by paren-matching the stripped
+// text index directly into the raw text where the quoted labels survive.
+// Sites whose label argument is not a braced literal (a variable, a
+// function call) can't be judged statically and neither flag nor count as
+// sibling evidence. Grouping is per translation unit — the gate walks all
+// of src/, and series shared across files are expected to be consistently
+// labeled within each.
+
+constexpr std::string_view kRegistryFactories[] = {"counter", "gauge",
+                                                   "histogram"};
+constexpr std::string_view kDiscriminators[] = {"\"backend\"", "\"store\"",
+                                                "\"op\""};
+
+bool obs_metric_applies(std::string_view file) {
+  return file.find("src/") != std::string_view::npos;
+}
+
+void check_obs_labels(std::string_view source, std::string_view stripped,
+                      const std::string& file, std::vector<Finding>& out) {
+  if (!obs_metric_applies(file)) return;
+
+  struct Site {
+    int line;
+    std::string name;        // raw first-argument text, whitespace-squeezed
+    bool discriminated;      // labels literal mentions backend/store/op
+  };
+  std::vector<Site> sites;
+
+  const auto prev_nonspace = [&](std::size_t i) -> char {
+    while (i > 0) {
+      --i;
+      if (!std::isspace(static_cast<unsigned char>(stripped[i])))
+        return stripped[i];
+    }
+    return '\0';
+  };
+
+  int line = 1;
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    if (stripped[i] == '\n') {
+      ++line;
+      continue;
+    }
+    if (!ident_start(stripped[i]) || (i > 0 && ident_char(stripped[i - 1])))
+      continue;
+    std::size_t j = i + 1;
+    while (j < stripped.size() && ident_char(stripped[j])) ++j;
+    const std::string_view word = stripped.substr(i, j - i);
+    bool factory = false;
+    for (std::string_view f : kRegistryFactories) factory |= word == f;
+    if (!factory || prev_nonspace(i) != '.') {
+      i = j - 1;
+      continue;
+    }
+    std::size_t open = j;
+    while (open < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[open])))
+      ++open;
+    if (open >= stripped.size() || stripped[open] != '(') {
+      i = j - 1;
+      continue;
+    }
+    // Balanced walk of the call; commas at paren depth 1 / brace depth 0
+    // split the arguments (the labels literal nests its commas in braces).
+    int pdepth = 0, bdepth = 0;
+    std::size_t close = 0;
+    std::vector<std::size_t> commas;
+    for (std::size_t k = open; k < stripped.size(); ++k) {
+      const char c = stripped[k];
+      if (c == '(') ++pdepth;
+      else if (c == ')') {
+        if (--pdepth == 0) {
+          close = k;
+          break;
+        }
+      } else if (c == '{') ++bdepth;
+      else if (c == '}') --bdepth;
+      else if (c == ',' && pdepth == 1 && bdepth == 0)
+        commas.push_back(k);
+    }
+    if (close == 0) {
+      i = j - 1;
+      continue;
+    }
+
+    const auto squeeze = [](std::string_view s) {
+      std::string r;
+      for (const char c : s) {
+        if (std::isspace(static_cast<unsigned char>(c))) continue;
+        r += c;
+      }
+      return r;
+    };
+    const std::size_t name_end = commas.empty() ? close : commas[0];
+    Site site;
+    site.line = line;
+    site.name = squeeze(source.substr(open + 1, name_end - open - 1));
+    if (commas.empty()) {
+      site.discriminated = false;  // bare registration, no labels at all
+    } else {
+      const std::size_t lab_begin = commas[0] + 1;
+      const std::size_t lab_end = commas.size() > 1 ? commas[1] : close;
+      // Raw text of the labels argument — literals are intact here.
+      const std::string_view raw_labels =
+          source.substr(lab_begin, lab_end - lab_begin);
+      std::size_t first = 0;
+      while (first < raw_labels.size() &&
+             std::isspace(static_cast<unsigned char>(raw_labels[first])))
+        ++first;
+      if (first >= raw_labels.size() || raw_labels[first] != '{') {
+        i = j - 1;
+        continue;  // dynamic labels: statically unjudgeable, skip the site
+      }
+      site.discriminated = false;
+      for (std::string_view d : kDiscriminators) {
+        if (raw_labels.find(d) != std::string_view::npos)
+          site.discriminated = true;
+      }
+    }
+    if (!site.name.empty()) sites.push_back(std::move(site));
+    i = j - 1;
+  }
+
+  for (const Site& s : sites) {
+    if (s.discriminated) continue;
+    bool sibling_discriminated = false;
+    for (const Site& other : sites)
+      sibling_discriminated |= other.name == s.name && other.discriminated;
+    if (!sibling_discriminated) continue;
+    out.push_back(
+        {file, s.line, "obs-unlabeled-metric",
+         "registration of " + s.name +
+             " lacks the backend/store/op label its sibling registrations "
+             "carry; the bare key is a different series, so per-backend "
+             "aggregations silently under-count", {}});
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -664,6 +812,7 @@ std::vector<Finding> lint_source(std::string_view source, const std::string& fil
   const std::vector<Token> companion_toks = tokenize(companion_stripped);
   std::vector<Finding> found;
   check_tokens(toks, companion_toks, file, found);
+  check_obs_labels(source, stripped, file, found);
   for (Finding& f : found) f.excerpt = source_line(source, f.line);
   if (allow) {
     found.erase(std::remove_if(found.begin(), found.end(),

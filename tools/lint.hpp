@@ -36,6 +36,13 @@
 //                    copy-construction — payloads travel as refcounted
 //                    util::Payload or borrowed ByteView; materializing a
 //                    Bytes buffer is a per-hop copy of the payload.
+//   obs-unlabeled-metric
+//                    (src/ only) an obs::Registry registration
+//                    (.counter/.gauge/.histogram) whose label literal lacks
+//                    the backend/store/op discriminator while a sibling
+//                    registration of the same series name in the same file
+//                    carries one — the unlabeled call registers the bare
+//                    key, a silently different series.
 //   raw-logging      (src/ only, excluding the reviewed sink util/logging)
 //                    bare std::cout/std::cerr/std::clog, or a free call to
 //                    printf/fprintf/vprintf/vfprintf/puts/fputs/putchar —

@@ -6,9 +6,17 @@
 //                                       inventory
 //   simai_trace diff <a.json> <b.json>  side-by-side latency + counter
 //                                       comparison for regression triage
+//   simai_trace critical-path <trace.json> [--json]
+//                                       longest causal chain through the
+//                                       span/flow graph with a blame table
+//                                       {compute, queue, transport-by-
+//                                       backend, stall}; --json emits the
+//                                       path machine-readably
 //   simai_trace --self-check            round-trip a synthetic recorder
 //                                       through the exporter and verify the
 //                                       analyzer reads it back correctly
+//   simai_trace critical-path --self-check
+//                                       same, for the critical-path walk
 //
 // Exit codes: 0 ok, 1 self-check failure, 2 usage, 3 unreadable/invalid
 // trace JSON.
@@ -191,6 +199,275 @@ int cmd_diff(const std::string& path_a, const std::string& path_b) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// critical-path: walk the span/flow graph for the longest causal chain.
+//
+// Nodes are "X" spans. Edges are (a) program order — consecutive spans on
+// the same track, gap blamed on "stall" (the process existed but ran
+// nothing) — and (b) flow arrows — producer stage_write to consumer
+// stage_read, gap blamed on "queue" (data at rest in the staging area).
+// Span durations are blamed on "compute", or "transport:<backend>" /
+// "transport:stream" for labeled transport spans. Because every edge
+// satisfies succ.start >= pred.end, the longest-path DP over spans sorted
+// by start time is a plain forward relaxation.
+
+struct CpSpan {
+  std::string track;
+  std::string cat;
+  double start = 0.0;
+  double end = 0.0;
+  std::string blame;  // "compute", "transport:<backend>", "transport:stream"
+};
+
+struct CpEdge {
+  std::size_t from;
+  std::size_t to;
+  bool flow;  // true: dataflow arrow (queue); false: program order (stall)
+};
+
+struct CriticalPath {
+  double total = 0.0;                  // end of last span - start of first
+  std::vector<std::size_t> path;       // span indices, causal order
+  std::vector<CpSpan> spans;           // all spans (path indexes into this)
+  std::map<std::string, double> blame; // bucket -> seconds on the path
+};
+
+CriticalPath critical_path(const Json& doc) {
+  CriticalPath cp;
+  const Json& events = doc.at("traceEvents");
+  std::map<std::int64_t, std::string> track_of;
+  for (const Json& e : events.as_array()) {
+    if (e.get("ph", "") == "M" && e.get("name", "") == "thread_name")
+      track_of[e.at("tid").as_int()] = e.at("args").at("name").as_string();
+  }
+  // Pass 1: spans. Flow events carry ts == their span's start (the exporter
+  // emits both ends of the arrow at the slice start with bp="e"), so spans
+  // are keyed by (tid, start) at nanosecond quantization for flow binding.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::size_t> at;
+  std::vector<std::int64_t> tid_of_span;
+  for (const Json& e : events.as_array()) {
+    if (e.get("ph", "") != "X") continue;
+    const std::int64_t tid = e.at("tid").as_int();
+    const double ts = e.at("ts").as_double();
+    CpSpan s;
+    const auto it = track_of.find(tid);
+    s.track = it != track_of.end() ? it->second : "tid" + std::to_string(tid);
+    s.cat = e.get("name", "?");
+    s.start = ts / 1e6;
+    s.end = s.start + e.get("dur", 0.0) / 1e6;
+    s.blame = "compute";
+    if (const Json* args = e.find("args")) {
+      if (const Json* backend = args->find("backend"))
+        s.blame = "transport:" + backend->as_string();
+      else if (args->find("stream") != nullptr)
+        s.blame = "transport:stream";
+    }
+    at[{tid, std::llround(ts * 1e3)}] = cp.spans.size();
+    tid_of_span.push_back(tid);
+    cp.spans.push_back(std::move(s));
+  }
+  if (cp.spans.empty()) return cp;
+
+  // Pass 2: edges. Flow arrows pair "s" -> "f" by id; each binds to the
+  // span at (tid, ts).
+  std::vector<CpEdge> edges;
+  std::map<std::int64_t, std::size_t> flow_producer;
+  for (const Json& e : events.as_array()) {
+    const std::string ph = e.get("ph", "");
+    if (ph != "s" && ph != "f") continue;
+    const auto it = at.find(
+        {e.at("tid").as_int(), std::llround(e.at("ts").as_double() * 1e3)});
+    if (it == at.end()) continue;  // arrow without a slice: skip
+    if (ph == "s") {
+      flow_producer[e.at("id").as_int()] = it->second;
+    } else {
+      const auto p = flow_producer.find(e.at("id").as_int());
+      if (p != flow_producer.end())
+        edges.push_back({p->second, it->second, /*flow=*/true});
+    }
+  }
+  // Program order: chain consecutive spans per track. Longer hops are
+  // reachable through the chain, so one edge per neighbor suffices.
+  std::vector<std::size_t> order(cp.spans.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (cp.spans[a].start != cp.spans[b].start)
+      return cp.spans[a].start < cp.spans[b].start;
+    return cp.spans[a].end < cp.spans[b].end;
+  });
+  std::map<std::int64_t, std::size_t> prev_on_track;
+  for (const std::size_t i : order) {
+    const auto it = prev_on_track.find(tid_of_span[i]);
+    if (it != prev_on_track.end()) edges.push_back({it->second, i, false});
+    prev_on_track[tid_of_span[i]] = i;
+  }
+
+  // Longest-path DP in start order. dist[i] = span-start-to-i-end length of
+  // the best chain; ties prefer the smaller gap (blame real work over
+  // stall), then flow edges (queue beats stall as an explanation).
+  constexpr double kEps = 1e-9;
+  std::vector<std::vector<CpEdge>> out(cp.spans.size());
+  for (const CpEdge& e : edges) {
+    if (cp.spans[e.to].start >= cp.spans[e.from].end - kEps)
+      out[e.from].push_back(e);
+  }
+  std::vector<double> dist(cp.spans.size());
+  std::vector<double> gap_in(cp.spans.size(), 0.0);
+  std::vector<std::ptrdiff_t> pred(cp.spans.size(), -1);
+  std::vector<bool> pred_flow(cp.spans.size(), false);
+  for (std::size_t i = 0; i < cp.spans.size(); ++i)
+    dist[i] = cp.spans[i].end - cp.spans[i].start;
+  for (const std::size_t i : order) {
+    for (const CpEdge& e : out[i]) {
+      const double gap =
+          std::max(0.0, cp.spans[e.to].start - cp.spans[e.from].end);
+      const double cand =
+          dist[i] + gap + (cp.spans[e.to].end - cp.spans[e.to].start);
+      const bool better =
+          cand > dist[e.to] + kEps ||
+          (cand > dist[e.to] - kEps &&
+           (gap < gap_in[e.to] - kEps ||
+            (gap < gap_in[e.to] + kEps && e.flow && !pred_flow[e.to])));
+      if (better) {
+        dist[e.to] = cand;
+        gap_in[e.to] = gap;
+        pred[e.to] = static_cast<std::ptrdiff_t>(i);
+        pred_flow[e.to] = e.flow;
+      }
+    }
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < cp.spans.size(); ++i)
+    if (dist[i] > dist[best]) best = i;
+  cp.total = dist[best];
+
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(best); i != -1;
+       i = pred[static_cast<std::size_t>(i)])
+    cp.path.push_back(static_cast<std::size_t>(i));
+  std::reverse(cp.path.begin(), cp.path.end());
+  for (std::size_t k = 0; k < cp.path.size(); ++k) {
+    const CpSpan& s = cp.spans[cp.path[k]];
+    cp.blame[s.blame] += s.end - s.start;
+    if (k > 0) {
+      const double gap = gap_in[cp.path[k]];
+      if (gap > 0.0)
+        cp.blame[pred_flow[cp.path[k]] ? "queue" : "stall"] += gap;
+    }
+  }
+  return cp;
+}
+
+int cmd_critical_path(const std::string& path, bool json) {
+  const CriticalPath cp = critical_path(Json::parse_file(path));
+  if (cp.spans.empty()) {
+    if (json) {
+      std::cout << "{\"total_s\": 0, \"spans\": 0, \"blame\": {}, \"path\": "
+                   "[]}\n";
+    } else {
+      std::cout << "critical path: empty trace (no spans)\n";
+    }
+    return 0;
+  }
+  if (json) {
+    Json doc = Json::object();
+    doc["total_s"] = cp.total;
+    doc["spans"] = static_cast<std::int64_t>(cp.path.size());
+    Json blame = Json::object();
+    for (const auto& [bucket, secs] : cp.blame) blame[bucket] = secs;
+    doc["blame"] = std::move(blame);
+    Json steps = Json::array();
+    for (const std::size_t i : cp.path) {
+      const CpSpan& s = cp.spans[i];
+      Json step = Json::object();
+      step["track"] = s.track;
+      step["cat"] = s.cat;
+      step["start"] = s.start;
+      step["end"] = s.end;
+      step["blame"] = s.blame;
+      steps.push_back(std::move(step));
+    }
+    doc["path"] = std::move(steps);
+    std::cout << doc.dump(2) << "\n";
+    return 0;
+  }
+  const CpSpan& first = cp.spans[cp.path.front()];
+  const CpSpan& last = cp.spans[cp.path.back()];
+  std::cout << "critical path: " << fmt_s(cp.total) << " over "
+            << cp.path.size() << " spans (" << fmt_s(first.start) << " .. "
+            << fmt_s(last.end) << ")\n\nblame:\n";
+  for (const auto& [bucket, secs] : cp.blame) {
+    std::printf("  %-24s %-12s %5.1f%%\n", bucket.c_str(),
+                fmt_s(secs).c_str(), 100.0 * secs / std::max(cp.total, 1e-12));
+  }
+  std::cout << "\npath:\n";
+  const std::size_t n = cp.path.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    if (n > 24 && k == 12) {
+      std::cout << "  ... (" << n - 24 << " spans elided; --json for all)\n";
+      k = n - 13;
+      continue;
+    }
+    const CpSpan& s = cp.spans[cp.path[k]];
+    std::printf("  %-16s %-16s %s .. %s (%s)\n", s.track.c_str(),
+                s.cat.c_str(), fmt_s(s.start).c_str(), fmt_s(s.end).c_str(),
+                s.blame.c_str());
+  }
+  return 0;
+}
+
+int critical_path_self_check() {
+  // A two-track staging handoff with known geometry:
+  //   sim0:   iter [0,1]  stage_write [1,1.25] --flow 7-->
+  //   train0:             stage_read [1.5,1.75]  iter [1.75,2.5]
+  // Critical path = 2.5 s: compute 1.75, transport:redis 0.5, queue 0.25.
+  simai::sim::TraceRecorder rec;
+  rec.record_span("sim0", "iter", 0.0, 1.0);
+  rec.record_span("train0", "iter", 1.75, 2.5);
+  // A decoy track that is long but causally disconnected from the end.
+  rec.record_span("idle0", "iter", 0.0, 0.5);
+  simai::sim::LabeledSpan w;
+  w.track = "sim0";
+  w.category = "stage_write";
+  w.start = 1.0;
+  w.end = 1.25;
+  w.span_id = 7;
+  w.flow_id = 7;
+  w.flow_start = true;
+  w.labels = {{"backend", "redis"}, {"key", "x_0_0"}};
+  rec.record_labeled_span(w);
+  simai::sim::LabeledSpan r = w;
+  r.track = "train0";
+  r.category = "stage_read";
+  r.start = 1.5;
+  r.end = 1.75;
+  r.span_id = 9;
+  r.flow_start = false;
+  rec.record_labeled_span(r);
+
+  const CriticalPath cp = critical_path(Json::parse(rec.to_chrome_json()));
+  auto fail = [](const char* what) {
+    std::cerr << "critical-path self-check FAILED: " << what << "\n";
+    return 1;
+  };
+  auto near = [](double a, double b) { return std::abs(a - b) < 1e-9; };
+  if (cp.path.size() != 4) return fail("expected a 4-span path");
+  if (!near(cp.total, 2.5)) return fail("total mismatch");
+  const auto bucket = [&](const char* k) {
+    const auto it = cp.blame.find(k);
+    return it == cp.blame.end() ? 0.0 : it->second;
+  };
+  if (!near(bucket("compute"), 1.75)) return fail("compute blame");
+  if (!near(bucket("transport:redis"), 0.5)) return fail("transport blame");
+  if (!near(bucket("queue"), 0.25)) return fail("queue blame");
+  if (!near(bucket("stall"), 0.0)) return fail("stall blame");
+  if (cp.spans[cp.path.front()].track != "sim0")
+    return fail("path should start on sim0");
+  if (cp.spans[cp.path.back()].track != "train0")
+    return fail("path should end on train0");
+  std::cout << "simai_trace critical-path self-check OK\n";
+  return 0;
+}
+
 int self_check() {
   // Synthesize a recorder the way an armed run would fill it, export, and
   // verify the analyzer reads back exactly what went in.
@@ -243,6 +520,8 @@ int self_check() {
 int usage() {
   std::cerr << "usage: simai_trace summary <trace.json>\n"
                "       simai_trace diff <a.json> <b.json>\n"
+               "       simai_trace critical-path <trace.json> [--json]\n"
+               "       simai_trace critical-path --self-check\n"
                "       simai_trace --self-check\n";
   return 2;
 }
@@ -256,6 +535,12 @@ int main(int argc, char** argv) {
     if (args.size() == 2 && args[0] == "summary") return cmd_summary(args[1]);
     if (args.size() == 3 && args[0] == "diff")
       return cmd_diff(args[1], args[2]);
+    if (args.size() >= 2 && args[0] == "critical-path") {
+      if (args[1] == "--self-check" && args.size() == 2)
+        return critical_path_self_check();
+      const bool json = args.size() == 3 && args[2] == "--json";
+      if (args.size() == 2 || json) return cmd_critical_path(args[1], json);
+    }
     return usage();
   } catch (const simai::Error& e) {
     std::cerr << "simai_trace: " << e.what() << "\n";
